@@ -1,0 +1,79 @@
+// Shared table-printing and measurement helpers for the reproduction
+// benches (not part of the library API).
+#ifndef LCP_BENCH_BENCH_UTIL_HPP_
+#define LCP_BENCH_BENCH_UTIL_HPP_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/growth.hpp"
+#include "core/runner.hpp"
+#include "core/scheme.hpp"
+
+namespace lcp::bench {
+
+inline void rule(char c = '-', int width = 98) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+inline void heading(const std::string& title) {
+  rule('=');
+  std::printf("%s\n", title.c_str());
+  rule('=');
+}
+
+/// Measures the proof size the scheme emits on each instance; verifies the
+/// proof is accepted (completeness check rides along).  Returns (x, bits)
+/// samples where x is the caller-provided sweep parameter.
+struct SizeSample {
+  double x = 0;
+  int bits = 0;
+  bool complete = false;
+};
+
+inline SizeSample measure(const Scheme& scheme, const Graph& g, double x) {
+  SizeSample s;
+  s.x = x;
+  const auto proof = scheme.prove(g);
+  if (!proof.has_value()) return s;
+  s.bits = proof->size_bits();
+  s.complete = run_verifier(g, *proof, scheme.verifier()).all_accept;
+  return s;
+}
+
+/// Prints one classification row: measured sizes along the sweep, the
+/// fitted growth class, the paper's bound, and the verdict.
+inline void print_row(const std::string& property, const std::string& family,
+                      const std::string& paper_bound,
+                      const std::vector<SizeSample>& samples,
+                      GrowthClass expected) {
+  std::vector<std::pair<double, double>> points;
+  bool complete = true;
+  std::string sizes;
+  for (const SizeSample& s : samples) {
+    points.emplace_back(s.x, static_cast<double>(s.bits));
+    complete = complete && s.complete;
+    if (!sizes.empty()) sizes += ' ';
+    sizes += std::to_string(s.bits);
+  }
+  const GrowthClass fitted = classify_growth(points);
+  const bool match = fitted == expected;
+  std::printf("%-28s %-12s %-14s %-24s %-13s %s\n", property.c_str(),
+              family.c_str(), paper_bound.c_str(), sizes.c_str(),
+              to_string(fitted).c_str(),
+              complete ? (match ? "OK" : "SHAPE-MISMATCH")
+                       : "INCOMPLETE");
+}
+
+inline void print_header() {
+  std::printf("%-28s %-12s %-14s %-24s %-13s %s\n", "property/problem",
+              "family", "paper", "bits at sweep points", "fitted", "verdict");
+  rule();
+}
+
+}  // namespace lcp::bench
+
+#endif  // LCP_BENCH_BENCH_UTIL_HPP_

@@ -1,0 +1,86 @@
+// Section 6.1: symmetric graphs need Theta(n^2)-bit proofs.
+//
+// Three exhibits:
+//   1. the counting table: asymmetric connected graphs on k nodes number
+//      2^{Theta(k^2)} (exact orbit counts up to k = 7), while a scheme
+//      with s bits per node exposes only O(s) bits in the joining window;
+//   2. the proof-transplant attack on truncated universal schemes: two
+//      different asymmetric graphs G1, G2 whose truncated proofs agree on
+//      the window let us stitch an accepted proof onto the asymmetric
+//      no-instance G1 (.) G2;
+//   3. the honest O(n^2) scheme resists: its proofs pin down the whole
+//      adjacency matrix, so the first differing bit sits in the matrix
+//      area -- only a constant factor below the trivial upper bound.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "lower/symmetry_fooling.hpp"
+#include "schemes/universal.hpp"
+
+namespace lcp::lower {
+namespace {
+
+void counting_table() {
+  std::printf("Counting asymmetric connected graphs (exact, by orbit "
+              "counting):\n");
+  std::printf("  %-4s %-14s %-10s %-12s %s\n", "k", "labelled", "classes",
+              "log2|F_k|", "k^2/4 (for scale)");
+  for (int k = 1; k <= 7; ++k) {
+    const AsymmetricCount c = count_asymmetric_connected(k);
+    const double log2v = c.classes > 0 ? std::log2(static_cast<double>(c.classes)) : 0.0;
+    std::printf("  %-4d %-14lld %-10lld %-12.2f %.1f\n", k, c.labeled,
+                c.classes, log2v, k * k / 4.0);
+  }
+  std::printf(
+      "  (almost all graphs are asymmetric [Erdos-Renyi 1963]; the classes\n"
+      "   column approaches 2^(k choose 2)/k! as k grows)\n\n");
+}
+
+void transplant_table() {
+  const auto reps = asymmetric_connected_representatives(6);
+  std::printf("Transplant attack on G1 (.) G2 (k = 6, n = 18, |F_6| = %zu):\n",
+              reps.size());
+  std::printf("  %-26s %-18s %-10s %s\n", "scheme", "window agrees",
+              "accepted", "verdict");
+  for (int b : {50, 100, 150, 200, 400, 0}) {
+    const auto scheme = schemes::make_symmetric_graph_scheme(b);
+    const TransplantOutcome o =
+        run_symmetry_transplant(*scheme, reps[0], reps[1]);
+    const char* name_budget = b == 0 ? "honest O(n^2)" : "";
+    char label[64];
+    if (b == 0) {
+      std::snprintf(label, sizeof label, "%s", name_budget);
+    } else {
+      std::snprintf(label, sizeof label, "truncated b = %d", b);
+    }
+    std::printf("  %-26s %-18s %-10s %s\n", label,
+                o.labels_agree_on_window ? "yes" : "no",
+                o.all_accept ? "yes" : "no",
+                o.fooled() ? "FOOLED (accepted asymmetric graph)"
+                           : "resists");
+    if (b == 0) {
+      std::printf(
+          "  first differing proof bit between f(G1.G1) and f(G2.G2): %d "
+          "(header+ids end at %d; matrix spans to %d)\n",
+          o.first_label_difference, 26 + 18 * 5, 26 + 18 * 5 + 18 * 18);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace lcp::lower
+
+int main() {
+  lcp::bench::heading(
+      "Section 6.1 - symmetric graphs require Theta(n^2)-bit proofs");
+  lcp::lower::counting_table();
+  lcp::lower::transplant_table();
+  lcp::bench::rule();
+  std::printf(
+      "log2|F_k| grows quadratically while a proof exposes only O(bits) in\n"
+      "the window U: collisions are unavoidable below ~n^2 bits, and the\n"
+      "executable transplant confirms every collision is fatal.\n");
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Section 6.3: non-3-colourability needs Omega(n^2/log n)-bit proofs.
+//
+// Exhibits:
+//   1. the gadget law: G_{A,B} is 3-colourable iff A and B intersect
+//      (cross-checked against the exact DSATUR solver at k = 1, decided
+//      by the constructive semantics at k = 2);
+//   2. the fooling-set counting: |I x I| = 4^k constraints vs the
+//      O(r log n) bits a small scheme exposes on the wires;
+//   3. the executable transplant: proofs of the yes-instances G_{A,~A}
+//      and G_{B,~B} stitched onto the 3-colourable no-instance G_{A,~B},
+//      accepted by a truncated universal scheme, rejected by the honest
+//      O(n^2) one.
+#include <cmath>
+#include <cstdio>
+#include <random>
+
+#include "algo/coloring.hpp"
+#include "bench_util.hpp"
+#include "core/runner.hpp"
+#include "lower/threecol.hpp"
+#include "schemes/universal.hpp"
+
+namespace lcp::lower {
+namespace {
+
+PairSet random_subset(int k, std::size_t size, std::uint32_t seed) {
+  PairSet universe = all_pairs(k);
+  std::mt19937 rng(seed);
+  std::shuffle(universe.begin(), universe.end(), rng);
+  universe.resize(size);
+  std::sort(universe.begin(), universe.end());
+  return universe;
+}
+
+void gadget_law() {
+  std::printf("Gadget law: G_{A,B} 3-colourable <=> A intersects B\n");
+  std::printf("  %-4s %-7s %-12s %-12s %-10s %s\n", "k", "|A|=|B|",
+              "nodes(G_AB)", "semantics", "solver", "agree");
+  int agreements = 0;
+  int trials = 0;
+  for (std::uint32_t seed = 0; seed < 6; ++seed) {
+    const PairSet a = random_subset(1, 2, seed);
+    const PairSet b = random_subset(1, 2, seed + 100);
+    const JoinedGadget j = build_joined(1, a, b, 1);
+    const bool sem = joined_colorable_semantics(a, b);
+    const bool solved = k_coloring(j.graph, 3).has_value();
+    ++trials;
+    if (sem == solved) ++agreements;
+    std::printf("  %-4d %-7d %-12d %-12s %-10s %s\n", 1, 2, j.graph.n(),
+                sem ? "colourable" : "NOT", solved ? "colourable" : "NOT",
+                sem == solved ? "yes" : "NO");
+  }
+  std::printf("  solver agreement: %d/%d\n", agreements, trials);
+  // k = 2 scale (semantics only; documented substitution in DESIGN.md).
+  for (std::uint32_t seed = 0; seed < 3; ++seed) {
+    const PairSet a = random_subset(2, 5, seed);
+    const PairSet b = random_subset(2, 5, seed + 7);
+    const JoinedGadget j = build_joined(2, a, b, 1);
+    std::printf("  %-4d %-7d %-12d %-12s %-10s -\n", 2, 5, j.graph.n(),
+                joined_colorable_semantics(a, b) ? "colourable" : "NOT",
+                "(semantic)");
+  }
+  std::printf("\n");
+}
+
+void counting_table() {
+  std::printf("Fooling-set counting (paper: Theta(2^k) nodes, Theta(4^k) "
+              "subsets A):\n");
+  std::printf("  %-4s %-10s %-14s %s\n", "k", "|I x I|", "distinct A",
+              "wire-window bits for an s-bit scheme");
+  for (int k : {1, 2, 3, 4}) {
+    const double pairs = std::pow(4.0, k);
+    std::printf("  %-4d %-10.0f 2^%-11.0f O(s * r * k)\n", k, pairs, pairs);
+  }
+  std::printf(
+      "  => any scheme with s = o(n^2/log n) bits leaves two subsets A != B\n"
+      "     with identical wire bits; the transplant below executes that.\n\n");
+}
+
+void transplant() {
+  const int k = 1;
+  const int r = 1;
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet b{{0, 0}, {1, 0}};
+  const PairSet a_bar = complement_pairs(k, a);
+  const PairSet b_bar = complement_pairs(k, b);
+  const JoinedGadget gaa = build_joined(k, a, a_bar, r);
+  const JoinedGadget gbb = build_joined(k, b, b_bar, r);
+  const JoinedGadget gab = build_joined(k, a, b_bar, r);
+  std::printf("Transplant: G_{A,~A} and G_{B,~B} are non-3-colourable "
+              "yes-instances (n = %d);\n", gaa.graph.n());
+  std::printf("G_{A,~B} is 3-colourable (A meets ~B), hence a NO-instance "
+              "of non-3-colourability.\n");
+  std::printf("  %-26s %-10s %s\n", "scheme", "accepted", "verdict");
+  for (int b_bits : {64, 256, 0}) {
+    const auto scheme = schemes::make_non_3_colorable_scheme(b_bits);
+    const auto p_aa = scheme->prove(gaa.graph);
+    const auto p_bb = scheme->prove(gbb.graph);
+    if (!p_aa.has_value() || !p_bb.has_value()) {
+      std::printf("  prover failed (unexpected)\n");
+      continue;
+    }
+    // Stitch: G_A part from p_aa, everything else (G'_{~B} + wires) from
+    // p_bb; layouts coincide because |A| = |B|.
+    Proof stitched = Proof::empty(gab.graph.n());
+    for (int v = 0; v < gab.graph.n(); ++v) {
+      const Proof& src = v < gaa.ga_size ? *p_aa : *p_bb;
+      stitched.labels[static_cast<std::size_t>(v)] =
+          src.labels[static_cast<std::size_t>(v)];
+    }
+    const bool accepted =
+        run_verifier(gab.graph, stitched, scheme->verifier()).all_accept;
+    char label[64];
+    if (b_bits == 0) {
+      std::snprintf(label, sizeof label, "honest O(n^2)");
+    } else {
+      std::snprintf(label, sizeof label, "truncated b = %d", b_bits);
+    }
+    std::printf("  %-26s %-10s %s\n", label, accepted ? "yes" : "no",
+                accepted ? "FOOLED (accepted a 3-colourable graph)"
+                         : "resists");
+  }
+}
+
+}  // namespace
+}  // namespace lcp::lower
+
+int main() {
+  lcp::bench::heading(
+      "Section 6.3 - non-3-colourability: Omega(n^2/log n) bits");
+  lcp::lower::gadget_law();
+  lcp::lower::counting_table();
+  lcp::lower::transplant();
+  lcp::bench::rule();
+  std::printf(
+      "Substitution note: our G_A uses the classic CNF/OR-gadget encoding\n"
+      "(Theta(k 4^k) nodes) instead of the extended version's Theta(2^k);\n"
+      "the 3-colouring semantics -- all the argument needs -- coincide.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "algo/bipartite.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "algo/traversal.hpp"
+
+namespace lcp {
+
+std::optional<std::vector<int>> two_coloring(const Graph& g) {
+  std::vector<int> color(static_cast<std::size_t>(g.n()), -1);
+  for (int s = 0; s < g.n(); ++s) {
+    if (color[static_cast<std::size_t>(s)] >= 0) continue;
+    color[static_cast<std::size_t>(s)] = 0;
+    std::queue<int> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      for (const HalfEdge& h : g.neighbors(v)) {
+        if (color[static_cast<std::size_t>(h.to)] < 0) {
+          color[static_cast<std::size_t>(h.to)] =
+              1 - color[static_cast<std::size_t>(v)];
+          queue.push(h.to);
+        } else if (color[static_cast<std::size_t>(h.to)] ==
+                   color[static_cast<std::size_t>(v)]) {
+          return std::nullopt;
+        }
+      }
+    }
+  }
+  return color;
+}
+
+std::optional<std::vector<int>> find_odd_cycle(const Graph& g) {
+  // BFS-layer argument: an edge inside one BFS layer closes an odd cycle
+  // through paths to the lowest common ancestor.
+  for (int s = 0; s < g.n(); ++s) {
+    const RootedTree tree = bfs_tree(g, s);
+    for (int e = 0; e < g.m(); ++e) {
+      const int u = g.edge_u(e);
+      const int v = g.edge_v(e);
+      const int du = tree.dist[static_cast<std::size_t>(u)];
+      const int dv = tree.dist[static_cast<std::size_t>(v)];
+      if (du < 0 || dv < 0 || du != dv) continue;
+      // Walk both endpoints up to their lowest common ancestor.
+      std::vector<int> left{u};
+      std::vector<int> right{v};
+      int a = u;
+      int b = v;
+      while (a != b) {
+        a = tree.parent[static_cast<std::size_t>(a)];
+        b = tree.parent[static_cast<std::size_t>(b)];
+        left.push_back(a);
+        right.push_back(b);
+      }
+      // Cycle: u -> ... -> lca -> ... -> v -> u; length 2*depth + 1 (odd).
+      std::vector<int> cycle(left.begin(), left.end());
+      for (auto it = std::next(right.rbegin()); it != right.rend(); ++it) {
+        cycle.push_back(*it);
+      }
+      return cycle;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace lcp

@@ -1,0 +1,28 @@
+// Bipartiteness: 2-colourings and odd-cycle extraction.
+//
+// The 2-colouring is the paper's canonical 1-bit locally checkable proof
+// (Section 1.2); the odd cycle is the witness used by the Theta(log n)
+// non-bipartiteness scheme (Section 5.1).
+#ifndef LCP_ALGO_BIPARTITE_HPP_
+#define LCP_ALGO_BIPARTITE_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// A proper 2-colouring (values 0/1), or nullopt when g is not bipartite.
+/// Disconnected graphs are handled per component.
+std::optional<std::vector<int>> two_coloring(const Graph& g);
+
+inline bool is_bipartite(const Graph& g) { return two_coloring(g).has_value(); }
+
+/// A simple odd cycle as a node-index sequence (first node not repeated),
+/// or nullopt when g is bipartite.
+std::optional<std::vector<int>> find_odd_cycle(const Graph& g);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_BIPARTITE_HPP_

@@ -1,0 +1,84 @@
+#include "algo/canonical.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lcp {
+
+namespace {
+
+std::string key_under_permutation(const Graph& g,
+                                  const std::vector<int>& perm) {
+  // perm[position] = original node placed at this position.
+  const int n = g.n();
+  std::string key;
+  key.reserve(static_cast<std::size_t>(n * (n - 1) / 2));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      key.push_back(g.has_edge(perm[static_cast<std::size_t>(i)],
+                               perm[static_cast<std::size_t>(j)])
+                        ? '1'
+                        : '0');
+    }
+  }
+  return key;
+}
+
+std::pair<std::string, std::vector<int>> best_permutation(const Graph& g) {
+  const int n = g.n();
+  if (n > 10) {
+    throw std::invalid_argument("canonical_key: n too large for search");
+  }
+  // Enumerate all permutations (ascending start so next_permutation visits
+  // every one), but only score those that place nodes in non-increasing
+  // degree order.  The restriction is isomorphism-invariant — isomorphic
+  // graphs have the same multiset of degree-sorted adjacency keys — so the
+  // restricted maximum is still a complete canonical invariant, while the
+  // filter discards most permutations early.
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::string best;
+  std::vector<int> best_perm;
+  do {
+    bool ok = true;
+    for (int i = 0; i + 1 < n && ok; ++i) {
+      ok = g.degree(perm[static_cast<std::size_t>(i)]) >=
+           g.degree(perm[static_cast<std::size_t>(i + 1)]);
+    }
+    if (!ok) continue;
+    std::string key = key_under_permutation(g, perm);
+    if (best_perm.empty() || key > best) {
+      best = std::move(key);
+      best_perm = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return {best, best_perm};
+}
+
+}  // namespace
+
+std::string canonical_key(const Graph& g) {
+  return best_permutation(g).first;
+}
+
+Graph canonical_form(const Graph& g, NodeId shift) {
+  auto [key, perm] = best_permutation(g);
+  Graph out;
+  for (int i = 0; i < g.n(); ++i) {
+    out.add_node(shift + static_cast<NodeId>(i) + 1);
+  }
+  // perm[position] = original node; edge (i, j) in the canonical form iff
+  // the originals at those positions are adjacent.
+  for (int i = 0; i < g.n(); ++i) {
+    for (int j = i + 1; j < g.n(); ++j) {
+      if (g.has_edge(perm[static_cast<std::size_t>(i)],
+                     perm[static_cast<std::size_t>(j)])) {
+        out.add_edge(i, j);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lcp

@@ -1,0 +1,32 @@
+// Canonical forms C(G) for small graphs (Section 6.1).
+//
+// The symmetric-graph lower-bound construction joins canonical copies
+// C(G1, k) and C(G2, 2k) by a path; canonical forms guarantee that
+// isomorphic inputs yield identical joined graphs.  We compute the
+// canonical form by exhaustive permutation search with degree-class
+// pruning — exact and fast enough for the k <= 8 graphs the experiment
+// uses.
+#ifndef LCP_ALGO_CANONICAL_HPP_
+#define LCP_ALGO_CANONICAL_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// A total order key: the lexicographically maximal upper-triangle
+/// adjacency bit rows over all node permutations.  Equal keys <=>
+/// isomorphic graphs.
+std::string canonical_key(const Graph& g);
+
+/// The canonical form C(G, shift): an isomorphic copy on node ids
+/// shift+1 ... shift+n whose adjacency realises the canonical key, so
+/// C(G1, i) == C(G2, i) (as labelled graphs) iff G1 and G2 are isomorphic.
+Graph canonical_form(const Graph& g, NodeId shift = 0);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_CANONICAL_HPP_

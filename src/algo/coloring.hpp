@@ -1,0 +1,31 @@
+// Exact graph colouring: ground truth for the chromatic-number schemes.
+//
+// chromatic <= k  is in LCP(O(log k))  (give a k-colouring, Section 2.2);
+// chromatic  > 2  is in LogLCP          (odd cycle, Section 5.1);
+// chromatic  > 3  needs Omega(n^2/log n) bits (Section 6.3).
+#ifndef LCP_ALGO_COLORING_HPP_
+#define LCP_ALGO_COLORING_HPP_
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// True when colors (one per node, any integers) properly colour g.
+bool is_proper_coloring(const Graph& g, std::span<const int> colors);
+
+/// An exact proper k-colouring via backtracking (nullopt when none exists).
+/// Nodes are processed in descending-degree order with forward pruning;
+/// intended for n up to a few dozen at small k.
+std::optional<std::vector<int>> k_coloring(const Graph& g, int k);
+
+/// The chromatic number (exact; caps the search at max_k and returns
+/// max_k + 1 when even that fails).
+int chromatic_number(const Graph& g, int max_k = 16);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_COLORING_HPP_

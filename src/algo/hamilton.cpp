@@ -1,0 +1,126 @@
+#include "algo/hamilton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "algo/traversal.hpp"
+
+namespace lcp {
+
+namespace {
+
+// dp[mask][v]: v reachable as endpoint of a simple path over `mask` starting
+// at `start`.  Reconstruction walks predecessors.
+std::optional<std::vector<int>> ham_path_from(const Graph& g, int start,
+                                              bool close_cycle) {
+  const int n = g.n();
+  if (n > 24) throw std::invalid_argument("hamilton: n too large for DP");
+  const std::size_t full = static_cast<std::size_t>(1) << n;
+  std::vector<std::uint32_t> dp(full, 0);
+  dp[static_cast<std::size_t>(1) << start] = 1u << start;
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    const std::uint32_t ends = dp[mask];
+    if (ends == 0) continue;
+    for (int v = 0; v < n; ++v) {
+      if (!(ends & (1u << v))) continue;
+      for (const HalfEdge& h : g.neighbors(v)) {
+        const std::size_t bit = static_cast<std::size_t>(1) << h.to;
+        if (mask & bit) continue;
+        dp[mask | bit] |= 1u << h.to;
+      }
+    }
+  }
+  const std::size_t all = full - 1;
+  int last = -1;
+  for (int v = 0; v < n && last < 0; ++v) {
+    if (!(dp[all] & (1u << v))) continue;
+    if (!close_cycle || g.has_edge(v, start)) last = v;
+  }
+  if (last < 0) return std::nullopt;
+  // Reconstruct backwards.
+  std::vector<int> path;
+  std::size_t mask = all;
+  int v = last;
+  while (true) {
+    path.push_back(v);
+    const std::size_t prev_mask = mask & ~(static_cast<std::size_t>(1) << v);
+    if (prev_mask == 0) break;
+    int pred = -1;
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if ((prev_mask & (static_cast<std::size_t>(1) << h.to)) &&
+          (dp[prev_mask] & (1u << h.to))) {
+        pred = h.to;
+        break;
+      }
+    }
+    mask = prev_mask;
+    v = pred;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<std::vector<int>> hamiltonian_cycle(const Graph& g) {
+  if (g.n() < 3) return std::nullopt;
+  return ham_path_from(g, 0, /*close_cycle=*/true);
+}
+
+std::optional<std::vector<int>> hamiltonian_path(const Graph& g) {
+  if (g.n() == 0) return std::nullopt;
+  if (g.n() == 1) return std::vector<int>{0};
+  for (int start = 0; start < g.n(); ++start) {
+    auto path = ham_path_from(g, start, /*close_cycle=*/false);
+    if (path.has_value()) return path;
+  }
+  return std::nullopt;
+}
+
+bool is_hamiltonian_cycle(const Graph& g, const std::vector<bool>& mask) {
+  int count = 0;
+  std::vector<int> degree(static_cast<std::size_t>(g.n()), 0);
+  for (int e = 0; e < g.m(); ++e) {
+    if (!mask[static_cast<std::size_t>(e)]) continue;
+    ++count;
+    ++degree[static_cast<std::size_t>(g.edge_u(e))];
+    ++degree[static_cast<std::size_t>(g.edge_v(e))];
+  }
+  if (count != g.n()) return false;
+  for (int d : degree) {
+    if (d != 2) return false;
+  }
+  // Exactly n edges, all degrees 2: a disjoint union of cycles; connected
+  // along mask edges iff a single Hamiltonian cycle.
+  auto edge_ok = [&mask](int e) { return mask[static_cast<std::size_t>(e)]; };
+  const RootedTree tree = bfs_tree_restricted(g, 0, edge_ok);
+  return std::all_of(tree.dist.begin(), tree.dist.end(),
+                     [](int d) { return d >= 0; });
+}
+
+bool is_hamiltonian_path(const Graph& g, const std::vector<bool>& mask) {
+  if (g.n() == 1) {
+    return std::none_of(mask.begin(), mask.end(), [](bool b) { return b; });
+  }
+  int count = 0;
+  std::vector<int> degree(static_cast<std::size_t>(g.n()), 0);
+  for (int e = 0; e < g.m(); ++e) {
+    if (!mask[static_cast<std::size_t>(e)]) continue;
+    ++count;
+    ++degree[static_cast<std::size_t>(g.edge_u(e))];
+    ++degree[static_cast<std::size_t>(g.edge_v(e))];
+  }
+  if (count != g.n() - 1) return false;
+  int endpoints = 0;
+  for (int d : degree) {
+    if (d == 0 || d > 2) return false;
+    if (d == 1) ++endpoints;
+  }
+  if (endpoints != 2) return false;
+  auto edge_ok = [&mask](int e) { return mask[static_cast<std::size_t>(e)]; };
+  const RootedTree tree = bfs_tree_restricted(g, 0, edge_ok);
+  return std::all_of(tree.dist.begin(), tree.dist.end(),
+                     [](int d) { return d >= 0; });
+}
+
+}  // namespace lcp

@@ -1,0 +1,31 @@
+// Hamiltonian cycles and paths by Held-Karp bitmask DP (n <= ~20).
+//
+// Ground truth for the Theta(log n) Hamiltonian-cycle scheme (Section 5.1):
+// a Hamiltonian cycle is a spanning tree plus one edge, so it can be
+// certified with a spanning-tree-style proof.
+#ifndef LCP_ALGO_HAMILTON_HPP_
+#define LCP_ALGO_HAMILTON_HPP_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// A Hamiltonian cycle as a node-index sequence of length n (first node not
+/// repeated), or nullopt.  Requires n <= 24.
+std::optional<std::vector<int>> hamiltonian_cycle(const Graph& g);
+
+/// A Hamiltonian path (length-n node sequence), or nullopt.  n <= 24.
+std::optional<std::vector<int>> hamiltonian_path(const Graph& g);
+
+/// True when the edge mask forms a Hamiltonian cycle of g.
+bool is_hamiltonian_cycle(const Graph& g, const std::vector<bool>& mask);
+
+/// True when the edge mask forms a Hamiltonian path of g.
+bool is_hamiltonian_path(const Graph& g, const std::vector<bool>& mask);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_HAMILTON_HPP_

@@ -1,0 +1,136 @@
+#include "algo/isomorphism.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lcp {
+
+namespace {
+
+/// Generic backtracking mapper from `a` into `b`.
+///
+/// mode:
+///   kFull      - bijective, adjacency preserved both ways (isomorphism)
+///   kInduced   - injective, adjacency preserved both ways (induced subgraph)
+/// `accept` is called on every complete mapping; search stops once it
+/// returns true.
+enum class MapMode { kFull, kInduced };
+
+struct Mapper {
+  const Graph& a;
+  const Graph& b;
+  MapMode mode;
+  std::function<bool(const std::vector<int>&)> accept;
+  std::vector<int> map;      // a-node -> b-node or -1
+  std::vector<bool> used;    // b-node used
+  std::vector<int> order;    // order in which a-nodes are assigned
+
+  bool consistent(int va, int vb) const {
+    if (a.degree(va) > b.degree(vb)) return false;
+    if (mode == MapMode::kFull && a.degree(va) != b.degree(vb)) return false;
+    for (int ua = 0; ua < a.n(); ++ua) {
+      const int ub = map[static_cast<std::size_t>(ua)];
+      if (ub < 0) continue;
+      const bool adj_a = a.has_edge(va, ua);
+      const bool adj_b = b.has_edge(vb, ub);
+      if (adj_a != adj_b) return false;
+    }
+    return true;
+  }
+
+  bool search(std::size_t at) {
+    if (at == order.size()) return accept(map);
+    const int va = order[at];
+    for (int vb = 0; vb < b.n(); ++vb) {
+      if (used[static_cast<std::size_t>(vb)]) continue;
+      if (!consistent(va, vb)) continue;
+      map[static_cast<std::size_t>(va)] = vb;
+      used[static_cast<std::size_t>(vb)] = true;
+      if (search(at + 1)) return true;
+      used[static_cast<std::size_t>(vb)] = false;
+      map[static_cast<std::size_t>(va)] = -1;
+    }
+    return false;
+  }
+};
+
+bool run_mapper(const Graph& a, const Graph& b, MapMode mode,
+                const std::function<bool(const std::vector<int>&)>& accept) {
+  if (mode == MapMode::kFull && (a.n() != b.n() || a.m() != b.m())) {
+    return false;
+  }
+  if (a.n() > b.n()) return false;
+  Mapper mapper{a, b, mode, accept,
+                std::vector<int>(static_cast<std::size_t>(a.n()), -1),
+                std::vector<bool>(static_cast<std::size_t>(b.n()), false),
+                {}};
+  // Assign high-degree nodes first: fails fast.
+  mapper.order.resize(static_cast<std::size_t>(a.n()));
+  std::iota(mapper.order.begin(), mapper.order.end(), 0);
+  std::sort(mapper.order.begin(), mapper.order.end(),
+            [&a](int x, int y) { return a.degree(x) > a.degree(y); });
+  return mapper.search(0);
+}
+
+bool degree_sequences_match(const Graph& a, const Graph& b) {
+  std::vector<int> da(static_cast<std::size_t>(a.n()));
+  std::vector<int> db(static_cast<std::size_t>(b.n()));
+  for (int v = 0; v < a.n(); ++v) da[static_cast<std::size_t>(v)] = a.degree(v);
+  for (int v = 0; v < b.n(); ++v) db[static_cast<std::size_t>(v)] = b.degree(v);
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  return da == db;
+}
+
+}  // namespace
+
+bool are_isomorphic(const Graph& a, const Graph& b) {
+  return find_isomorphism(a, b).has_value();
+}
+
+std::optional<std::vector<int>> find_isomorphism(const Graph& a,
+                                                 const Graph& b) {
+  if (a.n() != b.n() || a.m() != b.m()) return std::nullopt;
+  if (!degree_sequences_match(a, b)) return std::nullopt;
+  std::optional<std::vector<int>> found;
+  run_mapper(a, b, MapMode::kFull, [&found](const std::vector<int>& map) {
+    found = map;
+    return true;
+  });
+  return found;
+}
+
+bool has_nontrivial_automorphism(const Graph& g) {
+  return run_mapper(g, g, MapMode::kFull, [](const std::vector<int>& map) {
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      if (map[v] != static_cast<int>(v)) return true;
+    }
+    return false;  // identity: keep searching
+  });
+}
+
+bool has_fixpoint_free_automorphism(const Graph& g) {
+  if (g.n() == 0) return false;
+  return run_mapper(g, g, MapMode::kFull, [](const std::vector<int>& map) {
+    for (std::size_t v = 0; v < map.size(); ++v) {
+      if (map[v] == static_cast<int>(v)) return false;  // has fixpoint
+    }
+    return true;
+  });
+}
+
+std::vector<std::vector<int>> all_automorphisms(const Graph& g) {
+  std::vector<std::vector<int>> result;
+  run_mapper(g, g, MapMode::kFull, [&result](const std::vector<int>& map) {
+    result.push_back(map);
+    return false;  // collect all
+  });
+  return result;
+}
+
+bool has_induced_subgraph(const Graph& host, const Graph& pattern) {
+  return run_mapper(pattern, host, MapMode::kInduced,
+                    [](const std::vector<int>&) { return true; });
+}
+
+}  // namespace lcp

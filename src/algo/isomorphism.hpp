@@ -1,0 +1,44 @@
+// Graph isomorphism and automorphism search (exact, small graphs).
+//
+// Backbone of the Section 6 experiments: symmetric graphs (nontrivial
+// automorphism, Theta(n^2) proofs), fixpoint-free symmetry on trees
+// (Theta(n)), and the enumeration of asymmetric graphs F_k.
+//
+// The engine is a straightforward backtracking mapper with degree and
+// partial-adjacency pruning; fine for the n <= ~16 instances the
+// experiments use (and for balls inside local verifiers).
+#ifndef LCP_ALGO_ISOMORPHISM_HPP_
+#define LCP_ALGO_ISOMORPHISM_HPP_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// True when a and b are isomorphic as unlabelled graphs.
+bool are_isomorphic(const Graph& a, const Graph& b);
+
+/// An isomorphism a -> b as an index map, if one exists.
+std::optional<std::vector<int>> find_isomorphism(const Graph& a,
+                                                 const Graph& b);
+
+/// True when g has an automorphism other than the identity ("symmetric
+/// graph" in Section 6.1).
+bool has_nontrivial_automorphism(const Graph& g);
+
+/// True when g has an automorphism with no fixed point (Section 6.2).
+bool has_fixpoint_free_automorphism(const Graph& g);
+
+/// All automorphisms of g (index maps); exponential output, tests only.
+std::vector<std::vector<int>> all_automorphisms(const Graph& g);
+
+/// True when `pattern` appears in `host` as an *induced* subgraph.
+/// Used by the line-graph verifier (forbidden induced subgraphs).
+bool has_induced_subgraph(const Graph& host, const Graph& pattern);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_ISOMORPHISM_HPP_

@@ -1,0 +1,196 @@
+#include "algo/line_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "algo/canonical.hpp"
+#include "algo/isomorphism.hpp"
+#include "graph/subgraph.hpp"
+
+namespace lcp {
+
+namespace {
+
+/// Recursive Krausz search: cover all edges by cliques, every vertex in at
+/// most two cliques.
+bool krausz_rec(const Graph& g, std::vector<bool>& covered,
+                std::vector<int>& cliques_at) {
+  int first = -1;
+  for (int e = 0; e < g.m(); ++e) {
+    if (!covered[static_cast<std::size_t>(e)]) {
+      first = e;
+      break;
+    }
+  }
+  if (first < 0) return true;  // all edges covered
+  const int u = g.edge_u(first);
+  const int v = g.edge_v(first);
+  if (cliques_at[static_cast<std::size_t>(u)] >= 2 ||
+      cliques_at[static_cast<std::size_t>(v)] >= 2) {
+    return false;
+  }
+
+  // Candidate cliques containing {u, v}: subsets of the common
+  // neighbourhood that form a clique using only uncovered edges and whose
+  // members still have a free clique slot.
+  std::vector<int> common;
+  for (const HalfEdge& h : g.neighbors(u)) {
+    if (h.to != v && g.has_edge(v, h.to) &&
+        cliques_at[static_cast<std::size_t>(h.to)] < 2) {
+      common.push_back(h.to);
+    }
+  }
+
+  const int c = static_cast<int>(common.size());
+  for (int mask = 0; mask < (1 << c); ++mask) {
+    std::vector<int> clique{u, v};
+    for (int i = 0; i < c; ++i) {
+      if (mask & (1 << i)) clique.push_back(common[static_cast<std::size_t>(i)]);
+    }
+    // All pairwise edges must exist (guaranteed for u,v,common via common
+    // neighbourhood, except among common members) and be uncovered.
+    bool ok = true;
+    std::vector<int> edges;
+    for (std::size_t i = 0; i < clique.size() && ok; ++i) {
+      for (std::size_t j = i + 1; j < clique.size() && ok; ++j) {
+        const int e = g.edge_index(clique[i], clique[j]);
+        if (e < 0 || covered[static_cast<std::size_t>(e)]) {
+          ok = false;
+        } else {
+          edges.push_back(e);
+        }
+      }
+    }
+    if (!ok) continue;
+    for (int e : edges) covered[static_cast<std::size_t>(e)] = true;
+    for (int w : clique) ++cliques_at[static_cast<std::size_t>(w)];
+    if (krausz_rec(g, covered, cliques_at)) return true;
+    for (int e : edges) covered[static_cast<std::size_t>(e)] = false;
+    for (int w : clique) --cliques_at[static_cast<std::size_t>(w)];
+  }
+  return false;
+}
+
+/// All graphs on exactly n nodes as adjacency bitmasks over the upper
+/// triangle, filtered to connected ones, deduplicated by canonical key.
+std::vector<Graph> connected_graphs_up_to_iso(int n) {
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) pairs.emplace_back(i, j);
+  }
+  std::map<std::string, Graph> reps;
+  const long long total = 1ll << pairs.size();
+  for (long long mask = 0; mask < total; ++mask) {
+    Graph g;
+    for (int v = 0; v < n; ++v) g.add_node(static_cast<NodeId>(v + 1));
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+      if (mask & (1ll << p)) g.add_edge(pairs[p].first, pairs[p].second);
+    }
+    // Connectivity check without pulling in traversal (cheap n <= 6).
+    std::vector<int> stack{0};
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    seen[0] = true;
+    int count = 1;
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const HalfEdge& h : g.neighbors(v)) {
+        if (!seen[static_cast<std::size_t>(h.to)]) {
+          seen[static_cast<std::size_t>(h.to)] = true;
+          ++count;
+          stack.push_back(h.to);
+        }
+      }
+    }
+    if (count != n) continue;
+    std::string key = canonical_key(g);
+    reps.emplace(std::move(key), std::move(g));
+  }
+  std::vector<Graph> out;
+  out.reserve(reps.size());
+  for (auto& [key, g] : reps) out.push_back(std::move(g));
+  return out;
+}
+
+std::vector<Graph> derive_forbidden() {
+  std::vector<Graph> forbidden;
+  for (int n = 2; n <= 6; ++n) {
+    for (const Graph& g : connected_graphs_up_to_iso(n)) {
+      if (is_line_graph_krausz(g)) continue;
+      // Minimality: every one-node-deleted induced subgraph is a line graph.
+      bool minimal = true;
+      for (int drop = 0; drop < g.n() && minimal; ++drop) {
+        std::vector<int> keep;
+        for (int v = 0; v < g.n(); ++v) {
+          if (v != drop) keep.push_back(v);
+        }
+        minimal = is_line_graph_krausz(induced_subgraph(g, keep));
+      }
+      if (minimal) forbidden.push_back(g);
+    }
+  }
+  return forbidden;
+}
+
+int eccentricity_radius(const Graph& g) {
+  // min over nodes of max distance (the graph's radius).
+  int best = g.n();
+  for (int v = 0; v < g.n(); ++v) {
+    const std::vector<int> dist = bfs_distances(g, v);
+    int ecc = 0;
+    for (int d : dist) ecc = std::max(ecc, d);
+    best = std::min(best, ecc);
+  }
+  return best;
+}
+
+}  // namespace
+
+bool is_line_graph_krausz(const Graph& g) {
+  std::vector<bool> covered(static_cast<std::size_t>(g.m()), false);
+  std::vector<int> cliques_at(static_cast<std::size_t>(g.n()), 0);
+  return krausz_rec(g, covered, cliques_at);
+}
+
+Graph line_graph_of(const Graph& g) {
+  Graph lg;
+  for (int e = 0; e < g.m(); ++e) {
+    lg.add_node(static_cast<NodeId>(e + 1));
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    for (int f = e + 1; f < g.m(); ++f) {
+      const bool share = g.edge_u(e) == g.edge_u(f) ||
+                         g.edge_u(e) == g.edge_v(f) ||
+                         g.edge_v(e) == g.edge_u(f) ||
+                         g.edge_v(e) == g.edge_v(f);
+      if (share) lg.add_edge(e, f);
+    }
+  }
+  return lg;
+}
+
+const std::vector<Graph>& beineke_forbidden() {
+  static const std::vector<Graph> forbidden = derive_forbidden();
+  return forbidden;
+}
+
+bool contains_beineke_obstruction(const Graph& g) {
+  for (const Graph& h : beineke_forbidden()) {
+    if (has_induced_subgraph(g, h)) return true;
+  }
+  return false;
+}
+
+int beineke_radius() {
+  static const int radius = [] {
+    int r = 1;
+    for (const Graph& h : beineke_forbidden()) {
+      r = std::max(r, eccentricity_radius(h));
+    }
+    return r;
+  }();
+  return radius;
+}
+
+}  // namespace lcp

@@ -1,0 +1,45 @@
+// Line-graph recognition (Section 1.1): an LCP(0) property.
+//
+// Beineke's characterisation: G is a line graph iff it contains none of
+// nine specific graphs as an induced subgraph.  All nine have at most six
+// nodes, so a constant-radius verifier can scan its ball for them — that is
+// what puts the property in LCP(0).
+//
+// To avoid transcription mistakes we do not hardcode the nine graphs:
+// beineke_forbidden() *derives* them at first use by exhaustively searching
+// all graphs on <= 6 nodes for minimal non-line-graphs, using an
+// independent definition of line graphs (Krausz partitions: the edge set
+// can be partitioned into cliques such that every vertex lies in at most
+// two cliques).  Tests assert the classical facts (exactly nine graphs,
+// the claw K_{1,3} among them).
+#ifndef LCP_ALGO_LINE_GRAPH_HPP_
+#define LCP_ALGO_LINE_GRAPH_HPP_
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// Exact line-graph test via Krausz partitions (exponential; m <= ~20).
+bool is_line_graph_krausz(const Graph& g);
+
+/// The line graph L(g): one node per edge of g, adjacent when the edges
+/// share an endpoint.  Node ids are 1..m.
+Graph line_graph_of(const Graph& g);
+
+/// The nine minimal forbidden induced subgraphs (computed once, cached).
+const std::vector<Graph>& beineke_forbidden();
+
+/// True when g contains some forbidden graph as an induced subgraph,
+/// i.e. g is NOT a line graph (by Beineke's theorem).
+bool contains_beineke_obstruction(const Graph& g);
+
+/// The verifier radius sufficient to catch every obstruction: the maximum
+/// over the forbidden graphs H of min_{v in H} ecc_H(v) (each H fits inside
+/// the ball of its centre node).
+int beineke_radius();
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_LINE_GRAPH_HPP_

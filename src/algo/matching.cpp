@@ -1,0 +1,262 @@
+#include "algo/matching.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcp {
+
+bool is_matching(const Graph& g, const std::vector<bool>& in_matching) {
+  std::vector<int> incident(static_cast<std::size_t>(g.n()), 0);
+  for (int e = 0; e < g.m(); ++e) {
+    if (!in_matching[static_cast<std::size_t>(e)]) continue;
+    ++incident[static_cast<std::size_t>(g.edge_u(e))];
+    ++incident[static_cast<std::size_t>(g.edge_v(e))];
+  }
+  return std::all_of(incident.begin(), incident.end(),
+                     [](int c) { return c <= 1; });
+}
+
+bool is_maximal_matching(const Graph& g,
+                         const std::vector<bool>& in_matching) {
+  if (!is_matching(g, in_matching)) return false;
+  const std::vector<int> mates = mates_from_mask(g, in_matching);
+  for (int e = 0; e < g.m(); ++e) {
+    if (mates[static_cast<std::size_t>(g.edge_u(e))] < 0 &&
+        mates[static_cast<std::size_t>(g.edge_v(e))] < 0) {
+      return false;  // both endpoints free: edge could be added
+    }
+  }
+  return true;
+}
+
+std::vector<int> mates_from_mask(const Graph& g,
+                                 const std::vector<bool>& in_matching) {
+  std::vector<int> mates(static_cast<std::size_t>(g.n()), -1);
+  for (int e = 0; e < g.m(); ++e) {
+    if (!in_matching[static_cast<std::size_t>(e)]) continue;
+    mates[static_cast<std::size_t>(g.edge_u(e))] = g.edge_v(e);
+    mates[static_cast<std::size_t>(g.edge_v(e))] = g.edge_u(e);
+  }
+  return mates;
+}
+
+std::vector<bool> greedy_maximal_matching(const Graph& g) {
+  std::vector<bool> mask(static_cast<std::size_t>(g.m()), false);
+  std::vector<bool> used(static_cast<std::size_t>(g.n()), false);
+  for (int e = 0; e < g.m(); ++e) {
+    const int u = g.edge_u(e);
+    const int v = g.edge_v(e);
+    if (!used[static_cast<std::size_t>(u)] &&
+        !used[static_cast<std::size_t>(v)]) {
+      mask[static_cast<std::size_t>(e)] = true;
+      used[static_cast<std::size_t>(u)] = true;
+      used[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  return mask;
+}
+
+namespace {
+
+bool try_augment(const Graph& g, const std::vector<int>& side, int u,
+                 std::vector<int>& mates, std::vector<bool>& visited) {
+  for (const HalfEdge& h : g.neighbors(u)) {
+    const int v = h.to;
+    if (visited[static_cast<std::size_t>(v)]) continue;
+    visited[static_cast<std::size_t>(v)] = true;
+    if (mates[static_cast<std::size_t>(v)] < 0 ||
+        try_augment(g, side, mates[static_cast<std::size_t>(v)], mates,
+                    visited)) {
+      mates[static_cast<std::size_t>(v)] = u;
+      mates[static_cast<std::size_t>(u)] = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<int> max_bipartite_matching(const Graph& g,
+                                        const std::vector<int>& side) {
+  std::vector<int> mates(static_cast<std::size_t>(g.n()), -1);
+  for (int u = 0; u < g.n(); ++u) {
+    if (side[static_cast<std::size_t>(u)] != 0) continue;
+    if (mates[static_cast<std::size_t>(u)] >= 0) continue;
+    std::vector<bool> visited(static_cast<std::size_t>(g.n()), false);
+    try_augment(g, side, u, mates, visited);
+  }
+  return mates;
+}
+
+namespace {
+
+int max_matching_rec(const Graph& g, int e, std::vector<bool>& used) {
+  if (e >= g.m()) return 0;
+  const int u = g.edge_u(e);
+  const int v = g.edge_v(e);
+  // Skip edge e.
+  int best = max_matching_rec(g, e + 1, used);
+  // Take edge e when possible.
+  if (!used[static_cast<std::size_t>(u)] && !used[static_cast<std::size_t>(v)]) {
+    used[static_cast<std::size_t>(u)] = used[static_cast<std::size_t>(v)] = true;
+    best = std::max(best, 1 + max_matching_rec(g, e + 1, used));
+    used[static_cast<std::size_t>(u)] = used[static_cast<std::size_t>(v)] =
+        false;
+  }
+  return best;
+}
+
+}  // namespace
+
+int max_matching_bruteforce(const Graph& g) {
+  std::vector<bool> used(static_cast<std::size_t>(g.n()), false);
+  return max_matching_rec(g, 0, used);
+}
+
+std::vector<bool> konig_cover(const Graph& g, const std::vector<int>& side,
+                              const std::vector<int>& mates) {
+  // Z = nodes reachable from free left nodes by alternating paths
+  // (non-matching edge left->right, matching edge right->left).
+  std::vector<bool> in_z(static_cast<std::size_t>(g.n()), false);
+  std::vector<int> stack;
+  for (int v = 0; v < g.n(); ++v) {
+    if (side[static_cast<std::size_t>(v)] == 0 &&
+        mates[static_cast<std::size_t>(v)] < 0) {
+      in_z[static_cast<std::size_t>(v)] = true;
+      stack.push_back(v);
+    }
+  }
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    if (side[static_cast<std::size_t>(v)] == 0) {
+      for (const HalfEdge& h : g.neighbors(v)) {
+        if (mates[static_cast<std::size_t>(v)] == h.to) continue;
+        if (!in_z[static_cast<std::size_t>(h.to)]) {
+          in_z[static_cast<std::size_t>(h.to)] = true;
+          stack.push_back(h.to);
+        }
+      }
+    } else {
+      const int mate = mates[static_cast<std::size_t>(v)];
+      if (mate >= 0 && !in_z[static_cast<std::size_t>(mate)]) {
+        in_z[static_cast<std::size_t>(mate)] = true;
+        stack.push_back(mate);
+      }
+    }
+  }
+  // C = (L \ Z) union (R intersect Z).
+  std::vector<bool> cover(static_cast<std::size_t>(g.n()), false);
+  for (int v = 0; v < g.n(); ++v) {
+    const bool left = side[static_cast<std::size_t>(v)] == 0;
+    cover[static_cast<std::size_t>(v)] =
+        left ? !in_z[static_cast<std::size_t>(v)]
+             : in_z[static_cast<std::size_t>(v)];
+  }
+  return cover;
+}
+
+std::vector<std::int64_t> max_weight_matching_duals(
+    const Graph& g, const std::vector<int>& side) {
+  std::int64_t w_max = 0;
+  for (int e = 0; e < g.m(); ++e) {
+    if (g.edge_weight(e) < 0) {
+      throw std::invalid_argument("duals: weights must be >= 0");
+    }
+    w_max = std::max(w_max, g.edge_weight(e));
+  }
+
+  // Level graph: node (v, s) for s in 1..W means "y_v >= s".  The clause
+  // (u,s) OR (v, w+1-s) for each s in 1..w_uv becomes an edge.  A minimum
+  // vertex cover of this bipartite clause graph, counted per original node,
+  // is an optimal integral dual (see header).
+  Graph level;
+  std::vector<std::pair<int, std::int64_t>> origin;  // level node -> (v, s)
+  std::vector<std::vector<int>> level_of(
+      static_cast<std::size_t>(g.n()));  // [v][s-1] -> level index
+  NodeId next_id = 1;
+  for (int v = 0; v < g.n(); ++v) {
+    for (std::int64_t s = 1; s <= w_max; ++s) {
+      level_of[static_cast<std::size_t>(v)].push_back(level.add_node(next_id++));
+      origin.emplace_back(v, s);
+    }
+  }
+  std::vector<int> level_side(origin.size());
+  for (std::size_t i = 0; i < origin.size(); ++i) {
+    level_side[i] = side[static_cast<std::size_t>(origin[i].first)];
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    const std::int64_t w = g.edge_weight(e);
+    const int u = side[static_cast<std::size_t>(g.edge_u(e))] == 0
+                      ? g.edge_u(e)
+                      : g.edge_v(e);
+    const int v = u == g.edge_u(e) ? g.edge_v(e) : g.edge_u(e);
+    for (std::int64_t s = 1; s <= w; ++s) {
+      level.add_edge(level_of[static_cast<std::size_t>(u)]
+                             [static_cast<std::size_t>(s - 1)],
+                     level_of[static_cast<std::size_t>(v)]
+                             [static_cast<std::size_t>(w - s)]);
+    }
+  }
+
+  const std::vector<int> mates = max_bipartite_matching(level, level_side);
+  const std::vector<bool> cover = konig_cover(level, level_side, mates);
+
+  std::vector<std::int64_t> y(static_cast<std::size_t>(g.n()), 0);
+  for (std::size_t i = 0; i < origin.size(); ++i) {
+    if (cover[i]) ++y[static_cast<std::size_t>(origin[i].first)];
+  }
+  return y;
+}
+
+std::int64_t max_weight_matching_value(const Graph& g,
+                                       const std::vector<int>& side) {
+  const std::vector<std::int64_t> y = max_weight_matching_duals(g, side);
+  std::int64_t total = 0;
+  for (std::int64_t v : y) total += v;
+  return total;
+}
+
+namespace {
+
+std::int64_t max_weight_rec(const Graph& g, int e, std::vector<bool>& used,
+                            std::vector<bool>& mask, std::int64_t acc,
+                            std::int64_t& best, std::vector<bool>* best_mask) {
+  if (e >= g.m()) {
+    if (acc > best) {
+      best = acc;
+      if (best_mask != nullptr) *best_mask = mask;
+    }
+    return best;
+  }
+  const int u = g.edge_u(e);
+  const int v = g.edge_v(e);
+  max_weight_rec(g, e + 1, used, mask, acc, best, best_mask);
+  if (!used[static_cast<std::size_t>(u)] && !used[static_cast<std::size_t>(v)]) {
+    used[static_cast<std::size_t>(u)] = used[static_cast<std::size_t>(v)] = true;
+    mask[static_cast<std::size_t>(e)] = true;
+    max_weight_rec(g, e + 1, used, mask, acc + g.edge_weight(e), best,
+                   best_mask);
+    mask[static_cast<std::size_t>(e)] = false;
+    used[static_cast<std::size_t>(u)] = used[static_cast<std::size_t>(v)] =
+        false;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int64_t max_weight_matching_bruteforce(const Graph& g,
+                                            std::vector<bool>* best_mask) {
+  std::vector<bool> used(static_cast<std::size_t>(g.n()), false);
+  std::vector<bool> mask(static_cast<std::size_t>(g.m()), false);
+  std::int64_t best = 0;
+  if (best_mask != nullptr) {
+    best_mask->assign(static_cast<std::size_t>(g.m()), false);
+  }
+  max_weight_rec(g, 0, used, mask, 0, best, best_mask);
+  return best;
+}
+
+}  // namespace lcp

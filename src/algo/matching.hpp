@@ -1,0 +1,76 @@
+// Matchings: validity checks, maximal/maximum matchings, Konig covers.
+//
+// These are the ground-truth engines behind the Table 1(b) schemes:
+//   - maximal matching       -> LCP(0)    (Section 2.3)
+//   - maximum matching       -> LCP(1)    via Konig's theorem (bipartite)
+//   - max-weight matching    -> LCP(O(log W)) via LP duality (bipartite)
+//
+// Matchings are represented as mate vectors (mate[v] = partner index or -1)
+// or as edge-index membership masks, matching how problem instances label
+// solutions on edges.
+#ifndef LCP_ALGO_MATCHING_HPP_
+#define LCP_ALGO_MATCHING_HPP_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// True when the edge set {e : in_matching[e]} is a matching.
+bool is_matching(const Graph& g, const std::vector<bool>& in_matching);
+
+/// True when the matching is also maximal (no addable edge).
+bool is_maximal_matching(const Graph& g, const std::vector<bool>& in_matching);
+
+/// mate[v] for the edge-mask representation (-1 when unmatched).
+/// Precondition: is_matching(g, in_matching).
+std::vector<int> mates_from_mask(const Graph& g,
+                                 const std::vector<bool>& in_matching);
+
+/// Greedy maximal matching (deterministic: lowest edge index first).
+std::vector<bool> greedy_maximal_matching(const Graph& g);
+
+/// Maximum-cardinality matching in a bipartite graph via augmenting paths
+/// (Kuhn).  `side[v]` in {0,1} must be a proper 2-colouring.  Returns mates.
+std::vector<int> max_bipartite_matching(const Graph& g,
+                                        const std::vector<int>& side);
+
+/// Size of a maximum matching in an arbitrary graph by branching on edges;
+/// exponential, for tests and small instances only (m <= ~40).
+int max_matching_bruteforce(const Graph& g);
+
+/// Konig's construction: a minimum vertex cover built from a *given* maximum
+/// matching (mates) of a bipartite graph.  Every cover node is matched and
+/// every matching edge has exactly one covered endpoint, which is exactly
+/// what the LCP(1) verifier of Section 2.3 checks.
+std::vector<bool> konig_cover(const Graph& g, const std::vector<int>& side,
+                              const std::vector<int>& mates);
+
+/// Optimal integral duals for the maximum-weight-matching LP on a bipartite
+/// graph with integer weights 0..W (Section 2.3):
+///
+///     min sum(y)   s.t.   y_u + y_v >= w_uv,  y >= 0.
+///
+/// Built via an exact reduction to minimum vertex cover on a "level graph":
+/// literal (u, s) says "y_u >= s"; the constraint y_u + y_v >= w unfolds to
+/// the w clauses (u,s) OR (v, w+1-s); a minimum vertex cover of the clause
+/// graph, counted per node, is a feasible dual of the same total value, and
+/// by Konig + Egervary that value equals the maximum matching weight.
+/// Returns y per node, each in [0, W].
+std::vector<std::int64_t> max_weight_matching_duals(
+    const Graph& g, const std::vector<int>& side);
+
+/// Maximum matching weight (= sum of optimal duals; Egervary's theorem).
+std::int64_t max_weight_matching_value(const Graph& g,
+                                       const std::vector<int>& side);
+
+/// Max-weight matching itself by exponential branching; tests only.
+std::int64_t max_weight_matching_bruteforce(const Graph& g,
+                                            std::vector<bool>* best_mask);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_MATCHING_HPP_

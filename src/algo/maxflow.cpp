@@ -1,0 +1,198 @@
+#include "algo/maxflow.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace lcp {
+
+FlowNetwork::FlowNetwork(int num_nodes)
+    : head_(static_cast<std::size_t>(num_nodes)) {}
+
+int FlowNetwork::add_arc(int from, int to, int capacity) {
+  const int a = static_cast<int>(arcs_.size());
+  arcs_.push_back(Arc{to, capacity});
+  arcs_.push_back(Arc{from, 0});
+  head_[static_cast<std::size_t>(from)].push_back(a);
+  head_[static_cast<std::size_t>(to)].push_back(a + 1);
+  initial_cap_.push_back(capacity);
+  initial_cap_.push_back(0);
+  return a;
+}
+
+bool FlowNetwork::bfs_levels(int source, int sink) {
+  level_.assign(head_.size(), -1);
+  std::queue<int> queue;
+  level_[static_cast<std::size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (int a : head_[static_cast<std::size_t>(v)]) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > 0 && level_[static_cast<std::size_t>(arc.to)] < 0) {
+        level_[static_cast<std::size_t>(arc.to)] =
+            level_[static_cast<std::size_t>(v)] + 1;
+        queue.push(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<std::size_t>(sink)] >= 0;
+}
+
+int FlowNetwork::dfs_push(int v, int sink, int limit) {
+  if (v == sink) return limit;
+  for (std::size_t& i = iter_[static_cast<std::size_t>(v)];
+       i < head_[static_cast<std::size_t>(v)].size(); ++i) {
+    const int a = head_[static_cast<std::size_t>(v)][i];
+    Arc& arc = arcs_[static_cast<std::size_t>(a)];
+    if (arc.cap <= 0 ||
+        level_[static_cast<std::size_t>(arc.to)] !=
+            level_[static_cast<std::size_t>(v)] + 1) {
+      continue;
+    }
+    const int pushed = dfs_push(arc.to, sink, std::min(limit, arc.cap));
+    if (pushed > 0) {
+      arc.cap -= pushed;
+      arcs_[static_cast<std::size_t>(a ^ 1)].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+int FlowNetwork::max_flow(int source, int sink) {
+  int total = 0;
+  while (bfs_levels(source, sink)) {
+    iter_.assign(head_.size(), 0);
+    while (true) {
+      const int pushed =
+          dfs_push(source, sink, std::numeric_limits<int>::max());
+      if (pushed == 0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+int FlowNetwork::flow_on(int a) const {
+  return initial_cap_[static_cast<std::size_t>(a)] -
+         arcs_[static_cast<std::size_t>(a)].cap;
+}
+
+std::vector<bool> FlowNetwork::residual_reachable(int source) const {
+  std::vector<bool> seen(head_.size(), false);
+  std::vector<int> stack{source};
+  seen[static_cast<std::size_t>(source)] = true;
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    for (int a : head_[static_cast<std::size_t>(v)]) {
+      const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > 0 && !seen[static_cast<std::size_t>(arc.to)]) {
+        seen[static_cast<std::size_t>(arc.to)] = true;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return seen;
+}
+
+namespace {
+
+/// Removes chords within each path: while p[i] and p[j] (j >= i+2) are
+/// adjacent in g, splice out the nodes between them.  This is the paper's
+/// "locally minimal" normalisation.
+void make_locally_minimal(const Graph& g, std::vector<int>& path) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; !changed && i + 2 < path.size(); ++i) {
+      for (std::size_t j = path.size() - 1; j >= i + 2; --j) {
+        if (g.has_edge(path[i], path[j])) {
+          path.erase(path.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                     path.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+MengerWitness st_vertex_connectivity(const Graph& g, int s, int t) {
+  if (s == t || g.has_edge(s, t)) {
+    throw std::invalid_argument(
+        "st_vertex_connectivity: s and t must be distinct and non-adjacent");
+  }
+  // Split every node v into v_in (2v) and v_out (2v+1); internal capacity 1
+  // for all nodes except s and t (which are unbounded).
+  const int big = g.n() + 1;
+  FlowNetwork net(2 * g.n());
+  std::vector<int> internal_arc(static_cast<std::size_t>(g.n()), -1);
+  for (int v = 0; v < g.n(); ++v) {
+    const int cap = (v == s || v == t) ? big : 1;
+    internal_arc[static_cast<std::size_t>(v)] = net.add_arc(2 * v, 2 * v + 1, cap);
+  }
+  // Each undirected edge becomes two arcs out->in.  Edge capacities are
+  // effectively unbounded so that minimum cuts consist of internal (node)
+  // arcs only; per-edge flow is still at most 1 because every internal node
+  // has capacity 1 and s, t are non-adjacent.
+  std::vector<std::pair<int, int>> edge_arcs;  // (arc u->v, arc v->u)
+  edge_arcs.reserve(static_cast<std::size_t>(g.m()));
+  for (int e = 0; e < g.m(); ++e) {
+    const int u = g.edge_u(e);
+    const int v = g.edge_v(e);
+    const int a1 = net.add_arc(2 * u + 1, 2 * v, big);
+    const int a2 = net.add_arc(2 * v + 1, 2 * u, big);
+    edge_arcs.emplace_back(a1, a2);
+  }
+
+  MengerWitness w;
+  w.connectivity = net.max_flow(2 * s, 2 * t + 1);
+
+  // Extract paths by walking unit flows from s.
+  std::vector<std::vector<int>> flow_out(static_cast<std::size_t>(g.n()));
+  for (int e = 0; e < g.m(); ++e) {
+    const int u = g.edge_u(e);
+    const int v = g.edge_v(e);
+    // Net flow on the undirected edge: cancel opposite directions.
+    const int f_uv = net.flow_on(edge_arcs[static_cast<std::size_t>(e)].first);
+    const int f_vu = net.flow_on(edge_arcs[static_cast<std::size_t>(e)].second);
+    if (f_uv - f_vu > 0) flow_out[static_cast<std::size_t>(u)].push_back(v);
+    if (f_vu - f_uv > 0) flow_out[static_cast<std::size_t>(v)].push_back(u);
+  }
+  for (int i = 0; i < w.connectivity; ++i) {
+    std::vector<int> path{s};
+    int v = s;
+    while (v != t) {
+      const int next = flow_out[static_cast<std::size_t>(v)].back();
+      flow_out[static_cast<std::size_t>(v)].pop_back();
+      path.push_back(next);
+      v = next;
+    }
+    make_locally_minimal(g, path);
+    w.paths.push_back(std::move(path));
+  }
+
+  // Separator and S/C/T partition from residual reachability: v is a cut
+  // node when v_in is reachable but v_out is not.
+  const std::vector<bool> reach = net.residual_reachable(2 * s);
+  w.side.assign(static_cast<std::size_t>(g.n()), 2);
+  for (int v = 0; v < g.n(); ++v) {
+    const bool in_r = reach[static_cast<std::size_t>(2 * v)];
+    const bool out_r = reach[static_cast<std::size_t>(2 * v + 1)];
+    if (in_r && !out_r) {
+      w.side[static_cast<std::size_t>(v)] = 1;
+      w.separator.push_back(v);
+    } else if (out_r) {
+      w.side[static_cast<std::size_t>(v)] = 0;
+    }
+  }
+  return w;
+}
+
+}  // namespace lcp

@@ -1,0 +1,70 @@
+// A small Dinic max-flow engine plus Menger-style vertex-disjoint paths.
+//
+// Ground truth and prover machinery for the s-t connectivity schemes of
+// Section 4.2: k vertex-disjoint s-t paths certify connectivity >= k, and a
+// size-k vertex separator (with its S/C/T partition) certifies <= k.
+#ifndef LCP_ALGO_MAXFLOW_HPP_
+#define LCP_ALGO_MAXFLOW_HPP_
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// Minimal adjacency-list flow network (unit or larger integer capacities).
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(int num_nodes);
+
+  /// Adds a directed arc with the given capacity; returns the arc index.
+  int add_arc(int from, int to, int capacity);
+
+  /// Computes max flow via Dinic's algorithm.
+  int max_flow(int source, int sink);
+
+  /// Flow currently on arc `a` (valid after max_flow).
+  int flow_on(int a) const;
+
+  /// Nodes reachable from `source` in the residual graph (valid after
+  /// max_flow); this is the canonical minimum-cut witness.
+  std::vector<bool> residual_reachable(int source) const;
+
+  int num_nodes() const { return static_cast<int>(head_.size()); }
+
+ private:
+  struct Arc {
+    int to;
+    int cap;  // residual capacity
+  };
+  bool bfs_levels(int source, int sink);
+  int dfs_push(int v, int sink, int limit);
+
+  std::vector<std::vector<int>> head_;  // node -> arc indices
+  std::vector<Arc> arcs_;               // arc 2i and 2i+1 are partners
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+  std::vector<int> initial_cap_;
+};
+
+/// The full Menger witness for s-t *vertex* connectivity.
+struct MengerWitness {
+  int connectivity = 0;
+  /// Internally vertex-disjoint s-t paths (node-index sequences including
+  /// s and t), pairwise sharing only s and t.
+  std::vector<std::vector<int>> paths;
+  /// A minimum s-t vertex separator of size `connectivity`.
+  std::vector<int> separator;
+  /// Partition side: 0 = S (with s), 1 = C (separator), 2 = T (with t).
+  /// There is no edge between S and T.
+  std::vector<int> side;
+};
+
+/// Computes the witness.  Requires s != t and s, t non-adjacent (otherwise
+/// the vertex connectivity is unbounded).  Paths are post-processed to be
+/// locally minimal (chordless within themselves), as Section 4.2 assumes.
+MengerWitness st_vertex_connectivity(const Graph& g, int s, int t);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_MAXFLOW_HPP_

@@ -1,0 +1,107 @@
+#include "algo/traversal.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace lcp {
+
+std::vector<int> components(const Graph& g) {
+  std::vector<int> comp(static_cast<std::size_t>(g.n()), -1);
+  int next = 0;
+  for (int s = 0; s < g.n(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    comp[static_cast<std::size_t>(s)] = next;
+    std::queue<int> queue;
+    queue.push(s);
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop();
+      for (const HalfEdge& h : g.neighbors(v)) {
+        if (comp[static_cast<std::size_t>(h.to)] < 0) {
+          comp[static_cast<std::size_t>(h.to)] = next;
+          queue.push(h.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.n() == 0) return true;
+  const std::vector<int> comp = components(g);
+  return std::all_of(comp.begin(), comp.end(), [](int c) { return c == 0; });
+}
+
+std::vector<int> RootedTree::subtree_sizes() const {
+  const int n = static_cast<int>(parent.size());
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) order[static_cast<std::size_t>(v)] = v;
+  std::sort(order.begin(), order.end(), [this](int a, int b) {
+    return dist[static_cast<std::size_t>(a)] > dist[static_cast<std::size_t>(b)];
+  });
+  std::vector<int> size(static_cast<std::size_t>(n), 0);
+  for (int v : order) {
+    if (parent[static_cast<std::size_t>(v)] < 0) continue;  // unreachable
+    size[static_cast<std::size_t>(v)] += 1;
+    if (v != root) {
+      size[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])] +=
+          size[static_cast<std::size_t>(v)];
+    }
+  }
+  return size;
+}
+
+namespace {
+
+RootedTree bfs_tree_impl(const Graph& g, int root,
+                         const std::function<bool(int)>* edge_ok) {
+  RootedTree tree;
+  tree.root = root;
+  tree.parent.assign(static_cast<std::size_t>(g.n()), -1);
+  tree.dist.assign(static_cast<std::size_t>(g.n()), -1);
+  tree.parent[static_cast<std::size_t>(root)] = root;
+  tree.dist[static_cast<std::size_t>(root)] = 0;
+  std::queue<int> queue;
+  queue.push(root);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (edge_ok != nullptr && !(*edge_ok)(h.edge)) continue;
+      if (tree.parent[static_cast<std::size_t>(h.to)] < 0) {
+        tree.parent[static_cast<std::size_t>(h.to)] = v;
+        tree.dist[static_cast<std::size_t>(h.to)] =
+            tree.dist[static_cast<std::size_t>(v)] + 1;
+        queue.push(h.to);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace
+
+RootedTree bfs_tree(const Graph& g, int root) {
+  return bfs_tree_impl(g, root, nullptr);
+}
+
+RootedTree bfs_tree_restricted(const Graph& g, int root,
+                               const std::function<bool(int)>& edge_ok) {
+  return bfs_tree_impl(g, root, &edge_ok);
+}
+
+std::vector<int> shortest_path(const Graph& g, int from, int to) {
+  const RootedTree tree = bfs_tree(g, from);
+  if (tree.dist[static_cast<std::size_t>(to)] < 0) return {};
+  std::vector<int> path;
+  for (int v = to; v != from; v = tree.parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace lcp

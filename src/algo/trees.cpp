@@ -1,0 +1,320 @@
+#include "algo/trees.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "algo/traversal.hpp"
+#include "graph/generators.hpp"
+
+namespace lcp {
+
+bool is_tree(const Graph& g) {
+  return g.n() >= 1 && g.m() == g.n() - 1 && is_connected(g);
+}
+
+std::vector<int> tree_centers(const Graph& g) {
+  const int n = g.n();
+  if (n == 1) return {0};
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  std::vector<int> layer;
+  for (int v = 0; v < n; ++v) {
+    degree[static_cast<std::size_t>(v)] = g.degree(v);
+    if (degree[static_cast<std::size_t>(v)] <= 1) layer.push_back(v);
+  }
+  int remaining = n;
+  std::vector<int> current = layer;
+  while (remaining > 2) {
+    std::vector<int> next;
+    remaining -= static_cast<int>(current.size());
+    for (int v : current) {
+      for (const HalfEdge& h : g.neighbors(v)) {
+        if (--degree[static_cast<std::size_t>(h.to)] == 1) {
+          next.push_back(h.to);
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  std::sort(current.begin(), current.end());
+  return current;
+}
+
+namespace {
+
+std::string ahu_rec(const Graph& g, int v, int parent, int blocked) {
+  std::vector<std::string> child_codes;
+  for (const HalfEdge& h : g.neighbors(v)) {
+    if (h.to == parent || h.to == blocked) continue;
+    child_codes.push_back(ahu_rec(g, h.to, v, blocked));
+  }
+  std::sort(child_codes.begin(), child_codes.end());
+  std::string code = "(";
+  for (const std::string& c : child_codes) code += c;
+  code += ")";
+  return code;
+}
+
+}  // namespace
+
+std::string ahu_code(const Graph& g, int root) {
+  return ahu_rec(g, root, -1, -1);
+}
+
+std::string ahu_code_blocked(const Graph& g, int root, int blocked) {
+  return ahu_rec(g, root, -1, blocked);
+}
+
+std::string free_tree_code(const Graph& g) {
+  const std::vector<int> centers = tree_centers(g);
+  if (centers.size() == 1) return "U" + ahu_code(g, centers[0]);
+  const std::string a = ahu_code(g, centers[0]);
+  const std::string b = ahu_code(g, centers[1]);
+  return "B" + std::min(a, b) + std::max(a, b);
+}
+
+namespace {
+
+void canonical_walk(const Graph& g, int v, int parent, int& counter,
+                    std::vector<int>& position, BitString& structure) {
+  position[static_cast<std::size_t>(v)] = counter++;
+  structure.append_bit(true);
+  // Children in canonical order: by AHU code, ties by node id.
+  std::vector<std::pair<std::string, int>> children;
+  for (const HalfEdge& h : g.neighbors(v)) {
+    if (h.to == parent) continue;
+    children.emplace_back(ahu_rec(g, h.to, v, -1), h.to);
+  }
+  std::sort(children.begin(), children.end(),
+            [&g](const auto& x, const auto& y) {
+              if (x.first != y.first) return x.first < y.first;
+              return g.id(x.second) < g.id(y.second);
+            });
+  for (const auto& [code, child] : children) {
+    canonical_walk(g, child, v, counter, position, structure);
+  }
+  structure.append_bit(false);
+}
+
+}  // namespace
+
+CanonicalTree canonize_tree(const Graph& g) {
+  if (!is_tree(g)) throw std::invalid_argument("canonize_tree: not a tree");
+  const std::vector<int> centers = tree_centers(g);
+  int root = centers[0];
+  if (centers.size() == 2) {
+    const std::string a = ahu_code(g, centers[0]);
+    const std::string b = ahu_code(g, centers[1]);
+    if (b < a || (a == b && g.id(centers[1]) < g.id(centers[0]))) {
+      root = centers[1];
+    }
+  }
+  CanonicalTree out;
+  out.root = root;
+  out.position.assign(static_cast<std::size_t>(g.n()), -1);
+  int counter = 0;
+  canonical_walk(g, root, -1, counter, out.position, out.structure);
+  return out;
+}
+
+std::optional<std::vector<std::vector<int>>> decode_tree(
+    const BitString& structure) {
+  if (structure.size() == 0 || structure.size() % 2 != 0) return std::nullopt;
+  std::vector<std::vector<int>> children;
+  std::vector<int> stack;
+  int next = 0;
+  for (int i = 0; i < structure.size(); ++i) {
+    if (structure.bit(i)) {
+      const int pos = next++;
+      children.emplace_back();
+      if (!stack.empty()) children[static_cast<std::size_t>(stack.back())]
+          .push_back(pos);
+      else if (pos != 0) return std::nullopt;  // second root
+      stack.push_back(pos);
+    } else {
+      if (stack.empty()) return std::nullopt;
+      stack.pop_back();
+    }
+  }
+  if (!stack.empty()) return std::nullopt;
+  return children;
+}
+
+std::vector<int> tree_parents_from_children(
+    const std::vector<std::vector<int>>& children) {
+  std::vector<int> parent(children.size(), -1);
+  for (std::size_t p = 0; p < children.size(); ++p) {
+    for (int c : children[p]) parent[static_cast<std::size_t>(c)] =
+        static_cast<int>(p);
+  }
+  return parent;
+}
+
+bool tree_fixpoint_free_symmetry(const Graph& g) {
+  if (!is_tree(g)) return false;
+  const std::vector<int> centers = tree_centers(g);
+  if (centers.size() != 2) return false;  // the centre would be a fixpoint
+  const std::string a = ahu_code_blocked(g, centers[0], centers[1]);
+  const std::string b = ahu_code_blocked(g, centers[1], centers[0]);
+  return a == b;
+}
+
+unsigned long long rooted_trees_count(int n) {
+  if (n < 1 || n > 30) {
+    throw std::invalid_argument("rooted_trees_count: need 1 <= n <= 30");
+  }
+  // A000081 via a(m+1) = (1/m) * sum_{k=1..m} (sum_{d|k} d*a(d)) * a(m-k+1).
+  std::vector<unsigned long long> a(static_cast<std::size_t>(n + 1), 0);
+  a[1] = 1;
+  for (int m = 1; m < n; ++m) {
+    unsigned long long total = 0;
+    for (int k = 1; k <= m; ++k) {
+      unsigned long long divisor_sum = 0;
+      for (int d = 1; d <= k; ++d) {
+        if (k % d == 0) {
+          divisor_sum += static_cast<unsigned long long>(d) *
+                         a[static_cast<std::size_t>(d)];
+        }
+      }
+      total += divisor_sum * a[static_cast<std::size_t>(m - k + 1)];
+    }
+    a[static_cast<std::size_t>(m + 1)] = total / static_cast<unsigned>(m);
+  }
+  return a[static_cast<std::size_t>(n)];
+}
+
+unsigned long long asymmetric_rooted_trees_count(int n) {
+  if (n < 1 || n > 24) {
+    throw std::invalid_argument("asymmetric_rooted_trees_count: 1 <= n <= 24");
+  }
+  // r(n): root + a *set* of pairwise non-isomorphic rigid subtrees.
+  // Generating function R(x) = x * prod_s (1 + x^s)^{r(s)}; computed
+  // size-by-size.  dp[j] = ways to pick distinct rigid subtrees totalling j
+  // nodes using subtree sizes processed so far.
+  std::vector<unsigned long long> r(static_cast<std::size_t>(n + 1), 0);
+  if (n >= 1) r[1] = 1;
+  std::vector<unsigned long long> dp(static_cast<std::size_t>(n), 0);
+  dp[0] = 1;
+  for (int s = 1; s < n; ++s) {
+    // r(s) must already be known: subtree sizes < total size.
+    // Multiply dp by (1 + x^s)^{r(s)} = sum_k C(r(s), k) x^{sk}.
+    std::vector<unsigned long long> factor(static_cast<std::size_t>(n), 0);
+    factor[0] = 1;
+    unsigned long long binom = 1;
+    for (int k = 1; static_cast<long long>(k) * s < n; ++k) {
+      // binom = C(r(s), k) built incrementally; r(s) may be < k (then 0).
+      if (r[static_cast<std::size_t>(s)] < static_cast<unsigned>(k)) break;
+      binom = binom * (r[static_cast<std::size_t>(s)] -
+                       static_cast<unsigned>(k - 1)) /
+              static_cast<unsigned>(k);
+      factor[static_cast<std::size_t>(k * s)] = binom;
+    }
+    std::vector<unsigned long long> next(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) {
+      if (dp[static_cast<std::size_t>(i)] == 0) continue;
+      for (int j = 0; i + j < n; ++j) {
+        if (factor[static_cast<std::size_t>(j)] == 0) continue;
+        next[static_cast<std::size_t>(i + j)] +=
+            dp[static_cast<std::size_t>(i)] *
+            factor[static_cast<std::size_t>(j)];
+      }
+    }
+    dp = std::move(next);
+    r[static_cast<std::size_t>(s + 1)] = dp[static_cast<std::size_t>(s)];
+  }
+  return r[static_cast<std::size_t>(n)];
+}
+
+std::vector<Graph> all_free_trees(int n) {
+  if (n < 1 || n > 8) {
+    throw std::invalid_argument("all_free_trees: need 1 <= n <= 8");
+  }
+  std::map<std::string, Graph> reps;
+  if (n == 1) {
+    Graph g;
+    g.add_node(1);
+    reps.emplace("K1", std::move(g));
+  } else if (n == 2) {
+    reps.emplace("K2", gen::path(2));
+  } else {
+    // Every labelled tree arises from exactly one Prufer sequence.
+    std::vector<int> seq(static_cast<std::size_t>(n - 2), 0);
+    while (true) {
+      // Decode the Prufer sequence.
+      Graph g;
+      for (int i = 1; i <= n; ++i) g.add_node(static_cast<NodeId>(i));
+      std::vector<int> degree(static_cast<std::size_t>(n), 1);
+      for (int x : seq) ++degree[static_cast<std::size_t>(x)];
+      std::vector<bool> used(static_cast<std::size_t>(n), false);
+      for (int x : seq) {
+        for (int v = 0; v < n; ++v) {
+          if (degree[static_cast<std::size_t>(v)] == 1 &&
+              !used[static_cast<std::size_t>(v)]) {
+            g.add_edge(v, x);
+            used[static_cast<std::size_t>(v)] = true;
+            --degree[static_cast<std::size_t>(x)];
+            break;
+          }
+        }
+      }
+      int a = -1;
+      int b = -1;
+      for (int v = 0; v < n; ++v) {
+        if (degree[static_cast<std::size_t>(v)] == 1 &&
+            !used[static_cast<std::size_t>(v)]) {
+          (a < 0 ? a : b) = v;
+        }
+      }
+      g.add_edge(a, b);
+      reps.emplace(free_tree_code(g), std::move(g));
+      // Next sequence (odometer).
+      int pos = n - 3;
+      while (pos >= 0 && seq[static_cast<std::size_t>(pos)] == n - 1) {
+        seq[static_cast<std::size_t>(pos)] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+      ++seq[static_cast<std::size_t>(pos)];
+    }
+  }
+  std::vector<Graph> out;
+  out.reserve(reps.size());
+  for (auto& [code, g] : reps) out.push_back(std::move(g));
+  return out;
+}
+
+std::vector<Graph> all_rooted_trees(int n) {
+  std::map<std::string, Graph> reps;
+  for (const Graph& tree : all_free_trees(n)) {
+    for (int root = 0; root < tree.n(); ++root) {
+      std::string code = ahu_code(tree, root);
+      if (reps.contains(code)) continue;
+      // Re-index so the root becomes node 0 (ids 1..n in BFS order).
+      const RootedTree bfs = bfs_tree(tree, root);
+      std::vector<int> order(static_cast<std::size_t>(tree.n()));
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&bfs](int x, int y) {
+        return bfs.dist[static_cast<std::size_t>(x)] <
+               bfs.dist[static_cast<std::size_t>(y)];
+      });
+      std::vector<int> new_index(static_cast<std::size_t>(tree.n()), -1);
+      Graph g;
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        new_index[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+        g.add_node(static_cast<NodeId>(i + 1));
+      }
+      for (int e = 0; e < tree.m(); ++e) {
+        g.add_edge(new_index[static_cast<std::size_t>(tree.edge_u(e))],
+                   new_index[static_cast<std::size_t>(tree.edge_v(e))]);
+      }
+      reps.emplace(std::move(code), std::move(g));
+    }
+  }
+  std::vector<Graph> out;
+  out.reserve(reps.size());
+  for (auto& [code, g] : reps) out.push_back(std::move(g));
+  return out;
+}
+
+}  // namespace lcp

@@ -1,0 +1,87 @@
+// Tree algorithms: AHU canonical codes, centres, O(n)-bit canonical
+// encodings, fixpoint-free symmetry, and tree enumeration/counting.
+//
+// These back two parts of the paper:
+//   - Section 6.2: pure properties of trees sit in LCP(O(n)) because a tree
+//     fits in Theta(n) bits (balanced parentheses) plus a Theta(log n)-bit
+//     "which node am I" index; fixpoint-free symmetry requires Theta(n).
+//   - The counting experiments need |F_k| for rooted trees: OEIS A000081
+//     and its asymmetric (identity-tree) variant grow as 2^{Theta(k)}.
+#ifndef LCP_ALGO_TREES_HPP_
+#define LCP_ALGO_TREES_HPP_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// True when g is a tree (connected, m == n - 1).
+bool is_tree(const Graph& g);
+
+/// The 1 or 2 centre nodes of a tree (iterative leaf peeling).
+std::vector<int> tree_centers(const Graph& g);
+
+/// AHU canonical code of the tree rooted at `root`: "(" + sorted child
+/// codes + ")".  Equal codes <=> isomorphic rooted trees.
+std::string ahu_code(const Graph& g, int root);
+
+/// AHU code of the subtree rooted at `root` when the edge to `blocked` is
+/// removed (pass -1 for the full tree).
+std::string ahu_code_blocked(const Graph& g, int root, int blocked);
+
+/// Canonical free-tree code: rooted at the centre; for bicentral trees the
+/// lexicographically smaller rooting wins.
+std::string free_tree_code(const Graph& g);
+
+/// A canonical O(n)-bit encoding of a tree plus a position map.
+///
+/// `structure` is the balanced-parentheses preorder walk (2n bits, '1' on
+/// entering a node, '0' on leaving); children are visited in canonical
+/// order (sorted by AHU code, ties broken by node id — allowed, since
+/// proofs may depend on ids).  `position[v]` is v's preorder index.
+struct CanonicalTree {
+  int root = 0;
+  BitString structure;
+  std::vector<int> position;
+};
+
+/// Builds the canonical encoding.  Precondition: is_tree(g).
+CanonicalTree canonize_tree(const Graph& g);
+
+/// Decodes a balanced-parentheses string into children lists indexed by
+/// preorder position; nullopt when malformed.
+std::optional<std::vector<std::vector<int>>> decode_tree(
+    const BitString& structure);
+
+/// Parent of each preorder position (-1 for the root).
+std::vector<int> tree_parents_from_children(
+    const std::vector<std::vector<int>>& children);
+
+/// True when the tree has an automorphism without fixed points.
+/// Polynomial: such an automorphism exists iff the tree is bicentral and
+/// its two halves are isomorphic as rooted trees (every automorphism fixes
+/// the centre, so a unicentral tree always has a fixpoint).
+bool tree_fixpoint_free_symmetry(const Graph& g);
+
+/// Number of rooted trees with n nodes (OEIS A000081).  n <= 30.
+unsigned long long rooted_trees_count(int n);
+
+/// Number of asymmetric (identity) rooted trees with n nodes: trees whose
+/// only automorphism fixing the root is the identity.  n <= 24.
+unsigned long long asymmetric_rooted_trees_count(int n);
+
+/// All free trees on n nodes up to isomorphism (Prufer enumeration with
+/// AHU dedup); n <= 8.
+std::vector<Graph> all_free_trees(int n);
+
+/// All rooted trees on n nodes up to rooted isomorphism; the root is node
+/// index 0 of each returned graph.  n <= 8.
+std::vector<Graph> all_rooted_trees(int n);
+
+}  // namespace lcp
+
+#endif  // LCP_ALGO_TREES_HPP_

@@ -1,0 +1,94 @@
+#include "core/bitstring.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace lcp {
+
+void BitString::append_bit(bool bit) {
+  const int byte = size_ / 8;
+  const int off = size_ % 8;
+  if (off == 0) bytes_.push_back(0);
+  if (bit) bytes_[byte] = static_cast<std::uint8_t>(bytes_[byte] | (1u << off));
+  ++size_;
+}
+
+void BitString::append_uint(std::uint64_t value, int width) {
+  assert(width >= 0 && width <= 64);
+  for (int i = width - 1; i >= 0; --i) {
+    append_bit(((value >> i) & 1u) != 0);
+  }
+}
+
+void BitString::append(const BitString& other) {
+  for (int i = 0; i < other.size(); ++i) append_bit(other.bit(i));
+}
+
+bool BitString::bit(int i) const {
+  assert(i >= 0 && i < size_);
+  return (bytes_[static_cast<std::size_t>(i) / 8] >> (i % 8)) & 1u;
+}
+
+std::string BitString::to_string() const {
+  std::string out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (int i = 0; i < size_; ++i) out.push_back(bit(i) ? '1' : '0');
+  return out;
+}
+
+BitString BitString::from_string(std::string_view text) {
+  BitString out;
+  for (char c : text) out.append_bit(c != '0');
+  return out;
+}
+
+std::strong_ordering operator<=>(const BitString& a, const BitString& b) {
+  const int n = a.size_ < b.size_ ? a.size_ : b.size_;
+  for (int i = 0; i < n; ++i) {
+    if (a.bit(i) != b.bit(i)) {
+      return a.bit(i) ? std::strong_ordering::greater
+                      : std::strong_ordering::less;
+    }
+  }
+  return a.size_ <=> b.size_;
+}
+
+std::uint64_t BitString::hash() const {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(size_));
+  for (std::uint8_t b : bytes_) mix(b);
+  return h;
+}
+
+bool BitReader::read_bit() {
+  if (pos_ >= bits_->size()) {
+    ok_ = false;
+    return false;
+  }
+  return bits_->bit(pos_++);
+}
+
+std::uint64_t BitReader::read_uint(int width) {
+  assert(width >= 0 && width <= 64);
+  std::uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value = (value << 1) | (read_bit() ? 1u : 0u);
+  }
+  return ok_ ? value : 0u;
+}
+
+BitString BitReader::rest() {
+  BitString out;
+  while (remaining() > 0) out.append_bit(read_bit());
+  return out;
+}
+
+int bit_width_for(std::uint64_t value) {
+  return value == 0 ? 1 : std::bit_width(value);
+}
+
+}  // namespace lcp

@@ -1,0 +1,102 @@
+// Packed bit strings: the currency of locally checkable proofs.
+//
+// A proof (Section 2.1 of the paper) assigns a finite binary string to every
+// node; the proof size is the maximum number of bits over all nodes.
+// BitString stores such a string compactly and supports streaming writes of
+// bits and fixed-width unsigned integers.  BitReader is the matching
+// sequential decoder; it never throws on overrun but latches a failure flag,
+// so local verifiers can treat any malformed label as "reject".
+#ifndef LCP_CORE_BITSTRING_HPP_
+#define LCP_CORE_BITSTRING_HPP_
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lcp {
+
+/// An immutable-ish sequence of bits with append-only construction.
+class BitString {
+ public:
+  BitString() = default;
+
+  /// Appends a single bit.
+  void append_bit(bool bit);
+
+  /// Appends `width` bits of `value`, most-significant bit first.
+  /// `width` must be in [0, 64]; bits of `value` above `width` are ignored.
+  void append_uint(std::uint64_t value, int width);
+
+  /// Appends all bits of another string.
+  void append(const BitString& other);
+
+  /// Returns the i-th bit (0-indexed).  Precondition: 0 <= i < size().
+  bool bit(int i) const;
+
+  /// Number of bits stored.
+  int size() const { return size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  /// Renders as a '0'/'1' string, e.g. "0101".
+  std::string to_string() const;
+
+  /// Parses a '0'/'1' string.  Any character other than '0' is read as 1.
+  static BitString from_string(std::string_view text);
+
+  friend bool operator==(const BitString& a, const BitString& b) {
+    return a.size_ == b.size_ && a.bytes_ == b.bytes_;
+  }
+
+  /// Lexicographic-by-content ordering (shorter strings first on ties).
+  friend std::strong_ordering operator<=>(const BitString& a,
+                                          const BitString& b);
+
+  /// FNV-1a hash of the content; suitable for unordered containers.
+  std::uint64_t hash() const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int size_ = 0;
+};
+
+/// Sequential decoder over a BitString.
+///
+/// All reads past the end return 0 and latch `ok() == false`; verifiers
+/// should check `ok()` and reject malformed labels.
+class BitReader {
+ public:
+  explicit BitReader(const BitString& bits) : bits_(&bits) {}
+
+  /// Reads one bit (0 on overrun).
+  bool read_bit();
+
+  /// Reads `width` bits MSB-first (0 on overrun).  `width` in [0, 64].
+  std::uint64_t read_uint(int width);
+
+  /// Number of unread bits remaining.
+  int remaining() const { return bits_->size() - pos_; }
+
+  /// True when every read so far was in bounds.
+  bool ok() const { return ok_; }
+
+  /// True when the whole string has been consumed and no read overran.
+  bool exhausted() const { return ok_ && remaining() == 0; }
+
+  /// Consumes and returns all remaining bits as a BitString.
+  BitString rest();
+
+ private:
+  const BitString* bits_;
+  int pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Width in bits of the binary representation of `value` (0 -> 1).
+int bit_width_for(std::uint64_t value);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_BITSTRING_HPP_

@@ -1,0 +1,44 @@
+// Scheme validation harnesses.
+//
+// Three layers of assurance, used throughout the test suite:
+//   1. completeness: the scheme's own proof is accepted on yes-instances;
+//   2. exhaustive soundness: for tiny no-instances, *every* proof up to a
+//      size bound is rejected by some node — this checks the actual
+//      nondeterministic semantics (exists P, all accept) <=> (G in P);
+//   3. adversarial soundness: structured tampers (bit flips, truncations,
+//      label swaps, proofs transplanted from yes-instances) are rejected on
+//      no-instances.
+#ifndef LCP_CORE_CHECKER_HPP_
+#define LCP_CORE_CHECKER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/proof.hpp"
+#include "core/runner.hpp"
+#include "core/scheme.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// Enumerates every proof whose per-node labels have length <= max_bits
+/// (all lengths 0..max_bits, all contents) and reports whether any is
+/// accepted by all nodes.  The number of combinations is
+/// (2^{max_bits+1} - 1)^n; callers must keep instances tiny.
+bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
+                           int max_bits);
+
+/// Deterministic structured tampers of a proof: single bit flips, label
+/// truncations, label clears, and pairwise label swaps, capped at `limit`
+/// variants.
+std::vector<Proof> tampered_variants(const Proof& proof, int limit,
+                                     std::uint32_t seed);
+
+/// Convenience: true when the verifier rejects (some node outputs 0).
+inline bool rejected(const Graph& g, const Proof& p, const LocalVerifier& a) {
+  return !run_verifier(g, p, a).all_accept;
+}
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_CHECKER_HPP_

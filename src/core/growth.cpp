@@ -1,0 +1,89 @@
+#include "core/growth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lcp {
+
+std::string to_string(GrowthClass c) {
+  switch (c) {
+    case GrowthClass::kZero: return "0";
+    case GrowthClass::kConstant: return "Theta(1)";
+    case GrowthClass::kLogarithmic: return "Theta(log n)";
+    case GrowthClass::kLinear: return "Theta(n)";
+    case GrowthClass::kQuadratic: return "Theta(n^2)";
+    case GrowthClass::kOther: return "other";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Least-squares fit bits ~ a + b * f(x); returns the RMSE, or infinity
+/// when the fit requires a negative slope (proof sizes never shrink).
+double fit_rmse(const std::vector<std::pair<double, double>>& samples,
+                double (*f)(double)) {
+  const double n = static_cast<double>(samples.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& [x, y] : samples) {
+    const double fx = f(x);
+    sx += fx;
+    sy += y;
+    sxx += fx * fx;
+    sxy += fx * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return std::numeric_limits<double>::infinity();
+  const double b = (n * sxy - sx * sy) / denom;
+  const double a = (sy - b * sx) / n;
+  if (b < 0) return std::numeric_limits<double>::infinity();
+  double sse = 0;
+  for (const auto& [x, y] : samples) {
+    const double e = y - (a + b * f(x));
+    sse += e * e;
+  }
+  return std::sqrt(sse / n);
+}
+
+}  // namespace
+
+GrowthClass classify_growth(
+    const std::vector<std::pair<double, double>>& samples) {
+  if (samples.size() < 2) return GrowthClass::kOther;
+  double min_bits = std::numeric_limits<double>::infinity();
+  double max_bits = 0;
+  for (const auto& [n, bits] : samples) {
+    min_bits = std::min(min_bits, bits);
+    max_bits = std::max(max_bits, bits);
+  }
+  if (max_bits == 0) return GrowthClass::kZero;
+  if (max_bits - min_bits <= 2.0) return GrowthClass::kConstant;
+
+  // Model selection: least squares with intercept for each growth shape
+  // (all have the same two degrees of freedom, so RMSE comparison is fair).
+  struct Candidate {
+    GrowthClass cls;
+    double (*f)(double);
+  };
+  static const Candidate candidates[] = {
+      {GrowthClass::kLogarithmic,
+       [](double n) { return std::log2(std::max(n, 1.0)); }},
+      {GrowthClass::kLinear, [](double n) { return n; }},
+      {GrowthClass::kQuadratic, [](double n) { return n * n; }},
+  };
+  GrowthClass best = GrowthClass::kOther;
+  double best_rmse = std::numeric_limits<double>::infinity();
+  for (const Candidate& c : candidates) {
+    const double rmse = fit_rmse(samples, c.f);
+    if (rmse < best_rmse) {
+      best_rmse = rmse;
+      best = c.cls;
+    }
+  }
+  // Accept only fits that explain the data well relative to its spread.
+  return best_rmse <= 0.15 * (max_bits - min_bits) ? best
+                                                   : GrowthClass::kOther;
+}
+
+}  // namespace lcp

@@ -1,0 +1,33 @@
+// Growth-class fitting for the Table 1 harnesses.
+//
+// The benches measure proof sizes across instance sweeps and fit the growth
+// to the classes the paper's hierarchy distinguishes: 0, Theta(1),
+// Theta(log n), Theta(n), Theta(n^2).
+#ifndef LCP_CORE_GROWTH_HPP_
+#define LCP_CORE_GROWTH_HPP_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lcp {
+
+enum class GrowthClass {
+  kZero,
+  kConstant,
+  kLogarithmic,
+  kLinear,
+  kQuadratic,
+  kOther,
+};
+
+std::string to_string(GrowthClass c);
+
+/// Fits (n, bits) samples to the closest growth class.  Samples should
+/// span at least a factor-4 range of n for a meaningful answer.
+GrowthClass classify_growth(
+    const std::vector<std::pair<double, double>>& samples);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_GROWTH_HPP_

@@ -1,0 +1,43 @@
+// Proofs: per-node binary strings (Section 2.1).
+#ifndef LCP_CORE_PROOF_HPP_
+#define LCP_CORE_PROOF_HPP_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/bitstring.hpp"
+
+namespace lcp {
+
+/// A proof P : V(G) -> {0,1}*, indexed by dense node index.
+///
+/// |P| (the proof size) is the maximum number of bits over all nodes; the
+/// empty proof has size 0.
+struct Proof {
+  std::vector<BitString> labels;
+
+  /// The paper's |P|: max bits at any node (0 for empty graphs).
+  int size_bits() const {
+    int best = 0;
+    for (const BitString& b : labels) best = std::max(best, b.size());
+    return best;
+  }
+
+  /// Total bits across all nodes (used by the counting experiments).
+  long long total_bits() const {
+    long long sum = 0;
+    for (const BitString& b : labels) sum += b.size();
+    return sum;
+  }
+
+  /// The empty proof for an n-node graph.
+  static Proof empty(int n) {
+    Proof p;
+    p.labels.resize(static_cast<std::size_t>(n));
+    return p;
+  }
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_PROOF_HPP_

@@ -1,0 +1,33 @@
+// Executing a local verifier over a whole graph.
+//
+// Acceptance semantics (Section 1): on a yes-instance all nodes must output
+// 1; on a no-instance at least one node must output 0.
+#ifndef LCP_CORE_RUNNER_HPP_
+#define LCP_CORE_RUNNER_HPP_
+
+#include <vector>
+
+#include "core/proof.hpp"
+#include "core/scheme.hpp"
+#include "core/verifier.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// The global outcome of one verifier execution.
+struct RunResult {
+  bool all_accept = true;
+  std::vector<int> rejecting;  // dense indices of nodes that output 0
+};
+
+/// Runs verifier `a` at every node of g under proof p (direct ball
+/// extraction backend).
+RunResult run_verifier(const Graph& g, const Proof& p, const LocalVerifier& a);
+
+/// True when the scheme's own proof for a yes-instance is accepted by all
+/// nodes (the completeness half of the LCP definition).
+bool scheme_accepts_own_proof(const Scheme& scheme, const Graph& g);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_RUNNER_HPP_

@@ -1,0 +1,49 @@
+// Proof labelling schemes (Section 2.2).
+//
+// A scheme for property P bundles: (i) the ground truth `holds` computed by
+// an unrestricted global algorithm, (ii) the prover f that maps yes-instances
+// to proofs, and (iii) the local verifier A.  A property is in LCP(s) when
+// yes-instances have proofs of size <= s(n) accepted by all nodes, and every
+// proof on a no-instance is rejected by at least one node.
+#ifndef LCP_CORE_SCHEME_HPP_
+#define LCP_CORE_SCHEME_HPP_
+
+#include <optional>
+#include <string>
+
+#include "core/proof.hpp"
+#include "core/verifier.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  /// Human-readable name, e.g. "bipartite" or "leader-election".
+  virtual std::string name() const = 0;
+
+  /// Ground truth: does the (labelled) graph satisfy the property?
+  virtual bool holds(const Graph& g) const = 0;
+
+  /// The prover f: a valid proof for a yes-instance, std::nullopt otherwise.
+  /// Implementations must return a proof that every node accepts whenever
+  /// holds(g) is true.
+  virtual std::optional<Proof> prove(const Graph& g) const = 0;
+
+  /// The local verifier A shared by all instances.
+  virtual const LocalVerifier& verifier() const = 0;
+
+  /// The scheme's nominal proof-size bound for an n-node instance, in bits;
+  /// used by the Table 1 harnesses to cross-check measured sizes.  Schemes
+  /// that do not advertise a closed form may return -1.
+  virtual int advertised_size(int n) const {
+    (void)n;
+    return -1;
+  }
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_SCHEME_HPP_

@@ -1,0 +1,22 @@
+#include "core/view.hpp"
+
+#include "graph/subgraph.hpp"
+
+namespace lcp {
+
+View extract_view(const Graph& g, const Proof& p, int v, int radius) {
+  View view;
+  view.radius = radius;
+  const std::vector<int> nodes = ball_nodes(g, v, radius);
+  view.ball = induced_subgraph(g, nodes);
+  view.center = 0;  // ball_nodes returns the centre first.
+  view.proofs.reserve(nodes.size());
+  for (int u : nodes) {
+    view.proofs.push_back(p.labels[static_cast<std::size_t>(u)]);
+  }
+  // Distances inside the induced ball equal distances in G for ball members.
+  view.dist = bfs_distances(view.ball, view.center);
+  return view;
+}
+
+}  // namespace lcp

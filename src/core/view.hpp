@@ -1,0 +1,51 @@
+// The local view of a node: the triple (G[v,r], P[v,r], v).
+//
+// This is exactly what the paper's local verifier receives — the subgraph
+// induced by the radius-r ball around v, the proof restricted to it, and the
+// identity of v within it.  A verifier must not (and with this API cannot)
+// read anything outside the view.
+#ifndef LCP_CORE_VIEW_HPP_
+#define LCP_CORE_VIEW_HPP_
+
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "core/proof.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// A node's radius-r view.  `ball` preserves original ids, node labels and
+/// edge data; `proofs[i]` is the proof label of ball node i; `dist[i]` is the
+/// distance from the centre (equal to the distance in G, because shortest
+/// paths to ball members stay inside the ball).
+struct View {
+  Graph ball;
+  int center = 0;
+  int radius = 0;
+  std::vector<BitString> proofs;
+  std::vector<int> dist;
+
+  /// Convenience accessors, all in ball indices.
+  NodeId center_id() const { return ball.id(center); }
+  const BitString& proof_of(int v) const {
+    return proofs[static_cast<std::size_t>(v)];
+  }
+  int dist_of(int v) const { return dist[static_cast<std::size_t>(v)]; }
+
+  /// True when the ball provably contains the whole connected component
+  /// (every node is at distance < radius, so no edge can leave the ball).
+  bool sees_whole_component() const {
+    for (int d : dist) {
+      if (d >= radius) return false;
+    }
+    return true;
+  }
+};
+
+/// Builds the view of node v (dense index) in g under proof p.
+View extract_view(const Graph& g, const Proof& p, int v, int radius);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_VIEW_HPP_

@@ -1,0 +1,206 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace lcp::gen {
+
+namespace {
+
+Graph nodes_1_to_n(int n) {
+  Graph g;
+  for (int i = 1; i <= n; ++i) g.add_node(static_cast<NodeId>(i));
+  return g;
+}
+
+}  // namespace
+
+Graph cycle(int n) {
+  if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
+  Graph g = nodes_1_to_n(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph cycle_with_ids(const std::vector<NodeId>& ids) {
+  if (ids.size() < 3) throw std::invalid_argument("cycle_with_ids: need >= 3");
+  Graph g;
+  for (NodeId id : ids) g.add_node(id);
+  const int n = g.n();
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph path(int n) {
+  if (n < 1) throw std::invalid_argument("path: need n >= 1");
+  Graph g = nodes_1_to_n(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph complete(int n) {
+  Graph g = nodes_1_to_n(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph complete_bipartite(int a, int b) {
+  Graph g = nodes_1_to_n(a + b);
+  for (int u = 0; u < a; ++u) {
+    for (int v = a; v < a + b; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph grid(int rows, int cols) {
+  Graph g = nodes_1_to_n(rows * cols);
+  auto at = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph star(int n) {
+  if (n < 1) throw std::invalid_argument("star: need n >= 1");
+  Graph g = nodes_1_to_n(n);
+  for (int v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph petersen() {
+  Graph g = nodes_1_to_n(10);
+  for (int i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);        // outer pentagon
+    g.add_edge(5 + i, 5 + (i + 2) % 5);  // inner pentagram
+    g.add_edge(i, 5 + i);              // spokes
+  }
+  return g;
+}
+
+Graph hypercube(int d) {
+  const int n = 1 << d;
+  Graph g = nodes_1_to_n(n);
+  for (int u = 0; u < n; ++u) {
+    for (int b = 0; b < d; ++b) {
+      const int v = u ^ (1 << b);
+      if (u < v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_graph(int n, double p, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution coin(p);
+  Graph g = nodes_1_to_n(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (coin(rng)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_connected(int n, double p, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::bernoulli_distribution coin(p);
+  Graph g = random_tree(n, seed ^ 0x9e3779b9u);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && coin(rng)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph random_tree(int n, std::uint32_t seed) {
+  Graph g = nodes_1_to_n(n);
+  if (n <= 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  std::vector<int> prufer(static_cast<std::size_t>(n - 2));
+  for (int& x : prufer) x = node(rng);
+
+  std::vector<int> degree(static_cast<std::size_t>(n), 1);
+  for (int x : prufer) ++degree[static_cast<std::size_t>(x)];
+  std::vector<bool> used(static_cast<std::size_t>(n), false);
+  for (int x : prufer) {
+    int leaf = -1;
+    for (int v = 0; v < n; ++v) {
+      if (degree[static_cast<std::size_t>(v)] == 1 &&
+          !used[static_cast<std::size_t>(v)]) {
+        leaf = v;
+        break;
+      }
+    }
+    g.add_edge(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = true;
+    --degree[static_cast<std::size_t>(x)];
+  }
+  int a = -1;
+  int b = -1;
+  for (int v = 0; v < n; ++v) {
+    if (degree[static_cast<std::size_t>(v)] == 1 &&
+        !used[static_cast<std::size_t>(v)]) {
+      (a < 0 ? a : b) = v;
+    }
+  }
+  g.add_edge(a, b);
+  return g;
+}
+
+Graph from_edges(int n, const std::vector<std::pair<int, int>>& edges) {
+  Graph g = nodes_1_to_n(n);
+  for (auto [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+Graph shuffle_ids(const Graph& g, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::vector<NodeId> ids = g.ids();
+  std::shuffle(ids.begin(), ids.end(), rng);
+  return with_ids(g, ids);
+}
+
+Graph with_ids(const Graph& g, const std::vector<NodeId>& new_ids) {
+  if (static_cast<int>(new_ids.size()) != g.n()) {
+    throw std::invalid_argument("with_ids: size mismatch");
+  }
+  Graph out;
+  for (int v = 0; v < g.n(); ++v) {
+    out.add_node(new_ids[static_cast<std::size_t>(v)], g.label(v));
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    out.add_edge(g.edge_u(e), g.edge_v(e), g.edge_label(e), g.edge_weight(e));
+  }
+  return out;
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b, NodeId offset) {
+  if (offset == 0) offset = a.max_id();
+  Graph out;
+  for (int v = 0; v < a.n(); ++v) out.add_node(a.id(v), a.label(v));
+  for (int v = 0; v < b.n(); ++v) out.add_node(b.id(v) + offset, b.label(v));
+  for (int e = 0; e < a.m(); ++e) {
+    out.add_edge(a.edge_u(e), a.edge_v(e), a.edge_label(e), a.edge_weight(e));
+  }
+  for (int e = 0; e < b.m(); ++e) {
+    out.add_edge(a.n() + b.edge_u(e), a.n() + b.edge_v(e), b.edge_label(e),
+                 b.edge_weight(e));
+  }
+  return out;
+}
+
+}  // namespace lcp::gen

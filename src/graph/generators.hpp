@@ -1,0 +1,71 @@
+// Deterministic graph generators for tests, examples, and benchmarks.
+//
+// Unless stated otherwise, generated graphs use node ids 1..n (the paper
+// allows any unique ids of O(log n) bits).  All randomness flows through an
+// explicit std::mt19937 seed, so every experiment is reproducible.
+#ifndef LCP_GRAPH_GENERATORS_HPP_
+#define LCP_GRAPH_GENERATORS_HPP_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp::gen {
+
+/// The n-cycle on ids 1..n (n >= 3).
+Graph cycle(int n);
+
+/// A cycle whose i-th node carries ids[i]; edges join consecutive entries
+/// and close the loop.  Used by the Section 5.3 gluing construction.
+Graph cycle_with_ids(const std::vector<NodeId>& ids);
+
+/// The n-path on ids 1..n (n >= 1).
+Graph path(int n);
+
+/// The complete graph K_n.
+Graph complete(int n);
+
+/// The complete bipartite graph K_{a,b}; left ids 1..a, right a+1..a+b.
+Graph complete_bipartite(int a, int b);
+
+/// The rows x cols grid (planar, 4-neighbour).
+Graph grid(int rows, int cols);
+
+/// The star K_{1,n-1}; centre id 1.
+Graph star(int n);
+
+/// The Petersen graph (3-regular, n = 10, non-planar, girth 5).
+Graph petersen();
+
+/// The d-dimensional hypercube (n = 2^d).
+Graph hypercube(int d);
+
+/// Erdos-Renyi G(n, p) with the given seed.  Not necessarily connected.
+Graph random_graph(int n, double p, std::uint32_t seed);
+
+/// A connected G(n, p)-flavoured graph: a uniform random spanning tree plus
+/// each remaining edge independently with probability p.
+Graph random_connected(int n, double p, std::uint32_t seed);
+
+/// A uniform random labelled tree via Prufer sequences (n >= 1).
+Graph random_tree(int n, std::uint32_t seed);
+
+/// Builds a graph from an explicit edge list on nodes with ids 1..n.
+Graph from_edges(int n, const std::vector<std::pair<int, int>>& edges);
+
+/// Returns an isomorphic copy with ids permuted by a seeded shuffle
+/// (labels and edge data follow their nodes).  Adjacency-list port order is
+/// recomputed from the new ids, as the model prescribes.
+Graph shuffle_ids(const Graph& g, std::uint32_t seed);
+
+/// Returns a copy whose node v gets id new_ids[v].
+Graph with_ids(const Graph& g, const std::vector<NodeId>& new_ids);
+
+/// Disjoint union; ids of `b` are shifted by `offset` (default: past a).
+Graph disjoint_union(const Graph& a, const Graph& b, NodeId offset = 0);
+
+}  // namespace lcp::gen
+
+#endif  // LCP_GRAPH_GENERATORS_HPP_

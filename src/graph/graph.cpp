@@ -1,0 +1,94 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace lcp {
+
+int Graph::add_node(NodeId id, std::uint64_t label) {
+  if (index_.contains(id)) {
+    throw std::invalid_argument("Graph::add_node: duplicate node id " +
+                                std::to_string(id));
+  }
+  const int v = n();
+  ids_.push_back(id);
+  labels_.push_back(label);
+  adj_.emplace_back();
+  index_.emplace(id, v);
+  return v;
+}
+
+int Graph::add_edge(int u, int v, std::uint64_t label, std::int64_t weight) {
+  if (u < 0 || v < 0 || u >= n() || v >= n()) {
+    throw std::invalid_argument("Graph::add_edge: endpoint out of range");
+  }
+  if (u == v) {
+    throw std::invalid_argument("Graph::add_edge: self-loop");
+  }
+  if (has_edge(u, v)) {
+    throw std::invalid_argument("Graph::add_edge: parallel edge");
+  }
+  const int e = m();
+  edges_.push_back(EdgeRecord{u, v, label, weight});
+  auto insert_sorted = [this](int at, int to, int edge) {
+    auto& list = adj_[static_cast<std::size_t>(at)];
+    auto it = std::lower_bound(
+        list.begin(), list.end(), to,
+        [this](const HalfEdge& h, int node) { return id(h.to) < id(node); });
+    list.insert(it, HalfEdge{to, edge});
+  };
+  insert_sorted(u, v, e);
+  insert_sorted(v, u, e);
+  return e;
+}
+
+int Graph::edge_index(int u, int v) const {
+  const auto& list = adj_[static_cast<std::size_t>(u)];
+  for (const HalfEdge& h : list) {
+    if (h.to == v) return h.edge;
+  }
+  return -1;
+}
+
+std::optional<int> Graph::index_of(NodeId id) const {
+  auto it = index_.find(id);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+int Graph::port_of(int v, int u) const {
+  const auto& list = adj_[static_cast<std::size_t>(v)];
+  for (std::size_t p = 0; p < list.size(); ++p) {
+    if (list[p].to == u) return static_cast<int>(p);
+  }
+  return -1;
+}
+
+std::optional<int> Graph::find_label(std::uint64_t label) const {
+  for (int v = 0; v < n(); ++v) {
+    if (labels_[static_cast<std::size_t>(v)] == label) return v;
+  }
+  return std::nullopt;
+}
+
+NodeId Graph::max_id() const {
+  NodeId best = 0;
+  for (NodeId id : ids_) best = std::max(best, id);
+  return best;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream out;
+  out << "Graph(n=" << n() << ", m=" << m() << ")\n";
+  for (int v = 0; v < n(); ++v) {
+    out << "  [" << v << "] id=" << id(v) << " label=" << label(v) << " ->";
+    for (const HalfEdge& h : neighbors(v)) {
+      out << ' ' << id(h.to);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lcp

@@ -1,0 +1,66 @@
+#include "graph/subgraph.hpp"
+
+#include <queue>
+
+namespace lcp {
+
+Graph induced_subgraph(const Graph& g, const std::vector<int>& nodes) {
+  Graph out;
+  std::vector<int> position(static_cast<std::size_t>(g.n()), -1);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    position[static_cast<std::size_t>(nodes[i])] = static_cast<int>(i);
+    out.add_node(g.id(nodes[i]), g.label(nodes[i]));
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    const int pu = position[static_cast<std::size_t>(g.edge_u(e))];
+    const int pv = position[static_cast<std::size_t>(g.edge_v(e))];
+    if (pu >= 0 && pv >= 0) {
+      out.add_edge(pu, pv, g.edge_label(e), g.edge_weight(e));
+    }
+  }
+  return out;
+}
+
+std::vector<int> ball_nodes(const Graph& g, int center, int radius) {
+  std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
+  std::vector<int> order;
+  std::queue<int> queue;
+  dist[static_cast<std::size_t>(center)] = 0;
+  queue.push(center);
+  order.push_back(center);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    if (dist[static_cast<std::size_t>(v)] == radius) continue;
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(h.to)] < 0) {
+        dist[static_cast<std::size_t>(h.to)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        order.push_back(h.to);
+        queue.push(h.to);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<int> bfs_distances(const Graph& g, int src) {
+  std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
+  std::queue<int> queue;
+  dist[static_cast<std::size_t>(src)] = 0;
+  queue.push(src);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (dist[static_cast<std::size_t>(h.to)] < 0) {
+        dist[static_cast<std::size_t>(h.to)] =
+            dist[static_cast<std::size_t>(v)] + 1;
+        queue.push(h.to);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace lcp

@@ -1,0 +1,28 @@
+// Induced subgraphs and radius-r balls.
+//
+// The paper's verifier semantics (Section 2.1) are defined on G[v, r]: the
+// subgraph induced by all nodes within distance r of v.  These helpers build
+// such subgraphs while preserving ids, node labels, and edge data.
+#ifndef LCP_GRAPH_SUBGRAPH_HPP_
+#define LCP_GRAPH_SUBGRAPH_HPP_
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// The subgraph induced by `nodes` (indices into g).  The i-th node of the
+/// result corresponds to nodes[i]; ids/labels/edge data are preserved.
+Graph induced_subgraph(const Graph& g, const std::vector<int>& nodes);
+
+/// Indices of all nodes within distance `radius` of `center`, in BFS order
+/// (centre first).
+std::vector<int> ball_nodes(const Graph& g, int center, int radius);
+
+/// BFS distances from `src`; unreachable nodes get -1.
+std::vector<int> bfs_distances(const Graph& g, int src);
+
+}  // namespace lcp
+
+#endif  // LCP_GRAPH_SUBGRAPH_HPP_

@@ -1,0 +1,34 @@
+#include "local/lookup_table.hpp"
+
+#include <sstream>
+
+namespace lcp {
+
+std::string view_fingerprint(const View& view) {
+  std::ostringstream out;
+  out << view.radius << '#' << view.center << '#';
+  for (int v = 0; v < view.ball.n(); ++v) {
+    out << view.ball.id(v) << ':' << view.ball.label(v) << ':'
+        << view.proof_of(v).to_string() << ';';
+  }
+  out << '#';
+  for (int e = 0; e < view.ball.m(); ++e) {
+    out << view.ball.edge_u(e) << '-' << view.ball.edge_v(e) << ':'
+        << view.ball.edge_label(e) << ':' << view.ball.edge_weight(e) << ';';
+  }
+  return out.str();
+}
+
+bool LookupTableVerifier::accept(const View& view) const {
+  const std::string key = view_fingerprint(view);
+  const auto it = table_.find(key);
+  if (it != table_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const bool verdict = inner_->accept(view);
+  table_.emplace(key, verdict);
+  return verdict;
+}
+
+}  // namespace lcp

@@ -1,0 +1,28 @@
+#include "local/pls_model.hpp"
+
+namespace lcp {
+
+PlsView make_pls_view(const Graph& g, const Proof& p, int v) {
+  PlsView view;
+  view.id = g.id(v);
+  view.label = g.label(v);
+  view.proof = p.labels[static_cast<std::size_t>(v)];
+  for (const HalfEdge& h : g.neighbors(v)) {
+    view.neighbor_proofs.push_back(p.labels[static_cast<std::size_t>(h.to)]);
+  }
+  return view;
+}
+
+RunResult run_pls_verifier(const Graph& g, const Proof& p,
+                           const PlsVerifier& a) {
+  RunResult result;
+  for (int v = 0; v < g.n(); ++v) {
+    if (!a.accept(make_pls_view(g, p, v))) {
+      result.all_accept = false;
+      result.rejecting.push_back(v);
+    }
+  }
+  return result;
+}
+
+}  // namespace lcp

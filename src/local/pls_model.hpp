@@ -1,0 +1,47 @@
+// Korman-Kutten-Peleg proof labelling schemes: the weaker model of
+// Section 3.2.
+//
+// In this model a node decides from: its own identifier, its own input
+// label, its own proof label, and the proof labels of its neighbours —
+// crucially NOT the neighbours' input labels or identifiers.  The paper
+// notes this model is strictly weaker than LCP: the agreement problem
+// ("all nodes carry the same input label") is an LCP(0) property but needs
+// 1 proof bit here [16, Lemma 2.1].  We implement the model to reproduce
+// that separation (bench sec7_models).
+#ifndef LCP_LOCAL_PLS_MODEL_HPP_
+#define LCP_LOCAL_PLS_MODEL_HPP_
+
+#include <vector>
+
+#include "core/proof.hpp"
+#include "core/runner.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// Everything a PLS verifier may read.
+struct PlsView {
+  NodeId id = 0;
+  std::uint64_t label = 0;
+  BitString proof;
+  /// Neighbour proof labels in port order.
+  std::vector<BitString> neighbor_proofs;
+};
+
+/// A verifier in the Korman et al. model.
+class PlsVerifier {
+ public:
+  virtual ~PlsVerifier() = default;
+  virtual bool accept(const PlsView& view) const = 0;
+};
+
+/// Builds node v's PLS view.
+PlsView make_pls_view(const Graph& g, const Proof& p, int v);
+
+/// Runs a PLS verifier at every node (same acceptance semantics as LCP).
+RunResult run_pls_verifier(const Graph& g, const Proof& p,
+                           const PlsVerifier& a);
+
+}  // namespace lcp
+
+#endif  // LCP_LOCAL_PLS_MODEL_HPP_

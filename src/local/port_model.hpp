@@ -1,0 +1,107 @@
+// The port-numbering + leader model M2 and the Section 7.1 translations.
+//
+// M1 (the paper's default): nodes carry unique O(log n)-bit identifiers.
+// M2: no identifiers; each node refers to its neighbours only by port
+// numbers 1..deg, and exactly one node is designated the leader (node
+// input label kLeaderLabel).
+//
+// Section 7.1 shows LogLCP is the same class in both models:
+//   - M2 -> M1: add a locally checkable spanning tree so the M1 verifier
+//     can appoint a leader, then simulate the M2 verifier on the
+//     anonymised view.
+//   - M1 -> M2: synthesise unique identifiers from DFS discovery/finish
+//     intervals on a certified spanning tree; interval nesting is locally
+//     checkable and forces global uniqueness, after which the M1 verifier
+//     runs on the synthesised ids.
+// Both directions cost O(log n) extra proof bits.
+#ifndef LCP_LOCAL_PORT_MODEL_HPP_
+#define LCP_LOCAL_PORT_MODEL_HPP_
+
+#include <memory>
+
+#include "algo/traversal.hpp"
+#include "core/scheme.hpp"
+#include "core/verifier.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// Node input label marking the M2 leader.
+inline constexpr std::uint64_t kLeaderLabel = 1;
+
+/// Strips identifiers from a view: nodes are renamed 1..k in a
+/// deterministic order derived only from port structure (BFS from the
+/// centre following ports in increasing order), so an M2 verifier cannot
+/// recover the original ids.
+View anonymize_view(const View& view);
+
+/// An M2 verifier: a local verifier that promises to read only the
+/// anonymised view.  The adapter enforces the promise by anonymising
+/// before delegating.
+class M2Verifier : public LocalVerifier {
+ public:
+  bool accept(const View& view) const final {
+    return accept_anonymous(anonymize_view(view));
+  }
+  virtual bool accept_anonymous(const View& anon) const = 0;
+};
+
+/// DFS discovery/finish times (1..2n) on a rooted spanning tree; children
+/// are visited in port order.
+struct DfsIntervals {
+  RootedTree tree;
+  std::vector<std::uint64_t> discovery;
+  std::vector<std::uint64_t> finish;
+};
+DfsIntervals dfs_intervals(const Graph& g, int root);
+
+/// The M1 -> M2 translation (Section 7.1): wraps a scheme whose verifier
+/// uses identifiers into a scheme verifiable with ports + leader only.
+/// The graph family is connected leader-labelled graphs (exactly one node
+/// with kLeaderLabel); the inner property must be label-independent.
+///
+/// Proof layout per node: spanning-tree certificate (no id fields checked)
+/// + DFS interval (x, y) + the inner proof computed on the graph whose ids
+/// are the encoded intervals.
+class M1ToM2Scheme final : public Scheme {
+ public:
+  explicit M1ToM2Scheme(std::shared_ptr<const Scheme> inner);
+
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override;
+
+  /// The id a node gets from its interval: x * 2^(width+1) + y + 1.
+  static NodeId synthesized_id(std::uint64_t x, std::uint64_t y, int width);
+
+ private:
+  std::shared_ptr<const Scheme> inner_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// The M2 -> M1 translation (Section 7.1, first direction): wraps a
+/// scheme for leader-labelled graphs whose verifier is id-blind (an M2
+/// scheme, e.g. M1ToM2Scheme) into a scheme for *unlabelled* connected
+/// graphs in the identifier model.  The proof appoints a leader (1 bit,
+/// made unique by an id-based spanning-tree certificate) and the verifier
+/// simulates the M2 verifier with the appointed leader written into the
+/// node labels.  Composing both translations round-trips LogLCP through
+/// the port-numbering model.
+class M2ToM1Scheme final : public Scheme {
+ public:
+  explicit M2ToM1Scheme(std::shared_ptr<const Scheme> inner_m2);
+
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override;
+
+ private:
+  std::shared_ptr<const Scheme> inner_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_LOCAL_PORT_MODEL_HPP_

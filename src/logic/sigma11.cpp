@@ -1,0 +1,276 @@
+#include "logic/sigma11.hpp"
+
+#include <algorithm>
+
+#include "algo/bipartite.hpp"
+#include "algo/traversal.hpp"
+#include "core/certificates.hpp"
+
+namespace lcp::logic {
+
+namespace {
+
+FormulaPtr make(Formula f) { return std::make_shared<Formula>(std::move(f)); }
+
+}  // namespace
+
+int Formula::locality() const {
+  int r = 0;
+  if (kind == Kind::kExists || kind == Kind::kForall) r = radius;
+  if (left) r = std::max(r, left->locality());
+  if (right) r = std::max(r, right->locality());
+  return r;
+}
+
+FormulaPtr f_and(FormulaPtr a, FormulaPtr b) {
+  return make({Formula::Kind::kAnd, std::move(a), std::move(b), 0, 0, 0, 0});
+}
+FormulaPtr f_or(FormulaPtr a, FormulaPtr b) {
+  return make({Formula::Kind::kOr, std::move(a), std::move(b), 0, 0, 0, 0});
+}
+FormulaPtr f_not(FormulaPtr a) {
+  return make({Formula::Kind::kNot, std::move(a), nullptr, 0, 0, 0, 0});
+}
+FormulaPtr f_exists(int radius, FormulaPtr sub) {
+  return make(
+      {Formula::Kind::kExists, std::move(sub), nullptr, radius, 0, 0, 0});
+}
+FormulaPtr f_forall(int radius, FormulaPtr sub) {
+  return make(
+      {Formula::Kind::kForall, std::move(sub), nullptr, radius, 0, 0, 0});
+}
+FormulaPtr f_adj(int var_a, int var_b) {
+  return make({Formula::Kind::kAdj, nullptr, nullptr, 0, var_a, var_b, 0});
+}
+FormulaPtr f_eq(int var_a, int var_b) {
+  return make({Formula::Kind::kEq, nullptr, nullptr, 0, var_a, var_b, 0});
+}
+FormulaPtr f_in_set(int set_index, int var) {
+  return make(
+      {Formula::Kind::kInSet, nullptr, nullptr, 0, var, 0, set_index});
+}
+FormulaPtr f_witness(int var) {
+  return make({Formula::Kind::kWitness, nullptr, nullptr, 0, var, 0, 0});
+}
+FormulaPtr f_iff(FormulaPtr a, FormulaPtr b) {
+  return f_or(f_and(a, b), f_and(f_not(a), f_not(b)));
+}
+FormulaPtr f_implies(FormulaPtr a, FormulaPtr b) {
+  return f_or(f_not(std::move(a)), std::move(b));
+}
+
+namespace {
+
+bool eval_rec(const Formula& f, const View& view, const Interpretation& in,
+              std::vector<int>& stack) {
+  switch (f.kind) {
+    case Formula::Kind::kAnd:
+      return eval_rec(*f.left, view, in, stack) &&
+             eval_rec(*f.right, view, in, stack);
+    case Formula::Kind::kOr:
+      return eval_rec(*f.left, view, in, stack) ||
+             eval_rec(*f.right, view, in, stack);
+    case Formula::Kind::kNot:
+      return !eval_rec(*f.left, view, in, stack);
+    case Formula::Kind::kExists: {
+      for (int v = 0; v < view.ball.n(); ++v) {
+        if (view.dist_of(v) > f.radius) continue;
+        stack.push_back(v);
+        const bool ok = eval_rec(*f.left, view, in, stack);
+        stack.pop_back();
+        if (ok) return true;
+      }
+      return false;
+    }
+    case Formula::Kind::kForall: {
+      for (int v = 0; v < view.ball.n(); ++v) {
+        if (view.dist_of(v) > f.radius) continue;
+        stack.push_back(v);
+        const bool ok = eval_rec(*f.left, view, in, stack);
+        stack.pop_back();
+        if (!ok) return false;
+      }
+      return true;
+    }
+    case Formula::Kind::kAdj:
+      return view.ball.has_edge(stack[static_cast<std::size_t>(f.var_a)],
+                                stack[static_cast<std::size_t>(f.var_b)]);
+    case Formula::Kind::kEq:
+      return stack[static_cast<std::size_t>(f.var_a)] ==
+             stack[static_cast<std::size_t>(f.var_b)];
+    case Formula::Kind::kInSet:
+      return in.sets[static_cast<std::size_t>(f.set_index)]
+                    [static_cast<std::size_t>(
+                        stack[static_cast<std::size_t>(f.var_a)])];
+    case Formula::Kind::kWitness:
+      return in.witness[static_cast<std::size_t>(
+          stack[static_cast<std::size_t>(f.var_a)])];
+  }
+  return false;
+}
+
+}  // namespace
+
+bool evaluate_local(const Formula& phi, const View& view,
+                    const Interpretation& interp) {
+  std::vector<int> stack{view.center};  // variable 0 = y
+  return eval_rec(phi, view, interp, stack);
+}
+
+bool evaluate_global(const Formula& phi, const Graph& g,
+                     const Assignment& assignment) {
+  const int radius = phi.locality();
+  const Proof empty = Proof::empty(g.n());
+  for (int y = 0; y < g.n(); ++y) {
+    const View view = extract_view(g, empty, y, radius);
+    Interpretation interp;
+    interp.sets.resize(assignment.sets.size());
+    interp.witness.resize(static_cast<std::size_t>(view.ball.n()));
+    for (std::size_t i = 0; i < assignment.sets.size(); ++i) {
+      interp.sets[i].resize(static_cast<std::size_t>(view.ball.n()));
+    }
+    for (int v = 0; v < view.ball.n(); ++v) {
+      const int orig = *g.index_of(view.ball.id(v));
+      for (std::size_t i = 0; i < assignment.sets.size(); ++i) {
+        interp.sets[i][static_cast<std::size_t>(v)] =
+            assignment.sets[i][static_cast<std::size_t>(orig)];
+      }
+      interp.witness[static_cast<std::size_t>(v)] =
+          orig == assignment.witness;
+    }
+    if (!evaluate_local(phi, view, interp)) return false;
+  }
+  return true;
+}
+
+bool exists_satisfying_assignment(const Formula& phi, const Graph& g,
+                                  int num_sets) {
+  const long long combos = 1ll << (num_sets * g.n());
+  for (long long mask = 0; mask < combos; ++mask) {
+    Assignment a;
+    a.sets.assign(static_cast<std::size_t>(num_sets),
+                  std::vector<bool>(static_cast<std::size_t>(g.n()), false));
+    for (int i = 0; i < num_sets; ++i) {
+      for (int v = 0; v < g.n(); ++v) {
+        a.sets[static_cast<std::size_t>(i)][static_cast<std::size_t>(v)] =
+            (mask >> (i * g.n() + v)) & 1;
+      }
+    }
+    for (int x = 0; x < g.n(); ++x) {
+      a.witness = x;
+      if (evaluate_global(phi, g, a)) return true;
+    }
+  }
+  return false;
+}
+
+MonadicSigma11Scheme::MonadicSigma11Scheme(std::string property_name,
+                                           FormulaPtr phi, int num_sets,
+                                           ProverHook prover)
+    : property_name_(std::move(property_name)),
+      phi_(std::move(phi)),
+      num_sets_(num_sets),
+      prover_(std::move(prover)) {
+  const FormulaPtr phi_keep = phi_;
+  const int k = num_sets_;
+  const int radius = std::max(2, phi_->locality());
+  verifier_ = std::make_unique<LambdaVerifier>(
+      radius, [phi_keep, k](const View& v) {
+        // Label layout: tree certificate + witness bit + k set bits.
+        std::vector<std::optional<TreeCert>> certs;
+        Interpretation interp;
+        interp.sets.assign(static_cast<std::size_t>(k), {});
+        for (const BitString& label : v.proofs) {
+          BitReader r(label);
+          auto cert = read_tree_cert(r);
+          const bool witness = r.read_bit();
+          std::vector<bool> bits;
+          for (int i = 0; i < k; ++i) bits.push_back(r.read_bit());
+          if (!r.exhausted()) cert.reset();
+          certs.push_back(cert);
+          interp.witness.push_back(witness);
+          for (int i = 0; i < k; ++i) {
+            interp.sets[static_cast<std::size_t>(i)].push_back(
+                bits[static_cast<std::size_t>(i)]);
+          }
+        }
+        if (!check_tree_cert_at_center(v, certs, /*trunc_bits=*/0)) {
+          return false;
+        }
+        // Witness <=> certificate root: forces exactly one witness.
+        const bool is_root =
+            cert_says_root(*certs[static_cast<std::size_t>(v.center)]);
+        if (interp.witness[static_cast<std::size_t>(v.center)] != is_root) {
+          return false;
+        }
+        return evaluate_local(*phi_keep, v, interp);
+      });
+}
+
+std::string MonadicSigma11Scheme::name() const {
+  return "sigma11(" + property_name_ + ")";
+}
+
+bool MonadicSigma11Scheme::holds(const Graph& g) const {
+  return is_connected(g) && prover_(g).has_value();
+}
+
+std::optional<Proof> MonadicSigma11Scheme::prove(const Graph& g) const {
+  if (!is_connected(g)) return std::nullopt;
+  const auto assignment = prover_(g);
+  if (!assignment.has_value()) return std::nullopt;
+  const std::vector<TreeCert> certs = make_tree_cert_labels(
+      g, bfs_tree(g, assignment->witness), /*trunc_bits=*/0);
+  Proof proof = Proof::empty(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    BitString& label = proof.labels[static_cast<std::size_t>(v)];
+    append_tree_cert(label, certs[static_cast<std::size_t>(v)]);
+    label.append_bit(v == assignment->witness);
+    for (int i = 0; i < num_sets_; ++i) {
+      label.append_bit(
+          assignment->sets[static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(v)]);
+    }
+  }
+  return proof;
+}
+
+std::shared_ptr<Scheme> make_sigma11_two_colorable_scheme() {
+  // phi = Az (dist <= 1): y ~ z -> not (X(y) <-> X(z)).
+  const FormulaPtr phi = f_forall(
+      1, f_implies(f_adj(0, 1), f_not(f_iff(f_in_set(0, 0), f_in_set(0, 1)))));
+  auto prover = [](const Graph& g) -> std::optional<Assignment> {
+    const auto colors = two_coloring(g);
+    if (!colors.has_value()) return std::nullopt;
+    Assignment a;
+    a.sets.assign(1, std::vector<bool>(static_cast<std::size_t>(g.n()), false));
+    for (int v = 0; v < g.n(); ++v) {
+      a.sets[0][static_cast<std::size_t>(v)] =
+          (*colors)[static_cast<std::size_t>(v)] == 1;
+    }
+    a.witness = 0;
+    return a;
+  };
+  return std::make_shared<MonadicSigma11Scheme>("2-colorable", phi, 1,
+                                                prover);
+}
+
+std::shared_ptr<Scheme> make_sigma11_universal_node_scheme() {
+  // phi = Ez (dist <= 1): witness(z) — every node sees the witness next
+  // door, i.e. the witness dominates everything at distance 1.
+  const FormulaPtr phi = f_exists(1, f_witness(1));
+  auto prover = [](const Graph& g) -> std::optional<Assignment> {
+    for (int v = 0; v < g.n(); ++v) {
+      if (g.degree(v) == g.n() - 1) {
+        Assignment a;
+        a.witness = v;
+        return a;
+      }
+    }
+    return std::nullopt;
+  };
+  return std::make_shared<MonadicSigma11Scheme>("universal-node", phi, 0,
+                                                prover);
+}
+
+}  // namespace lcp::logic

@@ -1,0 +1,131 @@
+// Monadic Sigma^1_1 properties are in LogLCP (Section 7.5).
+//
+// By Schwentick-Barthelmann, on connected graphs every monadic Sigma^1_1
+// sentence normalises to
+//
+//     theta = EX_1 ... EX_k  Ex  Ay : phi(X_1..X_k, x, y)
+//
+// with phi first-order and *local around y* (all quantifiers range over the
+// radius-r ball of y).  The locally checkable proof is: one bit per monadic
+// relation per node, one "I am the witness x" bit, and a spanning-tree
+// certificate rooted at the witness (so exactly one witness exists).  The
+// verifier at y checks the certificate and evaluates phi inside its ball.
+//
+// This module provides the formula AST, the ball evaluator, and a generic
+// scheme parameterised by (phi, ground truth, constructive prover).
+#ifndef LCP_LOGIC_SIGMA11_HPP_
+#define LCP_LOGIC_SIGMA11_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/scheme.hpp"
+
+namespace lcp::logic {
+
+/// A local first-order formula.  Variables are de Bruijn-style indices into
+/// the evaluation stack: index 0 is y (the view centre), quantifiers push
+/// new variables.
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+class Formula {
+ public:
+  enum class Kind {
+    kAnd, kOr, kNot,
+    kExists,   ///< Ez with dist(z, y) <= radius : sub
+    kForall,   ///< Az with dist(z, y) <= radius : sub
+    kAdj,      ///< var_a ~ var_b (adjacent)
+    kEq,       ///< var_a == var_b
+    kInSet,    ///< X_{set_index}(var_a)
+    kWitness,  ///< var_a is the existential witness x
+  };
+
+  Kind kind;
+  FormulaPtr left, right;  // kAnd/kOr children; kNot/kExists/kForall use left
+  int radius = 0;          // quantifier locality bound
+  int var_a = 0, var_b = 0;
+  int set_index = 0;
+
+  /// The radius phi needs: max over quantifier bounds (atoms are free).
+  int locality() const;
+};
+
+FormulaPtr f_and(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_or(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_not(FormulaPtr a);
+FormulaPtr f_exists(int radius, FormulaPtr sub);
+FormulaPtr f_forall(int radius, FormulaPtr sub);
+FormulaPtr f_adj(int var_a, int var_b);
+FormulaPtr f_eq(int var_a, int var_b);
+FormulaPtr f_in_set(int set_index, int var);
+FormulaPtr f_witness(int var);
+FormulaPtr f_iff(FormulaPtr a, FormulaPtr b);
+FormulaPtr f_implies(FormulaPtr a, FormulaPtr b);
+
+/// An interpretation over one view: per-ball-node monadic set bits and the
+/// witness flag.
+struct Interpretation {
+  /// sets[i][v]: ball node v is in X_i.
+  std::vector<std::vector<bool>> sets;
+  std::vector<bool> witness;
+};
+
+/// Evaluates phi with y = the view centre; quantifiers range over ball
+/// nodes within their radius of the centre.
+bool evaluate_local(const Formula& phi, const View& view,
+                    const Interpretation& interp);
+
+/// A full assignment on a graph: global counterpart of Interpretation.
+struct Assignment {
+  std::vector<std::vector<bool>> sets;  // [k][n]
+  int witness = 0;
+};
+
+/// Evaluates theta = EX Ex Ay phi on a whole graph for a *given* assignment
+/// (the reference semantics used in tests).
+bool evaluate_global(const Formula& phi, const Graph& g,
+                     const Assignment& assignment);
+
+/// Brute-force: does any assignment satisfy theta?  O(2^{kn} * n) — tiny
+/// graphs only.
+bool exists_satisfying_assignment(const Formula& phi, const Graph& g,
+                                  int num_sets);
+
+/// The generic LogLCP scheme of Section 7.5.
+class MonadicSigma11Scheme final : public Scheme {
+ public:
+  using ProverHook =
+      std::function<std::optional<Assignment>(const Graph&)>;
+
+  /// `phi` with `num_sets` monadic relations; `prover` produces a
+  /// satisfying assignment for yes-instances (a constructive witness, or a
+  /// brute-force search for tiny graphs).
+  MonadicSigma11Scheme(std::string property_name, FormulaPtr phi,
+                       int num_sets, ProverHook prover);
+
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+
+ private:
+  std::string property_name_;
+  FormulaPtr phi_;
+  int num_sets_;
+  ProverHook prover_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// theta for 2-colourability: EX Ay Az<=1 : y~z -> (X(y) xor X(z)).
+/// Constructive prover: a BFS 2-colouring.
+std::shared_ptr<Scheme> make_sigma11_two_colorable_scheme();
+
+/// theta for "has a universal node": Ex Ay Ez<=1 : witness(z).
+std::shared_ptr<Scheme> make_sigma11_universal_node_scheme();
+
+}  // namespace lcp::logic
+
+#endif  // LCP_LOGIC_SIGMA11_HPP_

@@ -1,0 +1,222 @@
+#include "lower/gluing.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "schemes/cycle_certified.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp::lower {
+
+std::vector<NodeId> gluing_cycle_ids(int n, NodeId a, NodeId b) {
+  const int n1 = n / 2;
+  const int n2 = n - n1;
+  const NodeId stride = 2 * static_cast<NodeId>(n);
+  std::vector<NodeId> ids{a};
+  for (int j = 2; j <= n1; ++j) ids.push_back(a + stride * static_cast<NodeId>(j));
+  for (int j = n2; j >= 2; --j) ids.push_back(b + stride * static_cast<NodeId>(j));
+  ids.push_back(b);
+  return ids;
+}
+
+namespace {
+
+/// The colour c(a, b): input labels + proof labels of all nodes within
+/// cycle distance 2r+1 of position 0 (node a) or position n-1 (node b),
+/// in position order.
+std::string color_of(const Graph& cycle, const Proof& proof, int window) {
+  const int n = cycle.n();
+  std::ostringstream out;
+  for (int i = 0; i < n; ++i) {
+    const int dist_a = std::min(i, n - i);
+    const int dist_b = std::min(n - 1 - i, i + 1);
+    if (dist_a > window && dist_b > window) continue;
+    out << i << ':' << cycle.label(i) << '|'
+        << proof.labels[static_cast<std::size_t>(i)].to_string() << ';';
+  }
+  // Edge labels near the two seams matter as well (matching / tree bits).
+  for (int e = 0; e < cycle.m(); ++e) {
+    const int i = std::min(cycle.edge_u(e), cycle.edge_v(e));
+    const int dist_a = std::min(i, n - i);
+    const int dist_b = std::min(n - 1 - i, i + 1);
+    if (dist_a > window + 1 && dist_b > window + 1) continue;
+    out << 'e' << e << ':' << cycle.edge_label(e) << ';';
+  }
+  return out.str();
+}
+
+struct BuiltCycle {
+  Graph graph;
+  Proof proof;
+};
+
+std::optional<BuiltCycle> build_cycle(const GluingProblem& problem, int n,
+                                      NodeId a, NodeId b) {
+  Graph g = gen::cycle_with_ids(gluing_cycle_ids(n, a, b));
+  problem.decorate(g, 0, n - 1);
+  const auto proof = problem.scheme->prove(g);
+  if (!proof.has_value()) return std::nullopt;
+  return BuiltCycle{std::move(g), *proof};
+}
+
+}  // namespace
+
+GluedInstance glue_cycles(const Graph& c1, const Proof& p1, const Graph& c2,
+                          const Proof& p2) {
+  const int n = c1.n();
+  GluedInstance out;
+  for (int i = 0; i < n; ++i) out.graph.add_node(c1.id(i), c1.label(i));
+  for (int i = 0; i < n; ++i) out.graph.add_node(c2.id(i), c2.label(i));
+  // Path edges of each cycle (all but the closing edge {position n-1, 0}).
+  for (int i = 0; i + 1 < n; ++i) {
+    out.graph.add_edge(i, i + 1, c1.edge_label(c1.edge_index(i, i + 1)));
+    out.graph.add_edge(n + i, n + i + 1,
+                       c2.edge_label(c2.edge_index(i, i + 1)));
+  }
+  // Cross edges {b1, a2} and {b2, a1}; each inherits the closing-edge
+  // decoration of the instance it stands in for.
+  out.graph.add_edge(n - 1, n, c2.edge_label(c2.edge_index(n - 1, 0)));
+  out.graph.add_edge(2 * n - 1, 0, c1.edge_label(c1.edge_index(n - 1, 0)));
+  out.proof = Proof::empty(2 * n);
+  for (int i = 0; i < n; ++i) {
+    out.proof.labels[static_cast<std::size_t>(i)] =
+        p1.labels[static_cast<std::size_t>(i)];
+    out.proof.labels[static_cast<std::size_t>(n + i)] =
+        p2.labels[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+GluingOutcome run_gluing_attack(const GluingProblem& problem, int n,
+                                int row_sample, int col_sample) {
+  GluingOutcome outcome;
+  outcome.n = n;
+  const int radius = problem.scheme->verifier().radius();
+  const int window = 2 * radius + 1;
+  if (n < 4 * window + 4) {
+    throw std::invalid_argument("run_gluing_attack: n too small for window");
+  }
+  const int rows = row_sample > 0 ? std::min(row_sample, n) : n;
+  const int cols = col_sample > 0 ? std::min(col_sample, n) : rows;
+
+  // Colour the (sampled) K_{n,n}.
+  std::map<std::string, int> color_ids;
+  std::vector<std::vector<int>> color(
+      static_cast<std::size_t>(rows), std::vector<int>(static_cast<std::size_t>(cols), -1));
+  for (int ai = 0; ai < rows; ++ai) {
+    for (int bi = 0; bi < cols; ++bi) {
+      const NodeId a = static_cast<NodeId>(ai + 1);
+      const NodeId b = static_cast<NodeId>(n + bi + 1);
+      const auto built = build_cycle(problem, n, a, b);
+      if (!built.has_value()) {
+        outcome.proved_all = false;
+        continue;
+      }
+      const std::string key = color_of(built->graph, built->proof, window);
+      const auto [it, inserted] =
+          color_ids.emplace(key, static_cast<int>(color_ids.size()));
+      color[static_cast<std::size_t>(ai)][static_cast<std::size_t>(bi)] =
+          it->second;
+    }
+  }
+  outcome.num_colors = color_ids.size();
+
+  // Monochromatic 4-cycle: two rows sharing two equal-coloured columns.
+  // map (colour, b, b') -> first row.
+  std::map<std::tuple<int, int, int>, int> seen;
+  int a1 = -1, b1 = -1, a2 = -1, b2 = -1;
+  for (int ai = 0; ai < rows && a1 < 0; ++ai) {
+    for (int x = 0; x < cols && a1 < 0; ++x) {
+      for (int y = x + 1; y < cols; ++y) {
+        const int cx = color[static_cast<std::size_t>(ai)][static_cast<std::size_t>(x)];
+        const int cy = color[static_cast<std::size_t>(ai)][static_cast<std::size_t>(y)];
+        if (cx < 0 || cx != cy) continue;
+        const auto key = std::make_tuple(cx, x, y);
+        const auto it = seen.find(key);
+        if (it == seen.end()) {
+          seen.emplace(key, ai);
+        } else {
+          a1 = it->second;
+          a2 = ai;
+          b1 = x;
+          b2 = y;
+          break;
+        }
+      }
+    }
+  }
+  if (a1 < 0) return outcome;  // no collision: the attack has no foothold
+
+  outcome.found_collision = true;
+  outcome.a1 = static_cast<NodeId>(a1 + 1);
+  outcome.b1 = static_cast<NodeId>(n + b1 + 1);
+  outcome.a2 = static_cast<NodeId>(a2 + 1);
+  outcome.b2 = static_cast<NodeId>(n + b2 + 1);
+
+  const auto c1 = build_cycle(problem, n, outcome.a1, outcome.b1);
+  const auto c2 = build_cycle(problem, n, outcome.a2, outcome.b2);
+  const GluedInstance glued =
+      glue_cycles(c1->graph, c1->proof, c2->graph, c2->proof);
+  outcome.all_accept =
+      run_verifier(glued.graph, glued.proof, problem.scheme->verifier())
+          .all_accept;
+  outcome.glued_is_yes = problem.scheme->holds(glued.graph);
+  return outcome;
+}
+
+GluingProblem leader_election_problem(int trunc_bits) {
+  GluingProblem p;
+  p.name = "leader-election";
+  p.scheme = std::make_shared<schemes::LeaderElectionScheme>(trunc_bits);
+  p.decorate = [](Graph& g, int a, int b) {
+    (void)b;
+    g.set_label(a, schemes::kLeaderFlag);
+  };
+  return p;
+}
+
+GluingProblem spanning_tree_problem(int trunc_bits) {
+  GluingProblem p;
+  p.name = "spanning-tree";
+  p.scheme = std::make_shared<schemes::SpanningTreeScheme>(trunc_bits);
+  p.decorate = [](Graph& g, int a, int b) {
+    // The spanning tree is the cycle minus its closing edge {b, a}.
+    const int closing = g.edge_index(b, a);
+    for (int e = 0; e < g.m(); ++e) {
+      if (e != closing) {
+        g.set_edge_label(e, schemes::SpanningTreeScheme::kTreeEdgeBit);
+      }
+    }
+  };
+  return p;
+}
+
+GluingProblem odd_n_problem(int trunc_bits) {
+  GluingProblem p;
+  p.name = "odd-n(non-bipartite-on-cycles)";
+  p.scheme = std::make_shared<schemes::ParityScheme>(true, trunc_bits);
+  p.decorate = [](Graph&, int, int) {};
+  return p;
+}
+
+GluingProblem max_matching_problem(int trunc_bits) {
+  GluingProblem p;
+  p.name = "max-matching-cycles";
+  p.scheme = std::make_shared<schemes::MaxMatchingCycleScheme>(trunc_bits);
+  p.decorate = [](Graph& g, int a, int b) {
+    (void)b;
+    // Match positions (1,2), (3,4), ..., (n-2, n-1): node a (position 0)
+    // stays unmatched, as the odd cycle forces.
+    for (int i = 1; i + 1 < g.n(); i += 2) {
+      g.set_edge_label(g.edge_index(i, i + 1),
+                       schemes::MaxMatchingCycleScheme::kMatchedBit);
+    }
+    (void)a;
+  };
+  return p;
+}
+
+}  // namespace lcp::lower

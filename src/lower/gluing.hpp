@@ -1,0 +1,88 @@
+// The cycle-gluing adversary of Section 5.3 (Figure 1), executable.
+//
+// Given a candidate proof labelling scheme on cycles, the engine:
+//   1. builds the paper's yes-instances C(a, b) for a in A = {1..n},
+//      b in B = {n+1..2n}, on the exact id layout
+//        a, a+4n, a+6n, ..., a+2n*n1, b+2n*n2, ..., b+6n, b+4n, b
+//      (the offsets make every node's port structure independent of the
+//      concrete a and b — the linchpin of the construction);
+//   2. runs the scheme's prover on each C(a, b) and collects the "colour"
+//      c(a, b): all input labels and proof labels within distance 2r+1 of
+//      a or b;
+//   3. searches the edge-coloured K_{n,n} for a monochromatic 4-cycle
+//      (a1, b1, a2, b2)  — the k = 2 case of Bondy-Simonovits;
+//   4. glues C(a1, b1) and C(a2, b2): removes the edges {a_i, b_i}, adds
+//      {b1, a2} and {b2, a1}, and inherits every label and proof bit;
+//   5. runs the verifier on the glued 2n-cycle and evaluates the ground
+//      truth.
+//
+// A *fooled* outcome — all nodes accept but the glued instance violates
+// the property — is exactly the paper's contradiction: the scheme's proofs
+// carry too few bits.  Honest Theta(log n) schemes never produce a
+// monochromatic 4-cycle (their colours pin down the root identity);
+// b-bit truncations are fooled as soon as n exceeds ~2^b.
+#ifndef LCP_LOWER_GLUING_HPP_
+#define LCP_LOWER_GLUING_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/scheme.hpp"
+
+namespace lcp::lower {
+
+/// A problem plugged into the gluing engine.
+struct GluingProblem {
+  std::string name;
+  std::shared_ptr<const Scheme> scheme;
+  /// Decorates a raw cycle so it becomes a yes-instance; `a` and `b` are
+  /// the node indices of the distinguished nodes (positions 0 and n-1).
+  std::function<void(Graph&, int a, int b)> decorate;
+};
+
+struct GluingOutcome {
+  int n = 0;
+  bool proved_all = true;        ///< every C(a,b) produced a proof
+  std::size_t num_colors = 0;    ///< distinct c(a,b) values over K_{n,n}
+  bool found_collision = false;  ///< monochromatic 4-cycle found
+  NodeId a1 = 0, b1 = 0, a2 = 0, b2 = 0;
+  bool all_accept = false;       ///< verifier verdict on the glued instance
+  bool glued_is_yes = false;     ///< ground truth of the glued instance
+
+  /// The lower-bound contradiction: accepted no-instance.
+  bool fooled() const {
+    return found_collision && all_accept && !glued_is_yes;
+  }
+};
+
+/// Runs the attack at cycle length n (k = 2 gluing).  `row_sample` limits
+/// how many a-values (rows of K_{n,n}) are proved; `col_sample` how many
+/// b-values.  Colours are typically a function of a alone, so a handful of
+/// columns suffices while rows should scale with n to expose the log n
+/// threshold.  0 means "all n".
+GluingOutcome run_gluing_attack(const GluingProblem& problem, int n,
+                                int row_sample = 0, int col_sample = 0);
+
+/// The paper's exact id layout for C(a, b).
+std::vector<NodeId> gluing_cycle_ids(int n, NodeId a, NodeId b);
+
+/// Builds the glued instance from two decorated, proved cycles; exposed
+/// for the Figure 1 trace bench.
+struct GluedInstance {
+  Graph graph;
+  Proof proof;
+};
+GluedInstance glue_cycles(const Graph& c1, const Proof& p1, const Graph& c2,
+                          const Proof& p2);
+
+/// Ready-made problems for the Section 5.4 targets, parameterised by the
+/// proof budget b (0 = honest scheme).
+GluingProblem leader_election_problem(int trunc_bits);
+GluingProblem spanning_tree_problem(int trunc_bits);
+GluingProblem odd_n_problem(int trunc_bits);          // = non-bipartite on cycles
+GluingProblem max_matching_problem(int trunc_bits);
+
+}  // namespace lcp::lower
+
+#endif  // LCP_LOWER_GLUING_HPP_

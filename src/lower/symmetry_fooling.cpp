@@ -1,0 +1,166 @@
+#include "lower/symmetry_fooling.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "algo/canonical.hpp"
+#include "algo/isomorphism.hpp"
+#include "algo/traversal.hpp"
+#include "core/runner.hpp"
+
+namespace lcp::lower {
+
+namespace {
+
+long long factorial(int k) {
+  long long f = 1;
+  for (int i = 2; i <= k; ++i) f *= i;
+  return f;
+}
+
+Graph graph_from_mask(int k, long long mask,
+                      const std::vector<std::pair<int, int>>& pairs) {
+  Graph g;
+  for (int v = 0; v < k; ++v) g.add_node(static_cast<NodeId>(v + 1));
+  for (std::size_t p = 0; p < pairs.size(); ++p) {
+    if (mask & (1ll << p)) g.add_edge(pairs[p].first, pairs[p].second);
+  }
+  return g;
+}
+
+}  // namespace
+
+AsymmetricCount count_asymmetric_connected(int k) {
+  if (k < 1 || k > 7) {
+    throw std::invalid_argument("count_asymmetric_connected: 1 <= k <= 7");
+  }
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) pairs.emplace_back(i, j);
+  }
+  AsymmetricCount count;
+  count.k = k;
+  const long long total = 1ll << pairs.size();
+  for (long long mask = 0; mask < total; ++mask) {
+    Graph g = graph_from_mask(k, mask, pairs);
+    if (!is_connected(g)) continue;
+    if (has_nontrivial_automorphism(g)) continue;
+    ++count.labeled;
+  }
+  count.classes = count.labeled / factorial(k);
+  return count;
+}
+
+std::vector<Graph> asymmetric_connected_representatives(int k) {
+  if (k < 1 || k > 6) {
+    throw std::invalid_argument(
+        "asymmetric_connected_representatives: 1 <= k <= 6");
+  }
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) pairs.emplace_back(i, j);
+  }
+  std::map<std::string, Graph> reps;
+  const long long total = 1ll << pairs.size();
+  for (long long mask = 0; mask < total; ++mask) {
+    Graph g = graph_from_mask(k, mask, pairs);
+    if (!is_connected(g) || has_nontrivial_automorphism(g)) continue;
+    std::string key = canonical_key(g);
+    reps.emplace(std::move(key), std::move(g));
+  }
+  std::vector<Graph> out;
+  out.reserve(reps.size());
+  for (auto& [key, g] : reps) out.push_back(std::move(g));
+  return out;
+}
+
+Graph join_graphs(const Graph& g1, const Graph& g2) {
+  if (g1.n() != g2.n()) {
+    throw std::invalid_argument("join_graphs: sizes must match");
+  }
+  const int k = g1.n();
+  const Graph c1 = canonical_form(g1, static_cast<NodeId>(k));
+  const Graph c2 = canonical_form(g2, static_cast<NodeId>(2 * k));
+  Graph out;
+  // Path ids 1..k first, then the two canonical copies.
+  for (int i = 1; i <= k; ++i) out.add_node(static_cast<NodeId>(i));
+  for (int v = 0; v < k; ++v) out.add_node(c1.id(v));
+  for (int v = 0; v < k; ++v) out.add_node(c2.id(v));
+  auto at = [&out](NodeId id) { return *out.index_of(id); };
+  for (int e = 0; e < c1.m(); ++e) {
+    out.add_edge(at(c1.id(c1.edge_u(e))), at(c1.id(c1.edge_v(e))));
+  }
+  for (int e = 0; e < c2.m(); ++e) {
+    out.add_edge(at(c2.id(c2.edge_u(e))), at(c2.id(c2.edge_v(e))));
+  }
+  // The joining path (k+1, 1, 2, ..., k, 2k+1).
+  out.add_edge(at(static_cast<NodeId>(k + 1)), at(1));
+  for (int i = 1; i < k; ++i) {
+    out.add_edge(at(static_cast<NodeId>(i)), at(static_cast<NodeId>(i + 1)));
+  }
+  out.add_edge(at(static_cast<NodeId>(k)), at(static_cast<NodeId>(2 * k + 1)));
+  return out;
+}
+
+TransplantOutcome run_symmetry_transplant(const Scheme& scheme,
+                                          const Graph& g1, const Graph& g2) {
+  TransplantOutcome out;
+  const Graph g11 = join_graphs(g1, g1);
+  const Graph g22 = join_graphs(g2, g2);
+  const Graph g12 = join_graphs(g1, g2);
+  const auto p11 = scheme.prove(g11);
+  const auto p22 = scheme.prove(g22);
+  if (!p11.has_value() || !p22.has_value()) return out;
+  out.proofs_exist = true;
+
+  // First differing proof bit across all nodes (node layouts coincide).
+  for (int v = 0; v < g11.n() && out.first_label_difference < 0; ++v) {
+    const BitString& a = p11->labels[static_cast<std::size_t>(v)];
+    const BitString& b = p22->labels[static_cast<std::size_t>(v)];
+    const int overlap = std::min(a.size(), b.size());
+    for (int i = 0; i < overlap; ++i) {
+      if (a.bit(i) != b.bit(i)) {
+        out.first_label_difference = i;
+        break;
+      }
+    }
+    if (out.first_label_difference < 0 && a.size() != b.size()) {
+      out.first_label_difference = overlap;
+    }
+  }
+
+  // The window U = ids 1..2r+1 on the joining path.
+  const int k = g1.n();
+  const int radius = scheme.verifier().radius();
+  if (k < 2 * radius + 1) {
+    throw std::invalid_argument("run_symmetry_transplant: k < 2r+1");
+  }
+  out.labels_agree_on_window = true;
+  for (NodeId id = 1; id <= static_cast<NodeId>(2 * radius + 1); ++id) {
+    const int v11 = *g11.index_of(id);
+    const int v22 = *g22.index_of(id);
+    if (!(p11->labels[static_cast<std::size_t>(v11)] ==
+          p22->labels[static_cast<std::size_t>(v22)])) {
+      out.labels_agree_on_window = false;
+    }
+  }
+  if (!out.labels_agree_on_window) return out;
+
+  // Stitch: G1 side from p11, window common, everything else from p22.
+  Proof stitched = Proof::empty(g12.n());
+  for (int v = 0; v < g12.n(); ++v) {
+    const NodeId id = g12.id(v);
+    const bool g1_side =
+        id > static_cast<NodeId>(k) && id <= static_cast<NodeId>(2 * k);
+    const Proof& source = g1_side ? *p11 : *p22;
+    const Graph& host = g1_side ? g11 : g22;
+    stitched.labels[static_cast<std::size_t>(v)] =
+        source.labels[static_cast<std::size_t>(*host.index_of(id))];
+  }
+  out.all_accept =
+      run_verifier(g12, stitched, scheme.verifier()).all_accept;
+  out.glued_is_yes = scheme.holds(g12);
+  return out;
+}
+
+}  // namespace lcp::lower

@@ -1,0 +1,60 @@
+// The Section 6.1 / 6.2 lower-bound machinery: symmetric graphs need
+// Theta(n^2)-bit proofs, fixpoint-free tree symmetry Theta(n).
+//
+// Both arguments count: there are 2^{Theta(k^2)} asymmetric connected
+// graphs (2^{Theta(k)} asymmetric rooted trees) on k nodes, but a scheme
+// with small proofs exposes only o(k^2) (o(k)) bits near the joining path
+// of G1 (.) G2 — so two different graphs collide, and transplanting their
+// proofs yields an accepted asymmetric (fixpoint-bearing) instance.
+//
+// We reproduce the counting exactly (orbit counting at k <= 7) and run the
+// transplant attack against truncated universal schemes.
+#ifndef LCP_LOWER_SYMMETRY_FOOLING_HPP_
+#define LCP_LOWER_SYMMETRY_FOOLING_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp::lower {
+
+/// Exact counts of asymmetric (identity-automorphism-only) connected
+/// graphs on k nodes.  `labeled` iterates all 2^{k(k-1)/2} graphs;
+/// `classes` = labeled / k!  (asymmetric orbits have full size).
+struct AsymmetricCount {
+  int k = 0;
+  long long labeled = 0;
+  long long classes = 0;
+};
+AsymmetricCount count_asymmetric_connected(int k);  // k <= 7
+
+/// One representative per isomorphism class of asymmetric connected
+/// k-node graphs (canonical-form dedup); k <= 6.
+std::vector<Graph> asymmetric_connected_representatives(int k);
+
+/// The paper's join G1 (.) G2: canonical copies C(G1, k) on ids k+1..2k
+/// and C(G2, 2k) on ids 2k+1..3k, joined by the path
+/// (k+1, 1, 2, ..., k, 2k+1) over fresh ids 1..k.
+/// If G1 and G2 are asymmetric: the join is symmetric iff G1 iso G2.
+Graph join_graphs(const Graph& g1, const Graph& g2);
+
+/// The transplant attack: prove G1(.)G1 and G2(.)G2, check the proofs
+/// agree on the window U = {ids 1..2r+1}, and stitch them onto G1(.)G2.
+struct TransplantOutcome {
+  bool proofs_exist = false;
+  bool labels_agree_on_window = false;
+  int first_label_difference = -1;  ///< first differing bit offset, -1 = none
+  bool all_accept = false;
+  bool glued_is_yes = false;
+  bool fooled() const {
+    return labels_agree_on_window && all_accept && !glued_is_yes;
+  }
+};
+TransplantOutcome run_symmetry_transplant(const Scheme& scheme,
+                                          const Graph& g1, const Graph& g2);
+
+}  // namespace lcp::lower
+
+#endif  // LCP_LOWER_SYMMETRY_FOOLING_HPP_

@@ -1,0 +1,216 @@
+#include "lower/threecol.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace lcp::lower {
+
+namespace {
+
+int add_fresh(Graph& g) {
+  return g.add_node(static_cast<NodeId>(g.n() + 1));
+}
+
+void edge_if_missing(Graph& g, int u, int v) {
+  if (!g.has_edge(u, v)) g.add_edge(u, v);
+}
+
+/// OR gadget: returns the output node o with
+///   o can be T  <=>  a = T or b = T      (o is forced T/F by an N edge).
+int or_gadget(Graph& g, int n_node, int a, int b) {
+  const int p = add_fresh(g);
+  const int q = add_fresh(g);
+  const int o = add_fresh(g);
+  g.add_edge(a, p);
+  g.add_edge(b, q);
+  g.add_edge(p, q);
+  g.add_edge(p, o);
+  g.add_edge(q, o);
+  g.add_edge(o, n_node);
+  return o;
+}
+
+/// NOT gadget: a node adjacent to `a` and N takes the opposite T/F value.
+int not_gadget(Graph& g, int n_node, int a) {
+  const int o = add_fresh(g);
+  g.add_edge(a, o);
+  g.add_edge(o, n_node);
+  return o;
+}
+
+}  // namespace
+
+PairSet all_pairs(int k) {
+  const int size = 1 << k;
+  PairSet out;
+  out.reserve(static_cast<std::size_t>(size) * static_cast<std::size_t>(size));
+  for (int x = 0; x < size; ++x) {
+    for (int y = 0; y < size; ++y) out.emplace_back(x, y);
+  }
+  return out;
+}
+
+PairSet complement_pairs(int k, const PairSet& a) {
+  PairSet sorted = a;
+  std::sort(sorted.begin(), sorted.end());
+  PairSet out;
+  for (const auto& p : all_pairs(k)) {
+    if (!std::binary_search(sorted.begin(), sorted.end(), p)) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+Gadget build_gadget(int k, const PairSet& a) {
+  Gadget gadget;
+  Graph& g = gadget.graph;
+  // Palette triangle.
+  gadget.t = add_fresh(g);
+  gadget.f = add_fresh(g);
+  gadget.n = add_fresh(g);
+  g.add_edge(gadget.t, gadget.f);
+  g.add_edge(gadget.f, gadget.n);
+  g.add_edge(gadget.n, gadget.t);
+  // Bit nodes, forced T/F.
+  for (int i = 0; i < k; ++i) {
+    gadget.x_bits.push_back(add_fresh(g));
+    g.add_edge(gadget.x_bits.back(), gadget.n);
+  }
+  for (int i = 0; i < k; ++i) {
+    gadget.y_bits.push_back(add_fresh(g));
+    g.add_edge(gadget.y_bits.back(), gadget.n);
+  }
+  // One forced-true clause per excluded pair: "some bit differs".
+  // NOT-gadgets are created for every bit unconditionally so the node
+  // layout depends only on (k, |A|) — the transplant experiments rely on
+  // matching layouts across different A of equal size.
+  for (const auto& [alpha, beta] : complement_pairs(k, a)) {
+    std::vector<int> literals;
+    for (int i = 0; i < k; ++i) {
+      const int neg = not_gadget(g, gadget.n, gadget.x_bits[
+          static_cast<std::size_t>(i)]);
+      const bool bit_set = (alpha >> i) & 1;
+      // literal "x_i != alpha_i": x_i itself when alpha_i = 0, else NOT x_i.
+      literals.push_back(bit_set ? neg
+                                 : gadget.x_bits[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < k; ++i) {
+      const int neg = not_gadget(g, gadget.n, gadget.y_bits[
+          static_cast<std::size_t>(i)]);
+      const bool bit_set = (beta >> i) & 1;
+      literals.push_back(bit_set ? neg
+                                 : gadget.y_bits[static_cast<std::size_t>(i)]);
+    }
+    int out = literals[0];
+    for (std::size_t i = 1; i < literals.size(); ++i) {
+      out = or_gadget(g, gadget.n, out, literals[i]);
+    }
+    // Force the clause output to T.
+    g.add_edge(out, gadget.f);
+    edge_if_missing(g, out, gadget.n);
+  }
+  return gadget;
+}
+
+JoinedGadget build_joined(int k, const PairSet& a, const PairSet& b, int r) {
+  if (r < 1) throw std::invalid_argument("build_joined: r >= 1");
+  const Gadget ga = build_gadget(k, a);
+  const Gadget gb = build_gadget(k, b);
+
+  JoinedGadget joined;
+  Graph& g = joined.graph;
+  joined.ga_size = ga.graph.n();
+  joined.gb_size = gb.graph.n();
+  // Copy G_A then G'_B (ids shifted).
+  for (int v = 0; v < ga.graph.n(); ++v) add_fresh(g);
+  for (int v = 0; v < gb.graph.n(); ++v) add_fresh(g);
+  for (int e = 0; e < ga.graph.m(); ++e) {
+    g.add_edge(ga.graph.edge_u(e), ga.graph.edge_v(e));
+  }
+  const int shift = ga.graph.n();
+  for (int e = 0; e < gb.graph.m(); ++e) {
+    g.add_edge(shift + gb.graph.edge_u(e), shift + gb.graph.edge_v(e));
+  }
+  joined.wire_start = g.n();
+
+  // 2k+1 wires of 3r triangle rows.  Endpoint identification per paper:
+  // w(1,1) = N and w(3r,1) = N' for every wire; w(1,2)/w(3r,2) carry the
+  // wire's payload (T/T', x_i/x'_i, y_i/y'_i).
+  struct WireEnds {
+    int start;  // payload endpoint in G_A
+    int end;    // payload endpoint in G'_B
+  };
+  std::vector<WireEnds> wires;
+  wires.push_back({ga.t, shift + gb.t});
+  for (int i = 0; i < k; ++i) {
+    wires.push_back({ga.x_bits[static_cast<std::size_t>(i)],
+                     shift + gb.x_bits[static_cast<std::size_t>(i)]});
+    wires.push_back({ga.y_bits[static_cast<std::size_t>(i)],
+                     shift + gb.y_bits[static_cast<std::size_t>(i)]});
+  }
+  const int rows = 3 * r;
+  for (const WireEnds& wire : wires) {
+    // node(i, j) for rows i = 1..rows, j = 1..3.
+    std::vector<std::array<int, 3>> node(static_cast<std::size_t>(rows));
+    for (int i = 1; i <= rows; ++i) {
+      auto& row = node[static_cast<std::size_t>(i - 1)];
+      if (i == 1) {
+        row[0] = ga.n;
+        row[1] = wire.start;
+        row[2] = add_fresh(g);
+      } else if (i == rows) {
+        row[0] = shift + gb.n;
+        row[1] = wire.end;
+        row[2] = add_fresh(g);
+      } else {
+        row[0] = add_fresh(g);
+        row[1] = add_fresh(g);
+        row[2] = add_fresh(g);
+      }
+      edge_if_missing(g, row[0], row[1]);
+      edge_if_missing(g, row[1], row[2]);
+      edge_if_missing(g, row[2], row[0]);
+      if (i > 1) {
+        const auto& prev = node[static_cast<std::size_t>(i - 2)];
+        for (int j = 0; j < 3; ++j) {
+          for (int j2 = 0; j2 < 3; ++j2) {
+            if (j != j2) edge_if_missing(g, prev[static_cast<std::size_t>(j)],
+                                         row[static_cast<std::size_t>(j2)]);
+          }
+        }
+      }
+    }
+  }
+  return joined;
+}
+
+bool joined_colorable_semantics(const PairSet& a, const PairSet& b) {
+  PairSet sorted = b;
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& p : a) {
+    if (std::binary_search(sorted.begin(), sorted.end(), p)) return true;
+  }
+  return false;
+}
+
+std::pair<int, int> decode_pair(const Gadget& gadget,
+                                const std::vector<int>& colors) {
+  const int t_color = colors[static_cast<std::size_t>(gadget.t)];
+  int x = 0;
+  int y = 0;
+  for (std::size_t i = 0; i < gadget.x_bits.size(); ++i) {
+    if (colors[static_cast<std::size_t>(gadget.x_bits[i])] == t_color) {
+      x |= 1 << i;
+    }
+  }
+  for (std::size_t i = 0; i < gadget.y_bits.size(); ++i) {
+    if (colors[static_cast<std::size_t>(gadget.y_bits[i])] == t_color) {
+      y |= 1 << i;
+    }
+  }
+  return {x, y};
+}
+
+}  // namespace lcp::lower

@@ -1,0 +1,50 @@
+#include "schemes/agreement.hpp"
+
+namespace lcp::schemes {
+
+AgreementScheme::AgreementScheme() {
+  verifier_ = std::make_unique<LambdaVerifier>(1, [](const View& v) {
+    for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+      if (v.ball.label(h.to) != v.ball.label(v.center)) return false;
+    }
+    return true;
+  });
+}
+
+bool AgreementScheme::holds(const Graph& g) const {
+  for (int v = 1; v < g.n(); ++v) {
+    if (g.label(v) != g.label(0)) return false;
+  }
+  return true;
+}
+
+std::optional<Proof> AgreementScheme::prove(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  return Proof::empty(g.n());
+}
+
+bool PlsAgreementScheme::holds(const Graph& g) const {
+  for (int v = 1; v < g.n(); ++v) {
+    if (g.label(v) != g.label(0)) return false;
+  }
+  return true;
+}
+
+Proof PlsAgreementScheme::prove(const Graph& g) const {
+  Proof proof = Proof::empty(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    proof.labels[static_cast<std::size_t>(v)].append_bit(g.label(v) != 0);
+  }
+  return proof;
+}
+
+bool PlsAgreementScheme::accept(const PlsView& view) const {
+  if (view.proof.size() != 1) return false;
+  if (view.proof.bit(0) != (view.label != 0)) return false;
+  for (const BitString& other : view.neighbor_proofs) {
+    if (!(other == view.proof)) return false;
+  }
+  return true;
+}
+
+}  // namespace lcp::schemes

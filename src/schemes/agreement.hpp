@@ -1,0 +1,45 @@
+// The agreement problem (Section 3.2): all nodes carry the same 1-bit
+// input label.
+//
+// In the paper's LCP model this is trivially LCP(0) — a node sees its
+// neighbours' inputs.  In the Korman et al. proof-labelling model a node
+// sees only neighbours' *proof* labels, so agreement needs 1 proof bit
+// [16, Lemma 2.1].  Implementing both sides reproduces the model
+// separation discussed in Section 3.2 (bench sec7_models).
+#ifndef LCP_SCHEMES_AGREEMENT_HPP_
+#define LCP_SCHEMES_AGREEMENT_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+#include "local/pls_model.hpp"
+
+namespace lcp::schemes {
+
+/// LCP-model agreement: radius 1, zero proof bits.
+class AgreementScheme final : public Scheme {
+ public:
+  AgreementScheme();
+  std::string name() const override { return "agreement"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 0; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// PLS-model agreement: each node's proof repeats its input bit; the
+/// verifier compares its own input to its own proof and its proof to the
+/// neighbours' proofs.  1 bit — provably necessary in this model.
+class PlsAgreementScheme final : public PlsVerifier {
+ public:
+  bool holds(const Graph& g) const;
+  Proof prove(const Graph& g) const;
+  bool accept(const PlsView& view) const override;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_AGREEMENT_HPP_

@@ -1,0 +1,43 @@
+#include "schemes/chromatic.hpp"
+
+#include "algo/coloring.hpp"
+
+namespace lcp::schemes {
+
+ChromaticLeqKScheme::ChromaticLeqKScheme(int k)
+    : k_(k), width_(k <= 1 ? 0 : bit_width_for(static_cast<std::uint64_t>(
+                                     k - 1))) {
+  const int width = width_;
+  verifier_ = std::make_unique<LambdaVerifier>(1, [k, width](const View& v) {
+    const BitString& mine = v.proof_of(v.center);
+    if (mine.size() != width) return false;
+    BitReader r(mine);
+    const std::uint64_t my_color = r.read_uint(width);
+    if (my_color >= static_cast<std::uint64_t>(k)) return false;
+    for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+      const BitString& other = v.proof_of(h.to);
+      if (other.size() != width) return false;
+      BitReader ro(other);
+      if (ro.read_uint(width) == my_color) return false;
+    }
+    return true;
+  });
+}
+
+bool ChromaticLeqKScheme::holds(const Graph& g) const {
+  return k_coloring(g, k_).has_value();
+}
+
+std::optional<Proof> ChromaticLeqKScheme::prove(const Graph& g) const {
+  const auto colors = k_coloring(g, k_);
+  if (!colors.has_value()) return std::nullopt;
+  Proof proof = Proof::empty(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    proof.labels[static_cast<std::size_t>(v)].append_uint(
+        static_cast<std::uint64_t>((*colors)[static_cast<std::size_t>(v)]),
+        width_);
+  }
+  return proof;
+}
+
+}  // namespace lcp::schemes

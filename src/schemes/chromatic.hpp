@@ -1,0 +1,34 @@
+// Chromatic number <= k (Section 2.2): the proof is a proper k-colouring,
+// O(log k) bits per node.
+#ifndef LCP_SCHEMES_CHROMATIC_HPP_
+#define LCP_SCHEMES_CHROMATIC_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+class ChromaticLeqKScheme final : public Scheme {
+ public:
+  explicit ChromaticLeqKScheme(int k);
+
+  std::string name() const override {
+    return "chromatic<=" + std::to_string(k_);
+  }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return width_; }
+
+  int k() const { return k_; }
+
+ private:
+  int k_;
+  int width_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_CHROMATIC_HPP_

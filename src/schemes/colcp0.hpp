@@ -1,0 +1,35 @@
+// The coLCP(0) -> LogLCP compiler (Section 7.3).
+//
+// On connected graphs, the decision of any LCP(0) verifier can be
+// *reversed* with O(log n) proof bits: root a spanning tree at a node
+// where the LCP(0) verifier rejects; every node checks the tree
+// certificate, and the root re-runs the inner verifier on its own ball to
+// confirm the rejection.
+#ifndef LCP_SCHEMES_COLCP0_HPP_
+#define LCP_SCHEMES_COLCP0_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+class CoLcp0Scheme final : public Scheme {
+ public:
+  /// `inner` must be an LCP(0) scheme (empty proofs).  The new scheme
+  /// decides the complement of the inner property on connected graphs.
+  explicit CoLcp0Scheme(std::shared_ptr<const Scheme> inner);
+
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+
+ private:
+  std::shared_ptr<const Scheme> inner_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_COLCP0_HPP_

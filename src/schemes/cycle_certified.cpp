@@ -1,0 +1,455 @@
+#include "schemes/cycle_certified.hpp"
+
+#include <algorithm>
+
+#include "algo/bipartite.hpp"
+#include "algo/hamilton.hpp"
+#include "algo/matching.hpp"
+#include "algo/traversal.hpp"
+#include "core/certificates.hpp"
+
+namespace lcp::schemes {
+
+namespace {
+
+int min_id_node(const Graph& g) {
+  int best = 0;
+  for (int v = 1; v < g.n(); ++v) {
+    if (g.id(v) < g.id(best)) best = v;
+  }
+  return best;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- non-bipartite --
+//
+// Honest Theta(log n) scheme only; the matching lower-bound experiment uses
+// ParityScheme(odd, b) on the cycle family, where non-bipartiteness and odd
+// order coincide.
+
+namespace {
+
+struct OddCycleLabel {
+  TreeCert cert;
+  bool on_cycle = false;
+  std::uint64_t pos = 0;
+  std::uint64_t length = 0;
+};
+
+std::optional<OddCycleLabel> read_odd_cycle_label(const BitString& bits) {
+  BitReader r(bits);
+  OddCycleLabel l;
+  const auto cert = read_tree_cert(r);
+  if (!cert.has_value()) return std::nullopt;
+  l.cert = *cert;
+  l.on_cycle = r.read_bit();
+  if (l.on_cycle) {
+    l.pos = r.read_uint(l.cert.width);
+    l.length = r.read_uint(l.cert.width);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return l;
+}
+
+bool verify_non_bipartite(const View& v) {
+  std::vector<std::optional<OddCycleLabel>> labels;
+  labels.reserve(v.proofs.size());
+  for (const BitString& b : v.proofs) {
+    labels.push_back(read_odd_cycle_label(b));
+  }
+  std::vector<std::optional<TreeCert>> certs;
+  for (const auto& l : labels) {
+    certs.push_back(l.has_value() ? std::optional<TreeCert>(l->cert)
+                                  : std::nullopt);
+  }
+  if (!check_tree_cert_at_center(v, certs, /*trunc_bits=*/0)) return false;
+  const OddCycleLabel& mine = *labels[static_cast<std::size_t>(v.center)];
+  const bool is_root = cert_says_root(mine.cert);
+
+  if (is_root) {
+    // The root anchors the cycle: position 0, odd claimed length.
+    if (!mine.on_cycle || mine.pos != 0) return false;
+    if (mine.length % 2 != 1 || mine.length < 3) return false;
+    if (mine.length > mine.cert.total) return false;
+  }
+  if (!mine.on_cycle) return true;
+  if (mine.pos == 0 && !is_root) return false;  // only the root claims 0
+  if (mine.length < 3 || mine.pos >= mine.length) return false;
+
+  // Exactly one successor (pos+1, or the root when I am last) and exactly
+  // one predecessor (pos-1, or the root when I am first); agreement on the
+  // length along the cycle.
+  int succs = 0;
+  int preds = 0;
+  for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+    const auto& other = labels[static_cast<std::size_t>(h.to)];
+    if (!other.has_value() || !other->on_cycle) continue;
+    if (other->length != mine.length) return false;
+    const bool other_root = cert_says_root(other->cert);
+    if (mine.pos + 1 == mine.length
+            ? (other_root && other->pos == 0)
+            : other->pos == mine.pos + 1) {
+      ++succs;
+    } else if (mine.pos == 0 ? other->pos == mine.length - 1
+                             : other->pos == mine.pos - 1) {
+      ++preds;
+    }
+  }
+  return succs == 1 && preds == 1;
+}
+
+}  // namespace
+
+NonBipartiteScheme::NonBipartiteScheme(int trunc_bits)
+    : trunc_bits_(trunc_bits) {
+  // The odd-cycle walk does not truncate soundly (modular positions break
+  // completeness at the wrap); only the honest variant is provided.
+  (void)trunc_bits_;
+  verifier_ = std::make_unique<LambdaVerifier>(
+      2, [](const View& v) { return verify_non_bipartite(v); });
+}
+
+std::string NonBipartiteScheme::name() const { return "non-bipartite"; }
+
+bool NonBipartiteScheme::holds(const Graph& g) const {
+  return is_connected(g) && !is_bipartite(g);
+}
+
+std::optional<Proof> NonBipartiteScheme::prove(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  const std::vector<int> cycle = *find_odd_cycle(g);
+  const int root = cycle[0];
+  const std::vector<TreeCert> certs =
+      make_tree_cert_labels(g, bfs_tree(g, root), /*trunc_bits=*/0);
+  Proof proof = Proof::empty(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    append_tree_cert(proof.labels[static_cast<std::size_t>(v)],
+                     certs[static_cast<std::size_t>(v)]);
+  }
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    // Re-encode cycle members with the cycle fields appended.
+    BitString label;
+    append_tree_cert(label, certs[static_cast<std::size_t>(cycle[i])]);
+    label.append_bit(true);
+    label.append_uint(static_cast<std::uint64_t>(i),
+                      certs[static_cast<std::size_t>(cycle[i])].width);
+    label.append_uint(static_cast<std::uint64_t>(cycle.size()),
+                      certs[static_cast<std::size_t>(cycle[i])].width);
+    proof.labels[static_cast<std::size_t>(cycle[i])] = std::move(label);
+  }
+  // Non-members still need the off-cycle flag.
+  std::vector<bool> on_cycle(static_cast<std::size_t>(g.n()), false);
+  for (int v : cycle) on_cycle[static_cast<std::size_t>(v)] = true;
+  for (int v = 0; v < g.n(); ++v) {
+    if (!on_cycle[static_cast<std::size_t>(v)]) {
+      proof.labels[static_cast<std::size_t>(v)].append_bit(false);
+    }
+  }
+  return proof;
+}
+
+int NonBipartiteScheme::advertised_size(int n) const {
+  const int w = bit_width_for(static_cast<std::uint64_t>(4 * n * n));
+  return 14 + 4 * w + 1 + 2 * w;
+}
+
+// -------------------------------------------------- max matching on cycles --
+
+namespace {
+
+/// Number of labelled matching edges at the centre; -1 on a violated
+/// matching (>= 2 incident edges).
+int center_matched_degree(const View& v, std::uint64_t bit) {
+  int count = 0;
+  for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+    if (v.ball.edge_label(h.edge) & bit) ++count;
+  }
+  return count <= 1 ? count : -1;
+}
+
+}  // namespace
+
+MaxMatchingCycleScheme::MaxMatchingCycleScheme(int trunc_bits)
+    : trunc_bits_(trunc_bits) {
+  verifier_ = std::make_unique<LambdaVerifier>(2, [trunc_bits](const View& v) {
+    const int matched = center_matched_degree(v, kMatchedBit);
+    if (matched < 0) return false;  // not a matching
+    if (v.proof_of(v.center).empty()) {
+      // Perfect-matching mode; neighbours must run in the same mode.
+      for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+        if (!v.proof_of(h.to).empty()) return false;
+      }
+      return matched == 1;
+    }
+    // Odd-n mode: tree certificate rooted at the unique unmatched node.
+    std::vector<std::optional<TreeCert>> certs;
+    for (const BitString& b : v.proofs) {
+      BitReader r(b);
+      certs.push_back(read_tree_cert(r));
+      if (certs.back().has_value() && !r.exhausted()) certs.back().reset();
+    }
+    if (!check_tree_cert_at_center(v, certs, trunc_bits)) return false;
+    const TreeCert& mine = *certs[static_cast<std::size_t>(v.center)];
+    if (cert_says_root(mine)) {
+      return matched == 0 && mine.total % 2 == 1;
+    }
+    return matched == 1;
+  });
+}
+
+std::string MaxMatchingCycleScheme::name() const {
+  return trunc_bits_ == 0
+             ? "max-matching-cycles"
+             : "max-matching-cycles/b=" + std::to_string(trunc_bits_);
+}
+
+bool MaxMatchingCycleScheme::holds(const Graph& g) const {
+  if (!is_connected(g) || g.n() < 3) return false;
+  for (int v = 0; v < g.n(); ++v) {
+    if (g.degree(v) != 2) return false;  // family promise: cycles
+  }
+  std::vector<bool> mask(static_cast<std::size_t>(g.m()), false);
+  for (int e = 0; e < g.m(); ++e) {
+    mask[static_cast<std::size_t>(e)] = (g.edge_label(e) & kMatchedBit) != 0;
+  }
+  if (!is_matching(g, mask)) return false;
+  int size = 0;
+  for (std::size_t e = 0; e < mask.size(); ++e) size += mask[e] ? 1 : 0;
+  return size == g.n() / 2;
+}
+
+std::optional<Proof> MaxMatchingCycleScheme::prove(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  if (g.n() % 2 == 0) return Proof::empty(g.n());
+  // Odd cycle: root the certificate at the unique unmatched node.
+  std::vector<bool> mask(static_cast<std::size_t>(g.m()), false);
+  for (int e = 0; e < g.m(); ++e) {
+    mask[static_cast<std::size_t>(e)] = (g.edge_label(e) & kMatchedBit) != 0;
+  }
+  const std::vector<int> mates = mates_from_mask(g, mask);
+  int root = -1;
+  for (int v = 0; v < g.n(); ++v) {
+    if (mates[static_cast<std::size_t>(v)] < 0) root = v;
+  }
+  const std::vector<TreeCert> certs =
+      make_tree_cert_labels(g, bfs_tree(g, root), trunc_bits_);
+  Proof proof = Proof::empty(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    append_tree_cert(proof.labels[static_cast<std::size_t>(v)],
+                     certs[static_cast<std::size_t>(v)]);
+  }
+  return proof;
+}
+
+int MaxMatchingCycleScheme::advertised_size(int n) const {
+  return trunc_bits_ > 0 ? 14 + 4 * trunc_bits_
+                         : tree_cert_bits(n, static_cast<NodeId>(4 * n * n));
+}
+
+// -------------------------------------------------------- hamiltonian cycle --
+
+namespace {
+
+struct PosLabel {
+  TreeCert cert;
+  std::uint64_t pos = 0;
+};
+
+std::optional<PosLabel> read_pos_label(const BitString& bits) {
+  BitReader r(bits);
+  PosLabel l;
+  const auto cert = read_tree_cert(r);
+  if (!cert.has_value()) return std::nullopt;
+  l.cert = *cert;
+  l.pos = r.read_uint(l.cert.width);
+  if (!r.exhausted()) return std::nullopt;
+  return l;
+}
+
+/// Decodes PosLabels and verifies the shared tree certificate.
+std::optional<std::vector<std::optional<PosLabel>>> pos_labels_checked(
+    const View& v) {
+  std::vector<std::optional<PosLabel>> labels;
+  for (const BitString& b : v.proofs) labels.push_back(read_pos_label(b));
+  std::vector<std::optional<TreeCert>> certs;
+  for (const auto& l : labels) {
+    certs.push_back(l.has_value() ? std::optional<TreeCert>(l->cert)
+                                  : std::nullopt);
+  }
+  if (!check_tree_cert_at_center(v, certs, /*trunc_bits=*/0)) {
+    return std::nullopt;
+  }
+  return labels;
+}
+
+}  // namespace
+
+HamiltonianCycleScheme::HamiltonianCycleScheme(int trunc_bits)
+    : trunc_bits_(trunc_bits) {
+  // Positions mod n do not truncate soundly; honest variant only.
+  (void)trunc_bits_;
+  verifier_ = std::make_unique<LambdaVerifier>(2, [](const View& v) {
+    const auto labels = pos_labels_checked(v);
+    if (!labels.has_value()) return false;
+    const PosLabel& mine = *(*labels)[static_cast<std::size_t>(v.center)];
+    const std::uint64_t n = mine.cert.total;
+    if (n < 3 || mine.pos >= n) return false;
+
+    // Exactly two labelled cycle edges; their far positions must be mine-1
+    // and mine+1 (mod the certified n).
+    std::vector<std::uint64_t> around;
+    for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+      if (!(v.ball.edge_label(h.edge) & kCycleEdgeBit)) continue;
+      const auto& other = (*labels)[static_cast<std::size_t>(h.to)];
+      if (!other.has_value()) return false;
+      around.push_back(other->pos);
+    }
+    if (around.size() != 2) return false;
+    const std::uint64_t up = (mine.pos + 1) % n;
+    const std::uint64_t down = (mine.pos + n - 1) % n;
+    if (up == down) return false;  // n <= 2 already rejected
+    return (around[0] == up && around[1] == down) ||
+           (around[0] == down && around[1] == up);
+  });
+}
+
+std::string HamiltonianCycleScheme::name() const {
+  return "hamiltonian-cycle";
+}
+
+bool HamiltonianCycleScheme::holds(const Graph& g) const {
+  if (!is_connected(g)) return false;
+  std::vector<bool> mask(static_cast<std::size_t>(g.m()), false);
+  for (int e = 0; e < g.m(); ++e) {
+    mask[static_cast<std::size_t>(e)] = (g.edge_label(e) & kCycleEdgeBit) != 0;
+  }
+  return is_hamiltonian_cycle(g, mask);
+}
+
+std::optional<Proof> HamiltonianCycleScheme::prove(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  // Walk the labelled cycle from the min-id node to assign positions.
+  const int root = min_id_node(g);
+  std::vector<std::uint64_t> pos(static_cast<std::size_t>(g.n()), 0);
+  int prev = -1;
+  int cur = root;
+  for (int step = 0; step < g.n(); ++step) {
+    pos[static_cast<std::size_t>(cur)] = static_cast<std::uint64_t>(step);
+    int next = -1;
+    for (const HalfEdge& h : g.neighbors(cur)) {
+      if ((g.edge_label(h.edge) & kCycleEdgeBit) && h.to != prev) {
+        next = h.to;
+        break;
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  const std::vector<TreeCert> certs =
+      make_tree_cert_labels(g, bfs_tree(g, root), /*trunc_bits=*/0);
+  Proof proof = Proof::empty(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    BitString& label = proof.labels[static_cast<std::size_t>(v)];
+    append_tree_cert(label, certs[static_cast<std::size_t>(v)]);
+    label.append_uint(pos[static_cast<std::size_t>(v)],
+                      certs[static_cast<std::size_t>(v)].width);
+  }
+  return proof;
+}
+
+int HamiltonianCycleScheme::advertised_size(int n) const {
+  const int w = bit_width_for(static_cast<std::uint64_t>(4 * n * n));
+  return 14 + 5 * w;
+}
+
+// --------------------------------------------------------- hamiltonian path --
+
+HamiltonianPathScheme::HamiltonianPathScheme(int trunc_bits)
+    : trunc_bits_(trunc_bits) {
+  (void)trunc_bits_;
+  verifier_ = std::make_unique<LambdaVerifier>(2, [](const View& v) {
+    const auto labels = pos_labels_checked(v);
+    if (!labels.has_value()) return false;
+    const PosLabel& mine = *(*labels)[static_cast<std::size_t>(v.center)];
+    const std::uint64_t n = mine.cert.total;
+    if (n < 2 || mine.pos >= n) return false;
+
+    std::vector<std::uint64_t> around;
+    for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+      if (!(v.ball.edge_label(h.edge) & kPathEdgeBit)) continue;
+      const auto& other = (*labels)[static_cast<std::size_t>(h.to)];
+      if (!other.has_value()) return false;
+      around.push_back(other->pos);
+    }
+    const bool first = mine.pos == 0;
+    const bool last = mine.pos + 1 == n;
+    if (first && last) return false;
+    if (first) return around.size() == 1 && around[0] == mine.pos + 1;
+    if (last) return around.size() == 1 && around[0] == mine.pos - 1;
+    if (around.size() != 2) return false;
+    return (around[0] == mine.pos + 1 && around[1] == mine.pos - 1) ||
+           (around[0] == mine.pos - 1 && around[1] == mine.pos + 1);
+  });
+}
+
+std::string HamiltonianPathScheme::name() const { return "hamiltonian-path"; }
+
+bool HamiltonianPathScheme::holds(const Graph& g) const {
+  if (!is_connected(g) || g.n() < 2) return false;
+  std::vector<bool> mask(static_cast<std::size_t>(g.m()), false);
+  for (int e = 0; e < g.m(); ++e) {
+    mask[static_cast<std::size_t>(e)] = (g.edge_label(e) & kPathEdgeBit) != 0;
+  }
+  return is_hamiltonian_path(g, mask);
+}
+
+std::optional<Proof> HamiltonianPathScheme::prove(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  auto path_degree = [&g](int v) {
+    int d = 0;
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (g.edge_label(h.edge) & kPathEdgeBit) ++d;
+    }
+    return d;
+  };
+  int start = -1;
+  for (int v = 0; v < g.n(); ++v) {
+    if (path_degree(v) == 1) {
+      start = v;
+      break;
+    }
+  }
+  std::vector<std::uint64_t> pos(static_cast<std::size_t>(g.n()), 0);
+  int prev = -1;
+  int cur = start;
+  for (int step = 0; step < g.n() && cur >= 0; ++step) {
+    pos[static_cast<std::size_t>(cur)] = static_cast<std::uint64_t>(step);
+    int next = -1;
+    for (const HalfEdge& h : g.neighbors(cur)) {
+      if ((g.edge_label(h.edge) & kPathEdgeBit) && h.to != prev) {
+        next = h.to;
+        break;
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+  const std::vector<TreeCert> certs =
+      make_tree_cert_labels(g, bfs_tree(g, start), /*trunc_bits=*/0);
+  Proof proof = Proof::empty(g.n());
+  for (int v = 0; v < g.n(); ++v) {
+    BitString& label = proof.labels[static_cast<std::size_t>(v)];
+    append_tree_cert(label, certs[static_cast<std::size_t>(v)]);
+    label.append_uint(pos[static_cast<std::size_t>(v)],
+                      certs[static_cast<std::size_t>(v)].width);
+  }
+  return proof;
+}
+
+int HamiltonianPathScheme::advertised_size(int n) const {
+  const int w = bit_width_for(static_cast<std::uint64_t>(4 * n * n));
+  return 14 + 5 * w;
+}
+
+}  // namespace lcp::schemes

@@ -1,0 +1,93 @@
+// LogLCP schemes that certify a distinguished cycle or path on top of the
+// spanning-tree certificate (Sections 5.1 and 5.4).
+//
+// All schemes take the usual `trunc_bits` knob: 0 = honest Theta(log n)
+// scheme, b >= 1 = complete-but-unsound b-bit variant for the lower-bound
+// experiments.
+#ifndef LCP_SCHEMES_CYCLE_CERTIFIED_HPP_
+#define LCP_SCHEMES_CYCLE_CERTIFIED_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+/// Chromatic number > 2 on connected graphs (Section 5.1): the proof roots
+/// a spanning tree at a node of an odd cycle and walks a counter around the
+/// cycle; the root confirms the counted length is odd.
+class NonBipartiteScheme final : public Scheme {
+ public:
+  explicit NonBipartiteScheme(int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+ private:
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Maximum matching on the family of cycles (Section 5.4, Theta(log n)).
+/// Perfect matchings verify with empty proofs; otherwise the unique
+/// unmatched node roots a tree certificate that proves n is odd.
+class MaxMatchingCycleScheme final : public Scheme {
+ public:
+  explicit MaxMatchingCycleScheme(int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+  static constexpr std::uint64_t kMatchedBit = 1;
+
+ private:
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Hamiltonian cycle on connected graphs (Section 5.1, Theta(log n)):
+/// labelled edges must form one cycle through all nodes.  The certificate
+/// proves n; positions mod n force every labelled cycle to have length
+/// exactly n.
+class HamiltonianCycleScheme final : public Scheme {
+ public:
+  explicit HamiltonianCycleScheme(int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+  static constexpr std::uint64_t kCycleEdgeBit = 1;
+
+ private:
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Hamiltonian path on connected graphs: endpoints carry positions 0 and
+/// n-1; positions increase strictly along the path, so no modular wrap is
+/// needed.
+class HamiltonianPathScheme final : public Scheme {
+ public:
+  explicit HamiltonianPathScheme(int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+  static constexpr std::uint64_t kPathEdgeBit = 1;
+
+ private:
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_CYCLE_CERTIFIED_HPP_

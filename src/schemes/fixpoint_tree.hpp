@@ -1,0 +1,37 @@
+// Fixpoint-free symmetry on trees (Section 6.2): a Theta(n) property.
+//
+// Upper bound: a tree fits into Theta(n) bits (its canonical
+// balanced-parentheses code) plus a Theta(log n)-bit "which node am I"
+// position.  Each node checks that all neighbours carry the identical
+// structure string and that the claimed positions of its neighbours are
+// exactly its decoded parent and children — a local isomorphism, i.e. a
+// covering map; coverings of trees are isomorphisms, so the decoded tree
+// IS the input tree, and the verifier brute-forces the predicate on it.
+//
+// Lower bound (Theta(n)) is exercised by bench/sec6_trees via the counting
+// argument over asymmetric rooted trees.
+#ifndef LCP_SCHEMES_FIXPOINT_TREE_HPP_
+#define LCP_SCHEMES_FIXPOINT_TREE_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+class FixpointFreeTreeScheme final : public Scheme {
+ public:
+  FixpointFreeTreeScheme();
+  std::string name() const override { return "fixpoint-free-tree"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override { return 2 * n + 20; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_FIXPOINT_TREE_HPP_

@@ -1,0 +1,46 @@
+// LCP(0) graph properties (Sections 1.1, 2.2): locally checkable with no
+// proof at all.
+#ifndef LCP_SCHEMES_LCP0_HPP_
+#define LCP_SCHEMES_LCP0_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+/// Eulerian graphs on the family of connected graphs: every node has even
+/// degree.  Radius-1 verifier, empty proof.
+class EulerianScheme final : public Scheme {
+ public:
+  EulerianScheme();
+  std::string name() const override { return "eulerian"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 0; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Line graphs on general graphs: by Beineke's theorem, no forbidden
+/// induced subgraph (all of which have <= 6 nodes), so a constant-radius
+/// verifier scans its ball.  The forbidden set is derived, not hardcoded
+/// (see algo/line_graph.hpp).
+class LineGraphScheme final : public Scheme {
+ public:
+  LineGraphScheme();
+  std::string name() const override { return "line-graph"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 0; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_LCP0_HPP_

@@ -1,0 +1,94 @@
+// LCP(O(1)) properties (Sections 1.2 and 4.1): constant-size proofs.
+#ifndef LCP_SCHEMES_LCP_CONST_HPP_
+#define LCP_SCHEMES_LCP_CONST_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+/// Node input labels marking the distinguished nodes of the reachability
+/// and connectivity problems (Section 4's promise: exactly one of each).
+inline constexpr std::uint64_t kSourceLabel = 1;
+inline constexpr std::uint64_t kTargetLabel = 2;
+
+/// Bipartite graphs, general family: the proof is a 2-colouring, 1 bit.
+class BipartiteScheme final : public Scheme {
+ public:
+  BipartiteScheme();
+  std::string name() const override { return "bipartite"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 1; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Even n(G) on the family of cycles: a cycle 2-colours iff it is even,
+/// so the bipartite proof doubles as a parity proof.  1 bit.
+class EvenCycleScheme final : public Scheme {
+ public:
+  EvenCycleScheme();
+  std::string name() const override { return "even-n-cycles"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 1; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// s-t reachability in undirected graphs (Section 4.1): mark a shortest
+/// (hence chordless) s-t path with 1 bit per node; the verifier counts
+/// marked neighbours (1 at s and t, 2 at internal marked nodes).
+class StReachabilityScheme final : public Scheme {
+ public:
+  StReachabilityScheme();
+  std::string name() const override { return "st-reachability"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 1; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// s-t unreachability in undirected graphs (Section 4.1): a 1-bit S/T
+/// partition with no edge between the sides.
+class StUnreachableScheme final : public Scheme {
+ public:
+  StUnreachableScheme();
+  std::string name() const override { return "st-unreachability"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 1; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Directed s-t unreachability (Section 4.1): the same 1-bit partition,
+/// but only arcs *from* S *to* T are forbidden (back-edges are fine).
+/// Directions live in edge labels; see graph/directed.hpp.
+class StUnreachableDirectedScheme final : public Scheme {
+ public:
+  StUnreachableDirectedScheme();
+  std::string name() const override { return "st-unreachability-directed"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 1; }
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_LCP_CONST_HPP_

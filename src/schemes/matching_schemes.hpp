@@ -1,0 +1,92 @@
+// Matching and independent-set problem schemes (Table 1b, Section 2.3).
+#ifndef LCP_SCHEMES_MATCHING_SCHEMES_HPP_
+#define LCP_SCHEMES_MATCHING_SCHEMES_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+/// Maximal matching, LCP(0): edges with label bit 0 must form a matching
+/// (radius 1) that is maximal (radius 2: an unmatched node must see no
+/// unmatched neighbour, and a neighbour's matchedness is visible from the
+/// edges incident to it).
+class MaximalMatchingScheme final : public Scheme {
+ public:
+  MaximalMatchingScheme();
+  std::string name() const override { return "maximal-matching"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 0; }
+
+  static constexpr std::uint64_t kMatchedBit = 1;
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Maximal independent set, the classic LCL example (Section 3): nodes
+/// with input label 1 must form an independent set (radius 1) that is
+/// maximal (radius 1: every unlabelled node has a labelled neighbour).
+class MaximalIndependentSetScheme final : public Scheme {
+ public:
+  MaximalIndependentSetScheme();
+  std::string name() const override { return "lcl-mis"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 0; }
+
+  static constexpr std::uint64_t kInSetLabel = 1;
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Maximum-cardinality matching on bipartite graphs, LCP(1): the proof is
+/// a minimum vertex cover built from the *given* matching via Konig's
+/// construction; the verifier checks |C| = |M| locally (every edge covered,
+/// every cover node matched, every matching edge covered exactly once).
+class MaxMatchingBipartiteScheme final : public Scheme {
+ public:
+  MaxMatchingBipartiteScheme();
+  std::string name() const override { return "max-matching-bipartite"; }
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return 1; }
+
+  static constexpr std::uint64_t kMatchedBit = 1;
+
+ private:
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Maximum-weight matching on bipartite graphs with integer edge weights
+/// 0..W, LCP(O(log W)): the proof stores an optimal integral LP dual y_v
+/// per node; the verifier checks feasibility (y_u + y_v >= w_e) and
+/// complementary slackness (equality on matching edges; y_v > 0 only at
+/// matched nodes), which together certify optimality.
+class MaxWeightMatchingScheme final : public Scheme {
+ public:
+  /// `max_weight` is the weight bound W known to all nodes.
+  explicit MaxWeightMatchingScheme(std::int64_t max_weight);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override { return width_; }
+
+  static constexpr std::uint64_t kMatchedBit = 1;
+
+ private:
+  std::int64_t max_weight_;
+  int width_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_MATCHING_SCHEMES_HPP_

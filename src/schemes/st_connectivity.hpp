@@ -1,0 +1,47 @@
+// s-t vertex connectivity == k (Section 4.2).
+//
+// Yes-instances have, by Menger's theorem, k internally vertex-disjoint
+// s-t paths *and* a size-k separator C with partition V = S + C + T,
+// s in S, t in T, no S-T edge.  The proof stores per node: the partition
+// side, and for path nodes the path identity, the distance-from-s mod 3
+// (orientation), and start/end flags.  The verifier's local checks force
+// k disjoint chains from s to t (connectivity >= k) and confine every
+// chain to one separator crossing (connectivity <= k).
+//
+// Path identity comes in two flavours:
+//  - kUniqueIndices: indices 1..k, O(log k) bits (general graphs);
+//  - kThreeColors:  a proper 3-colouring of the path-adjacency graph,
+//    O(1) bits — enough on planar inputs, where adjacent disjoint paths
+//    form a 3-colourable adjacency structure (Section 4.2's final remark).
+#ifndef LCP_SCHEMES_ST_CONNECTIVITY_HPP_
+#define LCP_SCHEMES_ST_CONNECTIVITY_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+enum class PathNaming { kUniqueIndices, kThreeColors };
+
+class StConnectivityScheme final : public Scheme {
+ public:
+  /// `k` is the connectivity to certify (given to all nodes, as in the
+  /// paper); `naming` selects the general or the planar variant.
+  StConnectivityScheme(int k, PathNaming naming);
+
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int) const override;
+
+ private:
+  int k_;
+  PathNaming naming_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_ST_CONNECTIVITY_HPP_

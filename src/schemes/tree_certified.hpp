@@ -1,0 +1,97 @@
+// LogLCP schemes built on the spanning-tree certificate (Section 5.1).
+//
+// Each scheme takes a `trunc_bits` parameter: 0 gives the honest
+// Theta(log n) scheme; b >= 1 stores every certificate field mod 2^b,
+// which keeps the scheme complete but opens the soundness hole that the
+// Section 5 gluing attack exploits (the empirical lower bound).
+#ifndef LCP_SCHEMES_TREE_CERTIFIED_HPP_
+#define LCP_SCHEMES_TREE_CERTIFIED_HPP_
+
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+/// Node input label marking the elected leader.
+inline constexpr std::uint64_t kLeaderFlag = 1;
+
+/// Leader election (Table 1b, Theta(log n)): the proof is a spanning tree
+/// rooted at the leader; the tree certificate forces a unique root, and
+/// root <=> leader-flag forces a unique leader.  Strong scheme: certifies
+/// whatever single leader the input designates.
+class LeaderElectionScheme final : public Scheme {
+ public:
+  explicit LeaderElectionScheme(int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+ private:
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Spanning tree verification (Table 1b, Theta(log n)): edges with label
+/// bit 0 set must form a spanning tree.  The certificate orients the given
+/// tree and the verifier additionally checks that the certified tree edges
+/// are exactly the labelled edges.
+class SpanningTreeScheme final : public Scheme {
+ public:
+  explicit SpanningTreeScheme(int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+  /// Edge label bit marking tree membership.
+  static constexpr std::uint64_t kTreeEdgeBit = 1;
+
+ private:
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Parity of n(G) on connected graphs (Section 5.1: "odd number of nodes"
+/// is in LogLCP): subtree counters certify n at the root, which checks the
+/// parity.  `want_odd` selects odd or even.
+class ParityScheme final : public Scheme {
+ public:
+  explicit ParityScheme(bool want_odd, int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+ private:
+  bool want_odd_;
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Acyclicity on general graphs (Section 5.1): every component is a tree.
+/// Proof: the distance to a per-component root.  Every edge must step the
+/// distance by exactly one and every positive-distance node has exactly
+/// one lower neighbour; a cycle would contain a local maximum with two
+/// lower neighbours.  Radius 1, O(log n) bits, no ports needed.
+class AcyclicScheme final : public Scheme {
+ public:
+  explicit AcyclicScheme(int trunc_bits = 0);
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+ private:
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_TREE_CERTIFIED_HPP_

@@ -1,0 +1,62 @@
+// The universal O(n^2) scheme (Section 6): on connected graphs, ANY
+// computable pure graph property admits a locally checkable proof that
+// simply ships the whole graph to every node.
+//
+// Label layout (common part | per-node part):
+//   [6: id width w][20: n][n*w: sorted ids][n^2: adjacency matrix][20: index]
+// Every node checks that the common part matches its neighbours', that its
+// own id sits at its claimed index, that its matrix row equals its actual
+// neighbourhood, that the matrix is symmetric/loop-free and the decoded
+// graph connected — on a connected input this forces the decoded graph to
+// BE the input graph, after which the node evaluates the predicate by
+// unrestricted local computation.
+//
+// This single scheme realises three Table-1 rows: any computable property
+// (O(n^2)), symmetric graphs (Theta(n^2)), and non-3-colourability
+// (O(n^2), Omega(n^2/log n)).  The truncated variant keeps only the first
+// b bits per node — still complete, and the Section 6.1 transplant attack
+// shows it unsound, reproducing the counting lower bound.
+#ifndef LCP_SCHEMES_UNIVERSAL_HPP_
+#define LCP_SCHEMES_UNIVERSAL_HPP_
+
+#include <functional>
+#include <memory>
+
+#include "core/scheme.hpp"
+
+namespace lcp::schemes {
+
+class UniversalScheme final : public Scheme {
+ public:
+  using Predicate = std::function<bool(const Graph&)>;
+
+  /// `trunc_bits == 0`: the sound O(n^2) scheme.  `trunc_bits == b`: keep
+  /// only the first b bits of every label (complete, unsound).
+  UniversalScheme(std::string property_name, Predicate predicate,
+                  int trunc_bits = 0);
+
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  int advertised_size(int n) const override;
+
+  /// The untruncated label for node v of g (used by the fooling benches).
+  static BitString full_label(const Graph& g, int v);
+
+ private:
+  std::string property_name_;
+  Predicate predicate_;
+  int trunc_bits_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Symmetric graphs (Section 6.1): a nontrivial automorphism exists.
+std::shared_ptr<Scheme> make_symmetric_graph_scheme(int trunc_bits = 0);
+
+/// Non-3-colourability (Section 6.3): chromatic number > 3.
+std::shared_ptr<Scheme> make_non_3_colorable_scheme(int trunc_bits = 0);
+
+}  // namespace lcp::schemes
+
+#endif  // LCP_SCHEMES_UNIVERSAL_HPP_

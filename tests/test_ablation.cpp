@@ -1,0 +1,146 @@
+// Ablation study: every field of the spanning-tree certificate is
+// load-bearing.  For each field we mount the *best consistent lie* an
+// adversary could tell through that field alone and show some node
+// catches it — plus a positive control per graph.
+//
+// (Section 7.2 coda: the strong/weak distinction.  Our problem schemes
+// certify whatever solution the input carries; the last test shows the
+// leader-election proof size does not depend on which leader was chosen,
+// so the strong and weak complexities coincide here, as the paper notes.)
+#include <gtest/gtest.h>
+
+#include "algo/traversal.hpp"
+#include "core/certificates.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+using schemes::kLeaderFlag;
+using schemes::LeaderElectionScheme;
+
+Graph leader_graph(int which, int leader) {
+  Graph g;
+  switch (which) {
+    case 0: g = gen::cycle(9); break;
+    case 1: g = gen::random_tree(10, 3); break;
+    case 2: g = gen::random_connected(11, 0.3, 5); break;
+    default: g = gen::grid(3, 4); break;
+  }
+  g.set_label(leader % g.n(), kLeaderFlag);
+  return g;
+}
+
+Proof reencode(const std::vector<TreeCert>& certs) {
+  Proof p = Proof::empty(static_cast<int>(certs.size()));
+  for (std::size_t v = 0; v < certs.size(); ++v) {
+    append_tree_cert(p.labels[v], certs[v]);
+  }
+  return p;
+}
+
+std::vector<TreeCert> honest_certs(const Graph& g) {
+  const int leader = *g.find_label(kLeaderFlag);
+  return make_tree_cert_labels(g, bfs_tree(g, leader), 0);
+}
+
+class CertAblation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CertAblation, PositiveControl) {
+  const Graph g = leader_graph(GetParam(), 2);
+  const LeaderElectionScheme scheme;
+  EXPECT_TRUE(
+      run_verifier(g, reencode(honest_certs(g)), scheme.verifier()).all_accept);
+}
+
+TEST_P(CertAblation, DistancesAreLoadBearing) {
+  const Graph g = leader_graph(GetParam(), 2);
+  auto certs = honest_certs(g);
+  // Best consistent lie: shift every distance by one (relative deltas are
+  // preserved; only the root anchor can notice).
+  for (TreeCert& c : certs) c.dist += 1;
+  EXPECT_FALSE(run_verifier(g, reencode(certs),
+                            LeaderElectionScheme().verifier())
+                   .all_accept);
+}
+
+TEST_P(CertAblation, SubtreeCountersAreLoadBearing) {
+  const Graph g = leader_graph(GetParam(), 2);
+  auto certs = honest_certs(g);
+  // Claim one node extra everywhere (and at the root's total, keeping the
+  // root-local total == subtree check satisfied).
+  for (TreeCert& c : certs) {
+    c.subtree += 1;
+    c.total += 1;
+  }
+  EXPECT_FALSE(run_verifier(g, reencode(certs),
+                            LeaderElectionScheme().verifier())
+                   .all_accept);
+}
+
+TEST_P(CertAblation, RootIdIsLoadBearing) {
+  const Graph g = leader_graph(GetParam(), 2);
+  auto certs = honest_certs(g);
+  // A globally consistent foreign root id — the id of some non-leader
+  // node, so it survives the width encoding unchanged.  Without the id
+  // check two partitions could each elect their own root.
+  const int leader = *g.find_label(kLeaderFlag);
+  const NodeId foreign = g.id((leader + 1) % g.n());
+  for (TreeCert& c : certs) c.root_id = foreign;
+  EXPECT_FALSE(run_verifier(g, reencode(certs),
+                            LeaderElectionScheme().verifier())
+                   .all_accept);
+}
+
+TEST_P(CertAblation, ParentPortsAreLoadBearing) {
+  const Graph g = leader_graph(GetParam(), 2);
+  auto certs = honest_certs(g);
+  // Rotate every non-root parent port by one: distances or subtree sums
+  // stop matching at some node.
+  bool changed = false;
+  for (int v = 0; v < g.n(); ++v) {
+    TreeCert& c = certs[static_cast<std::size_t>(v)];
+    if (c.is_root || g.degree(v) < 2) continue;
+    c.parent_port = (c.parent_port + 1) % g.degree(v);
+    changed = true;
+  }
+  ASSERT_TRUE(changed);
+  EXPECT_FALSE(run_verifier(g, reencode(certs),
+                            LeaderElectionScheme().verifier())
+                   .all_accept);
+}
+
+TEST_P(CertAblation, RootFlagIsLoadBearing) {
+  const Graph g = leader_graph(GetParam(), 2);
+  auto certs = honest_certs(g);
+  // Drop the root claim everywhere: the leader node's own check fails
+  // (leader <=> root), or the dist chain loses its anchor.
+  for (TreeCert& c : certs) c.is_root = false;
+  EXPECT_FALSE(run_verifier(g, reencode(certs),
+                            LeaderElectionScheme().verifier())
+                   .all_accept);
+}
+
+INSTANTIATE_TEST_SUITE_P(Graphs, CertAblation, ::testing::Range(0, 4));
+
+TEST(WeakVersusStrong, LeaderChoiceDoesNotAffectProofSize) {
+  // Strong schemes certify the adversary's solution; weak schemes may pick
+  // a convenient one.  For leader election both cost the same here:
+  // proofs for every possible leader have identical size (Section 7.2).
+  const LeaderElectionScheme scheme;
+  Graph g = gen::random_connected(12, 0.25, 9);
+  int reference = -1;
+  for (int leader = 0; leader < g.n(); ++leader) {
+    for (int v = 0; v < g.n(); ++v) g.set_label(v, 0);
+    g.set_label(leader, kLeaderFlag);
+    const auto proof = scheme.prove(g);
+    ASSERT_TRUE(proof.has_value());
+    if (reference < 0) reference = proof->size_bits();
+    EXPECT_EQ(proof->size_bits(), reference) << "leader " << leader;
+  }
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,129 @@
+// Traversal, bipartiteness, odd cycles, connectivity utilities.
+#include <gtest/gtest.h>
+
+#include "algo/bipartite.hpp"
+#include "algo/coloring.hpp"
+#include "algo/traversal.hpp"
+#include "graph/generators.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(Traversal, ComponentsOnUnion) {
+  const Graph g = gen::disjoint_union(gen::cycle(3), gen::path(4));
+  const auto comp = components(g);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[6]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Traversal, IsConnected) {
+  EXPECT_TRUE(is_connected(gen::petersen()));
+  EXPECT_FALSE(is_connected(gen::disjoint_union(gen::cycle(3), gen::cycle(3))));
+  EXPECT_TRUE(is_connected(Graph{}));
+}
+
+TEST(Traversal, BfsTreeParentsAndDists) {
+  const Graph g = gen::path(6);
+  const RootedTree tree = bfs_tree(g, 0);
+  EXPECT_EQ(tree.parent[0], 0);
+  EXPECT_EQ(tree.parent[3], 2);
+  EXPECT_EQ(tree.dist[5], 5);
+}
+
+TEST(Traversal, SubtreeSizesOnStar) {
+  const Graph g = gen::star(6);
+  const RootedTree tree = bfs_tree(g, 0);
+  const auto sizes = tree.subtree_sizes();
+  EXPECT_EQ(sizes[0], 6);
+  for (int v = 1; v < 6; ++v) EXPECT_EQ(sizes[static_cast<std::size_t>(v)], 1);
+}
+
+TEST(Traversal, SubtreeSizesSumAlongPath) {
+  const Graph g = gen::path(5);
+  const RootedTree tree = bfs_tree(g, 0);
+  const auto sizes = tree.subtree_sizes();
+  EXPECT_EQ(sizes[0], 5);
+  EXPECT_EQ(sizes[4], 1);
+  EXPECT_EQ(sizes[2], 3);
+}
+
+TEST(Traversal, RestrictedTreeIgnoresForbiddenEdges) {
+  Graph g = gen::cycle(6);
+  // Forbid the closing edge only.
+  const int closing = g.edge_index(5, 0);
+  auto ok = [closing](int e) { return e != closing; };
+  const RootedTree tree = bfs_tree_restricted(g, 0, ok);
+  EXPECT_EQ(tree.dist[5], 5);  // must walk the long way
+}
+
+TEST(Traversal, ShortestPathEndpoints) {
+  const Graph g = gen::grid(3, 3);
+  const auto path = shortest_path(g, 0, 8);
+  ASSERT_EQ(path.size(), 5u);  // Manhattan distance 4
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+  }
+}
+
+TEST(Traversal, ShortestPathUnreachableIsEmpty) {
+  const Graph g = gen::disjoint_union(gen::cycle(3), gen::cycle(3));
+  EXPECT_TRUE(shortest_path(g, 0, 4).empty());
+}
+
+TEST(Bipartite, EvenCyclesYes) {
+  for (int n = 4; n <= 12; n += 2) {
+    EXPECT_TRUE(is_bipartite(gen::cycle(n))) << n;
+  }
+}
+
+TEST(Bipartite, OddCyclesNo) {
+  for (int n = 3; n <= 11; n += 2) {
+    EXPECT_FALSE(is_bipartite(gen::cycle(n))) << n;
+  }
+}
+
+TEST(Bipartite, TwoColoringIsProper) {
+  const Graph g = gen::hypercube(3);
+  const auto colors = two_coloring(g);
+  ASSERT_TRUE(colors.has_value());
+  EXPECT_TRUE(is_proper_coloring(g, *colors));
+}
+
+TEST(Bipartite, PetersenIsNotBipartite) {
+  EXPECT_FALSE(is_bipartite(gen::petersen()));
+}
+
+TEST(Bipartite, OddCycleWitnessIsOddAndClosed) {
+  for (int n : {3, 5, 9}) {
+    const auto cycle = find_odd_cycle(gen::cycle(n));
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(cycle->size() % 2, 1u);
+    const Graph g = gen::cycle(n);
+    for (std::size_t i = 0; i < cycle->size(); ++i) {
+      EXPECT_TRUE(g.has_edge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+    }
+  }
+}
+
+TEST(Bipartite, OddCycleWitnessOnPetersen) {
+  const Graph g = gen::petersen();
+  const auto cycle = find_odd_cycle(g);
+  ASSERT_TRUE(cycle.has_value());
+  EXPECT_GE(cycle->size(), 5u);  // girth of Petersen
+  EXPECT_EQ(cycle->size() % 2, 1u);
+  // Simple: all distinct.
+  std::vector<int> sorted = *cycle;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Bipartite, NoOddCycleInBipartite) {
+  EXPECT_FALSE(find_odd_cycle(gen::grid(3, 4)).has_value());
+  EXPECT_FALSE(find_odd_cycle(gen::hypercube(3)).has_value());
+}
+
+}  // namespace
+}  // namespace lcp

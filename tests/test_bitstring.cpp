@@ -1,0 +1,141 @@
+// Unit tests for BitString / BitReader: the proof-label codec.
+#include "core/bitstring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace lcp {
+namespace {
+
+TEST(BitString, EmptyByDefault) {
+  BitString b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0);
+  EXPECT_EQ(b.to_string(), "");
+}
+
+TEST(BitString, AppendBitRoundTrip) {
+  BitString b;
+  b.append_bit(true);
+  b.append_bit(false);
+  b.append_bit(true);
+  EXPECT_EQ(b.size(), 3);
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+  EXPECT_EQ(b.to_string(), "101");
+}
+
+TEST(BitString, AppendUintMsbFirst) {
+  BitString b;
+  b.append_uint(0b1011, 4);
+  EXPECT_EQ(b.to_string(), "1011");
+}
+
+TEST(BitString, AppendUintZeroWidthIsNoop) {
+  BitString b;
+  b.append_uint(42, 0);
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(BitString, AppendUintIgnoresHighBits) {
+  BitString b;
+  b.append_uint(0xFF, 3);  // only the low 3 bits
+  EXPECT_EQ(b.to_string(), "111");
+  BitString c;
+  c.append_uint(0b1000, 3);  // bit 3 is above the width
+  EXPECT_EQ(c.to_string(), "000");
+}
+
+TEST(BitString, FromStringRoundTrip) {
+  const BitString b = BitString::from_string("0110010");
+  EXPECT_EQ(b.size(), 7);
+  EXPECT_EQ(b.to_string(), "0110010");
+}
+
+TEST(BitString, EqualityIncludesLength) {
+  BitString a = BitString::from_string("01");
+  BitString b = BitString::from_string("010");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, BitString::from_string("01"));
+}
+
+TEST(BitString, OrderingIsLexicographic) {
+  EXPECT_LT(BitString::from_string("0"), BitString::from_string("1"));
+  EXPECT_LT(BitString::from_string("01"), BitString::from_string("010"));
+  EXPECT_LT(BitString::from_string(""), BitString::from_string("0"));
+}
+
+TEST(BitString, AppendConcatenates) {
+  BitString a = BitString::from_string("101");
+  a.append(BitString::from_string("01"));
+  EXPECT_EQ(a.to_string(), "10101");
+}
+
+TEST(BitString, HashDistinguishesContentAndLength) {
+  EXPECT_NE(BitString::from_string("0").hash(),
+            BitString::from_string("00").hash());
+  EXPECT_NE(BitString::from_string("01").hash(),
+            BitString::from_string("10").hash());
+  EXPECT_EQ(BitString::from_string("0110").hash(),
+            BitString::from_string("0110").hash());
+}
+
+TEST(BitReader, ReadsBackWhatWasWritten) {
+  BitString b;
+  b.append_uint(13, 5);
+  b.append_bit(true);
+  b.append_uint(7, 3);
+  BitReader r(b);
+  EXPECT_EQ(r.read_uint(5), 13u);
+  EXPECT_TRUE(r.read_bit());
+  EXPECT_EQ(r.read_uint(3), 7u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitReader, OverrunLatchesFailure) {
+  BitString b;
+  b.append_uint(3, 2);
+  BitReader r(b);
+  EXPECT_EQ(r.read_uint(2), 3u);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.read_uint(1), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(BitReader, RemainingCountsDown) {
+  BitString b;
+  b.append_uint(0, 10);
+  BitReader r(b);
+  EXPECT_EQ(r.remaining(), 10);
+  r.read_uint(4);
+  EXPECT_EQ(r.remaining(), 6);
+}
+
+TEST(BitString, RandomRoundTrip64) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t value = rng();
+    const int width = 1 + static_cast<int>(rng() % 64);
+    const std::uint64_t masked =
+        width == 64 ? value : (value & ((1ull << width) - 1));
+    BitString b;
+    b.append_uint(value, width);
+    BitReader r(b);
+    EXPECT_EQ(r.read_uint(width), masked);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(BitWidthFor, Basics) {
+  EXPECT_EQ(bit_width_for(0), 1);
+  EXPECT_EQ(bit_width_for(1), 1);
+  EXPECT_EQ(bit_width_for(2), 2);
+  EXPECT_EQ(bit_width_for(255), 8);
+  EXPECT_EQ(bit_width_for(256), 9);
+}
+
+}  // namespace
+}  // namespace lcp

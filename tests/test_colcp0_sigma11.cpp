@@ -1,0 +1,160 @@
+// The coLCP(0) adapter (Section 7.3) and the monadic Sigma11 fragment
+// (Section 7.5).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/certificates.hpp"
+#include "core/checker.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "logic/sigma11.hpp"
+#include "schemes/colcp0.hpp"
+#include "schemes/lcp0.hpp"
+
+namespace lcp {
+namespace {
+
+using schemes::CoLcp0Scheme;
+using schemes::EulerianScheme;
+using schemes::LineGraphScheme;
+
+TEST(CoLcp0, NonEulerianCertified) {
+  const CoLcp0Scheme scheme(std::make_shared<EulerianScheme>());
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::path(5)));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::star(6)));
+  EXPECT_FALSE(scheme.holds(gen::cycle(6)));  // Eulerian: complement false
+  EXPECT_FALSE(scheme.prove(gen::cycle(6)).has_value());
+}
+
+TEST(CoLcp0, EulerianYesInstancesRejectTampers) {
+  const CoLcp0Scheme scheme(std::make_shared<EulerianScheme>());
+  // A cycle IS Eulerian, so "non-Eulerian" is false: every adversarial
+  // proof must fail (the root would have to reject, but it accepts).
+  const Graph g = gen::cycle(5);
+  const auto honest = scheme.prove(gen::path(5));
+  ASSERT_TRUE(honest.has_value());
+  Proof transplanted = Proof::empty(5);
+  for (int v = 0; v < 5; ++v) {
+    transplanted.labels[static_cast<std::size_t>(v)] =
+        honest->labels[static_cast<std::size_t>(v)];
+  }
+  EXPECT_TRUE(rejected(g, transplanted, scheme.verifier()));
+  for (const Proof& p : tampered_variants(*honest, 40, 17)) {
+    Proof q = Proof::empty(5);
+    for (int v = 0; v < 5; ++v) {
+      q.labels[static_cast<std::size_t>(v)] =
+          p.labels[static_cast<std::size_t>(v)];
+    }
+    EXPECT_TRUE(rejected(g, q, scheme.verifier()));
+  }
+}
+
+TEST(CoLcp0, NonLineGraphsCertified) {
+  const CoLcp0Scheme scheme(std::make_shared<LineGraphScheme>());
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::star(4)));  // the claw
+  Graph g = gen::cycle(9);
+  const int leaf1 = g.add_node(100);
+  const int leaf2 = g.add_node(101);
+  g.add_edge(0, leaf1);
+  g.add_edge(0, leaf2);  // claw at node 0
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, g));
+}
+
+TEST(CoLcp0, ProofSizeIsLogarithmic) {
+  const CoLcp0Scheme scheme(std::make_shared<EulerianScheme>());
+  const int s = scheme.prove(gen::path(8))->size_bits();
+  const int l = scheme.prove(gen::path(128))->size_bits();
+  EXPECT_LT(l, 2 * s);
+}
+
+// ------------------------------------------------------------- sigma11 --
+
+using logic::Assignment;
+using logic::evaluate_global;
+using logic::exists_satisfying_assignment;
+using logic::f_adj;
+using logic::f_and;
+using logic::f_exists;
+using logic::f_forall;
+using logic::f_iff;
+using logic::f_implies;
+using logic::f_in_set;
+using logic::f_not;
+using logic::f_witness;
+using logic::FormulaPtr;
+
+TEST(Sigma11Evaluator, TwoColorFormulaMatchesBipartiteness) {
+  const FormulaPtr phi = f_forall(
+      1, f_implies(f_adj(0, 1), f_not(f_iff(f_in_set(0, 0), f_in_set(0, 1)))));
+  EXPECT_TRUE(exists_satisfying_assignment(*phi, gen::cycle(4), 1));
+  EXPECT_FALSE(exists_satisfying_assignment(*phi, gen::cycle(5), 1));
+  EXPECT_TRUE(exists_satisfying_assignment(*phi, gen::path(5), 1));
+}
+
+TEST(Sigma11Evaluator, GlobalEvaluationUsesWitness) {
+  // "every node is adjacent to the witness or is the witness".
+  const FormulaPtr phi = f_exists(1, f_witness(1));
+  Assignment a;
+  a.witness = 0;
+  EXPECT_TRUE(evaluate_global(*phi, gen::star(5), a));
+  a.witness = 1;  // a leaf does not dominate the other leaves
+  EXPECT_FALSE(evaluate_global(*phi, gen::star(5), a));
+}
+
+TEST(Sigma11Scheme, TwoColorableAcceptsBipartiteConnected) {
+  const auto scheme = logic::make_sigma11_two_colorable_scheme();
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::cycle(6)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::grid(3, 4)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::random_tree(10, 4)));
+  EXPECT_FALSE(scheme->holds(gen::cycle(5)));
+  EXPECT_FALSE(scheme->prove(gen::petersen()).has_value());
+}
+
+TEST(Sigma11Scheme, TwoColorableRejectsTampersOnOddCycles) {
+  const auto scheme = logic::make_sigma11_two_colorable_scheme();
+  const auto honest = scheme->prove(gen::cycle(6));
+  ASSERT_TRUE(honest.has_value());
+  // C6 proof cut down to C5.
+  Proof cut = Proof::empty(5);
+  for (int v = 0; v < 5; ++v) {
+    cut.labels[static_cast<std::size_t>(v)] =
+        honest->labels[static_cast<std::size_t>(v)];
+  }
+  EXPECT_TRUE(rejected(gen::cycle(5), cut, scheme->verifier()));
+}
+
+TEST(Sigma11Scheme, UniversalNodeWitnessed) {
+  const auto scheme = logic::make_sigma11_universal_node_scheme();
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::star(6)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::complete(4)));
+  EXPECT_FALSE(scheme->holds(gen::cycle(6)));
+  // Moving the witness bit to a non-universal node must be caught.
+  const Graph g = gen::star(6);
+  const auto honest = scheme->prove(g);
+  ASSERT_TRUE(honest.has_value());
+  for (const Proof& p : tampered_variants(*honest, 50, 23)) {
+    const bool ok = run_verifier(g, p, scheme->verifier()).all_accept;
+    if (ok) {
+      // Acceptable only if it is still a genuinely valid proof; for this
+      // scheme the witness must sit at the hub, so tampers that moved the
+      // root/witness must have been rejected.  We simply require: accepted
+      // implies the hub keeps both root and witness bits.
+      BitReader r(p.labels[0]);
+      const auto cert = read_tree_cert(r);
+      ASSERT_TRUE(cert.has_value());
+      EXPECT_TRUE(cert_says_root(*cert));
+      EXPECT_TRUE(r.read_bit());  // witness bit
+    }
+  }
+}
+
+TEST(Sigma11Scheme, ProofSizeLogarithmicPlusConstant) {
+  const auto scheme = logic::make_sigma11_two_colorable_scheme();
+  const int small = scheme->prove(gen::cycle(8))->size_bits();
+  const int large = scheme->prove(gen::cycle(128))->size_bits();
+  EXPECT_LT(large, 2 * small);
+}
+
+}  // namespace
+}  // namespace lcp

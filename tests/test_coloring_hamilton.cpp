@@ -1,0 +1,113 @@
+// Exact colouring and Hamiltonicity solvers (ground truth for the
+// chromatic and Hamiltonian schemes).
+#include <gtest/gtest.h>
+
+#include "algo/coloring.hpp"
+#include "algo/hamilton.hpp"
+#include "graph/generators.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(Coloring, KnownChromaticNumbers) {
+  EXPECT_EQ(chromatic_number(gen::complete(5)), 5);
+  EXPECT_EQ(chromatic_number(gen::cycle(6)), 2);
+  EXPECT_EQ(chromatic_number(gen::cycle(7)), 3);
+  EXPECT_EQ(chromatic_number(gen::petersen()), 3);
+  EXPECT_EQ(chromatic_number(gen::grid(3, 3)), 2);
+  EXPECT_EQ(chromatic_number(gen::star(8)), 2);
+}
+
+TEST(Coloring, SingleNodeAndEmpty) {
+  Graph single;
+  single.add_node(1);
+  EXPECT_EQ(chromatic_number(single), 1);
+  EXPECT_EQ(chromatic_number(Graph{}), 0);
+}
+
+TEST(Coloring, ColoringIsProperWhenFound) {
+  for (int k = 3; k <= 5; ++k) {
+    const Graph g = gen::complete(k);
+    const auto colors = k_coloring(g, k);
+    ASSERT_TRUE(colors.has_value());
+    EXPECT_TRUE(is_proper_coloring(g, *colors));
+    EXPECT_FALSE(k_coloring(g, k - 1).has_value());
+  }
+}
+
+TEST(Coloring, WheelParity) {
+  // Wheel over an even cycle is 3-chromatic; over an odd cycle 4-chromatic.
+  auto wheel = [](int spokes) {
+    Graph g = gen::cycle(spokes);
+    const int hub = g.add_node(100);
+    for (int v = 0; v < spokes; ++v) g.add_edge(hub, v);
+    return g;
+  };
+  EXPECT_EQ(chromatic_number(wheel(6)), 3);
+  EXPECT_EQ(chromatic_number(wheel(5)), 4);
+}
+
+TEST(Hamilton, CycleGraphsAreHamiltonian) {
+  for (int n : {3, 5, 8}) {
+    const auto cycle = hamiltonian_cycle(gen::cycle(n));
+    ASSERT_TRUE(cycle.has_value());
+    EXPECT_EQ(static_cast<int>(cycle->size()), n);
+  }
+}
+
+TEST(Hamilton, PetersenHasNoHamiltonianCycleButAPath) {
+  const Graph g = gen::petersen();
+  EXPECT_FALSE(hamiltonian_cycle(g).has_value());
+  EXPECT_TRUE(hamiltonian_path(g).has_value());
+}
+
+TEST(Hamilton, HypercubeIsHamiltonian) {
+  const auto cycle = hamiltonian_cycle(gen::hypercube(3));
+  ASSERT_TRUE(cycle.has_value());
+  const Graph g = gen::hypercube(3);
+  for (std::size_t i = 0; i < cycle->size(); ++i) {
+    EXPECT_TRUE(g.has_edge((*cycle)[i], (*cycle)[(i + 1) % cycle->size()]));
+  }
+}
+
+TEST(Hamilton, StarHasNoHamiltonianPathBeyondThreeNodes) {
+  EXPECT_FALSE(hamiltonian_path(gen::star(5)).has_value());
+  EXPECT_TRUE(hamiltonian_path(gen::star(3)).has_value());  // P3
+}
+
+TEST(Hamilton, GridPathExists) {
+  const auto path = hamiltonian_path(gen::grid(3, 3));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->size(), 9u);
+  // All distinct.
+  std::vector<int> sorted = *path;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(Hamilton, MaskValidators) {
+  Graph g = gen::cycle(5);
+  std::vector<bool> all(static_cast<std::size_t>(g.m()), true);
+  EXPECT_TRUE(is_hamiltonian_cycle(g, all));
+  std::vector<bool> missing = all;
+  missing[0] = false;
+  EXPECT_FALSE(is_hamiltonian_cycle(g, missing));
+  EXPECT_TRUE(is_hamiltonian_path(g, missing));
+}
+
+TEST(Hamilton, TwoTrianglesMaskIsNotOneCycle) {
+  // Two triangles sharing a node cannot be a Hamiltonian cycle mask.
+  Graph g;
+  for (int i = 1; i <= 5; ++i) g.add_node(static_cast<NodeId>(i));
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 2);
+  std::vector<bool> all(static_cast<std::size_t>(g.m()), true);
+  EXPECT_FALSE(is_hamiltonian_cycle(g, all));  // node 2 has degree 4
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,138 @@
+// The definitional check (Section 2.2): for tiny instances we can decide
+// the *actual* nondeterministic semantics by enumerating every proof:
+//
+//     G in P  <=>  exists P with |P| <= s such that all nodes accept.
+//
+// This validates completeness AND soundness of a scheme simultaneously,
+// with no reliance on the scheme's own prover.  Instances are tiny (the
+// search is exponential), but they cover both parities, both verdicts,
+// and structurally distinct graphs.
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "graph/generators.hpp"
+#include "schemes/lcp0.hpp"
+#include "schemes/lcp_const.hpp"
+#include "schemes/matching_schemes.hpp"
+
+namespace lcp::schemes {
+namespace {
+
+struct SemanticsCase {
+  std::string name;
+  Graph graph;
+  bool expect_member;
+};
+
+class BipartiteSemantics : public ::testing::TestWithParam<int> {};
+
+TEST_P(BipartiteSemantics, ExistsProofIffBipartite) {
+  const int n = GetParam();
+  const BipartiteScheme scheme;
+  const Graph g = gen::cycle(n);
+  EXPECT_EQ(exists_accepted_proof(g, scheme.verifier(), 1),
+            scheme.holds(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, BipartiteSemantics,
+                         ::testing::Values(3, 4, 5, 6, 7, 8));
+
+TEST(ExhaustiveSemantics, BipartiteOnStructuredGraphs) {
+  const BipartiteScheme scheme;
+  std::vector<SemanticsCase> cases;
+  cases.push_back({"path5", gen::path(5), true});
+  cases.push_back({"star5", gen::star(5), true});
+  cases.push_back({"K4", gen::complete(4), false});
+  cases.push_back({"K23", gen::complete_bipartite(2, 3), true});
+  cases.push_back({"triangle+tail", gen::from_edges(5, {{0, 1},
+                                                        {1, 2},
+                                                        {2, 0},
+                                                        {2, 3},
+                                                        {3, 4}}),
+                   false});
+  for (const auto& c : cases) {
+    EXPECT_EQ(exists_accepted_proof(c.graph, scheme.verifier(), 1),
+              c.expect_member)
+        << c.name;
+    EXPECT_EQ(scheme.holds(c.graph), c.expect_member) << c.name;
+  }
+}
+
+TEST(ExhaustiveSemantics, EulerianNeedsNoProofEver) {
+  // LCP(0): the empty proof decides; extra bits must never flip a no into
+  // a yes.
+  const EulerianScheme scheme;
+  for (const auto& [g, member] :
+       std::vector<std::pair<Graph, bool>>{{gen::cycle(4), true},
+                                           {gen::path(4), false},
+                                           {gen::complete(5), true},
+                                           {gen::star(4), false}}) {
+    EXPECT_EQ(exists_accepted_proof(g, scheme.verifier(), 2), member);
+  }
+}
+
+TEST(ExhaustiveSemantics, StReachability) {
+  const StReachabilityScheme scheme;
+  auto mark = [](Graph g, int s, int t) {
+    g.set_label(s, kSourceLabel);
+    g.set_label(t, kTargetLabel);
+    return g;
+  };
+  // Connected: a proof exists.
+  EXPECT_TRUE(exists_accepted_proof(mark(gen::path(5), 0, 4),
+                                    scheme.verifier(), 1));
+  // Disconnected: no proof of any size-1 labelling works.
+  EXPECT_FALSE(exists_accepted_proof(
+      mark(gen::disjoint_union(gen::path(2), gen::path(3)), 0, 3),
+      scheme.verifier(), 1));
+  // Same component but s = t branch ends: cycle reachability.
+  EXPECT_TRUE(exists_accepted_proof(mark(gen::cycle(6), 0, 3),
+                                    scheme.verifier(), 1));
+}
+
+TEST(ExhaustiveSemantics, EvenCycleBothParities) {
+  const EvenCycleScheme scheme;
+  EXPECT_TRUE(exists_accepted_proof(gen::cycle(4), scheme.verifier(), 1));
+  EXPECT_TRUE(exists_accepted_proof(gen::cycle(6), scheme.verifier(), 1));
+  EXPECT_FALSE(exists_accepted_proof(gen::cycle(5), scheme.verifier(), 1));
+  EXPECT_FALSE(exists_accepted_proof(gen::cycle(7), scheme.verifier(), 1));
+}
+
+TEST(ExhaustiveSemantics, KonigCoverExistsIffMaximum) {
+  const MaxMatchingBipartiteScheme scheme;
+  // C6 with a perfect matching: maximum.
+  Graph perfect = gen::cycle(6);
+  for (int i = 0; i < 6; i += 2) {
+    perfect.set_edge_label(perfect.edge_index(i, i + 1),
+                           MaxMatchingBipartiteScheme::kMatchedBit);
+  }
+  EXPECT_TRUE(exists_accepted_proof(perfect, scheme.verifier(), 1));
+  // C6 with a single edge: valid matching, not maximum.
+  Graph single = gen::cycle(6);
+  single.set_edge_label(0, MaxMatchingBipartiteScheme::kMatchedBit);
+  EXPECT_FALSE(exists_accepted_proof(single, scheme.verifier(), 1));
+  // C6 with two conflicting edges: not even a matching.
+  Graph broken = gen::cycle(6);
+  broken.set_edge_label(0, MaxMatchingBipartiteScheme::kMatchedBit);
+  broken.set_edge_label(1, MaxMatchingBipartiteScheme::kMatchedBit);
+  EXPECT_FALSE(exists_accepted_proof(broken, scheme.verifier(), 1));
+}
+
+TEST(ExhaustiveSemantics, MaxWeightDualExistsIffOptimal) {
+  // Tiny weighted path, W = 3: proofs are 2 bits per node.
+  const MaxWeightMatchingScheme scheme(3);
+  Graph g = gen::path(3);
+  g.set_edge_weight(0, 3);
+  g.set_edge_weight(1, 2);
+  // Optimal: take edge 0 (weight 3).
+  Graph yes = g;
+  yes.set_edge_label(0, MaxWeightMatchingScheme::kMatchedBit);
+  EXPECT_TRUE(exists_accepted_proof(yes, scheme.verifier(), 2));
+  // Suboptimal: take edge 1 (weight 2).
+  Graph no = g;
+  no.set_edge_label(1, MaxWeightMatchingScheme::kMatchedBit);
+  EXPECT_FALSE(exists_accepted_proof(no, scheme.verifier(), 2));
+}
+
+}  // namespace
+}  // namespace lcp::schemes

@@ -1,0 +1,106 @@
+// The Section 5.3 cycle-gluing adversary: truncated schemes are fooled
+// (the Omega(log n) lower bound, executed), honest schemes never are.
+#include <gtest/gtest.h>
+
+#include "lower/gluing.hpp"
+
+namespace lcp::lower {
+namespace {
+
+TEST(GluingIds, PaperLayoutFigure1) {
+  // Figure 1: n = 10, C(3, 12) = 3 43 63 83 103 112 92 72 52 12.
+  const auto ids = gluing_cycle_ids(10, 3, 12);
+  const std::vector<NodeId> expected{3, 43, 63, 83, 103, 112, 92, 72, 52, 12};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(GluingIds, DisjointForDistinctPairs) {
+  const auto a = gluing_cycle_ids(10, 3, 12);
+  const auto b = gluing_cycle_ids(10, 8, 17);
+  for (NodeId x : a) {
+    for (NodeId y : b) EXPECT_NE(x, y);
+  }
+}
+
+struct AttackCase {
+  const char* name;
+  GluingProblem (*make)(int);
+  int n;
+  int bits;
+  bool expect_fooled;
+};
+
+class GluingAttack : public ::testing::TestWithParam<AttackCase> {};
+
+TEST_P(GluingAttack, OutcomeMatchesTheTheory) {
+  const AttackCase& c = GetParam();
+  const GluingProblem problem = c.make(c.bits);
+  const GluingOutcome outcome = run_gluing_attack(problem, c.n, 40);
+  EXPECT_TRUE(outcome.proved_all) << "prover failed on some C(a,b)";
+  EXPECT_EQ(outcome.fooled(), c.expect_fooled)
+      << problem.name << " n=" << c.n << " b=" << c.bits
+      << " collision=" << outcome.found_collision
+      << " accept=" << outcome.all_accept << " yes=" << outcome.glued_is_yes;
+}
+
+// b = 2 bits on n ~ 31..41 cycles: far below log2(n) -> fooled.
+// b = 0 (honest Theta(log n)): never fooled.
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GluingAttack,
+    ::testing::Values(
+        AttackCase{"leader-trunc", leader_election_problem, 33, 2, true},
+        AttackCase{"leader-honest", leader_election_problem, 33, 0, false},
+        AttackCase{"spanning-trunc", spanning_tree_problem, 33, 2, true},
+        AttackCase{"spanning-honest", spanning_tree_problem, 33, 0, false},
+        AttackCase{"odd-n-trunc", odd_n_problem, 33, 2, true},
+        AttackCase{"odd-n-honest", odd_n_problem, 33, 0, false},
+        AttackCase{"matching-trunc", max_matching_problem, 33, 2, true},
+        AttackCase{"matching-honest", max_matching_problem, 33, 0, false}),
+    [](const ::testing::TestParamInfo<AttackCase>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(GluingAttack, ThresholdTracksLogN) {
+  // For fixed n, the attack must succeed for small b and stop succeeding
+  // once 2^b exceeds the sampled id range.
+  const int n = 33;
+  bool fooled_small = false;
+  bool fooled_large = false;
+  {
+    const GluingOutcome o = run_gluing_attack(odd_n_problem(1), n, 40);
+    fooled_small = o.fooled();
+  }
+  {
+    // b = 12: every sampled a in 1..40 has a distinct residue mod 2^12,
+    // so colours cannot collide.
+    const GluingOutcome o = run_gluing_attack(odd_n_problem(12), n, 40);
+    fooled_large = o.fooled();
+  }
+  EXPECT_TRUE(fooled_small);
+  EXPECT_FALSE(fooled_large);
+}
+
+TEST(GluingAttack, GluedInstanceInheritsEverything) {
+  const GluingProblem problem = leader_election_problem(2);
+  const GluingOutcome o = run_gluing_attack(problem, 33, 40);
+  ASSERT_TRUE(o.found_collision);
+  // The glued graph is a 2n-cycle with two leaders.
+  const auto c1_ids = gluing_cycle_ids(33, o.a1, o.b1);
+  const auto c2_ids = gluing_cycle_ids(33, o.a2, o.b2);
+  EXPECT_EQ(c1_ids.size() + c2_ids.size(), 66u);
+}
+
+TEST(GluingAttack, HonestColorsPinDownTheRoot) {
+  // Honest scheme: the colour includes the full root id, so the number of
+  // colours equals the number of sampled rows.
+  const GluingOutcome o = run_gluing_attack(leader_election_problem(0), 33, 20);
+  EXPECT_FALSE(o.found_collision);
+  EXPECT_GE(o.num_colors, 20u);
+}
+
+}  // namespace
+}  // namespace lcp::lower

@@ -1,0 +1,215 @@
+// Graph substrate: invariants, ports, generators, directed helpers.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/directed.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(Graph, AddNodeAssignsDenseIndices) {
+  Graph g;
+  EXPECT_EQ(g.add_node(10), 0);
+  EXPECT_EQ(g.add_node(20), 1);
+  EXPECT_EQ(g.n(), 2);
+  EXPECT_EQ(g.id(0), 10u);
+  EXPECT_EQ(g.id(1), 20u);
+}
+
+TEST(Graph, DuplicateIdThrows) {
+  Graph g;
+  g.add_node(5);
+  EXPECT_THROW(g.add_node(5), std::invalid_argument);
+}
+
+TEST(Graph, SelfLoopAndParallelEdgesThrow) {
+  Graph g;
+  g.add_node(1);
+  g.add_node(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(Graph, AdjacencySortedById) {
+  Graph g;
+  g.add_node(50);  // index 0
+  g.add_node(10);  // index 1
+  g.add_node(30);  // index 2
+  g.add_node(20);  // index 3
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto nbrs = g.neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(g.id(nbrs[0].to), 10u);
+  EXPECT_EQ(g.id(nbrs[1].to), 20u);
+  EXPECT_EQ(g.id(nbrs[2].to), 30u);
+}
+
+TEST(Graph, PortNumbersFollowIdOrder) {
+  Graph g = gen::star(4);  // centre id 1 adjacent to ids 2,3,4
+  EXPECT_EQ(g.port_of(0, 1), 0);
+  EXPECT_EQ(g.port_of(0, 2), 1);
+  EXPECT_EQ(g.port_of(0, 3), 2);
+  EXPECT_EQ(g.neighbor_at_port(0, 1), 2);
+  EXPECT_EQ(g.port_of(1, 2), -1);  // leaves are not adjacent
+}
+
+TEST(Graph, EdgeLabelsAndWeightsRoundTrip) {
+  Graph g;
+  g.add_node(1);
+  g.add_node(2);
+  const int e = g.add_edge(0, 1, 7, -3);
+  EXPECT_EQ(g.edge_label(e), 7u);
+  EXPECT_EQ(g.edge_weight(e), -3);
+  g.set_edge_label(e, 9);
+  g.set_edge_weight(e, 4);
+  EXPECT_EQ(g.edge_label(e), 9u);
+  EXPECT_EQ(g.edge_weight(e), 4);
+}
+
+TEST(Graph, IndexOfAndFindLabel) {
+  Graph g;
+  g.add_node(42, 0);
+  g.add_node(43, 5);
+  EXPECT_EQ(g.index_of(43), 1);
+  EXPECT_EQ(g.index_of(99), std::nullopt);
+  EXPECT_EQ(g.find_label(5), 1);
+  EXPECT_EQ(g.find_label(6), std::nullopt);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = gen::cycle(7);
+  EXPECT_EQ(g.n(), 7);
+  EXPECT_EQ(g.m(), 7);
+  for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 2);
+}
+
+TEST(Generators, PathShape) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.m(), 4);
+  int leaves = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    if (g.degree(v) == 1) ++leaves;
+  }
+  EXPECT_EQ(leaves, 2);
+}
+
+TEST(Generators, CompleteAndBipartite) {
+  EXPECT_EQ(gen::complete(6).m(), 15);
+  const Graph kb = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(kb.m(), 12);
+  EXPECT_EQ(kb.n(), 7);
+}
+
+TEST(Generators, GridIsPlanarSized) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.n(), 12);
+  EXPECT_EQ(g.m(), 3 * 3 + 2 * 4);  // 17
+}
+
+TEST(Generators, PetersenIsCubic) {
+  const Graph g = gen::petersen();
+  EXPECT_EQ(g.n(), 10);
+  EXPECT_EQ(g.m(), 15);
+  for (int v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);
+}
+
+TEST(Generators, HypercubeDegrees) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.n(), 16);
+  for (int v = 0; v < g.n(); ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(Generators, RandomTreeHasTreeShape) {
+  for (std::uint32_t seed = 0; seed < 20; ++seed) {
+    const Graph g = gen::random_tree(9, seed);
+    EXPECT_EQ(g.m(), g.n() - 1);
+    const auto dist = bfs_distances(g, 0);
+    for (int d : dist) EXPECT_GE(d, 0);  // connected
+  }
+}
+
+TEST(Generators, RandomConnectedIsConnected) {
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    const Graph g = gen::random_connected(12, 0.2, seed);
+    const auto dist = bfs_distances(g, 0);
+    for (int d : dist) EXPECT_GE(d, 0);
+  }
+}
+
+TEST(Generators, ShuffleIdsPreservesStructure) {
+  const Graph g = gen::petersen();
+  const Graph h = gen::shuffle_ids(g, 3);
+  EXPECT_EQ(h.n(), g.n());
+  EXPECT_EQ(h.m(), g.m());
+  // Degrees preserved per node index (with_ids keeps indices).
+  for (int v = 0; v < g.n(); ++v) EXPECT_EQ(h.degree(v), g.degree(v));
+}
+
+TEST(Generators, DisjointUnionOffsetsIds) {
+  const Graph g = gen::disjoint_union(gen::cycle(3), gen::cycle(4));
+  EXPECT_EQ(g.n(), 7);
+  EXPECT_EQ(g.m(), 7);
+  const auto dist = bfs_distances(g, 0);
+  int unreachable = 0;
+  for (int d : dist) {
+    if (d < 0) ++unreachable;
+  }
+  EXPECT_EQ(unreachable, 4);
+}
+
+TEST(Directed, ArcsAreOneWay) {
+  Graph g = gen::path(3);
+  directed::add_arc(g, 0, 1);
+  directed::add_arc(g, 2, 1);
+  EXPECT_TRUE(directed::has_arc(g, 0, 1));
+  EXPECT_FALSE(directed::has_arc(g, 1, 0));
+  EXPECT_TRUE(directed::has_arc(g, 2, 1));
+  EXPECT_FALSE(directed::has_arc(g, 1, 2));
+}
+
+TEST(Directed, ReachabilityFollowsArcs) {
+  Graph g = gen::path(4);
+  directed::add_arc(g, 0, 1);
+  directed::add_arc(g, 1, 2);
+  directed::add_arc(g, 3, 2);
+  const auto reach = directed::reachable_from(g, 0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[3]);
+}
+
+TEST(Subgraph, InducedPreservesIdsLabelsEdges) {
+  Graph g = gen::cycle(5);
+  g.set_label(2, 7);
+  const Graph sub = induced_subgraph(g, {1, 2, 3});
+  EXPECT_EQ(sub.n(), 3);
+  EXPECT_EQ(sub.m(), 2);  // edges 1-2, 2-3
+  EXPECT_EQ(sub.label(1), 7u);
+  EXPECT_EQ(sub.id(0), 2u);
+}
+
+TEST(Subgraph, BallNodesRespectsRadius) {
+  const Graph g = gen::path(9);
+  const auto ball = ball_nodes(g, 4, 2);
+  EXPECT_EQ(ball.size(), 5u);  // positions 2..6
+  EXPECT_EQ(ball[0], 4);       // centre first
+}
+
+TEST(Subgraph, BfsDistancesOnCycle) {
+  const Graph g = gen::cycle(8);
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[4], 4);
+  EXPECT_EQ(dist[7], 1);
+}
+
+}  // namespace
+}  // namespace lcp

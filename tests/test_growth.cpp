@@ -1,0 +1,83 @@
+// The growth-class fitter behind the Table 1 verdicts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/growth.hpp"
+
+namespace lcp {
+namespace {
+
+std::vector<std::pair<double, double>> sample(
+    const std::vector<double>& xs, double (*f)(double)) {
+  std::vector<std::pair<double, double>> out;
+  for (double x : xs) out.emplace_back(x, f(x));
+  return out;
+}
+
+const std::vector<double> kSweep{8, 16, 32, 64, 128};
+
+TEST(Growth, Zero) {
+  EXPECT_EQ(classify_growth(sample(kSweep, [](double) { return 0.0; })),
+            GrowthClass::kZero);
+}
+
+TEST(Growth, ConstantWithJitter) {
+  EXPECT_EQ(classify_growth({{8, 5}, {16, 5}, {32, 6}, {64, 5}, {128, 7}}),
+            GrowthClass::kConstant);
+}
+
+TEST(Growth, PureLog) {
+  EXPECT_EQ(classify_growth(sample(kSweep,
+                                   [](double n) { return std::log2(n); })),
+            GrowthClass::kLogarithmic);
+}
+
+TEST(Growth, LogWithLargeOffset) {
+  // The shape that broke ratio-based fitting: 30 + 4 log n.
+  EXPECT_EQ(classify_growth(sample(
+                kSweep, [](double n) { return 30 + 4 * std::log2(n); })),
+            GrowthClass::kLogarithmic);
+}
+
+TEST(Growth, LinearWithOffset) {
+  EXPECT_EQ(classify_growth(sample(kSweep,
+                                   [](double n) { return 20 + 2 * n; })),
+            GrowthClass::kLinear);
+}
+
+TEST(Growth, QuadraticWithLinearNoise) {
+  EXPECT_EQ(classify_growth(sample(
+                kSweep, [](double n) { return n * n + 6 * n + 40; })),
+            GrowthClass::kQuadratic);
+}
+
+TEST(Growth, QuadraticOnSmallRange) {
+  // The symmetric-graph sweep: n in 6..26 only.
+  EXPECT_EQ(classify_growth(sample({6, 10, 14, 20, 26},
+                                   [](double n) { return n * n + 5 * n + 46; })),
+            GrowthClass::kQuadratic);
+}
+
+TEST(Growth, ExponentialIsOther) {
+  EXPECT_EQ(classify_growth(sample({4, 6, 8, 10, 12},
+                                   [](double n) { return std::pow(2.0, n); })),
+            GrowthClass::kOther);
+}
+
+TEST(Growth, TooFewSamples) {
+  EXPECT_EQ(classify_growth({{8, 3}}), GrowthClass::kOther);
+  EXPECT_EQ(classify_growth({}), GrowthClass::kOther);
+}
+
+TEST(Growth, ToStringCoversAllClasses) {
+  EXPECT_EQ(to_string(GrowthClass::kZero), "0");
+  EXPECT_EQ(to_string(GrowthClass::kConstant), "Theta(1)");
+  EXPECT_EQ(to_string(GrowthClass::kLogarithmic), "Theta(log n)");
+  EXPECT_EQ(to_string(GrowthClass::kLinear), "Theta(n)");
+  EXPECT_EQ(to_string(GrowthClass::kQuadratic), "Theta(n^2)");
+  EXPECT_EQ(to_string(GrowthClass::kOther), "other");
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,139 @@
+// Isomorphism, automorphisms, canonical forms (Section 6 machinery).
+#include <gtest/gtest.h>
+
+#include "algo/canonical.hpp"
+#include "algo/isomorphism.hpp"
+#include "graph/generators.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(Isomorphism, ShuffledIdsAreIsomorphic) {
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    const Graph g = gen::random_graph(8, 0.4, seed);
+    const Graph h = gen::shuffle_ids(g, seed + 100);
+    EXPECT_TRUE(are_isomorphic(g, h));
+  }
+}
+
+TEST(Isomorphism, DifferentDegreeSequencesRejectedFast) {
+  EXPECT_FALSE(are_isomorphic(gen::cycle(6), gen::path(6)));
+  EXPECT_FALSE(are_isomorphic(gen::star(5), gen::cycle(5)));
+}
+
+TEST(Isomorphism, C6VersusTwoTriangles) {
+  const Graph c6 = gen::cycle(6);
+  const Graph two_triangles =
+      gen::disjoint_union(gen::cycle(3), gen::cycle(3));
+  // Same degree sequence, not isomorphic.
+  EXPECT_FALSE(are_isomorphic(c6, two_triangles));
+}
+
+TEST(Isomorphism, FindIsomorphismIsAValidMap) {
+  const Graph g = gen::petersen();
+  const Graph h = gen::shuffle_ids(g, 42);
+  const auto map = find_isomorphism(g, h);
+  ASSERT_TRUE(map.has_value());
+  for (int u = 0; u < g.n(); ++u) {
+    for (int v = u + 1; v < g.n(); ++v) {
+      EXPECT_EQ(g.has_edge(u, v),
+                h.has_edge((*map)[static_cast<std::size_t>(u)],
+                           (*map)[static_cast<std::size_t>(v)]));
+    }
+  }
+}
+
+TEST(Automorphism, CycleIsSymmetric) {
+  EXPECT_TRUE(has_nontrivial_automorphism(gen::cycle(5)));
+  EXPECT_TRUE(has_nontrivial_automorphism(gen::complete(4)));
+  EXPECT_TRUE(has_nontrivial_automorphism(gen::petersen()));
+}
+
+TEST(Automorphism, SmallestAsymmetricGraphHasSixNodes) {
+  // Known: every connected simple graph on 2..5 nodes is symmetric.
+  for (int n = 2; n <= 5; ++n) {
+    for (std::uint32_t seed = 0; seed < 30; ++seed) {
+      const Graph g = gen::random_connected(n, 0.4, seed);
+      EXPECT_TRUE(has_nontrivial_automorphism(g)) << n << " " << seed;
+    }
+  }
+}
+
+TEST(Automorphism, AKnownAsymmetricSixNodeGraph) {
+  // Path 1-2-3-4-5 plus a pendant on node 2 and the edge 3-5... build the
+  // classic asymmetric tree on 7 nodes instead: distinct limb lengths.
+  // Spider with legs of lengths 1, 2, 3 from a hub (7 nodes, asymmetric).
+  Graph g;
+  for (int i = 1; i <= 7; ++i) g.add_node(static_cast<NodeId>(i));
+  g.add_edge(0, 1);              // leg A: 1
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);              // leg B: 2
+  g.add_edge(0, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);              // leg C: 3
+  EXPECT_FALSE(has_nontrivial_automorphism(g));
+}
+
+TEST(Automorphism, FixpointFreeOnEvenCycleOnly) {
+  EXPECT_TRUE(has_fixpoint_free_automorphism(gen::cycle(6)));
+  EXPECT_TRUE(has_fixpoint_free_automorphism(gen::cycle(5)));  // rotation
+  EXPECT_FALSE(has_fixpoint_free_automorphism(gen::star(4)));  // hub fixed
+}
+
+TEST(Automorphism, AllAutomorphismsGroupSizes) {
+  EXPECT_EQ(all_automorphisms(gen::complete(4)).size(), 24u);  // S4
+  EXPECT_EQ(all_automorphisms(gen::cycle(5)).size(), 10u);     // dihedral
+  EXPECT_EQ(all_automorphisms(gen::path(3)).size(), 2u);
+}
+
+TEST(InducedSubgraph, ClawInStarButNotInCycle) {
+  const Graph claw = gen::star(4);
+  EXPECT_TRUE(has_induced_subgraph(gen::star(7), claw));
+  EXPECT_FALSE(has_induced_subgraph(gen::cycle(8), claw));
+}
+
+TEST(InducedSubgraph, InducedVersusSubgraphDistinction) {
+  // C4 contains P3 induced; K4 contains P3 as a subgraph but NOT induced.
+  const Graph p3 = gen::path(3);
+  EXPECT_TRUE(has_induced_subgraph(gen::cycle(4), p3));
+  EXPECT_FALSE(has_induced_subgraph(gen::complete(4), p3));
+}
+
+TEST(Canonical, KeyInvariantUnderShuffle) {
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    const Graph g = gen::random_graph(7, 0.4, seed);
+    const Graph h = gen::shuffle_ids(g, seed * 7 + 1);
+    EXPECT_EQ(canonical_key(g), canonical_key(h));
+  }
+}
+
+TEST(Canonical, KeySeparatesNonIsomorphic) {
+  EXPECT_NE(canonical_key(gen::cycle(6)),
+            canonical_key(gen::disjoint_union(gen::cycle(3), gen::cycle(3))));
+  EXPECT_NE(canonical_key(gen::path(5)), canonical_key(gen::star(5)));
+}
+
+TEST(Canonical, FormIsIsomorphicCopyWithShiftedIds) {
+  const Graph g = gen::random_graph(6, 0.5, 3);
+  const Graph c = canonical_form(g, 10);
+  EXPECT_TRUE(are_isomorphic(g, c));
+  EXPECT_EQ(c.id(0), 11u);
+  EXPECT_EQ(c.id(c.n() - 1), 10u + static_cast<NodeId>(c.n()));
+}
+
+TEST(Canonical, FormIsIdempotentAcrossIsomorphs) {
+  const Graph g = gen::random_graph(6, 0.5, 9);
+  const Graph h = gen::shuffle_ids(g, 77);
+  const Graph cg = canonical_form(g, 0);
+  const Graph ch = canonical_form(h, 0);
+  ASSERT_EQ(cg.n(), ch.n());
+  ASSERT_EQ(cg.m(), ch.m());
+  for (int u = 0; u < cg.n(); ++u) {
+    for (int v = u + 1; v < cg.n(); ++v) {
+      EXPECT_EQ(cg.has_edge(u, v), ch.has_edge(u, v));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcp

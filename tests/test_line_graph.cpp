@@ -1,0 +1,93 @@
+// Line-graph recognition and the self-derived Beineke forbidden set.
+#include <gtest/gtest.h>
+
+#include "algo/isomorphism.hpp"
+#include "algo/line_graph.hpp"
+#include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(LineGraph, LineGraphsOfSmallGraphsPassKrausz) {
+  // L(anything) must be a line graph by definition.
+  for (std::uint32_t seed = 0; seed < 15; ++seed) {
+    const Graph base = gen::random_graph(6, 0.4, seed);
+    const Graph lg = line_graph_of(base);
+    EXPECT_TRUE(is_line_graph_krausz(lg)) << "seed " << seed;
+  }
+}
+
+TEST(LineGraph, ClawIsNotALineGraph) {
+  EXPECT_FALSE(is_line_graph_krausz(gen::star(4)));  // K_{1,3}
+}
+
+TEST(LineGraph, CyclesAndCompleteGraphsAreLineGraphs) {
+  EXPECT_TRUE(is_line_graph_krausz(gen::cycle(7)));   // L(C7) = C7
+  EXPECT_TRUE(is_line_graph_krausz(gen::complete(3)));
+  EXPECT_TRUE(is_line_graph_krausz(gen::path(5)));    // L(P6) = P5
+}
+
+TEST(LineGraph, BeinekeDerivationFindsExactlyNineGraphs) {
+  const auto& forbidden = beineke_forbidden();
+  EXPECT_EQ(forbidden.size(), 9u);
+  // Known size distribution: one graph on 4 nodes (the claw), two on 5
+  // nodes, six on 6 nodes.
+  int by_size[7] = {0, 0, 0, 0, 0, 0, 0};
+  for (const Graph& h : forbidden) {
+    ASSERT_LE(h.n(), 6);
+    ++by_size[h.n()];
+  }
+  EXPECT_EQ(by_size[4], 1);
+  EXPECT_EQ(by_size[5], 2);
+  EXPECT_EQ(by_size[6], 6);
+}
+
+TEST(LineGraph, ClawIsAmongTheNine) {
+  const Graph claw = gen::star(4);
+  bool found = false;
+  for (const Graph& h : beineke_forbidden()) {
+    if (h.n() == 4 && are_isomorphic(h, claw)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LineGraph, ForbiddenGraphsAreMinimal) {
+  // Every one-node-deleted subgraph of a forbidden graph is a line graph.
+  for (const Graph& h : beineke_forbidden()) {
+    EXPECT_FALSE(is_line_graph_krausz(h));
+    for (int drop = 0; drop < h.n(); ++drop) {
+      std::vector<int> keep;
+      for (int v = 0; v < h.n(); ++v) {
+        if (v != drop) keep.push_back(v);
+      }
+      EXPECT_TRUE(is_line_graph_krausz(induced_subgraph(h, keep)));
+    }
+  }
+}
+
+TEST(LineGraph, ObstructionCheckAgreesWithKrausz) {
+  // Beineke's theorem itself, verified empirically on all 7-node graphs
+  // from a random sample.
+  for (std::uint32_t seed = 0; seed < 60; ++seed) {
+    const Graph g = gen::random_graph(7, 0.35, seed);
+    EXPECT_EQ(is_line_graph_krausz(g), !contains_beineke_obstruction(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(LineGraph, VerifierRadiusIsSmallConstant) {
+  EXPECT_GE(beineke_radius(), 1);
+  EXPECT_LE(beineke_radius(), 3);
+}
+
+TEST(LineGraph, LineGraphOfPetersenIsKneserLike) {
+  const Graph lg = line_graph_of(gen::petersen());
+  EXPECT_EQ(lg.n(), 15);
+  // L(cubic graph) is 4-regular.
+  for (int v = 0; v < lg.n(); ++v) EXPECT_EQ(lg.degree(v), 4);
+  EXPECT_TRUE(is_line_graph_krausz(lg));
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,87 @@
+// Section 7.4: the tabulated verifier agrees with the original everywhere,
+// and the table stays small (poly, not exponential) on bounded-degree
+// families — the executable core of "LogLCP (bounded degree) in NP/poly".
+#include <gtest/gtest.h>
+
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "local/lookup_table.hpp"
+#include "schemes/lcp_const.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(LookupTable, VerdictsMatchTheWrappedVerifier) {
+  const schemes::BipartiteScheme scheme;
+  const LookupTableVerifier table(scheme.verifier());
+  for (int n : {4, 5, 6, 7, 8}) {
+    const Graph g = gen::cycle(n);
+    const auto proof = scheme.prove(g);
+    const Proof p = proof.has_value() ? *proof : Proof::empty(n);
+    const RunResult direct = run_verifier(g, p, scheme.verifier());
+    const RunResult tabulated = run_verifier(g, p, table);
+    EXPECT_EQ(direct.all_accept, tabulated.all_accept) << n;
+    EXPECT_EQ(direct.rejecting, tabulated.rejecting) << n;
+  }
+}
+
+TEST(LookupTable, RepeatedViewsAreAnsweredFromTheTable) {
+  const schemes::BipartiteScheme scheme;
+  const LookupTableVerifier table(scheme.verifier());
+  const Graph g = gen::cycle(8);
+  const Proof p = *scheme.prove(g);
+  run_verifier(g, p, table);
+  const std::size_t first_pass = table.table_size();
+  run_verifier(g, p, table);
+  run_verifier(g, p, table);
+  EXPECT_EQ(table.table_size(), first_pass);  // nothing new
+  EXPECT_GE(table.hits(), 2 * static_cast<std::size_t>(g.n()));
+}
+
+TEST(LookupTable, TableIsBoundedByDistinctViewsNotQueries) {
+  // The NP/poly observation is about the table's *input space*: a
+  // bounded-degree radius-r view holds O(1) nodes with O(log n)-bit data,
+  // so at most poly(n) distinct views exist no matter how many times the
+  // verifier runs.  We sweep a family once (each view tabulated at most
+  // once), then re-verify everything twice more: queries triple, the
+  // table does not grow at all.
+  const schemes::LeaderElectionScheme scheme;
+  const LookupTableVerifier table(scheme.verifier());
+  std::vector<std::pair<Graph, Proof>> audits;
+  for (int n = 24; n <= 33; ++n) {
+    Graph g = gen::cycle(n);
+    g.set_label(0, schemes::kLeaderFlag);
+    const Proof p = *scheme.prove(g);
+    audits.emplace_back(std::move(g), p);
+  }
+  for (const auto& [g, p] : audits) run_verifier(g, p, table);
+  const std::size_t after_first_sweep = table.table_size();
+  for (int repeat = 0; repeat < 2; ++repeat) {
+    for (const auto& [g, p] : audits) run_verifier(g, p, table);
+  }
+  EXPECT_EQ(table.table_size(), after_first_sweep);
+  EXPECT_EQ(table.hits(), 2 * after_first_sweep);
+}
+
+TEST(LookupTable, FingerprintSeparatesDifferentProofs) {
+  const Graph g = gen::cycle(5);
+  Proof a = Proof::empty(5);
+  Proof b = Proof::empty(5);
+  b.labels[0].append_bit(true);
+  const View va = extract_view(g, a, 0, 1);
+  const View vb = extract_view(g, b, 0, 1);
+  EXPECT_NE(view_fingerprint(va), view_fingerprint(vb));
+}
+
+TEST(LookupTable, FingerprintSeparatesEdgeLabels) {
+  Graph g1 = gen::cycle(5);
+  Graph g2 = gen::cycle(5);
+  g2.set_edge_label(0, 1);
+  const Proof p = Proof::empty(5);
+  EXPECT_NE(view_fingerprint(extract_view(g1, p, 0, 1)),
+            view_fingerprint(extract_view(g2, p, 0, 1)));
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,145 @@
+// Matchings: maximal/maximum/Konig/weighted duals, cross-checked against
+// brute force on random instances (the LP-duality machinery of Section 2.3
+// rests on these).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algo/bipartite.hpp"
+#include "algo/matching.hpp"
+#include "graph/generators.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(Matching, IsMatchingDetectsConflicts) {
+  const Graph g = gen::path(4);  // edges 0-1, 1-2, 2-3
+  EXPECT_TRUE(is_matching(g, {true, false, true}));
+  EXPECT_FALSE(is_matching(g, {true, true, false}));
+}
+
+TEST(Matching, GreedyIsMaximal) {
+  for (std::uint32_t seed = 0; seed < 20; ++seed) {
+    const Graph g = gen::random_graph(10, 0.3, seed);
+    EXPECT_TRUE(is_maximal_matching(g, greedy_maximal_matching(g)));
+  }
+}
+
+TEST(Matching, MaximalButNotMaximumDetected) {
+  // Path of 4: middle edge alone is maximal but not maximum.
+  const Graph g = gen::path(4);
+  EXPECT_TRUE(is_maximal_matching(g, {false, true, false}));
+  EXPECT_EQ(max_matching_bruteforce(g), 2);
+}
+
+TEST(Matching, KuhnMatchesBruteForceOnBipartite) {
+  for (std::uint32_t seed = 0; seed < 30; ++seed) {
+    Graph g = gen::random_graph(9, 0.35, seed);
+    const auto side = two_coloring(g);
+    if (!side.has_value()) continue;
+    const auto mates = max_bipartite_matching(g, *side);
+    int size = 0;
+    for (int v = 0; v < g.n(); ++v) {
+      if (mates[static_cast<std::size_t>(v)] >= 0) ++size;
+    }
+    EXPECT_EQ(size / 2, max_matching_bruteforce(g)) << "seed " << seed;
+  }
+}
+
+TEST(Matching, KuhnPerfectOnCompleteBipartite) {
+  const Graph g = gen::complete_bipartite(5, 5);
+  const auto side = two_coloring(g);
+  const auto mates = max_bipartite_matching(g, *side);
+  for (int v = 0; v < g.n(); ++v) EXPECT_GE(mates[static_cast<std::size_t>(v)], 0);
+}
+
+TEST(Matching, KonigCoverCertifiesOptimality) {
+  for (std::uint32_t seed = 100; seed < 140; ++seed) {
+    Graph g = gen::random_graph(10, 0.3, seed);
+    const auto side = two_coloring(g);
+    if (!side.has_value()) continue;
+    const auto mates = max_bipartite_matching(g, *side);
+    const auto cover = konig_cover(g, *side, mates);
+    // Cover covers every edge.
+    for (int e = 0; e < g.m(); ++e) {
+      EXPECT_TRUE(cover[static_cast<std::size_t>(g.edge_u(e))] ||
+                  cover[static_cast<std::size_t>(g.edge_v(e))]);
+    }
+    // |C| == |M| and every cover node is matched.
+    int cover_size = 0;
+    int matching_size = 0;
+    for (int v = 0; v < g.n(); ++v) {
+      if (cover[static_cast<std::size_t>(v)]) {
+        ++cover_size;
+        EXPECT_GE(mates[static_cast<std::size_t>(v)], 0);
+      }
+      if (mates[static_cast<std::size_t>(v)] >= 0) ++matching_size;
+    }
+    EXPECT_EQ(cover_size, matching_size / 2);
+  }
+}
+
+class WeightedDuals : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(WeightedDuals, DualsAreOptimalFeasibleIntegral) {
+  const std::uint32_t seed = GetParam();
+  std::mt19937 rng(seed);
+  Graph g = gen::random_graph(8, 0.4, seed);
+  const auto side = two_coloring(g);
+  if (!side.has_value()) GTEST_SKIP() << "non-bipartite sample";
+  std::uniform_int_distribution<int> weight(0, 6);
+  for (int e = 0; e < g.m(); ++e) g.set_edge_weight(e, weight(rng));
+
+  const auto y = max_weight_matching_duals(g, *side);
+  // Feasibility.
+  for (int e = 0; e < g.m(); ++e) {
+    EXPECT_GE(y[static_cast<std::size_t>(g.edge_u(e))] +
+                  y[static_cast<std::size_t>(g.edge_v(e))],
+              g.edge_weight(e));
+  }
+  for (std::int64_t v : y) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 6);
+  }
+  // Optimality: total == brute-force max weight (Egervary).
+  std::int64_t total = 0;
+  for (std::int64_t v : y) total += v;
+  EXPECT_EQ(total, max_weight_matching_bruteforce(g, nullptr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WeightedDuals, ::testing::Range(0u, 40u));
+
+TEST(WeightedMatching, ValueOnWeightedPath) {
+  Graph g = gen::path(4);
+  g.set_edge_weight(0, 3);
+  g.set_edge_weight(1, 5);
+  g.set_edge_weight(2, 3);
+  const auto side = two_coloring(g);
+  EXPECT_EQ(max_weight_matching_value(g, *side), 6);  // take the two outer
+}
+
+TEST(WeightedMatching, ZeroWeightsGiveZeroDuals) {
+  Graph g = gen::complete_bipartite(3, 3);
+  for (int e = 0; e < g.m(); ++e) g.set_edge_weight(e, 0);
+  const auto side = two_coloring(g);
+  const auto y = max_weight_matching_duals(g, *side);
+  for (std::int64_t v : y) EXPECT_EQ(v, 0);
+}
+
+TEST(WeightedMatching, BruteForceMaskIsMatching) {
+  Graph g = gen::complete_bipartite(3, 4);
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> weight(0, 9);
+  for (int e = 0; e < g.m(); ++e) g.set_edge_weight(e, weight(rng));
+  std::vector<bool> mask;
+  const std::int64_t best = max_weight_matching_bruteforce(g, &mask);
+  EXPECT_TRUE(is_matching(g, mask));
+  std::int64_t total = 0;
+  for (int e = 0; e < g.m(); ++e) {
+    if (mask[static_cast<std::size_t>(e)]) total += g.edge_weight(e);
+  }
+  EXPECT_EQ(total, best);
+}
+
+}  // namespace
+}  // namespace lcp

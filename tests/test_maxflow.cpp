@@ -1,0 +1,120 @@
+// Dinic max-flow and the Menger vertex-connectivity witness (Section 4.2's
+// prover): disjoint paths, separator, S/C/T partition.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/maxflow.hpp"
+#include "graph/generators.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(FlowNetwork, SimpleUnitPath) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 1);
+  net.add_arc(1, 2, 1);
+  EXPECT_EQ(net.max_flow(0, 2), 1);
+}
+
+TEST(FlowNetwork, ParallelRoutes) {
+  FlowNetwork net(4);
+  net.add_arc(0, 1, 1);
+  net.add_arc(0, 2, 1);
+  net.add_arc(1, 3, 1);
+  net.add_arc(2, 3, 1);
+  EXPECT_EQ(net.max_flow(0, 3), 2);
+}
+
+TEST(FlowNetwork, BottleneckCapacities) {
+  FlowNetwork net(3);
+  net.add_arc(0, 1, 5);
+  net.add_arc(1, 2, 3);
+  EXPECT_EQ(net.max_flow(0, 2), 3);
+}
+
+void check_witness(const Graph& g, int s, int t, int expect_k) {
+  const MengerWitness w = st_vertex_connectivity(g, s, t);
+  EXPECT_EQ(w.connectivity, expect_k);
+  ASSERT_EQ(static_cast<int>(w.paths.size()), expect_k);
+  EXPECT_EQ(static_cast<int>(w.separator.size()), expect_k);
+
+  // Paths run s -> t along edges; interiors are pairwise disjoint.
+  std::set<int> interior;
+  for (const auto& path : w.paths) {
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(interior.insert(path[i]).second)
+          << "node " << path[i] << " reused";
+    }
+  }
+  // Partition: s in S, t in T, no S-T edge, separator = side C.
+  EXPECT_EQ(w.side[static_cast<std::size_t>(s)], 0);
+  EXPECT_EQ(w.side[static_cast<std::size_t>(t)], 2);
+  for (int e = 0; e < g.m(); ++e) {
+    const int su = w.side[static_cast<std::size_t>(g.edge_u(e))];
+    const int sv = w.side[static_cast<std::size_t>(g.edge_v(e))];
+    EXPECT_FALSE((su == 0 && sv == 2) || (su == 2 && sv == 0));
+  }
+  for (int c : w.separator) EXPECT_EQ(w.side[static_cast<std::size_t>(c)], 1);
+  // Each path crosses C exactly once.
+  for (const auto& path : w.paths) {
+    int crossings = 0;
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      if (w.side[static_cast<std::size_t>(path[i])] == 1) ++crossings;
+    }
+    EXPECT_EQ(crossings, 1);
+  }
+  // Paths are locally minimal: no chords within a path.
+  for (const auto& path : w.paths) {
+    for (std::size_t i = 0; i < path.size(); ++i) {
+      for (std::size_t j = i + 2; j < path.size(); ++j) {
+        EXPECT_FALSE(g.has_edge(path[i], path[j]))
+            << "chord " << path[i] << "-" << path[j];
+      }
+    }
+  }
+}
+
+TEST(Menger, CycleHasConnectivityTwo) {
+  const Graph g = gen::cycle(8);
+  check_witness(g, 0, 4, 2);
+}
+
+TEST(Menger, PathHasConnectivityOne) {
+  const Graph g = gen::path(6);
+  check_witness(g, 0, 5, 1);
+}
+
+TEST(Menger, GridConnectivity) {
+  const Graph g = gen::grid(4, 4);
+  check_witness(g, 0, 15, 2);  // opposite corners of a grid: degree 2 bound
+}
+
+TEST(Menger, CompleteBipartiteConnectivity) {
+  // K_{3,3}: connectivity between two same-side nodes is 3.
+  const Graph g = gen::complete_bipartite(3, 3);
+  check_witness(g, 0, 1, 3);
+}
+
+TEST(Menger, DisconnectedPairIsZero) {
+  const Graph g = gen::disjoint_union(gen::cycle(4), gen::cycle(4));
+  check_witness(g, 0, 5, 0);
+}
+
+TEST(Menger, HypercubeConnectivityEqualsDegree) {
+  const Graph g = gen::hypercube(3);
+  check_witness(g, 0, 7, 3);  // antipodal nodes, kappa = 3
+}
+
+TEST(Menger, AdjacentPairThrows) {
+  const Graph g = gen::cycle(5);
+  EXPECT_THROW(st_vertex_connectivity(g, 0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcp

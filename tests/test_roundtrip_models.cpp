@@ -1,0 +1,96 @@
+// Section 7.1, both directions: M2ToM1Scheme takes an id-blind (port
+// model) scheme back into the identifier model, and composing both
+// translations round-trips LogLCP through the port-numbering model:
+//
+//     ParityScheme (M1)  --M1ToM2-->  port model  --M2ToM1-->  M1 again.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/certificates.hpp"
+#include "core/checker.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "local/port_model.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+std::shared_ptr<const Scheme> round_trip_parity() {
+  // odd-n in M1, pushed into the port model, pulled back into M1.
+  return std::make_shared<M2ToM1Scheme>(std::make_shared<M1ToM2Scheme>(
+      std::make_shared<schemes::ParityScheme>(true)));
+}
+
+TEST(RoundTrip, CompletenessOnUnlabelledGraphs) {
+  const auto scheme = round_trip_parity();
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::cycle(9)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::random_tree(11, 2)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme,
+                                       gen::random_connected(13, 0.3, 4)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::star(7)));
+}
+
+TEST(RoundTrip, EvenInstancesAreNoInstances) {
+  const auto scheme = round_trip_parity();
+  EXPECT_FALSE(scheme->holds(gen::cycle(8)));
+  EXPECT_FALSE(scheme->prove(gen::cycle(8)).has_value());
+  // Odd proof transplanted onto an even cycle: rejected.
+  const auto honest = scheme->prove(gen::cycle(9));
+  ASSERT_TRUE(honest.has_value());
+  Proof cut = Proof::empty(8);
+  for (int v = 0; v < 8; ++v) {
+    cut.labels[static_cast<std::size_t>(v)] =
+        honest->labels[static_cast<std::size_t>(v)];
+  }
+  EXPECT_TRUE(rejected(gen::cycle(8), cut, scheme->verifier()));
+}
+
+TEST(RoundTrip, OverheadStaysLogarithmic) {
+  const auto scheme = round_trip_parity();
+  const auto small = scheme->prove(gen::cycle(9));
+  const auto large = scheme->prove(gen::cycle(129));
+  ASSERT_TRUE(small.has_value());
+  ASSERT_TRUE(large.has_value());
+  // Two translations stack two O(log n) layers; still O(log n) overall.
+  EXPECT_LT(large->size_bits(), 2 * small->size_bits());
+}
+
+TEST(M2ToM1, AppointedLeaderIsUnique) {
+  const auto scheme = round_trip_parity();
+  const Graph g = gen::cycle(9);
+  const auto proof = scheme->prove(g);
+  ASSERT_TRUE(proof.has_value());
+  // Exactly one node carries the leader bit (right after the tree cert).
+  int leaders = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    BitReader r(proof->labels[static_cast<std::size_t>(v)]);
+    ASSERT_TRUE(read_tree_cert(r).has_value());
+    if (r.read_bit()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST(M2ToM1, TwoAppointedLeadersRejected) {
+  const auto scheme = round_trip_parity();
+  const Graph g = gen::cycle(9);
+  auto proof = *scheme->prove(g);
+  // Forge: set a second leader bit (re-assembling the label).
+  for (int v = 0; v < g.n(); ++v) {
+    BitReader r(proof.labels[static_cast<std::size_t>(v)]);
+    const auto cert = read_tree_cert(r);
+    const bool leader = r.read_bit();
+    if (leader) continue;
+    BitString forged;
+    append_tree_cert(forged, *cert);
+    forged.append_bit(true);  // a second leader
+    forged.append(r.rest());
+    proof.labels[static_cast<std::size_t>(v)] = std::move(forged);
+    break;
+  }
+  EXPECT_TRUE(rejected(g, proof, scheme->verifier()));
+}
+
+}  // namespace
+}  // namespace lcp

@@ -1,0 +1,158 @@
+// The universal O(n^2) scheme and its Section 6 instantiations: symmetric
+// graphs (Theta(n^2)) and non-3-colourability (Omega(n^2/log n)), plus the
+// Theta(n) fixpoint-free tree scheme.
+#include <gtest/gtest.h>
+
+#include "algo/trees.hpp"
+#include "core/checker.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "schemes/fixpoint_tree.hpp"
+#include "schemes/universal.hpp"
+
+namespace lcp::schemes {
+namespace {
+
+TEST(Universal, AnyPredicateOnConnectedGraphs) {
+  // "Number of edges is even" — an arbitrary computable property.
+  const UniversalScheme scheme(
+      "even-m", [](const Graph& g) { return g.m() % 2 == 0; });
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::cycle(6)));
+  EXPECT_FALSE(scheme.holds(gen::cycle(7)));
+  EXPECT_FALSE(scheme.prove(gen::cycle(7)).has_value());
+}
+
+TEST(Universal, ProofDescribesTheGraphExactly) {
+  const UniversalScheme scheme("anything", [](const Graph&) { return true; });
+  const Graph g = gen::petersen();
+  const auto proof = scheme.prove(g);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_TRUE(run_verifier(g, *proof, scheme.verifier()).all_accept);
+  // Any single structural bit flip is caught by some node.
+  int checked = 0;
+  for (const Proof& bad : tampered_variants(*proof, 40, 2)) {
+    EXPECT_TRUE(rejected(g, bad, scheme.verifier()));
+    ++checked;
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Universal, ForeignGraphEncodingRejected) {
+  const UniversalScheme scheme("anything", [](const Graph&) { return true; });
+  // Encode C6, feed it to the 6-path with the same ids.
+  const auto proof = scheme.prove(gen::cycle(6));
+  const Graph path = gen::path(6);
+  EXPECT_TRUE(rejected(path, *proof, scheme.verifier()));
+}
+
+TEST(Universal, QuadraticSizeGrowth) {
+  const UniversalScheme scheme("anything", [](const Graph&) { return true; });
+  const int s8 = scheme.prove(gen::cycle(8))->size_bits();
+  const int s16 = scheme.prove(gen::cycle(16))->size_bits();
+  const int s32 = scheme.prove(gen::cycle(32))->size_bits();
+  // n^2 dominates: quadrupling ratios.
+  EXPECT_GT(s32 - s16, 2 * (s16 - s8));
+}
+
+TEST(SymmetricGraphs, AcceptedAndRejectedByAutomorphismStatus) {
+  const auto scheme = make_symmetric_graph_scheme();
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::cycle(7)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::star(5)));
+  // The asymmetric spider (legs 1, 2, 3).
+  Graph spider;
+  for (int i = 1; i <= 7; ++i) spider.add_node(static_cast<NodeId>(i));
+  spider.add_edge(0, 1);
+  spider.add_edge(0, 2);
+  spider.add_edge(2, 3);
+  spider.add_edge(0, 4);
+  spider.add_edge(4, 5);
+  spider.add_edge(5, 6);
+  EXPECT_FALSE(scheme->holds(spider));
+  // Proofs of symmetric graphs do not transfer.
+  const auto p = scheme->prove(gen::cycle(7));
+  EXPECT_TRUE(rejected(spider, *p, scheme->verifier()));
+}
+
+TEST(NonThreeColorable, K4AndK5Certified) {
+  const auto scheme = make_non_3_colorable_scheme();
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::complete(4)));
+  EXPECT_TRUE(scheme_accepts_own_proof(*scheme, gen::complete(5)));
+  EXPECT_FALSE(scheme->holds(gen::petersen()));  // 3-chromatic
+  EXPECT_FALSE(scheme->holds(gen::cycle(7)));
+}
+
+TEST(BoundedUniversal, TruncationKeepsCompleteness) {
+  for (int b : {16, 64, 256}) {
+    const UniversalScheme scheme("anything",
+                                 [](const Graph&) { return true; }, b);
+    const Graph g = gen::cycle(8);
+    EXPECT_TRUE(scheme_accepts_own_proof(scheme, g)) << b;
+    EXPECT_LE(scheme.prove(g)->size_bits(), b);
+  }
+}
+
+TEST(BoundedUniversal, LargeBudgetFallsBackToSoundChecks) {
+  // When the budget exceeds the full label, the truncated scheme behaves
+  // exactly like the sound one.
+  const UniversalScheme scheme(
+      "even-m", [](const Graph& g) { return g.m() % 2 == 0; }, 100000);
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::cycle(6)));
+  const auto p = scheme.prove(gen::cycle(6));
+  EXPECT_TRUE(rejected(gen::path(6), *p, scheme.verifier()));
+}
+
+TEST(FixpointFreeTree, BicentralMirroredTreesAccepted) {
+  const FixpointFreeTreeScheme scheme;
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::path(2)));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::path(6)));
+  // Two mirrored stars joined by an edge.
+  Graph g;
+  for (int i = 1; i <= 8; ++i) g.add_node(static_cast<NodeId>(i));
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);  // hub 0, leaves 1..3
+  g.add_edge(4, 5);
+  g.add_edge(4, 6);
+  g.add_edge(4, 7);  // hub 4
+  g.add_edge(0, 4);
+  EXPECT_TRUE(scheme.holds(g));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, g));
+}
+
+TEST(FixpointFreeTree, UnicentralTreesRejected) {
+  const FixpointFreeTreeScheme scheme;
+  EXPECT_FALSE(scheme.holds(gen::path(5)));
+  EXPECT_FALSE(scheme.holds(gen::star(6)));
+  const auto honest = scheme.prove(gen::path(6));
+  ASSERT_TRUE(honest.has_value());
+  // Transplanting the P6 proof onto P5/P7-shaped inputs must fail.
+  Proof shrunk = Proof::empty(5);
+  for (int v = 0; v < 5; ++v) {
+    shrunk.labels[static_cast<std::size_t>(v)] =
+        honest->labels[static_cast<std::size_t>(v)];
+  }
+  EXPECT_TRUE(rejected(gen::path(5), shrunk, scheme.verifier()));
+}
+
+TEST(FixpointFreeTree, ProofSizeIsLinearNotQuadratic) {
+  const FixpointFreeTreeScheme scheme;
+  const int s8 = scheme.prove(gen::path(8))->size_bits();
+  const int s32 = scheme.prove(gen::path(32))->size_bits();
+  EXPECT_LT(s32, 5 * s8);      // linear-ish
+  EXPECT_GT(s32, 2 * (s8 - 20));
+}
+
+TEST(FixpointFreeTree, ExhaustiveAgreementWithBruteForceOnTinyTrees) {
+  const FixpointFreeTreeScheme scheme;
+  for (int n = 2; n <= 7; ++n) {
+    for (const Graph& t : all_free_trees(n)) {
+      EXPECT_EQ(scheme.holds(t), tree_fixpoint_free_symmetry(t));
+      if (scheme.holds(t)) {
+        EXPECT_TRUE(scheme_accepts_own_proof(scheme, t));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lcp::schemes

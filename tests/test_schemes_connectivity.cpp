@@ -1,0 +1,134 @@
+// The s-t connectivity = k schemes of Section 4.2: O(log k) general and
+// O(1) planar (3 path colours).
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "schemes/lcp_const.hpp"
+#include "schemes/st_connectivity.hpp"
+
+namespace lcp::schemes {
+namespace {
+
+Graph mark_st(Graph g, int s, int t) {
+  g.set_label(s, kSourceLabel);
+  g.set_label(t, kTargetLabel);
+  return g;
+}
+
+class ConnectivityCases
+    : public ::testing::TestWithParam<std::tuple<int, PathNaming>> {};
+
+TEST_P(ConnectivityCases, CompletenessOnCraftedInstances) {
+  const auto [k, naming] = GetParam();
+  const StConnectivityScheme scheme(k, naming);
+  Graph g = [k] {
+    switch (k) {
+      case 0:
+        return gen::disjoint_union(gen::path(4), gen::path(4));
+      case 1:
+        return gen::path(6);
+      case 2:
+        return gen::cycle(10);
+      default: {
+        // k parallel length-2 paths between s and t.
+        Graph h;
+        const int s = h.add_node(1);
+        const int t = h.add_node(2);
+        for (int i = 0; i < 3; ++i) {
+          const int mid = h.add_node(static_cast<NodeId>(10 + i));
+          h.add_edge(s, mid);
+          h.add_edge(mid, t);
+        }
+        return h;
+      }
+    }
+  }();
+  const int s = 0;
+  const int t = k == 0 ? g.n() - 1 : (k == 1 ? 5 : (k == 2 ? 5 : 1));
+  g = mark_st(std::move(g), s, t);
+  EXPECT_TRUE(scheme.holds(g));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, g));
+  // The wrong k must be a no-instance with no valid honest proof.
+  const StConnectivityScheme wrong(k + 1, naming);
+  EXPECT_FALSE(wrong.holds(g));
+  EXPECT_FALSE(wrong.prove(g).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConnectivityCases,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values(PathNaming::kUniqueIndices,
+                                         PathNaming::kThreeColors)));
+
+TEST(Connectivity, GridPlanarVariantStaysConstantSize) {
+  // Opposite corners of grids: connectivity 2; the planar proof size must
+  // not grow with n.
+  const StConnectivityScheme scheme(2, PathNaming::kThreeColors);
+  int size4 = 0;
+  int size8 = 0;
+  for (int side : {4, 8}) {
+    const Graph g = mark_st(gen::grid(side, side), 0, side * side - 1);
+    ASSERT_TRUE(scheme.holds(g)) << side;
+    const auto proof = scheme.prove(g);
+    ASSERT_TRUE(proof.has_value()) << side;
+    EXPECT_TRUE(run_verifier(g, *proof, scheme.verifier()).all_accept);
+    (side == 4 ? size4 : size8) = proof->size_bits();
+  }
+  EXPECT_EQ(size4, size8);
+  EXPECT_LE(size8, 9);  // 3 + 2 + 4 bits
+}
+
+TEST(Connectivity, CompleteBipartiteHighK) {
+  const StConnectivityScheme scheme(4, PathNaming::kUniqueIndices);
+  const Graph g = mark_st(gen::complete_bipartite(4, 4), 0, 1);
+  EXPECT_TRUE(scheme.holds(g));  // two left nodes: kappa = 4
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, g));
+}
+
+TEST(Connectivity, CheatingSeparatorRejected) {
+  // On a 10-cycle (kappa = 2), try to pass the k = 1 verifier by blanking
+  // one of the honest k = 2 proof's paths: s and t then see one endpoint
+  // each, but the S/T partition now has an uncut route.
+  const StConnectivityScheme two(2, PathNaming::kUniqueIndices);
+  const StConnectivityScheme one(1, PathNaming::kUniqueIndices);
+  Graph g = mark_st(gen::cycle(10), 0, 5);
+  const auto proof = two.prove(g);
+  ASSERT_TRUE(proof.has_value());
+  // All structured tampers of the honest 2-proof must fail the 1-verifier.
+  for (const Proof& bad : tampered_variants(*proof, 100, 9)) {
+    EXPECT_TRUE(rejected(g, bad, one.verifier()));
+  }
+  // And the honest 2-proof itself certainly fails it.
+  EXPECT_TRUE(rejected(g, *proof, one.verifier()));
+}
+
+TEST(Connectivity, ExhaustiveSoundnessTinyInstances) {
+  // Triangle path s-a-t with a single route: kappa = 1; the k = 2 verifier
+  // must reject every proof of up to 7 bits per node.
+  const StConnectivityScheme two(2, PathNaming::kUniqueIndices);
+  const Graph g = mark_st(gen::path(3), 0, 2);
+  EXPECT_FALSE(exists_accepted_proof(g, two.verifier(), 7));
+}
+
+TEST(Connectivity, ExhaustiveSoundnessWrongDirectionTiny) {
+  // kappa = 2 (C4), k = 1 verifier must reject everything small.  With 4
+  // nodes the exhaustive budget is 4 bits per node: enough for every
+  // off-path side combination (3 bits) — the S/T-cut half of soundness —
+  // while on-path labels (8 bits) cannot even be encoded.
+  const StConnectivityScheme one(1, PathNaming::kUniqueIndices);
+  const Graph g = mark_st(gen::cycle(4), 0, 2);
+  EXPECT_FALSE(exists_accepted_proof(g, one.verifier(), 4));
+}
+
+TEST(Connectivity, AdvertisedSizeGrowsLogarithmically) {
+  const StConnectivityScheme k2(2, PathNaming::kUniqueIndices);
+  const StConnectivityScheme k16(16, PathNaming::kUniqueIndices);
+  const StConnectivityScheme planar(7, PathNaming::kThreeColors);
+  EXPECT_LT(k2.advertised_size(100), k16.advertised_size(100));
+  EXPECT_EQ(planar.advertised_size(100), 9);
+}
+
+}  // namespace
+}  // namespace lcp::schemes

@@ -1,0 +1,175 @@
+// Table 1(a) LCP(0) and LCP(O(1)) schemes: Eulerian, line graphs,
+// bipartiteness, even cycles, s-t reachability and unreachability.
+#include <gtest/gtest.h>
+
+#include "core/checker.hpp"
+#include "core/runner.hpp"
+#include "graph/directed.hpp"
+#include "graph/generators.hpp"
+#include "schemes/lcp0.hpp"
+#include "schemes/lcp_const.hpp"
+
+namespace lcp::schemes {
+namespace {
+
+TEST(Eulerian, CyclesAreEulerianPathsAreNot) {
+  const EulerianScheme scheme;
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::cycle(6)));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::complete(5)));
+  EXPECT_FALSE(scheme.holds(gen::path(4)));
+  EXPECT_FALSE(scheme.prove(gen::path(4)).has_value());
+  // Soundness is proof-independent for LCP(0).
+  EXPECT_TRUE(rejected(gen::path(4), Proof::empty(4), scheme.verifier()));
+}
+
+TEST(Eulerian, ProofSizeIsZero) {
+  const EulerianScheme scheme;
+  EXPECT_EQ(scheme.prove(gen::cycle(5))->size_bits(), 0);
+}
+
+TEST(LineGraphScheme, AcceptsLineGraphsRejectsClaw) {
+  const LineGraphScheme scheme;
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::cycle(6)));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::complete(3)));
+  const Graph claw = gen::star(4);
+  EXPECT_FALSE(scheme.holds(claw));
+  EXPECT_TRUE(rejected(claw, Proof::empty(4), scheme.verifier()));
+}
+
+TEST(LineGraphScheme, RejectionIsLocal) {
+  // A big cycle with a claw grafted on: only nodes near the claw reject.
+  Graph g = gen::cycle(12);
+  const int hub = 0;
+  const int leaf1 = g.add_node(100);
+  const int leaf2 = g.add_node(101);
+  g.add_edge(hub, leaf1);
+  g.add_edge(hub, leaf2);
+  const LineGraphScheme scheme;
+  ASSERT_FALSE(scheme.holds(g));
+  const RunResult r =
+      run_verifier(g, Proof::empty(g.n()), scheme.verifier());
+  EXPECT_FALSE(r.all_accept);
+  EXPECT_LT(r.rejecting.size(), static_cast<std::size_t>(g.n()));
+}
+
+TEST(Bipartite, CompletenessAcrossFamilies) {
+  const BipartiteScheme scheme;
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::cycle(8)));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::grid(3, 4)));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::hypercube(4)));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::random_tree(12, 3)));
+  EXPECT_TRUE(scheme_accepts_own_proof(
+      scheme, gen::disjoint_union(gen::cycle(4), gen::path(3))));
+}
+
+TEST(Bipartite, ProofIsOneBit) {
+  const BipartiteScheme scheme;
+  EXPECT_EQ(scheme.prove(gen::grid(4, 4))->size_bits(), 1);
+}
+
+TEST(Bipartite, ExhaustiveSoundnessOnOddCycles) {
+  // No proof with <= 2 bits per node convinces the verifier on C5/C7.
+  const BipartiteScheme scheme;
+  EXPECT_FALSE(exists_accepted_proof(gen::cycle(5), scheme.verifier(), 2));
+  EXPECT_FALSE(exists_accepted_proof(gen::cycle(3), scheme.verifier(), 2));
+}
+
+TEST(Bipartite, ExhaustiveCompletenessMatchesSemantics) {
+  EXPECT_TRUE(exists_accepted_proof(gen::cycle(4),
+                                    BipartiteScheme().verifier(), 1));
+  EXPECT_TRUE(exists_accepted_proof(gen::path(5),
+                                    BipartiteScheme().verifier(), 1));
+}
+
+TEST(EvenCycle, ParityDecidesAcceptance) {
+  const EvenCycleScheme scheme;
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, gen::cycle(8)));
+  EXPECT_FALSE(scheme.holds(gen::cycle(7)));
+  EXPECT_FALSE(exists_accepted_proof(gen::cycle(7), scheme.verifier(), 1));
+}
+
+Graph mark_st(Graph g, int s, int t) {
+  g.set_label(s, kSourceLabel);
+  g.set_label(t, kTargetLabel);
+  return g;
+}
+
+TEST(StReachability, PathMarkedWithOneBit) {
+  const StReachabilityScheme scheme;
+  const Graph g = mark_st(gen::grid(3, 4), 0, 11);
+  EXPECT_TRUE(scheme.holds(g));
+  const auto proof = scheme.prove(g);
+  ASSERT_TRUE(proof.has_value());
+  EXPECT_EQ(proof->size_bits(), 1);
+  EXPECT_TRUE(run_verifier(g, *proof, scheme.verifier()).all_accept);
+}
+
+TEST(StReachability, DisconnectedRejectedExhaustively) {
+  const StReachabilityScheme scheme;
+  const Graph g =
+      mark_st(gen::disjoint_union(gen::path(3), gen::path(3)), 0, 5);
+  EXPECT_FALSE(scheme.holds(g));
+  EXPECT_FALSE(exists_accepted_proof(g, scheme.verifier(), 1));
+}
+
+TEST(StReachability, TamperedPathRejected) {
+  const StReachabilityScheme scheme;
+  const Graph g = mark_st(gen::cycle(8), 0, 4);
+  const auto proof = scheme.prove(g);
+  ASSERT_TRUE(proof.has_value());
+  // Clearing any marked node must break some local count.
+  for (int v = 0; v < g.n(); ++v) {
+    if (proof->labels[static_cast<std::size_t>(v)].bit(0)) {
+      Proof bad = *proof;
+      bad.labels[static_cast<std::size_t>(v)] = BitString::from_string("0");
+      EXPECT_TRUE(rejected(g, bad, scheme.verifier()));
+    }
+  }
+}
+
+TEST(StUnreachable, PartitionAccepted) {
+  const StUnreachableScheme scheme;
+  const Graph g =
+      mark_st(gen::disjoint_union(gen::cycle(4), gen::cycle(4)), 1, 6);
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, g));
+}
+
+TEST(StUnreachable, ConnectedPairRejectedExhaustively) {
+  const StUnreachableScheme scheme;
+  const Graph g = mark_st(gen::path(5), 0, 4);
+  EXPECT_FALSE(scheme.holds(g));
+  EXPECT_FALSE(exists_accepted_proof(g, scheme.verifier(), 1));
+}
+
+Graph directed_chain_with_back_edge() {
+  // Arcs: 0->1->2, and 3->2, 3->0: t=3 unreachable from s=0.
+  Graph g = gen::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  directed::add_arc(g, 0, 1);
+  directed::add_arc(g, 1, 2);
+  directed::add_arc(g, 3, 2);
+  directed::add_arc(g, 3, 0);
+  g.set_label(0, kSourceLabel);
+  g.set_label(3, kTargetLabel);
+  return g;
+}
+
+TEST(StUnreachableDirected, BackEdgesDoNotBreakTheCut) {
+  const StUnreachableDirectedScheme scheme;
+  const Graph g = directed_chain_with_back_edge();
+  EXPECT_TRUE(scheme.holds(g));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, g));
+}
+
+TEST(StUnreachableDirected, ReachableRejectedExhaustively) {
+  Graph g = gen::from_edges(3, {{0, 1}, {1, 2}});
+  directed::add_arc(g, 0, 1);
+  directed::add_arc(g, 1, 2);
+  g.set_label(0, kSourceLabel);
+  g.set_label(2, kTargetLabel);
+  const StUnreachableDirectedScheme scheme;
+  EXPECT_FALSE(scheme.holds(g));
+  EXPECT_FALSE(exists_accepted_proof(g, scheme.verifier(), 1));
+}
+
+}  // namespace
+}  // namespace lcp::schemes

@@ -1,0 +1,172 @@
+// Table 1(b) matching/problem schemes (Section 2.3): maximal matching
+// (LCP(0)), MIS (LCL), Konig maximum matching (LCP(1)), max-weight
+// matching with LP duals (O(log W)).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "algo/bipartite.hpp"
+#include "algo/matching.hpp"
+#include "core/checker.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "schemes/matching_schemes.hpp"
+
+namespace lcp::schemes {
+namespace {
+
+Graph with_matching_labels(Graph g, const std::vector<bool>& mask,
+                           std::uint64_t bit) {
+  for (int e = 0; e < g.m(); ++e) {
+    g.set_edge_label(e, mask[static_cast<std::size_t>(e)] ? bit : 0);
+  }
+  return g;
+}
+
+TEST(MaximalMatching, GreedySolutionsAccepted) {
+  const MaximalMatchingScheme scheme;
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    Graph g = gen::random_connected(10, 0.3, seed);
+    g = with_matching_labels(std::move(g), greedy_maximal_matching(g),
+                             MaximalMatchingScheme::kMatchedBit);
+    EXPECT_TRUE(scheme.holds(g));
+    EXPECT_TRUE(scheme_accepts_own_proof(scheme, g)) << seed;
+    EXPECT_EQ(scheme.prove(g)->size_bits(), 0);
+  }
+}
+
+TEST(MaximalMatching, NonMaximalRejectedWithoutProof) {
+  const MaximalMatchingScheme scheme;
+  const Graph g = gen::path(4);  // no labels: empty matching, not maximal
+  EXPECT_FALSE(scheme.holds(g));
+  EXPECT_TRUE(rejected(g, Proof::empty(4), scheme.verifier()));
+}
+
+TEST(MaximalMatching, ConflictingEdgesRejected) {
+  const MaximalMatchingScheme scheme;
+  Graph g = gen::path(3);
+  g.set_edge_label(0, 1);
+  g.set_edge_label(1, 1);  // node 1 doubly matched
+  EXPECT_TRUE(rejected(g, Proof::empty(3), scheme.verifier()));
+}
+
+TEST(Mis, GreedyMisAccepted) {
+  const MaximalIndependentSetScheme scheme;
+  for (std::uint32_t seed = 0; seed < 10; ++seed) {
+    Graph g = gen::random_connected(10, 0.3, seed);
+    // Greedy MIS by index order.
+    for (int v = 0; v < g.n(); ++v) {
+      bool blocked = false;
+      for (const HalfEdge& h : g.neighbors(v)) {
+        if (g.label(h.to) == MaximalIndependentSetScheme::kInSetLabel) {
+          blocked = true;
+        }
+      }
+      if (!blocked) g.set_label(v, MaximalIndependentSetScheme::kInSetLabel);
+    }
+    EXPECT_TRUE(scheme.holds(g));
+    EXPECT_TRUE(scheme_accepts_own_proof(scheme, g)) << seed;
+  }
+}
+
+TEST(Mis, ViolationsRejected) {
+  const MaximalIndependentSetScheme scheme;
+  Graph dependent = gen::path(3);
+  dependent.set_label(0, 1);
+  dependent.set_label(1, 1);  // adjacent pair
+  EXPECT_TRUE(rejected(dependent, Proof::empty(3), scheme.verifier()));
+  Graph not_maximal = gen::path(3);  // empty set
+  EXPECT_TRUE(rejected(not_maximal, Proof::empty(3), scheme.verifier()));
+}
+
+TEST(MaxMatchingBipartite, KonigCertificatesAccepted) {
+  const MaxMatchingBipartiteScheme scheme;
+  for (std::uint32_t seed = 0; seed < 25; ++seed) {
+    Graph g = gen::random_graph(9, 0.35, seed);
+    const auto side = two_coloring(g);
+    if (!side.has_value()) continue;
+    const auto mates = max_bipartite_matching(g, *side);
+    std::vector<bool> mask(static_cast<std::size_t>(g.m()), false);
+    for (int e = 0; e < g.m(); ++e) {
+      mask[static_cast<std::size_t>(e)] =
+          mates[static_cast<std::size_t>(g.edge_u(e))] == g.edge_v(e);
+    }
+    g = with_matching_labels(std::move(g), mask,
+                             MaxMatchingBipartiteScheme::kMatchedBit);
+    EXPECT_TRUE(scheme.holds(g)) << seed;
+    EXPECT_TRUE(scheme_accepts_own_proof(scheme, g)) << seed;
+    EXPECT_LE(scheme.prove(g)->size_bits(), 1);
+  }
+}
+
+TEST(MaxMatchingBipartite, SubOptimalMatchingsHaveNoProofAndFailTampers) {
+  const MaxMatchingBipartiteScheme scheme;
+  // P4 with only the middle edge: maximal but not maximum.
+  Graph g = gen::path(4);
+  g.set_edge_label(1, MaxMatchingBipartiteScheme::kMatchedBit);
+  EXPECT_FALSE(scheme.holds(g));
+  EXPECT_FALSE(exists_accepted_proof(g, scheme.verifier(), 1));
+}
+
+TEST(MaxMatchingBipartite, ExhaustiveCompletenessOnTinyInstance) {
+  Graph g = gen::path(4);
+  g.set_edge_label(0, MaxMatchingBipartiteScheme::kMatchedBit);
+  g.set_edge_label(2, MaxMatchingBipartiteScheme::kMatchedBit);
+  const MaxMatchingBipartiteScheme scheme;
+  EXPECT_TRUE(scheme.holds(g));
+  EXPECT_TRUE(exists_accepted_proof(g, scheme.verifier(), 1));
+}
+
+class MaxWeightSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MaxWeightSweep, OptimalSolutionsCertifiedSuboptimalRejected) {
+  const std::uint32_t seed = GetParam();
+  std::mt19937 rng(seed);
+  Graph g = gen::random_graph(8, 0.4, seed);
+  const auto side = two_coloring(g);
+  if (!side.has_value() || g.m() == 0) GTEST_SKIP();
+  std::uniform_int_distribution<int> weight(0, 7);
+  for (int e = 0; e < g.m(); ++e) g.set_edge_weight(e, weight(rng));
+
+  std::vector<bool> best_mask;
+  max_weight_matching_bruteforce(g, &best_mask);
+  Graph yes = with_matching_labels(g, best_mask,
+                                   MaxWeightMatchingScheme::kMatchedBit);
+  const MaxWeightMatchingScheme scheme(7);
+  EXPECT_TRUE(scheme.holds(yes));
+  EXPECT_TRUE(scheme_accepts_own_proof(scheme, yes));
+  EXPECT_LE(scheme.prove(yes)->size_bits(), 3);  // log W bits
+
+  // Remove one matched edge with positive weight: strictly suboptimal.
+  int drop = -1;
+  for (int e = 0; e < g.m(); ++e) {
+    if (best_mask[static_cast<std::size_t>(e)] && g.edge_weight(e) > 0) {
+      drop = e;
+    }
+  }
+  if (drop < 0) GTEST_SKIP();
+  std::vector<bool> weak = best_mask;
+  weak[static_cast<std::size_t>(drop)] = false;
+  Graph no = with_matching_labels(g, weak,
+                                  MaxWeightMatchingScheme::kMatchedBit);
+  EXPECT_FALSE(scheme.holds(no));
+  // The honest dual proof of the yes-instance must NOT certify it...
+  const auto dual_proof = scheme.prove(yes);
+  EXPECT_TRUE(rejected(no, *dual_proof, scheme.verifier()));
+  // ...and neither do its structured corruptions.
+  for (const Proof& p : tampered_variants(*dual_proof, 30, seed)) {
+    EXPECT_TRUE(rejected(no, p, scheme.verifier()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MaxWeightSweep, ::testing::Range(0u, 25u));
+
+TEST(MaxWeight, WeightBeyondBoundIsNoInstance) {
+  Graph g = gen::path(2);
+  g.set_edge_weight(0, 100);
+  const MaxWeightMatchingScheme scheme(7);
+  EXPECT_FALSE(scheme.holds(g));
+}
+
+}  // namespace
+}  // namespace lcp::schemes

@@ -1,0 +1,97 @@
+// Section 6.1/6.2: asymmetric-graph counting, the G1 (.) G2 join, and the
+// proof-transplant attack on truncated universal schemes.
+#include <gtest/gtest.h>
+
+#include "algo/isomorphism.hpp"
+#include "lower/symmetry_fooling.hpp"
+#include "schemes/universal.hpp"
+
+namespace lcp::lower {
+namespace {
+
+TEST(AsymmetricCounts, NoSmallAsymmetricGraphs) {
+  // Classical fact: besides K1, no asymmetric graph has fewer than 6 nodes.
+  EXPECT_EQ(count_asymmetric_connected(1).classes, 1);
+  for (int k = 2; k <= 5; ++k) {
+    EXPECT_EQ(count_asymmetric_connected(k).classes, 0) << k;
+  }
+}
+
+TEST(AsymmetricCounts, SixNodesHasEight) {
+  // Known: exactly 8 asymmetric connected graphs on 6 vertices.
+  const AsymmetricCount c = count_asymmetric_connected(6);
+  EXPECT_EQ(c.classes, 8);
+  EXPECT_EQ(c.labeled, 8 * 720);
+}
+
+TEST(AsymmetricCounts, RepresentativesMatchTheCount) {
+  const auto reps = asymmetric_connected_representatives(6);
+  EXPECT_EQ(reps.size(), 8u);
+  for (const Graph& g : reps) {
+    EXPECT_FALSE(has_nontrivial_automorphism(g));
+    for (const Graph& h : reps) {
+      if (&g != &h) EXPECT_FALSE(are_isomorphic(g, h));
+    }
+  }
+}
+
+TEST(Join, SymmetricIffIsomorphicHalves) {
+  const auto reps = asymmetric_connected_representatives(6);
+  ASSERT_GE(reps.size(), 2u);
+  const Graph& g1 = reps[0];
+  const Graph& g2 = reps[1];
+  EXPECT_TRUE(has_nontrivial_automorphism(join_graphs(g1, g1)));
+  EXPECT_TRUE(has_nontrivial_automorphism(join_graphs(g2, g2)));
+  EXPECT_FALSE(has_nontrivial_automorphism(join_graphs(g1, g2)));
+}
+
+TEST(Join, StructureIsThreeKNodes) {
+  const auto reps = asymmetric_connected_representatives(6);
+  const Graph j = join_graphs(reps[0], reps[0]);
+  EXPECT_EQ(j.n(), 18);
+  EXPECT_EQ(j.m(), reps[0].m() * 2 + 7);  // two copies + path of k+1 edges
+}
+
+TEST(Transplant, TruncatedUniversalSchemeIsFooled) {
+  const auto reps = asymmetric_connected_representatives(6);
+  // Budget below the first differing bit (matrix area): the attack lands.
+  const auto scheme = schemes::make_symmetric_graph_scheme(/*trunc=*/150);
+  const TransplantOutcome o =
+      run_symmetry_transplant(*scheme, reps[0], reps[1]);
+  EXPECT_TRUE(o.proofs_exist);
+  EXPECT_TRUE(o.labels_agree_on_window);
+  EXPECT_TRUE(o.all_accept);
+  EXPECT_FALSE(o.glued_is_yes);
+  EXPECT_TRUE(o.fooled());
+}
+
+TEST(Transplant, HonestUniversalSchemeResists) {
+  const auto reps = asymmetric_connected_representatives(6);
+  const auto scheme = schemes::make_symmetric_graph_scheme(/*trunc=*/0);
+  const TransplantOutcome o =
+      run_symmetry_transplant(*scheme, reps[0], reps[1]);
+  EXPECT_TRUE(o.proofs_exist);
+  // Full proofs differ (they encode different matrices), so the window
+  // labels cannot agree and the attack never gets off the ground.
+  EXPECT_FALSE(o.labels_agree_on_window);
+  EXPECT_FALSE(o.fooled());
+  EXPECT_GE(o.first_label_difference, 0);
+}
+
+TEST(Transplant, FirstDifferenceSitsInTheMatrixArea) {
+  // Identical id blocks force the first difference past the header+ids,
+  // i.e. the collision threshold scales with n^2 — only a constant factor
+  // below the trivial upper bound, exactly Section 6.1's message.
+  const auto reps = asymmetric_connected_representatives(6);
+  const auto scheme = schemes::make_symmetric_graph_scheme(0);
+  const TransplantOutcome o =
+      run_symmetry_transplant(*scheme, reps[0], reps[1]);
+  const int n = 18;
+  const int header = 6 + 20;
+  const int ids = n * 5;  // width 5 for ids up to 18
+  EXPECT_GE(o.first_label_difference, header + ids);
+  EXPECT_LT(o.first_label_difference, header + ids + n * n);
+}
+
+}  // namespace
+}  // namespace lcp::lower

@@ -1,0 +1,127 @@
+// Section 6.3: the 3-colouring gadgets.  The gadget law (colourings of
+// G_A encode exactly A; G_{A,B} colourable iff A and B intersect) is
+// cross-checked against the exact DSATUR solver at small scale.
+#include <gtest/gtest.h>
+
+#include "algo/coloring.hpp"
+#include "lower/threecol.hpp"
+
+namespace lcp::lower {
+namespace {
+
+TEST(Pairs, ComplementPartitionsTheSquare) {
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet comp = complement_pairs(1, a);
+  EXPECT_EQ(comp.size(), 2u);
+  EXPECT_EQ(all_pairs(1).size(), 4u);
+  EXPECT_EQ(all_pairs(2).size(), 16u);
+}
+
+TEST(Gadget, ColoringsEncodeExactlyA) {
+  // k = 1: check every singleton and pair subset A.
+  const PairSet universe = all_pairs(1);
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    const PairSet a{universe[i]};
+    const Gadget gadget = build_gadget(1, a);
+    const auto colors = k_coloring(gadget.graph, 3);
+    ASSERT_TRUE(colors.has_value()) << i;
+    EXPECT_TRUE(is_proper_coloring(gadget.graph, *colors));
+    EXPECT_EQ(decode_pair(gadget, *colors), universe[i]);
+  }
+}
+
+TEST(Gadget, EmptyAIsUncolorable) {
+  const Gadget gadget = build_gadget(1, {});
+  EXPECT_FALSE(k_coloring(gadget.graph, 3).has_value());
+}
+
+TEST(Gadget, TwoElementAAllowsBothCodes) {
+  const PairSet a{{0, 1}, {1, 0}};
+  const Gadget gadget = build_gadget(1, a);
+  const auto colors = k_coloring(gadget.graph, 3);
+  ASSERT_TRUE(colors.has_value());
+  const auto [x, y] = decode_pair(gadget, *colors);
+  EXPECT_TRUE((x == 0 && y == 1) || (x == 1 && y == 0));
+}
+
+TEST(Joined, ColorableIffIntersecting) {
+  // All 2-element A, B over I x I with k = 1, r = 1: solver agrees with
+  // the semantic law.
+  const PairSet universe = all_pairs(1);
+  int checked = 0;
+  for (std::size_t i = 0; i < universe.size(); ++i) {
+    for (std::size_t j = i + 1; j < universe.size(); ++j) {
+      const PairSet a{universe[i], universe[j]};
+      for (std::size_t p = 0; p < universe.size(); ++p) {
+        const PairSet b{universe[p]};
+        const JoinedGadget joined = build_joined(1, a, b, 1);
+        const bool expect = joined_colorable_semantics(a, b);
+        EXPECT_EQ(k_coloring(joined.graph, 3).has_value(), expect)
+            << i << "," << j << " vs " << p;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_EQ(checked, 24);
+}
+
+TEST(Joined, ComplementPairIsNeverColorable) {
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet a_bar = complement_pairs(1, a);
+  const JoinedGadget joined = build_joined(1, a, a_bar, 1);
+  EXPECT_FALSE(joined_colorable_semantics(a, a_bar));
+  EXPECT_FALSE(k_coloring(joined.graph, 3).has_value());
+}
+
+TEST(Joined, FoolingSetPairColorable) {
+  // A != B with A intersecting complement(B): the stitched instance of the
+  // paper's fooling argument is colourable.
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet b{{0, 0}, {1, 0}};
+  const PairSet b_bar = complement_pairs(1, b);
+  EXPECT_TRUE(joined_colorable_semantics(a, b_bar));  // (1,1) survives
+  const JoinedGadget joined = build_joined(1, a, b_bar, 1);
+  EXPECT_TRUE(k_coloring(joined.graph, 3).has_value());
+}
+
+TEST(Joined, WiresPropagatePaletteAcrossTheGap) {
+  const PairSet a{{1, 0}};
+  const JoinedGadget joined = build_joined(1, a, a, 1);
+  const auto colors = k_coloring(joined.graph, 3);
+  ASSERT_TRUE(colors.has_value());
+  // Rebuild the two gadget halves to locate T/T' and N/N'.
+  const Gadget ga = build_gadget(1, a);
+  const int shift = joined.ga_size;
+  EXPECT_EQ((*colors)[static_cast<std::size_t>(ga.t)],
+            (*colors)[static_cast<std::size_t>(shift + ga.t)]);
+  EXPECT_EQ((*colors)[static_cast<std::size_t>(ga.n)],
+            (*colors)[static_cast<std::size_t>(shift + ga.n)]);
+  // Bit nodes agree too: both halves decode the same (x, y).
+  for (std::size_t i = 0; i < ga.x_bits.size(); ++i) {
+    EXPECT_EQ((*colors)[static_cast<std::size_t>(ga.x_bits[i])],
+              (*colors)[static_cast<std::size_t>(shift + ga.x_bits[i])]);
+  }
+}
+
+TEST(Joined, LayoutUniformAcrossEqualSizedSets) {
+  // Equal |A| gives identical node counts — required by the transplant
+  // experiment in bench/sec6_threecol.
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet b{{0, 1}, {1, 0}};
+  const JoinedGadget ja = build_joined(1, a, complement_pairs(1, a), 2);
+  const JoinedGadget jb = build_joined(1, b, complement_pairs(1, b), 2);
+  EXPECT_EQ(ja.graph.n(), jb.graph.n());
+  EXPECT_EQ(ja.ga_size, jb.ga_size);
+}
+
+TEST(Joined, GapScalesWithR) {
+  const PairSet a{{0, 0}};
+  const JoinedGadget r1 = build_joined(1, a, a, 1);
+  const JoinedGadget r3 = build_joined(1, a, a, 3);
+  EXPECT_GT(r3.graph.n(), r1.graph.n());
+  // Still colourable: the law is r-independent.
+  EXPECT_TRUE(k_coloring(r3.graph, 3).has_value());
+}
+
+}  // namespace
+}  // namespace lcp::lower

@@ -1,0 +1,148 @@
+// Tree algorithms: centres, AHU codes, the O(n)-bit codec, fixpoint-free
+// symmetry, enumeration and counting (Section 6.2 substrate).
+#include <gtest/gtest.h>
+
+#include "algo/isomorphism.hpp"
+#include "algo/trees.hpp"
+#include "graph/generators.hpp"
+
+namespace lcp {
+namespace {
+
+TEST(Trees, IsTree) {
+  EXPECT_TRUE(is_tree(gen::path(5)));
+  EXPECT_TRUE(is_tree(gen::star(6)));
+  EXPECT_FALSE(is_tree(gen::cycle(4)));
+  EXPECT_FALSE(is_tree(gen::disjoint_union(gen::path(2), gen::path(2))));
+}
+
+TEST(Trees, CentersOfPaths) {
+  EXPECT_EQ(tree_centers(gen::path(5)).size(), 1u);  // odd path: one centre
+  EXPECT_EQ(tree_centers(gen::path(6)).size(), 2u);  // even path: two
+  EXPECT_EQ(tree_centers(gen::path(5))[0], 2);
+}
+
+TEST(Trees, CenterOfStarIsHub) {
+  const auto centers = tree_centers(gen::star(7));
+  ASSERT_EQ(centers.size(), 1u);
+  EXPECT_EQ(centers[0], 0);
+}
+
+TEST(Trees, AhuDistinguishesRootings) {
+  const Graph p3 = gen::path(3);
+  EXPECT_NE(ahu_code(p3, 0), ahu_code(p3, 1));
+  EXPECT_EQ(ahu_code(p3, 0), ahu_code(p3, 2));
+}
+
+TEST(Trees, FreeCodeInvariantUnderShuffle) {
+  for (std::uint32_t seed = 0; seed < 15; ++seed) {
+    const Graph t = gen::random_tree(9, seed);
+    const Graph s = gen::shuffle_ids(t, seed + 50);
+    EXPECT_EQ(free_tree_code(t), free_tree_code(s));
+  }
+}
+
+TEST(Trees, FreeCodeSeparatesNonIsomorphicTrees) {
+  EXPECT_NE(free_tree_code(gen::path(5)), free_tree_code(gen::star(5)));
+}
+
+TEST(Trees, CanonicalEncodingRoundTrips) {
+  for (std::uint32_t seed = 0; seed < 15; ++seed) {
+    const Graph t = gen::random_tree(8, seed);
+    const CanonicalTree canon = canonize_tree(t);
+    EXPECT_EQ(canon.structure.size(), 2 * t.n());
+    const auto children = decode_tree(canon.structure);
+    ASSERT_TRUE(children.has_value());
+    EXPECT_EQ(children->size(), static_cast<std::size_t>(t.n()));
+    // The position map is a bijection consistent with adjacency.
+    const auto parents = tree_parents_from_children(*children);
+    for (int e = 0; e < t.m(); ++e) {
+      const int pu = canon.position[static_cast<std::size_t>(t.edge_u(e))];
+      const int pv = canon.position[static_cast<std::size_t>(t.edge_v(e))];
+      EXPECT_TRUE(parents[static_cast<std::size_t>(pu)] == pv ||
+                  parents[static_cast<std::size_t>(pv)] == pu);
+    }
+  }
+}
+
+TEST(Trees, DecodeRejectsMalformed) {
+  EXPECT_FALSE(decode_tree(BitString::from_string("10")).has_value() ==
+               false);  // "10" is the single-node tree: valid
+  EXPECT_FALSE(decode_tree(BitString::from_string("1")).has_value());
+  EXPECT_FALSE(decode_tree(BitString::from_string("01")).has_value());
+  EXPECT_FALSE(decode_tree(BitString::from_string("1010")).has_value());
+  EXPECT_TRUE(decode_tree(BitString::from_string("110100")).has_value());
+}
+
+TEST(Trees, FixpointFreeMatchesBruteForce) {
+  for (int n = 2; n <= 8; ++n) {
+    for (const Graph& t : all_free_trees(n)) {
+      EXPECT_EQ(tree_fixpoint_free_symmetry(t),
+                has_fixpoint_free_automorphism(t))
+          << free_tree_code(t);
+    }
+  }
+}
+
+TEST(Trees, FixpointFreeExamples) {
+  EXPECT_TRUE(tree_fixpoint_free_symmetry(gen::path(2)));
+  EXPECT_TRUE(tree_fixpoint_free_symmetry(gen::path(4)));
+  EXPECT_FALSE(tree_fixpoint_free_symmetry(gen::path(5)));  // centre fixed
+  EXPECT_FALSE(tree_fixpoint_free_symmetry(gen::star(5)));
+}
+
+TEST(Trees, RootedTreeCountsMatchOeisA000081) {
+  const unsigned long long expected[] = {0,  1,  1,   2,   4,    9,
+                                         20, 48, 115, 286, 719};
+  for (int n = 1; n <= 10; ++n) {
+    EXPECT_EQ(rooted_trees_count(n), expected[n]) << n;
+  }
+  EXPECT_EQ(rooted_trees_count(20), 12826228ull);
+}
+
+TEST(Trees, FreeTreeEnumerationCountsMatchOeisA000055) {
+  const int expected[] = {0, 1, 1, 1, 2, 3, 6, 11, 23};
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(static_cast<int>(all_free_trees(n).size()), expected[n]) << n;
+  }
+}
+
+TEST(Trees, RootedEnumerationMatchesCounting) {
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(all_rooted_trees(n).size(), rooted_trees_count(n)) << n;
+  }
+}
+
+TEST(Trees, AsymmetricRootedCountsAreConsistentWithEnumeration) {
+  // Count rigid rooted trees by brute force over the enumeration and
+  // compare with the generating-function DP.
+  for (int n = 1; n <= 8; ++n) {
+    unsigned long long rigid = 0;
+    for (const Graph& t : all_rooted_trees(n)) {
+      // Root is node 0 by construction; rigid = no nontrivial automorphism
+      // fixing the root.  For rooted trees: check all automorphisms.
+      bool has_root_fixing_nontrivial = false;
+      for (const auto& aut : all_automorphisms(t)) {
+        bool identity = true;
+        for (std::size_t v = 0; v < aut.size(); ++v) {
+          if (aut[v] != static_cast<int>(v)) identity = false;
+        }
+        if (!identity && aut[0] == 0) has_root_fixing_nontrivial = true;
+      }
+      if (!has_root_fixing_nontrivial) ++rigid;
+    }
+    EXPECT_EQ(asymmetric_rooted_trees_count(n), rigid) << n;
+  }
+}
+
+TEST(Trees, AsymmetricRootedGrowth) {
+  // log |F_k| = Theta(k): the counts should grow geometrically.
+  const auto r10 = asymmetric_rooted_trees_count(10);
+  const auto r15 = asymmetric_rooted_trees_count(15);
+  const auto r20 = asymmetric_rooted_trees_count(20);
+  EXPECT_GT(r15, 4 * r10);
+  EXPECT_GT(r20, 4 * r15);
+}
+
+}  // namespace
+}  // namespace lcp
