@@ -8,11 +8,48 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/growth.hpp"
 #include "core/runner.hpp"
 #include "core/scheme.hpp"
+#include "graph/subgraph.hpp"
 
 namespace lcp::bench {
+
+// ---------------------------------------------------------------------------
+// The seed's sequential execution path, preserved verbatim as the perf
+// baseline the engine benchmarks measure against: per node, a ball walk,
+// an induced-subgraph scan over every host edge, and a second BFS on the
+// extracted ball.  Do not optimise this.
+// ---------------------------------------------------------------------------
+
+inline View seed_extract_view(const Graph& g, const Proof& p, int v,
+                              int radius) {
+  View view;
+  view.radius = radius;
+  const std::vector<int> nodes = ball_nodes(g, v, radius);
+  view.ball = induced_subgraph(g, nodes);
+  view.center = 0;
+  view.proofs.reserve(nodes.size());
+  for (int u : nodes) {
+    view.proofs.push_back(p.labels[static_cast<std::size_t>(u)]);
+  }
+  view.dist = bfs_distances(view.ball, view.center);
+  return view;
+}
+
+inline RunResult seed_run_verifier(const Graph& g, const Proof& p,
+                                   const LocalVerifier& a) {
+  RunResult result;
+  for (int v = 0; v < g.n(); ++v) {
+    const View view = seed_extract_view(g, p, v, a.radius());
+    if (!a.accept(view)) {
+      result.all_accept = false;
+      result.rejecting.push_back(v);
+    }
+  }
+  return result;
+}
 
 inline void rule(char c = '-', int width = 98) {
   for (int i = 0; i < width; ++i) std::putchar(c);
@@ -34,13 +71,14 @@ struct SizeSample {
   bool complete = false;
 };
 
-inline SizeSample measure(const Scheme& scheme, const Graph& g, double x) {
+inline SizeSample measure(const Scheme& scheme, const Graph& g, double x,
+                          ExecutionEngine& engine = default_engine()) {
   SizeSample s;
   s.x = x;
   const auto proof = scheme.prove(g);
   if (!proof.has_value()) return s;
   s.bits = proof->size_bits();
-  s.complete = run_verifier(g, *proof, scheme.verifier()).all_accept;
+  s.complete = engine.run(g, *proof, scheme.verifier()).all_accept;
   return s;
 }
 

@@ -1,0 +1,181 @@
+// Engine wall-time comparison: the seed's sequential execution path versus
+// the ExecutionEngine backends, at a configurable node count (default
+// n = 10000).  Emits BENCH_engines.json so the perf trajectory is recorded
+// run over run (CI runs this in smoke mode on every push).
+//
+//   usage: engines_compare [n] [reps] [out.json]
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/engine.hpp"
+#include "graph/generators.hpp"
+#include "local/message_passing.hpp"
+#include "schemes/lcp_const.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+double best_of_ms(int reps, const std::function<bool()>& body) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    if (!body()) return -1;  // verdict mismatch guard
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = best < 0 ? elapsed.count() : std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+struct WorkloadTiming {
+  std::string name;
+  int n = 0;
+  int m = 0;
+  int radius = 0;
+  double seed_ms = 0;
+  double direct_ms = 0;
+  double direct_cached_ms = 0;
+  double parallel_ms = 0;
+  double message_passing_ms = -1;  // only timed on small instances
+};
+
+WorkloadTiming time_workload(const std::string& name, const Graph& g,
+                             const Proof& proof, const LocalVerifier& a,
+                             int reps) {
+  WorkloadTiming t;
+  t.name = name;
+  t.n = g.n();
+  t.m = g.m();
+  t.radius = a.radius();
+
+  const RunResult expected = bench::seed_run_verifier(g, proof, a);
+  auto agrees = [&](const RunResult& r) {
+    return r.all_accept == expected.all_accept &&
+           r.rejecting == expected.rejecting;
+  };
+
+  t.seed_ms =
+      best_of_ms(reps, [&] { return agrees(bench::seed_run_verifier(g, proof, a)); });
+
+  DirectEngine uncached({/*cache_views=*/false});
+  t.direct_ms =
+      best_of_ms(reps, [&] { return agrees(uncached.run(g, proof, a)); });
+
+  DirectEngine cached;
+  (void)cached.run(g, proof, a);  // warm: steady-state is the cache-hit path
+  t.direct_cached_ms =
+      best_of_ms(reps, [&] { return agrees(cached.run(g, proof, a)); });
+
+  ParallelEngine parallel;
+  t.parallel_ms =
+      best_of_ms(reps, [&] { return agrees(parallel.run(g, proof, a)); });
+
+  if (g.n() <= 512) {
+    MessagePassingEngine flooding;
+    t.message_passing_ms =
+        best_of_ms(reps, [&] { return agrees(flooding.run(g, proof, a)); });
+  }
+  return t;
+}
+
+void print_json(std::FILE* out, const std::vector<WorkloadTiming>& rows) {
+  std::fprintf(out, "{\n  \"generated_by\": \"bench/engines_compare\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WorkloadTiming& t = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"n\": %d, \"m\": %d, \"radius\": "
+                 "%d,\n     \"timings_ms\": {\"seed_sequential\": %.3f, "
+                 "\"direct\": %.3f, \"direct_cached\": %.3f, \"parallel\": "
+                 "%.3f, \"message_passing\": %.3f},\n",
+                 t.name.c_str(), t.n, t.m, t.radius, t.seed_ms, t.direct_ms,
+                 t.direct_cached_ms, t.parallel_ms, t.message_passing_ms);
+    std::fprintf(out,
+                 "     \"speedup_vs_seed\": {\"direct\": %.2f, "
+                 "\"direct_cached\": %.2f, \"parallel\": %.2f}}%s\n",
+                 t.seed_ms / t.direct_ms, t.seed_ms / t.direct_cached_ms,
+                 t.seed_ms / t.parallel_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace lcp
+
+int main(int argc, char** argv) {
+  using namespace lcp;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 10000;
+  const int reps = argc > 2 ? std::atoi(argv[2]) : 3;
+  const std::string out_path = argc > 3 ? argv[3] : "BENCH_engines.json";
+
+  std::vector<WorkloadTiming> rows;
+
+  {
+    const int side = std::max(2, static_cast<int>(std::lround(std::sqrt(n))));
+    const schemes::BipartiteScheme scheme;
+    const Graph g = gen::grid(side, side);
+    const Proof proof = *scheme.prove(g);
+    rows.push_back(time_workload("grid-bipartite", g, proof,
+                                 scheme.verifier(), reps));
+  }
+  {
+    const int len = std::max(4, n - n % 2);  // even => bipartite yes-instance
+    const schemes::BipartiteScheme scheme;
+    const Graph g = gen::cycle(len);
+    const Proof proof = *scheme.prove(g);
+    rows.push_back(time_workload("cycle-bipartite", g, proof,
+                                 scheme.verifier(), reps));
+  }
+  {
+    const int len = std::max(4, n);
+    const schemes::LeaderElectionScheme scheme;
+    Graph g = gen::cycle(len);
+    g.set_label(0, schemes::kLeaderFlag);
+    const Proof proof = *scheme.prove(g);
+    rows.push_back(time_workload("cycle-leader-election", g, proof,
+                                 scheme.verifier(), reps));
+  }
+
+  std::printf("%-24s %8s %8s | %12s %12s %12s %12s\n", "workload", "n", "m",
+              "seed ms", "direct ms", "cached ms", "parallel ms");
+  for (const WorkloadTiming& t : rows) {
+    std::printf("%-24s %8d %8d | %12.3f %12.3f %12.3f %12.3f\n",
+                t.name.c_str(), t.n, t.m, t.seed_ms, t.direct_ms,
+                t.direct_cached_ms, t.parallel_ms);
+    std::printf("%-24s speedups vs seed: direct %.2fx, cached %.2fx, "
+                "parallel %.2fx\n",
+                "", t.seed_ms / t.direct_ms, t.seed_ms / t.direct_cached_ms,
+                t.seed_ms / t.parallel_ms);
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  print_json(out, rows);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  // Any timing of -1 means a backend disagreed with the seed semantics.
+  for (const WorkloadTiming& t : rows) {
+    if (t.seed_ms < 0 || t.direct_ms < 0 || t.direct_cached_ms < 0 ||
+        t.parallel_ms < 0) {
+      std::fprintf(stderr, "verdict mismatch in workload %s\n",
+                   t.name.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

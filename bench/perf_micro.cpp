@@ -8,6 +8,8 @@
 #include "algo/coloring.hpp"
 #include "algo/matching.hpp"
 #include "algo/maxflow.hpp"
+#include "bench_util.hpp"
+#include "core/engine.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "local/message_passing.hpp"
@@ -17,6 +19,53 @@
 
 namespace lcp {
 namespace {
+
+struct EngineWorkload {
+  Graph graph;
+  Proof proof;
+  const schemes::BipartiteScheme scheme;
+
+  explicit EngineWorkload(int side) : graph(gen::grid(side, side)) {
+    proof = *scheme.prove(graph);
+  }
+};
+
+void BM_EngineSeedBaseline(benchmark::State& state) {
+  const EngineWorkload w(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bench::seed_run_verifier(w.graph, w.proof, w.scheme.verifier()));
+  }
+}
+BENCHMARK(BM_EngineSeedBaseline)->Arg(32)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_EngineDirect(benchmark::State& state) {
+  const EngineWorkload w(static_cast<int>(state.range(0)));
+  DirectEngine engine({/*cache_views=*/false});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(w.graph, w.proof, w.scheme.verifier()));
+  }
+}
+BENCHMARK(BM_EngineDirect)->Arg(32)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_EngineDirectCached(benchmark::State& state) {
+  const EngineWorkload w(static_cast<int>(state.range(0)));
+  DirectEngine engine;
+  (void)engine.run(w.graph, w.proof, w.scheme.verifier());  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(w.graph, w.proof, w.scheme.verifier()));
+  }
+}
+BENCHMARK(BM_EngineDirectCached)->Arg(32)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_EngineParallel(benchmark::State& state) {
+  const EngineWorkload w(static_cast<int>(state.range(0)));
+  ParallelEngine engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(w.graph, w.proof, w.scheme.verifier()));
+  }
+}
+BENCHMARK(BM_EngineParallel)->Arg(32)->Arg(100)->Unit(benchmark::kMillisecond);
 
 void BM_BallExtraction(benchmark::State& state) {
   const int side = static_cast<int>(state.range(0));

@@ -16,6 +16,7 @@
 
 #include "algo/coloring.hpp"
 #include "bench_util.hpp"
+#include "core/engine.hpp"
 #include "core/runner.hpp"
 #include "lower/threecol.hpp"
 #include "schemes/universal.hpp"
@@ -109,7 +110,7 @@ void transplant() {
           src.labels[static_cast<std::size_t>(v)];
     }
     const bool accepted =
-        run_verifier(gab.graph, stitched, scheme->verifier()).all_accept;
+        default_engine().run(gab.graph, stitched, scheme->verifier()).all_accept;
     char label[64];
     if (b_bits == 0) {
       std::snprintf(label, sizeof label, "honest O(n^2)");

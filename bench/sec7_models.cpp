@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "bench_util.hpp"
+#include "core/engine.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "local/pls_model.hpp"
@@ -29,7 +30,7 @@ void translation_table() {
     const auto outer_proof = translated.prove(g);
     const bool ok =
         outer_proof.has_value() &&
-        run_verifier(g, *outer_proof, translated.verifier()).all_accept;
+        default_engine().run(g, *outer_proof, translated.verifier()).all_accept;
     std::printf("  %-6d %-18d %-22d %s\n", n,
                 inner_proof.has_value() ? inner_proof->size_bits() : -1,
                 outer_proof.has_value() ? outer_proof->size_bits() : -1,
@@ -51,7 +52,7 @@ void round_trip_table() {
     const Graph g = gen::cycle(n);
     const auto proof = scheme->prove(g);
     const bool ok = proof.has_value() &&
-                    run_verifier(g, *proof, scheme->verifier()).all_accept;
+                    default_engine().run(g, *proof, scheme->verifier()).all_accept;
     std::printf("  %-6d %-14d %s\n", n,
                 proof.has_value() ? proof->size_bits() : -1,
                 ok ? "all nodes accept" : "REJECTED");
@@ -73,7 +74,7 @@ void id_blindness() {
   const Graph h = gen::with_ids(g, ids);
   const bool same =
       proof.has_value() &&
-      run_verifier(h, *proof, translated.verifier()).all_accept;
+      default_engine().run(h, *proof, translated.verifier()).all_accept;
   std::printf("  verdict unchanged: %s\n\n", same ? "yes" : "NO (bug)");
 }
 
@@ -89,10 +90,10 @@ void pls_separation() {
   std::printf("  LCP model:  proof size %d bits; yes-instance %s, "
               "no-instance %s\n",
               lcp_proof->size_bits(),
-              run_verifier(same, *lcp_proof, lcp_scheme.verifier()).all_accept
+              default_engine().run(same, *lcp_proof, lcp_scheme.verifier()).all_accept
                   ? "accepted"
                   : "rejected",
-              run_verifier(mixed, Proof::empty(24), lcp_scheme.verifier())
+              default_engine().run(mixed, Proof::empty(24), lcp_scheme.verifier())
                       .all_accept
                   ? "ACCEPTED (bug)"
                   : "rejected");

@@ -8,12 +8,14 @@
 
 #include "algo/bipartite.hpp"
 #include "algo/matching.hpp"
+#include "core/engine.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "schemes/matching_schemes.hpp"
 
 int main() {
   using namespace lcp;
+  DirectEngine engine;  // the execution backend for every audit below
   using schemes::MaxWeightMatchingScheme;
 
   // 6 workers, 6 jobs, valuations 0..9.
@@ -56,7 +58,7 @@ int main() {
               static_cast<long long>(price_sum));
 
   std::printf("local verification: %s\n",
-              run_verifier(market, prices, scheme.verifier()).all_accept
+              engine.run(market, prices, scheme.verifier()).all_accept
                   ? "every participant confirms optimality"
                   : "ALARM");
 
@@ -70,7 +72,7 @@ int main() {
       dropped = e;
     }
   }
-  const RunResult r = run_verifier(tampered, prices, scheme.verifier());
+  const RunResult r = engine.run(tampered, prices, scheme.verifier());
   std::printf("after dropping one assignment: %zu participant(s) object\n",
               r.rejecting.size());
   return 0;

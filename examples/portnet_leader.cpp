@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/engine.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "local/port_model.hpp"
@@ -16,6 +17,7 @@
 
 int main() {
   using namespace lcp;
+  DirectEngine engine;  // the execution backend for every audit below
 
   Graph net = gen::random_connected(21, 0.15, 99);
   net.set_label(5, kLeaderLabel);  // the gateway
@@ -34,7 +36,7 @@ int main() {
   std::printf("  (spanning-tree certificate + DFS interval [x,y] + the "
               "id-based inner proof)\n");
 
-  const RunResult r = run_verifier(net, proof, scheme.verifier());
+  const RunResult r = engine.run(net, proof, scheme.verifier());
   std::printf("verification (ports only, ids hidden): %s\n",
               r.all_accept ? "all sensors accept" : "ALARM");
 
@@ -44,7 +46,7 @@ int main() {
   for (NodeId& id : ids) id = id * 1000 + 17;
   const Graph renamed = gen::with_ids(net, ids);
   std::printf("same certificate after re-identifying every sensor: %s\n",
-              run_verifier(renamed, proof, scheme.verifier()).all_accept
+              engine.run(renamed, proof, scheme.verifier()).all_accept
                   ? "still accepted"
                   : "rejected (bug)");
 
@@ -52,7 +54,7 @@ int main() {
   Graph grown = net;
   const int extra = grown.add_node(500);
   grown.add_edge(extra, 0);
-  const RunResult alarm = run_verifier(grown, [&] {
+  const RunResult alarm = engine.run(grown, [&] {
         Proof p = proof;
         p.labels.push_back(BitString{});
         return p;

@@ -25,6 +25,12 @@ std::vector<BitString> all_labels(int max_bits) {
 
 bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
                            int max_bits) {
+  DirectEngine engine;  // caching: one ball extraction for the whole search
+  return exists_accepted_proof(g, verifier, max_bits, engine);
+}
+
+bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
+                           int max_bits, ExecutionEngine& engine) {
   const std::vector<BitString> labels = all_labels(max_bits);
   const std::size_t base = labels.size();
   double combos = 1;
@@ -40,7 +46,7 @@ bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
       proof.labels[static_cast<std::size_t>(v)] =
           labels[odometer[static_cast<std::size_t>(v)]];
     }
-    if (run_verifier(g, proof, verifier).all_accept) return true;
+    if (engine.run(g, proof, verifier).all_accept) return true;
     // Advance the odometer.
     int pos = 0;
     while (pos < g.n()) {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/proof.hpp"
 #include "core/runner.hpp"
 #include "core/scheme.hpp"
@@ -25,8 +26,16 @@ namespace lcp {
 /// (all lengths 0..max_bits, all contents) and reports whether any is
 /// accepted by all nodes.  The number of combinations is
 /// (2^{max_bits+1} - 1)^n; callers must keep instances tiny.
+///
+/// Every candidate proof is checked on the same graph, so the enumeration
+/// runs through a private caching DirectEngine: the balls are extracted
+/// once and only the proof labels change between candidates.
 bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
                            int max_bits);
+
+/// As above, through an explicit engine.
+bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
+                           int max_bits, ExecutionEngine& engine);
 
 /// Deterministic structured tampers of a proof: single bit flips, label
 /// truncations, label clears, and pairwise label swaps, capped at `limit`

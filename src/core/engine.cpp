@@ -1,0 +1,197 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+#include <utility>
+
+namespace lcp {
+
+namespace {
+
+inline void hash_mix(std::uint64_t& h, std::uint64_t value) {
+  // FNV-1a over the value's bytes, 8 at a time.
+  h ^= value;
+  h *= 0x100000001b3ull;
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const Graph& g) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  hash_mix(h, static_cast<std::uint64_t>(g.n()));
+  hash_mix(h, static_cast<std::uint64_t>(g.m()));
+  for (int v = 0; v < g.n(); ++v) {
+    hash_mix(h, g.id(v));
+    hash_mix(h, g.label(v));
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    hash_mix(h, static_cast<std::uint64_t>(g.edge_u(e)));
+    hash_mix(h, static_cast<std::uint64_t>(g.edge_v(e)));
+    hash_mix(h, g.edge_label(e));
+    hash_mix(h, static_cast<std::uint64_t>(g.edge_weight(e)));
+  }
+  return h;
+}
+
+RunResult DirectEngine::run(const Graph& g, const Proof& p,
+                            const LocalVerifier& a) {
+  const int n = g.n();
+  const int radius = a.radius();
+  RunResult result;
+
+  if (options_.cache_views) {
+    const std::uint64_t fingerprint = graph_fingerprint(g);
+    if (fingerprint == overflow_fingerprint_ && radius == overflow_radius_) {
+      // This graph already blew the cache cap once; don't rebuild-and-drop
+      // the cache on every run, just sweep uncached.
+      ViewExtractor extractor(g);
+      for (int v = 0; v < n; ++v) {
+        const View view = extractor.extract(p, v, radius);
+        if (!a.accept(view)) {
+          result.all_accept = false;
+          result.rejecting.push_back(v);
+        }
+      }
+      return result;
+    }
+    if (cache_valid_ && fingerprint == cached_fingerprint_ &&
+        radius == cached_radius_ &&
+        static_cast<int>(cache_.size()) == n) {
+      // Cache hit: the balls are unchanged, only proof labels move.
+      for (int v = 0; v < n; ++v) {
+        CachedView& cached = cache_[static_cast<std::size_t>(v)];
+        for (std::size_t i = 0; i < cached.host.size(); ++i) {
+          cached.view.proofs[i] =
+              p.labels[static_cast<std::size_t>(cached.host[i])];
+        }
+        if (!a.accept(cached.view)) {
+          result.all_accept = false;
+          result.rejecting.push_back(v);
+        }
+      }
+      return result;
+    }
+
+    // Rebuild the cache while running.
+    cache_valid_ = false;
+    cache_.clear();
+    extractor_.bind(g);
+    bool caching = true;
+    std::size_t cached_nodes = 0;
+    std::vector<int> host;
+    for (int v = 0; v < n; ++v) {
+      View view = extractor_.extract(p, v, radius, caching ? &host : nullptr);
+      if (!a.accept(view)) {
+        result.all_accept = false;
+        result.rejecting.push_back(v);
+      }
+      if (caching) {
+        cached_nodes += host.size();
+        if (cached_nodes > options_.max_cached_ball_nodes) {
+          caching = false;
+          overflow_fingerprint_ = fingerprint;
+          overflow_radius_ = radius;
+          cache_.clear();
+          cache_.shrink_to_fit();
+        } else {
+          cache_.push_back(CachedView{std::move(view), std::move(host)});
+        }
+      }
+    }
+    if (caching) {
+      cache_valid_ = true;
+      cached_fingerprint_ = fingerprint;
+      cached_radius_ = radius;
+    }
+    return result;
+  }
+
+  // Cache disabled: a stack-local extractor keeps this path re-entrant (a
+  // verifier may itself call into the default engine) and stateless.
+  ViewExtractor extractor(g);
+  for (int v = 0; v < n; ++v) {
+    const View view = extractor.extract(p, v, radius);
+    if (!a.accept(view)) {
+      result.all_accept = false;
+      result.rejecting.push_back(v);
+    }
+  }
+  return result;
+}
+
+int ParallelEngine::effective_threads(int n) const {
+  int k = threads_ > 0
+              ? threads_
+              : static_cast<int>(std::thread::hardware_concurrency());
+  if (k < 1) k = 1;
+  return std::max(1, std::min(k, n));
+}
+
+RunResult ParallelEngine::run(const Graph& g, const Proof& p,
+                              const LocalVerifier& a) {
+  const int n = g.n();
+  const int radius = a.radius();
+  const int workers = effective_threads(n);
+  RunResult result;
+
+  if (workers <= 1 || n < 2 * workers) {
+    ViewExtractor extractor(g);
+    for (int v = 0; v < n; ++v) {
+      const View view = extractor.extract(p, v, radius);
+      if (!a.accept(view)) {
+        result.all_accept = false;
+        result.rejecting.push_back(v);
+      }
+    }
+    return result;
+  }
+
+  std::vector<std::vector<int>> rejecting(
+      static_cast<std::size_t>(workers));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    // Contiguous shard [lo, hi) so that concatenating per-shard rejects in
+    // shard order reproduces the sequential ascending order exactly.
+    const int lo = static_cast<int>(static_cast<long long>(n) * w / workers);
+    const int hi =
+        static_cast<int>(static_cast<long long>(n) * (w + 1) / workers);
+    pool.emplace_back([&, w, lo, hi] {
+      try {
+        ViewExtractor extractor(g);
+        for (int v = lo; v < hi; ++v) {
+          const View view = extractor.extract(p, v, radius);
+          if (!a.accept(view)) {
+            rejecting[static_cast<std::size_t>(w)].push_back(v);
+          }
+        }
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  for (const std::vector<int>& shard : rejecting) {
+    result.rejecting.insert(result.rejecting.end(), shard.begin(),
+                            shard.end());
+  }
+  result.all_accept = result.rejecting.empty();
+  return result;
+}
+
+ExecutionEngine& default_engine() {
+  // Non-caching: run() is then stateless and re-entrant, and one-shot
+  // run_verifier call sites don't pin the last graph's views in a global.
+  // Loops that re-verify one graph under many proofs hold their own
+  // caching DirectEngine (see core/checker.cpp).
+  static DirectEngine engine{DirectEngineOptions{.cache_views = false}};
+  return engine;
+}
+
+}  // namespace lcp

@@ -1,0 +1,138 @@
+// Pluggable execution engines for whole-graph verifier runs.
+//
+// The paper's acceptance predicate quantifies over every node: A(G, P, v)
+// must be evaluated at all v (Section 2.1).  How that sweep is executed is
+// an engineering choice independent of the semantics, so it is factored
+// into an ExecutionEngine interface with interchangeable backends:
+//
+//   - DirectEngine: sequential induced-ball extraction through a reusable
+//     ViewExtractor, plus an optional view cache keyed on the host graph's
+//     fingerprint and the verifier radius — repeated runs over the same
+//     graph (exhaustive proof search, gluing/symmetry attack loops) reuse
+//     the extracted balls and only refresh proof labels.
+//   - MessagePassingEngine (local/message_passing.hpp): explicit LOCAL-model
+//     flooding rounds; the reference semantics for the equivalence tests.
+//   - ParallelEngine: shards nodes across hardware threads.  Views are
+//     read-only over const Graph&/const Proof&, so the sweep is
+//     embarrassingly parallel; results are deterministic and identical to
+//     DirectEngine's.
+//
+// All engines must produce bit-identical RunResults on the same input; the
+// equivalence corpus in tests/test_engines.cpp enforces this.
+#ifndef LCP_CORE_ENGINE_HPP_
+#define LCP_CORE_ENGINE_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/proof.hpp"
+#include "core/verifier.hpp"
+#include "core/view.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// The global outcome of one verifier execution.
+struct RunResult {
+  bool all_accept = true;
+  std::vector<int> rejecting;  // dense indices of nodes that output 0
+};
+
+/// Strategy interface: evaluate verifier `a` at every node of g under
+/// proof p.  Engines may keep internal caches/scratch between runs, hence
+/// the non-const run(); a single engine instance must not be shared across
+/// threads without external synchronisation (engines may parallelise
+/// internally, as ParallelEngine does).
+class ExecutionEngine {
+ public:
+  virtual ~ExecutionEngine() = default;
+
+  /// Stable backend name ("direct", "message-passing", "parallel").
+  virtual std::string name() const = 0;
+
+  virtual RunResult run(const Graph& g, const Proof& p,
+                        const LocalVerifier& a) = 0;
+};
+
+/// A 64-bit structural fingerprint of a graph: ids, node labels, edges,
+/// edge labels and weights.  Two graphs with equal fingerprints are treated
+/// as identical by DirectEngine's view cache.
+std::uint64_t graph_fingerprint(const Graph& g);
+
+struct DirectEngineOptions {
+  /// Keep extracted views between runs, keyed on (fingerprint, radius).
+  bool cache_views = true;
+  /// Drop the cache when the summed ball sizes exceed this bound (protects
+  /// against O(n^2) memory on dense graphs with large radii).
+  std::size_t max_cached_ball_nodes = std::size_t{1} << 22;
+};
+
+/// The default backend: the seed's sequential semantics, re-implemented on
+/// the batched ViewExtractor (single BFS per node, ball-local edge
+/// assembly, reused scratch) with cross-run view caching.
+class DirectEngine final : public ExecutionEngine {
+ public:
+  explicit DirectEngine(DirectEngineOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "direct"; }
+  RunResult run(const Graph& g, const Proof& p,
+                const LocalVerifier& a) override;
+
+ private:
+  struct CachedView {
+    View view;              // proofs are refreshed in place on each run
+    std::vector<int> host;  // host dense index of each ball node
+  };
+
+  DirectEngineOptions options_;
+  ViewExtractor extractor_;
+  std::vector<CachedView> cache_;
+  std::uint64_t cached_fingerprint_ = 0;
+  int cached_radius_ = -1;
+  bool cache_valid_ = false;
+  // Last (graph, radius) whose summed ball sizes exceeded the cap: such
+  // graphs are swept uncached instead of rebuilding a doomed cache.
+  std::uint64_t overflow_fingerprint_ = 0;
+  int overflow_radius_ = -1;
+};
+
+/// Thread-pool backend: contiguous node ranges are verified concurrently,
+/// one ViewExtractor per worker.  Rejecting nodes are concatenated in
+/// shard order, so the RunResult is bit-identical to DirectEngine's.
+/// Requires the verifier's accept() to be thread-safe (all in-repo
+/// verifiers are).
+class ParallelEngine final : public ExecutionEngine {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit ParallelEngine(int threads = 0) : threads_(threads) {}
+
+  std::string name() const override { return "parallel"; }
+  RunResult run(const Graph& g, const Proof& p,
+                const LocalVerifier& a) override;
+
+  /// The worker count a run would use right now.
+  int effective_threads(int n) const;
+
+ private:
+  int threads_;
+};
+
+/// The process-wide engine behind the run_verifier() compatibility shim: a
+/// DirectEngine with caching off, so its run() is stateless, re-entrant,
+/// and retains no memory between calls — matching the seed semantics of
+/// run_verifier.  Loops that re-verify one graph under many proofs should
+/// hold their own caching DirectEngine instead.
+ExecutionEngine& default_engine();
+
+/// Factory by backend name: "direct", "message-passing", or "parallel".
+/// Throws std::invalid_argument on an unknown name.  Defined in
+/// local/engine_factory.cpp so core/ stays independent of local/.
+std::unique_ptr<ExecutionEngine> make_engine(std::string_view name);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_ENGINE_HPP_

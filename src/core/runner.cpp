@@ -4,21 +4,18 @@ namespace lcp {
 
 RunResult run_verifier(const Graph& g, const Proof& p,
                        const LocalVerifier& a) {
-  RunResult result;
-  for (int v = 0; v < g.n(); ++v) {
-    const View view = extract_view(g, p, v, a.radius());
-    if (!a.accept(view)) {
-      result.all_accept = false;
-      result.rejecting.push_back(v);
-    }
-  }
-  return result;
+  return default_engine().run(g, p, a);
 }
 
 bool scheme_accepts_own_proof(const Scheme& scheme, const Graph& g) {
+  return scheme_accepts_own_proof(scheme, g, default_engine());
+}
+
+bool scheme_accepts_own_proof(const Scheme& scheme, const Graph& g,
+                              ExecutionEngine& engine) {
   const std::optional<Proof> proof = scheme.prove(g);
   if (!proof.has_value()) return false;
-  return run_verifier(g, *proof, scheme.verifier()).all_accept;
+  return engine.run(g, *proof, scheme.verifier()).all_accept;
 }
 
 }  // namespace lcp

@@ -2,11 +2,15 @@
 //
 // Acceptance semantics (Section 1): on a yes-instance all nodes must output
 // 1; on a no-instance at least one node must output 0.
+//
+// The sweep itself is performed by an ExecutionEngine (core/engine.hpp);
+// run_verifier is a thin compatibility shim over the process-wide
+// DirectEngine.  Code that runs many verifications should hold its own
+// engine (for cache locality, or a ParallelEngine for throughput).
 #ifndef LCP_CORE_RUNNER_HPP_
 #define LCP_CORE_RUNNER_HPP_
 
-#include <vector>
-
+#include "core/engine.hpp"
 #include "core/proof.hpp"
 #include "core/scheme.hpp"
 #include "core/verifier.hpp"
@@ -14,19 +18,16 @@
 
 namespace lcp {
 
-/// The global outcome of one verifier execution.
-struct RunResult {
-  bool all_accept = true;
-  std::vector<int> rejecting;  // dense indices of nodes that output 0
-};
-
-/// Runs verifier `a` at every node of g under proof p (direct ball
-/// extraction backend).
+/// Runs verifier `a` at every node of g under proof p via default_engine().
 RunResult run_verifier(const Graph& g, const Proof& p, const LocalVerifier& a);
 
 /// True when the scheme's own proof for a yes-instance is accepted by all
 /// nodes (the completeness half of the LCP definition).
 bool scheme_accepts_own_proof(const Scheme& scheme, const Graph& g);
+
+/// As above, through an explicit engine.
+bool scheme_accepts_own_proof(const Scheme& scheme, const Graph& g,
+                              ExecutionEngine& engine);
 
 }  // namespace lcp
 

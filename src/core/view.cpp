@@ -1,22 +1,79 @@
 #include "core/view.hpp"
 
-#include "graph/subgraph.hpp"
+#include <cstddef>
 
 namespace lcp {
 
-View extract_view(const Graph& g, const Proof& p, int v, int radius) {
+void ViewExtractor::bind(const Graph& g) {
+  g_ = &g;
+  position_.assign(static_cast<std::size_t>(g.n()), -1);
+  order_.clear();
+  dist_.clear();
+}
+
+View ViewExtractor::extract(const Proof& p, int v, int radius,
+                            std::vector<int>* host_out) {
+  const Graph& g = *g_;
+  order_.clear();
+  dist_.clear();
+
+  // One BFS discovers the ball and its distances; `order_` doubles as the
+  // queue (members are only appended, and the scan head never overtakes the
+  // tail), so the ball comes out in the same centre-first BFS order that
+  // `ball_nodes` produces.
+  position_[static_cast<std::size_t>(v)] = 0;
+  order_.push_back(v);
+  dist_.push_back(0);
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const int u = order_[head];
+    const int du = dist_[head];
+    if (du == radius) continue;
+    for (const HalfEdge& h : g.neighbors(u)) {
+      if (position_[static_cast<std::size_t>(h.to)] < 0) {
+        position_[static_cast<std::size_t>(h.to)] =
+            static_cast<int>(order_.size());
+        order_.push_back(h.to);
+        dist_.push_back(du + 1);
+      }
+    }
+  }
+
   View view;
   view.radius = radius;
-  const std::vector<int> nodes = ball_nodes(g, v, radius);
-  view.ball = induced_subgraph(g, nodes);
-  view.center = 0;  // ball_nodes returns the centre first.
-  view.proofs.reserve(nodes.size());
-  for (int u : nodes) {
+  view.center = 0;
+  for (int u : order_) view.ball.add_node(g.id(u), g.label(u));
+  // Ball edges come from the members' adjacency lists, not a scan of every
+  // host edge; each in-ball edge is seen from both endpoints and added once,
+  // from the endpoint with the smaller ball index.  Endpoint insertion
+  // order must mirror the host edge's (edge_u, edge_v): direction masks in
+  // edge labels (graph/directed.hpp) are interpreted relative to it.
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    for (const HalfEdge& h : g.neighbors(order_[i])) {
+      const int j = position_[static_cast<std::size_t>(h.to)];
+      if (j > static_cast<int>(i)) {
+        const int e = h.edge;
+        view.ball.add_edge(position_[static_cast<std::size_t>(g.edge_u(e))],
+                           position_[static_cast<std::size_t>(g.edge_v(e))],
+                           g.edge_label(e), g.edge_weight(e));
+      }
+    }
+  }
+  view.proofs.reserve(order_.size());
+  for (int u : order_) {
     view.proofs.push_back(p.labels[static_cast<std::size_t>(u)]);
   }
-  // Distances inside the induced ball equal distances in G for ball members.
-  view.dist = bfs_distances(view.ball, view.center);
+  // Distances inside the induced ball equal distances in G for ball members,
+  // so the BFS above already computed them.
+  view.dist = dist_;
+
+  if (host_out != nullptr) *host_out = order_;
+  for (int u : order_) position_[static_cast<std::size_t>(u)] = -1;
   return view;
+}
+
+View extract_view(const Graph& g, const Proof& p, int v, int radius) {
+  ViewExtractor extractor(g);
+  return extractor.extract(p, v, radius);
 }
 
 }  // namespace lcp

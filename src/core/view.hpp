@@ -46,6 +46,38 @@ struct View {
 /// Builds the view of node v (dense index) in g under proof p.
 View extract_view(const Graph& g, const Proof& p, int v, int radius);
 
+/// Batched view extraction over one host graph.
+///
+/// Extracting all n views one `extract_view` call at a time costs O(n * m):
+/// the induced-subgraph step scans every host edge per node.  ViewExtractor
+/// binds to a host graph once, keeps O(n) scratch buffers alive between
+/// calls, discovers the ball with a single BFS (reusing its distances), and
+/// assembles ball edges from the ball members' adjacency lists only — so a
+/// whole-graph sweep costs O(sum of ball sizes).  This is the extraction
+/// kernel behind DirectEngine and ParallelEngine (core/engine.hpp); each
+/// thread owns its own extractor, as instances are not thread-safe.
+class ViewExtractor {
+ public:
+  ViewExtractor() = default;
+  explicit ViewExtractor(const Graph& g) { bind(g); }
+
+  /// (Re)binds to a host graph, resizing the scratch buffers.
+  void bind(const Graph& g);
+
+  /// Extracts the view of node v (dense index) under proof p.  When
+  /// `host_out` is non-null it receives the host dense index of every ball
+  /// node, aligned with ball indices — callers that cache views use it to
+  /// refresh proof labels without re-extracting.  Requires a prior bind().
+  View extract(const Proof& p, int v, int radius,
+               std::vector<int>* host_out = nullptr);
+
+ private:
+  const Graph* g_ = nullptr;
+  std::vector<int> position_;  // host index -> ball index; -1 when outside
+  std::vector<int> order_;     // ball members as host indices, BFS order
+  std::vector<int> dist_;      // distance from centre, aligned with order_
+};
+
 }  // namespace lcp
 
 #endif  // LCP_CORE_VIEW_HPP_

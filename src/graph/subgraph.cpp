@@ -22,6 +22,12 @@ Graph induced_subgraph(const Graph& g, const std::vector<int>& nodes) {
 }
 
 std::vector<int> ball_nodes(const Graph& g, int center, int radius) {
+  std::vector<int> dist_out;
+  return ball_nodes(g, center, radius, dist_out);
+}
+
+std::vector<int> ball_nodes(const Graph& g, int center, int radius,
+                            std::vector<int>& dist_out) {
   std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
   std::vector<int> order;
   std::queue<int> queue;
@@ -41,6 +47,9 @@ std::vector<int> ball_nodes(const Graph& g, int center, int radius) {
       }
     }
   }
+  dist_out.clear();
+  dist_out.reserve(order.size());
+  for (int v : order) dist_out.push_back(dist[static_cast<std::size_t>(v)]);
   return order;
 }
 

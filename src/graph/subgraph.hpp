@@ -20,6 +20,13 @@ Graph induced_subgraph(const Graph& g, const std::vector<int>& nodes);
 /// (centre first).
 std::vector<int> ball_nodes(const Graph& g, int center, int radius);
 
+/// As above, but also reports each returned node's BFS distance from the
+/// centre: `dist_out[i]` is the distance of the i-th returned node.  The
+/// ball walk already computes these, so callers that need distances should
+/// use this overload instead of re-running a BFS on the extracted ball.
+std::vector<int> ball_nodes(const Graph& g, int center, int radius,
+                            std::vector<int>& dist_out);
+
 /// BFS distances from `src`; unreachable nodes get -1.
 std::vector<int> bfs_distances(const Graph& g, int src);
 

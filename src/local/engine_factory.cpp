@@ -1,0 +1,22 @@
+// make_engine lives here rather than in core/engine.cpp so that core/ does
+// not depend on local/ (the factory must know every backend, including the
+// message-passing one).
+#include <stdexcept>
+#include <string>
+
+#include "core/engine.hpp"
+#include "local/message_passing.hpp"
+
+namespace lcp {
+
+std::unique_ptr<ExecutionEngine> make_engine(std::string_view name) {
+  if (name == "direct") return std::make_unique<DirectEngine>();
+  if (name == "message-passing") {
+    return std::make_unique<MessagePassingEngine>();
+  }
+  if (name == "parallel") return std::make_unique<ParallelEngine>();
+  throw std::invalid_argument("make_engine: unknown backend '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace lcp

@@ -21,12 +21,18 @@ std::string view_fingerprint(const View& view) {
 
 bool LookupTableVerifier::accept(const View& view) const {
   const std::string key = view_fingerprint(view);
-  const auto it = table_.find(key);
-  if (it != table_.end()) {
-    ++hits_;
-    return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = table_.find(key);
+    if (it != table_.end()) {
+      ++hits_;
+      return it->second;
+    }
   }
+  // Evaluate outside the lock; concurrent first evaluations of the same
+  // view agree, so a duplicate emplace is a harmless no-op.
   const bool verdict = inner_->accept(view);
+  const std::lock_guard<std::mutex> lock(mutex_);
   table_.emplace(key, verdict);
   return verdict;
 }

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/verifier.hpp"
@@ -34,13 +35,22 @@ class LookupTableVerifier final : public LocalVerifier {
   bool accept(const View& view) const override;
 
   /// Number of distinct view fingerprints tabulated so far.
-  std::size_t table_size() const { return table_.size(); }
+  std::size_t table_size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return table_.size();
+  }
 
   /// Number of accept() calls answered from the table.
-  std::size_t hits() const { return hits_; }
+  std::size_t hits() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+  }
 
  private:
   const LocalVerifier* inner_;
+  // The demand-built table is shared mutable state; the lock keeps accept()
+  // safe under ParallelEngine's concurrent sweeps.
+  mutable std::mutex mutex_;
   mutable std::map<std::string, bool> table_;
   mutable std::size_t hits_ = 0;
 };

@@ -11,6 +11,9 @@
 #ifndef LCP_LOCAL_MESSAGE_PASSING_HPP_
 #define LCP_LOCAL_MESSAGE_PASSING_HPP_
 
+#include <string>
+
+#include "core/engine.hpp"
 #include "core/proof.hpp"
 #include "core/runner.hpp"
 #include "core/verifier.hpp"
@@ -21,6 +24,18 @@ namespace lcp {
 /// Runs the verifier by explicit rounds of knowledge exchange.
 RunResult run_verifier_message_passing(const Graph& g, const Proof& p,
                                        const LocalVerifier& a);
+
+/// ExecutionEngine adapter over the flooding backend.  Stateless; exists so
+/// the LOCAL-model semantics plug into everything written against the
+/// engine interface (equivalence corpus, benches, attack drivers).
+class MessagePassingEngine final : public ExecutionEngine {
+ public:
+  std::string name() const override { return "message-passing"; }
+  RunResult run(const Graph& g, const Proof& p,
+                const LocalVerifier& a) override {
+    return run_verifier_message_passing(g, p, a);
+  }
+};
 
 /// The view node v assembles after `radius` flooding rounds.  Exposed for
 /// the equivalence tests.

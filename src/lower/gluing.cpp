@@ -91,7 +91,8 @@ GluedInstance glue_cycles(const Graph& c1, const Proof& p1, const Graph& c2,
 }
 
 GluingOutcome run_gluing_attack(const GluingProblem& problem, int n,
-                                int row_sample, int col_sample) {
+                                int row_sample, int col_sample,
+                                ExecutionEngine& engine) {
   GluingOutcome outcome;
   outcome.n = n;
   const int radius = problem.scheme->verifier().radius();
@@ -161,7 +162,7 @@ GluingOutcome run_gluing_attack(const GluingProblem& problem, int n,
   const GluedInstance glued =
       glue_cycles(c1->graph, c1->proof, c2->graph, c2->proof);
   outcome.all_accept =
-      run_verifier(glued.graph, glued.proof, problem.scheme->verifier())
+      engine.run(glued.graph, glued.proof, problem.scheme->verifier())
           .all_accept;
   outcome.glued_is_yes = problem.scheme->holds(glued.graph);
   return outcome;

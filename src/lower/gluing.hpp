@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 
+#include "core/engine.hpp"
 #include "core/scheme.hpp"
 
 namespace lcp::lower {
@@ -60,9 +61,11 @@ struct GluingOutcome {
 /// how many a-values (rows of K_{n,n}) are proved; `col_sample` how many
 /// b-values.  Colours are typically a function of a alone, so a handful of
 /// columns suffices while rows should scale with n to expose the log n
-/// threshold.  0 means "all n".
+/// threshold.  0 means "all n".  The final glued-instance verification is
+/// executed on `engine`.
 GluingOutcome run_gluing_attack(const GluingProblem& problem, int n,
-                                int row_sample = 0, int col_sample = 0);
+                                int row_sample = 0, int col_sample = 0,
+                                ExecutionEngine& engine = default_engine());
 
 /// The paper's exact id layout for C(a, b).
 std::vector<NodeId> gluing_cycle_ids(int n, NodeId a, NodeId b);

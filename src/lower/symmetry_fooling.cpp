@@ -103,7 +103,8 @@ Graph join_graphs(const Graph& g1, const Graph& g2) {
 }
 
 TransplantOutcome run_symmetry_transplant(const Scheme& scheme,
-                                          const Graph& g1, const Graph& g2) {
+                                          const Graph& g1, const Graph& g2,
+                                          ExecutionEngine& engine) {
   TransplantOutcome out;
   const Graph g11 = join_graphs(g1, g1);
   const Graph g22 = join_graphs(g2, g2);
@@ -158,7 +159,7 @@ TransplantOutcome run_symmetry_transplant(const Scheme& scheme,
         source.labels[static_cast<std::size_t>(*host.index_of(id))];
   }
   out.all_accept =
-      run_verifier(g12, stitched, scheme.verifier()).all_accept;
+      engine.run(g12, stitched, scheme.verifier()).all_accept;
   out.glued_is_yes = scheme.holds(g12);
   return out;
 }

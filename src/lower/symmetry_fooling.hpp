@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/scheme.hpp"
 #include "graph/graph.hpp"
 
@@ -52,8 +53,9 @@ struct TransplantOutcome {
     return labels_agree_on_window && all_accept && !glued_is_yes;
   }
 };
-TransplantOutcome run_symmetry_transplant(const Scheme& scheme,
-                                          const Graph& g1, const Graph& g2);
+TransplantOutcome run_symmetry_transplant(
+    const Scheme& scheme, const Graph& g1, const Graph& g2,
+    ExecutionEngine& engine = default_engine());
 
 }  // namespace lcp::lower
 

@@ -46,7 +46,7 @@ std::optional<Proof> CoLcp0Scheme::prove(const Graph& g) const {
   if (!holds(g)) return std::nullopt;
   // Soundness of the inner scheme guarantees a rejecting node exists.
   const RunResult inner =
-      run_verifier(g, Proof::empty(g.n()), inner_->verifier());
+      default_engine().run(g, Proof::empty(g.n()), inner_->verifier());
   if (inner.rejecting.empty()) return std::nullopt;
   const int root = inner.rejecting.front();
   const std::vector<TreeCert> certs =

@@ -1,0 +1,193 @@
+// Engine equivalence corpus: Direct (cached and uncached), MessagePassing,
+// and Parallel engines must return bit-identical RunResults — verdict AND
+// rejecting-node sets — on random graphs, several schemes, honest proofs,
+// and adversarial (tampered/empty) proofs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/engine.hpp"
+#include "core/runner.hpp"
+#include "graph/generators.hpp"
+#include "local/message_passing.hpp"
+#include "schemes/cycle_certified.hpp"
+#include "schemes/lcp_const.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+struct Case {
+  std::string label;
+  Graph graph;
+  Proof proof;
+};
+
+/// Honest, tampered, and empty proofs for one scheme on one graph.
+std::vector<Case> cases_for(const Scheme& scheme, Graph g,
+                            const std::string& label) {
+  std::vector<Case> out;
+  const auto honest = scheme.prove(g);
+  if (honest.has_value()) {
+    out.push_back({label + "/honest", g, *honest});
+    for (const Proof& tampered : tampered_variants(*honest, 6, 11)) {
+      out.push_back({label + "/tampered", g, tampered});
+    }
+  }
+  out.push_back({label + "/empty", g, Proof::empty(g.n())});
+  return out;
+}
+
+std::vector<Case> corpus(const Scheme& scheme) {
+  std::vector<Case> all;
+  std::vector<std::pair<std::string, Graph>> graphs;
+  graphs.emplace_back("cycle9", gen::cycle(9));
+  graphs.emplace_back("grid3x4", gen::grid(3, 4));
+  graphs.emplace_back("petersen", gen::petersen());
+  graphs.emplace_back("tree12", gen::random_tree(12, 3));
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    graphs.emplace_back("conn14-" + std::to_string(seed),
+                        gen::random_connected(14, 0.25, seed));
+    // Possibly disconnected: engines must agree off the happy path too.
+    graphs.emplace_back("er10-" + std::to_string(seed),
+                        gen::random_graph(10, 0.3, seed));
+  }
+  for (auto& [label, g] : graphs) {
+    if (scheme.name() == "leader-election" && g.n() > 0) {
+      g.set_label(g.n() / 2, schemes::kLeaderFlag);
+    }
+    auto cases = cases_for(scheme, g, scheme.name() + "/" + label);
+    all.insert(all.end(), std::make_move_iterator(cases.begin()),
+               std::make_move_iterator(cases.end()));
+  }
+  return all;
+}
+
+void expect_equal(const RunResult& expected, const RunResult& actual,
+                  const std::string& engine, const std::string& label) {
+  EXPECT_EQ(expected.all_accept, actual.all_accept)
+      << engine << " on " << label;
+  EXPECT_EQ(expected.rejecting, actual.rejecting)
+      << engine << " on " << label;
+}
+
+void run_corpus(const Scheme& scheme) {
+  DirectEngine cached;                                  // reused across cases
+  DirectEngine uncached({/*cache_views=*/false});
+  MessagePassingEngine flooding;
+  ParallelEngine parallel1(1);
+  ParallelEngine parallel4(4);
+  for (const Case& c : corpus(scheme)) {
+    const RunResult expected =
+        uncached.run(c.graph, c.proof, scheme.verifier());
+    expect_equal(expected, cached.run(c.graph, c.proof, scheme.verifier()),
+                 "direct-cached", c.label);
+    // Second cached run exercises the cache-hit path.
+    expect_equal(expected, cached.run(c.graph, c.proof, scheme.verifier()),
+                 "direct-cache-hit", c.label);
+    expect_equal(expected, flooding.run(c.graph, c.proof, scheme.verifier()),
+                 "message-passing", c.label);
+    expect_equal(expected, parallel1.run(c.graph, c.proof, scheme.verifier()),
+                 "parallel-1", c.label);
+    expect_equal(expected, parallel4.run(c.graph, c.proof, scheme.verifier()),
+                 "parallel-4", c.label);
+  }
+}
+
+TEST(EngineEquivalence, Bipartite) { run_corpus(schemes::BipartiteScheme()); }
+
+TEST(EngineEquivalence, NonBipartite) {
+  run_corpus(schemes::NonBipartiteScheme());
+}
+
+TEST(EngineEquivalence, LeaderElection) {
+  run_corpus(schemes::LeaderElectionScheme());
+}
+
+TEST(EngineEquivalence, Parity) {
+  run_corpus(schemes::ParityScheme(/*odd=*/true));
+}
+
+TEST(EngineEquivalence, AcyclicRadiusTwo) {
+  run_corpus(schemes::AcyclicScheme());
+}
+
+TEST(DirectEngineCache, InvalidatesOnGraphMutation) {
+  // Same object, mutated between runs: the fingerprint must catch node
+  // labels, edge labels, and structure.
+  const schemes::LeaderElectionScheme scheme;
+  Graph g = gen::random_connected(12, 0.25, 21);
+  g.set_label(4, schemes::kLeaderFlag);
+  const Proof p = *scheme.prove(g);
+
+  DirectEngine cached;
+  DirectEngine fresh({/*cache_views=*/false});
+  ASSERT_TRUE(cached.run(g, p, scheme.verifier()).all_accept);
+
+  g.set_label(7, schemes::kLeaderFlag);  // second leader: proof now invalid
+  const RunResult expected = fresh.run(g, p, scheme.verifier());
+  const RunResult actual = cached.run(g, p, scheme.verifier());
+  EXPECT_FALSE(actual.all_accept);
+  EXPECT_EQ(expected.rejecting, actual.rejecting);
+
+  Graph h = gen::cycle(12);
+  h.set_label(0, schemes::kLeaderFlag);
+  const Proof ph = *scheme.prove(h);
+  expect_equal(fresh.run(h, ph, scheme.verifier()),
+               cached.run(h, ph, scheme.verifier()), "direct-cached",
+               "switch-to-new-graph");
+}
+
+TEST(DirectEngineCache, CapFallsBackToUncached) {
+  // A complete graph at radius 1 has n-node balls; with a tiny cap the
+  // engine must abandon the cache and still be correct.
+  const schemes::BipartiteScheme scheme;
+  const Graph g = gen::complete_bipartite(6, 6);
+  const Proof p = *scheme.prove(g);
+  DirectEngine tiny({/*cache_views=*/true, /*max_cached_ball_nodes=*/8});
+  DirectEngine fresh({/*cache_views=*/false});
+  for (int round = 0; round < 2; ++round) {
+    expect_equal(fresh.run(g, p, scheme.verifier()),
+                 tiny.run(g, p, scheme.verifier()), "direct-tiny-cache",
+                 "cap-round-" + std::to_string(round));
+  }
+}
+
+TEST(EngineFactory, KnowsEveryBackend) {
+  const schemes::BipartiteScheme scheme;
+  const Graph g = gen::cycle(8);
+  const Proof p = *scheme.prove(g);
+  for (const char* name : {"direct", "message-passing", "parallel"}) {
+    const std::unique_ptr<ExecutionEngine> engine = make_engine(name);
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->name(), name);
+    EXPECT_TRUE(engine->run(g, p, scheme.verifier()).all_accept) << name;
+  }
+  EXPECT_THROW(make_engine("quantum"), std::invalid_argument);
+}
+
+TEST(Engines, ExhaustiveSearchMatchesAcrossEngines) {
+  // exists_accepted_proof through each engine: the nondeterministic
+  // acceptance predicate itself is backend-independent.
+  const LambdaVerifier two_col(1, [](const View& v) {
+    const BitString& mine = v.proof_of(v.center);
+    if (mine.size() != 1) return false;
+    for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+      const BitString& other = v.proof_of(h.to);
+      if (other.size() != 1 || other.bit(0) == mine.bit(0)) return false;
+    }
+    return true;
+  });
+  for (const char* name : {"direct", "message-passing", "parallel"}) {
+    const std::unique_ptr<ExecutionEngine> engine = make_engine(name);
+    EXPECT_TRUE(exists_accepted_proof(gen::cycle(4), two_col, 1, *engine))
+        << name;
+    EXPECT_FALSE(exists_accepted_proof(gen::cycle(5), two_col, 1, *engine))
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace lcp

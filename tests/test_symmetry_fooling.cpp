@@ -30,7 +30,9 @@ TEST(AsymmetricCounts, RepresentativesMatchTheCount) {
   for (const Graph& g : reps) {
     EXPECT_FALSE(has_nontrivial_automorphism(g));
     for (const Graph& h : reps) {
-      if (&g != &h) EXPECT_FALSE(are_isomorphic(g, h));
+      if (&g != &h) {
+        EXPECT_FALSE(are_isomorphic(g, h));
+      }
     }
   }
 }

@@ -8,6 +8,7 @@
 #include "core/verifier.hpp"
 #include "core/view.hpp"
 #include "graph/generators.hpp"
+#include "graph/subgraph.hpp"
 #include "local/message_passing.hpp"
 
 namespace lcp {
@@ -46,6 +47,26 @@ TEST(View, ProofsTravelWithNodes) {
   for (int u = 0; u < v.ball.n(); ++u) {
     BitReader r(v.proof_of(u));
     EXPECT_EQ(r.read_uint(3), v.ball.id(u) - 1);  // ids are 1..n
+  }
+}
+
+TEST(View, BallNodesReportsDistances) {
+  // The 4-arg ball_nodes overload returns the BFS distances it already
+  // computed; they must equal a from-scratch BFS restricted to the ball.
+  Graph g = gen::grid(3, 4);
+  g.add_edge(0, 11);
+  for (int center : {0, 5, 11}) {
+    for (int radius : {0, 1, 2, 3}) {
+      std::vector<int> dist;
+      const std::vector<int> order = ball_nodes(g, center, radius, dist);
+      ASSERT_EQ(order.size(), dist.size());
+      EXPECT_EQ(order, ball_nodes(g, center, radius));
+      const std::vector<int> full = bfs_distances(g, center);
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        EXPECT_EQ(dist[i], full[static_cast<std::size_t>(order[i])]);
+        EXPECT_LE(dist[i], radius);
+      }
+    }
   }
 }
 
