@@ -44,7 +44,8 @@ struct WorkloadTiming {
   double seed_ms = 0;
   double direct_ms = 0;
   double direct_cached_ms = 0;
-  double parallel_ms = 0;
+  double parallel_ms = 0;        // persistent worker pool
+  double parallel_spawn_ms = 0;  // spawn-per-run (the pre-pool behaviour)
   double message_passing_ms = -1;  // only timed on small instances
 };
 
@@ -76,8 +77,13 @@ WorkloadTiming time_workload(const std::string& name, const Graph& g,
       best_of_ms(reps, [&] { return agrees(cached.run(g, proof, a)); });
 
   ParallelEngine parallel;
+  (void)parallel.run(g, proof, a);  // create the pool outside the timing
   t.parallel_ms =
       best_of_ms(reps, [&] { return agrees(parallel.run(g, proof, a)); });
+
+  ParallelEngine spawning(0, /*persistent_pool=*/false);
+  t.parallel_spawn_ms =
+      best_of_ms(reps, [&] { return agrees(spawning.run(g, proof, a)); });
 
   if (g.n() <= 512) {
     MessagePassingEngine flooding;
@@ -98,14 +104,18 @@ void print_json(std::FILE* out, const std::vector<WorkloadTiming>& rows) {
                  "    {\"name\": \"%s\", \"n\": %d, \"m\": %d, \"radius\": "
                  "%d,\n     \"timings_ms\": {\"seed_sequential\": %.3f, "
                  "\"direct\": %.3f, \"direct_cached\": %.3f, \"parallel\": "
-                 "%.3f, \"message_passing\": %.3f},\n",
+                 "%.3f, \"parallel_spawn\": %.3f, \"message_passing\": "
+                 "%.3f},\n",
                  t.name.c_str(), t.n, t.m, t.radius, t.seed_ms, t.direct_ms,
-                 t.direct_cached_ms, t.parallel_ms, t.message_passing_ms);
+                 t.direct_cached_ms, t.parallel_ms, t.parallel_spawn_ms,
+                 t.message_passing_ms);
     std::fprintf(out,
                  "     \"speedup_vs_seed\": {\"direct\": %.2f, "
-                 "\"direct_cached\": %.2f, \"parallel\": %.2f}}%s\n",
+                 "\"direct_cached\": %.2f, \"parallel\": %.2f, "
+                 "\"parallel_spawn\": %.2f}}%s\n",
                  t.seed_ms / t.direct_ms, t.seed_ms / t.direct_cached_ms,
-                 t.seed_ms / t.parallel_ms, i + 1 < rows.size() ? "," : "");
+                 t.seed_ms / t.parallel_ms, t.seed_ms / t.parallel_spawn_ms,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
 }
@@ -147,16 +157,17 @@ int main(int argc, char** argv) {
                                  scheme.verifier(), reps));
   }
 
-  std::printf("%-24s %8s %8s | %12s %12s %12s %12s\n", "workload", "n", "m",
-              "seed ms", "direct ms", "cached ms", "parallel ms");
+  std::printf("%-24s %8s %8s | %12s %12s %12s %12s %12s\n", "workload", "n",
+              "m", "seed ms", "direct ms", "cached ms", "pool ms",
+              "spawn ms");
   for (const WorkloadTiming& t : rows) {
-    std::printf("%-24s %8d %8d | %12.3f %12.3f %12.3f %12.3f\n",
+    std::printf("%-24s %8d %8d | %12.3f %12.3f %12.3f %12.3f %12.3f\n",
                 t.name.c_str(), t.n, t.m, t.seed_ms, t.direct_ms,
-                t.direct_cached_ms, t.parallel_ms);
+                t.direct_cached_ms, t.parallel_ms, t.parallel_spawn_ms);
     std::printf("%-24s speedups vs seed: direct %.2fx, cached %.2fx, "
-                "parallel %.2fx\n",
+                "parallel %.2fx (spawn-per-run %.2fx)\n",
                 "", t.seed_ms / t.direct_ms, t.seed_ms / t.direct_cached_ms,
-                t.seed_ms / t.parallel_ms);
+                t.seed_ms / t.parallel_ms, t.seed_ms / t.parallel_spawn_ms);
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -171,7 +182,7 @@ int main(int argc, char** argv) {
   // Any timing of -1 means a backend disagreed with the seed semantics.
   for (const WorkloadTiming& t : rows) {
     if (t.seed_ms < 0 || t.direct_ms < 0 || t.direct_cached_ms < 0 ||
-        t.parallel_ms < 0) {
+        t.parallel_ms < 0 || t.parallel_spawn_ms < 0) {
       std::fprintf(stderr, "verdict mismatch in workload %s\n",
                    t.name.c_str());
       return 1;

@@ -3,6 +3,9 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/delta.hpp"
+#include "core/incremental.hpp"
+
 namespace lcp {
 
 namespace {
@@ -25,7 +28,13 @@ std::vector<BitString> all_labels(int max_bits) {
 
 bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
                            int max_bits) {
-  DirectEngine engine;  // caching: one ball extraction for the whole search
+  // Dirty-ball enumeration: consecutive odometer candidates differ in a
+  // handful of (low-position) labels, so only the centres seeing those
+  // labels are re-verified per candidate.  verify_state is off: within
+  // this function the proof is provably mutated only through the tracker,
+  // and the per-candidate fingerprint walk would otherwise dominate the
+  // O(dirty-ball) work on tiny instances.
+  IncrementalEngine engine({.verify_state = false});
   return exists_accepted_proof(g, verifier, max_bits, engine);
 }
 
@@ -39,22 +48,33 @@ bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
     throw std::invalid_argument("exists_accepted_proof: search too large");
   }
 
-  Proof proof = Proof::empty(g.n());
+  // The odometer advances through the delta API: each step's changed
+  // positions become one MutationBatch, so delta-aware engines re-verify
+  // only the balls around them.  Other engines see plain mutations and
+  // full-sweep as before.
+  Proof proof = Proof::empty(g.n());  // all empty == labels[0] everywhere
+  DeltaTracker tracker(g, proof, verifier.radius());
+  const TrackerAttachment attachment(engine, tracker);
+
   std::vector<std::size_t> odometer(static_cast<std::size_t>(g.n()), 0);
+  MutationBatch batch;
   while (true) {
-    for (int v = 0; v < g.n(); ++v) {
-      proof.labels[static_cast<std::size_t>(v)] =
-          labels[odometer[static_cast<std::size_t>(v)]];
-    }
     if (engine.run(g, proof, verifier).all_accept) return true;
     // Advance the odometer.
     int pos = 0;
+    batch.clear();
     while (pos < g.n()) {
-      if (++odometer[static_cast<std::size_t>(pos)] < base) break;
-      odometer[static_cast<std::size_t>(pos)] = 0;
+      std::size_t& digit = odometer[static_cast<std::size_t>(pos)];
+      if (++digit < base) {
+        batch.set_proof_label(pos, labels[digit]);
+        break;
+      }
+      digit = 0;
+      batch.set_proof_label(pos, labels[0]);
       ++pos;
     }
     if (pos == g.n()) break;
+    tracker.apply(batch);
   }
   return false;
 }

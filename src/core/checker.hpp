@@ -27,9 +27,10 @@ namespace lcp {
 /// accepted by all nodes.  The number of combinations is
 /// (2^{max_bits+1} - 1)^n; callers must keep instances tiny.
 ///
-/// Every candidate proof is checked on the same graph, so the enumeration
-/// runs through a private caching DirectEngine: the balls are extracted
-/// once and only the proof labels change between candidates.
+/// The odometer mutates the candidate proof through the delta API
+/// (core/delta.hpp), so delta-consuming engines re-verify only the nodes
+/// whose balls see the changed labels; the default overload runs through a
+/// private IncrementalEngine (core/incremental.hpp).
 bool exists_accepted_proof(const Graph& g, const LocalVerifier& verifier,
                            int max_bits);
 

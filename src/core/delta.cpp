@@ -1,0 +1,299 @@
+#include "core/delta.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcp {
+
+namespace {
+
+constexpr std::size_t kMaxLogRecords = 1024;
+
+/// splitmix64: a strong 64-bit mixer, so XOR-combining per-item hashes
+/// doesn't cancel structure (FNV alone is too linear for XOR folding).
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+inline std::uint64_t node_contrib(int v, NodeId id, std::uint64_t label) {
+  std::uint64_t h = mix64(0x6e6f6465ull ^ static_cast<std::uint64_t>(v));
+  h = mix64(h ^ id);
+  return mix64(h ^ label);
+}
+
+inline std::uint64_t edge_contrib(int u, int v, std::uint64_t label,
+                                  std::int64_t weight) {
+  // (u, v) is the stored orientation; it survives swap-removal unchanged.
+  std::uint64_t h = mix64(0x65646765ull ^ static_cast<std::uint64_t>(u));
+  h = mix64(h ^ static_cast<std::uint64_t>(v));
+  h = mix64(h ^ label);
+  return mix64(h ^ static_cast<std::uint64_t>(weight));
+}
+
+inline std::uint64_t proof_contrib(int v, const BitString& bits) {
+  std::uint64_t h = mix64(0x70726f6full ^ static_cast<std::uint64_t>(v));
+  h = mix64(h ^ bits.hash());
+  return mix64(h ^ static_cast<std::uint64_t>(bits.size()));
+}
+
+}  // namespace
+
+std::uint64_t DeltaTracker::state_fingerprint_of(const Graph& g,
+                                                 const Proof& p) {
+  std::uint64_t fp = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    fp ^= node_contrib(v, g.id(v), g.label(v));
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    fp ^= edge_contrib(g.edge_u(e), g.edge_v(e), g.edge_label(e),
+                       g.edge_weight(e));
+  }
+  const int bound =
+      std::min(g.n(), static_cast<int>(p.labels.size()));
+  for (int v = 0; v < bound; ++v) {
+    fp ^= proof_contrib(v, p.labels[static_cast<std::size_t>(v)]);
+  }
+  return fp;
+}
+
+DeltaTracker::DeltaTracker(Graph& g, Proof& p, int horizon)
+    : graph_(&g), mutable_graph_(&g), proof_(&p), horizon_(horizon) {
+  if (horizon_ < 0) {
+    throw std::invalid_argument("DeltaTracker: horizon must be >= 0");
+  }
+  if (static_cast<int>(p.labels.size()) != g.n()) {
+    throw std::invalid_argument("DeltaTracker: proof size != node count");
+  }
+  fingerprint_ = state_fingerprint_of(g, p);
+  mark_.assign(static_cast<std::size_t>(g.n()), -1);
+}
+
+DeltaTracker::DeltaTracker(const Graph& g, Proof& p, int horizon)
+    : graph_(&g), mutable_graph_(nullptr), proof_(&p), horizon_(horizon) {
+  if (horizon_ < 0) {
+    throw std::invalid_argument("DeltaTracker: horizon must be >= 0");
+  }
+  if (static_cast<int>(p.labels.size()) != g.n()) {
+    throw std::invalid_argument("DeltaTracker: proof size != node count");
+  }
+  fingerprint_ = state_fingerprint_of(g, p);
+  mark_.assign(static_cast<std::size_t>(g.n()), -1);
+}
+
+void DeltaTracker::resync() {
+  fingerprint_ = state_fingerprint_of(*graph_, *proof_);
+}
+
+void DeltaTracker::bfs_mark_dirty(int source, std::vector<int>* out) {
+  // One wave per epoch.  Waves from different sources may overlap (the two
+  // endpoints of one edge, several structural ops in one batch); the record
+  // is deduplicated once at the end of apply().
+  const Graph& g = *graph_;
+  ++epoch_;
+  queue_.clear();
+  depth_.clear();
+  queue_.push_back(source);
+  depth_.push_back(0);
+  mark_[static_cast<std::size_t>(source)] = epoch_;
+  out->push_back(source);
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const int u = queue_[head];
+    const int du = depth_[head];
+    if (du == horizon_) continue;
+    for (const HalfEdge& h : g.neighbors(u)) {
+      if (mark_[static_cast<std::size_t>(h.to)] != epoch_) {
+        mark_[static_cast<std::size_t>(h.to)] = epoch_;
+        queue_.push_back(h.to);
+        depth_.push_back(du + 1);
+        out->push_back(h.to);
+      }
+    }
+  }
+}
+
+void DeltaTracker::apply(const MutationBatch& batch) {
+  Graph* g = mutable_graph_;
+  const Graph& gc = *graph_;
+  Proof& p = *proof_;
+  DirtyRecord record;
+
+  auto check_node = [&gc](int v) {
+    if (v < 0 || v >= gc.n()) {
+      throw std::invalid_argument("DeltaTracker: node index out of range");
+    }
+  };
+  auto require_mutable = [&g]() -> Graph& {
+    if (g == nullptr) {
+      throw std::logic_error(
+          "DeltaTracker: graph mutation in a proof-only session");
+    }
+    return *g;
+  };
+  auto edge_of = [&gc](int u, int v) {
+    const int e = gc.edge_index(u, v);
+    if (e < 0) {
+      throw std::invalid_argument("DeltaTracker: no such edge");
+    }
+    return e;
+  };
+
+  // Runs on both normal exit and throw: a throwing op leaves the tracker
+  // consistent with the applied prefix, record included.
+  struct Finalizer {
+    DeltaTracker* tracker;
+    DirtyRecord* record;
+    ~Finalizer() { tracker->finalize_record(*record); }
+  } finalizer{this, &record};
+
+  for (const MutationBatch::Op& op : batch.ops_) {
+    switch (op.kind) {
+      case MutationBatch::Kind::kNodeLabel: {
+        check_node(op.u);
+        Graph& gm = require_mutable();
+        fingerprint_ ^= node_contrib(op.u, gc.id(op.u), gc.label(op.u));
+        gm.set_label(op.u, op.label);
+        fingerprint_ ^= node_contrib(op.u, gc.id(op.u), op.label);
+        record.relabeled_nodes.push_back(op.u);
+        break;
+      }
+      case MutationBatch::Kind::kEdgeLabel: {
+        check_node(op.u);
+        check_node(op.v);
+        Graph& gm = require_mutable();
+        const int e = edge_of(op.u, op.v);
+        fingerprint_ ^= edge_contrib(gc.edge_u(e), gc.edge_v(e),
+                                     gc.edge_label(e), gc.edge_weight(e));
+        gm.set_edge_label(e, op.label);
+        fingerprint_ ^= edge_contrib(gc.edge_u(e), gc.edge_v(e), op.label,
+                                     gc.edge_weight(e));
+        record.relabeled_nodes.push_back(op.u);
+        record.relabeled_nodes.push_back(op.v);
+        break;
+      }
+      case MutationBatch::Kind::kEdgeWeight: {
+        check_node(op.u);
+        check_node(op.v);
+        Graph& gm = require_mutable();
+        const int e = edge_of(op.u, op.v);
+        fingerprint_ ^= edge_contrib(gc.edge_u(e), gc.edge_v(e),
+                                     gc.edge_label(e), gc.edge_weight(e));
+        gm.set_edge_weight(e, op.weight);
+        fingerprint_ ^= edge_contrib(gc.edge_u(e), gc.edge_v(e),
+                                     gc.edge_label(e), op.weight);
+        record.relabeled_nodes.push_back(op.u);
+        record.relabeled_nodes.push_back(op.v);
+        break;
+      }
+      case MutationBatch::Kind::kProofLabel: {
+        check_node(op.u);
+        BitString& slot = p.labels[static_cast<std::size_t>(op.u)];
+        fingerprint_ ^= proof_contrib(op.u, slot);
+        slot = op.bits;
+        fingerprint_ ^= proof_contrib(op.u, slot);
+        record.proof_nodes.push_back(op.u);
+        break;
+      }
+      case MutationBatch::Kind::kAddEdge: {
+        Graph& gm = require_mutable();
+        // Dirty both endpoints' balls in the post-mutation graph: any
+        // centre whose view gains the edge (or a shorter path through it)
+        // is within `horizon` of an endpoint afterwards.
+        gm.add_edge(op.u, op.v, op.label, op.weight);
+        fingerprint_ ^= edge_contrib(op.u, op.v, op.label, op.weight);
+        bfs_mark_dirty(op.u, &record.structural_dirty);
+        bfs_mark_dirty(op.v, &record.structural_dirty);
+        break;
+      }
+      case MutationBatch::Kind::kRemoveEdge: {
+        check_node(op.u);
+        check_node(op.v);
+        Graph& gm = require_mutable();
+        const int e = edge_of(op.u, op.v);
+        // Pre-mutation balls: any centre that could see the edge (or a
+        // path through it) had an endpoint within `horizon` beforehand.
+        bfs_mark_dirty(op.u, &record.structural_dirty);
+        bfs_mark_dirty(op.v, &record.structural_dirty);
+        fingerprint_ ^= edge_contrib(gc.edge_u(e), gc.edge_v(e),
+                                     gc.edge_label(e), gc.edge_weight(e));
+        gm.remove_edge(op.u, op.v);
+        break;
+      }
+    }
+  }
+}
+
+void DeltaTracker::finalize_record(DirtyRecord& record) {
+  auto dedupe = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedupe(record.proof_nodes);
+  dedupe(record.relabeled_nodes);
+  dedupe(record.structural_dirty);
+
+  record.generation = ++generation_;
+  log_.push_back(std::move(record));
+  while (log_.size() > kMaxLogRecords) {
+    trimmed_through_ = log_.front().generation;
+    log_.pop_front();
+  }
+}
+
+std::optional<std::vector<const DirtyRecord*>> DeltaTracker::records_since(
+    std::uint64_t since) const {
+  if (since < trimmed_through_) return std::nullopt;
+  std::vector<const DirtyRecord*> out;
+  if (log_.empty()) return out;
+  // Generations in the log are consecutive, so the first relevant record
+  // sits at a computable offset — no scan over the whole window.
+  const std::uint64_t front_generation = log_.front().generation;
+  const std::size_t start =
+      since >= front_generation
+          ? static_cast<std::size_t>(since - front_generation) + 1
+          : 0;
+  out.reserve(log_.size() - std::min(start, log_.size()));
+  for (std::size_t i = start; i < log_.size(); ++i) {
+    out.push_back(&log_[i]);
+  }
+  return out;
+}
+
+void diff_block_into_batch(const Graph& work, const Graph& target, int lo,
+                           int hi, MutationBatch* batch) {
+  for (int i = lo; i < hi; ++i) {
+    for (int j = i + 1; j < hi; ++j) {
+      const int before = work.edge_index(i, j);
+      const int after = target.edge_index(i, j);
+      if (before >= 0 && after < 0) {
+        batch->remove_edge(i, j);
+      } else if (before < 0 && after >= 0) {
+        batch->add_edge(i, j, target.edge_label(after),
+                        target.edge_weight(after));
+      } else if (before >= 0 && after >= 0) {
+        if (work.edge_label(before) != target.edge_label(after)) {
+          batch->set_edge_label(i, j, target.edge_label(after));
+        }
+        if (work.edge_weight(before) != target.edge_weight(after)) {
+          batch->set_edge_weight(i, j, target.edge_weight(after));
+        }
+      }
+    }
+  }
+}
+
+void diff_proofs_into_batch(const Proof& current, const Proof& target,
+                            MutationBatch* batch) {
+  if (current.labels.size() != target.labels.size()) {
+    throw std::invalid_argument("diff_proofs_into_batch: size mismatch");
+  }
+  for (std::size_t v = 0; v < current.labels.size(); ++v) {
+    if (!(current.labels[v] == target.labels[v])) {
+      batch->set_proof_label(static_cast<int>(v), target.labels[v]);
+    }
+  }
+}
+
+}  // namespace lcp

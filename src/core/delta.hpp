@@ -1,0 +1,190 @@
+// Delta-tracked mutations of a (Graph, Proof) pair.
+//
+// The paper's acceptance predicate is radius-local: A(G, P, v) depends only
+// on v's r-ball, so when an attack loop or prover flips a few labels, only
+// nodes whose balls intersect the change can change their verdict.  The
+// delta API is the sanctioned mutation channel that makes this locality
+// exploitable:
+//
+//   - MutationBatch records an ordered list of mutations (node labels,
+//     edge labels/weights, proof labels, edge insertions/removals);
+//   - DeltaTracker binds a concrete (Graph, Proof) pair, applies batches
+//     to it, and keeps two artefacts for consumers:
+//       1. a dirty log: per batch, the proof/label epicentres plus — for
+//          structural mutations — the set of centres whose radius-`horizon`
+//          ball could have changed, computed *stepwise* with a BFS on the
+//          graph state at mutation time (pre- and post-mutation for edge
+//          churn).  Stepwise computation is what makes interleaved
+//          add/remove/label sequences sound: a centre whose ball is touched
+//          at any intermediate state lands in some record's dirty set.
+//       2. an XOR-homomorphic state fingerprint, updated in O(1) per
+//          mutation, which IncrementalEngine (core/incremental.hpp)
+//          compares against a full recompute to detect out-of-band
+//          mutations and fall back to a full sweep.
+//
+// Only mutations that preserve the node set are supported; growing or
+// shrinking the graph means starting a new tracking session.
+#ifndef LCP_CORE_DELTA_HPP_
+#define LCP_CORE_DELTA_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "core/proof.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// An ordered list of mutations against one (Graph, Proof) pair.  Edges are
+/// addressed by their endpoints' dense indices (edge indices are unstable
+/// across removals).  Mutations are applied in recording order.
+class MutationBatch {
+ public:
+  void set_node_label(int v, std::uint64_t label) {
+    ops_.push_back(Op{Kind::kNodeLabel, v, -1, label, 0, {}});
+  }
+  void set_edge_label(int u, int v, std::uint64_t label) {
+    ops_.push_back(Op{Kind::kEdgeLabel, u, v, label, 0, {}});
+  }
+  void set_edge_weight(int u, int v, std::int64_t weight) {
+    ops_.push_back(Op{Kind::kEdgeWeight, u, v, 0, weight, {}});
+  }
+  void set_proof_label(int v, BitString bits) {
+    ops_.push_back(Op{Kind::kProofLabel, v, -1, 0, 0, std::move(bits)});
+  }
+  void add_edge(int u, int v, std::uint64_t label = 0,
+                std::int64_t weight = 1) {
+    ops_.push_back(Op{Kind::kAddEdge, u, v, label, weight, {}});
+  }
+  void remove_edge(int u, int v) {
+    ops_.push_back(Op{Kind::kRemoveEdge, u, v, 0, 0, {}});
+  }
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  void clear() { ops_.clear(); }
+
+ private:
+  enum class Kind {
+    kNodeLabel,
+    kEdgeLabel,
+    kEdgeWeight,
+    kProofLabel,
+    kAddEdge,
+    kRemoveEdge,
+  };
+  struct Op {
+    Kind kind;
+    int u;
+    int v;  // second endpoint; unused (-1) for node-indexed ops
+    std::uint64_t label;
+    std::int64_t weight;
+    BitString bits;
+  };
+  std::vector<Op> ops_;
+
+  friend class DeltaTracker;
+};
+
+/// One applied batch, as consumers see it.
+struct DirtyRecord {
+  /// The tracker generation *after* this batch was applied.
+  std::uint64_t generation = 0;
+  /// Nodes whose proof label changed (only their ball-containing centres
+  /// can change verdict, and only proofs need refreshing).
+  std::vector<int> proof_nodes;
+  /// Nodes incident to a node-label / edge-label / edge-weight change
+  /// (containing centres must re-extract their view).
+  std::vector<int> relabeled_nodes;
+  /// Centres whose radius-`horizon` ball may have changed under edge
+  /// insertions/removals, already expanded by the tracker's stepwise BFS
+  /// (sorted, deduplicated).  These centres must re-extract and repair any
+  /// inverted ball index.
+  std::vector<int> structural_dirty;
+};
+
+/// Binds a (Graph, Proof) pair and applies MutationBatches to it while
+/// maintaining the dirty log and the state fingerprint.  The const-graph
+/// overload supports proof-only sessions (e.g. exhaustive proof search);
+/// applying a graph mutation through it throws std::logic_error.
+class DeltaTracker {
+ public:
+  /// `horizon` bounds the verifier radii this tracker can serve: structural
+  /// dirty sets are BFS-expanded to this depth.  Engines with a larger
+  /// radius must ignore the tracker and sweep fully.
+  DeltaTracker(Graph& g, Proof& p, int horizon);
+  DeltaTracker(const Graph& g, Proof& p, int horizon);
+
+  const Graph& graph() const { return *graph_; }
+  Proof& proof() { return *proof_; }
+  const Proof& proof() const { return *proof_; }
+  int horizon() const { return horizon_; }
+
+  /// Number of batches applied so far.
+  std::uint64_t generation() const { return generation_; }
+
+  /// XOR-homomorphic fingerprint of the bound (graph, proof) state,
+  /// maintained incrementally.  Recomputable via state_fingerprint_of().
+  std::uint64_t state_fingerprint() const { return fingerprint_; }
+
+  /// Applies the batch to the bound graph/proof in recording order and
+  /// appends one DirtyRecord to the log.  Throws (std::invalid_argument /
+  /// std::logic_error) on malformed mutations; the graph/proof are left in
+  /// the state reached up to the offending op, with the fingerprint and the
+  /// record kept consistent with the applied prefix.
+  void apply(const MutationBatch& batch);
+
+  /// All records with generation > `since`, oldest first; std::nullopt when
+  /// the log has been trimmed past `since` (consumer must resweep).
+  std::optional<std::vector<const DirtyRecord*>> records_since(
+      std::uint64_t since) const;
+
+  /// Recomputes the fingerprint from the bound state; called by consumers
+  /// after detecting (and recovering from) an out-of-band mutation.
+  void resync();
+
+  /// Full-state fingerprint of an arbitrary pair, for comparison against
+  /// state_fingerprint().
+  static std::uint64_t state_fingerprint_of(const Graph& g, const Proof& p);
+
+ private:
+  void bfs_mark_dirty(int source, std::vector<int>* out);
+  void finalize_record(DirtyRecord& record);
+
+  const Graph* graph_ = nullptr;
+  Graph* mutable_graph_ = nullptr;  // null in proof-only sessions
+  Proof* proof_ = nullptr;
+  int horizon_ = 0;
+  std::uint64_t generation_ = 0;
+  std::uint64_t fingerprint_ = 0;
+
+  std::deque<DirtyRecord> log_;
+  std::uint64_t trimmed_through_ = 0;  // generations <= this were dropped
+
+  // BFS scratch: mark_[v] == epoch_ means v was visited this wave.
+  std::vector<int> mark_;
+  std::vector<int> queue_;
+  std::vector<int> depth_;
+  int epoch_ = 0;
+};
+
+/// Appends to `batch` the mutations that morph `work`'s edges among the
+/// dense-index block [lo, hi) into `target`'s: removals, insertions (with
+/// the target's label/weight), and label/weight updates on edges present
+/// in both.  The two graphs must have coinciding node layouts; edges with
+/// an endpoint outside the block are not examined.  Shared by the
+/// symmetry and 3-colourability transplant rewirings (src/lower/).
+void diff_block_into_batch(const Graph& work, const Graph& target, int lo,
+                           int hi, MutationBatch* batch);
+
+/// Appends one set_proof_label per node whose label differs between
+/// `current` and `target` (sizes must match).
+void diff_proofs_into_batch(const Proof& current, const Proof& target,
+                            MutationBatch* batch);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_DELTA_HPP_

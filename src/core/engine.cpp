@@ -1,7 +1,11 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
+#include <limits>
+#include <condition_variable>
 #include <exception>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -34,83 +38,12 @@ std::uint64_t graph_fingerprint(const Graph& g) {
   return h;
 }
 
-RunResult DirectEngine::run(const Graph& g, const Proof& p,
-                            const LocalVerifier& a) {
-  const int n = g.n();
-  const int radius = a.radius();
+RunResult sweep_sequential(const Graph& g, const Proof& p,
+                           const LocalVerifier& a) {
   RunResult result;
-
-  if (options_.cache_views) {
-    const std::uint64_t fingerprint = graph_fingerprint(g);
-    if (fingerprint == overflow_fingerprint_ && radius == overflow_radius_) {
-      // This graph already blew the cache cap once; don't rebuild-and-drop
-      // the cache on every run, just sweep uncached.
-      ViewExtractor extractor(g);
-      for (int v = 0; v < n; ++v) {
-        const View view = extractor.extract(p, v, radius);
-        if (!a.accept(view)) {
-          result.all_accept = false;
-          result.rejecting.push_back(v);
-        }
-      }
-      return result;
-    }
-    if (cache_valid_ && fingerprint == cached_fingerprint_ &&
-        radius == cached_radius_ &&
-        static_cast<int>(cache_.size()) == n) {
-      // Cache hit: the balls are unchanged, only proof labels move.
-      for (int v = 0; v < n; ++v) {
-        CachedView& cached = cache_[static_cast<std::size_t>(v)];
-        for (std::size_t i = 0; i < cached.host.size(); ++i) {
-          cached.view.proofs[i] =
-              p.labels[static_cast<std::size_t>(cached.host[i])];
-        }
-        if (!a.accept(cached.view)) {
-          result.all_accept = false;
-          result.rejecting.push_back(v);
-        }
-      }
-      return result;
-    }
-
-    // Rebuild the cache while running.
-    cache_valid_ = false;
-    cache_.clear();
-    extractor_.bind(g);
-    bool caching = true;
-    std::size_t cached_nodes = 0;
-    std::vector<int> host;
-    for (int v = 0; v < n; ++v) {
-      View view = extractor_.extract(p, v, radius, caching ? &host : nullptr);
-      if (!a.accept(view)) {
-        result.all_accept = false;
-        result.rejecting.push_back(v);
-      }
-      if (caching) {
-        cached_nodes += host.size();
-        if (cached_nodes > options_.max_cached_ball_nodes) {
-          caching = false;
-          overflow_fingerprint_ = fingerprint;
-          overflow_radius_ = radius;
-          cache_.clear();
-          cache_.shrink_to_fit();
-        } else {
-          cache_.push_back(CachedView{std::move(view), std::move(host)});
-        }
-      }
-    }
-    if (caching) {
-      cache_valid_ = true;
-      cached_fingerprint_ = fingerprint;
-      cached_radius_ = radius;
-    }
-    return result;
-  }
-
-  // Cache disabled: a stack-local extractor keeps this path re-entrant (a
-  // verifier may itself call into the default engine) and stateless.
   ViewExtractor extractor(g);
-  for (int v = 0; v < n; ++v) {
+  const int radius = a.radius();
+  for (int v = 0; v < g.n(); ++v) {
     const View view = extractor.extract(p, v, radius);
     if (!a.accept(view)) {
       result.all_accept = false;
@@ -119,6 +52,200 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
   }
   return result;
 }
+
+DirectEngine::CacheEntry* DirectEngine::find_entry(std::uint64_t fingerprint,
+                                                   int radius) {
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->fingerprint == fingerprint && it->radius == radius) {
+      // Move to front: the list is kept in recency order.
+      cache_.splice(cache_.begin(), cache_, it);
+      return &cache_.front();
+    }
+  }
+  return nullptr;
+}
+
+void DirectEngine::evict_to_budget(std::size_t incoming_entries) {
+  while (!cache_.empty() &&
+         (cache_.size() + incoming_entries > options_.max_cached_graphs ||
+          cached_ball_nodes_ > options_.max_cached_ball_nodes)) {
+    cached_ball_nodes_ -= cache_.back().ball_nodes;
+    cache_.pop_back();
+  }
+}
+
+RunResult DirectEngine::run(const Graph& g, const Proof& p,
+                            const LocalVerifier& a) {
+  const int n = g.n();
+  const int radius = a.radius();
+  RunResult result;
+
+  if (options_.cache_views) {
+    const std::uint64_t fingerprint = graph_fingerprint(g);
+    for (const Overflow& o : overflow_) {
+      if (fingerprint == o.fingerprint && radius == o.radius) {
+        // This graph already blew the cache cap once; don't rebuild-and-drop
+        // the cache on every run, just sweep uncached.
+        return sweep_sequential(g, p, a);
+      }
+    }
+    if (CacheEntry* entry = find_entry(fingerprint, radius);
+        entry != nullptr && static_cast<int>(entry->views.size()) == n) {
+      // Cache hit: the balls are unchanged, only proof labels move.  The
+      // views are all materialised, so the verifier gets one batched call.
+      batch_views_.resize(static_cast<std::size_t>(n));
+      batch_out_.resize(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v) {
+        CachedNodeView& cached = entry->views[static_cast<std::size_t>(v)];
+        for (std::size_t i = 0; i < cached.host.size(); ++i) {
+          cached.view.proofs[i] =
+              p.labels[static_cast<std::size_t>(cached.host[i])];
+        }
+        batch_views_[static_cast<std::size_t>(v)] = &cached.view;
+      }
+      a.accept_batch(batch_views_.data(), static_cast<std::size_t>(n),
+                     batch_out_.data());
+      for (int v = 0; v < n; ++v) {
+        if (!batch_out_[static_cast<std::size_t>(v)]) {
+          result.all_accept = false;
+          result.rejecting.push_back(v);
+        }
+      }
+      return result;
+    }
+
+    // Build a fresh entry while running.
+    CacheEntry entry;
+    entry.fingerprint = fingerprint;
+    entry.radius = radius;
+    extractor_.bind(g);
+    bool caching = true;
+    std::vector<int> host;
+    for (int v = 0; v < n; ++v) {
+      View view = extractor_.extract(p, v, radius, caching ? &host : nullptr);
+      if (!a.accept(view)) {
+        result.all_accept = false;
+        result.rejecting.push_back(v);
+      }
+      if (caching) {
+        entry.ball_nodes += host.size();
+        if (entry.ball_nodes > options_.max_cached_ball_nodes) {
+          // A single graph exceeding the cap alone can never be cached.
+          caching = false;
+          if (overflow_.size() >= 4) overflow_.erase(overflow_.begin());
+          overflow_.push_back(Overflow{fingerprint, radius});
+          entry.views.clear();
+          entry.views.shrink_to_fit();
+        } else {
+          entry.views.push_back(
+              CachedNodeView{std::move(view), std::move(host)});
+        }
+      }
+    }
+    if (caching) {
+      evict_to_budget(/*incoming_entries=*/1);
+      cached_ball_nodes_ += entry.ball_nodes;
+      cache_.push_front(std::move(entry));
+      // The new entry may itself push the total over the ball budget.
+      evict_to_budget(/*incoming_entries=*/0);
+    }
+    return result;
+  }
+
+  // Cache disabled: the stateless sweep keeps this path re-entrant (a
+  // verifier may itself call into the default engine).
+  return sweep_sequential(g, p, a);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelEngine: persistent worker pool.
+// ---------------------------------------------------------------------------
+
+struct ParallelEngine::Pool {
+  explicit Pool(int workers) : job_errors(static_cast<std::size_t>(workers)) {
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      threads.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ~Pool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      stop = true;
+    }
+    work_ready.notify_all();
+    for (std::thread& t : threads) t.join();
+  }
+
+  /// Runs job(w) on workers [0, active) and blocks until all complete.
+  void dispatch(int active, const std::function<void(int)>& new_job) {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (std::exception_ptr& error : job_errors) error = nullptr;
+    job = &new_job;
+    active_workers = active;
+    remaining = active;
+    ++generation;
+    work_ready.notify_all();
+    work_done.wait(lock, [this] { return remaining == 0; });
+    job = nullptr;
+    for (std::exception_ptr& error : job_errors) {
+      if (error) {
+        std::exception_ptr raised = std::move(error);
+        error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(raised);
+      }
+    }
+  }
+
+  int size() const { return static_cast<int>(threads.size()); }
+
+ private:
+  void worker_loop(int w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(int)>* my_job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock,
+                        [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        if (w < active_workers) my_job = job;
+      }
+      if (my_job == nullptr) continue;  // not part of this generation
+      try {
+        (*my_job)(w);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        job_errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+      bool last = false;
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        last = --remaining == 0;
+      }
+      if (last) work_done.notify_one();
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> threads;
+  const std::function<void(int)>* job = nullptr;
+  std::vector<std::exception_ptr> job_errors;
+  int active_workers = 0;
+  int remaining = 0;
+  std::uint64_t generation = 0;
+  bool stop = false;
+};
+
+ParallelEngine::ParallelEngine(int threads, bool persistent_pool)
+    : threads_(threads), persistent_pool_(persistent_pool) {}
+
+ParallelEngine::~ParallelEngine() = default;
 
 int ParallelEngine::effective_threads(int n) const {
   int k = threads_ > 0
@@ -136,50 +263,57 @@ RunResult ParallelEngine::run(const Graph& g, const Proof& p,
   RunResult result;
 
   if (workers <= 1 || n < 2 * workers) {
-    ViewExtractor extractor(g);
-    for (int v = 0; v < n; ++v) {
-      const View view = extractor.extract(p, v, radius);
-      if (!a.accept(view)) {
-        result.all_accept = false;
-        result.rejecting.push_back(v);
-      }
-    }
-    return result;
+    return sweep_sequential(g, p, a);
   }
 
-  std::vector<std::vector<int>> rejecting(
-      static_cast<std::size_t>(workers));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) {
-    // Contiguous shard [lo, hi) so that concatenating per-shard rejects in
-    // shard order reproduces the sequential ascending order exactly.
+  // Contiguous shard [lo, hi) per worker so that concatenating per-shard
+  // rejects in shard order reproduces the sequential ascending order
+  // exactly.
+  std::vector<std::vector<int>> rejecting(static_cast<std::size_t>(workers));
+  auto shard = [&](int w) {
     const int lo = static_cast<int>(static_cast<long long>(n) * w / workers);
     const int hi =
         static_cast<int>(static_cast<long long>(n) * (w + 1) / workers);
-    pool.emplace_back([&, w, lo, hi] {
-      try {
-        ViewExtractor extractor(g);
-        for (int v = lo; v < hi; ++v) {
-          const View view = extractor.extract(p, v, radius);
-          if (!a.accept(view)) {
-            rejecting[static_cast<std::size_t>(w)].push_back(v);
-          }
-        }
-      } catch (...) {
-        errors[static_cast<std::size_t>(w)] = std::current_exception();
+    ViewExtractor extractor(g);
+    for (int v = lo; v < hi; ++v) {
+      const View view = extractor.extract(p, v, radius);
+      if (!a.accept(view)) {
+        rejecting[static_cast<std::size_t>(w)].push_back(v);
       }
-    });
-  }
-  for (std::thread& t : pool) t.join();
-  for (const std::exception_ptr& error : errors) {
-    if (error) std::rethrow_exception(error);
+    }
+  };
+
+  if (persistent_pool_) {
+    const int max_workers = effective_threads(
+        std::numeric_limits<int>::max() / 2);
+    if (pool_ == nullptr || pool_->size() < workers) {
+      pool_ = std::make_unique<Pool>(std::max(workers, max_workers));
+    }
+    const std::function<void(int)> job = shard;
+    pool_->dispatch(workers, job);
+  } else {
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(workers));
+    std::vector<std::thread> spawned;
+    spawned.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      spawned.emplace_back([&, w] {
+        try {
+          shard(w);
+        } catch (...) {
+          errors[static_cast<std::size_t>(w)] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : spawned) t.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
   }
 
-  for (const std::vector<int>& shard : rejecting) {
-    result.rejecting.insert(result.rejecting.end(), shard.begin(),
-                            shard.end());
+  for (const std::vector<int>& shard_rejects : rejecting) {
+    result.rejecting.insert(result.rejecting.end(), shard_rejects.begin(),
+                            shard_rejects.end());
   }
   result.all_accept = result.rejecting.empty();
   return result;

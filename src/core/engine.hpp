@@ -8,14 +8,19 @@
 //   - DirectEngine: sequential induced-ball extraction through a reusable
 //     ViewExtractor, plus an optional view cache keyed on the host graph's
 //     fingerprint and the verifier radius — repeated runs over the same
-//     graph (exhaustive proof search, gluing/symmetry attack loops) reuse
-//     the extracted balls and only refresh proof labels.
+//     graphs (exhaustive proof search, gluing/symmetry attack loops) reuse
+//     the extracted balls and only refresh proof labels.  The cache holds
+//     several graphs (LRU), so loops that alternate between two instances
+//     (the gluing attack's C(a,b) pairs) don't thrash it.
 //   - MessagePassingEngine (local/message_passing.hpp): explicit LOCAL-model
 //     flooding rounds; the reference semantics for the equivalence tests.
-//   - ParallelEngine: shards nodes across hardware threads.  Views are
-//     read-only over const Graph&/const Proof&, so the sweep is
+//   - ParallelEngine: shards nodes across a persistent worker pool.  Views
+//     are read-only over const Graph&/const Proof&, so the sweep is
 //     embarrassingly parallel; results are deterministic and identical to
 //     DirectEngine's.
+//   - IncrementalEngine (core/incremental.hpp): caches per-node verdicts
+//     and, fed graph/proof deltas through a DeltaTracker (core/delta.hpp),
+//     re-verifies only the nodes whose balls intersect the change.
 //
 // All engines must produce bit-identical RunResults on the same input; the
 // equivalence corpus in tests/test_engines.cpp enforces this.
@@ -23,6 +28,7 @@
 #define LCP_CORE_ENGINE_HPP_
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -34,6 +40,8 @@
 #include "graph/graph.hpp"
 
 namespace lcp {
+
+class DeltaTracker;
 
 /// The global outcome of one verifier execution.
 struct RunResult {
@@ -50,11 +58,50 @@ class ExecutionEngine {
  public:
   virtual ~ExecutionEngine() = default;
 
-  /// Stable backend name ("direct", "message-passing", "parallel").
+  /// Stable backend name ("direct", "message-passing", "parallel",
+  /// "incremental").
   virtual std::string name() const = 0;
 
   virtual RunResult run(const Graph& g, const Proof& p,
                         const LocalVerifier& a) = 0;
+
+  /// Offers a DeltaTracker as the mutation channel for subsequent runs
+  /// (nullptr detaches).  Returns true when the engine will consume the
+  /// tracker's dirty log (IncrementalEngine); the default backend ignores
+  /// trackers and returns false.  Callers that attach a stack-local
+  /// tracker must detach it before it dies (TrackerAttachment does).
+  virtual bool attach_tracker(DeltaTracker* tracker) {
+    (void)tracker;
+    return false;
+  }
+
+  /// The tracker currently attached, if the engine consumes trackers.
+  virtual DeltaTracker* attached_tracker() const { return nullptr; }
+};
+
+/// RAII attachment: offers a tracker to the engine for the current scope
+/// and, on exit, restores whatever was attached before (so nested helpers
+/// that borrow a caller's engine don't strip its tracker), which also
+/// guarantees stack-local trackers never dangle inside the engine.
+class TrackerAttachment {
+ public:
+  TrackerAttachment(ExecutionEngine& engine, DeltaTracker& tracker)
+      : engine_(&engine),
+        previous_(engine.attached_tracker()),
+        attached_(engine.attach_tracker(&tracker)) {}
+  ~TrackerAttachment() {
+    if (attached_) engine_->attach_tracker(previous_);
+  }
+  TrackerAttachment(const TrackerAttachment&) = delete;
+  TrackerAttachment& operator=(const TrackerAttachment&) = delete;
+
+  /// True when the engine consumes the tracker's dirty log.
+  bool consumed() const { return attached_; }
+
+ private:
+  ExecutionEngine* engine_;
+  DeltaTracker* previous_;
+  bool attached_;
 };
 
 /// A 64-bit structural fingerprint of a graph: ids, node labels, edges,
@@ -62,12 +109,32 @@ class ExecutionEngine {
 /// as identical by DirectEngine's view cache.
 std::uint64_t graph_fingerprint(const Graph& g);
 
+/// The plain sequential sweep every engine bottoms out in: a stack-local
+/// extractor, no caching, re-entrant and stateless.  Shared by
+/// DirectEngine's uncached/overflow paths, ParallelEngine's small-n path,
+/// and IncrementalEngine's fallbacks, so the reference semantics live in
+/// exactly one place.
+RunResult sweep_sequential(const Graph& g, const Proof& p,
+                           const LocalVerifier& a);
+
+/// One node's materialised view plus the host dense index of each ball
+/// node (host[i] belongs to ball node i); the view-caching engines use it
+/// to refresh proof labels without re-extraction.
+struct CachedNodeView {
+  View view;
+  std::vector<int> host;
+};
+
 struct DirectEngineOptions {
   /// Keep extracted views between runs, keyed on (fingerprint, radius).
   bool cache_views = true;
-  /// Drop the cache when the summed ball sizes exceed this bound (protects
-  /// against O(n^2) memory on dense graphs with large radii).
+  /// Drop LRU entries when the summed ball sizes across all cached graphs
+  /// exceed this bound (protects against O(n^2) memory on dense graphs
+  /// with large radii).
   std::size_t max_cached_ball_nodes = std::size_t{1} << 22;
+  /// Number of distinct (graph, radius) entries kept; least recently used
+  /// entries are evicted first.
+  std::size_t max_cached_graphs = 4;
 };
 
 /// The default backend: the seed's sequential semantics, re-implemented on
@@ -82,22 +149,35 @@ class DirectEngine final : public ExecutionEngine {
   RunResult run(const Graph& g, const Proof& p,
                 const LocalVerifier& a) override;
 
+  /// Number of (graph, radius) entries currently cached (for tests and
+  /// benches; the LRU policy is an implementation detail otherwise).
+  std::size_t cached_graph_count() const { return cache_.size(); }
+
  private:
-  struct CachedView {
-    View view;              // proofs are refreshed in place on each run
-    std::vector<int> host;  // host dense index of each ball node
+  struct CacheEntry {
+    std::uint64_t fingerprint = 0;
+    int radius = -1;
+    std::size_t ball_nodes = 0;
+    std::vector<CachedNodeView> views;
   };
+  struct Overflow {
+    std::uint64_t fingerprint = 0;
+    int radius = -1;
+  };
+
+  CacheEntry* find_entry(std::uint64_t fingerprint, int radius);
+  void evict_to_budget(std::size_t incoming_entries);
 
   DirectEngineOptions options_;
   ViewExtractor extractor_;
-  std::vector<CachedView> cache_;
-  std::uint64_t cached_fingerprint_ = 0;
-  int cached_radius_ = -1;
-  bool cache_valid_ = false;
-  // Last (graph, radius) whose summed ball sizes exceeded the cap: such
+  std::list<CacheEntry> cache_;  // most recently used first
+  std::size_t cached_ball_nodes_ = 0;
+  // (graph, radius) pairs whose summed ball sizes exceeded the cap: such
   // graphs are swept uncached instead of rebuilding a doomed cache.
-  std::uint64_t overflow_fingerprint_ = 0;
-  int overflow_radius_ = -1;
+  std::vector<Overflow> overflow_;
+  // Scratch for the batched accept path on cache hits.
+  std::vector<const View*> batch_views_;
+  std::vector<std::uint8_t> batch_out_;
 };
 
 /// Thread-pool backend: contiguous node ranges are verified concurrently,
@@ -105,10 +185,19 @@ class DirectEngine final : public ExecutionEngine {
 /// shard order, so the RunResult is bit-identical to DirectEngine's.
 /// Requires the verifier's accept() to be thread-safe (all in-repo
 /// verifiers are).
+///
+/// By default the workers form a persistent pool, created lazily on the
+/// first parallel run and reused until destruction; `persistent_pool =
+/// false` restores the old spawn-per-run behaviour (kept for the
+/// before/after comparison in bench/engines_compare).
 class ParallelEngine final : public ExecutionEngine {
  public:
   /// threads == 0 picks std::thread::hardware_concurrency().
-  explicit ParallelEngine(int threads = 0) : threads_(threads) {}
+  explicit ParallelEngine(int threads = 0, bool persistent_pool = true);
+  ~ParallelEngine() override;
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
 
   std::string name() const override { return "parallel"; }
   RunResult run(const Graph& g, const Proof& p,
@@ -118,19 +207,24 @@ class ParallelEngine final : public ExecutionEngine {
   int effective_threads(int n) const;
 
  private:
+  struct Pool;
+
   int threads_;
+  bool persistent_pool_;
+  std::unique_ptr<Pool> pool_;
 };
 
 /// The process-wide engine behind the run_verifier() compatibility shim: a
 /// DirectEngine with caching off, so its run() is stateless, re-entrant,
 /// and retains no memory between calls — matching the seed semantics of
 /// run_verifier.  Loops that re-verify one graph under many proofs should
-/// hold their own caching DirectEngine instead.
+/// hold their own caching DirectEngine (or an IncrementalEngine) instead.
 ExecutionEngine& default_engine();
 
-/// Factory by backend name: "direct", "message-passing", or "parallel".
-/// Throws std::invalid_argument on an unknown name.  Defined in
-/// local/engine_factory.cpp so core/ stays independent of local/.
+/// Factory by backend name: "direct", "message-passing", "parallel", or
+/// "incremental".  Throws std::invalid_argument on an unknown name.
+/// Defined in local/engine_factory.cpp so core/ stays independent of
+/// local/.
 std::unique_ptr<ExecutionEngine> make_engine(std::string_view name);
 
 }  // namespace lcp

@@ -1,0 +1,320 @@
+#include "core/incremental.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lcp {
+
+bool IncrementalEngine::attach_tracker(DeltaTracker* tracker) {
+  tracker_ = tracker;
+  invalidate();
+  if (tracker_ != nullptr) consumed_generation_ = tracker_->generation();
+  return true;
+}
+
+void IncrementalEngine::invalidate() {
+  cache_valid_ = false;
+  overflowed_ = false;
+  cache_from_tracker_ = false;
+  cached_verifier_ = nullptr;
+  cached_radius_ = -1;
+  cached_graph_fp_ = 0;
+  cache_.clear();
+  inverted_.clear();
+  verdicts_.clear();
+  last_proofs_.clear();
+  cached_ball_nodes_ = 0;
+}
+
+RunResult IncrementalEngine::result_from_verdicts() const {
+  RunResult result;
+  for (int v = 0; v < static_cast<int>(verdicts_.size()); ++v) {
+    if (!verdicts_[static_cast<std::size_t>(v)]) {
+      result.all_accept = false;
+      result.rejecting.push_back(v);
+    }
+  }
+  return result;
+}
+
+RunResult IncrementalEngine::run(const Graph& g, const Proof& p,
+                                 const LocalVerifier& a) {
+  if (tracker_ != nullptr && &tracker_->graph() == &g &&
+      &tracker_->proof() == &p && tracker_->horizon() >= a.radius()) {
+    return run_tracker_path(g, p, a);
+  }
+  return run_content_path(g, p, a);
+}
+
+RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
+                                        const LocalVerifier& a,
+                                        std::uint64_t graph_fp) {
+  ++stats_.full_sweeps;
+  const int n = g.n();
+  const int radius = a.radius();
+
+  cache_.clear();
+  inverted_.assign(static_cast<std::size_t>(n), {});
+  verdicts_.assign(static_cast<std::size_t>(n), 1);
+  last_proofs_ = p.labels;
+  cached_ball_nodes_ = 0;
+  overflowed_ = false;
+  cache_valid_ = false;
+  cached_verifier_ = &a;
+  cached_radius_ = radius;
+  cached_graph_fp_ = graph_fp;
+
+  RunResult result;
+  extractor_.bind(g);
+  cache_.reserve(static_cast<std::size_t>(n));
+  bool caching = true;
+  std::vector<int> host;
+  for (int v = 0; v < n; ++v) {
+    View view = extractor_.extract(p, v, radius, caching ? &host : nullptr);
+    const bool ok = a.accept(view);
+    verdicts_[static_cast<std::size_t>(v)] = ok ? 1 : 0;
+    if (!ok) {
+      result.all_accept = false;
+      result.rejecting.push_back(v);
+    }
+    if (caching) {
+      cached_ball_nodes_ += host.size();
+      if (cached_ball_nodes_ > options_.max_cached_ball_nodes) {
+        // Too dense to cache at this radius; remember that and sweep
+        // uncached until the binding or the radius changes.
+        caching = false;
+        overflowed_ = true;
+        cache_.clear();
+        cache_.shrink_to_fit();
+        inverted_.clear();
+      } else {
+        cache_.push_back(CachedNodeView{std::move(view), std::move(host)});
+      }
+    }
+  }
+  if (caching) {
+    for (int c = 0; c < n; ++c) {
+      for (int u : cache_[static_cast<std::size_t>(c)].host) {
+        inverted_[static_cast<std::size_t>(u)].push_back(c);
+      }
+    }
+    cache_valid_ = true;
+  }
+  return result;
+}
+
+void IncrementalEngine::reverify(const Graph& g, const Proof& p,
+                                 const LocalVerifier& a,
+                                 const std::vector<int>& reextract_centers,
+                                 const std::vector<int>& proof_dirty) {
+  const int radius = cached_radius_;
+  if (!reextract_centers.empty()) {
+    extractor_.bind(g);
+    for (int c : reextract_centers) {
+      CachedNodeView& slot = cache_[static_cast<std::size_t>(c)];
+      // Unhook c from its old ball's inverted lists before re-extraction.
+      for (int u : slot.host) {
+        auto& list = inverted_[static_cast<std::size_t>(u)];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+          if (list[i] == c) {
+            list[i] = list.back();
+            list.pop_back();
+            break;
+          }
+        }
+      }
+      cached_ball_nodes_ -= slot.host.size();
+      slot.view = extractor_.extract(p, c, radius, &slot.host);
+      cached_ball_nodes_ += slot.host.size();
+      for (int u : slot.host) {
+        inverted_[static_cast<std::size_t>(u)].push_back(c);
+      }
+    }
+  }
+  for (int c : proof_dirty) {
+    CachedNodeView& slot = cache_[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < slot.host.size(); ++i) {
+      slot.view.proofs[i] =
+          p.labels[static_cast<std::size_t>(slot.host[i])];
+    }
+  }
+
+  const std::size_t count = reextract_centers.size() + proof_dirty.size();
+  batch_views_.clear();
+  batch_views_.reserve(count);
+  for (int c : reextract_centers) {
+    batch_views_.push_back(&cache_[static_cast<std::size_t>(c)].view);
+  }
+  for (int c : proof_dirty) {
+    batch_views_.push_back(&cache_[static_cast<std::size_t>(c)].view);
+  }
+  batch_out_.resize(count);
+  a.accept_batch(batch_views_.data(), count, batch_out_.data());
+  std::size_t i = 0;
+  for (int c : reextract_centers) {
+    verdicts_[static_cast<std::size_t>(c)] = batch_out_[i++];
+  }
+  for (int c : proof_dirty) {
+    verdicts_[static_cast<std::size_t>(c)] = batch_out_[i++];
+  }
+  stats_.nodes_reverified += count;
+}
+
+RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
+                                              const LocalVerifier& a) {
+  const int n = g.n();
+  const int radius = a.radius();
+
+  if (overflowed_ && radius == cached_radius_) {
+    ++stats_.full_sweeps;
+    consumed_generation_ = tracker_->generation();
+    return sweep_sequential(g, p, a);
+  }
+
+  auto rebuild = [&] {
+    RunResult result = full_sweep(g, p, a, graph_fingerprint(g));
+    cache_from_tracker_ = true;
+    consumed_generation_ = tracker_->generation();
+    return result;
+  };
+
+  // cache_from_tracker_ guards against an interleaved content-path run on
+  // a foreign graph having rebuilt the cache: those verdicts belong to the
+  // other graph even when n and radius coincide.
+  if (!cache_valid_ || !cache_from_tracker_ || radius != cached_radius_ ||
+      &a != cached_verifier_ || static_cast<int>(verdicts_.size()) != n) {
+    return rebuild();
+  }
+  const auto records = tracker_->records_since(consumed_generation_);
+  if (!records.has_value()) {
+    // The dirty log was trimmed past our position.
+    ++stats_.fallbacks;
+    return rebuild();
+  }
+  if (options_.verify_state &&
+      DeltaTracker::state_fingerprint_of(g, p) !=
+          tracker_->state_fingerprint()) {
+    // Out-of-band mutation: the tracker no longer describes the state.
+    ++stats_.fallbacks;
+    tracker_->resync();
+    return rebuild();
+  }
+  if (records->empty()) {
+    ++stats_.unchanged_runs;
+    return result_from_verdicts();
+  }
+
+  // Merge the records into two centre sets: re-extract (ball content or
+  // membership may have changed) and proof-refresh-only.  dirty_mark_:
+  // 0 = clean, 1 = proof-dirty, 2 = re-extract.
+  dirty_mark_.assign(static_cast<std::size_t>(n), 0);
+  dirty_scratch_.clear();
+  auto mark = [&](int c, std::uint8_t level) {
+    std::uint8_t& m = dirty_mark_[static_cast<std::size_t>(c)];
+    if (m == 0) dirty_scratch_.push_back(c);
+    if (level > m) m = level;
+  };
+  bool graph_changed = false;
+  for (const DirtyRecord* record : *records) {
+    for (int u : record->proof_nodes) {
+      for (int c : inverted_[static_cast<std::size_t>(u)]) mark(c, 1);
+    }
+    for (int u : record->relabeled_nodes) {
+      for (int c : inverted_[static_cast<std::size_t>(u)]) mark(c, 2);
+    }
+    for (int c : record->structural_dirty) mark(c, 2);
+    graph_changed = graph_changed || !record->relabeled_nodes.empty() ||
+                    !record->structural_dirty.empty();
+  }
+  // Ascending centre order keeps re-verification deterministic.
+  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+  std::vector<int> reextract;
+  std::vector<int> proof_dirty;
+  for (int c : dirty_scratch_) {
+    (dirty_mark_[static_cast<std::size_t>(c)] == 2 ? reextract : proof_dirty)
+        .push_back(c);
+  }
+
+  reverify(g, p, a, reextract, proof_dirty);
+  if (cached_ball_nodes_ > options_.max_cached_ball_nodes) {
+    // Edge churn grew the balls past the cap: abandon the cache.
+    overflowed_ = true;
+    cache_valid_ = false;
+    cache_.clear();
+    cache_.shrink_to_fit();
+    inverted_.clear();
+    ++stats_.full_sweeps;
+    consumed_generation_ = tracker_->generation();
+    return sweep_sequential(g, p, a);
+  }
+
+  for (const DirtyRecord* record : *records) {
+    for (int u : record->proof_nodes) {
+      last_proofs_[static_cast<std::size_t>(u)] =
+          p.labels[static_cast<std::size_t>(u)];
+    }
+  }
+  if (graph_changed) cached_graph_fp_ = graph_fingerprint(g);
+  consumed_generation_ = tracker_->generation();
+  ++stats_.incremental_runs;
+  return result_from_verdicts();
+}
+
+RunResult IncrementalEngine::run_content_path(const Graph& g, const Proof& p,
+                                              const LocalVerifier& a) {
+  const int n = g.n();
+  const int radius = a.radius();
+  const std::uint64_t fp = graph_fingerprint(g);
+
+  if (overflowed_ && fp == cached_graph_fp_ && radius == cached_radius_ &&
+      &a == cached_verifier_) {
+    ++stats_.full_sweeps;
+    return sweep_sequential(g, p, a);
+  }
+  if (!cache_valid_ || fp != cached_graph_fp_ || radius != cached_radius_ ||
+      &a != cached_verifier_ ||
+      static_cast<int>(last_proofs_.size()) != n ||
+      static_cast<int>(p.labels.size()) != n) {
+    RunResult result = full_sweep(g, p, a, fp);
+    cache_from_tracker_ = false;
+    return result;
+  }
+
+  // Exact proof diff against the retained copy.  The copy is only
+  // committed after reverify() succeeds: a throwing verifier must not
+  // leave future diffs blind to this mutation.
+  dirty_mark_.assign(static_cast<std::size_t>(n), 0);
+  dirty_scratch_.clear();
+  std::vector<int> changed_nodes;
+  for (int v = 0; v < n; ++v) {
+    if (p.labels[static_cast<std::size_t>(v)] ==
+        last_proofs_[static_cast<std::size_t>(v)]) {
+      continue;
+    }
+    changed_nodes.push_back(v);
+    for (int c : inverted_[static_cast<std::size_t>(v)]) {
+      if (!dirty_mark_[static_cast<std::size_t>(c)]) {
+        dirty_mark_[static_cast<std::size_t>(c)] = 1;
+        dirty_scratch_.push_back(c);
+      }
+    }
+  }
+  if (changed_nodes.empty()) {
+    ++stats_.unchanged_runs;
+    return result_from_verdicts();
+  }
+  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+  reverify(g, p, a, {}, dirty_scratch_);
+  for (int v : changed_nodes) {
+    last_proofs_[static_cast<std::size_t>(v)] =
+        p.labels[static_cast<std::size_t>(v)];
+  }
+  // The cached verdicts now reflect this (possibly foreign) proof, not the
+  // tracker's bound pair — identical-content graphs share a fingerprint,
+  // so the tracker path must resweep rather than trust them.
+  cache_from_tracker_ = false;
+  ++stats_.incremental_runs;
+  return result_from_verdicts();
+}
+
+}  // namespace lcp

@@ -1,0 +1,135 @@
+// The dirty-ball re-verification engine.
+//
+// A(G, P, v) depends only on v's radius-r ball, so after a small delta to
+// (G, P) only the centres whose balls intersect the change can flip their
+// verdict.  IncrementalEngine exploits this: it caches every node's view
+// AND verdict, maintains an inverted ball index (node u -> centres whose
+// ball contains u; for undirected graphs that set equals ball(u, r)), and
+// on each run re-verifies only the dirty centres.
+//
+// Two ways a run can go incremental:
+//
+//   1. Tracker path.  A DeltaTracker (core/delta.hpp) is attached and the
+//      run's (graph, proof) are the tracker's bound pair: the tracker's
+//      dirty log names the epicentres exactly.  Proof epicentres expand
+//      through the inverted index and only refresh proof labels; label
+//      epicentres expand the same way but re-extract the view; structural
+//      records carry pre-expanded centre sets (stepwise BFS at mutation
+//      time) whose views are re-extracted and whose inverted-index entries
+//      are repaired.  A state-fingerprint comparison (O(n + m + proof
+//      bits), skippable via options) detects out-of-band mutations and
+//      falls back to a full sweep, so results stay identical to
+//      DirectEngine's even when the delta contract is violated.
+//
+//   2. Content path.  No tracker (or a foreign graph): the engine compares
+//      the graph fingerprint with its cached one and, when the graph is
+//      unchanged, diffs the proof against a retained copy — an exact,
+//      hash-free diff — and re-verifies only centres seeing a changed
+//      label.  This makes plain proof-mutation loops (exhaustive proof
+//      search) incremental with no caller cooperation at all.
+//
+// Anything else — first run, radius change, structural change without a
+// tracker, cache overflow — is a full sweep that rebuilds the cache.  The
+// equivalence corpus in tests/test_engines.cpp and the mutation fuzz test
+// in tests/test_incremental_fuzz.cpp pin bit-identical RunResults against
+// DirectEngine on every path.
+#ifndef LCP_CORE_INCREMENTAL_HPP_
+#define LCP_CORE_INCREMENTAL_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/engine.hpp"
+
+namespace lcp {
+
+struct IncrementalEngineOptions {
+  /// Abandon caching when the summed ball sizes exceed this bound.
+  std::size_t max_cached_ball_nodes = std::size_t{1} << 22;
+  /// Verify the tracker's state fingerprint against a full recompute on
+  /// every tracker-path run.  Costs O(n + m + proof bits); turning it off
+  /// shifts responsibility for the "all mutations go through the tracker"
+  /// contract entirely to the caller.
+  bool verify_state = true;
+};
+
+class IncrementalEngine final : public ExecutionEngine {
+ public:
+  explicit IncrementalEngine(IncrementalEngineOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "incremental"; }
+
+  /// Subsequent runs whose (graph, proof) match the tracker's bound pair
+  /// consume its dirty log.  Passing nullptr detaches.  Attaching always
+  /// invalidates the cache (the tracker's generation counter becomes the
+  /// engine's clock).  Returns true: this engine consumes trackers.
+  bool attach_tracker(DeltaTracker* tracker) override;
+  DeltaTracker* attached_tracker() const override { return tracker_; }
+
+  RunResult run(const Graph& g, const Proof& p,
+                const LocalVerifier& a) override;
+
+  struct Stats {
+    std::uint64_t full_sweeps = 0;       ///< complete rebuilds (or uncached)
+    std::uint64_t incremental_runs = 0;  ///< delta-driven runs
+    std::uint64_t unchanged_runs = 0;    ///< state identical: cached verdicts
+    std::uint64_t nodes_reverified = 0;  ///< accept() calls on delta paths
+    std::uint64_t fallbacks = 0;         ///< fingerprint/log forced resweeps
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  RunResult full_sweep(const Graph& g, const Proof& p,
+                       const LocalVerifier& a, std::uint64_t graph_fp);
+  RunResult run_tracker_path(const Graph& g, const Proof& p,
+                             const LocalVerifier& a);
+  RunResult run_content_path(const Graph& g, const Proof& p,
+                             const LocalVerifier& a);
+  /// Re-extracts the views of `centers`, repairing the inverted index, then
+  /// re-verifies them together with `proof_dirty` (proof refresh only).
+  /// Both lists must be deduplicated; overlap between them is allowed and
+  /// resolved in favour of re-extraction.
+  void reverify(const Graph& g, const Proof& p, const LocalVerifier& a,
+                const std::vector<int>& reextract_centers,
+                const std::vector<int>& proof_dirty);
+  RunResult result_from_verdicts() const;
+  void invalidate();
+
+  IncrementalEngineOptions options_;
+  DeltaTracker* tracker_ = nullptr;
+  ViewExtractor extractor_;
+
+  bool cache_valid_ = false;
+  // Cached verdicts are only valid for the verifier they were computed
+  // with: identity (address) is the key, so a different verifier object —
+  // even one of equal radius — forces a rebuild.
+  const LocalVerifier* cached_verifier_ = nullptr;
+  bool overflowed_ = false;  // cache abandoned for the current binding
+  // True when the cache mirrors the tracker's bound pair; a content-path
+  // run on a foreign (graph, proof) rebuilds the cache for that pair and
+  // clears this, forcing the next tracker-path run to resweep instead of
+  // trusting verdicts that belong to another graph.
+  bool cache_from_tracker_ = false;
+  int cached_radius_ = -1;
+  std::uint64_t cached_graph_fp_ = 0;
+  std::uint64_t consumed_generation_ = 0;
+  std::vector<CachedNodeView> cache_;
+  std::vector<std::vector<int>> inverted_;  // node -> containing centres
+  std::vector<std::uint8_t> verdicts_;
+  std::vector<BitString> last_proofs_;  // exact copy for the content diff
+  std::size_t cached_ball_nodes_ = 0;
+
+  // Scratch.
+  std::vector<int> dirty_scratch_;
+  std::vector<std::uint8_t> dirty_mark_;
+  std::vector<const View*> batch_views_;
+  std::vector<std::uint8_t> batch_out_;
+
+  Stats stats_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_INCREMENTAL_HPP_

@@ -6,6 +6,8 @@
 #ifndef LCP_CORE_VERIFIER_HPP_
 #define LCP_CORE_VERIFIER_HPP_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -23,6 +25,18 @@ class LocalVerifier {
 
   /// The output of the centre node given its radius-r view: 1 = accept.
   virtual bool accept(const View& view) const = 0;
+
+  /// Batched evaluation: out[i] = accept(*views[i]) ? 1 : 0, in order.
+  /// The default loops accept(); table-driven verifiers override it to
+  /// amortise per-view locking and dispatch (local/lookup_table.hpp).
+  /// Engines use this on paths where many views are materialised at once
+  /// (DirectEngine cache hits, IncrementalEngine dirty sets).
+  virtual void accept_batch(const View* const* views, std::size_t count,
+                            std::uint8_t* out) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = accept(*views[i]) ? 1 : 0;
+    }
+  }
 };
 
 /// A verifier assembled from a radius and a lambda; handy for tests and for

@@ -43,6 +43,36 @@ int Graph::add_edge(int u, int v, std::uint64_t label, std::int64_t weight) {
   return e;
 }
 
+void Graph::remove_edge(int u, int v) {
+  const int e = edge_index(u, v);
+  if (e < 0) {
+    throw std::invalid_argument("Graph::remove_edge: no such edge");
+  }
+  auto drop_half = [this](int at, int to) {
+    auto& list = adj_[static_cast<std::size_t>(at)];
+    for (auto it = list.begin(); it != list.end(); ++it) {
+      if (it->to == to) {
+        list.erase(it);
+        return;
+      }
+    }
+  };
+  drop_half(u, v);
+  drop_half(v, u);
+  const int last = m() - 1;
+  if (e != last) {
+    edges_[static_cast<std::size_t>(e)] = edges_[static_cast<std::size_t>(last)];
+    // Re-point the moved edge's two adjacency entries at the new slot.
+    const EdgeRecord& moved = edges_[static_cast<std::size_t>(e)];
+    for (int endpoint : {moved.u, moved.v}) {
+      for (HalfEdge& h : adj_[static_cast<std::size_t>(endpoint)]) {
+        if (h.edge == last) h.edge = e;
+      }
+    }
+  }
+  edges_.pop_back();
+}
+
 int Graph::edge_index(int u, int v) const {
   const auto& list = adj_[static_cast<std::size_t>(u)];
   for (const HalfEdge& h : list) {

@@ -50,6 +50,15 @@ class Graph {
   /// parallel edges, or out-of-range endpoints.
   int add_edge(int u, int v, std::uint64_t label = 0, std::int64_t weight = 1);
 
+  /// Removes edge {u, v}.  The last edge record is swap-moved into the
+  /// freed slot, so edge indices are NOT stable across removals.  Ports of
+  /// u's and v's remaining higher-id neighbours shift down by one (ports
+  /// stay a deterministic function of the current id assignment); nodes
+  /// not adjacent to u or v are unaffected.  Throws std::invalid_argument
+  /// when the edge is absent.  This is the structural mutation behind the
+  /// delta API (core/delta.hpp).
+  void remove_edge(int u, int v);
+
   int n() const { return static_cast<int>(ids_.size()); }
   int m() const { return static_cast<int>(edges_.size()); }
 

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/engine.hpp"
+#include "core/incremental.hpp"
 #include "local/message_passing.hpp"
 
 namespace lcp {
@@ -15,6 +16,7 @@ std::unique_ptr<ExecutionEngine> make_engine(std::string_view name) {
     return std::make_unique<MessagePassingEngine>();
   }
   if (name == "parallel") return std::make_unique<ParallelEngine>();
+  if (name == "incremental") return std::make_unique<IncrementalEngine>();
   throw std::invalid_argument("make_engine: unknown backend '" +
                               std::string(name) + "'");
 }

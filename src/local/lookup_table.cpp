@@ -1,6 +1,8 @@
 #include "local/lookup_table.hpp"
 
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace lcp {
 
@@ -17,6 +19,40 @@ std::string view_fingerprint(const View& view) {
         << view.ball.edge_label(e) << ':' << view.ball.edge_weight(e) << ';';
   }
   return out.str();
+}
+
+void LookupTableVerifier::accept_batch(const View* const* views,
+                                       std::size_t count,
+                                       std::uint8_t* out) const {
+  if (count == 0) return;
+  std::vector<std::string> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(view_fingerprint(*views[i]));
+  }
+  std::vector<std::size_t> misses;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto it = table_.find(keys[i]);
+      if (it != table_.end()) {
+        ++hits_;
+        out[i] = it->second ? 1 : 0;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  if (misses.empty()) return;
+  // Evaluate outside the lock; duplicate keys within the batch are
+  // evaluated redundantly but agree, so the emplace below is a no-op.
+  for (std::size_t i : misses) {
+    out[i] = inner_->accept(*views[i]) ? 1 : 0;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i : misses) {
+    table_.emplace(std::move(keys[i]), out[i] != 0);
+  }
 }
 
 bool LookupTableVerifier::accept(const View& view) const {

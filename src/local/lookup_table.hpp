@@ -12,6 +12,7 @@
 #define LCP_LOCAL_LOOKUP_TABLE_HPP_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -33,6 +34,14 @@ class LookupTableVerifier final : public LocalVerifier {
   int radius() const override { return inner_->radius(); }
 
   bool accept(const View& view) const override;
+
+  /// Batched fast path: one lock round-trip for the whole batch instead of
+  /// one per view.  Fingerprints and miss evaluations happen outside the
+  /// lock; engines with materialised views (DirectEngine cache hits,
+  /// IncrementalEngine dirty sets) route through this, so table lookups
+  /// on those paths stop paying per-node lock and dispatch overhead.
+  void accept_batch(const View* const* views, std::size_t count,
+                    std::uint8_t* out) const override;
 
   /// Number of distinct view fingerprints tabulated so far.
   std::size_t table_size() const {

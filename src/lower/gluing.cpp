@@ -3,7 +3,9 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/delta.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "schemes/cycle_certified.hpp"
@@ -64,22 +66,24 @@ std::optional<BuiltCycle> build_cycle(const GluingProblem& problem, int n,
 
 }  // namespace
 
-GluedInstance glue_cycles(const Graph& c1, const Proof& p1, const Graph& c2,
-                          const Proof& p2) {
+namespace {
+
+/// The disjoint union of the two *closed* cycles, proofs concatenated:
+/// the pre-surgery state, a yes ⊎ yes instance every node accepts.
+GluedInstance build_closed_union(const Graph& c1, const Proof& p1,
+                                 const Graph& c2, const Proof& p2) {
   const int n = c1.n();
   GluedInstance out;
   for (int i = 0; i < n; ++i) out.graph.add_node(c1.id(i), c1.label(i));
   for (int i = 0; i < n; ++i) out.graph.add_node(c2.id(i), c2.label(i));
-  // Path edges of each cycle (all but the closing edge {position n-1, 0}).
-  for (int i = 0; i + 1 < n; ++i) {
-    out.graph.add_edge(i, i + 1, c1.edge_label(c1.edge_index(i, i + 1)));
-    out.graph.add_edge(n + i, n + i + 1,
-                       c2.edge_label(c2.edge_index(i, i + 1)));
+  for (int e = 0; e < c1.m(); ++e) {
+    out.graph.add_edge(c1.edge_u(e), c1.edge_v(e), c1.edge_label(e),
+                       c1.edge_weight(e));
   }
-  // Cross edges {b1, a2} and {b2, a1}; each inherits the closing-edge
-  // decoration of the instance it stands in for.
-  out.graph.add_edge(n - 1, n, c2.edge_label(c2.edge_index(n - 1, 0)));
-  out.graph.add_edge(2 * n - 1, 0, c1.edge_label(c1.edge_index(n - 1, 0)));
+  for (int e = 0; e < c2.m(); ++e) {
+    out.graph.add_edge(n + c2.edge_u(e), n + c2.edge_v(e), c2.edge_label(e),
+                       c2.edge_weight(e));
+  }
   out.proof = Proof::empty(2 * n);
   for (int i = 0; i < n; ++i) {
     out.proof.labels[static_cast<std::size_t>(i)] =
@@ -87,6 +91,45 @@ GluedInstance glue_cycles(const Graph& c1, const Proof& p1, const Graph& c2,
     out.proof.labels[static_cast<std::size_t>(n + i)] =
         p2.labels[static_cast<std::size_t>(i)];
   }
+  return out;
+}
+
+/// The paper's surgery: drop both closing edges {a_i, b_i}, add the cross
+/// edges {b1, a2} and {b2, a1}; each cross edge inherits the closing-edge
+/// decoration of the instance it stands in for.
+MutationBatch surgery_batch(const Graph& c1, const Graph& c2) {
+  const int n = c1.n();
+  MutationBatch batch;
+  batch.remove_edge(n - 1, 0);
+  batch.remove_edge(2 * n - 1, n);
+  batch.add_edge(n - 1, n, c2.edge_label(c2.edge_index(n - 1, 0)),
+                 c2.edge_weight(c2.edge_index(n - 1, 0)));
+  batch.add_edge(2 * n - 1, 0, c1.edge_label(c1.edge_index(n - 1, 0)),
+                 c1.edge_weight(c1.edge_index(n - 1, 0)));
+  return batch;
+}
+
+}  // namespace
+
+GluingSurgery glue_and_verify(const Graph& c1, const Proof& p1,
+                              const Graph& c2, const Proof& p2,
+                              const LocalVerifier& verifier,
+                              ExecutionEngine& engine) {
+  GluingSurgery out;
+  out.glued = build_closed_union(c1, p1, c2, p2);
+  DeltaTracker tracker(out.glued.graph, out.glued.proof, verifier.radius());
+  const TrackerAttachment attachment(engine, tracker);
+  if (attachment.consumed()) {
+    // Warm the delta-consuming engine on the pre-surgery union so the
+    // post-surgery run re-verifies only the seam balls.  Engines that
+    // ignore trackers would just pay a second full sweep here, so they
+    // skip straight to the glued instance.
+    out.union_all_accept =
+        engine.run(out.glued.graph, out.glued.proof, verifier).all_accept;
+  }
+  tracker.apply(surgery_batch(c1, c2));
+  out.all_accept =
+      engine.run(out.glued.graph, out.glued.proof, verifier).all_accept;
   return out;
 }
 
@@ -159,12 +202,12 @@ GluingOutcome run_gluing_attack(const GluingProblem& problem, int n,
 
   const auto c1 = build_cycle(problem, n, outcome.a1, outcome.b1);
   const auto c2 = build_cycle(problem, n, outcome.a2, outcome.b2);
-  const GluedInstance glued =
-      glue_cycles(c1->graph, c1->proof, c2->graph, c2->proof);
-  outcome.all_accept =
-      engine.run(glued.graph, glued.proof, problem.scheme->verifier())
-          .all_accept;
-  outcome.glued_is_yes = problem.scheme->holds(glued.graph);
+  const GluingSurgery surgery =
+      glue_and_verify(c1->graph, c1->proof, c2->graph, c2->proof,
+                      problem.scheme->verifier(), engine);
+  outcome.union_all_accept = surgery.union_all_accept;
+  outcome.all_accept = surgery.all_accept;
+  outcome.glued_is_yes = problem.scheme->holds(surgery.glued.graph);
   return outcome;
 }
 

@@ -48,6 +48,10 @@ struct GluingOutcome {
   std::size_t num_colors = 0;    ///< distinct c(a,b) values over K_{n,n}
   bool found_collision = false;  ///< monochromatic 4-cycle found
   NodeId a1 = 0, b1 = 0, a2 = 0, b2 = 0;
+  /// Premise check: the pre-surgery union of the two closed cycles passes
+  /// (only computed — as the warm run — when the engine consumes deltas;
+  /// vacuously true otherwise).
+  bool union_all_accept = true;
   bool all_accept = false;       ///< verifier verdict on the glued instance
   bool glued_is_yes = false;     ///< ground truth of the glued instance
 
@@ -70,14 +74,31 @@ GluingOutcome run_gluing_attack(const GluingProblem& problem, int n,
 /// The paper's exact id layout for C(a, b).
 std::vector<NodeId> gluing_cycle_ids(int n, NodeId a, NodeId b);
 
-/// Builds the glued instance from two decorated, proved cycles; exposed
-/// for the Figure 1 trace bench.
+/// A glued instance: the 2n-cycle carrying both cycles' labels and proofs.
 struct GluedInstance {
   Graph graph;
   Proof proof;
 };
-GluedInstance glue_cycles(const Graph& c1, const Proof& p1, const Graph& c2,
-                          const Proof& p2);
+
+/// The gluing surgery as a delta: starts from the disjoint union of the
+/// two *closed* cycles (a yes ⊎ yes instance on which every node accepts)
+/// and applies one MutationBatch — remove the two closing edges {a1,b1}
+/// and {a2,b2}, add the cross edges {b1,a2} and {b2,a1} with the
+/// inherited labels — then verifies.  Engines that consume DeltaTrackers
+/// (IncrementalEngine) are warmed on the union first and re-verify only
+/// the O(r) balls around the four seam nodes; others skip the warm run
+/// and sweep the glued instance once.
+struct GluingSurgery {
+  GluedInstance glued;
+  /// Verdict on the pre-surgery union; only computed (as the warm run)
+  /// when the engine consumes deltas, vacuously true otherwise.
+  bool union_all_accept = true;
+  bool all_accept = false;  ///< verdict on the glued instance
+};
+GluingSurgery glue_and_verify(const Graph& c1, const Proof& p1,
+                              const Graph& c2, const Proof& p2,
+                              const LocalVerifier& verifier,
+                              ExecutionEngine& engine);
 
 /// Ready-made problems for the Section 5.4 targets, parameterised by the
 /// proof budget b (0 = honest scheme).

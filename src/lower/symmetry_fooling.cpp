@@ -6,6 +6,7 @@
 #include "algo/canonical.hpp"
 #include "algo/isomorphism.hpp"
 #include "algo/traversal.hpp"
+#include "core/delta.hpp"
 #include "core/runner.hpp"
 
 namespace lcp::lower {
@@ -158,8 +159,36 @@ TransplantOutcome run_symmetry_transplant(const Scheme& scheme,
     stitched.labels[static_cast<std::size_t>(v)] =
         source.labels[static_cast<std::size_t>(*host.index_of(id))];
   }
-  out.all_accept =
-      engine.run(g12, stitched, scheme.verifier()).all_accept;
+
+  // Transplant as a delta: g11 and g12 share the path, the C(G1, k) copy,
+  // and the joining edges; they differ only in the edges among the second
+  // canonical copy (dense indices [2k, 3k) — node add order coincides) and
+  // in the proof labels.  Start from the accepted (g11, p11) state, apply
+  // one MutationBatch morphing it into (g12, stitched), and re-verify:
+  // delta-consuming engines re-verify only the second copy's surroundings.
+  for (int v = 0; v < g12.n(); ++v) {
+    if (g11.id(v) != g12.id(v)) {
+      // Layouts diverged (should not happen for canonical joins): verify
+      // the stitched instance directly.
+      out.all_accept = engine.run(g12, stitched, scheme.verifier()).all_accept;
+      out.glued_is_yes = scheme.holds(g12);
+      return out;
+    }
+  }
+  Graph work = g11;
+  Proof current = *p11;
+  DeltaTracker tracker(work, current, radius);
+  const TrackerAttachment attachment(engine, tracker);
+  if (attachment.consumed()) {
+    // Warm run on the accepted (g11, p11) state; engines that ignore
+    // trackers skip it (it would just be a redundant full sweep).
+    (void)engine.run(work, current, scheme.verifier());
+  }
+  MutationBatch batch;
+  diff_block_into_batch(work, g12, 2 * k, 3 * k, &batch);
+  diff_proofs_into_batch(current, stitched, &batch);
+  tracker.apply(batch);
+  out.all_accept = engine.run(work, current, scheme.verifier()).all_accept;
   out.glued_is_yes = scheme.holds(g12);
   return out;
 }

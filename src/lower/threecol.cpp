@@ -4,6 +4,8 @@
 #include <array>
 #include <stdexcept>
 
+#include "core/delta.hpp"
+
 namespace lcp::lower {
 
 namespace {
@@ -193,6 +195,62 @@ bool joined_colorable_semantics(const PairSet& a, const PairSet& b) {
     if (std::binary_search(sorted.begin(), sorted.end(), p)) return true;
   }
   return false;
+}
+
+ThreecolTransplantOutcome run_threecol_transplant(int k, const PairSet& a,
+                                                  const PairSet& b, int r,
+                                                  const Scheme& scheme,
+                                                  ExecutionEngine& engine) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("run_threecol_transplant: |a| != |b|");
+  }
+  const PairSet a_bar = complement_pairs(k, a);
+  const PairSet b_bar = complement_pairs(k, b);
+  const JoinedGadget gaa = build_joined(k, a, a_bar, r);
+  const JoinedGadget gbb = build_joined(k, b, b_bar, r);
+  const JoinedGadget gab = build_joined(k, a, b_bar, r);
+
+  ThreecolTransplantOutcome out;
+  // The stitched instance is a no-instance of non-3-colourability exactly
+  // when A meets ~B (gadget law, proved by construction).
+  out.glued_is_yes = !joined_colorable_semantics(a, b_bar);
+
+  const auto p_aa = scheme.prove(gaa.graph);
+  const auto p_bb = scheme.prove(gbb.graph);
+  if (!p_aa.has_value() || !p_bb.has_value()) return out;
+  out.proofs_exist = true;
+  if (gaa.ga_size != gab.ga_size || gbb.graph.n() != gab.graph.n()) {
+    throw std::logic_error("run_threecol_transplant: layout mismatch");
+  }
+
+  // Stitch: the G_A block from p_aa, everything else (G'_{~B} + wires)
+  // from p_bb; layouts coincide because |A| = |B|.
+  Proof stitched = Proof::empty(gab.graph.n());
+  for (int v = 0; v < gab.graph.n(); ++v) {
+    const Proof& src = v < gab.ga_size ? *p_aa : *p_bb;
+    stitched.labels[static_cast<std::size_t>(v)] =
+        src.labels[static_cast<std::size_t>(v)];
+  }
+
+  // G_{B,~B} -> G_{A,~B} as one MutationBatch: the two graphs differ only
+  // in edges within the first gadget block [0, ga_size) (clause chains for
+  // A vs B), plus the stitched proof labels.
+  Graph work = gbb.graph;
+  Proof current = *p_bb;
+  const int radius = scheme.verifier().radius();
+  DeltaTracker tracker(work, current, radius);
+  const TrackerAttachment attachment(engine, tracker);
+  if (attachment.consumed()) {
+    // Warm run on the accepted (G_{B,~B}, p_bb) state; engines that
+    // ignore trackers skip it (it would just be a redundant full sweep).
+    (void)engine.run(work, current, scheme.verifier());
+  }
+  MutationBatch batch;
+  diff_block_into_batch(work, gab.graph, 0, gab.ga_size, &batch);
+  diff_proofs_into_batch(current, stitched, &batch);
+  tracker.apply(batch);
+  out.all_accept = engine.run(work, current, scheme.verifier()).all_accept;
+  return out;
 }
 
 std::pair<int, int> decode_pair(const Gadget& gadget,

@@ -25,6 +25,8 @@
 #include <utility>
 #include <vector>
 
+#include "core/engine.hpp"
+#include "core/scheme.hpp"
 #include "graph/graph.hpp"
 
 namespace lcp::lower {
@@ -62,6 +64,24 @@ bool joined_colorable_semantics(const PairSet& a, const PairSet& b);
 /// Extracts the (x, y) pair encoded by a 3-colouring of a gadget.
 std::pair<int, int> decode_pair(const Gadget& gadget,
                                 const std::vector<int>& colors);
+
+/// The Section 6.3 proof-transplant attack, executed through the delta
+/// API: proofs of the yes-instances G_{A,~A} and G_{B,~B} are stitched
+/// onto G_{A,~B} (3-colourable when A meets ~B, hence a no-instance of
+/// non-3-colourability).  Because the gadget layout depends only on
+/// (k, |A|), G_{B,~B} morphs into G_{A,~B} by mutating edges inside the
+/// first gadget block plus the stitched proof labels — one MutationBatch —
+/// so delta-consuming engines re-verify only that block's surroundings.
+/// Requires |a| == |b|.
+struct ThreecolTransplantOutcome {
+  bool proofs_exist = false;
+  bool all_accept = false;   ///< verifier verdict on the stitched instance
+  bool glued_is_yes = false; ///< ground truth (gadget-law semantics)
+  bool fooled() const { return proofs_exist && all_accept && !glued_is_yes; }
+};
+ThreecolTransplantOutcome run_threecol_transplant(
+    int k, const PairSet& a, const PairSet& b, int r, const Scheme& scheme,
+    ExecutionEngine& engine = default_engine());
 
 }  // namespace lcp::lower
 

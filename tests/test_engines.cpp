@@ -1,7 +1,10 @@
 // Engine equivalence corpus: Direct (cached and uncached), MessagePassing,
-// and Parallel engines must return bit-identical RunResults — verdict AND
-// rejecting-node sets — on random graphs, several schemes, honest proofs,
-// and adversarial (tampered/empty) proofs.
+// Parallel, and Incremental engines must return bit-identical RunResults —
+// verdict AND rejecting-node sets — on random graphs, several schemes,
+// honest proofs, and adversarial (tampered/empty) proofs.  The corpus
+// mutates graphs and proofs arbitrarily between runs, so it exercises the
+// IncrementalEngine's content path (full rebuilds, proof auto-diff, and
+// unchanged-state reuse) without any tracker cooperation.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -9,6 +12,7 @@
 
 #include "core/checker.hpp"
 #include "core/engine.hpp"
+#include "core/incremental.hpp"
 #include "core/runner.hpp"
 #include "graph/generators.hpp"
 #include "local/message_passing.hpp"
@@ -79,6 +83,8 @@ void run_corpus(const Scheme& scheme) {
   MessagePassingEngine flooding;
   ParallelEngine parallel1(1);
   ParallelEngine parallel4(4);
+  ParallelEngine spawning(4, /*persistent_pool=*/false);
+  IncrementalEngine incremental;
   for (const Case& c : corpus(scheme)) {
     const RunResult expected =
         uncached.run(c.graph, c.proof, scheme.verifier());
@@ -93,6 +99,15 @@ void run_corpus(const Scheme& scheme) {
                  "parallel-1", c.label);
     expect_equal(expected, parallel4.run(c.graph, c.proof, scheme.verifier()),
                  "parallel-4", c.label);
+    expect_equal(expected, spawning.run(c.graph, c.proof, scheme.verifier()),
+                 "parallel-spawn", c.label);
+    expect_equal(expected,
+                 incremental.run(c.graph, c.proof, scheme.verifier()),
+                 "incremental", c.label);
+    // Second run hits the unchanged-state path (cached verdicts).
+    expect_equal(expected,
+                 incremental.run(c.graph, c.proof, scheme.verifier()),
+                 "incremental-unchanged", c.label);
   }
 }
 
@@ -140,6 +155,36 @@ TEST(DirectEngineCache, InvalidatesOnGraphMutation) {
                "switch-to-new-graph");
 }
 
+TEST(DirectEngineCache, AlternatingGraphsDontThrash) {
+  // The gluing attack alternates between two instances; both must stay
+  // resident so neither run pays re-extraction.
+  const schemes::BipartiteScheme scheme;
+  Graph g1 = gen::cycle(12);
+  Graph g2 = gen::grid(3, 4);
+  const Proof p1 = *scheme.prove(g1);
+  const Proof p2 = *scheme.prove(g2);
+  DirectEngine cached;
+  DirectEngine fresh({/*cache_views=*/false});
+  for (int round = 0; round < 3; ++round) {
+    expect_equal(fresh.run(g1, p1, scheme.verifier()),
+                 cached.run(g1, p1, scheme.verifier()), "direct-lru",
+                 "g1-round-" + std::to_string(round));
+    expect_equal(fresh.run(g2, p2, scheme.verifier()),
+                 cached.run(g2, p2, scheme.verifier()), "direct-lru",
+                 "g2-round-" + std::to_string(round));
+  }
+  EXPECT_EQ(cached.cached_graph_count(), 2u);
+
+  // A third and fourth graph evict nothing yet (capacity 4); a fifth
+  // evicts the least recently used.
+  for (int extra = 0; extra < 3; ++extra) {
+    Graph g = gen::cycle(14 + 2 * extra);
+    const Proof p = *scheme.prove(g);
+    (void)cached.run(g, p, scheme.verifier());
+  }
+  EXPECT_EQ(cached.cached_graph_count(), 4u);
+}
+
 TEST(DirectEngineCache, CapFallsBackToUncached) {
   // A complete graph at radius 1 has n-node balls; with a tiny cap the
   // engine must abandon the cache and still be correct.
@@ -159,7 +204,8 @@ TEST(EngineFactory, KnowsEveryBackend) {
   const schemes::BipartiteScheme scheme;
   const Graph g = gen::cycle(8);
   const Proof p = *scheme.prove(g);
-  for (const char* name : {"direct", "message-passing", "parallel"}) {
+  for (const char* name :
+       {"direct", "message-passing", "parallel", "incremental"}) {
     const std::unique_ptr<ExecutionEngine> engine = make_engine(name);
     ASSERT_NE(engine, nullptr);
     EXPECT_EQ(engine->name(), name);
@@ -180,7 +226,8 @@ TEST(Engines, ExhaustiveSearchMatchesAcrossEngines) {
     }
     return true;
   });
-  for (const char* name : {"direct", "message-passing", "parallel"}) {
+  for (const char* name :
+       {"direct", "message-passing", "parallel", "incremental"}) {
     const std::unique_ptr<ExecutionEngine> engine = make_engine(name);
     EXPECT_TRUE(exists_accepted_proof(gen::cycle(4), two_col, 1, *engine))
         << name;

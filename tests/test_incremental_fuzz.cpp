@@ -1,0 +1,164 @@
+// Randomised mutation-sequence fuzz: random graphs x random schemes x
+// 100+ random deltas (proof flips, node/edge relabels, edge insertions
+// and removals, including churn right at ball boundaries), asserting after
+// EVERY batch that IncrementalEngine's RunResult is bit-identical to a
+// fresh uncached DirectEngine sweep of the mutated state.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/incremental.hpp"
+#include "graph/generators.hpp"
+#include "schemes/cycle_certified.hpp"
+#include "schemes/lcp_const.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+BitString random_bits(std::mt19937& rng, int max_len) {
+  std::uniform_int_distribution<int> len(0, max_len);
+  std::uniform_int_distribution<int> bit(0, 1);
+  BitString out;
+  const int k = len(rng);
+  for (int i = 0; i < k; ++i) out.append_bit(bit(rng) != 0);
+  return out;
+}
+
+/// One random mutation appended to the batch; returns false when the
+/// graph state offers no legal op of the drawn kind.
+bool push_random_op(MutationBatch& batch, const Graph& g, std::mt19937& rng) {
+  std::uniform_int_distribution<int> kind_dist(0, 5);
+  std::uniform_int_distribution<int> node(0, g.n() - 1);
+  switch (kind_dist(rng)) {
+    case 0: {  // proof flip
+      batch.set_proof_label(node(rng), random_bits(rng, 4));
+      return true;
+    }
+    case 1: {  // node relabel
+      std::uniform_int_distribution<int> label(0, 3);
+      batch.set_node_label(node(rng), static_cast<std::uint64_t>(label(rng)));
+      return true;
+    }
+    case 2: {  // edge relabel
+      if (g.m() == 0) return false;
+      std::uniform_int_distribution<int> edge(0, g.m() - 1);
+      const int e = edge(rng);
+      std::uniform_int_distribution<int> label(0, 3);
+      batch.set_edge_label(g.edge_u(e), g.edge_v(e),
+                           static_cast<std::uint64_t>(label(rng)));
+      return true;
+    }
+    case 3: {  // edge weight
+      if (g.m() == 0) return false;
+      std::uniform_int_distribution<int> edge(0, g.m() - 1);
+      const int e = edge(rng);
+      std::uniform_int_distribution<int> weight(-3, 3);
+      batch.set_edge_weight(g.edge_u(e), g.edge_v(e), weight(rng));
+      return true;
+    }
+    case 4: {  // edge insertion
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const int u = node(rng);
+        const int v = node(rng);
+        if (u != v && !g.has_edge(u, v)) {
+          batch.add_edge(u, v);
+          return true;
+        }
+      }
+      return false;
+    }
+    default: {  // edge removal (keep a few edges around)
+      if (g.m() <= 2) return false;
+      std::uniform_int_distribution<int> edge(0, g.m() - 1);
+      const int e = edge(rng);
+      batch.remove_edge(g.edge_u(e), g.edge_v(e));
+      return true;
+    }
+  }
+}
+
+void expect_equal(const RunResult& expected, const RunResult& actual,
+                  const std::string& context) {
+  ASSERT_EQ(expected.all_accept, actual.all_accept) << context;
+  ASSERT_EQ(expected.rejecting, actual.rejecting) << context;
+}
+
+void fuzz_scheme(const Scheme& scheme, Graph g, std::uint32_t seed,
+                 int batches) {
+  std::mt19937 rng(seed);
+  Proof p = Proof::empty(g.n());
+  if (const auto honest = scheme.prove(g); honest.has_value()) p = *honest;
+
+  const int radius = scheme.verifier().radius();
+  DeltaTracker tracker(g, p, radius);
+  IncrementalEngine engine;
+  ASSERT_TRUE(engine.attach_tracker(&tracker));
+  DirectEngine fresh({/*cache_views=*/false});
+
+  expect_equal(fresh.run(g, p, scheme.verifier()),
+               engine.run(g, p, scheme.verifier()),
+               scheme.name() + "/initial");
+
+  std::uniform_int_distribution<int> ops_per_batch(1, 4);
+  for (int round = 0; round < batches; ++round) {
+    // Ops are drawn against the current graph state, so each becomes its
+    // own single-op batch; several batches pile up between runs, which
+    // exercises the engine's multi-record merge exactly like one big
+    // batch would.
+    const int ops = ops_per_batch(rng);
+    for (int i = 0; i < ops; ++i) {
+      MutationBatch batch;
+      if (push_random_op(batch, g, rng)) tracker.apply(batch);
+    }
+    expect_equal(
+        fresh.run(g, p, scheme.verifier()),
+        engine.run(g, p, scheme.verifier()),
+        scheme.name() + "/round-" + std::to_string(round));
+  }
+
+  const auto& stats = engine.stats();
+  EXPECT_GE(stats.incremental_runs, 1u) << scheme.name();
+  engine.attach_tracker(nullptr);
+}
+
+TEST(IncrementalFuzz, BipartiteOnRandomGraphs) {
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    fuzz_scheme(schemes::BipartiteScheme(),
+                gen::random_connected(24, 0.12, seed), seed, 120);
+  }
+}
+
+TEST(IncrementalFuzz, LeaderElectionOnCycles) {
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    Graph g = gen::cycle(30);
+    g.set_label(static_cast<int>(seed) * 3, schemes::kLeaderFlag);
+    fuzz_scheme(schemes::LeaderElectionScheme(), std::move(g), seed + 10,
+                120);
+  }
+}
+
+TEST(IncrementalFuzz, ParityOnRandomGraphs) {
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    fuzz_scheme(schemes::ParityScheme(/*odd=*/true),
+                gen::random_graph(20, 0.15, seed), seed + 20, 120);
+  }
+}
+
+TEST(IncrementalFuzz, AcyclicRadiusTwoOnTrees) {
+  // Radius-2 verifier: ball-membership changes two hops out.
+  for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+    fuzz_scheme(schemes::AcyclicScheme(), gen::random_tree(26, seed),
+                seed + 30, 120);
+  }
+}
+
+TEST(IncrementalFuzz, DenseGridWithHeavyChurn) {
+  fuzz_scheme(schemes::BipartiteScheme(), gen::grid(5, 5), 99, 150);
+}
+
+}  // namespace
+}  // namespace lcp

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "algo/coloring.hpp"
+#include "core/incremental.hpp"
 #include "lower/threecol.hpp"
+#include "schemes/universal.hpp"
 
 namespace lcp::lower {
 namespace {
@@ -121,6 +123,42 @@ TEST(Joined, GapScalesWithR) {
   EXPECT_GT(r3.graph.n(), r1.graph.n());
   // Still colourable: the law is r-independent.
   EXPECT_TRUE(k_coloring(r3.graph, 3).has_value());
+}
+
+TEST(Transplant, TruncatedSchemeFooledThroughDeltaApi) {
+  // The Section 6.3 stitch executed via run_threecol_transplant: the
+  // truncated universal scheme accepts the 3-colourable no-instance.
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet b{{0, 0}, {1, 0}};
+  const auto scheme = schemes::make_non_3_colorable_scheme(/*trunc=*/64);
+  IncrementalEngine engine;
+  const ThreecolTransplantOutcome o =
+      run_threecol_transplant(1, a, b, 1, *scheme, engine);
+  EXPECT_TRUE(o.proofs_exist);
+  EXPECT_TRUE(o.all_accept);
+  EXPECT_FALSE(o.glued_is_yes);
+  EXPECT_TRUE(o.fooled());
+  // The delta touched only the first gadget block's surroundings.
+  EXPECT_GE(engine.stats().incremental_runs, 1u);
+}
+
+TEST(Transplant, HonestSchemeResistsThroughDeltaApi) {
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet b{{0, 0}, {1, 0}};
+  const auto scheme = schemes::make_non_3_colorable_scheme(/*trunc=*/0);
+  const ThreecolTransplantOutcome o =
+      run_threecol_transplant(1, a, b, 1, *scheme);
+  EXPECT_TRUE(o.proofs_exist);
+  EXPECT_FALSE(o.all_accept);
+  EXPECT_FALSE(o.fooled());
+}
+
+TEST(Transplant, MismatchedSubsetSizesThrow) {
+  const PairSet a{{0, 0}, {1, 1}};
+  const PairSet b{{0, 0}};
+  const auto scheme = schemes::make_non_3_colorable_scheme(64);
+  EXPECT_THROW(run_threecol_transplant(1, a, b, 1, *scheme),
+               std::invalid_argument);
 }
 
 }  // namespace
