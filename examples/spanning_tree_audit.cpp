@@ -1,96 +1,130 @@
-// Scenario: a network operator distributes a spanning tree (say, for
-// broadcast routing) and wants every switch to be able to audit it locally
-// — no trusted controller, no global view.  This is exactly the paper's
-// Theta(log n) spanning-tree certification (Section 5.1, after [KKP05]).
+// Scenario: a network operator pins broadcast routing to a spanning tree
+// rooted at the controller, and every switch audits its own neighbourhood
+// — no trusted controller view, exactly the paper's Theta(log n) tree
+// certification (Section 5.1, after [KKP05]).
 //
-// The demo builds a 48-node network, certifies a correct tree, then
-// injects the failures operators actually see — a dropped tree edge
-// (partition) and an extra edge (loop) — and shows which switches raise
-// alarms.
+// The static version of this demo re-certified the whole network after
+// every event.  This one runs the dynamic serving pipeline
+// (src/dynamic/): link churn flows through a DeltaTracker, a
+// TreeCertMaintainer patches the certificates along the affected tree
+// paths, and the IncrementalEngine re-audits only the switches whose
+// neighbourhoods moved.  Alarms still fire instantly on real faults —
+// soundness never depends on the maintainer.
 #include <cstdio>
+#include <memory>
 
-#include "algo/traversal.hpp"
 #include "core/engine.hpp"
-#include "core/runner.hpp"
+#include "dynamic/pipeline.hpp"
+#include "dynamic/tree_maintainer.hpp"
 #include "graph/generators.hpp"
 #include "schemes/tree_certified.hpp"
 
 int main() {
   using namespace lcp;
-  using schemes::SpanningTreeScheme;
+  using schemes::LeaderElectionScheme;
 
   Graph net = gen::random_connected(48, 0.08, 2026);
-  std::printf("network: %d switches, %d links\n", net.n(), net.m());
+  net.set_label(0, schemes::kLeaderFlag);  // switch 0 is the controller
+  std::printf("network: %d switches, %d links; controller at switch %llu\n",
+              net.n(), net.m(),
+              static_cast<unsigned long long>(net.id(0)));
 
-  // The operator computes a BFS tree and marks its links.
-  const RootedTree tree = bfs_tree(net, 0);
-  for (int v = 1; v < net.n(); ++v) {
-    net.set_edge_label(
-        net.edge_index(v, tree.parent[static_cast<std::size_t>(v)]),
-        SpanningTreeScheme::kTreeEdgeBit);
-  }
+  static const LeaderElectionScheme scheme;
+  dynamic::DynamicPipeline pipe(
+      std::move(net), scheme,
+      std::make_unique<dynamic::TreeCertMaintainer>(schemes::kLeaderFlag));
+  auto* maintainer =
+      static_cast<dynamic::TreeCertMaintainer*>(pipe.maintainer());
 
-  // Audits run through the parallel engine: every switch checks its own
-  // radius-1 view, so the sweep shards freely across hardware threads.
-  ParallelEngine engine;
+  std::printf("initial certificate: %d bits per switch (O(log n))\n",
+              pipe.proof().size_bits());
+  std::printf("audit of the healthy network: %s\n\n",
+              pipe.verify().all_accept ? "all 48 switches accept" : "ALARM");
 
-  const SpanningTreeScheme scheme;
-  const Proof certificate = *scheme.prove(net);
-  std::printf("certificate: %d bits per switch (O(log n))\n",
-              certificate.size_bits());
-  std::printf("audit of the healthy tree: %s\n\n",
-              engine.run(net, certificate, scheme.verifier()).all_accept
-                  ? "all 48 switches accept"
-                  : "ALARM");
-
-  // Failure 1: a tree link is demoted (e.g. misconfigured VLAN): the
-  // marked edge set no longer spans.
+  // Event 1: a link flaps.  The maintainer splices the tree around the
+  // dropped link and patches only the certificates along the repair path.
   {
-    Graph broken = net;
-    for (int e = 0; e < broken.m(); ++e) {
-      if (broken.edge_label(e) & SpanningTreeScheme::kTreeEdgeBit) {
-        broken.set_edge_label(e, 0);
-        std::printf("failure 1: dropped tree link %llu-%llu\n",
-                    static_cast<unsigned long long>(broken.id(broken.edge_u(e))),
-                    static_cast<unsigned long long>(broken.id(broken.edge_v(e))));
-        break;
-      }
-    }
-    const RunResult r = engine.run(broken, certificate, scheme.verifier());
-    std::printf("  alarms at %zu switch(es): the partition is detected "
-                "locally\n\n", r.rejecting.size());
+    const int e = 0;
+    const int u = pipe.graph().edge_u(e);
+    const int v = pipe.graph().edge_v(e);
+    MutationBatch down;
+    down.remove_edge(u, v);
+    const RunResult r = pipe.apply(down);
+    std::printf("event 1: link %llu-%llu down\n",
+                static_cast<unsigned long long>(pipe.graph().id(u)),
+                static_cast<unsigned long long>(pipe.graph().id(v)));
+    std::printf("  repaired %llu certificate(s); audit: %s\n\n",
+                static_cast<unsigned long long>(
+                    maintainer->stats().labels_emitted),
+                r.all_accept ? "all switches accept" : "ALARM");
   }
 
-  // Failure 2: an extra link gets marked as a tree link: a loop.
+  // Event 2: a partition.  Cutting every link of one switch strands it;
+  // the maintainer keeps serving the forest, and the audit raises alarms
+  // exactly at the stranded region's certified root and the old root.
   {
-    Graph broken = net;
-    for (int e = 0; e < broken.m(); ++e) {
-      if (!(broken.edge_label(e) & SpanningTreeScheme::kTreeEdgeBit)) {
-        broken.set_edge_label(e, SpanningTreeScheme::kTreeEdgeBit);
-        std::printf("failure 2: spurious tree link %llu-%llu (loop!)\n",
-                    static_cast<unsigned long long>(broken.id(broken.edge_u(e))),
-                    static_cast<unsigned long long>(broken.id(broken.edge_v(e))));
-        break;
-      }
-    }
-    const RunResult r = engine.run(broken, certificate, scheme.verifier());
-    std::printf("  alarms at %zu switch(es)\n\n", r.rejecting.size());
+    const int victim = 17;
+    MutationBatch cut;
+    const auto nbrs = pipe.graph().neighbors(victim);
+    std::vector<int> peers;
+    for (const HalfEdge& h : nbrs) peers.push_back(h.to);
+    for (int peer : peers) cut.remove_edge(victim, peer);
+    const RunResult r = pipe.apply(cut);
+    std::printf("event 2: switch %llu loses all %zu links (partition)\n",
+                static_cast<unsigned long long>(pipe.graph().id(victim)),
+                peers.size());
+    std::printf("  audit: alarms at %zu switch(es) — detected locally\n",
+                r.rejecting.size());
+
+    MutationBatch heal;
+    for (int peer : peers) heal.add_edge(victim, peer);
+    std::printf("  links restored; audit: %s\n\n",
+                pipe.apply(heal).all_accept ? "all switches accept"
+                                            : "ALARM");
   }
 
-  // Failure 3: a stale certificate after the tree was re-rooted.
+  // Event 3: controller failover.  Moving the leader flag re-roots the
+  // certified tree at the new controller — the dynamic analogue of
+  // re-running the prover.
   {
-    const RootedTree other = bfs_tree(net, net.n() / 2);
-    Graph moved = gen::random_connected(48, 0.08, 2026);
-    for (int v = 0; v < moved.n(); ++v) {
-      if (v == other.root) continue;
-      moved.set_edge_label(
-          moved.edge_index(v, other.parent[static_cast<std::size_t>(v)]),
-          SpanningTreeScheme::kTreeEdgeBit);
-    }
-    const RunResult r = engine.run(moved, certificate, scheme.verifier());
-    std::printf("failure 3: tree re-rooted but certificate is stale\n");
-    std::printf("  alarms at %zu switch(es): certificates cannot be "
-                "replayed\n", r.rejecting.size());
+    const int successor = 31;
+    MutationBatch failover;
+    failover.set_node_label(0, 0);
+    failover.set_node_label(successor, schemes::kLeaderFlag);
+    const RunResult r = pipe.apply(failover);
+    std::printf("event 3: controller fails over to switch %llu\n",
+                static_cast<unsigned long long>(
+                    pipe.graph().id(successor)));
+    std::printf("  tree re-rooted (%llu re-rooting(s) so far); audit: %s\n\n",
+                static_cast<unsigned long long>(maintainer->stats().reroots),
+                r.all_accept ? "all switches accept" : "ALARM");
   }
+
+  // Event 4: certificate tampering.  A forged label arrives through the
+  // mutation channel; the maintainer refuses to adopt it and the pipeline
+  // falls back to a full reprove — the audit never trusts repairs.
+  {
+    MutationBatch tamper;
+    tamper.set_proof_label(5, BitString::from_string("10110"));
+    const RunResult r = pipe.apply(tamper);
+    std::printf("event 4: forged certificate injected at switch %llu\n",
+                static_cast<unsigned long long>(pipe.graph().id(5)));
+    std::printf("  maintainer declined (%llu decline(s)), pipeline "
+                "reproved (%llu reprove(s)); audit: %s\n\n",
+                static_cast<unsigned long long>(pipe.stats().declined),
+                static_cast<unsigned long long>(pipe.stats().reproves),
+                r.all_accept ? "all switches accept" : "ALARM");
+  }
+
+  const auto& stats = pipe.stats();
+  const auto& engine_stats = pipe.engine().stats();
+  std::printf("pipeline totals: %llu batches, %llu repaired, %llu "
+              "reproved; engine re-verified %llu switch-audits "
+              "incrementally (%llu full sweeps)\n",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.repaired),
+              static_cast<unsigned long long>(stats.reproves),
+              static_cast<unsigned long long>(engine_stats.nodes_reverified),
+              static_cast<unsigned long long>(engine_stats.full_sweeps));
   return 0;
 }

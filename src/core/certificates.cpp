@@ -26,6 +26,12 @@ void append_tree_cert(BitString& out, const TreeCert& cert) {
   out.append_uint(cert.total, cert.width);
 }
 
+BitString encode_tree_cert(const TreeCert& cert) {
+  BitString out;
+  append_tree_cert(out, cert);
+  return out;
+}
+
 std::optional<TreeCert> read_tree_cert(BitReader& in) {
   TreeCert cert;
   cert.width = static_cast<int>(in.read_uint(kWidthBits));

@@ -36,11 +36,17 @@ struct TreeCert {
   bool is_root = false;       ///< explicit root claim (honest mode also
                               ///< demands dist == 0; truncation makes the
                               ///< dist criterion ambiguous mod 2^b)
+
+  friend bool operator==(const TreeCert&, const TreeCert&) = default;
 };
 
 /// Serialised layout: 6-bit width, 8-bit parent port, root bit, then four
 /// width-bit fields.  Total 15 + 4*width bits = O(log n) honest.
 void append_tree_cert(BitString& out, const TreeCert& cert);
+
+/// One certificate as a standalone proof label (append_tree_cert into a
+/// fresh string); the dynamic maintainers emit repairs through this.
+BitString encode_tree_cert(const TreeCert& cert);
 
 /// Decodes one certificate; nullopt when the label is too short.
 std::optional<TreeCert> read_tree_cert(BitReader& in);

@@ -87,28 +87,53 @@ void DeltaTracker::resync() {
   fingerprint_ = state_fingerprint_of(*graph_, *proof_);
 }
 
-void DeltaTracker::bfs_mark_dirty(int source, std::vector<int>* out) {
-  // One wave per epoch.  Waves from different sources may overlap (the two
-  // endpoints of one edge, several structural ops in one batch); the record
-  // is deduplicated once at the end of apply().
+void DeltaTracker::mark_edge_ball_dirty(int u, int v, std::vector<int>* out) {
+  // The exact affected set for an edge {u,v} mutation: centres within
+  // `horizon` of BOTH endpoints.  A centre's radius-r view is the induced
+  // ball, so the edge appears in it iff both endpoints are members; and a
+  // membership or distance change requires a shortest path through the
+  // edge, which again puts both endpoints inside the ball.  (At horizon 0
+  // the intersection is empty: radius-0 views carry no edges.)  Waves from
+  // several structural ops in one batch may overlap; the record is
+  // deduplicated once at the end of apply().
   const Graph& g = *graph_;
-  ++epoch_;
+  const int first = ++epoch_;
   queue_.clear();
   depth_.clear();
-  queue_.push_back(source);
+  queue_.push_back(u);
   depth_.push_back(0);
-  mark_[static_cast<std::size_t>(source)] = epoch_;
-  out->push_back(source);
+  mark_[static_cast<std::size_t>(u)] = first;
   for (std::size_t head = 0; head < queue_.size(); ++head) {
-    const int u = queue_[head];
-    const int du = depth_[head];
-    if (du == horizon_) continue;
-    for (const HalfEdge& h : g.neighbors(u)) {
-      if (mark_[static_cast<std::size_t>(h.to)] != epoch_) {
-        mark_[static_cast<std::size_t>(h.to)] = epoch_;
+    const int x = queue_[head];
+    const int dx = depth_[head];
+    if (dx == horizon_) continue;
+    for (const HalfEdge& h : g.neighbors(x)) {
+      if (mark_[static_cast<std::size_t>(h.to)] != first) {
+        mark_[static_cast<std::size_t>(h.to)] = first;
         queue_.push_back(h.to);
-        depth_.push_back(du + 1);
-        out->push_back(h.to);
+        depth_.push_back(dx + 1);
+      }
+    }
+  }
+  const int second = ++epoch_;
+  queue_.clear();
+  depth_.clear();
+  queue_.push_back(v);
+  depth_.push_back(0);
+  if (mark_[static_cast<std::size_t>(v)] == first) out->push_back(v);
+  mark_[static_cast<std::size_t>(v)] = second;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const int x = queue_[head];
+    const int dx = depth_[head];
+    if (dx == horizon_) continue;
+    for (const HalfEdge& h : g.neighbors(x)) {
+      if (mark_[static_cast<std::size_t>(h.to)] != second) {
+        if (mark_[static_cast<std::size_t>(h.to)] == first) {
+          out->push_back(h.to);
+        }
+        mark_[static_cast<std::size_t>(h.to)] = second;
+        queue_.push_back(h.to);
+        depth_.push_back(dx + 1);
       }
     }
   }
@@ -148,7 +173,7 @@ void DeltaTracker::apply(const MutationBatch& batch) {
     ~Finalizer() { tracker->finalize_record(*record); }
   } finalizer{this, &record};
 
-  for (const MutationBatch::Op& op : batch.ops_) {
+  for (const MutationBatch::Op& op : batch.ops()) {
     switch (op.kind) {
       case MutationBatch::Kind::kNodeLabel: {
         check_node(op.u);
@@ -198,13 +223,12 @@ void DeltaTracker::apply(const MutationBatch& batch) {
       }
       case MutationBatch::Kind::kAddEdge: {
         Graph& gm = require_mutable();
-        // Dirty both endpoints' balls in the post-mutation graph: any
-        // centre whose view gains the edge (or a shorter path through it)
-        // is within `horizon` of an endpoint afterwards.
+        // Post-mutation intersection of the endpoint balls: a centre's
+        // view gains the edge (or a shorter path through it) iff both
+        // endpoints land inside its ball afterwards.
         gm.add_edge(op.u, op.v, op.label, op.weight);
         fingerprint_ ^= edge_contrib(op.u, op.v, op.label, op.weight);
-        bfs_mark_dirty(op.u, &record.structural_dirty);
-        bfs_mark_dirty(op.v, &record.structural_dirty);
+        mark_edge_ball_dirty(op.u, op.v, &record.structural_dirty);
         break;
       }
       case MutationBatch::Kind::kRemoveEdge: {
@@ -212,13 +236,25 @@ void DeltaTracker::apply(const MutationBatch& batch) {
         check_node(op.v);
         Graph& gm = require_mutable();
         const int e = edge_of(op.u, op.v);
-        // Pre-mutation balls: any centre that could see the edge (or a
-        // path through it) had an endpoint within `horizon` beforehand.
-        bfs_mark_dirty(op.u, &record.structural_dirty);
-        bfs_mark_dirty(op.v, &record.structural_dirty);
+        // Pre-mutation intersection: a centre's view loses the edge (or a
+        // path through it) iff both endpoints sat inside its ball before.
+        mark_edge_ball_dirty(op.u, op.v, &record.structural_dirty);
         fingerprint_ ^= edge_contrib(gc.edge_u(e), gc.edge_v(e),
                                      gc.edge_label(e), gc.edge_weight(e));
         gm.remove_edge(op.u, op.v);
+        break;
+      }
+      case MutationBatch::Kind::kAddNode: {
+        Graph& gm = require_mutable();
+        const int v = gm.add_node(op.id, op.label);
+        p.labels.emplace_back();
+        fingerprint_ ^= node_contrib(v, op.id, op.label);
+        fingerprint_ ^= proof_contrib(v, p.labels.back());
+        mark_.push_back(-1);
+        // The node is isolated, so its ball is itself; attaching edges
+        // later (same batch or not) produces its own structural record.
+        record.added_nodes.push_back(v);
+        record.structural_dirty.push_back(v);
         break;
       }
     }

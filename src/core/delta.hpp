@@ -7,23 +7,28 @@
 // exploitable:
 //
 //   - MutationBatch records an ordered list of mutations (node labels,
-//     edge labels/weights, proof labels, edge insertions/removals);
+//     edge labels/weights, proof labels, edge insertions/removals, node
+//     additions);
 //   - DeltaTracker binds a concrete (Graph, Proof) pair, applies batches
 //     to it, and keeps two artefacts for consumers:
 //       1. a dirty log: per batch, the proof/label epicentres plus — for
-//          structural mutations — the set of centres whose radius-`horizon`
-//          ball could have changed, computed *stepwise* with a BFS on the
-//          graph state at mutation time (pre- and post-mutation for edge
-//          churn).  Stepwise computation is what makes interleaved
-//          add/remove/label sequences sound: a centre whose ball is touched
-//          at any intermediate state lands in some record's dirty set.
+//          structural mutations — the exact set of centres whose
+//          radius-`horizon` ball changes: those within `horizon` of BOTH
+//          endpoints (pre-state for removals, post-state for insertions;
+//          membership and distance changes need a path through the edge,
+//          which puts both endpoints inside the ball).  The sets are
+//          computed *stepwise* with BFS on the graph state at mutation
+//          time, which is what makes interleaved add/remove/label
+//          sequences sound: a centre whose ball is touched at any
+//          intermediate state lands in some record's dirty set.
 //       2. an XOR-homomorphic state fingerprint, updated in O(1) per
 //          mutation, which IncrementalEngine (core/incremental.hpp)
 //          compares against a full recompute to detect out-of-band
 //          mutations and fall back to a full sweep.
 //
-// Only mutations that preserve the node set are supported; growing or
-// shrinking the graph means starting a new tracking session.
+// The node set may grow (add_node appends an isolated node with an empty
+// proof label; follow with add_edge to attach it) but never shrink:
+// removing nodes means starting a new tracking session.
 #ifndef LCP_CORE_DELTA_HPP_
 #define LCP_CORE_DELTA_HPP_
 
@@ -41,33 +46,12 @@ namespace lcp {
 /// An ordered list of mutations against one (Graph, Proof) pair.  Edges are
 /// addressed by their endpoints' dense indices (edge indices are unstable
 /// across removals).  Mutations are applied in recording order.
+///
+/// The op list is readable (ops()): DeltaTracker replays it against the
+/// bound pair, and the dynamic ProofMaintainers (src/dynamic/) replay it
+/// against their shadow state to derive proof repairs.
 class MutationBatch {
  public:
-  void set_node_label(int v, std::uint64_t label) {
-    ops_.push_back(Op{Kind::kNodeLabel, v, -1, label, 0, {}});
-  }
-  void set_edge_label(int u, int v, std::uint64_t label) {
-    ops_.push_back(Op{Kind::kEdgeLabel, u, v, label, 0, {}});
-  }
-  void set_edge_weight(int u, int v, std::int64_t weight) {
-    ops_.push_back(Op{Kind::kEdgeWeight, u, v, 0, weight, {}});
-  }
-  void set_proof_label(int v, BitString bits) {
-    ops_.push_back(Op{Kind::kProofLabel, v, -1, 0, 0, std::move(bits)});
-  }
-  void add_edge(int u, int v, std::uint64_t label = 0,
-                std::int64_t weight = 1) {
-    ops_.push_back(Op{Kind::kAddEdge, u, v, label, weight, {}});
-  }
-  void remove_edge(int u, int v) {
-    ops_.push_back(Op{Kind::kRemoveEdge, u, v, 0, 0, {}});
-  }
-
-  bool empty() const { return ops_.empty(); }
-  std::size_t size() const { return ops_.size(); }
-  void clear() { ops_.clear(); }
-
- private:
   enum class Kind {
     kNodeLabel,
     kEdgeLabel,
@@ -75,18 +59,77 @@ class MutationBatch {
     kProofLabel,
     kAddEdge,
     kRemoveEdge,
+    kAddNode,
   };
   struct Op {
-    Kind kind;
-    int u;
-    int v;  // second endpoint; unused (-1) for node-indexed ops
-    std::uint64_t label;
-    std::int64_t weight;
-    BitString bits;
+    Kind kind = Kind::kNodeLabel;
+    int u = -1;  // node / first endpoint; the new dense index for kAddNode
+                 // is implied (the node count at application time)
+    int v = -1;  // second endpoint; unused for node-indexed ops
+    std::uint64_t label = 0;
+    std::int64_t weight = 0;
+    BitString bits;  // kProofLabel only
+    NodeId id = 0;   // kAddNode only
   };
-  std::vector<Op> ops_;
 
-  friend class DeltaTracker;
+  void set_node_label(int v, std::uint64_t label) {
+    Op& op = push(Kind::kNodeLabel);
+    op.u = v;
+    op.label = label;
+  }
+  void set_edge_label(int u, int v, std::uint64_t label) {
+    Op& op = push(Kind::kEdgeLabel);
+    op.u = u;
+    op.v = v;
+    op.label = label;
+  }
+  void set_edge_weight(int u, int v, std::int64_t weight) {
+    Op& op = push(Kind::kEdgeWeight);
+    op.u = u;
+    op.v = v;
+    op.weight = weight;
+  }
+  void set_proof_label(int v, BitString bits) {
+    Op& op = push(Kind::kProofLabel);
+    op.u = v;
+    op.bits = std::move(bits);
+  }
+  void add_edge(int u, int v, std::uint64_t label = 0,
+                std::int64_t weight = 1) {
+    Op& op = push(Kind::kAddEdge);
+    op.u = u;
+    op.v = v;
+    op.label = label;
+    op.weight = weight;
+  }
+  void remove_edge(int u, int v) {
+    Op& op = push(Kind::kRemoveEdge);
+    op.u = u;
+    op.v = v;
+  }
+  /// Appends an isolated node with the given unique id and input label; its
+  /// proof label starts empty.  Its dense index is the node count at the
+  /// moment the op is applied, so a batch may attach it right away:
+  /// batch.add_node(id); batch.add_edge(g.n(), 0);
+  void add_node(NodeId id, std::uint64_t label = 0) {
+    Op& op = push(Kind::kAddNode);
+    op.label = label;
+    op.id = id;
+  }
+
+  bool empty() const { return ops_.empty(); }
+  std::size_t size() const { return ops_.size(); }
+  void clear() { ops_.clear(); }
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  Op& push(Kind kind) {
+    ops_.emplace_back();
+    ops_.back().kind = kind;
+    return ops_.back();
+  }
+
+  std::vector<Op> ops_;
 };
 
 /// One applied batch, as consumers see it.
@@ -99,11 +142,15 @@ struct DirtyRecord {
   /// Nodes incident to a node-label / edge-label / edge-weight change
   /// (containing centres must re-extract their view).
   std::vector<int> relabeled_nodes;
-  /// Centres whose radius-`horizon` ball may have changed under edge
-  /// insertions/removals, already expanded by the tracker's stepwise BFS
-  /// (sorted, deduplicated).  These centres must re-extract and repair any
-  /// inverted ball index.
+  /// Centres whose radius-`horizon` ball changed under edge insertions/
+  /// removals: those whose ball contains both endpoints, expanded by the
+  /// tracker's stepwise BFS (sorted, deduplicated).  These centres must
+  /// re-extract and repair any inverted ball index.
   std::vector<int> structural_dirty;
+  /// Dense indices of nodes appended by this batch (ascending).  They are
+  /// also members of structural_dirty; consumers with per-node caches must
+  /// grow them before processing the dirty sets.
+  std::vector<int> added_nodes;
 };
 
 /// Binds a (Graph, Proof) pair and applies MutationBatches to it while
@@ -151,7 +198,7 @@ class DeltaTracker {
   static std::uint64_t state_fingerprint_of(const Graph& g, const Proof& p);
 
  private:
-  void bfs_mark_dirty(int source, std::vector<int>* out);
+  void mark_edge_ball_dirty(int u, int v, std::vector<int>* out);
   void finalize_record(DirtyRecord& record);
 
   const Graph* graph_ = nullptr;

@@ -19,6 +19,7 @@ void IncrementalEngine::invalidate() {
   cached_verifier_ = nullptr;
   cached_radius_ = -1;
   cached_graph_fp_ = 0;
+  cached_graph_fp_valid_ = false;
   cache_.clear();
   inverted_.clear();
   verdicts_.clear();
@@ -63,6 +64,7 @@ RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
   cached_verifier_ = &a;
   cached_radius_ = radius;
   cached_graph_fp_ = graph_fp;
+  cached_graph_fp_valid_ = true;
 
   RunResult result;
   extractor_.bind(g);
@@ -182,7 +184,7 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
   // a foreign graph having rebuilt the cache: those verdicts belong to the
   // other graph even when n and radius coincide.
   if (!cache_valid_ || !cache_from_tracker_ || radius != cached_radius_ ||
-      &a != cached_verifier_ || static_cast<int>(verdicts_.size()) != n) {
+      &a != cached_verifier_) {
     return rebuild();
   }
   const auto records = tracker_->records_since(consumed_generation_);
@@ -198,6 +200,24 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
     ++stats_.fallbacks;
     tracker_->resync();
     return rebuild();
+  }
+  // Node additions grow the cache in place.  Every added node sits in its
+  // record's structural_dirty set, so the re-extraction pass below fills
+  // the fresh slots; any size drift the records cannot account for means
+  // the cache belongs to another state.
+  std::size_t added = 0;
+  for (const DirtyRecord* record : *records) {
+    added += record->added_nodes.size();
+  }
+  if (verdicts_.size() + added != static_cast<std::size_t>(n)) {
+    ++stats_.fallbacks;
+    return rebuild();
+  }
+  if (added > 0) {
+    cache_.resize(static_cast<std::size_t>(n));
+    inverted_.resize(static_cast<std::size_t>(n));
+    verdicts_.resize(static_cast<std::size_t>(n), 1);
+    last_proofs_.resize(static_cast<std::size_t>(n));
   }
   if (records->empty()) {
     ++stats_.unchanged_runs;
@@ -254,7 +274,7 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
           p.labels[static_cast<std::size_t>(u)];
     }
   }
-  if (graph_changed) cached_graph_fp_ = graph_fingerprint(g);
+  if (graph_changed) cached_graph_fp_valid_ = false;
   consumed_generation_ = tracker_->generation();
   ++stats_.incremental_runs;
   return result_from_verdicts();
@@ -266,13 +286,13 @@ RunResult IncrementalEngine::run_content_path(const Graph& g, const Proof& p,
   const int radius = a.radius();
   const std::uint64_t fp = graph_fingerprint(g);
 
-  if (overflowed_ && fp == cached_graph_fp_ && radius == cached_radius_ &&
-      &a == cached_verifier_) {
+  if (overflowed_ && cached_graph_fp_valid_ && fp == cached_graph_fp_ &&
+      radius == cached_radius_ && &a == cached_verifier_) {
     ++stats_.full_sweeps;
     return sweep_sequential(g, p, a);
   }
-  if (!cache_valid_ || fp != cached_graph_fp_ || radius != cached_radius_ ||
-      &a != cached_verifier_ ||
+  if (!cache_valid_ || !cached_graph_fp_valid_ || fp != cached_graph_fp_ ||
+      radius != cached_radius_ || &a != cached_verifier_ ||
       static_cast<int>(last_proofs_.size()) != n ||
       static_cast<int>(p.labels.size()) != n) {
     RunResult result = full_sweep(g, p, a, fp);

@@ -16,7 +16,9 @@
 //      epicentres expand the same way but re-extract the view; structural
 //      records carry pre-expanded centre sets (stepwise BFS at mutation
 //      time) whose views are re-extracted and whose inverted-index entries
-//      are repaired.  A state-fingerprint comparison (O(n + m + proof
+//      are repaired; node additions grow the per-node caches in place, so
+//      dynamic workloads can grow the graph without losing the cache.  A
+//      state-fingerprint comparison (O(n + m + proof
 //      bits), skippable via options) detects out-of-band mutations and
 //      falls back to a full sweep, so results stay identical to
 //      DirectEngine's even when the delta contract is violated.
@@ -114,6 +116,10 @@ class IncrementalEngine final : public ExecutionEngine {
   bool cache_from_tracker_ = false;
   int cached_radius_ = -1;
   std::uint64_t cached_graph_fp_ = 0;
+  // Tracker-path structural deltas invalidate the cached graph fingerprint
+  // lazily instead of recomputing O(n + m) per run; a later content-path
+  // run that needs it resweeps.
+  bool cached_graph_fp_valid_ = false;
   std::uint64_t consumed_generation_ = 0;
   std::vector<CachedNodeView> cache_;
   std::vector<std::vector<int>> inverted_;  // node -> containing centres

@@ -1,0 +1,129 @@
+#include "dynamic/coloring_maintainer.hpp"
+
+#include <algorithm>
+
+#include "core/bitstring.hpp"
+
+namespace lcp::dynamic {
+
+GreedyColoringMaintainer::GreedyColoringMaintainer(int k)
+    : k_(k),
+      width_(k <= 1 ? 0
+                    : bit_width_for(static_cast<std::uint64_t>(k - 1))) {}
+
+int GreedyColoringMaintainer::free_color(const Graph& g, int v) const {
+  used_.assign(static_cast<std::size_t>(k_), 0);
+  for (const HalfEdge& h : g.neighbors(v)) {
+    used_[static_cast<std::size_t>(colors_[static_cast<std::size_t>(h.to)])] =
+        1;
+  }
+  for (int c = 0; c < k_; ++c) {
+    if (!used_[static_cast<std::size_t>(c)]) return c;
+  }
+  return -1;
+}
+
+void GreedyColoringMaintainer::set_color(int v, int color) {
+  colors_[static_cast<std::size_t>(v)] = color;
+  if (touched_mark_[static_cast<std::size_t>(v)] != touch_epoch_) {
+    touched_mark_[static_cast<std::size_t>(v)] = touch_epoch_;
+    touched_.push_back(v);
+  }
+}
+
+bool GreedyColoringMaintainer::bind(const Graph& g, const Proof& p) {
+  const int n = g.n();
+  if (static_cast<int>(p.labels.size()) != n) return false;
+  std::vector<int> colors(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    const BitString& label = p.labels[static_cast<std::size_t>(v)];
+    if (label.size() != width_) return false;
+    BitReader r(label);
+    const std::uint64_t color = r.read_uint(width_);
+    if (color >= static_cast<std::uint64_t>(k_)) return false;
+    colors[static_cast<std::size_t>(v)] = static_cast<int>(color);
+  }
+  for (int e = 0; e < g.m(); ++e) {
+    if (colors[static_cast<std::size_t>(g.edge_u(e))] ==
+        colors[static_cast<std::size_t>(g.edge_v(e))]) {
+      return false;
+    }
+  }
+  colors_ = std::move(colors);
+  touched_.clear();
+  touched_mark_.assign(static_cast<std::size_t>(n), 0);
+  touch_epoch_ = 0;
+  return true;
+}
+
+bool GreedyColoringMaintainer::repair(const Graph& g, const Proof& p,
+                                      const MutationBatch& applied,
+                                      MutationBatch* out) {
+  ++touch_epoch_;
+  touched_.clear();
+  // Grow colors_ for every added node up front (placeholder colour 0):
+  // the replay scans final-graph neighbor lists, which may name nodes a
+  // later op in this batch appended.  The real greedy assignment happens
+  // at the op's position in the replay, when prior structure is settled.
+  int next_added = static_cast<int>(colors_.size());
+  for (const MutationBatch::Op& op : applied.ops()) {
+    if (op.kind != MutationBatch::Kind::kAddNode) continue;
+    const int v = static_cast<int>(colors_.size());
+    if (v >= g.n() || g.id(v) != op.id) return false;
+    colors_.push_back(0);
+    touched_mark_.push_back(0);
+  }
+  for (const MutationBatch::Op& op : applied.ops()) {
+    switch (op.kind) {
+      case MutationBatch::Kind::kNodeLabel:
+      case MutationBatch::Kind::kEdgeLabel:
+      case MutationBatch::Kind::kEdgeWeight:
+      case MutationBatch::Kind::kRemoveEdge:
+        break;  // properness only depends on edges existing, never labels
+      case MutationBatch::Kind::kProofLabel:
+        return false;  // out-of-band proof edit
+      case MutationBatch::Kind::kAddNode: {
+        const int v = next_added++;
+        const int c = free_color(g, v);
+        if (c < 0) {
+          ++stats_.declines;
+          return false;
+        }
+        set_color(v, c);
+        break;
+      }
+      case MutationBatch::Kind::kAddEdge: {
+        if (!g.has_edge(op.u, op.v) ||  // removed again later in the batch
+            colors_[static_cast<std::size_t>(op.u)] !=
+                colors_[static_cast<std::size_t>(op.v)]) {
+          break;
+        }
+        int c = free_color(g, op.u);
+        if (c >= 0) {
+          set_color(op.u, c);
+        } else if ((c = free_color(g, op.v)) >= 0) {
+          set_color(op.v, c);
+        } else {
+          ++stats_.declines;
+          return false;
+        }
+        ++stats_.recolored;
+        break;
+      }
+    }
+  }
+  std::sort(touched_.begin(), touched_.end());
+  for (int v : touched_) {
+    BitString bits;
+    bits.append_uint(
+        static_cast<std::uint64_t>(colors_[static_cast<std::size_t>(v)]),
+        width_);
+    if (!(bits == p.labels[static_cast<std::size_t>(v)])) {
+      out->set_proof_label(v, std::move(bits));
+    }
+  }
+  ++stats_.repaired_batches;
+  return true;
+}
+
+}  // namespace lcp::dynamic

@@ -1,0 +1,59 @@
+// Dynamic maintenance of k-colouring certificates (ChromaticLeqKScheme).
+//
+// The proof of "chromatic number <= k" is a proper k-colouring, so proof
+// maintenance is local recolouring: an edge insertion that joins two
+// same-coloured nodes triggers a greedy recolour of one endpoint (first
+// colour unused in its neighbourhood); removals and label changes never
+// break properness.  When both endpoints are saturated the maintainer
+// declines and the pipeline falls back to the scheme's exact
+// (backtracking) prover — the decline path is the interesting boundary:
+// greedy repair handles the steady state, the global prover handles the
+// rare conflicts it cannot.
+#ifndef LCP_DYNAMIC_COLORING_MAINTAINER_HPP_
+#define LCP_DYNAMIC_COLORING_MAINTAINER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/maintainer.hpp"
+
+namespace lcp::dynamic {
+
+struct ColoringMaintainerStats {
+  std::uint64_t repaired_batches = 0;
+  std::uint64_t recolored = 0;  ///< greedy recolourings performed
+  std::uint64_t declines = 0;   ///< conflicts greedy could not resolve
+};
+
+class GreedyColoringMaintainer final : public ProofMaintainer {
+ public:
+  explicit GreedyColoringMaintainer(int k);
+
+  std::string name() const override { return "greedy-coloring"; }
+  bool bind(const Graph& g, const Proof& p) override;
+  bool repair(const Graph& g, const Proof& p, const MutationBatch& applied,
+              MutationBatch* out) override;
+
+  const ColoringMaintainerStats& stats() const { return stats_; }
+
+ private:
+  /// Smallest colour < k unused among v's neighbours, or -1.
+  int free_color(const Graph& g, int v) const;
+  void set_color(int v, int color);
+
+  int k_;
+  int width_;
+  std::vector<int> colors_;
+
+  // Changed-colour set for emission (epoch-marked).
+  std::vector<int> touched_;
+  std::vector<int> touched_mark_;
+  int touch_epoch_ = 0;
+  mutable std::vector<char> used_;  // free_color scratch
+
+  ColoringMaintainerStats stats_;
+};
+
+}  // namespace lcp::dynamic
+
+#endif  // LCP_DYNAMIC_COLORING_MAINTAINER_HPP_

@@ -1,0 +1,134 @@
+#include "dynamic/matching_maintainer.hpp"
+
+namespace lcp::dynamic {
+
+MatchingMaintainer::MatchingMaintainer(std::uint64_t matched_bit)
+    : bit_(matched_bit) {}
+
+std::uint64_t MatchingMaintainer::current_label(const Graph& g, int e) const {
+  const auto it = pending_.find(e);
+  return it != pending_.end() ? it->second : g.edge_label(e);
+}
+
+void MatchingMaintainer::emit(const Graph& g, int u, int v,
+                              std::uint64_t label, MutationBatch* out) {
+  pending_[g.edge_index(u, v)] = label;
+  out->set_edge_label(u, v, label);
+}
+
+void MatchingMaintainer::try_match(const Graph& g, int x, MutationBatch* out) {
+  if (!free_node(x)) return;
+  for (const HalfEdge& h : g.neighbors(x)) {
+    if (free_node(h.to)) {
+      match_[static_cast<std::size_t>(x)] = h.to;
+      match_[static_cast<std::size_t>(h.to)] = x;
+      emit(g, x, h.to, current_label(g, h.edge) | bit_, out);
+      ++stats_.rematches;
+      return;
+    }
+  }
+}
+
+bool MatchingMaintainer::bind(const Graph& g, const Proof& p) {
+  const int n = g.n();
+  if (static_cast<int>(p.labels.size()) != n) return false;
+  std::vector<int> match(static_cast<std::size_t>(n), -1);
+  for (int e = 0; e < g.m(); ++e) {
+    if (!(g.edge_label(e) & bit_)) continue;
+    const int u = g.edge_u(e);
+    const int v = g.edge_v(e);
+    if (match[static_cast<std::size_t>(u)] >= 0 ||
+        match[static_cast<std::size_t>(v)] >= 0) {
+      return false;  // not a matching
+    }
+    match[static_cast<std::size_t>(u)] = v;
+    match[static_cast<std::size_t>(v)] = u;
+  }
+  for (int v = 0; v < n; ++v) {
+    if (match[static_cast<std::size_t>(v)] >= 0) continue;
+    for (const HalfEdge& h : g.neighbors(v)) {
+      if (match[static_cast<std::size_t>(h.to)] < 0) {
+        return false;  // not maximal
+      }
+    }
+  }
+  match_ = std::move(match);
+  return true;
+}
+
+bool MatchingMaintainer::repair(const Graph& g, const Proof& p,
+                               const MutationBatch& applied,
+                               MutationBatch* out) {
+  (void)p;
+  pending_.clear();
+  // Grow match_ for every added node up front: the replay scans
+  // final-graph neighbor lists, which may name nodes a later op in this
+  // batch appended.  New nodes start free; attachments repair themselves.
+  for (const MutationBatch::Op& op : applied.ops()) {
+    if (op.kind != MutationBatch::Kind::kAddNode) continue;
+    const int v = static_cast<int>(match_.size());
+    if (v >= g.n() || g.id(v) != op.id) return false;
+    match_.push_back(-1);
+  }
+  for (const MutationBatch::Op& op : applied.ops()) {
+    switch (op.kind) {
+      case MutationBatch::Kind::kNodeLabel:
+      case MutationBatch::Kind::kEdgeWeight:
+      case MutationBatch::Kind::kProofLabel:
+      case MutationBatch::Kind::kAddNode:
+        break;  // labels/weights/proofs are unread; adds grown above
+
+      case MutationBatch::Kind::kAddEdge: {
+        const int e = g.edge_index(op.u, op.v);
+        if (e < 0) break;  // removed again later in this batch
+        const std::uint64_t label = current_label(g, e);
+        const bool both_free = free_node(op.u) && free_node(op.v);
+        if ((label & bit_) && !both_free) {
+          // The caller inserted a pre-matched edge we cannot accept.
+          emit(g, op.u, op.v, label & ~bit_, out);
+          ++stats_.healed_labels;
+        } else if (both_free) {
+          match_[static_cast<std::size_t>(op.u)] = op.v;
+          match_[static_cast<std::size_t>(op.v)] = op.u;
+          if (!(label & bit_)) emit(g, op.u, op.v, label | bit_, out);
+          ++stats_.direct_matches;
+        }
+        break;
+      }
+      case MutationBatch::Kind::kRemoveEdge: {
+        if (match_[static_cast<std::size_t>(op.u)] != op.v) break;
+        match_[static_cast<std::size_t>(op.u)] = -1;
+        match_[static_cast<std::size_t>(op.v)] = -1;
+        try_match(g, op.u, out);
+        try_match(g, op.v, out);
+        break;
+      }
+      case MutationBatch::Kind::kEdgeLabel: {
+        const int e = g.edge_index(op.u, op.v);
+        if (e < 0) break;  // removed later in this batch
+        const std::uint64_t label = current_label(g, e);
+        const bool ours = match_[static_cast<std::size_t>(op.u)] == op.v;
+        if (ours) {
+          if (!(label & bit_)) {
+            emit(g, op.u, op.v, label | bit_, out);
+            ++stats_.healed_labels;
+          }
+        } else if (label & bit_) {
+          if (free_node(op.u) && free_node(op.v)) {
+            // Adopt the caller's match.
+            match_[static_cast<std::size_t>(op.u)] = op.v;
+            match_[static_cast<std::size_t>(op.v)] = op.u;
+          } else {
+            emit(g, op.u, op.v, label & ~bit_, out);
+            ++stats_.healed_labels;
+          }
+        }
+        break;
+      }
+    }
+  }
+  ++stats_.repaired_batches;
+  return true;
+}
+
+}  // namespace lcp::dynamic

@@ -1,0 +1,65 @@
+// Dynamic maintenance of maximal matchings (MaximalMatchingScheme).
+//
+// The scheme is LCP(0): there is no proof object — the certificate is the
+// solution itself, the kMatchedBit edge labelling.  Maintenance is the
+// classic local repair: removing a matched edge frees both endpoints, each
+// of which greedily rematches with a free neighbour; inserting an edge
+// between two free nodes matches them on the spot.  Both repairs are
+// O(deg) and restore maximality exactly (a free node is only left free
+// after scanning its whole neighbourhood).  Out-of-band edits of the
+// matched bit through set_edge_label are healed: the maintainer either
+// adopts the edit (both endpoints free) or re-emits its own bit, keeping
+// the served solution authoritative.  Repairs are emitted as
+// set_edge_label ops, so the tracker dirty log drives incremental
+// re-verification of the touched balls.
+#ifndef LCP_DYNAMIC_MATCHING_MAINTAINER_HPP_
+#define LCP_DYNAMIC_MATCHING_MAINTAINER_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dynamic/maintainer.hpp"
+
+namespace lcp::dynamic {
+
+struct MatchingMaintainerStats {
+  std::uint64_t repaired_batches = 0;
+  std::uint64_t rematches = 0;      ///< greedy rematches after a removal
+  std::uint64_t direct_matches = 0; ///< free-free edge insertions matched
+  std::uint64_t healed_labels = 0;  ///< out-of-band bit edits reverted
+};
+
+class MatchingMaintainer final : public ProofMaintainer {
+ public:
+  explicit MatchingMaintainer(std::uint64_t matched_bit);
+
+  std::string name() const override { return "maximal-matching"; }
+  bool bind(const Graph& g, const Proof& p) override;
+  bool repair(const Graph& g, const Proof& p, const MutationBatch& applied,
+              MutationBatch* out) override;
+
+  const MatchingMaintainerStats& stats() const { return stats_; }
+
+ private:
+  bool free_node(int v) const {
+    return match_[static_cast<std::size_t>(v)] < 0;
+  }
+  std::uint64_t current_label(const Graph& g, int e) const;
+  void emit(const Graph& g, int u, int v, std::uint64_t label,
+            MutationBatch* out);
+  void try_match(const Graph& g, int x, MutationBatch* out);
+
+  std::uint64_t bit_;
+  std::vector<int> match_;  // partner dense index, -1 when free
+
+  // Labels emitted earlier in the current repair (edge indices are stable
+  // during a repair: the structural batch has already been applied).
+  std::unordered_map<int, std::uint64_t> pending_;
+
+  MatchingMaintainerStats stats_;
+};
+
+}  // namespace lcp::dynamic
+
+#endif  // LCP_DYNAMIC_MATCHING_MAINTAINER_HPP_

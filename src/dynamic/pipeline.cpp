@@ -1,0 +1,67 @@
+#include "dynamic/pipeline.hpp"
+
+#include <utility>
+
+namespace lcp::dynamic {
+
+DynamicPipeline::DynamicPipeline(Graph graph, const Scheme& scheme,
+                                 std::unique_ptr<ProofMaintainer> maintainer,
+                                 IncrementalEngineOptions engine_options)
+    : graph_(std::move(graph)),
+      scheme_(&scheme),
+      maintainer_(std::move(maintainer)),
+      engine_(engine_options) {
+  auto initial = scheme_->prove(graph_);
+  proof_ = initial.has_value() ? std::move(*initial)
+                               : Proof::empty(graph_.n());
+  tracker_ = std::make_unique<DeltaTracker>(graph_, proof_,
+                                            scheme_->verifier().radius());
+  engine_.attach_tracker(tracker_.get());
+  bound_ = maintainer_ != nullptr && maintainer_->bind(graph_, proof_);
+}
+
+DynamicPipeline::~DynamicPipeline() {
+  // The tracker dies with the pipeline; don't leave the engine dangling.
+  engine_.attach_tracker(nullptr);
+}
+
+void DynamicPipeline::reprove() {
+  ++stats_.reproves;
+  auto fresh = scheme_->prove(graph_);
+  if (fresh.has_value()) {
+    MutationBatch diff;
+    diff_proofs_into_batch(proof_, *fresh, &diff);
+    if (!diff.empty()) tracker_->apply(diff);
+  } else {
+    // No-instance: no valid proof exists, so the stale assignment is as
+    // good as any — soundness guarantees a rejection either way.
+    ++stats_.failed_proves;
+  }
+  if (maintainer_ != nullptr) bound_ = maintainer_->bind(graph_, proof_);
+}
+
+RunResult DynamicPipeline::apply(const MutationBatch& batch) {
+  ++stats_.batches;
+  tracker_->apply(batch);
+  bool repaired = false;
+  if (bound_) {
+    MutationBatch repair;
+    if (maintainer_->repair(graph_, proof_, batch, &repair)) {
+      repaired = true;
+      ++stats_.repaired;
+      stats_.repair_ops += repair.size();
+      if (!repair.empty()) tracker_->apply(repair);
+    } else {
+      ++stats_.declined;
+      bound_ = false;
+    }
+  }
+  if (!repaired) reprove();
+  return engine_.run(graph_, proof_, scheme_->verifier());
+}
+
+RunResult DynamicPipeline::verify() {
+  return engine_.run(graph_, proof_, scheme_->verifier());
+}
+
+}  // namespace lcp::dynamic

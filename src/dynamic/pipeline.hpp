@@ -1,0 +1,102 @@
+// The dynamic serving pipeline: mutation -> proof repair -> dirty-ball
+// re-verification, in one apply() call.
+//
+// DynamicPipeline owns a live (Graph, Proof) pair and couples the three
+// dynamic subsystems around it:
+//
+//        MutationBatch
+//             v
+//        DeltaTracker ──────────────── dirty log ───────┐
+//         (applies ops, fingerprints state)             v
+//             v                                  IncrementalEngine
+//        ProofMaintainer ── repair batch ──> DeltaTracker (again)
+//         (patches certificates locally)
+//
+// apply(batch) routes the graph mutations through the tracker, asks the
+// bound ProofMaintainer for a certificate repair (another MutationBatch,
+// also routed through the tracker so the dirty log sees it), and runs the
+// incremental engine — total cost O(|delta| + |dirty balls|) instead of
+// the O(n) reprove + O(n) full sweep of the static pipeline.  When the
+// maintainer declines a batch (or no maintainer is bound), the pipeline
+// falls back to a full reprove through the scheme and tries to rebind.
+//
+// Soundness is never delegated: the engine's verdict is computed by the
+// scheme's own verifier over whatever assignment is current, so a buggy
+// or declined repair can only cost performance (a rejection and a
+// reprove), not a wrong accept.
+#ifndef LCP_DYNAMIC_PIPELINE_HPP_
+#define LCP_DYNAMIC_PIPELINE_HPP_
+
+#include <memory>
+
+#include "core/incremental.hpp"
+#include "core/scheme.hpp"
+#include "dynamic/maintainer.hpp"
+
+namespace lcp::dynamic {
+
+struct DynamicPipelineStats {
+  std::uint64_t batches = 0;
+  std::uint64_t repaired = 0;     ///< batches healed by the maintainer
+  std::uint64_t declined = 0;     ///< maintainer declines
+  std::uint64_t reproves = 0;     ///< full prover invocations
+  std::uint64_t failed_proves = 0;///< reproves on no-instances (stale proof kept)
+  std::uint64_t repair_ops = 0;   ///< total ops across all repair batches
+};
+
+class DynamicPipeline {
+ public:
+  /// Takes ownership of the graph, proves the initial certificate through
+  /// the scheme (a no-instance starts with an empty proof and a rejecting
+  /// verdict), and binds the maintainer.  `scheme` must outlive the
+  /// pipeline; `maintainer` may be null (every batch then reproves).
+  ///
+  /// The engine's per-run state fingerprint check defaults OFF here: the
+  /// pipeline owns the pair and routes every mutation (user batches and
+  /// repairs alike) through its tracker, so the O(n + m) re-hash per
+  /// apply() would only re-verify the pipeline's own invariant.  Callers
+  /// that hand out mutable access to graph()/proof() some other way can
+  /// pass {.verify_state = true} to restore the belt-and-braces check.
+  DynamicPipeline(Graph graph, const Scheme& scheme,
+                  std::unique_ptr<ProofMaintainer> maintainer,
+                  IncrementalEngineOptions engine_options = {
+                      .verify_state = false});
+  ~DynamicPipeline();
+
+  // The tracker holds references into the owned graph/proof.
+  DynamicPipeline(const DynamicPipeline&) = delete;
+  DynamicPipeline& operator=(const DynamicPipeline&) = delete;
+
+  /// Applies the batch, repairs (or reproves) the certificate assignment,
+  /// and returns the incremental verification verdict.
+  RunResult apply(const MutationBatch& batch);
+
+  /// Re-verifies the current state without mutating (cheap: the engine's
+  /// unchanged-state fast path).
+  RunResult verify();
+
+  const Graph& graph() const { return graph_; }
+  const Proof& proof() const { return proof_; }
+  const Scheme& scheme() const { return *scheme_; }
+  DeltaTracker& tracker() { return *tracker_; }
+  IncrementalEngine& engine() { return engine_; }
+  ProofMaintainer* maintainer() { return maintainer_.get(); }
+  bool maintainer_bound() const { return bound_; }
+  const DynamicPipelineStats& stats() const { return stats_; }
+
+ private:
+  void reprove();
+
+  Graph graph_;
+  Proof proof_;
+  const Scheme* scheme_;
+  std::unique_ptr<ProofMaintainer> maintainer_;
+  IncrementalEngine engine_;
+  std::unique_ptr<DeltaTracker> tracker_;
+  bool bound_ = false;
+  DynamicPipelineStats stats_;
+};
+
+}  // namespace lcp::dynamic
+
+#endif  // LCP_DYNAMIC_PIPELINE_HPP_

@@ -1,0 +1,477 @@
+#include "dynamic/tree_maintainer.hpp"
+
+#include <algorithm>
+
+namespace lcp::dynamic {
+
+namespace {
+
+constexpr int kMaxPort = 255;   // parent ports are stored in 8 bits
+constexpr int kMaxWidth = 63;   // field widths are stored in 6 bits
+
+}  // namespace
+
+int TreeCertMaintainer::root_of(int v) const {
+  while (parent_[static_cast<std::size_t>(v)] != v) {
+    v = parent_[static_cast<std::size_t>(v)];
+  }
+  return v;
+}
+
+void TreeCertMaintainer::touch(int v) {
+  if (touched_mark_[static_cast<std::size_t>(v)] != touch_epoch_) {
+    touched_mark_[static_cast<std::size_t>(v)] = touch_epoch_;
+    touched_.push_back(v);
+  }
+}
+
+void TreeCertMaintainer::collect_subtree(int top, std::vector<int>* out) {
+  ++epoch_;
+  out->clear();
+  out->push_back(top);
+  mark_[static_cast<std::size_t>(top)] = epoch_;
+  for (std::size_t head = 0; head < out->size(); ++head) {
+    for (int c : children_[static_cast<std::size_t>((*out)[head])]) {
+      mark_[static_cast<std::size_t>(c)] = epoch_;
+      out->push_back(c);
+    }
+  }
+}
+
+bool TreeCertMaintainer::rebuild_tree(const Graph& g, int new_root,
+                                      int attach_parent) {
+  // BFS from new_root over the tree adjacency (old children + old parent),
+  // restricted to the marked member set.  New parents and distances go to
+  // scratch first: the traversal must keep reading the pre-rebuild links.
+  ++visit_epoch_;
+  auto& order = scratch_order_;
+  order.clear();
+  order.push_back(new_root);
+  visit_[static_cast<std::size_t>(new_root)] = visit_epoch_;
+  new_parent_[static_cast<std::size_t>(new_root)] =
+      attach_parent >= 0 ? attach_parent : new_root;
+  new_dist_[static_cast<std::size_t>(new_root)] =
+      attach_parent >= 0
+          ? certs_[static_cast<std::size_t>(attach_parent)].dist + 1
+          : 0;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int x = order[head];
+    auto step = [&](int y) {
+      if (!marked(y) || visit_[static_cast<std::size_t>(y)] == visit_epoch_) {
+        return;
+      }
+      visit_[static_cast<std::size_t>(y)] = visit_epoch_;
+      new_parent_[static_cast<std::size_t>(y)] = x;
+      new_dist_[static_cast<std::size_t>(y)] =
+          new_dist_[static_cast<std::size_t>(x)] + 1;
+      order.push_back(y);
+    };
+    for (int c : children_[static_cast<std::size_t>(x)]) step(c);
+    step(parent_[static_cast<std::size_t>(x)]);
+  }
+
+  // Commit: rewrite parent/children links and the structural cert fields.
+  for (int x : order) {
+    parent_[static_cast<std::size_t>(x)] =
+        new_parent_[static_cast<std::size_t>(x)];
+    children_[static_cast<std::size_t>(x)].clear();
+  }
+  for (int x : order) {
+    const int p = parent_[static_cast<std::size_t>(x)];
+    if (p != x) children_[static_cast<std::size_t>(p)].push_back(x);
+    TreeCert& c = certs_[static_cast<std::size_t>(x)];
+    c.dist = new_dist_[static_cast<std::size_t>(x)];
+    c.is_root = p == x;
+    c.subtree = 1;
+    touch(x);
+  }
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const int x = order[i];
+    certs_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])]
+        .subtree += certs_[static_cast<std::size_t>(x)].subtree;
+  }
+  for (int x : order) {
+    if (!refresh_port(g, x)) return false;
+  }
+  return true;
+}
+
+void TreeCertMaintainer::patch_subtree_path(int from, std::int64_t delta) {
+  int x = from;
+  while (true) {
+    TreeCert& c = certs_[static_cast<std::size_t>(x)];
+    c.subtree =
+        static_cast<std::uint64_t>(static_cast<std::int64_t>(c.subtree) + delta);
+    touch(x);
+    if (parent_[static_cast<std::size_t>(x)] == x) break;
+    x = parent_[static_cast<std::size_t>(x)];
+  }
+}
+
+void TreeCertMaintainer::set_component_identity(const Graph& g, int root,
+                                                std::uint64_t total) {
+  collect_subtree(root, &scratch_nodes_);
+  const std::uint64_t root_id = g.id(root);
+  for (int x : scratch_nodes_) {
+    TreeCert& c = certs_[static_cast<std::size_t>(x)];
+    if (c.root_id != root_id || c.total != total) {
+      c.root_id = root_id;
+      c.total = total;
+      touch(x);
+    }
+  }
+}
+
+bool TreeCertMaintainer::refresh_port(const Graph& g, int v) {
+  TreeCert& c = certs_[static_cast<std::size_t>(v)];
+  int want = 0;
+  if (parent_[static_cast<std::size_t>(v)] != v) {
+    want = g.port_of(v, parent_[static_cast<std::size_t>(v)]);
+    if (want < 0 || want > kMaxPort) return false;
+  }
+  if (c.parent_port != want) {
+    c.parent_port = want;
+    touch(v);
+  }
+  return true;
+}
+
+bool TreeCertMaintainer::ensure_width(int width) {
+  if (width <= width_) return true;
+  if (width > kMaxWidth) return false;
+  width_ = width;
+  for (int v = 0; v < static_cast<int>(certs_.size()); ++v) {
+    certs_[static_cast<std::size_t>(v)].width = width;
+    touch(v);
+  }
+  return true;
+}
+
+bool TreeCertMaintainer::handle_add_node(const Graph& g,
+                                         const MutationBatch::Op& op) {
+  const int v = static_cast<int>(certs_.size());
+  if (v >= g.n() || g.id(v) != op.id) return false;  // replay out of sync
+  certs_.emplace_back();
+  parent_.push_back(v);
+  children_.emplace_back();
+  mark_.push_back(0);
+  touched_mark_.push_back(0);
+  visit_.push_back(0);
+  new_parent_.push_back(v);
+  new_dist_.push_back(0);
+  TreeCert& c = certs_.back();
+  c.width = width_;
+  c.root_id = op.id;
+  c.dist = 0;
+  c.subtree = 1;
+  c.total = 1;
+  c.parent_port = 0;
+  c.is_root = true;
+  touch(v);
+  const int need =
+      std::max(bit_width_for(op.id),
+               bit_width_for(static_cast<std::uint64_t>(certs_.size())));
+  return ensure_width(need);
+}
+
+bool TreeCertMaintainer::handle_add_edge(const Graph& g, int u, int v) {
+  if (!g.has_edge(u, v)) {
+    // Removed again later in this batch: it cannot serve as a tree link,
+    // and the ports it would have shifted are already back in place.
+    return true;
+  }
+  const int ru = root_of(u);
+  const int rv = root_of(v);
+  if (ru != rv) {
+    ++stats_.merges;
+    // Graft the smaller tree, re-rooted at its endpoint, under the larger.
+    int host = u;
+    int guest = v;
+    int root_guest = rv;
+    int root_host = ru;
+    if (certs_[static_cast<std::size_t>(ru)].subtree <
+        certs_[static_cast<std::size_t>(rv)].subtree) {
+      host = v;
+      guest = u;
+      root_guest = ru;
+      root_host = rv;
+    }
+    collect_subtree(root_guest, &scratch_nodes_);
+    if (!rebuild_tree(g, guest, host)) return false;
+    patch_subtree_path(host,
+                       static_cast<std::int64_t>(scratch_nodes_.size()));
+    // Subtree counters are maintained exactly, so the merged root's
+    // counter IS the new component size; stale totals (splits leave them
+    // untouched, see handle_remove_edge) heal here.
+    const std::uint64_t new_total =
+        certs_[static_cast<std::size_t>(root_host)].subtree;
+    if (!ensure_width(bit_width_for(new_total))) return false;
+    set_component_identity(g, root_host, new_total);
+  }
+  return refresh_port(g, u) && refresh_port(g, v);
+}
+
+bool TreeCertMaintainer::handle_remove_edge(const Graph& g, int u, int v) {
+  int child = -1;
+  int pp = -1;
+  if (parent_[static_cast<std::size_t>(u)] == v) {
+    child = u;
+    pp = v;
+  } else if (parent_[static_cast<std::size_t>(v)] == u) {
+    child = v;
+    pp = u;
+  }
+  if (child >= 0) {
+    // A tree edge: detach the severed subtree, then splice or split.
+    auto& siblings = children_[static_cast<std::size_t>(pp)];
+    siblings.erase(std::find(siblings.begin(), siblings.end(), child));
+    const int old_root = root_of(pp);
+    collect_subtree(child, &scratch_nodes_);
+    const std::int64_t sub =
+        static_cast<std::int64_t>(scratch_nodes_.size());
+    patch_subtree_path(pp, -sub);
+
+    // Replacement search: any graph edge crossing the cut re-connects the
+    // subtree (its outside endpoint is in the same component by
+    // definition of an edge).
+    int rx = -1;
+    int ry = -1;
+    for (int x : scratch_nodes_) {
+      for (const HalfEdge& h : g.neighbors(x)) {
+        if (!marked(h.to)) {
+          rx = x;
+          ry = h.to;
+          break;
+        }
+      }
+      if (rx >= 0) break;
+    }
+    if (rx >= 0) {
+      ++stats_.splices;
+      if (!rebuild_tree(g, rx, ry)) return false;
+      patch_subtree_path(ry, sub);
+      const int new_root = root_of(ry);
+      if (new_root != old_root) {
+        // The replacement crossed into another maintained tree (an edge
+        // added later in this batch, not yet replayed): a merge — the
+        // union's identity comes from the host root's exact counter.
+        ++stats_.merges;
+        set_component_identity(
+            g, new_root, certs_[static_cast<std::size_t>(new_root)].subtree);
+      }
+    } else {
+      ++stats_.splits;
+      // The subtree keeps its internal structure; only the depth origin
+      // and the root flag move.  root_id/total are deliberately left
+      // stale on BOTH sides: a split makes the instance rejectable (the
+      // verifier sees total != subtree at each root, and a severed root
+      // sees a foreign root_id), which is the correct verdict for the
+      // properties this certificate serves — and it keeps a split at
+      // O(|subtree|) instead of O(|component|).  The stale totals heal
+      // at the next merge, where the exact size is the root's subtree
+      // counter; the common churn round trip (cut, then reconnect) ends
+      // with every identity field back at its old value, so the merge
+      // emits nothing for them.
+      const std::uint64_t base =
+          certs_[static_cast<std::size_t>(child)].dist;
+      parent_[static_cast<std::size_t>(child)] = child;
+      for (int x : scratch_nodes_) {
+        certs_[static_cast<std::size_t>(x)].dist -= base;
+        touch(x);
+      }
+      certs_[static_cast<std::size_t>(child)].is_root = true;
+      certs_[static_cast<std::size_t>(child)].parent_port = 0;
+    }
+  }
+  return refresh_port(g, u) && refresh_port(g, v);
+}
+
+void TreeCertMaintainer::handle_node_label(const Graph& g,
+                                           const MutationBatch::Op& op) {
+  if (leader_label_ == 0) return;
+  if (op.label == leader_label_) {
+    leader_ = op.u;
+  } else if (op.u == leader_) {
+    // The tracked leader lost its flag: another node may still carry one.
+    leader_ = g.find_label(leader_label_).value_or(-1);
+  }
+}
+
+bool TreeCertMaintainer::settle_leader(const Graph& g) {
+  if (leader_label_ == 0 || leader_ < 0 || leader_ >= g.n()) return true;
+  if (g.label(leader_) != leader_label_) return true;  // stale track
+  if (parent_[static_cast<std::size_t>(leader_)] == leader_) return true;
+  ++stats_.reroots;
+  const int r0 = root_of(leader_);
+  collect_subtree(r0, &scratch_nodes_);
+  if (!rebuild_tree(g, leader_, -1)) return false;
+  set_component_identity(g, leader_,
+                         certs_[static_cast<std::size_t>(leader_)].subtree);
+  return true;
+}
+
+bool TreeCertMaintainer::repair(const Graph& g, const Proof& p,
+                                const MutationBatch& applied,
+                                MutationBatch* out) {
+  ++touch_epoch_;
+  touched_.clear();
+  // Grow the shadow state for every added node up front: the replay below
+  // scans *final-graph* neighbor lists, which may already name nodes an
+  // op later in the batch appended.  Growth is order-dependent (dense
+  // indices), so the adds are replayed in batch order here.
+  bool ok = true;
+  for (const MutationBatch::Op& op : applied.ops()) {
+    if (op.kind == MutationBatch::Kind::kAddNode && !handle_add_node(g, op)) {
+      return false;
+    }
+  }
+  for (const MutationBatch::Op& op : applied.ops()) {
+    switch (op.kind) {
+      case MutationBatch::Kind::kNodeLabel:
+        handle_node_label(g, op);
+        break;
+      case MutationBatch::Kind::kEdgeLabel:
+      case MutationBatch::Kind::kEdgeWeight:
+        break;  // tree certificates ignore edge data
+      case MutationBatch::Kind::kProofLabel:
+        ok = false;  // out-of-band proof edit: state no longer ours
+        break;
+      case MutationBatch::Kind::kAddEdge:
+        ok = handle_add_edge(g, op.u, op.v);
+        break;
+      case MutationBatch::Kind::kRemoveEdge:
+        ok = handle_remove_edge(g, op.u, op.v);
+        break;
+      case MutationBatch::Kind::kAddNode:
+        break;  // grown in the pre-pass
+    }
+    if (!ok) return false;
+  }
+  if (!settle_leader(g)) return false;
+  // Emit only labels that truly changed: repeated touches along shared
+  // root paths often cancel out.
+  std::sort(touched_.begin(), touched_.end());
+  for (int v : touched_) {
+    BitString bits = encode_tree_cert(certs_[static_cast<std::size_t>(v)]);
+    if (!(bits == p.labels[static_cast<std::size_t>(v)])) {
+      out->set_proof_label(v, std::move(bits));
+      ++stats_.labels_emitted;
+    }
+  }
+  ++stats_.repaired_batches;
+  return true;
+}
+
+bool TreeCertMaintainer::bind(const Graph& g, const Proof& p) {
+  const int n = g.n();
+  if (static_cast<int>(p.labels.size()) != n) return false;
+
+  std::vector<TreeCert> certs(static_cast<std::size_t>(n));
+  int width = -1;
+  for (int v = 0; v < n; ++v) {
+    BitReader r(p.labels[static_cast<std::size_t>(v)]);
+    const auto cert = read_tree_cert(r);
+    if (!cert.has_value() || !r.exhausted()) return false;
+    if (width < 0) width = cert->width;
+    if (cert->width != width) return false;
+    certs[static_cast<std::size_t>(v)] = *cert;
+  }
+  if (n > 0) {
+    if (width <= 0 || width > kMaxWidth) return false;
+    if (bit_width_for(static_cast<std::uint64_t>(n)) > width) return false;
+  } else {
+    width = 1;
+  }
+
+  // Derive parents and check the per-node honest-mode invariants.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    if (bit_width_for(g.id(v)) > width) return false;
+    const TreeCert& c = certs[static_cast<std::size_t>(v)];
+    if (c.is_root) {
+      if (c.dist != 0 || c.root_id != g.id(v) || c.total != c.subtree) {
+        return false;
+      }
+      parent[static_cast<std::size_t>(v)] = v;
+    } else {
+      if (c.dist == 0) return false;
+      if (c.parent_port < 0 || c.parent_port >= g.degree(v)) return false;
+      parent[static_cast<std::size_t>(v)] =
+          g.neighbor_at_port(v, c.parent_port);
+    }
+  }
+
+  // Forest shape: BFS down from every root must cover each node once, with
+  // consistent distances and a uniform component identity.
+  std::vector<std::vector<int>> children(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    if (parent[static_cast<std::size_t>(v)] != v) {
+      children[static_cast<std::size_t>(parent[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
+  }
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    if (parent[static_cast<std::size_t>(r)] != r) continue;
+    const std::size_t start = order.size();
+    order.push_back(r);
+    seen[static_cast<std::size_t>(r)] = 1;
+    for (std::size_t head = start; head < order.size(); ++head) {
+      for (int c : children[static_cast<std::size_t>(order[head])]) {
+        if (seen[static_cast<std::size_t>(c)]) return false;
+        seen[static_cast<std::size_t>(c)] = 1;
+        order.push_back(c);
+      }
+    }
+    const std::uint64_t size =
+        static_cast<std::uint64_t>(order.size() - start);
+    for (std::size_t i = start; i < order.size(); ++i) {
+      const int x = order[i];
+      const TreeCert& c = certs[static_cast<std::size_t>(x)];
+      if (c.total != size || c.root_id != g.id(r)) return false;
+      if (x != r &&
+          certs[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])]
+                  .dist +
+                  1 !=
+              c.dist) {
+        return false;
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (!seen[static_cast<std::size_t>(v)]) return false;  // a parent cycle
+  }
+
+  // Subtree counters: every node's counter is 1 + its children's sum.
+  std::vector<std::uint64_t> sum(static_cast<std::size_t>(n), 1);
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const int x = order[i];
+    if (certs[static_cast<std::size_t>(x)].subtree !=
+        sum[static_cast<std::size_t>(x)]) {
+      return false;
+    }
+    const int px = parent[static_cast<std::size_t>(x)];
+    if (px != x) sum[static_cast<std::size_t>(px)] += sum[static_cast<std::size_t>(x)];
+  }
+
+  width_ = width;
+  certs_ = std::move(certs);
+  parent_ = std::move(parent);
+  children_ = std::move(children);
+  mark_.assign(static_cast<std::size_t>(n), 0);
+  epoch_ = 0;
+  touched_.clear();
+  touched_mark_.assign(static_cast<std::size_t>(n), 0);
+  touch_epoch_ = 0;
+  visit_.assign(static_cast<std::size_t>(n), 0);
+  visit_epoch_ = 0;
+  new_parent_.assign(static_cast<std::size_t>(n), 0);
+  new_dist_.assign(static_cast<std::size_t>(n), 0);
+  leader_ =
+      leader_label_ != 0 ? g.find_label(leader_label_).value_or(-1) : -1;
+  return true;
+}
+
+}  // namespace lcp::dynamic

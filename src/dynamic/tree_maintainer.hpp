@@ -1,0 +1,126 @@
+// Dynamic maintenance of spanning-tree certificates (Section 5.1).
+//
+// TreeCertMaintainer shadows a spanning *forest* of the live graph — one
+// rooted tree per connected component — with exact tree distances, subtree
+// counters and parent ports at every node.  The identity fields (root_id,
+// total) are maintained *lazily*: exact on every connected yes-instance,
+// but deliberately left stale across splits, where the instance is
+// rejectable anyway (each root then sees total != subtree); the next merge
+// re-derives the exact size from the root's subtree counter.  That keeps
+// every repair proportional to the affected subtree, not the component.
+// Each graph mutation is repaired locally:
+//
+//   - non-tree edge add/remove: only the endpoints' parent ports shift;
+//   - edge add joining two components: the smaller tree is re-rooted at
+//     its endpoint and grafted under the other (subtree counters patched
+//     along the host path; totals unified across the merged component);
+//   - tree edge removal: the severed subtree searches its cut for a
+//     replacement edge and is re-rooted onto it — an O(|subtree|) splice,
+//     with subtree counters patched along both root paths — or, when no
+//     replacement exists, becomes its own component (a split);
+//   - leader movement (when following a leader label): the component is
+//     re-rooted at the new leader, the dynamic analogue of the
+//     LeaderElectionScheme prover;
+//   - node addition: the new node becomes a fresh singleton component.
+//
+// Repairs are emitted as set_proof_label ops, so the DeltaTracker dirty
+// log drives the incremental verifier over exactly the balls whose
+// certificates moved.  The maintainer only adopts honest (untruncated)
+// certificates: truncated schemes are attack material, not serving state.
+#ifndef LCP_DYNAMIC_TREE_MAINTAINER_HPP_
+#define LCP_DYNAMIC_TREE_MAINTAINER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/certificates.hpp"
+#include "dynamic/maintainer.hpp"
+
+namespace lcp::dynamic {
+
+struct TreeMaintainerStats {
+  std::uint64_t repaired_batches = 0;
+  std::uint64_t labels_emitted = 0;   ///< proof labels actually rewritten
+  std::uint64_t merges = 0;           ///< component merges (edge adds)
+  std::uint64_t splices = 0;          ///< tree-edge removals healed by a cut edge
+  std::uint64_t splits = 0;           ///< tree-edge removals with no replacement
+  std::uint64_t reroots = 0;          ///< leader-driven re-rootings
+};
+
+class TreeCertMaintainer final : public ProofMaintainer {
+ public:
+  /// `leader_label` != 0 makes the maintainer re-root a component at any
+  /// node whose input label is set to that value (the LeaderElectionScheme
+  /// prover's root choice); 0 ignores node labels (ParityScheme-style
+  /// free-root certificates).
+  explicit TreeCertMaintainer(std::uint64_t leader_label = 0)
+      : leader_label_(leader_label) {}
+
+  std::string name() const override { return "tree-cert"; }
+  bool bind(const Graph& g, const Proof& p) override;
+  bool repair(const Graph& g, const Proof& p, const MutationBatch& applied,
+              MutationBatch* out) override;
+
+  const TreeMaintainerStats& stats() const { return stats_; }
+
+ private:
+  int root_of(int v) const;
+  void touch(int v);
+  /// Collects the subtree hanging below `top` (inclusive) into `out` and
+  /// marks its members in the current epoch.
+  void collect_subtree(int top, std::vector<int>* out);
+  bool marked(int v) const {
+    return mark_[static_cast<std::size_t>(v)] == epoch_;
+  }
+  /// Re-roots the tree whose members are marked in the current epoch (the
+  /// preceding collect_subtree wave) at `new_root` and, when
+  /// `attach_parent` >= 0, grafts it below that (outside) node.  Rewrites
+  /// parent/children/dist/subtree/parent_port/is_root for every member;
+  /// root_id and total are the caller's business.  False on a port
+  /// overflowing the certificate encoding.
+  bool rebuild_tree(const Graph& g, int new_root, int attach_parent);
+  /// Adds `delta` to the subtree counters of `from` and its ancestors.
+  void patch_subtree_path(int from, std::int64_t delta);
+  /// Sets root_id/total over the component of `root` (collected fresh).
+  void set_component_identity(const Graph& g, int root, std::uint64_t total);
+  bool refresh_port(const Graph& g, int v);
+  /// Grows every certificate to `width` bits (honest re-encode) when the
+  /// current width is too narrow for a new id or node count.
+  bool ensure_width(int width);
+
+  bool handle_add_node(const Graph& g, const MutationBatch::Op& op);
+  bool handle_add_edge(const Graph& g, int u, int v);
+  bool handle_remove_edge(const Graph& g, int u, int v);
+  void handle_node_label(const Graph& g, const MutationBatch::Op& op);
+  /// After the op replay: if the tracked leader is alive but not the root
+  /// of its tree (it moved, or a merge attached its tree under a foreign
+  /// root), re-root its component at it.
+  bool settle_leader(const Graph& g);
+
+  std::uint64_t leader_label_ = 0;
+  int leader_ = -1;  // a node carrying leader_label_, -1 when none known
+  int width_ = 0;
+  std::vector<TreeCert> certs_;
+  std::vector<int> parent_;  // parent_[root] == root
+  std::vector<std::vector<int>> children_;
+
+  // Scratch: epoch marks for subtree collection, touched-set for emission,
+  // rebuild_tree's BFS state (new parents/dists committed after traversal).
+  std::vector<int> mark_;
+  int epoch_ = 0;
+  std::vector<int> touched_;
+  std::vector<int> touched_mark_;
+  int touch_epoch_ = 0;
+  std::vector<int> scratch_nodes_;
+  std::vector<int> scratch_order_;
+  std::vector<int> visit_;
+  int visit_epoch_ = 0;
+  std::vector<int> new_parent_;
+  std::vector<std::uint64_t> new_dist_;
+
+  TreeMaintainerStats stats_;
+};
+
+}  // namespace lcp::dynamic
+
+#endif  // LCP_DYNAMIC_TREE_MAINTAINER_HPP_

@@ -4,12 +4,14 @@
 // ball-boundary cases.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/delta.hpp"
 #include "core/incremental.hpp"
 #include "graph/generators.hpp"
 #include "lower/gluing.hpp"
+#include "schemes/lcp_const.hpp"
 #include "schemes/tree_certified.hpp"
 
 namespace lcp {
@@ -101,30 +103,115 @@ TEST(DeltaTracker, DirtyRecordsNameEpicentres) {
   EXPECT_EQ((*records)[0]->relabeled_nodes, std::vector<int>{5});
   EXPECT_TRUE((*records)[0]->structural_dirty.empty());
 
-  // Structural mutation: removing {2,3} dirties everything within
-  // horizon 2 of either endpoint in the pre-removal graph = all six nodes.
+  // Structural mutation: removing {2,3} dirties exactly the centres whose
+  // radius-2 ball contains BOTH endpoints in the pre-removal graph —
+  // ball(2) = {0..4} intersected with ball(3) = {1..5}.  Nodes 0 and 5
+  // see only one endpoint, so their views cannot change.
   MutationBatch structural;
   structural.remove_edge(2, 3);
   tracker.apply(structural);
   const auto after = tracker.records_since(1);
   ASSERT_TRUE(after.has_value());
   ASSERT_EQ(after->size(), 1u);
-  EXPECT_EQ((*after)[0]->structural_dirty,
-            (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ((*after)[0]->structural_dirty, (std::vector<int>{1, 2, 3, 4}));
 
-  // Closing the far ends: post-mutation balls of radius 2 around 0
-  // ({0,1,2,4,5}) and around 5 ({0,1,3,4,5}) — union is again everything.
+  // Closing the far ends: post-mutation radius-2 balls around 0
+  // ({0,1,2,4,5}) and around 5 ({0,1,3,4,5}) intersect in {0,1,4,5};
+  // nodes 2 and 3 cannot see the new edge.
   MutationBatch add;
   add.add_edge(0, 5);
   tracker.apply(add);
   const auto third = tracker.records_since(2);
   ASSERT_TRUE(third.has_value());
-  EXPECT_EQ((*third)[0]->structural_dirty,
-            (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ((*third)[0]->structural_dirty, (std::vector<int>{0, 1, 4, 5}));
 
   EXPECT_EQ(tracker.records_since(3)->size(), 0u);
   EXPECT_EQ(tracker.state_fingerprint(),
             DeltaTracker::state_fingerprint_of(g, p));
+}
+
+TEST(DeltaTracker, AddNodeGrowsPairAndFingerprint) {
+  Graph g = gen::path(4);
+  Proof p = Proof::empty(4);
+  DeltaTracker tracker(g, p, 2);
+
+  // An isolated addition, then an attach of the fresh index in one batch.
+  MutationBatch batch;
+  batch.add_node(100, 3);
+  batch.add_edge(4, 1);
+  tracker.apply(batch);
+
+  EXPECT_EQ(g.n(), 5);
+  EXPECT_EQ(g.id(4), 100u);
+  EXPECT_EQ(g.label(4), 3u);
+  EXPECT_TRUE(g.has_edge(4, 1));
+  ASSERT_EQ(p.labels.size(), 5u);
+  EXPECT_TRUE(p.labels[4].empty());
+  EXPECT_EQ(tracker.state_fingerprint(),
+            DeltaTracker::state_fingerprint_of(g, p));
+
+  const auto records = tracker.records_since(0);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0]->added_nodes, std::vector<int>{4});
+  // The new node is structurally dirty, as is everything within horizon 2
+  // of the attach endpoints.
+  const auto& dirty = (*records)[0]->structural_dirty;
+  EXPECT_TRUE(std::find(dirty.begin(), dirty.end(), 4) != dirty.end());
+  EXPECT_TRUE(std::find(dirty.begin(), dirty.end(), 1) != dirty.end());
+
+  // Duplicate ids are refused mid-batch, leaving the applied prefix
+  // consistent.
+  MutationBatch dup;
+  dup.add_node(100);
+  EXPECT_THROW(tracker.apply(dup), std::invalid_argument);
+  EXPECT_EQ(tracker.state_fingerprint(),
+            DeltaTracker::state_fingerprint_of(g, p));
+}
+
+TEST(IncrementalEngine, NodeAdditionsKeepCacheIncremental) {
+  // Bipartiteness on a growing even cycle: append two nodes and reclose
+  // the cycle, which keeps the property true and the proof extendable.
+  const schemes::BipartiteScheme scheme;
+  Graph g = gen::cycle(8);
+  Proof p = *scheme.prove(g);
+  DeltaTracker tracker(g, p, scheme.verifier().radius());
+  IncrementalEngine engine;
+  const TrackerAttachment attachment(engine, tracker);
+
+  EXPECT_TRUE(engine.run(g, p, scheme.verifier()).all_accept);
+  EXPECT_EQ(engine.stats().full_sweeps, 1u);
+
+  NodeId next = g.max_id() + 1;
+  for (int round = 0; round < 4; ++round) {
+    const int n = g.n();
+    MutationBatch grow;
+    grow.remove_edge(n - 1, 0);
+    grow.add_node(next++);
+    grow.add_node(next++);
+    grow.add_edge(n - 1, n);
+    grow.add_edge(n, n + 1);
+    grow.add_edge(n + 1, 0);
+    // Colour the two fresh nodes consistently with their cycle position.
+    BitString even, odd;
+    even.append_bit(false);
+    odd.append_bit(true);
+    grow.set_proof_label(n, p.labels[static_cast<std::size_t>(n - 1)].bit(0)
+                                ? even
+                                : odd);
+    grow.set_proof_label(n + 1,
+                         p.labels[0].bit(0) ? even : odd);
+    tracker.apply(grow);
+
+    const RunResult got = engine.run(g, p, scheme.verifier());
+    const RunResult want = sweep_sequential(g, p, scheme.verifier());
+    EXPECT_EQ(got.all_accept, want.all_accept) << "round " << round;
+    EXPECT_EQ(got.rejecting, want.rejecting) << "round " << round;
+    EXPECT_TRUE(got.all_accept) << "round " << round;
+  }
+  // Every growth round was served from the cache, not a resweep.
+  EXPECT_EQ(engine.stats().full_sweeps, 1u);
+  EXPECT_EQ(engine.stats().incremental_runs, 4u);
 }
 
 TEST(DeltaTracker, ProofOnlySessionRejectsGraphMutations) {

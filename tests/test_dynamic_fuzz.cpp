@@ -1,0 +1,236 @@
+// Randomized dynamic-maintenance fuzz: after every maintained batch the
+// pipeline's verdict must be bit-identical to a fresh stateless
+// DirectEngine sweep over the maintained assignment, must equal the
+// scheme's ground truth (accept iff the property holds), and — whenever
+// the property holds — a scheme-regenerated proof must be fully accepted
+// too, pinning the maintained assignment to the same acceptance class as
+// the static prover's.  The tree stream is steered to cross component
+// merges, splits, splices, re-rootings, node additions, and the decline/
+// reprove fallback; the suite runs under ASan+UBSan in CI.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "algo/matching.hpp"
+#include "core/engine.hpp"
+#include "dynamic/coloring_maintainer.hpp"
+#include "dynamic/matching_maintainer.hpp"
+#include "dynamic/pipeline.hpp"
+#include "dynamic/tree_maintainer.hpp"
+#include "graph/generators.hpp"
+#include "schemes/chromatic.hpp"
+#include "schemes/matching_schemes.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+using dynamic::DynamicPipeline;
+
+/// The three-way equivalence checked after every batch.
+void check_step(DynamicPipeline& pipe, const RunResult& got, int step) {
+  DirectEngine direct({/*cache_views=*/false});
+  const RunResult want =
+      direct.run(pipe.graph(), pipe.proof(), pipe.scheme().verifier());
+  ASSERT_EQ(got.all_accept, want.all_accept) << "step " << step;
+  ASSERT_EQ(got.rejecting, want.rejecting) << "step " << step;
+
+  const bool holds = pipe.scheme().holds(pipe.graph());
+  ASSERT_EQ(got.all_accept, holds) << "step " << step;
+  if (holds) {
+    const auto fresh = pipe.scheme().prove(pipe.graph());
+    ASSERT_TRUE(fresh.has_value()) << "step " << step;
+    const RunResult regen =
+        direct.run(pipe.graph(), *fresh, pipe.scheme().verifier());
+    ASSERT_TRUE(regen.all_accept) << "step " << step;
+    ASSERT_EQ(got.rejecting, regen.rejecting) << "step " << step;
+  }
+}
+
+int pick_node(std::mt19937& rng, const Graph& g) {
+  return std::uniform_int_distribution<int>(0, g.n() - 1)(rng);
+}
+
+/// A uniformly random absent pair, or {-1, -1} when the graph is dense.
+std::pair<int, int> pick_absent_edge(std::mt19937& rng, const Graph& g) {
+  for (int tries = 0; tries < 32; ++tries) {
+    const int u = pick_node(rng, g);
+    const int v = pick_node(rng, g);
+    if (u != v && !g.has_edge(u, v)) return {u, v};
+  }
+  return {-1, -1};
+}
+
+std::pair<int, int> pick_present_edge(std::mt19937& rng, const Graph& g) {
+  if (g.m() == 0) return {-1, -1};
+  const int e = std::uniform_int_distribution<int>(0, g.m() - 1)(rng);
+  return {g.edge_u(e), g.edge_v(e)};
+}
+
+TEST(DynamicFuzz, TreeCertificatesUnderChurn) {
+  const schemes::LeaderElectionScheme scheme;
+  Graph g0 = gen::random_connected(24, 0.08, 20260730);
+  g0.set_label(0, schemes::kLeaderFlag);
+  DynamicPipeline pipe(
+      std::move(g0), scheme,
+      std::make_unique<dynamic::TreeCertMaintainer>(schemes::kLeaderFlag));
+  ASSERT_TRUE(pipe.maintainer_bound());
+
+  std::mt19937 rng(99);
+  int leader = 0;
+  NodeId next_id = pipe.graph().max_id() + 1;
+  for (int step = 0; step < 150; ++step) {
+    const Graph& g = pipe.graph();
+    MutationBatch batch;
+    const int roll = std::uniform_int_distribution<int>(0, 99)(rng);
+    if (roll < 34) {
+      const auto [u, v] = pick_present_edge(rng, g);
+      if (u >= 0) batch.remove_edge(u, v);
+    } else if (roll < 70) {
+      const auto [u, v] = pick_absent_edge(rng, g);
+      if (u >= 0) batch.add_edge(u, v);
+    } else if (roll < 80) {
+      const int v = pick_node(rng, g);
+      if (v != leader) {
+        batch.set_node_label(leader, 0);
+        batch.set_node_label(v, schemes::kLeaderFlag);
+        leader = v;
+      }
+    } else if (roll < 88) {
+      // Node growth, sometimes with an edge op BEFORE the add in the same
+      // batch: the maintainer's replay then scans final-graph neighbor
+      // lists that name the not-yet-grown node.
+      if (roll < 82) {
+        const auto [u, v] = pick_present_edge(rng, g);
+        if (u >= 0) batch.remove_edge(u, v);
+      }
+      batch.add_node(next_id++);
+      if (roll < 84) batch.add_edge(g.n(), pick_node(rng, g));
+    } else if (roll < 96) {
+      // Remove-then-re-add inside one batch, plus an extra removal.
+      const auto [u, v] = pick_present_edge(rng, g);
+      if (u >= 0) {
+        batch.remove_edge(u, v);
+        batch.add_edge(u, v);
+      }
+      const auto [a, b] = pick_present_edge(rng, g);
+      if (a >= 0 && !(a == u && b == v) && !(a == v && b == u)) {
+        batch.remove_edge(a, b);
+      }
+    } else {
+      // Out-of-band proof tamper: forces the decline/reprove fallback.
+      batch.set_proof_label(pick_node(rng, g),
+                            BitString::from_string("110"));
+    }
+    if (batch.empty()) continue;
+    const RunResult r = pipe.apply(batch);
+    check_step(pipe, r, step);
+  }
+
+  // The stream must have crossed the interesting structural events.
+  const auto& stats =
+      static_cast<dynamic::TreeCertMaintainer*>(pipe.maintainer())->stats();
+  EXPECT_GT(stats.merges, 0u);
+  EXPECT_GT(stats.splits, 0u);
+  EXPECT_GT(stats.splices, 0u);
+  EXPECT_GT(stats.reroots, 0u);
+  EXPECT_GT(pipe.stats().repaired, 60u);
+  EXPECT_GT(pipe.stats().declined, 0u);
+}
+
+TEST(DynamicFuzz, GreedyColoringUnderChurn) {
+  const int k = 4;
+  const schemes::ChromaticLeqKScheme scheme(k);
+  DynamicPipeline pipe(gen::random_graph(22, 0.15, 11),
+                       scheme,
+                       std::make_unique<dynamic::GreedyColoringMaintainer>(k));
+  ASSERT_TRUE(pipe.maintainer_bound());
+
+  std::mt19937 rng(7);
+  NodeId next_id = pipe.graph().max_id() + 1;
+  for (int step = 0; step < 120; ++step) {
+    const Graph& g = pipe.graph();
+    MutationBatch batch;
+    const int roll = std::uniform_int_distribution<int>(0, 99)(rng);
+    if (roll < 45) {
+      const auto [u, v] = pick_absent_edge(rng, g);
+      if (u >= 0) batch.add_edge(u, v);
+    } else if (roll < 85) {
+      const auto [u, v] = pick_present_edge(rng, g);
+      if (u >= 0) batch.remove_edge(u, v);
+    } else {
+      // Sometimes a conflict-prone insertion precedes the growth in the
+      // same batch, exercising replay against a not-yet-grown node.
+      if (roll < 92) {
+        const auto [u, v] = pick_absent_edge(rng, g);
+        if (u >= 0) batch.add_edge(u, v);
+      }
+      batch.add_node(next_id++);
+      batch.add_edge(g.n(), pick_node(rng, g));
+    }
+    if (batch.empty()) continue;
+    const RunResult r = pipe.apply(batch);
+    check_step(pipe, r, step);
+  }
+  EXPECT_GT(pipe.stats().repaired, 90u);
+}
+
+TEST(DynamicFuzz, MaximalMatchingUnderChurn) {
+  const schemes::MaximalMatchingScheme scheme;
+  Graph g0 = gen::random_graph(26, 0.12, 5);
+  const std::vector<bool> matched = greedy_maximal_matching(g0);
+  for (int e = 0; e < g0.m(); ++e) {
+    if (matched[static_cast<std::size_t>(e)]) {
+      g0.set_edge_label(e, schemes::MaximalMatchingScheme::kMatchedBit);
+    }
+  }
+  DynamicPipeline pipe(std::move(g0), scheme,
+                       std::make_unique<dynamic::MatchingMaintainer>(
+                           schemes::MaximalMatchingScheme::kMatchedBit));
+  ASSERT_TRUE(pipe.maintainer_bound());
+
+  std::mt19937 rng(13);
+  NodeId next_id = pipe.graph().max_id() + 1;
+  for (int step = 0; step < 120; ++step) {
+    const Graph& g = pipe.graph();
+    MutationBatch batch;
+    const int roll = std::uniform_int_distribution<int>(0, 99)(rng);
+    if (roll < 40) {
+      const auto [u, v] = pick_present_edge(rng, g);
+      if (u >= 0) batch.remove_edge(u, v);
+    } else if (roll < 75) {
+      const auto [u, v] = pick_absent_edge(rng, g);
+      if (u >= 0) batch.add_edge(u, v);
+    } else if (roll < 90) {
+      // Out-of-band toggle of the matched bit: must be healed or adopted.
+      const auto [u, v] = pick_present_edge(rng, g);
+      if (u >= 0) {
+        const int e = g.edge_index(u, v);
+        batch.set_edge_label(
+            u, v,
+            g.edge_label(e) ^ schemes::MaximalMatchingScheme::kMatchedBit);
+      }
+    } else {
+      // A removal first frees endpoints whose rematch scan then sees the
+      // not-yet-grown node in its final-graph neighbor list.
+      if (roll < 93) {
+        const auto [u, v] = pick_present_edge(rng, g);
+        if (u >= 0) batch.remove_edge(u, v);
+      }
+      batch.add_node(next_id++);
+      if (roll < 95) batch.add_edge(g.n(), pick_node(rng, g));
+    }
+    if (batch.empty()) continue;
+    const RunResult r = pipe.apply(batch);
+    // The maintainer always repairs, so the matching stays maximal and
+    // every node accepts at every step.
+    EXPECT_TRUE(r.all_accept) << "step " << step;
+    check_step(pipe, r, step);
+  }
+  EXPECT_EQ(pipe.stats().reproves, 0u);
+  EXPECT_EQ(pipe.stats().repaired, pipe.stats().batches);
+}
+
+}  // namespace
+}  // namespace lcp
