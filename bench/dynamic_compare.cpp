@@ -19,6 +19,9 @@
 //                  worst case for tree certificates (every dist changes).
 //   matching-churn: maximal matching under the same link churn; repairs
 //                  are O(deg) label patches.
+//   churn-stream:  the bench/churn_stream.hpp generator — preferential-
+//                  attachment growth + sliding-window link expiry — over
+//                  the leader-election forest.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -31,6 +34,7 @@
 #include <vector>
 
 #include "algo/matching.hpp"
+#include "churn_stream.hpp"
 #include "core/engine.hpp"
 #include "dynamic/matching_maintainer.hpp"
 #include "dynamic/pipeline.hpp"
@@ -215,6 +219,32 @@ StreamTiming leader_reroot_workload(int n, int iterations) {
       iterations, mutate);
 }
 
+StreamTiming churn_stream_workload(int n, int iterations) {
+  // The ROADMAP's churn-stream generator (bench/churn_stream.hpp):
+  // preferential-attachment growth plus sliding-window link expiry over a
+  // leader-election forest — growth, merges, splits and window expiries in
+  // one realistic stream rather than uniform remove/re-add.
+  static const schemes::LeaderElectionScheme scheme;
+  Graph g = gen::random_connected(n, 2.0 / n, 9191);
+  g.set_label(0, schemes::kLeaderFlag);
+  auto stream = std::make_shared<bench::ChurnStream>(
+      bench::ChurnStream::Options{.grow_probability = 0.5,
+                                  .attach_edges = 2,
+                                  .churn_edges = std::max(2, n / 2000),
+                                  .window = 10,
+                                  .seed = 321});
+  auto mutate = [stream](int it, const Graph& g2, MutationBatch* batch) {
+    stream->next(it, g2, batch);
+  };
+  return time_stream(
+      "churn-stream-leader", g, scheme,
+      [] {
+        return std::make_unique<dynamic::TreeCertMaintainer>(
+            schemes::kLeaderFlag);
+      },
+      iterations, mutate);
+}
+
 StreamTiming matching_churn_workload(int n, int iterations) {
   static const schemes::MaximalMatchingScheme scheme;
   Graph g = gen::random_connected(n, 2.0 / n, 7777);
@@ -284,6 +314,7 @@ int main(int argc, char** argv) {
   rows.push_back(edge_churn_workload(n, iterations));
   rows.push_back(leader_reroot_workload(n, iterations));
   rows.push_back(matching_churn_workload(n, iterations));
+  rows.push_back(churn_stream_workload(n, iterations));
 
   std::printf("%-18s %8s %8s %6s | %12s %12s %9s\n", "stream", "n", "m",
               "iters", "maintain", "reprove", "speedup");

@@ -11,6 +11,11 @@
 //                  (<= 1% of labels mutated per iteration).
 //   edge-churn:    grid bipartiteness; each iteration removes a handful of
 //                  edges and re-adds the previous iteration's removals.
+//   edge-churn-r2: the same structural churn under a radius-2 verifier
+//                  (13-node diamond balls): extraction dominates, the
+//                  regime view patching targets.
+//   edge-relabel-r2: label-only churn at radius 2 — every delta patches in
+//                  place, the flagship for View::apply_delta.
 //   exhaustive:    exists_accepted_proof on a small odd cycle (the
 //                  odometer loop mutates 1-2 labels per candidate).
 #include <algorithm>
@@ -45,6 +50,7 @@ struct LoopTiming {
   double direct_cached_ms = -1;
   double parallel_ms = -1;
   double incremental_ms = -1;
+  double incremental_nopatch_ms = -1;  // PR 3 config: re-extract dirty balls
   double incremental_noverify_ms = -1;
   long long checksum_direct = -1;  // total rejecting nodes over the loop
 };
@@ -105,6 +111,8 @@ LoopTiming time_loop(const std::string& name, const Graph& graph,
   t.parallel_ms = timed(parallel, false);
   IncrementalEngine incremental;
   t.incremental_ms = timed(incremental, false);
+  IncrementalEngine nopatch({.patch_views = false});
+  t.incremental_nopatch_ms = timed(nopatch, false);
   IncrementalEngine noverify({.verify_state = false});
   t.incremental_noverify_ms = timed(noverify, false);
   return t;
@@ -140,15 +148,9 @@ LoopTiming proof_tamper_workload(int n, int iterations) {
                    static_cast<double>(2 * flips) / n, mutate);
 }
 
-LoopTiming edge_churn_workload(int n, int iterations) {
-  const schemes::BipartiteScheme scheme;
-  const int side = std::max(3, static_cast<int>(std::lround(std::sqrt(n))));
-  const Graph g = gen::grid(side, side);
-  const Proof honest = *scheme.prove(g);
-  const int churn = std::max(1, g.n() / 400);
-
-  // Iteration it removes `churn` pseudo-random existing edges and re-adds
-  // the ones removed in iteration it-1 (labels/weights are default).
+/// Shared churn schedule: iteration it removes `churn` pseudo-random
+/// existing edges and re-adds the ones removed in iteration it-1.
+auto make_churn_mutator(int churn) {
   auto pick = [](std::mt19937& rng, const Graph& host, int count,
                  std::vector<std::pair<int, int>>* out) {
     for (int i = 0; i < count && host.m() > 1; ++i) {
@@ -158,8 +160,8 @@ LoopTiming edge_churn_workload(int n, int iterations) {
     }
   };
   auto removed = std::make_shared<std::vector<std::pair<int, int>>>();
-  auto mutate = [pick, churn, removed](int it, const Graph& host,
-                                       const Proof&, MutationBatch& batch) {
+  return [pick, churn, removed](int it, const Graph& host, const Proof&,
+                                MutationBatch& batch) {
     if (it == 0) removed->clear();  // the loop replays once per engine
     for (const auto& [u, v] : *removed) batch.add_edge(u, v);
     removed->clear();
@@ -173,11 +175,86 @@ LoopTiming edge_churn_workload(int n, int iterations) {
       removed->emplace_back(u, v);
     }
   };
+}
+
+LoopTiming edge_churn_workload(int n, int iterations) {
+  const schemes::BipartiteScheme scheme;
+  const int side = std::max(3, static_cast<int>(std::lround(std::sqrt(n))));
+  const Graph g = gen::grid(side, side);
+  const Proof honest = *scheme.prove(g);
+  const int churn = std::max(1, g.n() / 400);
+
   LoopTiming t = time_loop("attack-loop-edge-churn", g, honest,
                            scheme.verifier(), iterations,
                            scheme.verifier().radius(),
-                           static_cast<double>(2 * churn) / g.n(), mutate);
+                           static_cast<double>(2 * churn) / g.n(),
+                           make_churn_mutator(churn));
   return t;
+}
+
+/// Radius-2 views, O(deg) verdicts: 1-bit 2-colouring checked on the
+/// centre's incident edges only.  Shared by both r2 workloads so they
+/// measure the same predicate.
+const LambdaVerifier& two_hop_bipartite_verifier() {
+  static const LambdaVerifier verifier(2, [](const View& v) {
+    const BitString& mine = v.proof_of(v.center);
+    if (mine.size() != 1) return false;
+    for (const HalfEdge& h : v.ball.neighbors(v.center)) {
+      const BitString& other = v.proof_of(h.to);
+      if (other.size() != 1 || other.bit(0) == mine.bit(0)) return false;
+    }
+    return true;
+  });
+  return verifier;
+}
+
+LoopTiming edge_relabel_r2_workload(int n, int iterations) {
+  // Label churn under the radius-2 verifier: every iteration rewrites the
+  // labels of ~0.5% of the edges (think weights/capacities flapping while
+  // the topology holds still — the dominant churn in serving systems, and
+  // exactly what MatchingMaintainer's matched-bit repairs look like).  An
+  // edge relabel never moves any ball frontier, so the patched path
+  // rewrites two words per containing view and re-verifies only views that
+  // actually CONTAIN the edge, where the PR 3 path re-extracted every ball
+  // containing either endpoint.  This is the patching flagship row.
+  const schemes::BipartiteScheme scheme;
+  const int side = std::max(3, static_cast<int>(std::lround(std::sqrt(n))));
+  const Graph g = gen::grid(side, side);
+  const Proof honest = *scheme.prove(g);
+  const int churn = std::max(1, g.m() / 400);
+  auto mutate = [churn](int it, const Graph& host, const Proof&,
+                        MutationBatch& batch) {
+    std::mt19937 rng(static_cast<std::uint32_t>(104729 * it + 31));
+    for (int i = 0; i < churn; ++i) {
+      std::uniform_int_distribution<int> edge(0, host.m() - 1);
+      const int e = edge(rng);
+      batch.set_edge_label(host.edge_u(e), host.edge_v(e), rng() % 2);
+    }
+  };
+  const LambdaVerifier& two_hop = two_hop_bipartite_verifier();
+  return time_loop("attack-loop-edge-relabel-r2", g, honest, two_hop,
+                   iterations, two_hop.radius(),
+                   static_cast<double>(2 * churn) / g.n(), mutate);
+}
+
+LoopTiming edge_churn_r2_workload(int n, int iterations) {
+  // The same grid churn under a RADIUS-2 verifier: views are the 13-node
+  // diamond balls, so extraction — not verdict evaluation — dominates the
+  // dirty-ball path.  This is the regime view patching targets: interior
+  // edges splice in place and only frontier-crossing changes re-extract.
+  // (At radius 1 on a triangle-free grid every dirty ball IS an endpoint
+  // ball whose membership changes, so there is nothing to patch — the r1
+  // row above stays as the continuity baseline.)
+  const schemes::BipartiteScheme scheme;
+  const int side = std::max(3, static_cast<int>(std::lround(std::sqrt(n))));
+  const Graph g = gen::grid(side, side);
+  const Proof honest = *scheme.prove(g);
+  const int churn = std::max(1, g.n() / 200);
+  const LambdaVerifier& two_hop = two_hop_bipartite_verifier();
+  return time_loop("attack-loop-edge-churn-r2", g, honest, two_hop,
+                   iterations, two_hop.radius(),
+                   static_cast<double>(2 * churn) / g.n(),
+                   make_churn_mutator(churn));
 }
 
 double time_exhaustive(ExecutionEngine& engine, const Graph& g,
@@ -216,6 +293,8 @@ LoopTiming exhaustive_workload() {
   t.parallel_ms = time_exhaustive(parallel, g, two_col);
   IncrementalEngine incremental;
   t.incremental_ms = time_exhaustive(incremental, g, two_col);
+  IncrementalEngine nopatch({.patch_views = false});
+  t.incremental_nopatch_ms = time_exhaustive(nopatch, g, two_col);
   IncrementalEngine noverify({.verify_state = false});
   t.incremental_noverify_ms = time_exhaustive(noverify, g, two_col);
   t.checksum_direct = 0;
@@ -235,18 +314,23 @@ void print_json(std::FILE* out, const std::vector<LoopTiming>& rows) {
         "     \"mutated_fraction_per_iteration\": %.4f,\n"
         "     \"timings_ms\": {\"direct\": %.3f, \"direct_cached\": %.3f, "
         "\"parallel\": %.3f, \"incremental\": %.3f, "
+        "\"incremental_nopatch\": %.3f, "
         "\"incremental_noverify\": %.3f},\n",
         t.name.c_str(), t.n, t.m, t.iterations, t.mutated_fraction,
         t.direct_ms, t.direct_cached_ms, t.parallel_ms, t.incremental_ms,
-        t.incremental_noverify_ms);
+        t.incremental_nopatch_ms, t.incremental_noverify_ms);
     std::fprintf(
         out,
         "     \"speedup_vs_direct\": {\"direct_cached\": %.2f, "
         "\"parallel\": %.2f, \"incremental\": %.2f, "
-        "\"incremental_noverify\": %.2f}}%s\n",
+        "\"incremental_nopatch\": %.2f, "
+        "\"incremental_noverify\": %.2f},\n"
+        "     \"patching_speedup\": %.2f}%s\n",
         t.direct_ms / t.direct_cached_ms, t.direct_ms / t.parallel_ms,
         t.direct_ms / t.incremental_ms,
+        t.direct_ms / t.incremental_nopatch_ms,
         t.direct_ms / t.incremental_noverify_ms,
+        t.incremental_nopatch_ms / t.incremental_ms,
         i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -264,20 +348,27 @@ int main(int argc, char** argv) {
   std::vector<LoopTiming> rows;
   rows.push_back(proof_tamper_workload(n, iterations));
   rows.push_back(edge_churn_workload(n, iterations));
+  rows.push_back(edge_churn_r2_workload(n, iterations));
+  rows.push_back(edge_relabel_r2_workload(n, iterations));
   rows.push_back(exhaustive_workload());
 
-  std::printf("%-26s %8s %6s | %10s %10s %10s %10s %10s\n", "workload", "n",
-              "iters", "direct", "cached", "parallel", "increm", "noverify");
+  std::printf("%-26s %8s %6s | %10s %10s %10s %10s %10s %10s\n", "workload",
+              "n", "iters", "direct", "cached", "parallel", "increm",
+              "nopatch", "noverify");
   for (const LoopTiming& t : rows) {
-    std::printf("%-26s %8d %6d | %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
-                t.name.c_str(), t.n, t.iterations, t.direct_ms,
-                t.direct_cached_ms, t.parallel_ms, t.incremental_ms,
-                t.incremental_noverify_ms);
+    std::printf(
+        "%-26s %8d %6d | %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms %8.1fms\n",
+        t.name.c_str(), t.n, t.iterations, t.direct_ms, t.direct_cached_ms,
+        t.parallel_ms, t.incremental_ms, t.incremental_nopatch_ms,
+        t.incremental_noverify_ms);
     std::printf("%-26s speedup vs direct: cached %.2fx, parallel %.2fx, "
-                "incremental %.2fx (noverify %.2fx)\n",
+                "incremental %.2fx (nopatch %.2fx, noverify %.2fx); "
+                "patching %.2fx over nopatch\n",
                 "", t.direct_ms / t.direct_cached_ms,
                 t.direct_ms / t.parallel_ms, t.direct_ms / t.incremental_ms,
-                t.direct_ms / t.incremental_noverify_ms);
+                t.direct_ms / t.incremental_nopatch_ms,
+                t.direct_ms / t.incremental_noverify_ms,
+                t.incremental_nopatch_ms / t.incremental_ms);
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -292,7 +383,8 @@ int main(int argc, char** argv) {
   // Negative timings mean an engine disagreed with the direct checksum.
   for (const LoopTiming& t : rows) {
     if (t.direct_ms < 0 || t.direct_cached_ms < 0 || t.parallel_ms < 0 ||
-        t.incremental_ms < 0 || t.incremental_noverify_ms < 0) {
+        t.incremental_ms < 0 || t.incremental_nopatch_ms < 0 ||
+        t.incremental_noverify_ms < 0) {
       std::fprintf(stderr, "verdict mismatch in workload %s\n",
                    t.name.c_str());
       return 1;

@@ -1,0 +1,153 @@
+#include "core/ball_store.hpp"
+
+#include <utility>
+
+namespace lcp {
+
+void refresh_ball_proofs(BallPtr& slot, const Proof& p) {
+  const CachedNodeView& ball = *slot;
+  std::size_t first = ball.host.size();
+  for (std::size_t i = 0; i < ball.host.size(); ++i) {
+    if (!(ball.view.proofs[i] ==
+          p.labels[static_cast<std::size_t>(ball.host[i])])) {
+      first = i;
+      break;
+    }
+  }
+  if (first == ball.host.size()) return;  // identical proofs: keep sharing
+  CachedNodeView& mine = exclusive_ball(slot);
+  for (std::size_t i = first; i < mine.host.size(); ++i) {
+    mine.view.proofs[i] = p.labels[static_cast<std::size_t>(mine.host[i])];
+  }
+}
+
+BallStore::Entry* BallStore::find_locked(std::uint64_t fingerprint,
+                                         int radius) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->fingerprint == fingerprint && it->radius == radius) {
+      entries_.splice(entries_.begin(), entries_, it);
+      return &entries_.front();
+    }
+  }
+  return nullptr;
+}
+
+void BallStore::evict_to_budget_locked(std::size_t incoming_entries) {
+  while (!entries_.empty() &&
+         (entries_.size() + incoming_entries > options_.max_entries ||
+          ball_nodes_ > options_.max_ball_nodes)) {
+    ball_nodes_ -= entries_.back().ball_nodes;
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+bool BallStore::lookup(std::uint64_t fingerprint, int radius,
+                       std::vector<BallPtr>* out, std::size_t* ball_nodes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = find_locked(fingerprint, radius);
+  if (entry == nullptr) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *out = entry->balls;  // shared ownership, not a deep copy
+  if (ball_nodes != nullptr) *ball_nodes = entry->ball_nodes;
+  return true;
+}
+
+BallPtr BallStore::lookup_ball(std::uint64_t fingerprint, int radius,
+                               int node) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Entry* entry = find_locked(fingerprint, radius);
+  if (entry == nullptr || node < 0 ||
+      node >= static_cast<int>(entry->balls.size())) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return entry->balls[static_cast<std::size_t>(node)];
+}
+
+bool BallStore::publish(std::uint64_t fingerprint, int radius,
+                        std::vector<BallPtr> balls, std::size_t ball_nodes) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (ball_nodes > options_.max_ball_nodes) {
+    ++stats_.rejected;
+    if (uncacheable_.size() >= 4) uncacheable_.erase(uncacheable_.begin());
+    uncacheable_.push_back(Uncacheable{fingerprint, radius});
+    return false;
+  }
+  if (Entry* existing = find_locked(fingerprint, radius); existing != nullptr) {
+    ball_nodes_ -= existing->ball_nodes;
+    existing->ball_nodes = ball_nodes;
+    existing->balls = std::move(balls);
+    ball_nodes_ += ball_nodes;
+  } else {
+    evict_to_budget_locked(/*incoming_entries=*/1);
+    Entry entry;
+    entry.fingerprint = fingerprint;
+    entry.radius = radius;
+    entry.ball_nodes = ball_nodes;
+    entry.balls = std::move(balls);
+    ball_nodes_ += ball_nodes;
+    entries_.push_front(std::move(entry));
+  }
+  ++stats_.publishes;
+  // The new entry may itself push the total over the ball budget; never
+  // evict the entry just published (it is at the front).
+  while (entries_.size() > 1 && ball_nodes_ > options_.max_ball_nodes) {
+    ball_nodes_ -= entries_.back().ball_nodes;
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+bool BallStore::contains(std::uint64_t fingerprint, int radius) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.fingerprint == fingerprint && entry.radius == radius) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void BallStore::mark_uncacheable(std::uint64_t fingerprint, int radius) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (uncacheable_.size() >= 4) uncacheable_.erase(uncacheable_.begin());
+  uncacheable_.push_back(Uncacheable{fingerprint, radius});
+}
+
+bool BallStore::uncacheable(std::uint64_t fingerprint, int radius) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const Uncacheable& u : uncacheable_) {
+    if (u.fingerprint == fingerprint && u.radius == radius) return true;
+  }
+  return false;
+}
+
+void BallStore::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  ball_nodes_ = 0;
+  uncacheable_.clear();
+}
+
+BallStoreStats BallStore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t BallStore::entry_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t BallStore::ball_nodes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ball_nodes_;
+}
+
+}  // namespace lcp

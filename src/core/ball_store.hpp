@@ -1,0 +1,150 @@
+// The shared ball store: a refcounted, copy-on-write cache of extracted
+// radius-r balls, keyed on (graph fingerprint, radius, node).
+//
+// Every engine that caches views used to keep a private copy (DirectEngine's
+// LRU, IncrementalEngine's per-node cache), so a warm ParallelEngine or
+// DirectEngine sweep did nothing for a subsequently attached incremental
+// engine.  The BallStore factors that storage out: engines publish the balls
+// they extract and adopt the balls other engines published, sharing the
+// underlying CachedNodeView objects by shared_ptr instead of copying them.
+//
+// Sharing is safe because of a copy-on-write contract: a CachedNodeView
+// reachable from more than one owner (the store plus any engine working set)
+// is immutable; all mutation goes through exclusive_ball(), which clones the
+// ball exactly when it is shared.  Two engines working off one store
+// therefore never observe each other's in-flight proof refreshes or view
+// patches — each first mutation diverges the mutating engine's copy, and the
+// store keeps the pristine snapshot until it is evicted or republished.
+// tests/test_ball_store.cpp pins these semantics.
+//
+// The store is thread-compatible: all operations take an internal mutex, so
+// engines on different threads may share one store (the balls they receive
+// are immutable-while-shared per the contract above).
+#ifndef LCP_CORE_BALL_STORE_HPP_
+#define LCP_CORE_BALL_STORE_HPP_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/proof.hpp"
+#include "core/view.hpp"
+
+namespace lcp {
+
+/// One node's materialised view plus the host dense index of each ball
+/// node (host[i] belongs to ball node i); the view-caching engines use it
+/// to refresh proof labels without re-extraction.
+struct CachedNodeView {
+  View view;
+  std::vector<int> host;
+};
+
+/// Shared handle to a cached ball.  By contract a ball reachable from more
+/// than one owner is immutable; mutate only through exclusive_ball().
+using BallPtr = std::shared_ptr<CachedNodeView>;
+
+/// Copy-on-write access: returns a mutable reference to the slot's ball,
+/// cloning it first when the slot shares ownership with anyone else (the
+/// store, another engine).  A use_count of 1 means no other owner can reach
+/// the object, so in-place mutation is invisible to third parties.
+inline CachedNodeView& exclusive_ball(BallPtr& slot) {
+  if (slot.use_count() != 1) {
+    slot = std::make_shared<CachedNodeView>(*slot);
+  }
+  return *slot;
+}
+
+/// Rewrites the ball's proof labels from `p` (via the host index map).
+/// COW-aware and lazy: the ball is cloned only when some label actually
+/// differs, so adopting a shared ball under an identical proof costs
+/// nothing but the comparison.
+void refresh_ball_proofs(BallPtr& slot, const Proof& p);
+
+struct BallStoreOptions {
+  /// Evict least-recently-used entries when the summed ball sizes across
+  /// all cached (graph, radius) entries exceed this bound.
+  std::size_t max_ball_nodes = std::size_t{1} << 22;
+  /// Number of distinct (graph, radius) entries kept.
+  std::size_t max_entries = 4;
+};
+
+struct BallStoreStats {
+  std::uint64_t hits = 0;        ///< lookups that returned a full entry
+  std::uint64_t misses = 0;      ///< lookups that found nothing
+  std::uint64_t publishes = 0;   ///< entries accepted into the store
+  std::uint64_t evictions = 0;   ///< entries dropped for the budget
+  std::uint64_t rejected = 0;    ///< publishes refused (over cap / marked)
+};
+
+/// The store proper: (graph fingerprint, radius) -> one BallPtr per node,
+/// LRU-evicted under a ball-node budget.  Graphs whose ball sum exceeds the
+/// budget on their own are remembered as uncacheable so engines stop
+/// re-offering them.
+class BallStore {
+ public:
+  explicit BallStore(BallStoreOptions options = {}) : options_(options) {}
+
+  BallStore(const BallStore&) = delete;
+  BallStore& operator=(const BallStore&) = delete;
+
+  /// Fetches the full per-node ball vector for (fingerprint, radius) into
+  /// `out` (and the entry's summed ball sizes into `ball_nodes` when
+  /// non-null).  Returns false — and counts a miss — when absent.
+  bool lookup(std::uint64_t fingerprint, int radius,
+              std::vector<BallPtr>* out, std::size_t* ball_nodes = nullptr);
+
+  /// Single-ball fetch for (fingerprint, radius, node); nullptr when the
+  /// entry is absent or the node is out of range.  Counts a hit or miss.
+  BallPtr lookup_ball(std::uint64_t fingerprint, int radius, int node);
+
+  /// Installs (or replaces) the entry, taking shared ownership of the
+  /// balls.  `ball_nodes` is the caller-computed sum of ball sizes (used
+  /// for eviction accounting).  Returns false when the entry alone exceeds
+  /// the budget — the pair is then marked uncacheable instead.
+  bool publish(std::uint64_t fingerprint, int radius,
+               std::vector<BallPtr> balls, std::size_t ball_nodes);
+
+  /// True when the entry is resident.  No LRU update, no counters; used by
+  /// producers to skip redundant publishes.
+  bool contains(std::uint64_t fingerprint, int radius) const;
+
+  /// Marks the pair as not worth caching (its balls blow the budget).
+  void mark_uncacheable(std::uint64_t fingerprint, int radius);
+  bool uncacheable(std::uint64_t fingerprint, int radius) const;
+
+  void clear();
+
+  BallStoreStats stats() const;
+  std::size_t entry_count() const;
+  std::size_t ball_nodes() const;
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    int radius = -1;
+    std::size_t ball_nodes = 0;
+    std::vector<BallPtr> balls;
+  };
+
+  /// Requires mutex_ held.  Moves the found entry to the front (LRU).
+  Entry* find_locked(std::uint64_t fingerprint, int radius);
+  void evict_to_budget_locked(std::size_t incoming_entries);
+
+  BallStoreOptions options_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  // most recently used first
+  std::size_t ball_nodes_ = 0;
+  struct Uncacheable {
+    std::uint64_t fingerprint = 0;
+    int radius = -1;
+  };
+  std::vector<Uncacheable> uncacheable_;
+  BallStoreStats stats_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_BALL_STORE_HPP_

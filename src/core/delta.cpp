@@ -182,6 +182,8 @@ void DeltaTracker::apply(const MutationBatch& batch) {
         gm.set_label(op.u, op.label);
         fingerprint_ ^= node_contrib(op.u, gc.id(op.u), op.label);
         record.relabeled_nodes.push_back(op.u);
+        record.deltas.push_back(ViewDelta{ViewDelta::Kind::kNodeLabel, op.u,
+                                          -1, op.label, 0});
         break;
       }
       case MutationBatch::Kind::kEdgeLabel: {
@@ -196,6 +198,8 @@ void DeltaTracker::apply(const MutationBatch& batch) {
                                      gc.edge_weight(e));
         record.relabeled_nodes.push_back(op.u);
         record.relabeled_nodes.push_back(op.v);
+        record.deltas.push_back(ViewDelta{ViewDelta::Kind::kEdgeLabel, op.u,
+                                          op.v, op.label, 0});
         break;
       }
       case MutationBatch::Kind::kEdgeWeight: {
@@ -210,6 +214,8 @@ void DeltaTracker::apply(const MutationBatch& batch) {
                                      gc.edge_label(e), op.weight);
         record.relabeled_nodes.push_back(op.u);
         record.relabeled_nodes.push_back(op.v);
+        record.deltas.push_back(ViewDelta{ViewDelta::Kind::kEdgeWeight, op.u,
+                                          op.v, 0, op.weight});
         break;
       }
       case MutationBatch::Kind::kProofLabel: {
@@ -229,6 +235,8 @@ void DeltaTracker::apply(const MutationBatch& batch) {
         gm.add_edge(op.u, op.v, op.label, op.weight);
         fingerprint_ ^= edge_contrib(op.u, op.v, op.label, op.weight);
         mark_edge_ball_dirty(op.u, op.v, &record.structural_dirty);
+        record.deltas.push_back(ViewDelta{ViewDelta::Kind::kAddEdge, op.u,
+                                          op.v, op.label, op.weight});
         break;
       }
       case MutationBatch::Kind::kRemoveEdge: {
@@ -242,6 +250,8 @@ void DeltaTracker::apply(const MutationBatch& batch) {
         fingerprint_ ^= edge_contrib(gc.edge_u(e), gc.edge_v(e),
                                      gc.edge_label(e), gc.edge_weight(e));
         gm.remove_edge(op.u, op.v);
+        record.deltas.push_back(
+            ViewDelta{ViewDelta::Kind::kRemoveEdge, op.u, op.v, 0, 0});
         break;
       }
       case MutationBatch::Kind::kAddNode: {
@@ -255,6 +265,8 @@ void DeltaTracker::apply(const MutationBatch& batch) {
         // later (same batch or not) produces its own structural record.
         record.added_nodes.push_back(v);
         record.structural_dirty.push_back(v);
+        record.deltas.push_back(
+            ViewDelta{ViewDelta::Kind::kAddNode, v, -1, op.label, 0});
         break;
       }
     }

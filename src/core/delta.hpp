@@ -39,6 +39,7 @@
 
 #include "core/bitstring.hpp"
 #include "core/proof.hpp"
+#include "core/view.hpp"
 #include "graph/graph.hpp"
 
 namespace lcp {
@@ -151,6 +152,13 @@ struct DirtyRecord {
   /// also members of structural_dirty; consumers with per-node caches must
   /// grow them before processing the dirty sets.
   std::vector<int> added_nodes;
+  /// The batch's graph mutations in application order (proof flips are
+  /// omitted — proof_nodes carries them, and proofs refresh from the final
+  /// state).  Consumers holding cached views replay these through
+  /// View::apply_delta to patch balls in place instead of re-extracting;
+  /// the sorted dirty sets above remain the source of truth for consumers
+  /// that do not patch.
+  std::vector<ViewDelta> deltas;
 };
 
 /// Binds a (Graph, Proof) pair and applies MutationBatches to it while

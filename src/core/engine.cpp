@@ -1,11 +1,9 @@
 #include "core/engine.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <condition_variable>
 #include <exception>
 #include <functional>
-#include <mutex>
+#include <limits>
 #include <thread>
 #include <utility>
 
@@ -74,6 +72,33 @@ void DirectEngine::evict_to_budget(std::size_t incoming_entries) {
   }
 }
 
+RunResult DirectEngine::run_from_entry(CacheEntry& entry, const Proof& p,
+                                       const LocalVerifier& a) {
+  // Cache hit: the balls are unchanged, only proof labels move.  The
+  // views are all materialised, so the verifier gets one batched call.
+  // refresh_ball_proofs is copy-on-write: balls still shared with a
+  // BallStore (or another adopter) are cloned on their first refresh and
+  // untouched when the stored proofs already match.
+  const int n = static_cast<int>(entry.views.size());
+  RunResult result;
+  batch_views_.resize(static_cast<std::size_t>(n));
+  batch_out_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    BallPtr& cached = entry.views[static_cast<std::size_t>(v)];
+    refresh_ball_proofs(cached, p);
+    batch_views_[static_cast<std::size_t>(v)] = &cached->view;
+  }
+  a.accept_batch(batch_views_.data(), static_cast<std::size_t>(n),
+                 batch_out_.data());
+  for (int v = 0; v < n; ++v) {
+    if (!batch_out_[static_cast<std::size_t>(v)]) {
+      result.all_accept = false;
+      result.rejecting.push_back(v);
+    }
+  }
+  return result;
+}
+
 RunResult DirectEngine::run(const Graph& g, const Proof& p,
                             const LocalVerifier& a) {
   const int n = g.n();
@@ -91,27 +116,29 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
     }
     if (CacheEntry* entry = find_entry(fingerprint, radius);
         entry != nullptr && static_cast<int>(entry->views.size()) == n) {
-      // Cache hit: the balls are unchanged, only proof labels move.  The
-      // views are all materialised, so the verifier gets one batched call.
-      batch_views_.resize(static_cast<std::size_t>(n));
-      batch_out_.resize(static_cast<std::size_t>(n));
-      for (int v = 0; v < n; ++v) {
-        CachedNodeView& cached = entry->views[static_cast<std::size_t>(v)];
-        for (std::size_t i = 0; i < cached.host.size(); ++i) {
-          cached.view.proofs[i] =
-              p.labels[static_cast<std::size_t>(cached.host[i])];
-        }
-        batch_views_[static_cast<std::size_t>(v)] = &cached.view;
+      return run_from_entry(*entry, p, a);
+    }
+    if (options_.store != nullptr &&
+        options_.store->uncacheable(fingerprint, radius)) {
+      return sweep_sequential(g, p, a);
+    }
+    if (options_.store != nullptr) {
+      // Read-through: adopt a warm sweep another engine published.  The
+      // pointers are shared, not copied — COW in run_from_entry diverges
+      // exactly the balls whose proofs differ.
+      CacheEntry adopted;
+      if (options_.store->lookup(fingerprint, radius, &adopted.views,
+                                 &adopted.ball_nodes) &&
+          static_cast<int>(adopted.views.size()) == n &&
+          adopted.ball_nodes <= options_.max_cached_ball_nodes) {
+        adopted.fingerprint = fingerprint;
+        adopted.radius = radius;
+        evict_to_budget(/*incoming_entries=*/1);
+        cached_ball_nodes_ += adopted.ball_nodes;
+        cache_.push_front(std::move(adopted));
+        evict_to_budget(/*incoming_entries=*/0);
+        return run_from_entry(cache_.front(), p, a);
       }
-      a.accept_batch(batch_views_.data(), static_cast<std::size_t>(n),
-                     batch_out_.data());
-      for (int v = 0; v < n; ++v) {
-        if (!batch_out_[static_cast<std::size_t>(v)]) {
-          result.all_accept = false;
-          result.rejecting.push_back(v);
-        }
-      }
-      return result;
     }
 
     // Build a fresh entry while running.
@@ -134,15 +161,25 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
           caching = false;
           if (overflow_.size() >= 4) overflow_.erase(overflow_.begin());
           overflow_.push_back(Overflow{fingerprint, radius});
+          if (options_.store != nullptr) {
+            options_.store->mark_uncacheable(fingerprint, radius);
+          }
           entry.views.clear();
           entry.views.shrink_to_fit();
         } else {
-          entry.views.push_back(
-              CachedNodeView{std::move(view), std::move(host)});
+          entry.views.push_back(std::make_shared<CachedNodeView>(
+              CachedNodeView{std::move(view), std::move(host)}));
         }
       }
     }
     if (caching) {
+      if (options_.store != nullptr) {
+        // Share, don't copy: the store takes refcounted handles to the
+        // same balls; this engine's next proof refresh COW-diverges only
+        // the balls it touches, leaving the store's snapshot pristine.
+        options_.store->publish(fingerprint, radius, entry.views,
+                                entry.ball_nodes);
+      }
       evict_to_budget(/*incoming_entries=*/1);
       cached_ball_nodes_ += entry.ball_nodes;
       cache_.push_front(std::move(entry));
@@ -158,92 +195,14 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
 }
 
 // ---------------------------------------------------------------------------
-// ParallelEngine: persistent worker pool.
+// ParallelEngine: node shards over the persistent WorkerPool.
 // ---------------------------------------------------------------------------
 
-struct ParallelEngine::Pool {
-  explicit Pool(int workers) : job_errors(static_cast<std::size_t>(workers)) {
-    threads.reserve(static_cast<std::size_t>(workers));
-    for (int w = 0; w < workers; ++w) {
-      threads.emplace_back([this, w] { worker_loop(w); });
-    }
-  }
-
-  ~Pool() {
-    {
-      const std::lock_guard<std::mutex> lock(mutex);
-      stop = true;
-    }
-    work_ready.notify_all();
-    for (std::thread& t : threads) t.join();
-  }
-
-  /// Runs job(w) on workers [0, active) and blocks until all complete.
-  void dispatch(int active, const std::function<void(int)>& new_job) {
-    std::unique_lock<std::mutex> lock(mutex);
-    for (std::exception_ptr& error : job_errors) error = nullptr;
-    job = &new_job;
-    active_workers = active;
-    remaining = active;
-    ++generation;
-    work_ready.notify_all();
-    work_done.wait(lock, [this] { return remaining == 0; });
-    job = nullptr;
-    for (std::exception_ptr& error : job_errors) {
-      if (error) {
-        std::exception_ptr raised = std::move(error);
-        error = nullptr;
-        lock.unlock();
-        std::rethrow_exception(raised);
-      }
-    }
-  }
-
-  int size() const { return static_cast<int>(threads.size()); }
-
- private:
-  void worker_loop(int w) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      const std::function<void(int)>* my_job = nullptr;
-      {
-        std::unique_lock<std::mutex> lock(mutex);
-        work_ready.wait(lock,
-                        [&] { return stop || generation != seen; });
-        if (stop) return;
-        seen = generation;
-        if (w < active_workers) my_job = job;
-      }
-      if (my_job == nullptr) continue;  // not part of this generation
-      try {
-        (*my_job)(w);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
-        job_errors[static_cast<std::size_t>(w)] = std::current_exception();
-      }
-      bool last = false;
-      {
-        const std::lock_guard<std::mutex> lock(mutex);
-        last = --remaining == 0;
-      }
-      if (last) work_done.notify_one();
-    }
-  }
-
-  std::mutex mutex;
-  std::condition_variable work_ready;
-  std::condition_variable work_done;
-  std::vector<std::thread> threads;
-  const std::function<void(int)>* job = nullptr;
-  std::vector<std::exception_ptr> job_errors;
-  int active_workers = 0;
-  int remaining = 0;
-  std::uint64_t generation = 0;
-  bool stop = false;
-};
-
-ParallelEngine::ParallelEngine(int threads, bool persistent_pool)
-    : threads_(threads), persistent_pool_(persistent_pool) {}
+ParallelEngine::ParallelEngine(int threads, bool persistent_pool,
+                               std::shared_ptr<BallStore> store)
+    : threads_(threads),
+      persistent_pool_(persistent_pool),
+      store_(std::move(store)) {}
 
 ParallelEngine::~ParallelEngine() = default;
 
@@ -262,23 +221,64 @@ RunResult ParallelEngine::run(const Graph& g, const Proof& p,
   const int workers = effective_threads(n);
   RunResult result;
 
+  // When a shared store is attached and doesn't hold this (graph, radius)
+  // yet, the sweep captures the balls it extracts anyway and publishes
+  // them afterwards, so a caching engine attached to the same store starts
+  // warm.  Captured balls go straight to the store (this engine keeps
+  // nothing), making the store the sole owner.
+  std::vector<BallPtr> collected;
+  std::uint64_t fingerprint = 0;
+  bool collect = false;
+  if (store_ != nullptr) {
+    fingerprint = graph_fingerprint(g);
+    collect = !store_->uncacheable(fingerprint, radius) &&
+              !store_->contains(fingerprint, radius);
+    if (collect) collected.resize(static_cast<std::size_t>(n));
+  }
+
   if (workers <= 1 || n < 2 * workers) {
-    return sweep_sequential(g, p, a);
+    if (!collect) return sweep_sequential(g, p, a);
+    ViewExtractor extractor(g);
+    std::size_t ball_nodes = 0;
+    for (int v = 0; v < n; ++v) {
+      auto ball = std::make_shared<CachedNodeView>();
+      ball->view = extractor.extract(p, v, radius, &ball->host);
+      ball_nodes += ball->host.size();
+      if (!a.accept(ball->view)) {
+        result.all_accept = false;
+        result.rejecting.push_back(v);
+      }
+      collected[static_cast<std::size_t>(v)] = std::move(ball);
+    }
+    store_->publish(fingerprint, radius, std::move(collected), ball_nodes);
+    return result;
   }
 
   // Contiguous shard [lo, hi) per worker so that concatenating per-shard
   // rejects in shard order reproduces the sequential ascending order
   // exactly.
   std::vector<std::vector<int>> rejecting(static_cast<std::size_t>(workers));
+  std::vector<std::size_t> shard_ball_nodes(
+      static_cast<std::size_t>(workers), 0);
   auto shard = [&](int w) {
     const int lo = static_cast<int>(static_cast<long long>(n) * w / workers);
     const int hi =
         static_cast<int>(static_cast<long long>(n) * (w + 1) / workers);
     ViewExtractor extractor(g);
     for (int v = lo; v < hi; ++v) {
-      const View view = extractor.extract(p, v, radius);
-      if (!a.accept(view)) {
-        rejecting[static_cast<std::size_t>(w)].push_back(v);
+      if (collect) {
+        auto ball = std::make_shared<CachedNodeView>();
+        ball->view = extractor.extract(p, v, radius, &ball->host);
+        shard_ball_nodes[static_cast<std::size_t>(w)] += ball->host.size();
+        if (!a.accept(ball->view)) {
+          rejecting[static_cast<std::size_t>(w)].push_back(v);
+        }
+        collected[static_cast<std::size_t>(v)] = std::move(ball);
+      } else {
+        const View view = extractor.extract(p, v, radius);
+        if (!a.accept(view)) {
+          rejecting[static_cast<std::size_t>(w)].push_back(v);
+        }
       }
     }
   };
@@ -287,7 +287,7 @@ RunResult ParallelEngine::run(const Graph& g, const Proof& p,
     const int max_workers = effective_threads(
         std::numeric_limits<int>::max() / 2);
     if (pool_ == nullptr || pool_->size() < workers) {
-      pool_ = std::make_unique<Pool>(std::max(workers, max_workers));
+      pool_ = std::make_unique<WorkerPool>(std::max(workers, max_workers));
     }
     const std::function<void(int)> job = shard;
     pool_->dispatch(workers, job);
@@ -316,6 +316,11 @@ RunResult ParallelEngine::run(const Graph& g, const Proof& p,
                             shard_rejects.end());
   }
   result.all_accept = result.rejecting.empty();
+  if (collect) {
+    std::size_t ball_nodes = 0;
+    for (std::size_t count : shard_ball_nodes) ball_nodes += count;
+    store_->publish(fingerprint, radius, std::move(collected), ball_nodes);
+  }
   return result;
 }
 

@@ -32,11 +32,14 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "core/ball_store.hpp"
 #include "core/proof.hpp"
 #include "core/verifier.hpp"
 #include "core/view.hpp"
+#include "core/worker_pool.hpp"
 #include "graph/graph.hpp"
 
 namespace lcp {
@@ -117,14 +120,6 @@ std::uint64_t graph_fingerprint(const Graph& g);
 RunResult sweep_sequential(const Graph& g, const Proof& p,
                            const LocalVerifier& a);
 
-/// One node's materialised view plus the host dense index of each ball
-/// node (host[i] belongs to ball node i); the view-caching engines use it
-/// to refresh proof labels without re-extraction.
-struct CachedNodeView {
-  View view;
-  std::vector<int> host;
-};
-
 struct DirectEngineOptions {
   /// Keep extracted views between runs, keyed on (fingerprint, radius).
   bool cache_views = true;
@@ -135,15 +130,24 @@ struct DirectEngineOptions {
   /// Number of distinct (graph, radius) entries kept; least recently used
   /// entries are evicted first.
   std::size_t max_cached_graphs = 4;
+  /// Optional shared ball store (core/ball_store.hpp).  When set, the
+  /// engine publishes the balls it extracts and adopts balls other engines
+  /// published for the same (fingerprint, radius) — adoption shares the
+  /// underlying views (copy-on-write), so a warm sweep by one engine makes
+  /// the next engine's first run extraction-free.
+  std::shared_ptr<BallStore> store = nullptr;
 };
 
 /// The default backend: the seed's sequential semantics, re-implemented on
 /// the batched ViewExtractor (single BFS per node, ball-local edge
-/// assembly, reused scratch) with cross-run view caching.
+/// assembly, reused scratch) with cross-run view caching.  The working set
+/// holds refcounted balls: entries adopted from (or published to) a shared
+/// BallStore alias the store's objects until the first proof refresh
+/// diverges the touched ball via copy-on-write.
 class DirectEngine final : public ExecutionEngine {
  public:
   explicit DirectEngine(DirectEngineOptions options = {})
-      : options_(options) {}
+      : options_(std::move(options)) {}
 
   std::string name() const override { return "direct"; }
   RunResult run(const Graph& g, const Proof& p,
@@ -153,12 +157,15 @@ class DirectEngine final : public ExecutionEngine {
   /// benches; the LRU policy is an implementation detail otherwise).
   std::size_t cached_graph_count() const { return cache_.size(); }
 
+  /// The shared store, if one was attached (for tests).
+  const std::shared_ptr<BallStore>& store() const { return options_.store; }
+
  private:
   struct CacheEntry {
     std::uint64_t fingerprint = 0;
     int radius = -1;
     std::size_t ball_nodes = 0;
-    std::vector<CachedNodeView> views;
+    std::vector<BallPtr> views;
   };
   struct Overflow {
     std::uint64_t fingerprint = 0;
@@ -167,6 +174,8 @@ class DirectEngine final : public ExecutionEngine {
 
   CacheEntry* find_entry(std::uint64_t fingerprint, int radius);
   void evict_to_budget(std::size_t incoming_entries);
+  RunResult run_from_entry(CacheEntry& entry, const Proof& p,
+                           const LocalVerifier& a);
 
   DirectEngineOptions options_;
   ViewExtractor extractor_;
@@ -192,8 +201,13 @@ class DirectEngine final : public ExecutionEngine {
 /// before/after comparison in bench/engines_compare).
 class ParallelEngine final : public ExecutionEngine {
  public:
-  /// threads == 0 picks std::thread::hardware_concurrency().
-  explicit ParallelEngine(int threads = 0, bool persistent_pool = true);
+  /// threads == 0 picks std::thread::hardware_concurrency().  When `store`
+  /// is set the engine publishes the balls its sweeps extract (it consumes
+  /// nothing itself — the store hands its warmth to the caching engines),
+  /// making a parallel sweep a cheap way to pre-warm an IncrementalEngine
+  /// or DirectEngine sharing the same store.
+  explicit ParallelEngine(int threads = 0, bool persistent_pool = true,
+                          std::shared_ptr<BallStore> store = nullptr);
   ~ParallelEngine() override;
 
   ParallelEngine(const ParallelEngine&) = delete;
@@ -207,11 +221,10 @@ class ParallelEngine final : public ExecutionEngine {
   int effective_threads(int n) const;
 
  private:
-  struct Pool;
-
   int threads_;
   bool persistent_pool_;
-  std::unique_ptr<Pool> pool_;
+  std::shared_ptr<BallStore> store_;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 /// The process-wide engine behind the run_verifier() compatibility shim: a

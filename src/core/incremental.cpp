@@ -1,9 +1,21 @@
 #include "core/incremental.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <utility>
 
 namespace lcp {
+
+namespace {
+
+// dirty_mark_ bit layout: a centre may need a proof refresh, an in-place
+// patch verdict, and a re-extraction independently; re-extraction swallows
+// the other two (a fresh extraction reads current labels and proofs).
+constexpr std::uint8_t kProofDirty = 1;
+constexpr std::uint8_t kPatchedDirty = 2;
+constexpr std::uint8_t kReextractDirty = 4;
+
+}  // namespace
 
 bool IncrementalEngine::attach_tracker(DeltaTracker* tracker) {
   tracker_ = tracker;
@@ -47,6 +59,16 @@ RunResult IncrementalEngine::run(const Graph& g, const Proof& p,
   return run_content_path(g, p, a);
 }
 
+void IncrementalEngine::rebuild_inverted_index() {
+  const int n = static_cast<int>(cache_.size());
+  inverted_.assign(static_cast<std::size_t>(n), {});
+  for (int c = 0; c < n; ++c) {
+    for (int u : cache_[static_cast<std::size_t>(c)]->host) {
+      inverted_[static_cast<std::size_t>(u)].push_back(c);
+    }
+  }
+}
+
 RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
                                         const LocalVerifier& a,
                                         std::uint64_t graph_fp) {
@@ -67,20 +89,60 @@ RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
   cached_graph_fp_valid_ = true;
 
   RunResult result;
+
+  // Adoption: a warm sweep another engine published for this exact
+  // (fingerprint, radius) replaces extraction outright.  The balls stay
+  // shared — refresh_ball_proofs COW-diverges only those whose proofs
+  // differ from p, so adopting under an identical proof copies nothing.
+  // `graph_fp` is always computed fresh by the callers (never the lazily
+  // invalidated cached_graph_fp_), so stale keys cannot reach the store.
+  if (options_.store != nullptr) {
+    std::vector<BallPtr> adopted;
+    std::size_t ball_nodes = 0;
+    if (options_.store->lookup(graph_fp, radius, &adopted, &ball_nodes) &&
+        static_cast<int>(adopted.size()) == n &&
+        ball_nodes <= options_.max_cached_ball_nodes) {
+      ++stats_.store_adoptions;
+      cache_ = std::move(adopted);
+      cached_ball_nodes_ = ball_nodes;
+      batch_views_.resize(static_cast<std::size_t>(n));
+      batch_out_.resize(static_cast<std::size_t>(n));
+      for (int v = 0; v < n; ++v) {
+        BallPtr& slot = cache_[static_cast<std::size_t>(v)];
+        refresh_ball_proofs(slot, p);
+        batch_views_[static_cast<std::size_t>(v)] = &slot->view;
+      }
+      a.accept_batch(batch_views_.data(), static_cast<std::size_t>(n),
+                     batch_out_.data());
+      for (int v = 0; v < n; ++v) {
+        const bool ok = batch_out_[static_cast<std::size_t>(v)] != 0;
+        verdicts_[static_cast<std::size_t>(v)] = ok ? 1 : 0;
+        if (!ok) {
+          result.all_accept = false;
+          result.rejecting.push_back(v);
+        }
+      }
+      rebuild_inverted_index();
+      cache_valid_ = true;
+      return result;
+    }
+  }
+
   extractor_.bind(g);
   cache_.reserve(static_cast<std::size_t>(n));
   bool caching = true;
-  std::vector<int> host;
   for (int v = 0; v < n; ++v) {
-    View view = extractor_.extract(p, v, radius, caching ? &host : nullptr);
-    const bool ok = a.accept(view);
+    auto ball = std::make_shared<CachedNodeView>();
+    ball->view =
+        extractor_.extract(p, v, radius, caching ? &ball->host : nullptr);
+    const bool ok = a.accept(ball->view);
     verdicts_[static_cast<std::size_t>(v)] = ok ? 1 : 0;
     if (!ok) {
       result.all_accept = false;
       result.rejecting.push_back(v);
     }
     if (caching) {
-      cached_ball_nodes_ += host.size();
+      cached_ball_nodes_ += ball->host.size();
       if (cached_ball_nodes_ > options_.max_cached_ball_nodes) {
         // Too dense to cache at this radius; remember that and sweep
         // uncached until the binding or the radius changes.
@@ -90,17 +152,17 @@ RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
         cache_.shrink_to_fit();
         inverted_.clear();
       } else {
-        cache_.push_back(CachedNodeView{std::move(view), std::move(host)});
+        cache_.push_back(std::move(ball));
       }
     }
   }
   if (caching) {
-    for (int c = 0; c < n; ++c) {
-      for (int u : cache_[static_cast<std::size_t>(c)].host) {
-        inverted_[static_cast<std::size_t>(u)].push_back(c);
-      }
-    }
+    rebuild_inverted_index();
     cache_valid_ = true;
+    if (options_.store != nullptr) {
+      // Shared handles, not copies; see the adoption comment above.
+      options_.store->publish(graph_fp, radius, cache_, cached_ball_nodes_);
+    }
   }
   return result;
 }
@@ -108,14 +170,29 @@ RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
 void IncrementalEngine::reverify(const Graph& g, const Proof& p,
                                  const LocalVerifier& a,
                                  const std::vector<int>& reextract_centers,
+                                 const std::vector<int>& patched_centers,
                                  const std::vector<int>& proof_dirty) {
   const int radius = cached_radius_;
+  const std::size_t count =
+      reextract_centers.size() + patched_centers.size() + proof_dirty.size();
+  const int workers = options_.shard_threads;
+  const bool shard = workers > 1 && count >= options_.shard_min_centers &&
+                     count >= 2;
+  if (shard) {
+    if (pool_ == nullptr || pool_->size() < workers) {
+      pool_ = std::make_unique<WorkerPool>(workers);
+    }
+    ++stats_.sharded_rounds;
+  }
+
   if (!reextract_centers.empty()) {
-    extractor_.bind(g);
+    // Unhook the centres from their old balls' inverted lists first; the
+    // extractions themselves are independent (each writes only its own
+    // slot), so they shard cleanly.  Replacing the slot's pointer outright
+    // needs no COW: any other owner keeps the old ball alive unchanged.
     for (int c : reextract_centers) {
-      CachedNodeView& slot = cache_[static_cast<std::size_t>(c)];
-      // Unhook c from its old ball's inverted lists before re-extraction.
-      for (int u : slot.host) {
+      const BallPtr& slot = cache_[static_cast<std::size_t>(c)];
+      for (int u : slot->host) {
         auto& list = inverted_[static_cast<std::size_t>(u)];
         for (std::size_t i = 0; i < list.size(); ++i) {
           if (list[i] == c) {
@@ -125,39 +202,82 @@ void IncrementalEngine::reverify(const Graph& g, const Proof& p,
           }
         }
       }
-      cached_ball_nodes_ -= slot.host.size();
-      slot.view = extractor_.extract(p, c, radius, &slot.host);
-      cached_ball_nodes_ += slot.host.size();
-      for (int u : slot.host) {
+      cached_ball_nodes_ -= slot->host.size();
+    }
+    const int m = static_cast<int>(reextract_centers.size());
+    if (shard && m >= 2) {
+      const int active = std::min({workers, pool_->size(), m});
+      const std::function<void(int)> job = [&](int w) {
+        const int lo =
+            static_cast<int>(static_cast<long long>(m) * w / active);
+        const int hi =
+            static_cast<int>(static_cast<long long>(m) * (w + 1) / active);
+        ViewExtractor extractor(g);
+        for (int i = lo; i < hi; ++i) {
+          const int c = reextract_centers[static_cast<std::size_t>(i)];
+          auto ball = std::make_shared<CachedNodeView>();
+          ball->view = extractor.extract(p, c, radius, &ball->host);
+          cache_[static_cast<std::size_t>(c)] = std::move(ball);
+        }
+      };
+      pool_->dispatch(active, job);
+    } else {
+      extractor_.bind(g);
+      for (int c : reextract_centers) {
+        auto ball = std::make_shared<CachedNodeView>();
+        ball->view = extractor_.extract(p, c, radius, &ball->host);
+        cache_[static_cast<std::size_t>(c)] = std::move(ball);
+      }
+    }
+    for (int c : reextract_centers) {
+      const BallPtr& slot = cache_[static_cast<std::size_t>(c)];
+      cached_ball_nodes_ += slot->host.size();
+      for (int u : slot->host) {
         inverted_[static_cast<std::size_t>(u)].push_back(c);
       }
     }
+    stats_.reextractions += reextract_centers.size();
+  }
+  // Patched balls carry current structure but possibly stale proofs when a
+  // proof flip rode along in the same batch; the refresh is equality-gated
+  // so it costs a comparison when nothing changed.
+  for (int c : patched_centers) {
+    refresh_ball_proofs(cache_[static_cast<std::size_t>(c)], p);
   }
   for (int c : proof_dirty) {
-    CachedNodeView& slot = cache_[static_cast<std::size_t>(c)];
-    for (std::size_t i = 0; i < slot.host.size(); ++i) {
-      slot.view.proofs[i] =
-          p.labels[static_cast<std::size_t>(slot.host[i])];
-    }
+    refresh_ball_proofs(cache_[static_cast<std::size_t>(c)], p);
   }
 
-  const std::size_t count = reextract_centers.size() + proof_dirty.size();
   batch_views_.clear();
   batch_views_.reserve(count);
-  for (int c : reextract_centers) {
-    batch_views_.push_back(&cache_[static_cast<std::size_t>(c)].view);
-  }
-  for (int c : proof_dirty) {
-    batch_views_.push_back(&cache_[static_cast<std::size_t>(c)].view);
+  for (const std::vector<int>* list :
+       {&reextract_centers, &patched_centers, &proof_dirty}) {
+    for (int c : *list) {
+      batch_views_.push_back(&cache_[static_cast<std::size_t>(c)]->view);
+    }
   }
   batch_out_.resize(count);
-  a.accept_batch(batch_views_.data(), count, batch_out_.data());
-  std::size_t i = 0;
-  for (int c : reextract_centers) {
-    verdicts_[static_cast<std::size_t>(c)] = batch_out_[i++];
+  if (shard) {
+    const int active =
+        std::min({workers, pool_->size(), static_cast<int>(count)});
+    const std::function<void(int)> job = [&](int w) {
+      const std::size_t lo = count * static_cast<std::size_t>(w) /
+                             static_cast<std::size_t>(active);
+      const std::size_t hi = count * (static_cast<std::size_t>(w) + 1) /
+                             static_cast<std::size_t>(active);
+      a.accept_batch(batch_views_.data() + lo, hi - lo,
+                     batch_out_.data() + lo);
+    };
+    pool_->dispatch(active, job);
+  } else {
+    a.accept_batch(batch_views_.data(), count, batch_out_.data());
   }
-  for (int c : proof_dirty) {
-    verdicts_[static_cast<std::size_t>(c)] = batch_out_[i++];
+  std::size_t i = 0;
+  for (const std::vector<int>* list :
+       {&reextract_centers, &patched_centers, &proof_dirty}) {
+    for (int c : *list) {
+      verdicts_[static_cast<std::size_t>(c)] = batch_out_[i++];
+    }
   }
   stats_.nodes_reverified += count;
 }
@@ -202,9 +322,9 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
     return rebuild();
   }
   // Node additions grow the cache in place.  Every added node sits in its
-  // record's structural_dirty set, so the re-extraction pass below fills
-  // the fresh slots; any size drift the records cannot account for means
-  // the cache belongs to another state.
+  // record's structural_dirty set (and arrives as a kAddNode delta), so
+  // the passes below fill the fresh slots; any size drift the records
+  // cannot account for means the cache belongs to another state.
   std::size_t added = 0;
   for (const DirtyRecord* record : *records) {
     added += record->added_nodes.size();
@@ -215,6 +335,11 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
   }
   if (added > 0) {
     cache_.resize(static_cast<std::size_t>(n));
+    for (std::size_t v = verdicts_.size(); v < cache_.size(); ++v) {
+      // Placeholder until the kAddNode delta (patching) or re-extraction
+      // (legacy path) materialises the real ball.
+      cache_[v] = std::make_shared<CachedNodeView>();
+    }
     inverted_.resize(static_cast<std::size_t>(n));
     verdicts_.resize(static_cast<std::size_t>(n), 1);
     last_proofs_.resize(static_cast<std::size_t>(n));
@@ -224,38 +349,109 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
     return result_from_verdicts();
   }
 
-  // Merge the records into two centre sets: re-extract (ball content or
-  // membership may have changed) and proof-refresh-only.  dirty_mark_:
-  // 0 = clean, 1 = proof-dirty, 2 = re-extract.
+  // Merge the records into per-centre dirtiness bits via the inverted
+  // index; ascending centre order at the end keeps the round
+  // deterministic.
   dirty_mark_.assign(static_cast<std::size_t>(n), 0);
   dirty_scratch_.clear();
-  auto mark = [&](int c, std::uint8_t level) {
+  auto mark = [&](int c, std::uint8_t bits) {
     std::uint8_t& m = dirty_mark_[static_cast<std::size_t>(c)];
     if (m == 0) dirty_scratch_.push_back(c);
-    if (level > m) m = level;
+    m |= bits;
   };
   bool graph_changed = false;
-  for (const DirtyRecord* record : *records) {
-    for (int u : record->proof_nodes) {
-      for (int c : inverted_[static_cast<std::size_t>(u)]) mark(c, 1);
+
+  if (options_.patch_views) {
+    // Replay the ops against the cached balls.  Classification consults
+    // only the view itself plus host ids, so replaying against the final
+    // graph state is sound; each patch keeps the ball's membership (and
+    // hence the inverted index) exact, and any delta that would move a
+    // frontier demotes the centre to re-extraction from the final state.
+    if (op_epoch_.size() < static_cast<std::size_t>(n)) {
+      op_epoch_.resize(static_cast<std::size_t>(n), 0);
     }
-    for (int u : record->relabeled_nodes) {
-      for (int c : inverted_[static_cast<std::size_t>(u)]) mark(c, 2);
+    for (const DirtyRecord* record : *records) {
+      for (const ViewDelta& d : record->deltas) {
+        graph_changed = true;
+        if (d.kind == ViewDelta::Kind::kAddNode) {
+          const int v = d.u;
+          auto ball = std::make_shared<CachedNodeView>();
+          ball->view = make_isolated_view(g, p, v, radius);
+          ball->host.push_back(v);
+          cache_[static_cast<std::size_t>(v)] = std::move(ball);
+          cached_ball_nodes_ += 1;
+          inverted_[static_cast<std::size_t>(v)].push_back(v);
+          mark(v, kPatchedDirty);
+          continue;
+        }
+        ++op_epoch_counter_;
+        auto visit = [&](int epicentre) {
+          for (int c : inverted_[static_cast<std::size_t>(epicentre)]) {
+            std::uint64_t& seen = op_epoch_[static_cast<std::size_t>(c)];
+            if (seen == op_epoch_counter_) continue;
+            seen = op_epoch_counter_;
+            if (dirty_mark_[static_cast<std::size_t>(c)] & kReextractDirty) {
+              continue;  // re-extracts from the final state anyway
+            }
+            BallPtr& slot = cache_[static_cast<std::size_t>(c)];
+            switch (slot->view.classify_delta(g, d)) {
+              case PatchResult::kUnchanged:
+                break;
+              case PatchResult::kPatched:
+                exclusive_ball(slot).view.apply_delta_unchecked(g, d);
+                ++stats_.views_patched;
+                mark(c, kPatchedDirty);
+                break;
+              case PatchResult::kFallback:
+                ++stats_.patch_fallbacks;
+                mark(c, kReextractDirty);
+                break;
+            }
+          }
+        };
+        visit(d.u);
+        if (d.kind != ViewDelta::Kind::kNodeLabel) visit(d.v);
+      }
+      for (int u : record->proof_nodes) {
+        for (int c : inverted_[static_cast<std::size_t>(u)]) {
+          mark(c, kProofDirty);
+        }
+      }
     }
-    for (int c : record->structural_dirty) mark(c, 2);
-    graph_changed = graph_changed || !record->relabeled_nodes.empty() ||
-                    !record->structural_dirty.empty();
-  }
-  // Ascending centre order keeps re-verification deterministic.
-  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
-  std::vector<int> reextract;
-  std::vector<int> proof_dirty;
-  for (int c : dirty_scratch_) {
-    (dirty_mark_[static_cast<std::size_t>(c)] == 2 ? reextract : proof_dirty)
-        .push_back(c);
+  } else {
+    for (const DirtyRecord* record : *records) {
+      for (int u : record->proof_nodes) {
+        for (int c : inverted_[static_cast<std::size_t>(u)]) {
+          mark(c, kProofDirty);
+        }
+      }
+      for (int u : record->relabeled_nodes) {
+        for (int c : inverted_[static_cast<std::size_t>(u)]) {
+          mark(c, kReextractDirty);
+        }
+      }
+      for (int c : record->structural_dirty) mark(c, kReextractDirty);
+      graph_changed = graph_changed || !record->relabeled_nodes.empty() ||
+                      !record->structural_dirty.empty();
+    }
   }
 
-  reverify(g, p, a, reextract, proof_dirty);
+  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+  std::vector<int> reextract;
+  std::vector<int> patched;
+  std::vector<int> proof_dirty;
+  for (int c : dirty_scratch_) {
+    const std::uint8_t m = dirty_mark_[static_cast<std::size_t>(c)];
+    if (m & kReextractDirty) {
+      reextract.push_back(c);
+    } else if (m & kPatchedDirty) {
+      patched.push_back(c);
+    } else {
+      proof_dirty.push_back(c);
+    }
+  }
+
+  reverify(g, p, a, reextract, patched, proof_dirty);
   if (cached_ball_nodes_ > options_.max_cached_ball_nodes) {
     // Edge churn grew the balls past the cap: abandon the cache.
     overflowed_ = true;
@@ -314,7 +510,7 @@ RunResult IncrementalEngine::run_content_path(const Graph& g, const Proof& p,
     changed_nodes.push_back(v);
     for (int c : inverted_[static_cast<std::size_t>(v)]) {
       if (!dirty_mark_[static_cast<std::size_t>(c)]) {
-        dirty_mark_[static_cast<std::size_t>(c)] = 1;
+        dirty_mark_[static_cast<std::size_t>(c)] = kProofDirty;
         dirty_scratch_.push_back(c);
       }
     }
@@ -324,7 +520,7 @@ RunResult IncrementalEngine::run_content_path(const Graph& g, const Proof& p,
     return result_from_verdicts();
   }
   std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
-  reverify(g, p, a, {}, dirty_scratch_);
+  reverify(g, p, a, {}, {}, dirty_scratch_);
   for (int v : changed_nodes) {
     last_proofs_[static_cast<std::size_t>(v)] =
         p.labels[static_cast<std::size_t>(v)];

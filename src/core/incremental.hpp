@@ -11,17 +11,18 @@
 //
 //   1. Tracker path.  A DeltaTracker (core/delta.hpp) is attached and the
 //      run's (graph, proof) are the tracker's bound pair: the tracker's
-//      dirty log names the epicentres exactly.  Proof epicentres expand
-//      through the inverted index and only refresh proof labels; label
-//      epicentres expand the same way but re-extract the view; structural
-//      records carry pre-expanded centre sets (stepwise BFS at mutation
-//      time) whose views are re-extracted and whose inverted-index entries
-//      are repaired; node additions grow the per-node caches in place, so
-//      dynamic workloads can grow the graph without losing the cache.  A
-//      state-fingerprint comparison (O(n + m + proof
-//      bits), skippable via options) detects out-of-band mutations and
-//      falls back to a full sweep, so results stay identical to
-//      DirectEngine's even when the delta contract is violated.
+//      dirty log names the epicentres exactly.  With view patching on (the
+//      default), the log's per-op ViewDeltas are replayed against the
+//      cached balls through View::apply_delta: most structural and label
+//      changes patch the affected views in place, bit-identically to
+//      re-extraction, and only centres whose frontier genuinely moves
+//      (membership, a distance, or BFS order changes) are re-extracted.
+//      Proof epicentres expand through the inverted index and only refresh
+//      proof labels; node additions grow the per-node caches in place.  A
+//      state-fingerprint comparison (O(n + m + proof bits), skippable via
+//      options) detects out-of-band mutations and falls back to a full
+//      sweep, so results stay identical to DirectEngine's even when the
+//      delta contract is violated.
 //
 //   2. Content path.  No tracker (or a foreign graph): the engine compares
 //      the graph fingerprint with its cached one and, when the graph is
@@ -30,19 +31,32 @@
 //      label.  This makes plain proof-mutation loops (exhaustive proof
 //      search) incremental with no caller cooperation at all.
 //
+// Cached balls are refcounted (core/ball_store.hpp).  When a shared
+// BallStore is attached, full sweeps adopt a warm sweep published by
+// another engine (skipping extraction entirely) and publish their own;
+// every mutation goes through the copy-on-write helpers, so the store's
+// snapshot — and any other engine holding it — never observes this
+// engine's in-flight patches.  Large dirty sets can be re-verified across
+// a persistent worker pool (`shard_threads`), with results bit-identical
+// to the serial path.
+//
 // Anything else — first run, radius change, structural change without a
 // tracker, cache overflow — is a full sweep that rebuilds the cache.  The
 // equivalence corpus in tests/test_engines.cpp and the mutation fuzz test
 // in tests/test_incremental_fuzz.cpp pin bit-identical RunResults against
-// DirectEngine on every path.
+// DirectEngine on every path (the fuzz covers the full patching x sharding
+// matrix).
 #ifndef LCP_CORE_INCREMENTAL_HPP_
 #define LCP_CORE_INCREMENTAL_HPP_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/ball_store.hpp"
 #include "core/delta.hpp"
 #include "core/engine.hpp"
+#include "core/worker_pool.hpp"
 
 namespace lcp {
 
@@ -54,12 +68,27 @@ struct IncrementalEngineOptions {
   /// shifts responsibility for the "all mutations go through the tracker"
   /// contract entirely to the caller.
   bool verify_state = true;
+  /// Patch cached balls in place through View::apply_delta, re-extracting
+  /// only centres whose ball frontier moves.  Off restores the PR 3
+  /// behaviour (re-extract every structurally dirty centre); results are
+  /// bit-identical either way.
+  bool patch_views = true;
+  /// Worker threads for dirty-set re-verification; <= 1 keeps it serial.
+  /// The pool is created lazily on the first sharded round.
+  int shard_threads = 0;
+  /// Only shard rounds with at least this many dirty centres (a pool
+  /// dispatch plus per-worker extractor binds cost O(n); tiny dirty sets
+  /// are faster serial).
+  std::size_t shard_min_centers = 128;
+  /// Optional shared ball store: full sweeps adopt warm balls published by
+  /// other engines and publish their own (see core/ball_store.hpp).
+  std::shared_ptr<BallStore> store = nullptr;
 };
 
 class IncrementalEngine final : public ExecutionEngine {
  public:
   explicit IncrementalEngine(IncrementalEngineOptions options = {})
-      : options_(options) {}
+      : options_(std::move(options)) {}
 
   std::string name() const override { return "incremental"; }
 
@@ -73,12 +102,22 @@ class IncrementalEngine final : public ExecutionEngine {
   RunResult run(const Graph& g, const Proof& p,
                 const LocalVerifier& a) override;
 
+  /// Runtime toggles (tests flip these between runs to cross-check the
+  /// patching x sharding matrix); they affect subsequent runs only.
+  void set_patch_views(bool on) { options_.patch_views = on; }
+  void set_shard_threads(int threads) { options_.shard_threads = threads; }
+
   struct Stats {
     std::uint64_t full_sweeps = 0;       ///< complete rebuilds (or uncached)
     std::uint64_t incremental_runs = 0;  ///< delta-driven runs
     std::uint64_t unchanged_runs = 0;    ///< state identical: cached verdicts
     std::uint64_t nodes_reverified = 0;  ///< accept() calls on delta paths
     std::uint64_t fallbacks = 0;         ///< fingerprint/log forced resweeps
+    std::uint64_t views_patched = 0;     ///< balls updated via apply_delta
+    std::uint64_t patch_fallbacks = 0;   ///< deltas that forced re-extraction
+    std::uint64_t reextractions = 0;     ///< centres re-extracted on deltas
+    std::uint64_t store_adoptions = 0;   ///< full sweeps served by the store
+    std::uint64_t sharded_rounds = 0;    ///< reverify rounds on the pool
   };
   const Stats& stats() const { return stats_; }
 
@@ -89,19 +128,24 @@ class IncrementalEngine final : public ExecutionEngine {
                              const LocalVerifier& a);
   RunResult run_content_path(const Graph& g, const Proof& p,
                              const LocalVerifier& a);
-  /// Re-extracts the views of `centers`, repairing the inverted index, then
-  /// re-verifies them together with `proof_dirty` (proof refresh only).
-  /// Both lists must be deduplicated; overlap between them is allowed and
-  /// resolved in favour of re-extraction.
+  /// Re-extracts the views of `reextract_centers` (repairing the inverted
+  /// index), refreshes proofs of `proof_dirty`, and re-verifies them
+  /// together with `patched_centers` (balls already updated in place by
+  /// the caller).  All three lists must be deduplicated and disjoint.
+  /// Re-extraction and verdict evaluation are sharded across the worker
+  /// pool when the round is large enough and sharding is enabled.
   void reverify(const Graph& g, const Proof& p, const LocalVerifier& a,
                 const std::vector<int>& reextract_centers,
+                const std::vector<int>& patched_centers,
                 const std::vector<int>& proof_dirty);
+  void rebuild_inverted_index();
   RunResult result_from_verdicts() const;
   void invalidate();
 
   IncrementalEngineOptions options_;
   DeltaTracker* tracker_ = nullptr;
   ViewExtractor extractor_;
+  std::unique_ptr<WorkerPool> pool_;
 
   bool cache_valid_ = false;
   // Cached verdicts are only valid for the verifier they were computed
@@ -118,10 +162,13 @@ class IncrementalEngine final : public ExecutionEngine {
   std::uint64_t cached_graph_fp_ = 0;
   // Tracker-path structural deltas invalidate the cached graph fingerprint
   // lazily instead of recomputing O(n + m) per run; a later content-path
-  // run that needs it resweeps.
+  // run that needs it resweeps, and nothing is ever published to (or
+  // fetched from) a shared store under a stale fingerprint — store keys
+  // are always freshly computed (tests/test_ball_store.cpp pins the
+  // interleaving).
   bool cached_graph_fp_valid_ = false;
   std::uint64_t consumed_generation_ = 0;
-  std::vector<CachedNodeView> cache_;
+  std::vector<BallPtr> cache_;
   std::vector<std::vector<int>> inverted_;  // node -> containing centres
   std::vector<std::uint8_t> verdicts_;
   std::vector<BitString> last_proofs_;  // exact copy for the content diff
@@ -130,6 +177,9 @@ class IncrementalEngine final : public ExecutionEngine {
   // Scratch.
   std::vector<int> dirty_scratch_;
   std::vector<std::uint8_t> dirty_mark_;
+  // Per-centre visit epoch for delta replay (64-bit: never recycled).
+  std::vector<std::uint64_t> op_epoch_;
+  std::uint64_t op_epoch_counter_ = 0;
   std::vector<const View*> batch_views_;
   std::vector<std::uint8_t> batch_out_;
 

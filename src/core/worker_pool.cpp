@@ -1,0 +1,71 @@
+#include "core/worker_pool.hpp"
+
+#include <utility>
+
+namespace lcp {
+
+WorkerPool::WorkerPool(int workers)
+    : job_errors_(static_cast<std::size_t>(workers)) {
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::dispatch(int active, const std::function<void(int)>& job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (std::exception_ptr& error : job_errors_) error = nullptr;
+  job_ = &job;
+  active_workers_ = active;
+  remaining_ = active;
+  ++generation_;
+  work_ready_.notify_all();
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  for (std::exception_ptr& error : job_errors_) {
+    if (error) {
+      std::exception_ptr raised = std::move(error);
+      error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(raised);
+    }
+  }
+}
+
+void WorkerPool::worker_loop(int w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* my_job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      if (w < active_workers_) my_job = job_;
+    }
+    if (my_job == nullptr) continue;  // not part of this generation
+    try {
+      (*my_job)(w);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job_errors_[static_cast<std::size_t>(w)] = std::current_exception();
+    }
+    bool last = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      last = --remaining_ == 0;
+    }
+    if (last) work_done_.notify_one();
+  }
+}
+
+}  // namespace lcp

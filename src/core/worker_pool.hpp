@@ -1,0 +1,54 @@
+// A persistent worker pool shared by the engines that shard work.
+//
+// Extracted from ParallelEngine so that IncrementalEngine can shard dirty-
+// ball re-verification across the same kind of pool without duplicating the
+// synchronisation.  The pool is deliberately minimal: dispatch(active, job)
+// runs job(w) on workers [0, active) and blocks until every one finishes,
+// rethrowing the first worker exception in the caller's thread.  Workers
+// are created once and parked on a condition variable between dispatches,
+// so repeated small dispatches don't pay thread spawn cost.
+#ifndef LCP_CORE_WORKER_POOL_HPP_
+#define LCP_CORE_WORKER_POOL_HPP_
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lcp {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs job(w) on workers [0, active) and blocks until all complete.
+  /// Not re-entrant: one dispatch at a time per pool.
+  void dispatch(int active, const std::function<void(int)>& job);
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void worker_loop(int w);
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  std::vector<std::thread> threads_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::vector<std::exception_ptr> job_errors_;
+  int active_workers_ = 0;
+  int remaining_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_WORKER_POOL_HPP_

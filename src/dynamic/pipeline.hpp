@@ -57,6 +57,15 @@ class DynamicPipeline {
   /// apply() would only re-verify the pipeline's own invariant.  Callers
   /// that hand out mutable access to graph()/proof() some other way can
   /// pass {.verify_state = true} to restore the belt-and-braces check.
+  ///
+  /// `engine_options` also carries the incremental engine's view-patching
+  /// toggle (on by default — repairs that rewrite node/edge labels patch
+  /// the cached balls in place instead of re-extracting), the worker-pool
+  /// sharding knobs for large dirty sets ({.shard_threads = k}), and an
+  /// optional shared BallStore ({.store = ...}) so a pipeline can be
+  /// warm-started by another engine's sweep of the same graph (see
+  /// core/ball_store.hpp).  tests/test_dynamic_fuzz.cpp drives the full
+  /// patching x sharding matrix through this constructor.
   DynamicPipeline(Graph graph, const Scheme& scheme,
                   std::unique_ptr<ProofMaintainer> maintainer,
                   IncrementalEngineOptions engine_options = {

@@ -19,7 +19,7 @@ int Graph::add_node(NodeId id, std::uint64_t label) {
   return v;
 }
 
-int Graph::add_edge(int u, int v, std::uint64_t label, std::int64_t weight) {
+void Graph::check_new_edge(int u, int v) const {
   if (u < 0 || v < 0 || u >= n() || v >= n()) {
     throw std::invalid_argument("Graph::add_edge: endpoint out of range");
   }
@@ -29,18 +29,65 @@ int Graph::add_edge(int u, int v, std::uint64_t label, std::int64_t weight) {
   if (has_edge(u, v)) {
     throw std::invalid_argument("Graph::add_edge: parallel edge");
   }
+}
+
+void Graph::insert_half(int at, int to, int edge) {
+  auto& list = adj_[static_cast<std::size_t>(at)];
+  auto it = std::lower_bound(
+      list.begin(), list.end(), to,
+      [this](const HalfEdge& h, int node) { return id(h.to) < id(node); });
+  list.insert(it, HalfEdge{to, edge});
+}
+
+void Graph::drop_half(int at, int to) {
+  auto& list = adj_[static_cast<std::size_t>(at)];
+  for (auto it = list.begin(); it != list.end(); ++it) {
+    if (it->to == to) {
+      list.erase(it);
+      return;
+    }
+  }
+}
+
+int Graph::add_edge(int u, int v, std::uint64_t label, std::int64_t weight) {
+  check_new_edge(u, v);
   const int e = m();
   edges_.push_back(EdgeRecord{u, v, label, weight});
-  auto insert_sorted = [this](int at, int to, int edge) {
-    auto& list = adj_[static_cast<std::size_t>(at)];
-    auto it = std::lower_bound(
-        list.begin(), list.end(), to,
-        [this](const HalfEdge& h, int node) { return id(h.to) < id(node); });
-    list.insert(it, HalfEdge{to, edge});
-  };
-  insert_sorted(u, v, e);
-  insert_sorted(v, u, e);
+  insert_half(u, v, e);
+  insert_half(v, u, e);
   return e;
+}
+
+int Graph::insert_edge_at(int slot, int u, int v, std::uint64_t label,
+                          std::int64_t weight) {
+  check_new_edge(u, v);
+  if (slot < 0 || slot > m()) {
+    throw std::invalid_argument("Graph::insert_edge_at: slot out of range");
+  }
+  edges_.insert(edges_.begin() + slot, EdgeRecord{u, v, label, weight});
+  for (auto& list : adj_) {
+    for (HalfEdge& h : list) {
+      if (h.edge >= slot) ++h.edge;
+    }
+  }
+  insert_half(u, v, slot);
+  insert_half(v, u, slot);
+  return slot;
+}
+
+void Graph::remove_edge_stable(int u, int v) {
+  const int e = edge_index(u, v);
+  if (e < 0) {
+    throw std::invalid_argument("Graph::remove_edge_stable: no such edge");
+  }
+  drop_half(u, v);
+  drop_half(v, u);
+  edges_.erase(edges_.begin() + e);
+  for (auto& list : adj_) {
+    for (HalfEdge& h : list) {
+      if (h.edge > e) --h.edge;
+    }
+  }
 }
 
 void Graph::remove_edge(int u, int v) {
@@ -48,15 +95,6 @@ void Graph::remove_edge(int u, int v) {
   if (e < 0) {
     throw std::invalid_argument("Graph::remove_edge: no such edge");
   }
-  auto drop_half = [this](int at, int to) {
-    auto& list = adj_[static_cast<std::size_t>(at)];
-    for (auto it = list.begin(); it != list.end(); ++it) {
-      if (it->to == to) {
-        list.erase(it);
-        return;
-      }
-    }
-  };
   drop_half(u, v);
   drop_half(v, u);
   const int last = m() - 1;

@@ -11,8 +11,11 @@
 
 #include <memory>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "algo/matching.hpp"
+#include "bench/churn_stream.hpp"
 #include "core/engine.hpp"
 #include "dynamic/coloring_maintainer.hpp"
 #include "dynamic/matching_maintainer.hpp"
@@ -230,6 +233,102 @@ TEST(DynamicFuzz, MaximalMatchingUnderChurn) {
   }
   EXPECT_EQ(pipe.stats().reproves, 0u);
   EXPECT_EQ(pipe.stats().repaired, pipe.stats().batches);
+}
+
+// ---------------------------------------------------------------------------
+// The patching x sharding matrix, at pipeline level, under a churn stream.
+// ---------------------------------------------------------------------------
+
+TEST(DynamicFuzz, FourWayMatrixUnderChurnStream) {
+  // Four pipelines over identical starting state, one per {patch} x
+  // {shard} combination, plus a random-toggle fifth, all fed the
+  // preferential-attachment + sliding-window stream (bench/churn_stream.hpp)
+  // with leader moves layered on.  After every batch all pipelines must
+  // report bit-identical verdicts, identical graph and tracker state
+  // fingerprints, and pipeline 0 passes the full ground-truth check.
+  const schemes::LeaderElectionScheme scheme;
+  Graph start = gen::random_connected(22, 0.08, 20260731);
+  start.set_label(0, schemes::kLeaderFlag);
+
+  struct Lane {
+    std::string name;
+    std::unique_ptr<DynamicPipeline> pipe;
+  };
+  auto make_lane = [&](const std::string& name,
+                       IncrementalEngineOptions options) {
+    Lane lane;
+    lane.name = name;
+    lane.pipe = std::make_unique<DynamicPipeline>(
+        start, scheme,
+        std::make_unique<dynamic::TreeCertMaintainer>(schemes::kLeaderFlag),
+        std::move(options));
+    EXPECT_TRUE(lane.pipe->maintainer_bound()) << name;
+    return lane;
+  };
+  std::vector<Lane> lanes;
+  lanes.push_back(make_lane(
+      "patch+serial", {.verify_state = false, .patch_views = true}));
+  lanes.push_back(make_lane("patch+shard", {.verify_state = false,
+                                            .patch_views = true,
+                                            .shard_threads = 3,
+                                            .shard_min_centers = 0}));
+  lanes.push_back(make_lane(
+      "reextract+serial", {.verify_state = false, .patch_views = false}));
+  lanes.push_back(make_lane("reextract+shard", {.verify_state = false,
+                                                .patch_views = false,
+                                                .shard_threads = 3,
+                                                .shard_min_centers = 0}));
+  lanes.push_back(make_lane(
+      "random-toggle", {.verify_state = false, .shard_min_centers = 0}));
+
+  bench::ChurnStream stream({.grow_probability = 0.3,
+                             .attach_edges = 2,
+                             .churn_edges = 2,
+                             .window = 10,
+                             .seed = 4242});
+  std::mt19937 rng(31337);
+  int leader = 0;
+  for (int step = 0; step < 110; ++step) {
+    const Graph& g = lanes[0].pipe->graph();
+    MutationBatch batch;
+    stream.next(step, g, &batch);
+    if (rng() % 5 == 0 && g.n() > 1) {
+      const int next = static_cast<int>(rng() % static_cast<unsigned>(g.n()));
+      if (next != leader) {
+        batch.set_node_label(leader, 0);
+        batch.set_node_label(next, schemes::kLeaderFlag);
+        leader = next;
+      }
+    }
+    if (batch.empty()) continue;
+
+    lanes[4].pipe->engine().set_patch_views(rng() % 2 == 0);
+    lanes[4].pipe->engine().set_shard_threads(rng() % 2 == 0 ? 3 : 0);
+
+    const RunResult want = lanes[0].pipe->apply(batch);
+    check_step(*lanes[0].pipe, want, step);
+    const std::uint64_t want_graph_fp =
+        graph_fingerprint(lanes[0].pipe->graph());
+    const std::uint64_t want_state_fp =
+        lanes[0].pipe->tracker().state_fingerprint();
+    for (std::size_t i = 1; i < lanes.size(); ++i) {
+      const RunResult got = lanes[i].pipe->apply(batch);
+      ASSERT_EQ(want.all_accept, got.all_accept)
+          << lanes[i].name << " step " << step;
+      ASSERT_EQ(want.rejecting, got.rejecting)
+          << lanes[i].name << " step " << step;
+      ASSERT_EQ(want_graph_fp, graph_fingerprint(lanes[i].pipe->graph()))
+          << lanes[i].name << " step " << step;
+      ASSERT_EQ(want_state_fp, lanes[i].pipe->tracker().state_fingerprint())
+          << lanes[i].name << " step " << step;
+    }
+  }
+
+  // The stream must have driven the interesting machinery in every lane.
+  EXPECT_GT(lanes[0].pipe->engine().stats().views_patched, 0u);
+  EXPECT_GT(lanes[1].pipe->engine().stats().sharded_rounds, 0u);
+  EXPECT_GT(lanes[2].pipe->engine().stats().reextractions, 0u);
+  EXPECT_GT(lanes[0].pipe->stats().repaired, 40u);
 }
 
 }  // namespace

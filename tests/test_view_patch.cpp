@@ -1,0 +1,403 @@
+// Property tests for View::apply_delta: for every mutation kind (edge
+// insertion/removal, node/edge relabels, edge weights, proof rewrites,
+// node additions) and radii 1-3, patching a cached ball must be BIT-
+// IDENTICAL to a fresh ViewExtractor extraction from the mutated host —
+// same node order, same edge slots, same adjacency, distances and proofs —
+// whenever the patcher claims kPatched or kUnchanged, and the engineered
+// frontier-crossing cases must force kFallback.  This is the contract that
+// lets IncrementalEngine patch instead of re-extract without the engine
+// equivalence corpus ever noticing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/proof.hpp"
+#include "core/view.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+namespace {
+
+BitString random_bits(std::mt19937& rng, int max_len) {
+  std::uniform_int_distribution<int> len(0, max_len);
+  std::uniform_int_distribution<int> bit(0, 1);
+  BitString out;
+  const int k = len(rng);
+  for (int i = 0; i < k; ++i) out.append_bit(bit(rng) != 0);
+  return out;
+}
+
+Proof random_proof(std::mt19937& rng, int n) {
+  Proof p = Proof::empty(n);
+  for (BitString& b : p.labels) b = random_bits(rng, 4);
+  return p;
+}
+
+void expect_views_identical(const View& got, const View& want,
+                            const std::string& context) {
+  ASSERT_EQ(got.center, want.center) << context;
+  ASSERT_EQ(got.radius, want.radius) << context;
+  ASSERT_EQ(got.dist, want.dist) << context;
+  ASSERT_EQ(got.proofs.size(), want.proofs.size()) << context;
+  for (std::size_t i = 0; i < got.proofs.size(); ++i) {
+    ASSERT_TRUE(got.proofs[i] == want.proofs[i]) << context << " proof " << i;
+  }
+  ASSERT_EQ(got.ball.n(), want.ball.n()) << context;
+  ASSERT_EQ(got.ball.m(), want.ball.m()) << context;
+  for (int v = 0; v < got.ball.n(); ++v) {
+    ASSERT_EQ(got.ball.id(v), want.ball.id(v)) << context << " node " << v;
+    ASSERT_EQ(got.ball.label(v), want.ball.label(v))
+        << context << " node " << v;
+    const auto ng = got.ball.neighbors(v);
+    const auto nw = want.ball.neighbors(v);
+    ASSERT_EQ(ng.size(), nw.size()) << context << " adj " << v;
+    for (std::size_t i = 0; i < ng.size(); ++i) {
+      ASSERT_EQ(ng[i].to, nw[i].to) << context << " adj " << v << "#" << i;
+      ASSERT_EQ(ng[i].edge, nw[i].edge)
+          << context << " adj " << v << "#" << i;
+    }
+  }
+  for (int e = 0; e < got.ball.m(); ++e) {
+    ASSERT_EQ(got.ball.edge_u(e), want.ball.edge_u(e))
+        << context << " edge " << e;
+    ASSERT_EQ(got.ball.edge_v(e), want.ball.edge_v(e))
+        << context << " edge " << e;
+    ASSERT_EQ(got.ball.edge_label(e), want.ball.edge_label(e))
+        << context << " edge " << e;
+    ASSERT_EQ(got.ball.edge_weight(e), want.ball.edge_weight(e))
+        << context << " edge " << e;
+  }
+  ASSERT_TRUE(views_bit_identical(got, want)) << context;
+}
+
+struct PatchCounters {
+  int patched = 0;
+  int unchanged = 0;
+  int fallbacks = 0;
+};
+
+/// Applies one delta to every cached view and checks the contract against
+/// fresh extraction; falls back (replacing the cached view) when the
+/// patcher declines.  `hosts[v]` mirrors ViewExtractor's host capture.
+void check_delta_everywhere(const Graph& g, const Proof& p, int radius,
+                            const ViewDelta& d, std::vector<View>* views,
+                            std::vector<std::vector<int>>* hosts,
+                            PatchCounters* counters,
+                            const std::string& context) {
+  ViewExtractor extractor(g);
+  for (int v = 0; v < static_cast<int>(views->size()); ++v) {
+    View& cached = (*views)[static_cast<std::size_t>(v)];
+    const PatchResult classified = cached.classify_delta(g, d);
+    const PatchResult applied = cached.apply_delta(g, d);
+    ASSERT_EQ(classified, applied) << context << " centre " << v;
+    std::vector<int> fresh_host;
+    const View fresh = extractor.extract(p, v, radius, &fresh_host);
+    switch (applied) {
+      case PatchResult::kPatched:
+        ++counters->patched;
+        expect_views_identical(cached, fresh,
+                               context + " patched centre " +
+                                   std::to_string(v));
+        ASSERT_EQ((*hosts)[static_cast<std::size_t>(v)], fresh_host)
+            << context << " centre " << v;
+        break;
+      case PatchResult::kUnchanged:
+        ++counters->unchanged;
+        expect_views_identical(cached, fresh,
+                               context + " unchanged centre " +
+                                   std::to_string(v));
+        ASSERT_EQ((*hosts)[static_cast<std::size_t>(v)], fresh_host)
+            << context << " centre " << v;
+        break;
+      case PatchResult::kFallback:
+        ++counters->fallbacks;
+        cached = fresh;
+        (*hosts)[static_cast<std::size_t>(v)] = fresh_host;
+        break;
+    }
+  }
+}
+
+/// The randomized walk: mutate (g, p) one op at a time, patch every cached
+/// view, and compare against fresh extraction after each op.
+void fuzz_patching(Graph g, int radius, std::uint32_t seed, int trials,
+                   PatchCounters* totals = nullptr) {
+  std::mt19937 rng(seed);
+  Proof p = random_proof(rng, g.n());
+
+  std::vector<View> views;
+  std::vector<std::vector<int>> hosts;
+  {
+    ViewExtractor extractor(g);
+    for (int v = 0; v < g.n(); ++v) {
+      std::vector<int> host;
+      views.push_back(extractor.extract(p, v, radius, &host));
+      hosts.push_back(std::move(host));
+    }
+  }
+
+  PatchCounters counters;
+  NodeId next_id = g.max_id() + 1;
+  for (int trial = 0; trial < trials; ++trial) {
+    const std::string context =
+        "radius " + std::to_string(radius) + " seed " +
+        std::to_string(seed) + " trial " + std::to_string(trial);
+    std::uniform_int_distribution<int> kind(0, 6);
+    std::uniform_int_distribution<int> node(0, g.n() - 1);
+    switch (kind(rng)) {
+      case 0: {  // edge insertion
+        int u = -1;
+        int v = -1;
+        for (int tries = 0; tries < 16; ++tries) {
+          const int a = node(rng);
+          const int b = node(rng);
+          if (a != b && !g.has_edge(a, b)) {
+            u = a;
+            v = b;
+            break;
+          }
+        }
+        if (u < 0) continue;
+        const std::uint64_t label = rng() % 4;
+        const std::int64_t weight = static_cast<std::int64_t>(rng() % 7) - 3;
+        g.add_edge(u, v, label, weight);
+        check_delta_everywhere(
+            g, p, radius,
+            ViewDelta{ViewDelta::Kind::kAddEdge, u, v, label, weight},
+            &views, &hosts, &counters, context + " add-edge");
+        break;
+      }
+      case 1: {  // edge removal
+        if (g.m() <= 2) continue;
+        const int e = static_cast<int>(rng() % static_cast<unsigned>(g.m()));
+        const int u = g.edge_u(e);
+        const int v = g.edge_v(e);
+        g.remove_edge(u, v);
+        check_delta_everywhere(
+            g, p, radius, ViewDelta{ViewDelta::Kind::kRemoveEdge, u, v, 0, 0},
+            &views, &hosts, &counters, context + " remove-edge");
+        break;
+      }
+      case 2: {  // node relabel
+        const int u = node(rng);
+        const std::uint64_t label = rng() % 5;
+        g.set_label(u, label);
+        check_delta_everywhere(
+            g, p, radius,
+            ViewDelta{ViewDelta::Kind::kNodeLabel, u, -1, label, 0}, &views,
+            &hosts, &counters, context + " relabel");
+        break;
+      }
+      case 3: {  // edge relabel
+        if (g.m() == 0) continue;
+        const int e = static_cast<int>(rng() % static_cast<unsigned>(g.m()));
+        const int u = g.edge_u(e);
+        const int v = g.edge_v(e);
+        const std::uint64_t label = rng() % 5;
+        g.set_edge_label(e, label);
+        check_delta_everywhere(
+            g, p, radius,
+            ViewDelta{ViewDelta::Kind::kEdgeLabel, u, v, label, 0}, &views,
+            &hosts, &counters, context + " edge-relabel");
+        break;
+      }
+      case 4: {  // edge weight
+        if (g.m() == 0) continue;
+        const int e = static_cast<int>(rng() % static_cast<unsigned>(g.m()));
+        const int u = g.edge_u(e);
+        const int v = g.edge_v(e);
+        const std::int64_t weight = static_cast<std::int64_t>(rng() % 9) - 4;
+        g.set_edge_weight(e, weight);
+        check_delta_everywhere(
+            g, p, radius,
+            ViewDelta{ViewDelta::Kind::kEdgeWeight, u, v, 0, weight}, &views,
+            &hosts, &counters, context + " edge-weight");
+        break;
+      }
+      case 5: {  // proof rewrite
+        const int u = node(rng);
+        const BitString bits = random_bits(rng, 4);
+        p.labels[static_cast<std::size_t>(u)] = bits;
+        ViewExtractor extractor(g);
+        for (int v = 0; v < static_cast<int>(views.size()); ++v) {
+          View& cached = views[static_cast<std::size_t>(v)];
+          const PatchResult r = cached.patch_proof(g, u, bits);
+          const View fresh = extractor.extract(p, v, radius);
+          if (r == PatchResult::kPatched) ++counters.patched;
+          expect_views_identical(cached, fresh, context + " reproof centre " +
+                                                    std::to_string(v));
+        }
+        break;
+      }
+      default: {  // node addition
+        const int v = g.add_node(next_id++, rng() % 3);
+        p.labels.emplace_back();
+        const ViewDelta d{ViewDelta::Kind::kAddNode, v, -1, g.label(v), 0};
+        check_delta_everywhere(g, p, radius, d, &views, &hosts, &counters,
+                               context + " add-node");
+        // The newborn's own view is the isolated singleton.
+        views.push_back(make_isolated_view(g, p, v, radius));
+        hosts.push_back({v});
+        ViewExtractor extractor(g);
+        const View fresh = extractor.extract(p, v, radius);
+        expect_views_identical(views.back(), fresh, context + " newborn");
+        break;
+      }
+    }
+  }
+
+  // The walk must have exercised both patching and fallback.
+  EXPECT_GT(counters.patched, 0)
+      << "radius " << radius << " seed " << seed;
+  EXPECT_GT(counters.fallbacks, 0)
+      << "radius " << radius << " seed " << seed;
+  if (totals != nullptr) {
+    totals->patched += counters.patched;
+    totals->unchanged += counters.unchanged;
+    totals->fallbacks += counters.fallbacks;
+  }
+}
+
+TEST(ViewPatch, PropertyRadiusOneToThreeRandomConnected) {
+  PatchCounters totals;
+  for (int radius = 1; radius <= 3; ++radius) {
+    for (std::uint32_t seed = 1; seed <= 3; ++seed) {
+      fuzz_patching(gen::random_connected(20, 0.1, seed), radius, seed, 70,
+                    &totals);
+    }
+  }
+  // Patching must carry real weight, not degenerate into fallback.
+  EXPECT_GT(totals.patched, totals.fallbacks / 4);
+}
+
+TEST(ViewPatch, PropertyGridAndTree) {
+  for (int radius = 1; radius <= 3; ++radius) {
+    fuzz_patching(gen::grid(4, 5), radius, 11, 70);
+    fuzz_patching(gen::random_tree(18, 7), radius, 13, 70);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engineered frontier cases: the fallbacks that MUST happen.
+// ---------------------------------------------------------------------------
+
+TEST(ViewPatch, FrontierEdgeToOutsideIsUnchanged) {
+  // Path 1-2-3-4-5-6, centre node 0 (id 1), radius 2: node 2 (id 3) is on
+  // the frontier.  An edge from the frontier to id 5 (outside) leaves the
+  // ball untouched.
+  Graph g = gen::path(6);
+  const Proof p = Proof::empty(6);
+  View view = extract_view(g, p, 0, 2);
+  g.add_edge(2, 4);
+  ASSERT_EQ(view.apply_delta(g, ViewDelta{ViewDelta::Kind::kAddEdge, 2, 4,
+                                          0, 1}),
+            PatchResult::kUnchanged);
+  expect_views_identical(view, extract_view(g, p, 0, 2), "frontier add");
+}
+
+TEST(ViewPatch, InteriorEdgeToOutsideForcesFallback) {
+  // Same path, but the new edge leaves from the interior (node 1, dist 1):
+  // id 6 enters the ball at distance 2 — membership grows.
+  Graph g = gen::path(6);
+  const Proof p = Proof::empty(6);
+  View view = extract_view(g, p, 0, 2);
+  g.add_edge(1, 5);
+  ASSERT_EQ(view.classify_delta(g, ViewDelta{ViewDelta::Kind::kAddEdge, 1, 5,
+                                             0, 1}),
+            PatchResult::kFallback);
+  const View fresh = extract_view(g, p, 0, 2);
+  EXPECT_FALSE(views_bit_identical(view, fresh));
+  EXPECT_GT(fresh.ball.n(), view.ball.n());
+}
+
+TEST(ViewPatch, ShortcutEdgeForcesFallback) {
+  // Cycle of 8, radius 3 from node 0: nodes 3 hops away exist on both
+  // sides; a chord from the centre to its distance-3 node shrinks that
+  // distance to 1.
+  Graph g = gen::cycle(8);
+  const Proof p = Proof::empty(8);
+  View view = extract_view(g, p, 0, 3);
+  g.add_edge(0, 3);
+  ASSERT_EQ(view.classify_delta(g, ViewDelta{ViewDelta::Kind::kAddEdge, 0, 3,
+                                             0, 1}),
+            PatchResult::kFallback);
+  const View fresh = extract_view(g, p, 0, 3);
+  EXPECT_FALSE(views_bit_identical(view, fresh));
+}
+
+TEST(ViewPatch, BridgeRemovalForcesFallback) {
+  // Removing the only path to a subtree must fall back: distances change
+  // (members leave the ball entirely).
+  Graph g = gen::path(5);
+  const Proof p = Proof::empty(5);
+  View view = extract_view(g, p, 0, 3);
+  g.remove_edge(1, 2);
+  ASSERT_EQ(view.classify_delta(g, ViewDelta{ViewDelta::Kind::kRemoveEdge, 1,
+                                             2, 0, 0}),
+            PatchResult::kFallback);
+  const View fresh = extract_view(g, p, 0, 3);
+  EXPECT_FALSE(views_bit_identical(view, fresh));
+  EXPECT_LT(fresh.ball.n(), view.ball.n());
+}
+
+TEST(ViewPatch, SameLevelEdgePatchesInPlace) {
+  // Grid corners: the two neighbours of corner 0 sit at distance 1 from
+  // it; joining them is a same-level chord — patched, bit-identical.
+  Graph g = gen::grid(3, 3);
+  const Proof p = Proof::empty(9);
+  View view = extract_view(g, p, 0, 2);
+  // Corner 0's neighbours in a 3x3 grid are dense nodes 1 and 3.
+  g.add_edge(1, 3);
+  ASSERT_EQ(view.apply_delta(g, ViewDelta{ViewDelta::Kind::kAddEdge, 1, 3,
+                                          0, 1}),
+            PatchResult::kPatched);
+  expect_views_identical(view, extract_view(g, p, 0, 2), "same-level add");
+}
+
+TEST(ViewPatch, RedundantParentRemovalPatchesInPlace) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3.  From centre 0 both 1 and 2 are parents
+  // of 3; removing the LATER parent edge (2-3) keeps 3's discoverer (node
+  // 1, smaller ball index) and patches cleanly.
+  Graph g = gen::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const Proof p = Proof::empty(4);
+  View view = extract_view(g, p, 0, 2);
+  g.remove_edge(2, 3);
+  ASSERT_EQ(view.apply_delta(g, ViewDelta{ViewDelta::Kind::kRemoveEdge, 2, 3,
+                                          0, 0}),
+            PatchResult::kPatched);
+  expect_views_identical(view, extract_view(g, p, 0, 2),
+                         "redundant parent removal");
+}
+
+TEST(ViewPatch, DiscovererRemovalForcesFallback) {
+  // Same diamond, but removing the FIRST parent edge (1-3): node 3 keeps
+  // distance 2 via node 2, yet its BFS discovery slot changes, so bit-
+  // identity demands re-extraction.
+  Graph g = gen::from_edges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  const Proof p = Proof::empty(4);
+  View view = extract_view(g, p, 0, 2);
+  g.remove_edge(1, 3);
+  ASSERT_EQ(view.classify_delta(g, ViewDelta{ViewDelta::Kind::kRemoveEdge, 1,
+                                             3, 0, 0}),
+            PatchResult::kFallback);
+}
+
+TEST(ViewPatch, IsolatedNodeAdditionIsUnchangedEverywhereElse) {
+  Graph g = gen::cycle(5);
+  Proof p = Proof::empty(5);
+  View view = extract_view(g, p, 0, 2);
+  const int v = g.add_node(99);
+  p.labels.emplace_back();
+  ASSERT_EQ(view.apply_delta(g, ViewDelta{ViewDelta::Kind::kAddNode, v, -1,
+                                          0, 0}),
+            PatchResult::kUnchanged);
+  expect_views_identical(view, extract_view(g, p, 0, 2), "after add-node");
+  expect_views_identical(make_isolated_view(g, p, v, 2),
+                         extract_view(g, p, v, 2), "newborn view");
+}
+
+}  // namespace
+}  // namespace lcp
