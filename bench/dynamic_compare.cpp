@@ -2,8 +2,9 @@
 // end-to-end serving comparison the dynamic subsystem exists for.  Each
 // workload replays one deterministic mutation stream two ways:
 //
-//   maintain:  DynamicPipeline — DeltaTracker mutation, ProofMaintainer
-//              certificate repair, IncrementalEngine dirty-ball verify;
+//   maintain:  VerificationSession (core/session.hpp) — DeltaTracker
+//              mutation, ProofMaintainer certificate repair,
+//              IncrementalEngine dirty-ball verify;
 //   reprove:   the static path — apply the ops, rerun the scheme's prover
 //              from scratch, full stateless verification sweep.
 //
@@ -22,6 +23,12 @@
 //   churn-stream:  the bench/churn_stream.hpp generator — preferential-
 //                  attachment growth + sliding-window link expiry — over
 //                  the leader-election forest.
+//   conjunction-churn: the composed-scheme workload the scheme algebra
+//                  (core/compose.hpp) opens — "leader-election &
+//                  maximal-matching" maintained as ONE conjunction
+//                  certificate by a ComposedMaintainer, vs re-proving the
+//                  composed scheme (and globally rebuilding the matching)
+//                  per iteration.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,8 +43,9 @@
 #include "algo/matching.hpp"
 #include "churn_stream.hpp"
 #include "core/engine.hpp"
+#include "core/registry.hpp"
+#include "core/session.hpp"
 #include "dynamic/matching_maintainer.hpp"
-#include "dynamic/pipeline.hpp"
 #include "dynamic/tree_maintainer.hpp"
 #include "graph/generators.hpp"
 #include "schemes/matching_schemes.hpp"
@@ -120,21 +128,25 @@ StreamTiming time_stream(const std::string& name, const Graph& start,
   t.iterations = iterations;
 
   {
-    dynamic::DynamicPipeline pipe(start, scheme, make_maintainer());
-    (void)pipe.verify();  // warm the incremental cache outside the timer
+    auto session = VerificationSession::on(start)
+                       .scheme(scheme)
+                       .engine(EngineKind::kIncremental)
+                       .maintainer(make_maintainer())
+                       .build();
+    (void)session.verify();  // warm the incremental cache outside the timer
     long long verdicts = 0;
     const auto begin = std::chrono::steady_clock::now();
     for (int it = 0; it < iterations; ++it) {
       MutationBatch batch;
-      mutate(it, pipe.graph(), &batch);
-      verdicts = verdicts * 31 + (pipe.apply(batch).all_accept ? 0 : 1);
+      mutate(it, session.graph(), &batch);
+      verdicts = verdicts * 31 + (session.apply(batch).all_accept ? 0 : 1);
     }
     const std::chrono::duration<double, std::milli> elapsed =
         std::chrono::steady_clock::now() - begin;
     t.maintain_ms = elapsed.count();
     t.checksum_maintain = verdicts;
-    t.repair_ops = pipe.stats().repair_ops;
-    t.declines = pipe.stats().declined;
+    t.repair_ops = session.stats().repair_ops;
+    t.declines = session.stats().declined;
   }
 
   {
@@ -277,6 +289,43 @@ StreamTiming matching_churn_workload(int n, int iterations) {
       iterations, churn_stream(churn), resolve);
 }
 
+StreamTiming conjunction_churn_workload(int n, int iterations) {
+  // The workload family the scheme algebra opens: spanning forest (leader
+  // election) AND maximal matching certified by ONE conjunction proof,
+  // maintained under link churn by a ComposedMaintainer that dispatches
+  // repairs to the tree and matching maintainers and re-encodes the
+  // concatenated labels.  The static baseline re-proves the composed
+  // scheme per iteration, rebuilding the matching globally whenever churn
+  // broke it.
+  static const std::unique_ptr<Scheme> scheme =
+      builtin_registry().build("leader-election & maximal-matching");
+  Graph g = gen::random_connected(n, 2.0 / n, 5151);
+  g.set_label(0, schemes::kLeaderFlag);
+  const std::vector<bool> matched = greedy_maximal_matching(g);
+  for (int e = 0; e < g.m(); ++e) {
+    if (matched[static_cast<std::size_t>(e)]) {
+      g.set_edge_label(e, schemes::MaximalMatchingScheme::kMatchedBit);
+    }
+  }
+  const int churn = std::max(1, n / 1000);
+  auto resolve = [](const Scheme& s, Graph& g2, Proof& p) {
+    if (!s.holds(g2)) {
+      const std::vector<bool> fresh = greedy_maximal_matching(g2);
+      for (int e = 0; e < g2.m(); ++e) {
+        g2.set_edge_label(e,
+                          fresh[static_cast<std::size_t>(e)]
+                              ? schemes::MaximalMatchingScheme::kMatchedBit
+                              : 0);
+      }
+    }
+    reprove_proof(s, g2, p);
+  };
+  return time_stream(
+      "conjunction-churn", g, *scheme,
+      [] { return make_maintainer_for(*scheme, builtin_registry()); },
+      iterations, churn_stream(churn), resolve);
+}
+
 void print_json(std::FILE* out, const std::vector<StreamTiming>& rows) {
   std::fprintf(out, "{\n  \"generated_by\": \"bench/dynamic_compare\",\n");
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
@@ -315,6 +364,7 @@ int main(int argc, char** argv) {
   rows.push_back(leader_reroot_workload(n, iterations));
   rows.push_back(matching_churn_workload(n, iterations));
   rows.push_back(churn_stream_workload(n, iterations));
+  rows.push_back(conjunction_churn_workload(n, iterations));
 
   std::printf("%-18s %8s %8s %6s | %12s %12s %9s\n", "stream", "n", "m",
               "iters", "maintain", "reprove", "speedup");

@@ -85,7 +85,7 @@ void BM_VerifierBipartiteCycle(benchmark::State& state) {
   const Graph g = gen::cycle(n);
   const Proof proof = *scheme.prove(g);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_verifier(g, proof, scheme.verifier()));
+    benchmark::DoNotOptimize(default_engine().run(g, proof, scheme.verifier()));
   }
 }
 BENCHMARK(BM_VerifierBipartiteCycle)->Arg(64)->Arg(256)->Arg(1024);
@@ -97,7 +97,7 @@ void BM_VerifierLeaderElection(benchmark::State& state) {
   g.set_label(0, schemes::kLeaderFlag);
   const Proof proof = *scheme.prove(g);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_verifier(g, proof, scheme.verifier()));
+    benchmark::DoNotOptimize(default_engine().run(g, proof, scheme.verifier()));
   }
 }
 BENCHMARK(BM_VerifierLeaderElection)->Arg(64)->Arg(256);

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench_util.hpp"
+#include "core/registry.hpp"
 #include "graph/directed.hpp"
 #include "graph/generators.hpp"
 #include "logic/sigma11.hpp"
@@ -146,6 +147,20 @@ void logn_rows() {
             GrowthClass::kLogarithmic);
 }
 
+void composed_rows() {
+  // LCP(s) is closed under conjunction (the scheme algebra,
+  // core/compose.hpp): the composed proof is the offset-table
+  // concatenation of the component proofs, so the measured size tracks
+  // the sum of the component rows — here Theta(1) + Theta(log n).
+  const auto conj = builtin_registry().build("bipartite & even-n");
+  std::vector<SizeSample> c;
+  for (int n : {8, 16, 32, 64, 128}) {
+    c.push_back(measure(*conj, gen::cycle(n), n));
+  }
+  print_row("bipartite AND even n(G)", "connected", "Theta(log n)", c,
+            GrowthClass::kLogarithmic);
+}
+
 void poly_rows() {
   const schemes::FixpointFreeTreeScheme fixpoint;
   std::vector<SizeSample> fp;
@@ -197,6 +212,7 @@ int main() {
   lcp::constant_rows();
   lcp::logk_rows();
   lcp::logn_rows();
+  lcp::composed_rows();
   lcp::poly_rows();
   lcp::bench::rule();
   std::printf(

@@ -5,7 +5,9 @@
 //   3. run the prover to obtain a per-node proof;
 //   4. run the constant-radius verifier at every node through an
 //      ExecutionEngine (direct, message-passing, or parallel backend);
-//   5. watch a corrupted proof get caught by some node.
+//   5. watch a corrupted proof get caught by some node;
+//   6. do all of the above in two lines with the VerificationSession
+//      facade — including a conjunction scheme composed by name.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
 //               ./build/example_quickstart
@@ -14,6 +16,7 @@
 #include "core/checker.hpp"
 #include "core/engine.hpp"
 #include "core/runner.hpp"
+#include "core/session.hpp"
 #include "graph/generators.hpp"
 #include "schemes/lcp_const.hpp"
 
@@ -65,5 +68,16 @@ int main() {
   std::printf("C5 (an odd cycle): any 1-bit proof accepted? %s\n",
               exists_accepted_proof(odd, scheme.verifier(), 1) ? "yes (bug!)"
                                                                : "no");
+
+  // The VerificationSession facade wires the same stack up by name, and
+  // '&' composes registered schemes into a conjunction (proofs
+  // concatenate, verdicts AND, evaluated at the max component radius).
+  auto session = VerificationSession::on(gen::cycle(6))
+                     .scheme("bipartite & even-n-cycles")
+                     .engine(EngineKind::kDirect)
+                     .build();
+  std::printf("session['%s'] on C6: %s\n", session.scheme().name().c_str(),
+              session.verify().all_accept ? "all nodes accept"
+                                          : "rejected");
   return 0;
 }

@@ -4,24 +4,24 @@
 // certification (Section 5.1, after [KKP05]).
 //
 // The static version of this demo re-certified the whole network after
-// every event.  This one runs the dynamic serving pipeline
-// (src/dynamic/): link churn flows through a DeltaTracker, a
-// TreeCertMaintainer patches the certificates along the affected tree
-// paths, and the IncrementalEngine re-audits only the switches whose
-// neighbourhoods moved.  Alarms still fire instantly on real faults —
-// soundness never depends on the maintainer.
+// every event.  This one builds a VerificationSession (core/session.hpp),
+// the facade over the dynamic serving stack: the scheme is resolved by
+// registry name, maintain(true) binds the TreeCertMaintainer that patches
+// certificates along the affected tree paths, link churn flows through
+// the session's DeltaTracker, and the IncrementalEngine re-audits only
+// the switches whose neighbourhoods moved.  Alarms still fire instantly
+// on real faults — soundness never depends on the maintainer.
 #include <cstdio>
 #include <memory>
 
 #include "core/engine.hpp"
-#include "dynamic/pipeline.hpp"
+#include "core/session.hpp"
 #include "dynamic/tree_maintainer.hpp"
 #include "graph/generators.hpp"
 #include "schemes/tree_certified.hpp"
 
 int main() {
   using namespace lcp;
-  using schemes::LeaderElectionScheme;
 
   Graph net = gen::random_connected(48, 0.08, 2026);
   net.set_label(0, schemes::kLeaderFlag);  // switch 0 is the controller
@@ -29,10 +29,11 @@ int main() {
               net.n(), net.m(),
               static_cast<unsigned long long>(net.id(0)));
 
-  static const LeaderElectionScheme scheme;
-  dynamic::DynamicPipeline pipe(
-      std::move(net), scheme,
-      std::make_unique<dynamic::TreeCertMaintainer>(schemes::kLeaderFlag));
+  auto pipe = VerificationSession::on(std::move(net))
+                  .scheme("leader-election")
+                  .engine(EngineKind::kIncremental)
+                  .maintain(true)
+                  .build();
   auto* maintainer =
       static_cast<dynamic::TreeCertMaintainer*>(pipe.maintainer());
 
@@ -117,8 +118,8 @@ int main() {
   }
 
   const auto& stats = pipe.stats();
-  const auto& engine_stats = pipe.engine().stats();
-  std::printf("pipeline totals: %llu batches, %llu repaired, %llu "
+  const auto& engine_stats = pipe.incremental_engine()->stats();
+  std::printf("session totals: %llu batches, %llu repaired, %llu "
               "reproved; engine re-verified %llu switch-audits "
               "incrementally (%llu full sweeps)\n",
               static_cast<unsigned long long>(stats.batches),

@@ -46,7 +46,7 @@ std::vector<Proof> tampered_variants(const Proof& proof, int limit,
 
 /// Convenience: true when the verifier rejects (some node outputs 0).
 inline bool rejected(const Graph& g, const Proof& p, const LocalVerifier& a) {
-  return !run_verifier(g, p, a).all_accept;
+  return !default_engine().run(g, p, a).all_accept;
 }
 
 }  // namespace lcp

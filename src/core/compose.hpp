@@ -1,0 +1,124 @@
+// The scheme algebra: combinators that build new schemes from existing
+// ones, closed over the Scheme interface so composites are first-class
+// everywhere (engines, incremental verification, dynamic maintenance).
+//
+//   - conjunction(a, b, ...): the paper's class LCP(s) is closed under
+//     intersection — concatenate the per-property proofs and let the
+//     verifier AND the component verdicts.  The composed proof label at
+//     each node is an offset-table concatenation of the component labels
+//     (self-delimiting, so tampering that breaks the framing is rejected
+//     by the tampered node itself), the composed verifier runs every
+//     component verifier on that component's slice at the maximum
+//     component radius, and advertised_size is the sum of the components'
+//     (-1, "no closed form", propagates).
+//   - radius_pad(s, r'): re-hosts a radius-r verifier at radius r' >= r.
+//     The padded verifier restricts its radius-r' view back to the base
+//     radius before deciding, so verdicts are bit-identical to the base
+//     scheme's; proofs and ground truth pass through unchanged.  This is
+//     the identity-cost end of the radius/size trade-off studied in
+//     "Decreasing verification radius in local certification" — and the
+//     building block conjunction uses implicitly to host heterogeneous
+//     radii under one horizon.
+//   - relabel(s, f): adapts a scheme to instances whose input labelling is
+//     encoded differently, by mapping every node label through f before
+//     the base prover/verifier sees it.
+//
+// Ownership: combinators accept std::shared_ptr<const Scheme> so a
+// composite built from a registry owns its components, while borrow()
+// wraps a caller-owned scheme without taking ownership (the caller must
+// keep it alive).
+#ifndef LCP_CORE_COMPOSE_HPP_
+#define LCP_CORE_COMPOSE_HPP_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/scheme.hpp"
+
+namespace lcp {
+
+/// A non-owning shared_ptr view of a caller-owned scheme (the caller must
+/// keep `scheme` alive for as long as any composite built from it).
+std::shared_ptr<const Scheme> borrow(const Scheme& scheme);
+
+/// The conjunction a AND b AND ...: holds iff every component holds;
+/// proof labels are offset-table concatenations of the component labels.
+class ConjunctionScheme final : public Scheme {
+ public:
+  /// Requires at least two components; every pointer must be non-null.
+  explicit ConjunctionScheme(
+      std::vector<std::shared_ptr<const Scheme>> parts);
+  ~ConjunctionScheme() override;
+
+  std::string name() const override;
+  bool holds(const Graph& g) const override;
+  std::optional<Proof> prove(const Graph& g) const override;
+  const LocalVerifier& verifier() const override { return *verifier_; }
+  /// Sum of the components' advertised sizes; -1 as soon as any component
+  /// declines to advertise one.
+  int advertised_size(int n) const override;
+
+  int arity() const { return static_cast<int>(parts_.size()); }
+  const Scheme& component(int i) const {
+    return *parts_[static_cast<std::size_t>(i)];
+  }
+
+  /// One node's composed label: empty when every slice is empty, else a
+  /// 6-bit length-field width w, `arity` lengths of w bits each, then the
+  /// slices concatenated in component order.
+  static BitString encode_label(const std::vector<BitString>& slices);
+
+  /// Inverse of encode_label; false when the label is malformed (framing
+  /// truncated, trailing bits, impossible lengths).  A local verifier
+  /// treats a malformed composed label as "reject".
+  static bool decode_label(const BitString& label, int arity,
+                           std::vector<BitString>* slices);
+
+  /// Splits a composed proof into per-component proofs; false when any
+  /// node's label is malformed.
+  bool split(const Proof& p, std::vector<Proof>* parts) const;
+
+ private:
+  std::vector<std::shared_ptr<const Scheme>> parts_;
+  std::unique_ptr<LocalVerifier> verifier_;
+};
+
+/// Owning conjunction of two or more schemes.
+std::unique_ptr<ConjunctionScheme> conjunction(
+    std::vector<std::shared_ptr<const Scheme>> parts);
+
+/// Non-owning convenience over caller-owned schemes.
+template <typename... Rest>
+std::unique_ptr<ConjunctionScheme> conjunction(const Scheme& a,
+                                               const Scheme& b,
+                                               const Rest&... rest) {
+  std::vector<std::shared_ptr<const Scheme>> parts;
+  parts.reserve(2 + sizeof...(rest));
+  parts.push_back(borrow(a));
+  parts.push_back(borrow(b));
+  (parts.push_back(borrow(rest)), ...);
+  return conjunction(std::move(parts));
+}
+
+/// The base scheme with its verifier re-hosted at `radius` >= the base
+/// radius (throws std::invalid_argument below it).  Verdicts are
+/// bit-identical to the base scheme's: the padded verifier restricts the
+/// larger view back to the base radius before deciding.
+std::unique_ptr<Scheme> radius_pad(std::shared_ptr<const Scheme> base,
+                                   int radius);
+std::unique_ptr<Scheme> radius_pad(const Scheme& base, int radius);
+
+/// Maps every node input label through `map` before the base scheme sees
+/// it: holds/prove evaluate the base on the relabelled graph, and the
+/// verifier relabels the ball of each view on the fly.
+using LabelMap = std::function<std::uint64_t(std::uint64_t)>;
+std::unique_ptr<Scheme> relabel(std::shared_ptr<const Scheme> base,
+                                LabelMap map);
+std::unique_ptr<Scheme> relabel(const Scheme& base, LabelMap map);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_COMPOSE_HPP_

@@ -326,7 +326,7 @@ RunResult ParallelEngine::run(const Graph& g, const Proof& p,
 
 ExecutionEngine& default_engine() {
   // Non-caching: run() is then stateless and re-entrant, and one-shot
-  // run_verifier call sites don't pin the last graph's views in a global.
+  // call sites don't pin the last graph's views in a global.
   // Loops that re-verify one graph under many proofs hold their own
   // caching DirectEngine (see core/checker.cpp).
   static DirectEngine engine{DirectEngineOptions{.cache_views = false}};

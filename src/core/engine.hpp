@@ -227,11 +227,11 @@ class ParallelEngine final : public ExecutionEngine {
   std::unique_ptr<WorkerPool> pool_;
 };
 
-/// The process-wide engine behind the run_verifier() compatibility shim: a
-/// DirectEngine with caching off, so its run() is stateless, re-entrant,
-/// and retains no memory between calls — matching the seed semantics of
-/// run_verifier.  Loops that re-verify one graph under many proofs should
-/// hold their own caching DirectEngine (or an IncrementalEngine) instead.
+/// The process-wide engine for one-off sweeps: a DirectEngine with caching
+/// off, so its run() is stateless, re-entrant, and retains no memory
+/// between calls (the seed's run_verifier semantics).  Loops that
+/// re-verify one graph under many proofs should hold their own caching
+/// DirectEngine (or an IncrementalEngine) instead.
 ExecutionEngine& default_engine();
 
 /// Factory by backend name: "direct", "message-passing", "parallel", or

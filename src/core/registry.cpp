@@ -1,0 +1,108 @@
+#include "core/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/compose.hpp"
+#include "dynamic/maintainer.hpp"
+
+namespace lcp {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+void SchemeRegistry::add(std::string name, SchemeFactory make_scheme,
+                         MaintainerFactory make_maintainer) {
+  if (name.empty()) {
+    throw std::invalid_argument("SchemeRegistry: empty scheme name");
+  }
+  if (name.find('&') != std::string::npos) {
+    throw std::invalid_argument("SchemeRegistry: scheme name '" + name +
+                                "' contains '&' (reserved for "
+                                "conjunction expressions)");
+  }
+  if (make_scheme == nullptr) {
+    throw std::invalid_argument("SchemeRegistry: null factory for '" +
+                                name + "'");
+  }
+  const auto [it, inserted] = entries_.try_emplace(
+      std::move(name),
+      Entry{std::move(make_scheme), std::move(make_maintainer)});
+  if (!inserted) {
+    throw std::invalid_argument("SchemeRegistry: duplicate scheme name '" +
+                                it->first + "'");
+  }
+}
+
+bool SchemeRegistry::contains(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+bool SchemeRegistry::has_maintainer(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.make_maintainer != nullptr;
+}
+
+std::vector<std::string> SchemeRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;  // std::map iterates sorted
+}
+
+std::unique_ptr<Scheme> SchemeRegistry::make(std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::invalid_argument("SchemeRegistry: unknown scheme '" +
+                                std::string(name) + "'");
+  }
+  return it->second.make_scheme();
+}
+
+std::unique_ptr<Scheme> SchemeRegistry::build(std::string_view expr) const {
+  std::vector<std::string_view> names;
+  std::string_view rest = expr;
+  while (true) {
+    const std::size_t amp = rest.find('&');
+    const std::string_view head =
+        trim(amp == std::string_view::npos ? rest : rest.substr(0, amp));
+    if (head.empty()) {
+      throw std::invalid_argument(
+          "SchemeRegistry: empty component in expression '" +
+          std::string(expr) + "'");
+    }
+    names.push_back(head);
+    if (amp == std::string_view::npos) break;
+    rest = rest.substr(amp + 1);
+  }
+  // A single name hands back the plain scheme, not a 1-conjunction.
+  if (names.size() == 1) return make(names.front());
+  std::vector<std::shared_ptr<const Scheme>> parts;
+  parts.reserve(names.size());
+  for (const std::string_view name : names) {
+    parts.push_back(std::shared_ptr<const Scheme>(make(name)));
+  }
+  return conjunction(std::move(parts));
+}
+
+std::unique_ptr<dynamic::ProofMaintainer> SchemeRegistry::make_maintainer(
+    std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.make_maintainer == nullptr) {
+    return nullptr;
+  }
+  return it->second.make_maintainer();
+}
+
+}  // namespace lcp

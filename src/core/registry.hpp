@@ -1,0 +1,90 @@
+// The scheme registry: a collision-checked name -> factory table that
+// makes schemes (and their dynamic maintainers) addressable by string, and
+// the parser that turns conjunction expressions like
+// "leader-election & maximal-matching" into composed Schemes.
+//
+// The registry is the naming layer under the VerificationSession facade
+// (core/session.hpp): sessions resolve scheme expressions and maintainer
+// bindings through it, so callers never hand-wire the Scheme + Maintainer
+// pairing.  builtin_registry() is the process-wide instance preloaded with
+// every in-repo scheme; it is defined in src/schemes/builtin_registry.cpp
+// so that core/ stays independent of schemes/ (the same split as
+// make_engine in local/engine_factory.cpp).
+#ifndef LCP_CORE_REGISTRY_HPP_
+#define LCP_CORE_REGISTRY_HPP_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/scheme.hpp"
+
+namespace lcp {
+
+namespace dynamic {
+class ProofMaintainer;
+}  // namespace dynamic
+
+class SchemeRegistry {
+ public:
+  using SchemeFactory = std::function<std::unique_ptr<Scheme>()>;
+  using MaintainerFactory =
+      std::function<std::unique_ptr<dynamic::ProofMaintainer>()>;
+
+  /// Registers a scheme factory under `name`, optionally with the factory
+  /// for the ProofMaintainer that repairs this scheme's certificates under
+  /// churn.  Throws std::invalid_argument on an empty name, a name
+  /// containing '&' (reserved by the expression syntax), a null factory,
+  /// or a duplicate registration.
+  void add(std::string name, SchemeFactory make_scheme,
+           MaintainerFactory make_maintainer = nullptr);
+
+  bool contains(std::string_view name) const;
+  bool has_maintainer(std::string_view name) const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Instantiates the scheme registered under exactly `name`; throws
+  /// std::invalid_argument on an unknown name.
+  std::unique_ptr<Scheme> make(std::string_view name) const;
+
+  /// Builds a scheme from an expression: a single registered name, or two
+  /// or more names joined with '&' (whitespace-insensitive), which yields
+  /// their conjunction (core/compose.hpp).  Throws std::invalid_argument
+  /// on an unknown name or an empty expression component.
+  std::unique_ptr<Scheme> build(std::string_view expr) const;
+
+  /// Instantiates the maintainer registered for `name`, or nullptr when
+  /// the name is unknown or carries no maintainer.
+  std::unique_ptr<dynamic::ProofMaintainer> make_maintainer(
+      std::string_view name) const;
+
+ private:
+  struct Entry {
+    SchemeFactory make_scheme;
+    MaintainerFactory make_maintainer;
+  };
+  // Transparent comparator: lookups by string_view without allocating.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// The process-wide registry preloaded with every in-repo scheme (defined
+/// in src/schemes/builtin_registry.cpp; built once, on first use).
+SchemeRegistry& builtin_registry();
+
+/// Instantiates the maintainer that repairs `scheme`'s certificates: the
+/// registry's maintainer for a plain registered scheme, or a
+/// ComposedMaintainer dispatching to per-component maintainers for a
+/// ConjunctionScheme (nullptr as soon as any component lacks one).
+/// Defined in src/dynamic/composed_maintainer.cpp.
+std::unique_ptr<dynamic::ProofMaintainer> make_maintainer_for(
+    const Scheme& scheme, const SchemeRegistry& registry);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_REGISTRY_HPP_

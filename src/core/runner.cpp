@@ -2,11 +2,6 @@
 
 namespace lcp {
 
-RunResult run_verifier(const Graph& g, const Proof& p,
-                       const LocalVerifier& a) {
-  return default_engine().run(g, p, a);
-}
-
 bool scheme_accepts_own_proof(const Scheme& scheme, const Graph& g) {
   return scheme_accepts_own_proof(scheme, g, default_engine());
 }

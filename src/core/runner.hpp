@@ -3,10 +3,13 @@
 // Acceptance semantics (Section 1): on a yes-instance all nodes must output
 // 1; on a no-instance at least one node must output 0.
 //
-// The sweep itself is performed by an ExecutionEngine (core/engine.hpp);
-// run_verifier is a thin compatibility shim over the process-wide
-// DirectEngine.  Code that runs many verifications should hold its own
-// engine (for cache locality, or a ParallelEngine for throughput).
+// The sweep itself is performed by an ExecutionEngine (core/engine.hpp):
+// hold a DirectEngine (or ParallelEngine / IncrementalEngine) and call
+// run(), or use default_engine() for one-off stateless sweeps.  The old
+// run_verifier(g, p, a) compatibility shim is gone — it was a strict alias
+// of default_engine().run(g, p, a).  Callers that want the whole
+// scheme-plus-runtime stack wired up should build a VerificationSession
+// (core/session.hpp) instead.
 #ifndef LCP_CORE_RUNNER_HPP_
 #define LCP_CORE_RUNNER_HPP_
 
@@ -17,9 +20,6 @@
 #include "graph/graph.hpp"
 
 namespace lcp {
-
-/// Runs verifier `a` at every node of g under proof p via default_engine().
-RunResult run_verifier(const Graph& g, const Proof& p, const LocalVerifier& a);
 
 /// True when the scheme's own proof for a yes-instance is accepted by all
 /// nodes (the completeness half of the LCP definition).

@@ -1,0 +1,205 @@
+#include "core/session.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "dynamic/maintainer.hpp"
+
+namespace lcp {
+
+VerificationSession::Builder::Builder(Graph graph)
+    : graph_(std::move(graph)) {}
+
+VerificationSession::Builder::~Builder() = default;
+VerificationSession::Builder::Builder(Builder&&) noexcept = default;
+
+VerificationSession::Builder& VerificationSession::Builder::scheme(
+    std::string_view expr) {
+  scheme_expr_ = std::string(expr);
+  external_scheme_ = nullptr;
+  owned_scheme_.reset();
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::scheme(
+    const Scheme& external) {
+  external_scheme_ = &external;
+  owned_scheme_.reset();
+  scheme_expr_.clear();
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::scheme(
+    std::unique_ptr<Scheme> owned) {
+  owned_scheme_ = std::move(owned);
+  external_scheme_ = nullptr;
+  scheme_expr_.clear();
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::engine(
+    EngineKind kind) {
+  kind_ = kind;
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::engine(
+    std::string_view backend) {
+  if (backend == "direct") return engine(EngineKind::kDirect);
+  if (backend == "message-passing") {
+    return engine(EngineKind::kMessagePassing);
+  }
+  if (backend == "parallel") return engine(EngineKind::kParallel);
+  if (backend == "incremental") return engine(EngineKind::kIncremental);
+  throw std::invalid_argument("VerificationSession: unknown backend '" +
+                              std::string(backend) + "'");
+}
+
+VerificationSession::Builder& VerificationSession::Builder::store(
+    std::shared_ptr<BallStore> store) {
+  store_ = std::move(store);
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::maintain(
+    bool on) {
+  maintain_ = on;
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::maintainer(
+    std::unique_ptr<dynamic::ProofMaintainer> m) {
+  maintainer_ = std::move(m);
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::engine_options(
+    IncrementalEngineOptions options) {
+  incremental_options_ = std::move(options);
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::registry(
+    const SchemeRegistry& registry) {
+  registry_ = &registry;
+  return *this;
+}
+
+VerificationSession VerificationSession::Builder::build() {
+  return VerificationSession(std::move(*this));
+}
+
+VerificationSession::Builder VerificationSession::on(Graph graph) {
+  return Builder(std::move(graph));
+}
+
+VerificationSession::VerificationSession(Builder&& b)
+    : graph_(std::move(b.graph_)), owned_scheme_(std::move(b.owned_scheme_)) {
+  if (!b.scheme_expr_.empty()) {
+    // Expressions resolve here, against the final registry() choice, so
+    // the fluent setters are order-insensitive.
+    const SchemeRegistry& reg =
+        b.registry_ != nullptr ? *b.registry_ : builtin_registry();
+    owned_scheme_ = reg.build(b.scheme_expr_);
+  }
+  scheme_ = owned_scheme_ != nullptr ? owned_scheme_.get()
+                                     : b.external_scheme_;
+  if (scheme_ == nullptr) {
+    throw std::invalid_argument(
+        "VerificationSession: no scheme configured");
+  }
+
+  switch (b.kind_) {
+    case EngineKind::kDirect: {
+      DirectEngineOptions options;
+      options.store = std::move(b.store_);
+      // One cached (graph, radius) entry: repeat verify() of unchanged
+      // state stays extraction-free, while a mutating session doesn't
+      // retain stale ball snapshots for fingerprints that will never
+      // recur (the multi-graph LRU exists for alternating-graph loops,
+      // which a session — bound to one live graph — never runs).
+      options.max_cached_graphs = 1;
+      engine_ = std::make_unique<DirectEngine>(std::move(options));
+      break;
+    }
+    case EngineKind::kMessagePassing:
+      engine_ = make_engine("message-passing");
+      break;
+    case EngineKind::kParallel:
+      engine_ = std::make_unique<ParallelEngine>(
+          /*threads=*/0, /*persistent_pool=*/true, std::move(b.store_));
+      break;
+    case EngineKind::kIncremental: {
+      IncrementalEngineOptions options = std::move(b.incremental_options_);
+      if (b.store_ != nullptr) options.store = std::move(b.store_);
+      auto incremental =
+          std::make_unique<IncrementalEngine>(std::move(options));
+      incremental_ = incremental.get();
+      engine_ = std::move(incremental);
+      break;
+    }
+  }
+
+  auto initial = scheme_->prove(graph_);
+  proof_ = initial.has_value() ? std::move(*initial)
+                               : Proof::empty(graph_.n());
+  tracker_ = std::make_unique<DeltaTracker>(graph_, proof_,
+                                            scheme_->verifier().radius());
+  engine_->attach_tracker(tracker_.get());
+
+  maintainer_ = std::move(b.maintainer_);
+  if (maintainer_ == nullptr && b.maintain_) {
+    const SchemeRegistry& reg =
+        b.registry_ != nullptr ? *b.registry_ : builtin_registry();
+    maintainer_ = make_maintainer_for(*scheme_, reg);
+  }
+  bound_ = maintainer_ != nullptr && maintainer_->bind(graph_, proof_);
+}
+
+VerificationSession::~VerificationSession() {
+  // The tracker dies with the session; don't leave the engine dangling.
+  if (engine_ != nullptr) engine_->attach_tracker(nullptr);
+}
+
+void VerificationSession::reprove() {
+  ++stats_.reproves;
+  auto fresh = scheme_->prove(graph_);
+  if (fresh.has_value()) {
+    MutationBatch diff;
+    diff_proofs_into_batch(proof_, *fresh, &diff);
+    if (!diff.empty()) tracker_->apply(diff);
+  } else {
+    // No-instance: no valid proof exists, so the stale assignment is as
+    // good as any — soundness guarantees a rejection either way.
+    ++stats_.failed_proves;
+  }
+  if (maintainer_ != nullptr) bound_ = maintainer_->bind(graph_, proof_);
+}
+
+RunResult VerificationSession::apply(const MutationBatch& batch) {
+  ++stats_.batches;
+  tracker_->apply(batch);
+  bool repaired = false;
+  if (bound_) {
+    MutationBatch repair;
+    if (maintainer_->repair(graph_, proof_, batch, &repair)) {
+      repaired = true;
+      ++stats_.repaired;
+      stats_.repair_ops += repair.size();
+      if (!repair.empty()) tracker_->apply(repair);
+    } else {
+      ++stats_.declined;
+      bound_ = false;
+    }
+  }
+  if (!repaired) reprove();
+  ++stats_.verifies;
+  return engine_->run(graph_, proof_, scheme_->verifier());
+}
+
+RunResult VerificationSession::verify() {
+  ++stats_.verifies;
+  return engine_->run(graph_, proof_, scheme_->verifier());
+}
+
+}  // namespace lcp

@@ -1,0 +1,183 @@
+// VerificationSession: the single entry point to the verification
+// runtime.
+//
+// The subsystems that grew around the paper's static semantics — execution
+// engines (core/engine.hpp), delta tracking (core/delta.hpp), incremental
+// re-verification (core/incremental.hpp), shared ball stores
+// (core/ball_store.hpp), and dynamic proof maintenance (src/dynamic/) —
+// each have their own wiring, and before this facade every bench, example
+// and test assembled them slightly differently.  A session owns the whole
+// stack around one live (Graph, Proof) pair and is built fluently:
+//
+//   auto session = VerificationSession::on(std::move(graph))
+//                      .scheme("leader-election & maximal-matching")
+//                      .engine(EngineKind::kIncremental)
+//                      .store(shared_store)
+//                      .maintain(true)
+//                      .build();
+//   RunResult r = session.apply(batch);   // mutate -> repair -> verify
+//
+// scheme() accepts a registry expression (core/registry.hpp; '&' composes
+// conjunctions via the scheme algebra in core/compose.hpp), an external
+// const Scheme& the caller keeps alive, or an owned unique_ptr.
+// maintain(true) resolves the right ProofMaintainer through the registry —
+// including a ComposedMaintainer for conjunctions — and apply() then runs
+// mutation -> certificate repair -> dirty-ball re-verification, falling
+// back to a full reprove through the scheme when the maintainer declines.
+// Soundness is never delegated: the verdict always comes from the
+// scheme's verifier over the current assignment, so a buggy repair can
+// only cost performance, never a wrong accept.
+//
+// Sessions are engine-agnostic: every mutation flows through the
+// DeltaTracker, delta-consuming engines (incremental) re-verify dirty
+// balls, and the other backends simply sweep fully with identical
+// verdicts.
+#ifndef LCP_CORE_SESSION_HPP_
+#define LCP_CORE_SESSION_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/ball_store.hpp"
+#include "core/delta.hpp"
+#include "core/engine.hpp"
+#include "core/incremental.hpp"
+#include "core/registry.hpp"
+#include "core/scheme.hpp"
+
+namespace lcp {
+
+namespace dynamic {
+class ProofMaintainer;
+}  // namespace dynamic
+
+/// Execution backend selector for sessions; mirrors make_engine's names.
+enum class EngineKind {
+  kDirect,
+  kMessagePassing,
+  kParallel,
+  kIncremental,
+};
+
+struct SessionStats {
+  std::uint64_t batches = 0;       ///< apply() calls
+  std::uint64_t repaired = 0;      ///< batches healed by the maintainer
+  std::uint64_t declined = 0;      ///< maintainer declines
+  std::uint64_t reproves = 0;      ///< full prover invocations
+  std::uint64_t failed_proves = 0; ///< reproves on no-instances (stale kept)
+  std::uint64_t repair_ops = 0;    ///< total ops across all repair batches
+  std::uint64_t verifies = 0;      ///< engine runs (apply + verify)
+};
+
+class VerificationSession {
+ public:
+  class Builder {
+   public:
+    explicit Builder(Graph graph);
+    ~Builder();  // out of line: maintainer_'s type is incomplete here
+    Builder(Builder&&) noexcept;
+
+    /// A registry expression: a registered name, or names joined with
+    /// '&' for a conjunction.  Resolved at build() time against the
+    /// final registry() choice (builtin_registry() by default), so setter
+    /// order does not matter.
+    Builder& scheme(std::string_view expr);
+    /// Uses a caller-owned scheme; it must outlive the session.
+    Builder& scheme(const Scheme& external);
+    /// Adopts ownership of a scheme instance.
+    Builder& scheme(std::unique_ptr<Scheme> owned);
+
+    Builder& engine(EngineKind kind);
+    /// Backend by make_engine name ("direct", "message-passing",
+    /// "parallel", "incremental").
+    Builder& engine(std::string_view backend);
+
+    /// Shared ball store for cross-engine view reuse (ignored by the
+    /// message-passing backend, which extracts nothing).
+    Builder& store(std::shared_ptr<BallStore> store);
+
+    /// Resolve a ProofMaintainer for the scheme through the registry and
+    /// repair certificates on apply() instead of reproving.
+    Builder& maintain(bool on = true);
+    /// Binds an explicit maintainer instead of resolving one.
+    Builder& maintainer(std::unique_ptr<dynamic::ProofMaintainer> m);
+
+    /// Options for the incremental backend (the store() setter overrides
+    /// the embedded store field).  verify_state defaults OFF: the session
+    /// owns the pair and routes every mutation through its tracker.
+    Builder& engine_options(IncrementalEngineOptions options);
+
+    /// Registry used by scheme(expr) and maintain(); defaults to
+    /// builtin_registry().
+    Builder& registry(const SchemeRegistry& registry);
+
+    /// Finalises the session.  Throws std::invalid_argument when no
+    /// scheme was set (or an expression failed to resolve).
+    VerificationSession build();
+
+   private:
+    friend class VerificationSession;
+    Graph graph_;
+    std::string scheme_expr_;  // resolved at build() time
+    const Scheme* external_scheme_ = nullptr;
+    std::unique_ptr<Scheme> owned_scheme_;
+    EngineKind kind_ = EngineKind::kIncremental;
+    std::shared_ptr<BallStore> store_;
+    bool maintain_ = false;
+    std::unique_ptr<dynamic::ProofMaintainer> maintainer_;
+    IncrementalEngineOptions incremental_options_{.verify_state = false};
+    const SchemeRegistry* registry_ = nullptr;
+  };
+
+  /// Starts a builder over the graph the session will own.
+  static Builder on(Graph graph);
+
+  ~VerificationSession();
+
+  // The tracker holds references into the owned graph/proof; the session
+  // is pinned to its construction address.
+  VerificationSession(const VerificationSession&) = delete;
+  VerificationSession& operator=(const VerificationSession&) = delete;
+
+  /// Applies the batch through the tracker, repairs (or reproves) the
+  /// certificate assignment, and returns the verification verdict.
+  RunResult apply(const MutationBatch& batch);
+
+  /// Verifies the current state without mutating (cheap on the
+  /// incremental backend: the unchanged-state fast path).
+  RunResult verify();
+
+  const Graph& graph() const { return graph_; }
+  const Proof& proof() const { return proof_; }
+  const Scheme& scheme() const { return *scheme_; }
+  DeltaTracker& tracker() { return *tracker_; }
+  ExecutionEngine& engine() { return *engine_; }
+  /// The concrete incremental engine, or nullptr on other backends.
+  IncrementalEngine* incremental_engine() { return incremental_; }
+  dynamic::ProofMaintainer* maintainer() { return maintainer_.get(); }
+  bool maintainer_bound() const { return bound_; }
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  explicit VerificationSession(Builder&& b);
+
+  void reprove();
+
+  Graph graph_;
+  Proof proof_;
+  std::unique_ptr<Scheme> owned_scheme_;
+  const Scheme* scheme_ = nullptr;
+  std::unique_ptr<ExecutionEngine> engine_;
+  IncrementalEngine* incremental_ = nullptr;  // engine_, when incremental
+  std::unique_ptr<DeltaTracker> tracker_;
+  std::unique_ptr<dynamic::ProofMaintainer> maintainer_;
+  bool bound_ = false;
+  SessionStats stats_;
+};
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_SESSION_HPP_

@@ -1,0 +1,202 @@
+#include "dynamic/composed_maintainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/registry.hpp"
+
+namespace lcp::dynamic {
+
+namespace {
+
+// Cross-component graph-repair traffic must quiesce within this many
+// relay rounds or the batch is declined (components fighting over shared
+// labels would otherwise ping-pong forever).
+constexpr int kMaxRelayRounds = 4;
+
+/// Re-records one op into another batch (MutationBatch has no generic
+/// push; repairs only ever carry label/weight ops).
+void append_op(MutationBatch* batch, const MutationBatch::Op& op) {
+  switch (op.kind) {
+    case MutationBatch::Kind::kNodeLabel:
+      batch->set_node_label(op.u, op.label);
+      break;
+    case MutationBatch::Kind::kEdgeLabel:
+      batch->set_edge_label(op.u, op.v, op.label);
+      break;
+    case MutationBatch::Kind::kEdgeWeight:
+      batch->set_edge_weight(op.u, op.v, op.weight);
+      break;
+    case MutationBatch::Kind::kProofLabel:
+    case MutationBatch::Kind::kAddEdge:
+    case MutationBatch::Kind::kRemoveEdge:
+    case MutationBatch::Kind::kAddNode:
+      break;  // never relayed; filtered by the caller
+  }
+}
+
+}  // namespace
+
+ComposedMaintainer::ComposedMaintainer(
+    const ConjunctionScheme& scheme,
+    std::vector<std::unique_ptr<ProofMaintainer>> parts)
+    : scheme_(&scheme), parts_(std::move(parts)) {
+  if (static_cast<int>(parts_.size()) != scheme.arity()) {
+    throw std::invalid_argument(
+        "ComposedMaintainer: one maintainer per component required");
+  }
+  for (const auto& part : parts_) {
+    if (part == nullptr) {
+      throw std::invalid_argument(
+          "ComposedMaintainer: null component maintainer");
+    }
+  }
+}
+
+std::string ComposedMaintainer::name() const {
+  std::string out = "composed(";
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += parts_[i]->name();
+  }
+  return out + ")";
+}
+
+bool ComposedMaintainer::bind(const Graph& g, const Proof& p) {
+  if (static_cast<int>(p.labels.size()) != g.n()) return false;
+  std::vector<Proof> slices;
+  if (!scheme_->split(p, &slices)) return false;
+  for (std::size_t i = 0; i < parts_.size(); ++i) {
+    if (!parts_[i]->bind(g, slices[i])) return false;
+  }
+  slices_ = std::move(slices);
+  dirty_mark_.assign(static_cast<std::size_t>(g.n()), 0);
+  dirty_epoch_ = 0;
+  return true;
+}
+
+bool ComposedMaintainer::repair(const Graph& g, const Proof& p,
+                                const MutationBatch& applied,
+                                MutationBatch* out) {
+  (void)p;  // slices_ is the decoded shadow of p
+  const int k = static_cast<int>(parts_.size());
+
+  // Out-of-band edits of the composed proof unbind us, exactly like the
+  // component maintainers treat their own labels; grow the shadow slices
+  // for node additions (the tracker appended an empty composed label).
+  for (const MutationBatch::Op& op : applied.ops()) {
+    if (op.kind == MutationBatch::Kind::kProofLabel) return false;
+    if (op.kind == MutationBatch::Kind::kAddNode) {
+      for (Proof& slice : slices_) slice.labels.emplace_back();
+      dirty_mark_.push_back(0);
+    }
+  }
+
+  ++dirty_epoch_;
+  dirty_.clear();
+
+  // Round 0 replays the applied batch into every component; follow-up
+  // rounds relay the graph-mutating repair ops each component emitted to
+  // the *other* components, until the traffic quiesces.
+  std::vector<MutationBatch> pending(static_cast<std::size_t>(k));
+  bool first_round = true;
+  for (int round = 0;; ++round) {
+    if (round == kMaxRelayRounds) return false;  // no quiescence: decline
+    std::vector<MutationBatch> next(static_cast<std::size_t>(k));
+    bool relayed = false;
+    for (int i = 0; i < k; ++i) {
+      const MutationBatch& in =
+          first_round ? applied : pending[static_cast<std::size_t>(i)];
+      if (in.empty()) continue;
+      MutationBatch rep;
+      if (!parts_[static_cast<std::size_t>(i)]->repair(
+              g, slices_[static_cast<std::size_t>(i)], in, &rep)) {
+        return false;
+      }
+      for (const MutationBatch::Op& op : rep.ops()) {
+        switch (op.kind) {
+          case MutationBatch::Kind::kProofLabel: {
+            slices_[static_cast<std::size_t>(i)]
+                .labels[static_cast<std::size_t>(op.u)] = op.bits;
+            if (dirty_mark_[static_cast<std::size_t>(op.u)] !=
+                dirty_epoch_) {
+              dirty_mark_[static_cast<std::size_t>(op.u)] = dirty_epoch_;
+              dirty_.push_back(op.u);
+            }
+            break;
+          }
+          case MutationBatch::Kind::kNodeLabel:
+            // Relayed ops reach siblings before the shared graph carries
+            // them, and node labels are exactly what maintainers re-read
+            // from the graph (TreeCertMaintainer's leader tracking calls
+            // g.find_label()), so a stale read here could break
+            // completeness silently.  No in-repo maintainer repairs node
+            // labels today; decline so the session reproves instead.
+            return false;
+          case MutationBatch::Kind::kEdgeLabel:
+          case MutationBatch::Kind::kEdgeWeight: {
+            // A shared-graph repair: forward it to the session's tracker
+            // and relay it to every other component next round.
+            append_op(out, op);
+            for (int j = 0; j < k; ++j) {
+              if (j == i) continue;
+              append_op(&next[static_cast<std::size_t>(j)], op);
+            }
+            relayed = true;
+            ++stats_.relayed_ops;
+            break;
+          }
+          case MutationBatch::Kind::kAddEdge:
+          case MutationBatch::Kind::kRemoveEdge:
+          case MutationBatch::Kind::kAddNode:
+            return false;  // maintainers must not grow/shrink the graph
+        }
+      }
+    }
+    first_round = false;
+    if (!relayed) break;
+    ++stats_.relay_rounds;
+    pending = std::move(next);
+  }
+
+  // Re-encode the composed label of every node whose slice moved.
+  std::sort(dirty_.begin(), dirty_.end());
+  std::vector<BitString> at_node(static_cast<std::size_t>(k));
+  for (int v : dirty_) {
+    for (int j = 0; j < k; ++j) {
+      at_node[static_cast<std::size_t>(j)] =
+          slices_[static_cast<std::size_t>(j)]
+              .labels[static_cast<std::size_t>(v)];
+    }
+    out->set_proof_label(v, ConjunctionScheme::encode_label(at_node));
+    ++stats_.labels_emitted;
+  }
+  ++stats_.repaired_batches;
+  return true;
+}
+
+std::unique_ptr<ProofMaintainer> make_maintainer_for_impl(
+    const Scheme& scheme, const SchemeRegistry& registry) {
+  if (const auto* conj = dynamic_cast<const ConjunctionScheme*>(&scheme)) {
+    std::vector<std::unique_ptr<ProofMaintainer>> parts;
+    parts.reserve(static_cast<std::size_t>(conj->arity()));
+    for (int i = 0; i < conj->arity(); ++i) {
+      auto part = make_maintainer_for_impl(conj->component(i), registry);
+      if (part == nullptr) return nullptr;
+      parts.push_back(std::move(part));
+    }
+    return std::make_unique<ComposedMaintainer>(*conj, std::move(parts));
+  }
+  return registry.make_maintainer(scheme.name());
+}
+
+}  // namespace lcp::dynamic
+
+namespace lcp {
+
+std::unique_ptr<dynamic::ProofMaintainer> make_maintainer_for(
+    const Scheme& scheme, const SchemeRegistry& registry) {
+  return dynamic::make_maintainer_for_impl(scheme, registry);
+}
+
+}  // namespace lcp

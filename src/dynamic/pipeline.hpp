@@ -1,8 +1,9 @@
 // The dynamic serving pipeline: mutation -> proof repair -> dirty-ball
 // re-verification, in one apply() call.
 //
-// DynamicPipeline owns a live (Graph, Proof) pair and couples the three
-// dynamic subsystems around it:
+// DynamicPipeline is the historical name of this wiring; it is now a thin
+// adapter over VerificationSession (core/session.hpp), which owns the live
+// (Graph, Proof) pair and couples the three dynamic subsystems around it:
 //
 //        MutationBatch
 //             v
@@ -17,13 +18,18 @@
 // also routed through the tracker so the dirty log sees it), and runs the
 // incremental engine — total cost O(|delta| + |dirty balls|) instead of
 // the O(n) reprove + O(n) full sweep of the static pipeline.  When the
-// maintainer declines a batch (or no maintainer is bound), the pipeline
+// maintainer declines a batch (or no maintainer is bound), the session
 // falls back to a full reprove through the scheme and tries to rebind.
 //
 // Soundness is never delegated: the engine's verdict is computed by the
 // scheme's own verifier over whatever assignment is current, so a buggy
 // or declined repair can only cost performance (a rejection and a
 // reprove), not a wrong accept.
+//
+// New code should build a VerificationSession directly — the facade also
+// resolves schemes and maintainers by registry name and composes
+// conjunction schemes; this adapter remains for callers that hand-wire a
+// concrete Scheme + ProofMaintainer pair.
 #ifndef LCP_DYNAMIC_PIPELINE_HPP_
 #define LCP_DYNAMIC_PIPELINE_HPP_
 
@@ -31,18 +37,12 @@
 
 #include "core/incremental.hpp"
 #include "core/scheme.hpp"
+#include "core/session.hpp"
 #include "dynamic/maintainer.hpp"
 
 namespace lcp::dynamic {
 
-struct DynamicPipelineStats {
-  std::uint64_t batches = 0;
-  std::uint64_t repaired = 0;     ///< batches healed by the maintainer
-  std::uint64_t declined = 0;     ///< maintainer declines
-  std::uint64_t reproves = 0;     ///< full prover invocations
-  std::uint64_t failed_proves = 0;///< reproves on no-instances (stale proof kept)
-  std::uint64_t repair_ops = 0;   ///< total ops across all repair batches
-};
+using DynamicPipelineStats = SessionStats;
 
 class DynamicPipeline {
  public:
@@ -52,9 +52,9 @@ class DynamicPipeline {
   /// pipeline; `maintainer` may be null (every batch then reproves).
   ///
   /// The engine's per-run state fingerprint check defaults OFF here: the
-  /// pipeline owns the pair and routes every mutation (user batches and
+  /// session owns the pair and routes every mutation (user batches and
   /// repairs alike) through its tracker, so the O(n + m) re-hash per
-  /// apply() would only re-verify the pipeline's own invariant.  Callers
+  /// apply() would only re-verify the session's own invariant.  Callers
   /// that hand out mutable access to graph()/proof() some other way can
   /// pass {.verify_state = true} to restore the belt-and-braces check.
   ///
@@ -69,41 +69,41 @@ class DynamicPipeline {
   DynamicPipeline(Graph graph, const Scheme& scheme,
                   std::unique_ptr<ProofMaintainer> maintainer,
                   IncrementalEngineOptions engine_options = {
-                      .verify_state = false});
-  ~DynamicPipeline();
+                      .verify_state = false})
+      : session_(VerificationSession::on(std::move(graph))
+                     .scheme(scheme)
+                     .engine(EngineKind::kIncremental)
+                     .engine_options(std::move(engine_options))
+                     .maintainer(std::move(maintainer))
+                     .build()) {}
 
-  // The tracker holds references into the owned graph/proof.
+  // The underlying session's tracker holds references into the owned
+  // graph/proof.
   DynamicPipeline(const DynamicPipeline&) = delete;
   DynamicPipeline& operator=(const DynamicPipeline&) = delete;
 
   /// Applies the batch, repairs (or reproves) the certificate assignment,
   /// and returns the incremental verification verdict.
-  RunResult apply(const MutationBatch& batch);
+  RunResult apply(const MutationBatch& batch) { return session_.apply(batch); }
 
   /// Re-verifies the current state without mutating (cheap: the engine's
   /// unchanged-state fast path).
-  RunResult verify();
+  RunResult verify() { return session_.verify(); }
 
-  const Graph& graph() const { return graph_; }
-  const Proof& proof() const { return proof_; }
-  const Scheme& scheme() const { return *scheme_; }
-  DeltaTracker& tracker() { return *tracker_; }
-  IncrementalEngine& engine() { return engine_; }
-  ProofMaintainer* maintainer() { return maintainer_.get(); }
-  bool maintainer_bound() const { return bound_; }
-  const DynamicPipelineStats& stats() const { return stats_; }
+  const Graph& graph() const { return session_.graph(); }
+  const Proof& proof() const { return session_.proof(); }
+  const Scheme& scheme() const { return session_.scheme(); }
+  DeltaTracker& tracker() { return session_.tracker(); }
+  IncrementalEngine& engine() { return *session_.incremental_engine(); }
+  ProofMaintainer* maintainer() { return session_.maintainer(); }
+  bool maintainer_bound() const { return session_.maintainer_bound(); }
+  const DynamicPipelineStats& stats() const { return session_.stats(); }
+
+  /// The facade this pipeline adapts.
+  VerificationSession& session() { return session_; }
 
  private:
-  void reprove();
-
-  Graph graph_;
-  Proof proof_;
-  const Scheme* scheme_;
-  std::unique_ptr<ProofMaintainer> maintainer_;
-  IncrementalEngine engine_;
-  std::unique_ptr<DeltaTracker> tracker_;
-  bool bound_ = false;
-  DynamicPipelineStats stats_;
+  VerificationSession session_;
 };
 
 }  // namespace lcp::dynamic

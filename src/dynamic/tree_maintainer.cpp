@@ -11,11 +11,48 @@ constexpr int kMaxWidth = 63;   // field widths are stored in 6 bits
 
 }  // namespace
 
-int TreeCertMaintainer::root_of(int v) const {
-  while (parent_[static_cast<std::size_t>(v)] != v) {
-    v = parent_[static_cast<std::size_t>(v)];
+int TreeCertMaintainer::find_rec(int rec) const {
+  while (rec_parent_[static_cast<std::size_t>(rec)] != rec) {
+    rec_parent_[static_cast<std::size_t>(rec)] =
+        rec_parent_[static_cast<std::size_t>(
+            rec_parent_[static_cast<std::size_t>(rec)])];
+    rec = rec_parent_[static_cast<std::size_t>(rec)];
   }
-  return v;
+  return rec;
+}
+
+int TreeCertMaintainer::new_record(int root) {
+  const int rec = static_cast<int>(rec_parent_.size());
+  rec_parent_.push_back(rec);
+  rec_root_.push_back(root);
+  return rec;
+}
+
+int TreeCertMaintainer::root_of(int v) const {
+  return rec_root_[static_cast<std::size_t>(
+      find_rec(comp_[static_cast<std::size_t>(v)]))];
+}
+
+void TreeCertMaintainer::compact_records() {
+  ++stats_.record_compactions;
+  const int n = static_cast<int>(certs_.size());
+  rec_parent_.clear();
+  rec_root_.clear();
+  comp_.assign(static_cast<std::size_t>(n), -1);
+  std::vector<int>& queue = scratch_order_;
+  for (int r = 0; r < n; ++r) {
+    if (parent_[static_cast<std::size_t>(r)] != r) continue;
+    const int rec = new_record(r);
+    queue.clear();
+    queue.push_back(r);
+    comp_[static_cast<std::size_t>(r)] = rec;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (int c : children_[static_cast<std::size_t>(queue[head])]) {
+        comp_[static_cast<std::size_t>(c)] = rec;
+        queue.push_back(c);
+      }
+    }
+  }
 }
 
 void TreeCertMaintainer::touch(int v) {
@@ -154,6 +191,7 @@ bool TreeCertMaintainer::handle_add_node(const Graph& g,
   certs_.emplace_back();
   parent_.push_back(v);
   children_.emplace_back();
+  comp_.push_back(new_record(v));
   mark_.push_back(0);
   touched_mark_.push_back(0);
   visit_.push_back(0);
@@ -200,6 +238,12 @@ bool TreeCertMaintainer::handle_add_edge(const Graph& g, int u, int v) {
     if (!rebuild_tree(g, guest, host)) return false;
     patch_subtree_path(host,
                        static_cast<std::int64_t>(scratch_nodes_.size()));
+    // Union the component records: every guest member now resolves to the
+    // host root without walking a single parent pointer.
+    const int host_rec = find_rec(comp_[static_cast<std::size_t>(host)]);
+    rec_parent_[static_cast<std::size_t>(
+        find_rec(comp_[static_cast<std::size_t>(root_guest)]))] = host_rec;
+    rec_root_[static_cast<std::size_t>(host_rec)] = root_host;
     // Subtree counters are maintained exactly, so the merged root's
     // counter IS the new component size; stale totals (splits leave them
     // untouched, see handle_remove_edge) heal here.
@@ -252,6 +296,12 @@ bool TreeCertMaintainer::handle_remove_edge(const Graph& g, int u, int v) {
       patch_subtree_path(ry, sub);
       const int new_root = root_of(ry);
       if (new_root != old_root) {
+        // The severed members leave the old record for ry's: their old
+        // record still serves the retained part of the old component.
+        const int rec = find_rec(comp_[static_cast<std::size_t>(ry)]);
+        for (int x : scratch_nodes_) {
+          comp_[static_cast<std::size_t>(x)] = rec;
+        }
         // The replacement crossed into another maintained tree (an edge
         // added later in this batch, not yet replayed): a merge — the
         // union's identity comes from the host root's exact counter.
@@ -275,7 +325,9 @@ bool TreeCertMaintainer::handle_remove_edge(const Graph& g, int u, int v) {
       const std::uint64_t base =
           certs_[static_cast<std::size_t>(child)].dist;
       parent_[static_cast<std::size_t>(child)] = child;
+      const int rec = new_record(child);
       for (int x : scratch_nodes_) {
+        comp_[static_cast<std::size_t>(x)] = rec;
         certs_[static_cast<std::size_t>(x)].dist -= base;
         touch(x);
       }
@@ -305,6 +357,8 @@ bool TreeCertMaintainer::settle_leader(const Graph& g) {
   const int r0 = root_of(leader_);
   collect_subtree(r0, &scratch_nodes_);
   if (!rebuild_tree(g, leader_, -1)) return false;
+  rec_root_[static_cast<std::size_t>(
+      find_rec(comp_[static_cast<std::size_t>(leader_)]))] = leader_;
   set_component_identity(g, leader_,
                          certs_[static_cast<std::size_t>(leader_)].subtree);
   return true;
@@ -348,6 +402,10 @@ bool TreeCertMaintainer::repair(const Graph& g, const Proof& p,
     if (!ok) return false;
   }
   if (!settle_leader(g)) return false;
+  // The record table only ever grows during a binding (one append per
+  // split / node add); compact it back to one record per component before
+  // it outgrows the forest.
+  if (rec_parent_.size() > 4 * certs_.size() + 64) compact_records();
   // Emit only labels that truly changed: repeated touches along shared
   // root paths often cancel out.
   std::sort(touched_.begin(), touched_.end());
@@ -411,6 +469,9 @@ bool TreeCertMaintainer::bind(const Graph& g, const Proof& p) {
     }
   }
   std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  std::vector<int> rec_parent;
+  std::vector<int> rec_root;
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
   std::vector<int> order;
   order.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
@@ -427,6 +488,12 @@ bool TreeCertMaintainer::bind(const Graph& g, const Proof& p) {
     }
     const std::uint64_t size =
         static_cast<std::uint64_t>(order.size() - start);
+    const int rec = static_cast<int>(rec_parent.size());
+    rec_parent.push_back(rec);
+    rec_root.push_back(r);
+    for (std::size_t i = start; i < order.size(); ++i) {
+      comp[static_cast<std::size_t>(order[i])] = rec;
+    }
     for (std::size_t i = start; i < order.size(); ++i) {
       const int x = order[i];
       const TreeCert& c = certs[static_cast<std::size_t>(x)];
@@ -460,6 +527,9 @@ bool TreeCertMaintainer::bind(const Graph& g, const Proof& p) {
   certs_ = std::move(certs);
   parent_ = std::move(parent);
   children_ = std::move(children);
+  rec_parent_ = std::move(rec_parent);
+  rec_root_ = std::move(rec_root);
+  comp_ = std::move(comp);
   mark_.assign(static_cast<std::size_t>(n), 0);
   epoch_ = 0;
   touched_.clear();

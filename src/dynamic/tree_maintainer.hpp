@@ -27,6 +27,14 @@
 // log drives the incremental verifier over exactly the balls whose
 // certificates moved.  The maintainer only adopts honest (untruncated)
 // certificates: truncated schemes are attack material, not serving state.
+//
+// Component identity is O(alpha): a union-find lives beside the forest
+// (one record per component, merged on edge adds, re-allocated for the
+// severed side of a split), so root_of never walks parent pointers — on
+// deep trees that walk used to cost O(depth) per edge op, paid twice per
+// add/remove whether or not the edge merged anything.  Splits re-link the
+// severed members to a fresh record, which is O(|subtree|) work the split
+// already pays to re-root them.
 #ifndef LCP_DYNAMIC_TREE_MAINTAINER_HPP_
 #define LCP_DYNAMIC_TREE_MAINTAINER_HPP_
 
@@ -45,6 +53,7 @@ struct TreeMaintainerStats {
   std::uint64_t splices = 0;          ///< tree-edge removals healed by a cut edge
   std::uint64_t splits = 0;           ///< tree-edge removals with no replacement
   std::uint64_t reroots = 0;          ///< leader-driven re-rootings
+  std::uint64_t record_compactions = 0;  ///< union-find table rebuilds
 };
 
 class TreeCertMaintainer final : public ProofMaintainer {
@@ -64,7 +73,19 @@ class TreeCertMaintainer final : public ProofMaintainer {
   const TreeMaintainerStats& stats() const { return stats_; }
 
  private:
+  /// The root of v's component, through the union-find (amortised
+  /// near-O(1)); callers must keep the record table consistent whenever a
+  /// root moves (merge, split, re-root).
   int root_of(int v) const;
+  /// Representative of a component record, with path halving.
+  int find_rec(int rec) const;
+  /// Allocates a fresh component record rooted at `root`.
+  int new_record(int root);
+  /// Rebuilds the record tables from the current forest (one record per
+  /// component).  Splits and node adds append records without ever
+  /// freeing them, so a long-lived binding compacts once the table
+  /// outgrows a small multiple of n — O(n), amortised O(1) per split.
+  void compact_records();
   void touch(int v);
   /// Collects the subtree hanging below `top` (inclusive) into `out` and
   /// marks its members in the current epoch.
@@ -103,6 +124,15 @@ class TreeCertMaintainer final : public ProofMaintainer {
   std::vector<TreeCert> certs_;
   std::vector<int> parent_;  // parent_[root] == root
   std::vector<std::vector<int>> children_;
+
+  // Union-find over component records: comp_[v] names a record, records
+  // merge on component merges, and rec_root_ maps a record's
+  // representative to the component's current tree root.  Splits allocate
+  // a fresh record for the severed members, so stale records never serve
+  // lookups (mutable: find_rec path-halves under const root_of).
+  mutable std::vector<int> rec_parent_;
+  std::vector<int> rec_root_;
+  std::vector<int> comp_;  // node -> record id
 
   // Scratch: epoch marks for subtree collection, touched-set for emission,
   // rebuild_tree's BFS state (new parents/dists committed after traversal).

@@ -1,0 +1,95 @@
+// The process-wide scheme registry (core/registry.hpp): every in-repo
+// scheme addressable by name, with the dynamic maintainer that repairs its
+// certificates registered beside it where one exists.  Lives in schemes/
+// (not core/) so the registry header stays free of scheme and maintainer
+// dependencies — the same layering split as make_engine in
+// local/engine_factory.cpp.
+//
+// Only honest (untruncated) scheme variants are registered: truncated
+// schemes are attack material for the Section 5 lower-bound experiments,
+// not serving state, and the maintainers refuse to adopt them anyway.
+#include <memory>
+
+#include "core/registry.hpp"
+#include "dynamic/coloring_maintainer.hpp"
+#include "dynamic/matching_maintainer.hpp"
+#include "dynamic/tree_maintainer.hpp"
+#include "schemes/chromatic.hpp"
+#include "schemes/cycle_certified.hpp"
+#include "schemes/lcp0.hpp"
+#include "schemes/lcp_const.hpp"
+#include "schemes/matching_schemes.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+
+namespace {
+
+template <typename SchemeT, typename... Args>
+SchemeRegistry::SchemeFactory scheme_factory(Args... args) {
+  return [args...] { return std::make_unique<SchemeT>(args...); };
+}
+
+SchemeRegistry make_builtin_registry() {
+  using namespace schemes;
+  SchemeRegistry r;
+
+  // Tree-certified LogLCP schemes (Section 5.1).  The tree maintainers
+  // shadow the spanning-forest certificate; leader-election's re-roots at
+  // the flagged node, the parity ones keep free roots.
+  r.add("leader-election", scheme_factory<LeaderElectionScheme>(0), [] {
+    return std::make_unique<dynamic::TreeCertMaintainer>(kLeaderFlag);
+  });
+  r.add("spanning-tree", scheme_factory<SpanningTreeScheme>(0));
+  r.add("odd-n", scheme_factory<ParityScheme>(true, 0), [] {
+    return std::make_unique<dynamic::TreeCertMaintainer>(std::uint64_t{0});
+  });
+  r.add("even-n", scheme_factory<ParityScheme>(false, 0), [] {
+    return std::make_unique<dynamic::TreeCertMaintainer>(std::uint64_t{0});
+  });
+  r.add("acyclic", scheme_factory<AcyclicScheme>(0));
+
+  // LCP(O(1)) properties (Section 4.1).
+  r.add("bipartite", scheme_factory<BipartiteScheme>());
+  r.add("even-n-cycles", scheme_factory<EvenCycleScheme>());
+  r.add("st-reachability", scheme_factory<StReachabilityScheme>());
+  r.add("st-unreachability", scheme_factory<StUnreachableScheme>());
+  r.add("st-unreachability-directed",
+        scheme_factory<StUnreachableDirectedScheme>());
+
+  // LCP(0) problems and properties.
+  r.add("maximal-matching", scheme_factory<MaximalMatchingScheme>(), [] {
+    return std::make_unique<dynamic::MatchingMaintainer>(
+        MaximalMatchingScheme::kMatchedBit);
+  });
+  r.add("lcl-mis", scheme_factory<MaximalIndependentSetScheme>());
+  r.add("eulerian", scheme_factory<EulerianScheme>());
+  r.add("line-graph", scheme_factory<LineGraphScheme>());
+
+  // Colourability; the greedy maintainer declines saturated conflicts and
+  // the session/pipeline falls back to the exact prover.
+  r.add("chromatic<=3", scheme_factory<ChromaticLeqKScheme>(3), [] {
+    return std::make_unique<dynamic::GreedyColoringMaintainer>(3);
+  });
+  r.add("chromatic<=4", scheme_factory<ChromaticLeqKScheme>(4), [] {
+    return std::make_unique<dynamic::GreedyColoringMaintainer>(4);
+  });
+
+  // Matching problems (Table 1b) and the cycle/path certificates.
+  r.add("max-matching-bipartite",
+        scheme_factory<MaxMatchingBipartiteScheme>());
+  r.add("non-bipartite", scheme_factory<NonBipartiteScheme>(0));
+  r.add("hamiltonian-cycle", scheme_factory<HamiltonianCycleScheme>(0));
+  r.add("hamiltonian-path", scheme_factory<HamiltonianPathScheme>(0));
+
+  return r;
+}
+
+}  // namespace
+
+SchemeRegistry& builtin_registry() {
+  static SchemeRegistry registry = make_builtin_registry();
+  return registry;
+}
+
+}  // namespace lcp

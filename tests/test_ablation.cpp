@@ -52,7 +52,7 @@ TEST_P(CertAblation, PositiveControl) {
   const Graph g = leader_graph(GetParam(), 2);
   const LeaderElectionScheme scheme;
   EXPECT_TRUE(
-      run_verifier(g, reencode(honest_certs(g)), scheme.verifier()).all_accept);
+      default_engine().run(g, reencode(honest_certs(g)), scheme.verifier()).all_accept);
 }
 
 TEST_P(CertAblation, DistancesAreLoadBearing) {
@@ -61,7 +61,7 @@ TEST_P(CertAblation, DistancesAreLoadBearing) {
   // Best consistent lie: shift every distance by one (relative deltas are
   // preserved; only the root anchor can notice).
   for (TreeCert& c : certs) c.dist += 1;
-  EXPECT_FALSE(run_verifier(g, reencode(certs),
+  EXPECT_FALSE(default_engine().run(g, reencode(certs),
                             LeaderElectionScheme().verifier())
                    .all_accept);
 }
@@ -75,7 +75,7 @@ TEST_P(CertAblation, SubtreeCountersAreLoadBearing) {
     c.subtree += 1;
     c.total += 1;
   }
-  EXPECT_FALSE(run_verifier(g, reencode(certs),
+  EXPECT_FALSE(default_engine().run(g, reencode(certs),
                             LeaderElectionScheme().verifier())
                    .all_accept);
 }
@@ -89,7 +89,7 @@ TEST_P(CertAblation, RootIdIsLoadBearing) {
   const int leader = *g.find_label(kLeaderFlag);
   const NodeId foreign = g.id((leader + 1) % g.n());
   for (TreeCert& c : certs) c.root_id = foreign;
-  EXPECT_FALSE(run_verifier(g, reencode(certs),
+  EXPECT_FALSE(default_engine().run(g, reencode(certs),
                             LeaderElectionScheme().verifier())
                    .all_accept);
 }
@@ -107,7 +107,7 @@ TEST_P(CertAblation, ParentPortsAreLoadBearing) {
     changed = true;
   }
   ASSERT_TRUE(changed);
-  EXPECT_FALSE(run_verifier(g, reencode(certs),
+  EXPECT_FALSE(default_engine().run(g, reencode(certs),
                             LeaderElectionScheme().verifier())
                    .all_accept);
 }
@@ -118,7 +118,7 @@ TEST_P(CertAblation, RootFlagIsLoadBearing) {
   // Drop the root claim everywhere: the leader node's own check fails
   // (leader <=> root), or the dist chain loses its anchor.
   for (TreeCert& c : certs) c.is_root = false;
-  EXPECT_FALSE(run_verifier(g, reencode(certs),
+  EXPECT_FALSE(default_engine().run(g, reencode(certs),
                             LeaderElectionScheme().verifier())
                    .all_accept);
 }

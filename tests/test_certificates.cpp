@@ -26,7 +26,7 @@ bool cert_accepted(const Graph& g, const std::vector<TreeCert>& labels,
     }
     return check_tree_cert_at_center(v, certs, trunc_bits);
   });
-  return run_verifier(g, proof, verifier).all_accept;
+  return default_engine().run(g, proof, verifier).all_accept;
 }
 
 TEST(TreeCert, SerializationRoundTrip) {

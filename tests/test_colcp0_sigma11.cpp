@@ -134,7 +134,7 @@ TEST(Sigma11Scheme, UniversalNodeWitnessed) {
   const auto honest = scheme->prove(g);
   ASSERT_TRUE(honest.has_value());
   for (const Proof& p : tampered_variants(*honest, 50, 23)) {
-    const bool ok = run_verifier(g, p, scheme->verifier()).all_accept;
+    const bool ok = default_engine().run(g, p, scheme->verifier()).all_accept;
     if (ok) {
       // Acceptable only if it is still a genuinely valid proof; for this
       // scheme the witness must sit at the hub, so tampers that moved the

@@ -235,6 +235,80 @@ TEST(DynamicFuzz, MaximalMatchingUnderChurn) {
   EXPECT_EQ(pipe.stats().repaired, pipe.stats().batches);
 }
 
+TEST(DynamicFuzz, MergeHeavyComponentIdentity) {
+  // A hub with P chains of length L: cutting a chain's hub link severs a
+  // deep subtree (split), re-adding it merges, and tip-to-tip links merge
+  // whole chains sideways.  The stream is split/merge-saturated on
+  // purpose — the union-find beside the forest must keep root_of exact
+  // across hundreds of record merges and re-allocations, with check_step
+  // re-deriving the ground truth after every batch.
+  constexpr int kChains = 4;
+  constexpr int kLen = 6;
+  Graph g0;
+  const int hub = g0.add_node(1, schemes::kLeaderFlag);
+  std::vector<std::vector<int>> chains(kChains);
+  NodeId next_id = 2;
+  for (int c = 0; c < kChains; ++c) {
+    int prev = hub;
+    for (int i = 0; i < kLen; ++i) {
+      const int v = g0.add_node(next_id++);
+      g0.add_edge(prev, v);
+      chains[static_cast<std::size_t>(c)].push_back(v);
+      prev = v;
+    }
+  }
+
+  const schemes::LeaderElectionScheme scheme;
+  DynamicPipeline pipe(
+      std::move(g0), scheme,
+      std::make_unique<dynamic::TreeCertMaintainer>(schemes::kLeaderFlag));
+  ASSERT_TRUE(pipe.maintainer_bound());
+
+  // 200 rounds allocate ~one union-find record each (one per split):
+  // enough to cross the maintainer's compaction threshold (4n + 64
+  // records at n = 25), so the rebuild-and-keep-serving path is
+  // exercised too.
+  std::mt19937 rng(20260731);
+  int step = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int c = static_cast<int>(rng() % kChains);
+    const int d = static_cast<int>((c + 1 + rng() % (kChains - 1)) % kChains);
+    const auto& cc = chains[static_cast<std::size_t>(c)];
+    const auto& cd = chains[static_cast<std::size_t>(d)];
+    const int cut = static_cast<int>(rng() % 3);  // depth of the cut link
+    const int cu = cut == 0 ? hub : cc[static_cast<std::size_t>(cut - 1)];
+    const int cv = cc[static_cast<std::size_t>(cut)];
+
+    MutationBatch sever;
+    sever.remove_edge(cu, cv);
+    check_step(pipe, pipe.apply(sever), step++);
+
+    if (rng() % 2 == 0) {
+      // Bridge the severed chain to a neighbouring chain's tip first (a
+      // cross-chain merge), then restore the cut link (another merge).
+      MutationBatch bridge;
+      bridge.add_edge(cc.back(), cd.back());
+      check_step(pipe, pipe.apply(bridge), step++);
+      MutationBatch unbridge;
+      unbridge.add_edge(cu, cv);
+      unbridge.remove_edge(cc.back(), cd.back());
+      check_step(pipe, pipe.apply(unbridge), step++);
+    } else {
+      MutationBatch restore;
+      restore.add_edge(cu, cv);
+      check_step(pipe, pipe.apply(restore), step++);
+    }
+  }
+
+  const auto& stats =
+      static_cast<dynamic::TreeCertMaintainer*>(pipe.maintainer())->stats();
+  EXPECT_GT(stats.merges, 150u);
+  EXPECT_GT(stats.splits, 150u);
+  EXPECT_GT(stats.record_compactions, 0u);
+  EXPECT_EQ(pipe.stats().declined, 0u);
+  EXPECT_EQ(pipe.stats().repaired, pipe.stats().batches);
+}
+
 // ---------------------------------------------------------------------------
 // The patching x sharding matrix, at pipeline level, under a churn stream.
 // ---------------------------------------------------------------------------

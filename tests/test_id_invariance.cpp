@@ -68,7 +68,7 @@ TEST_P(IdInvariance, VerdictsSurviveReidentification) {
     const auto proof = c.scheme->prove(shuffled);
     ASSERT_TRUE(proof.has_value()) << c.name;
     EXPECT_TRUE(
-        run_verifier(shuffled, *proof, c.scheme->verifier()).all_accept)
+        default_engine().run(shuffled, *proof, c.scheme->verifier()).all_accept)
         << c.name << " seed " << seed;
   }
 }
@@ -88,7 +88,7 @@ TEST_P(IdInvariance, SparseHugeIdsAreFine) {
     if (!c.scheme->holds(renamed)) continue;
     const auto proof = c.scheme->prove(renamed);
     ASSERT_TRUE(proof.has_value()) << c.name;
-    EXPECT_TRUE(run_verifier(renamed, *proof, c.scheme->verifier()).all_accept)
+    EXPECT_TRUE(default_engine().run(renamed, *proof, c.scheme->verifier()).all_accept)
         << c.name;
   }
 }

@@ -21,6 +21,7 @@
 #include "bench/churn_stream.hpp"
 #include "core/delta.hpp"
 #include "core/incremental.hpp"
+#include "core/registry.hpp"
 #include "graph/generators.hpp"
 #include "schemes/cycle_certified.hpp"
 #include "schemes/lcp_const.hpp"
@@ -290,6 +291,20 @@ TEST(IncrementalFuzz, FourWayMatrixBipartite) {
 TEST(IncrementalFuzz, FourWayMatrixAcyclicRadiusTwo) {
   std::mt19937 rng(777);
   fuzz_matrix(schemes::AcyclicScheme(), gen::random_tree(24, 3), 7, 110,
+              [&rng](int, const Graph& g, MutationBatch* batch) {
+                (void)push_random_op(*batch, g, rng);
+              });
+}
+
+TEST(IncrementalFuzz, FourWayMatrixConjunction) {
+  // A composed scheme (core/compose.hpp) is a first-class Scheme: the
+  // whole patching x sharding matrix must stay bit-identical under churn
+  // when the verifier is a conjunction hosted at the max component radius
+  // (bipartite r=1, acyclic r=2), including the random-proof ops that
+  // tamper the concatenated labels.
+  const auto scheme = builtin_registry().build("bipartite & acyclic");
+  std::mt19937 rng(31415);
+  fuzz_matrix(*scheme, gen::random_tree(22, 9), 13, 100,
               [&rng](int, const Graph& g, MutationBatch* batch) {
                 (void)push_random_op(*batch, g, rng);
               });

@@ -19,8 +19,8 @@ TEST(LookupTable, VerdictsMatchTheWrappedVerifier) {
     const Graph g = gen::cycle(n);
     const auto proof = scheme.prove(g);
     const Proof p = proof.has_value() ? *proof : Proof::empty(n);
-    const RunResult direct = run_verifier(g, p, scheme.verifier());
-    const RunResult tabulated = run_verifier(g, p, table);
+    const RunResult direct = default_engine().run(g, p, scheme.verifier());
+    const RunResult tabulated = default_engine().run(g, p, table);
     EXPECT_EQ(direct.all_accept, tabulated.all_accept) << n;
     EXPECT_EQ(direct.rejecting, tabulated.rejecting) << n;
   }
@@ -31,10 +31,10 @@ TEST(LookupTable, RepeatedViewsAreAnsweredFromTheTable) {
   const LookupTableVerifier table(scheme.verifier());
   const Graph g = gen::cycle(8);
   const Proof p = *scheme.prove(g);
-  run_verifier(g, p, table);
+  default_engine().run(g, p, table);
   const std::size_t first_pass = table.table_size();
-  run_verifier(g, p, table);
-  run_verifier(g, p, table);
+  default_engine().run(g, p, table);
+  default_engine().run(g, p, table);
   EXPECT_EQ(table.table_size(), first_pass);  // nothing new
   EXPECT_GE(table.hits(), 2 * static_cast<std::size_t>(g.n()));
 }
@@ -55,10 +55,10 @@ TEST(LookupTable, TableIsBoundedByDistinctViewsNotQueries) {
     const Proof p = *scheme.prove(g);
     audits.emplace_back(std::move(g), p);
   }
-  for (const auto& [g, p] : audits) run_verifier(g, p, table);
+  for (const auto& [g, p] : audits) default_engine().run(g, p, table);
   const std::size_t after_first_sweep = table.table_size();
   for (int repeat = 0; repeat < 2; ++repeat) {
-    for (const auto& [g, p] : audits) run_verifier(g, p, table);
+    for (const auto& [g, p] : audits) default_engine().run(g, p, table);
   }
   EXPECT_EQ(table.table_size(), after_first_sweep);
   EXPECT_EQ(table.hits(), 2 * after_first_sweep);

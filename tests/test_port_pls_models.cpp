@@ -91,7 +91,7 @@ TEST(M1ToM2, VerifierIsIdBlind) {
   std::vector<NodeId> ids = g.ids();
   for (NodeId& id : ids) id = id * 17 + 3;
   const Graph h = gen::with_ids(g, ids);
-  EXPECT_TRUE(run_verifier(h, *proof, scheme.verifier()).all_accept);
+  EXPECT_TRUE(default_engine().run(h, *proof, scheme.verifier()).all_accept);
 }
 
 TEST(M1ToM2, WrongParityRejected) {
@@ -119,7 +119,7 @@ TEST(M1ToM2, ForgedDfsIntervalsRejected) {
     // instance stays a yes-instance, so acceptance is allowed only if the
     // proof is still internally consistent; we only demand no crash and
     // determinism.  The decisive soundness check is WrongParityRejected.
-    (void)run_verifier(g, p, scheme.verifier());
+    (void)default_engine().run(g, p, scheme.verifier());
   }
   SUCCEED();
 }

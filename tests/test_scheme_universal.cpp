@@ -27,7 +27,7 @@ TEST(Universal, ProofDescribesTheGraphExactly) {
   const Graph g = gen::petersen();
   const auto proof = scheme.prove(g);
   ASSERT_TRUE(proof.has_value());
-  EXPECT_TRUE(run_verifier(g, *proof, scheme.verifier()).all_accept);
+  EXPECT_TRUE(default_engine().run(g, *proof, scheme.verifier()).all_accept);
   // Any single structural bit flip is caught by some node.
   int checked = 0;
   for (const Proof& bad : tampered_variants(*proof, 40, 2)) {

@@ -73,7 +73,7 @@ TEST(Connectivity, GridPlanarVariantStaysConstantSize) {
     ASSERT_TRUE(scheme.holds(g)) << side;
     const auto proof = scheme.prove(g);
     ASSERT_TRUE(proof.has_value()) << side;
-    EXPECT_TRUE(run_verifier(g, *proof, scheme.verifier()).all_accept);
+    EXPECT_TRUE(default_engine().run(g, *proof, scheme.verifier()).all_accept);
     (side == 4 ? size4 : size8) = proof->size_bits();
   }
   EXPECT_EQ(size4, size8);

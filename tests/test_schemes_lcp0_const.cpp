@@ -47,7 +47,7 @@ TEST(LineGraphScheme, RejectionIsLocal) {
   const LineGraphScheme scheme;
   ASSERT_FALSE(scheme.holds(g));
   const RunResult r =
-      run_verifier(g, Proof::empty(g.n()), scheme.verifier());
+      default_engine().run(g, Proof::empty(g.n()), scheme.verifier());
   EXPECT_FALSE(r.all_accept);
   EXPECT_LT(r.rejecting.size(), static_cast<std::size_t>(g.n()));
 }
@@ -101,7 +101,7 @@ TEST(StReachability, PathMarkedWithOneBit) {
   const auto proof = scheme.prove(g);
   ASSERT_TRUE(proof.has_value());
   EXPECT_EQ(proof->size_bits(), 1);
-  EXPECT_TRUE(run_verifier(g, *proof, scheme.verifier()).all_accept);
+  EXPECT_TRUE(default_engine().run(g, *proof, scheme.verifier()).all_accept);
 }
 
 TEST(StReachability, DisconnectedRejectedExhaustively) {

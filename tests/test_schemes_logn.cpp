@@ -195,7 +195,7 @@ TEST(Acyclic, TruncatedVariantIsFooledByLongCycles) {
         static_cast<std::uint64_t>(v % (1 << b)), b);
   }
   EXPECT_FALSE(trunc.holds(cycle));
-  EXPECT_TRUE(run_verifier(cycle, p, trunc.verifier()).all_accept)
+  EXPECT_TRUE(default_engine().run(cycle, p, trunc.verifier()).all_accept)
       << "the truncated scheme should be unsound here";
   // While the honest scheme rejects every tamper we can throw at it.
   const AcyclicScheme honest;

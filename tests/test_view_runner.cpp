@@ -81,7 +81,7 @@ TEST(Runner, AllAcceptAndRejectingList) {
   const LambdaVerifier odd_id(0, [](const View& v) {
     return v.ball.id(v.center) % 2 == 1;
   });
-  const RunResult r = run_verifier(g, Proof::empty(5), odd_id);
+  const RunResult r = default_engine().run(g, Proof::empty(5), odd_id);
   EXPECT_FALSE(r.all_accept);
   EXPECT_EQ(r.rejecting.size(), 2u);  // ids 2 and 4
 }
@@ -91,7 +91,7 @@ TEST(Runner, RadiusZeroSeesOnlySelf) {
   const LambdaVerifier lonely(0, [](const View& v) {
     return v.ball.n() == 1;
   });
-  EXPECT_TRUE(run_verifier(g, Proof::empty(4), lonely).all_accept);
+  EXPECT_TRUE(default_engine().run(g, Proof::empty(4), lonely).all_accept);
 }
 
 class BackendEquivalence : public ::testing::TestWithParam<int> {};
@@ -194,7 +194,7 @@ TEST(BackendEquivalence, SchemesEndToEnd) {
 
   Proof bad = p1;
   bad.labels[2] = BitString::from_string("1010");
-  const RunResult direct = run_verifier(g1, bad, leader.verifier());
+  const RunResult direct = default_engine().run(g1, bad, leader.verifier());
   const RunResult flooded =
       run_verifier_message_passing(g1, bad, leader.verifier());
   EXPECT_EQ(direct.all_accept, flooded.all_accept);
@@ -205,7 +205,7 @@ TEST(BackendEquivalence, SchemesEndToEnd) {
   const Proof p2 = *nonbip.prove(g2);
   EXPECT_TRUE(run_verifier_message_passing(g2, p2, nonbip.verifier())
                   .all_accept);
-  const RunResult d2 = run_verifier(gen::cycle(6), Proof::empty(6),
+  const RunResult d2 = default_engine().run(gen::cycle(6), Proof::empty(6),
                                     nonbip.verifier());
   const RunResult f2 = run_verifier_message_passing(
       gen::cycle(6), Proof::empty(6), nonbip.verifier());
