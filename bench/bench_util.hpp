@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -49,6 +50,19 @@ inline RunResult seed_run_verifier(const Graph& g, const Proof& p,
     }
   }
   return result;
+}
+
+/// Opens a BENCH_*.json object with the provenance fields every bench
+/// must record: the generating tool, the machine's real hardware thread
+/// count, and the widest shard/worker fan-out the run used (0 when the
+/// bench is single-threaded).  Callers append their own "workloads" array
+/// and close the object.
+inline void json_header(std::FILE* out, const char* generated_by,
+                        int shards = 0) {
+  std::fprintf(out, "{\n  \"generated_by\": \"%s\",\n", generated_by);
+  std::fprintf(out, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"shards\": %d,\n", shards);
 }
 
 inline void rule(char c = '-', int width = 98) {

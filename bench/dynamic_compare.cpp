@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "algo/matching.hpp"
+#include "bench_util.hpp"
 #include "churn_stream.hpp"
 #include "core/engine.hpp"
 #include "core/registry.hpp"
@@ -327,9 +328,8 @@ StreamTiming conjunction_churn_workload(int n, int iterations) {
 }
 
 void print_json(std::FILE* out, const std::vector<StreamTiming>& rows) {
-  std::fprintf(out, "{\n  \"generated_by\": \"bench/dynamic_compare\",\n");
-  std::fprintf(out, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
+  // Maintainers and the incremental engine are single-threaded.
+  bench::json_header(out, "bench/dynamic_compare", /*shards=*/0);
   std::fprintf(out, "  \"workloads\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const StreamTiming& t = rows[i];

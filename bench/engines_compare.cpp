@@ -94,9 +94,10 @@ WorkloadTiming time_workload(const std::string& name, const Graph& g,
 }
 
 void print_json(std::FILE* out, const std::vector<WorkloadTiming>& rows) {
-  std::fprintf(out, "{\n  \"generated_by\": \"bench/engines_compare\",\n");
-  std::fprintf(out, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
+  // The parallel rows shard across every hardware thread (ParallelEngine's
+  // default), so that is the fan-out this file's numbers were taken at.
+  bench::json_header(out, "bench/engines_compare",
+                     static_cast<int>(std::thread::hardware_concurrency()));
   std::fprintf(out, "  \"workloads\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const WorkloadTiming& t = rows[i];

@@ -302,9 +302,8 @@ LoopTiming exhaustive_workload() {
 }
 
 void print_json(std::FILE* out, const std::vector<LoopTiming>& rows) {
-  std::fprintf(out, "{\n  \"generated_by\": \"bench/incremental_compare\",\n");
-  std::fprintf(out, "  \"hardware_threads\": %u,\n",
-               std::thread::hardware_concurrency());
+  bench::json_header(out, "bench/incremental_compare",
+                     static_cast<int>(std::thread::hardware_concurrency()));
   std::fprintf(out, "  \"workloads\": [\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const LoopTiming& t = rows[i];

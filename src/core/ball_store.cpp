@@ -38,7 +38,7 @@ void BallStore::evict_to_budget_locked(std::size_t incoming_entries) {
           ball_nodes_ > options_.max_ball_nodes)) {
     ball_nodes_ -= entries_.back().ball_nodes;
     entries_.pop_back();
-    ++stats_.evictions;
+    counters_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -47,10 +47,10 @@ bool BallStore::lookup(std::uint64_t fingerprint, int radius,
   const std::lock_guard<std::mutex> lock(mutex_);
   Entry* entry = find_locked(fingerprint, radius);
   if (entry == nullptr) {
-    ++stats_.misses;
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  ++stats_.hits;
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
   *out = entry->balls;  // shared ownership, not a deep copy
   if (ball_nodes != nullptr) *ball_nodes = entry->ball_nodes;
   return true;
@@ -62,10 +62,10 @@ BallPtr BallStore::lookup_ball(std::uint64_t fingerprint, int radius,
   Entry* entry = find_locked(fingerprint, radius);
   if (entry == nullptr || node < 0 ||
       node >= static_cast<int>(entry->balls.size())) {
-    ++stats_.misses;
+    counters_.misses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++stats_.hits;
+  counters_.hits.fetch_add(1, std::memory_order_relaxed);
   return entry->balls[static_cast<std::size_t>(node)];
 }
 
@@ -73,7 +73,7 @@ bool BallStore::publish(std::uint64_t fingerprint, int radius,
                         std::vector<BallPtr> balls, std::size_t ball_nodes) {
   const std::lock_guard<std::mutex> lock(mutex_);
   if (ball_nodes > options_.max_ball_nodes) {
-    ++stats_.rejected;
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
     if (uncacheable_.size() >= 4) uncacheable_.erase(uncacheable_.begin());
     uncacheable_.push_back(Uncacheable{fingerprint, radius});
     return false;
@@ -93,13 +93,13 @@ bool BallStore::publish(std::uint64_t fingerprint, int radius,
     ball_nodes_ += ball_nodes;
     entries_.push_front(std::move(entry));
   }
-  ++stats_.publishes;
+  counters_.publishes.fetch_add(1, std::memory_order_relaxed);
   // The new entry may itself push the total over the ball budget; never
   // evict the entry just published (it is at the front).
   while (entries_.size() > 1 && ball_nodes_ > options_.max_ball_nodes) {
     ball_nodes_ -= entries_.back().ball_nodes;
     entries_.pop_back();
-    ++stats_.evictions;
+    counters_.evictions.fetch_add(1, std::memory_order_relaxed);
   }
   return true;
 }
@@ -136,8 +136,14 @@ void BallStore::clear() {
 }
 
 BallStoreStats BallStore::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  // Lock-free: the counters are relaxed atomics (see the header contract).
+  BallStoreStats out;
+  out.hits = counters_.hits.load(std::memory_order_relaxed);
+  out.misses = counters_.misses.load(std::memory_order_relaxed);
+  out.publishes = counters_.publishes.load(std::memory_order_relaxed);
+  out.evictions = counters_.evictions.load(std::memory_order_relaxed);
+  out.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  return out;
 }
 
 std::size_t BallStore::entry_count() const {

@@ -17,12 +17,23 @@
 // store keeps the pristine snapshot until it is evicted or republished.
 // tests/test_ball_store.cpp pins these semantics.
 //
-// The store is thread-compatible: all operations take an internal mutex, so
-// engines on different threads may share one store (the balls they receive
-// are immutable-while-shared per the contract above).
+// Locking contract (the store is thread-safe, not merely compatible):
+//   - entries_, ball_nodes_, and uncacheable_ are guarded by mutex_; every
+//     member function that touches them takes the lock.
+//   - The hit/miss/publish/eviction counters are relaxed atomics, updated
+//     under the lock but readable without it: stats() never blocks a
+//     concurrent lookup, and ThreadSanitizer sees no race.  Relaxed order
+//     is enough because the counters carry no cross-thread ordering — they
+//     are monotone tallies, and any reader tolerates a slightly stale sum.
+//   - BallPtr refcounts are shared_ptr control blocks, atomic by language
+//     guarantee.  exclusive_ball()'s use_count()==1 test is only meaningful
+//     for a slot owned by a single thread (each engine's private working
+//     set); two threads must never mutate through the *same* BallPtr slot.
+//     Distinct slots aliasing one ball are fine — the first mutator clones.
 #ifndef LCP_CORE_BALL_STORE_HPP_
 #define LCP_CORE_BALL_STORE_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -71,6 +82,8 @@ struct BallStoreOptions {
   std::size_t max_entries = 4;
 };
 
+/// A point-in-time snapshot of the store's counters (plain integers; the
+/// live counters inside the store are relaxed atomics).
 struct BallStoreStats {
   std::uint64_t hits = 0;        ///< lookups that returned a full entry
   std::uint64_t misses = 0;      ///< lookups that found nothing
@@ -117,6 +130,10 @@ class BallStore {
 
   void clear();
 
+  /// Lock-free snapshot of the counters (relaxed loads; see the locking
+  /// contract above).  Individual counters are exact; the snapshot as a
+  /// whole may be torn across concurrent updates, which tests tolerate by
+  /// quiescing first.
   BallStoreStats stats() const;
   std::size_t entry_count() const;
   std::size_t ball_nodes() const;
@@ -142,7 +159,16 @@ class BallStore {
     int radius = -1;
   };
   std::vector<Uncacheable> uncacheable_;
-  BallStoreStats stats_;
+  // Live counters: relaxed atomics so stats() needs no lock (see the
+  // locking contract in the header comment).
+  struct Counters {
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> misses{0};
+    std::atomic<std::uint64_t> publishes{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> rejected{0};
+  };
+  mutable Counters counters_;
 };
 
 }  // namespace lcp

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "core/delta.hpp"
+
 namespace lcp {
 
 namespace {
@@ -63,6 +65,104 @@ DirectEngine::CacheEntry* DirectEngine::find_entry(std::uint64_t fingerprint,
   return nullptr;
 }
 
+bool DirectEngine::attach_tracker(DeltaTracker* tracker) {
+  tracker_ = tracker;
+  // The generation stamps were taken against the previous tracker (or none);
+  // they are meaningless under the new one.
+  for (CacheEntry& entry : cache_) entry.tracker_synced = false;
+  return tracker_ != nullptr && options_.cache_views;
+}
+
+void DirectEngine::remember_overflow(std::uint64_t fingerprint, int radius) {
+  if (overflow_.size() >= 4) overflow_.erase(overflow_.begin());
+  overflow_.push_back(Overflow{fingerprint, radius});
+  if (options_.store != nullptr) {
+    options_.store->mark_uncacheable(fingerprint, radius);
+  }
+}
+
+DirectEngine::CacheEntry* DirectEngine::migrate_entry(
+    const Graph& g, const Proof& p, int radius, std::uint64_t fingerprint) {
+  if (tracker_ == nullptr || &tracker_->graph() != &g) return nullptr;
+  // An out-of-band mutation makes the dirty log an incomplete account of
+  // the divergence; replaying it would rekey wrong views to g's
+  // fingerprint.  Same guard (and cost) as IncrementalEngine's.
+  if (tracker_->state_fingerprint() !=
+      DeltaTracker::state_fingerprint_of(g, p)) {
+    return nullptr;
+  }
+  CacheEntry* entry = nullptr;
+  for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+    if (it->radius == radius && it->tracker_synced) {
+      cache_.splice(cache_.begin(), cache_, it);
+      entry = &cache_.front();
+      break;
+    }
+  }
+  if (entry == nullptr) return nullptr;
+  const auto records = tracker_->records_since(entry->tracker_generation);
+  if (!records.has_value()) return nullptr;  // log trimmed: resweep
+
+  // Flatten the per-batch logs; order is the application order, which is
+  // what View::classify_delta's stepwise soundness contract wants.
+  std::vector<ViewDelta> deltas;
+  std::size_t added = 0;
+  for (const DirtyRecord* record : *records) {
+    deltas.insert(deltas.end(), record->deltas.begin(),
+                  record->deltas.end());
+    added += record->added_nodes.size();
+  }
+  const int old_n = static_cast<int>(entry->views.size());
+  if (old_n + static_cast<int>(added) != g.n()) return nullptr;
+
+  ++stats_.migrations;
+  extractor_.bind(g);
+  entry->views.resize(static_cast<std::size_t>(g.n()));
+  std::size_t ball_nodes = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    BallPtr& slot = entry->views[static_cast<std::size_t>(v)];
+    // Appended nodes have no cached view; everyone else replays the log,
+    // patching in place (COW keeps store sharers pristine) until a delta
+    // moves the ball's frontier.
+    bool rebuild = v >= old_n;
+    if (!rebuild) {
+      for (const ViewDelta& d : deltas) {
+        const PatchResult outcome = slot->view.classify_delta(g, d);
+        if (outcome == PatchResult::kUnchanged) continue;
+        if (outcome == PatchResult::kPatched) {
+          exclusive_ball(slot).view.apply_delta_unchecked(g, d);
+        } else {
+          rebuild = true;
+          break;
+        }
+      }
+    }
+    if (rebuild) {
+      auto fresh = std::make_shared<CachedNodeView>();
+      fresh->view = extractor_.extract(p, v, radius, &fresh->host);
+      slot = std::move(fresh);
+      ++stats_.migration_reextractions;
+    } else {
+      ++stats_.migrated_views;
+    }
+    ball_nodes += slot->host.size();
+    if (ball_nodes > options_.max_cached_ball_nodes) {
+      // The mutated graph's balls blow the budget on their own: abandon
+      // the migration and remember the pair so run() sweeps uncached.
+      cached_ball_nodes_ -= entry->ball_nodes;
+      cache_.pop_front();
+      remember_overflow(fingerprint, radius);
+      return nullptr;
+    }
+  }
+  cached_ball_nodes_ += ball_nodes - entry->ball_nodes;
+  entry->ball_nodes = ball_nodes;
+  entry->fingerprint = fingerprint;
+  entry->tracker_generation = tracker_->generation();
+  evict_to_budget(/*incoming_entries=*/0);
+  return entry;
+}
+
 void DirectEngine::evict_to_budget(std::size_t incoming_entries) {
   while (!cache_.empty() &&
          (cache_.size() + incoming_entries > options_.max_cached_graphs ||
@@ -116,7 +216,24 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
     }
     if (CacheEntry* entry = find_entry(fingerprint, radius);
         entry != nullptr && static_cast<int>(entry->views.size()) == n) {
+      if (entry->tracker_synced && tracker_ != nullptr &&
+          &tracker_->graph() == &g) {
+        // Proof-only batches moved the generation without changing the
+        // graph; keep the lineage current so a later migration replays
+        // only what actually diverged.
+        entry->tracker_generation = tracker_->generation();
+      }
       return run_from_entry(*entry, p, a);
+    }
+    if (CacheEntry* migrated = migrate_entry(g, p, radius, fingerprint);
+        migrated != nullptr) {
+      return run_from_entry(*migrated, p, a);
+    }
+    for (const Overflow& o : overflow_) {
+      // migrate_entry may have just discovered the overflow.
+      if (fingerprint == o.fingerprint && radius == o.radius) {
+        return sweep_sequential(g, p, a);
+      }
     }
     if (options_.store != nullptr &&
         options_.store->uncacheable(fingerprint, radius)) {
@@ -133,6 +250,12 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
           adopted.ball_nodes <= options_.max_cached_ball_nodes) {
         adopted.fingerprint = fingerprint;
         adopted.radius = radius;
+        // The store's views match g's current bytes (fingerprint-keyed),
+        // so the lineage starts at the tracker's current generation.
+        adopted.tracker_synced =
+            tracker_ != nullptr && &tracker_->graph() == &g;
+        adopted.tracker_generation =
+            adopted.tracker_synced ? tracker_->generation() : 0;
         evict_to_budget(/*incoming_entries=*/1);
         cached_ball_nodes_ += adopted.ball_nodes;
         cache_.push_front(std::move(adopted));
@@ -145,6 +268,9 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
     CacheEntry entry;
     entry.fingerprint = fingerprint;
     entry.radius = radius;
+    entry.tracker_synced = tracker_ != nullptr && &tracker_->graph() == &g;
+    entry.tracker_generation =
+        entry.tracker_synced ? tracker_->generation() : 0;
     extractor_.bind(g);
     bool caching = true;
     std::vector<int> host;
@@ -159,11 +285,7 @@ RunResult DirectEngine::run(const Graph& g, const Proof& p,
         if (entry.ball_nodes > options_.max_cached_ball_nodes) {
           // A single graph exceeding the cap alone can never be cached.
           caching = false;
-          if (overflow_.size() >= 4) overflow_.erase(overflow_.begin());
-          overflow_.push_back(Overflow{fingerprint, radius});
-          if (options_.store != nullptr) {
-            options_.store->mark_uncacheable(fingerprint, radius);
-          }
+          remember_overflow(fingerprint, radius);
           entry.views.clear();
           entry.views.shrink_to_fit();
         } else {

@@ -138,12 +138,27 @@ struct DirectEngineOptions {
   std::shared_ptr<BallStore> store = nullptr;
 };
 
+/// Counters for the tracker-assisted cache migration (see attach_tracker).
+struct DirectEngineStats {
+  std::uint64_t migrations = 0;      ///< entries rekeyed to a new fingerprint
+  std::uint64_t migrated_views = 0;  ///< views kept or patched in place
+  std::uint64_t migration_reextractions = 0;  ///< views rebuilt during one
+};
+
 /// The default backend: the seed's sequential semantics, re-implemented on
 /// the batched ViewExtractor (single BFS per node, ball-local edge
 /// assembly, reused scratch) with cross-run view caching.  The working set
 /// holds refcounted balls: entries adopted from (or published to) a shared
 /// BallStore alias the store's objects until the first proof refresh
 /// diverges the touched ball via copy-on-write.
+///
+/// With a DeltaTracker attached (attach_tracker), a cache miss against the
+/// tracker's bound graph no longer drops the stale entry: the dirty log
+/// since the entry's generation is replayed over the cached views —
+/// patching the balls the deltas touch in place, re-extracting only the
+/// fallbacks — and the entry is rekeyed to the new fingerprint.  Mutating
+/// loops (the transplant attacks, sessions) thus keep their warm cache
+/// across every batch instead of rebuilding it from scratch.
 class DirectEngine final : public ExecutionEngine {
  public:
   explicit DirectEngine(DirectEngineOptions options = {})
@@ -152,6 +167,15 @@ class DirectEngine final : public ExecutionEngine {
   std::string name() const override { return "direct"; }
   RunResult run(const Graph& g, const Proof& p,
                 const LocalVerifier& a) override;
+
+  /// Enables cache migration across fingerprints for the tracker's bound
+  /// graph.  Returns true (the dirty log is consumed) when view caching is
+  /// on; a non-caching engine has nothing to migrate and returns false.
+  bool attach_tracker(DeltaTracker* tracker) override;
+  DeltaTracker* attached_tracker() const override { return tracker_; }
+
+  /// Migration counters (cumulative; for tests and benches).
+  const DirectEngineStats& stats() const { return stats_; }
 
   /// Number of (graph, radius) entries currently cached (for tests and
   /// benches; the LRU policy is an implementation detail otherwise).
@@ -166,6 +190,12 @@ class DirectEngine final : public ExecutionEngine {
     int radius = -1;
     std::size_t ball_nodes = 0;
     std::vector<BallPtr> views;
+    // Tracker lineage: when tracker_synced, the views were extracted from
+    // (or migrated to) the attached tracker's bound graph as of
+    // tracker_generation, so records_since(tracker_generation) is a
+    // complete account of how the graph diverged from this entry.
+    std::uint64_t tracker_generation = 0;
+    bool tracker_synced = false;
   };
   struct Overflow {
     std::uint64_t fingerprint = 0;
@@ -176,8 +206,18 @@ class DirectEngine final : public ExecutionEngine {
   void evict_to_budget(std::size_t incoming_entries);
   RunResult run_from_entry(CacheEntry& entry, const Proof& p,
                            const LocalVerifier& a);
+  /// Tries to migrate a tracker-synced entry to `fingerprint` by replaying
+  /// the dirty log over its views.  Returns the rekeyed entry (moved to the
+  /// cache front), or nullptr when no entry qualifies, the log was trimmed,
+  /// the graph mutated out of band, or the migrated balls blow the budget
+  /// (the entry is then dropped and the pair marked overflowed).
+  CacheEntry* migrate_entry(const Graph& g, const Proof& p, int radius,
+                            std::uint64_t fingerprint);
+  void remember_overflow(std::uint64_t fingerprint, int radius);
 
   DirectEngineOptions options_;
+  DeltaTracker* tracker_ = nullptr;
+  DirectEngineStats stats_;
   ViewExtractor extractor_;
   std::list<CacheEntry> cache_;  // most recently used first
   std::size_t cached_ball_nodes_ = 0;
@@ -234,8 +274,9 @@ class ParallelEngine final : public ExecutionEngine {
 /// DirectEngine (or an IncrementalEngine) instead.
 ExecutionEngine& default_engine();
 
-/// Factory by backend name: "direct", "message-passing", "parallel", or
-/// "incremental".  Throws std::invalid_argument on an unknown name.
+/// Factory by backend name: "direct", "message-passing", "parallel",
+/// "incremental", or "sharded[:K[:PART]]" (K = shard count, PART = "range"
+/// or "hash").  Throws std::invalid_argument on an unknown name.
 /// Defined in local/engine_factory.cpp so core/ stays independent of
 /// local/.
 std::unique_ptr<ExecutionEngine> make_engine(std::string_view name);

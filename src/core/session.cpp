@@ -51,6 +51,10 @@ VerificationSession::Builder& VerificationSession::Builder::engine(
   }
   if (backend == "parallel") return engine(EngineKind::kParallel);
   if (backend == "incremental") return engine(EngineKind::kIncremental);
+  if (backend == "sharded" || backend.rfind("sharded:", 0) == 0) {
+    sharded_options_ = parse_sharded_spec(backend);
+    return engine(EngineKind::kSharded);
+  }
   throw std::invalid_argument("VerificationSession: unknown backend '" +
                               std::string(backend) + "'");
 }
@@ -76,6 +80,12 @@ VerificationSession::Builder& VerificationSession::Builder::maintainer(
 VerificationSession::Builder& VerificationSession::Builder::engine_options(
     IncrementalEngineOptions options) {
   incremental_options_ = std::move(options);
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::sharded_options(
+    ShardedEngineOptions options) {
+  sharded_options_ = std::move(options);
   return *this;
 }
 
@@ -136,6 +146,15 @@ VerificationSession::VerificationSession(Builder&& b)
           std::make_unique<IncrementalEngine>(std::move(options));
       incremental_ = incremental.get();
       engine_ = std::move(incremental);
+      break;
+    }
+    case EngineKind::kSharded: {
+      ShardedEngineOptions options = std::move(b.sharded_options_);
+      // The session routes every mutation through its tracker, so the
+      // per-run state-fingerprint recompute buys nothing.  b.store_ is
+      // ignored: shard stores are private (owned-position layout).
+      options.verify_state = false;
+      engine_ = std::make_unique<ShardedEngine>(std::move(options));
       break;
     }
   }

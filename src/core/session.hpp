@@ -47,6 +47,7 @@
 #include "core/incremental.hpp"
 #include "core/registry.hpp"
 #include "core/scheme.hpp"
+#include "core/sharded_engine.hpp"
 
 namespace lcp {
 
@@ -60,6 +61,7 @@ enum class EngineKind {
   kMessagePassing,
   kParallel,
   kIncremental,
+  kSharded,
 };
 
 struct SessionStats {
@@ -92,7 +94,7 @@ class VerificationSession {
 
     Builder& engine(EngineKind kind);
     /// Backend by make_engine name ("direct", "message-passing",
-    /// "parallel", "incremental").
+    /// "parallel", "incremental", "sharded[:K[:PART]]").
     Builder& engine(std::string_view backend);
 
     /// Shared ball store for cross-engine view reuse (ignored by the
@@ -109,6 +111,12 @@ class VerificationSession {
     /// the embedded store field).  verify_state defaults OFF: the session
     /// owns the pair and routes every mutation through its tracker.
     Builder& engine_options(IncrementalEngineOptions options);
+
+    /// Options for the sharded backend.  verify_state is forced OFF at
+    /// build() for the same reason; store() is ignored by this backend —
+    /// its per-shard stores are keyed on owned-position layouts no other
+    /// engine produces.
+    Builder& sharded_options(ShardedEngineOptions options);
 
     /// Registry used by scheme(expr) and maintain(); defaults to
     /// builtin_registry().
@@ -129,6 +137,7 @@ class VerificationSession {
     bool maintain_ = false;
     std::unique_ptr<dynamic::ProofMaintainer> maintainer_;
     IncrementalEngineOptions incremental_options_{.verify_state = false};
+    ShardedEngineOptions sharded_options_;
     const SchemeRegistry* registry_ = nullptr;
   };
 

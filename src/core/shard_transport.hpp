@@ -1,0 +1,228 @@
+// Shard partitioning and the halo-exchange transport.
+//
+// The paper's acceptance predicate reads only radius-r balls, so a graph
+// split into k shards needs exactly a depth-r ghost fringe ("halo") at each
+// shard boundary — nothing else ever crosses shards.  This header holds the
+// two abstractions ShardedEngine (core/sharded_engine.hpp) is parameterised
+// over:
+//
+//   - Partitioner: host node -> owning shard.  RangePartitioner keeps
+//     contiguous dense-index stripes (minimal boundary on generators whose
+//     index order is geometric: cycles, grids, trees); HashPartitioner
+//     spreads by node id (balanced under adversarial index orders, but
+//     every node tends to sit on a boundary).
+//   - ShardTransport: the only channel shard lanes may use to learn about
+//     non-owned nodes.  Halo discovery ships HaloNodeRecords (id, label,
+//     proof, adjacency row); incremental runs ship ProofPatches to ghost
+//     copies.  The first implementation is in-process mailboxes (one mutex,
+//     per-shard deques) — the message schema is process/host agnostic so a
+//     socket transport can slot in behind the same interface.
+//
+// Traffic accounting lives in the transport (TransportStats), so benches
+// report the true cross-shard volume rather than an engine-side estimate.
+#ifndef LCP_CORE_SHARD_TRANSPORT_HPP_
+#define LCP_CORE_SHARD_TRANSPORT_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/bitstring.hpp"
+#include "graph/graph.hpp"
+
+namespace lcp {
+
+/// One adjacency entry of a shipped node.  `record_is_u` says whether the
+/// record's node is the `u` endpoint of the host edge record — the receiver
+/// must reproduce the host's (edge_u, edge_v) insertion order exactly,
+/// because extraction emits ball edges in that order and direction masks in
+/// edge labels are interpreted relative to it (graph/directed.hpp).
+struct HaloNeighbor {
+  int host = -1;  ///< host dense index of the neighbour
+  std::uint64_t elabel = 0;
+  std::int64_t weight = 1;
+  bool record_is_u = true;
+};
+
+/// Everything a shard needs to materialise one ghost node: identity, input
+/// label, proof label, and the full adjacency row (receivers keep only the
+/// edges whose other endpoint is already local — the induced subgraph).
+struct HaloNodeRecord {
+  int host = -1;  ///< host dense index
+  NodeId id = 0;
+  std::uint64_t label = 0;
+  BitString proof;
+  std::vector<HaloNeighbor> neighbors;
+};
+
+/// A proof-label update for a ghost copy (incremental runs only).
+struct ProofPatch {
+  int host = -1;
+  BitString bits;
+};
+
+/// One transport message.  Halo discovery alternates request rounds (give
+/// me these hosts) and record rounds (here they are); proof patches flow
+/// owner -> importer outside discovery.
+struct HaloMessage {
+  enum class Kind { kRequest, kRecords, kProofs };
+  Kind kind = Kind::kRequest;
+  int from = -1;
+  int to = -1;
+  std::vector<int> requests;
+  std::vector<HaloNodeRecord> records;
+  std::vector<ProofPatch> proofs;
+};
+
+/// Cumulative cross-shard traffic, as counted by the transport.
+struct TransportStats {
+  std::uint64_t messages = 0;
+  std::uint64_t requested_nodes = 0;  ///< hosts asked for in kRequest
+  std::uint64_t records = 0;          ///< ghost rows shipped
+  std::uint64_t proof_patches = 0;    ///< ghost proof updates shipped
+  std::uint64_t bytes = 0;            ///< approximate serialised size
+};
+
+/// The only channel between shard lanes.  Implementations must allow
+/// concurrent send/receive from different threads; receive() is per-shard
+/// FIFO and non-blocking (the engine's phase barriers guarantee that
+/// everything a phase needs has been sent before it drains).
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  virtual std::string name() const = 0;
+
+  /// (Re)sizes the per-shard mailboxes; pending messages are dropped,
+  /// cumulative stats are kept.
+  virtual void reset(int shards) = 0;
+
+  virtual void send(HaloMessage message) = 0;
+
+  /// Pops the oldest message addressed to `shard`; false when its mailbox
+  /// is empty.
+  virtual bool receive(int shard, HaloMessage* out) = 0;
+
+  virtual TransportStats stats() const = 0;
+};
+
+/// In-process mailboxes: one mutex, one deque per shard.  Thread lanes of a
+/// single ShardedEngine exchange halos through this by default.
+class InProcessTransport final : public ShardTransport {
+ public:
+  std::string name() const override { return "in-process"; }
+
+  void reset(int shards) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    mailboxes_.assign(static_cast<std::size_t>(shards), {});
+  }
+
+  void send(HaloMessage message) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.messages;
+    stats_.requested_nodes += message.requests.size();
+    stats_.records += message.records.size();
+    stats_.proof_patches += message.proofs.size();
+    stats_.bytes += approximate_bytes(message);
+    mailboxes_[static_cast<std::size_t>(message.to)].push_back(
+        std::move(message));
+  }
+
+  bool receive(int shard, HaloMessage* out) override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& box = mailboxes_[static_cast<std::size_t>(shard)];
+    if (box.empty()) return false;
+    *out = std::move(box.front());
+    box.pop_front();
+    return true;
+  }
+
+  TransportStats stats() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  static std::uint64_t approximate_bytes(const HaloMessage& m) {
+    std::uint64_t bytes = 16 + 4 * m.requests.size();
+    for (const HaloNodeRecord& r : m.records) {
+      bytes += 24 + static_cast<std::uint64_t>((r.proof.size() + 7) / 8) +
+               24 * r.neighbors.size();
+    }
+    for (const ProofPatch& p : m.proofs) {
+      bytes += 8 + static_cast<std::uint64_t>((p.bits.size() + 7) / 8);
+    }
+    return bytes;
+  }
+
+  mutable std::mutex mutex_;
+  std::vector<std::deque<HaloMessage>> mailboxes_;
+  TransportStats stats_;
+};
+
+/// Host node -> owning shard.  bind() is called once per full partition
+/// (before any owner() query); owner() must stay valid for nodes appended
+/// to the graph after bind() (trackers grow the node set).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::string name() const = 0;
+  virtual void bind(const Graph& g, int shards) = 0;
+  virtual int owner(const Graph& g, int v) const = 0;
+};
+
+/// Contiguous dense-index stripes: shard s owns [s*n/k, (s+1)*n/k).  Nodes
+/// appended after bind() land in the last shard.  The right default when
+/// index order is locality-preserving (all in-repo generators).
+class RangePartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "range"; }
+  void bind(const Graph& g, int shards) override {
+    bound_n_ = g.n() > 0 ? g.n() : 1;
+    shards_ = shards;
+  }
+  int owner(const Graph& g, int v) const override {
+    (void)g;
+    if (v >= bound_n_) return shards_ - 1;
+    return static_cast<int>(static_cast<long long>(v) * shards_ / bound_n_);
+  }
+
+ private:
+  int bound_n_ = 1;
+  int shards_ = 1;
+};
+
+/// splitmix64 over the node id: balanced regardless of index order, stable
+/// under node growth, but geometrically oblivious — expect nearly every
+/// node to carry a halo.  Useful as the adversarial-partition baseline.
+class HashPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "hash"; }
+  void bind(const Graph& g, int shards) override {
+    (void)g;
+    shards_ = shards;
+  }
+  int owner(const Graph& g, int v) const override {
+    std::uint64_t x = g.id(v) + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<int>(x % static_cast<std::uint64_t>(shards_));
+  }
+
+ private:
+  int shards_ = 1;
+};
+
+/// Factory by name ("range", "hash"); throws std::invalid_argument
+/// otherwise.  Defined in core/sharded_engine.cpp.
+std::shared_ptr<Partitioner> make_partitioner(std::string_view name);
+
+}  // namespace lcp
+
+#endif  // LCP_CORE_SHARD_TRANSPORT_HPP_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
 #include <random>
 #include <stdexcept>
 
@@ -136,18 +137,20 @@ Graph random_tree(int n, std::uint32_t seed) {
   std::vector<int> degree(static_cast<std::size_t>(n), 1);
   for (int x : prufer) ++degree[static_cast<std::size_t>(x)];
   std::vector<bool> used(static_cast<std::size_t>(n), false);
+  // Min-heap of candidate leaves (lazily validated on pop).  Popping the
+  // smallest eligible index matches the ascending scan the old O(n^2)
+  // decoder did, so the emitted edge order — and thus the graph — is
+  // bit-identical for every (n, seed).
+  std::priority_queue<int, std::vector<int>, std::greater<int>> leaves;
+  for (int v = 0; v < n; ++v) {
+    if (degree[static_cast<std::size_t>(v)] == 1) leaves.push(v);
+  }
   for (int x : prufer) {
-    int leaf = -1;
-    for (int v = 0; v < n; ++v) {
-      if (degree[static_cast<std::size_t>(v)] == 1 &&
-          !used[static_cast<std::size_t>(v)]) {
-        leaf = v;
-        break;
-      }
-    }
+    int leaf = leaves.top();
+    leaves.pop();
     g.add_edge(leaf, x);
     used[static_cast<std::size_t>(leaf)] = true;
-    --degree[static_cast<std::size_t>(x)];
+    if (--degree[static_cast<std::size_t>(x)] == 1) leaves.push(x);
   }
   int a = -1;
   int b = -1;
@@ -158,6 +161,29 @@ Graph random_tree(int n, std::uint32_t seed) {
     }
   }
   g.add_edge(a, b);
+  return g;
+}
+
+Graph random_sparse_connected(int n, int extra_edges, std::uint32_t seed) {
+  if (n < 1) {
+    throw std::invalid_argument("random_sparse_connected: need n >= 1");
+  }
+  const long long pairs = static_cast<long long>(n) * (n - 1) / 2;
+  if (extra_edges < 0 || extra_edges > pairs - (n - 1)) {
+    throw std::invalid_argument(
+        "random_sparse_connected: extra_edges out of range");
+  }
+  Graph g = random_tree(n, seed ^ 0x9e3779b9u);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node(0, n - 1);
+  int added = 0;
+  while (added < extra_edges) {
+    const int u = node(rng);
+    const int v = node(rng);
+    if (u == v || g.has_edge(u, v)) continue;
+    g.add_edge(u, v);
+    ++added;
+  }
   return g;
 }
 

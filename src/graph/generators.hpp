@@ -50,7 +50,17 @@ Graph random_graph(int n, double p, std::uint32_t seed);
 Graph random_connected(int n, double p, std::uint32_t seed);
 
 /// A uniform random labelled tree via Prufer sequences (n >= 1).
+/// O(n log n): eligible leaves sit in a min-heap, so million-node trees
+/// build in milliseconds (the bench harnesses depend on this).
 Graph random_tree(int n, std::uint32_t seed);
+
+/// A connected sparse graph: a uniform random spanning tree plus
+/// `extra_edges` distinct random chords.  Unlike random_connected (which
+/// flips a coin per node pair, O(n^2)), this scales to n = 10^6 — edge
+/// count is the input, not a density.  Duplicate/self-loop draws are
+/// redrawn, so m == n - 1 + extra_edges exactly (extra_edges must fit,
+/// i.e. be at most n(n-1)/2 - (n-1)).
+Graph random_sparse_connected(int n, int extra_edges, std::uint32_t seed);
 
 /// Builds a graph from an explicit edge list on nodes with ids 1..n.
 Graph from_edges(int n, const std::vector<std::pair<int, int>>& edges);

@@ -6,6 +6,7 @@
 
 #include "core/engine.hpp"
 #include "core/incremental.hpp"
+#include "core/sharded_engine.hpp"
 #include "local/message_passing.hpp"
 
 namespace lcp {
@@ -17,6 +18,9 @@ std::unique_ptr<ExecutionEngine> make_engine(std::string_view name) {
   }
   if (name == "parallel") return std::make_unique<ParallelEngine>();
   if (name == "incremental") return std::make_unique<IncrementalEngine>();
+  if (name == "sharded" || name.rfind("sharded:", 0) == 0) {
+    return std::make_unique<ShardedEngine>(parse_sharded_spec(name));
+  }
   throw std::invalid_argument("make_engine: unknown backend '" +
                               std::string(name) + "'");
 }

@@ -6,7 +6,10 @@
 // graph fingerprint is in play and mutations are later reverted.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "core/ball_store.hpp"
@@ -132,6 +135,68 @@ TEST(BallStore, EvictionUnderMemoryCapAndEntryCap) {
   EXPECT_TRUE(store.uncacheable(5, 1));
   EXPECT_FALSE(store.lookup(5, 1, &out));
   EXPECT_GE(store.stats().rejected, 1u);
+}
+
+TEST(BallStore, ConcurrentPublishLookupSmoke) {
+  // Hammer one store from several threads — publishes, full lookups,
+  // single-ball lookups, stats reads, COW mutations of adopted balls —
+  // and check the counters reconcile once quiet.  Run under TSan this
+  // pins the locking contract (mutex for the tables, relaxed atomics for
+  // the counters, shared_ptr refcounts for the balls).
+  BallStore store({.max_ball_nodes = 1 << 12, .max_entries = 3});
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 400;
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::atomic<std::uint64_t> observed_misses{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, &observed_hits, &observed_misses, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const std::uint64_t fp = static_cast<std::uint64_t>(round % 5 + 1);
+        if ((round + t) % 3 == 0) {
+          std::vector<BallPtr> balls;
+          for (int i = 0; i < 4; ++i) {
+            auto b = std::make_shared<CachedNodeView>();
+            b->host = {t, round, i};
+            balls.push_back(std::move(b));
+          }
+          (void)store.publish(fp, 1, std::move(balls), 4);
+        } else {
+          std::vector<BallPtr> out;
+          if (store.lookup(fp, 1, &out)) {
+            observed_hits.fetch_add(1, std::memory_order_relaxed);
+            // Mutate through our own slot: COW must keep the store's copy
+            // (and other threads' adopted copies) untouched.
+            CachedNodeView& mine = exclusive_ball(out[0]);
+            mine.host.push_back(-1);
+          } else {
+            observed_misses.fetch_add(1, std::memory_order_relaxed);
+          }
+          (void)store.lookup_ball(fp, 1, round % 6);
+          (void)store.stats();  // lock-free read while others write
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const BallStoreStats stats = store.stats();
+  // Every full-lookup outcome the threads observed is tallied; lookup_ball
+  // adds more, so the totals are lower bounds.
+  EXPECT_GE(stats.hits + stats.misses,
+            observed_hits.load() + observed_misses.load());
+  EXPECT_GT(stats.publishes, 0u);
+  EXPECT_LE(store.entry_count(), 3u);
+  EXPECT_LE(store.ball_nodes(), std::size_t{1} << 12);
+  // The store's resident balls were never grown by the COW mutations.
+  std::vector<BallPtr> out;
+  for (std::uint64_t fp = 1; fp <= 5; ++fp) {
+    if (!store.lookup(fp, 1, &out)) continue;
+    for (const BallPtr& b : out) {
+      EXPECT_EQ(b->host.size(), 3u);
+    }
+  }
 }
 
 TEST(BallStore, DirectEngineWarmsDirectEngine) {

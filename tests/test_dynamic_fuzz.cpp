@@ -17,6 +17,8 @@
 #include "algo/matching.hpp"
 #include "bench/churn_stream.hpp"
 #include "core/engine.hpp"
+#include "core/shard_transport.hpp"
+#include "core/sharded_engine.hpp"
 #include "dynamic/coloring_maintainer.hpp"
 #include "dynamic/matching_maintainer.hpp"
 #include "dynamic/pipeline.hpp"
@@ -355,6 +357,21 @@ TEST(DynamicFuzz, FourWayMatrixUnderChurnStream) {
   lanes.push_back(make_lane(
       "random-toggle", {.verify_state = false, .shard_min_centers = 0}));
 
+  // Cross-shard churn round: ShardedEngine instances ride lane 0's tracker
+  // through the same stream and must stay bit-identical.  The hash
+  // partition scatters ids, so nearly every batch straddles shards and the
+  // halo machinery is exercised on every step; the 7-way range split keeps
+  // shards tiny (~3 owned nodes) so fringes dominate.
+  ShardedEngineOptions hash_options;
+  hash_options.shards = 4;
+  hash_options.partitioner = std::make_shared<HashPartitioner>();
+  ShardedEngine sharded_hash(hash_options);
+  ShardedEngineOptions range_options;
+  range_options.shards = 7;
+  ShardedEngine sharded_range(range_options);
+  ASSERT_TRUE(sharded_hash.attach_tracker(&lanes[0].pipe->tracker()));
+  ASSERT_TRUE(sharded_range.attach_tracker(&lanes[0].pipe->tracker()));
+
   bench::ChurnStream stream({.grow_probability = 0.3,
                              .attach_edges = 2,
                              .churn_edges = 2,
@@ -396,6 +413,15 @@ TEST(DynamicFuzz, FourWayMatrixUnderChurnStream) {
       ASSERT_EQ(want_state_fp, lanes[i].pipe->tracker().state_fingerprint())
           << lanes[i].name << " step " << step;
     }
+    for (ShardedEngine* sharded : {&sharded_hash, &sharded_range}) {
+      const RunResult got =
+          sharded->run(lanes[0].pipe->graph(), lanes[0].pipe->proof(),
+                       scheme.verifier());
+      ASSERT_EQ(want.all_accept, got.all_accept)
+          << "sharded:" << sharded->shard_count() << " step " << step;
+      ASSERT_EQ(want.rejecting, got.rejecting)
+          << "sharded:" << sharded->shard_count() << " step " << step;
+    }
   }
 
   // The stream must have driven the interesting machinery in every lane.
@@ -403,6 +429,14 @@ TEST(DynamicFuzz, FourWayMatrixUnderChurnStream) {
   EXPECT_GT(lanes[1].pipe->engine().stats().sharded_rounds, 0u);
   EXPECT_GT(lanes[2].pipe->engine().stats().reextractions, 0u);
   EXPECT_GT(lanes[0].pipe->stats().repaired, 40u);
+  // The sharded riders must have taken the delta path and moved real
+  // fringe traffic (hash scatters ids, so churn is cross-shard by design).
+  EXPECT_GT(sharded_hash.stats().incremental_runs, 0u);
+  EXPECT_GT(sharded_hash.transport().stats().records, 0u);
+  EXPECT_GT(sharded_range.stats().incremental_runs, 0u);
+  EXPECT_GT(sharded_range.stats().shards_woken, 0u);
+  sharded_hash.attach_tracker(nullptr);
+  sharded_range.attach_tracker(nullptr);
 }
 
 }  // namespace

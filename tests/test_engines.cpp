@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/checker.hpp"
+#include "core/delta.hpp"
 #include "core/engine.hpp"
 #include "core/incremental.hpp"
 #include "core/runner.hpp"
@@ -200,12 +201,103 @@ TEST(DirectEngineCache, CapFallsBackToUncached) {
   }
 }
 
+TEST(DirectEngineCache, MigratesAcrossFingerprintsWithTracker) {
+  // With a tracker attached, a graph mutation must not drop the warm
+  // cache: the dirty log is replayed over the cached views and the entry
+  // is rekeyed to the new fingerprint.
+  const schemes::LeaderElectionScheme scheme;
+  Graph g = gen::random_connected(30, 0.12, 29);
+  g.set_label(4, schemes::kLeaderFlag);
+  Proof p = *scheme.prove(g);
+  DeltaTracker tracker(g, p, scheme.verifier().radius());
+
+  DirectEngine cached;
+  DirectEngine fresh({/*cache_views=*/false});
+  ASSERT_TRUE(cached.attach_tracker(&tracker));
+  expect_equal(fresh.run(g, p, scheme.verifier()),
+               cached.run(g, p, scheme.verifier()), "direct-migrate",
+               "warm-up");
+  EXPECT_EQ(cached.stats().migrations, 0u);
+
+  // Structural + label churn: every round must migrate, not rebuild.
+  std::uint64_t expected_migrations = 0;
+  for (int round = 0; round < 4; ++round) {
+    MutationBatch batch;
+    const int e = g.m() - 1 - round;
+    batch.remove_edge(g.edge_u(e), g.edge_v(e));
+    batch.set_node_label(round, 7);
+    batch.set_proof_label(round, p.labels[static_cast<std::size_t>(
+                                     (round + 5) % g.n())]);
+    tracker.apply(batch);
+    expect_equal(fresh.run(g, p, scheme.verifier()),
+                 cached.run(g, p, scheme.verifier()), "direct-migrate",
+                 "round-" + std::to_string(round));
+    ++expected_migrations;
+    EXPECT_EQ(cached.stats().migrations, expected_migrations);
+    EXPECT_EQ(cached.cached_graph_count(), 1u);
+  }
+  // Some views survive each small mutation in place.
+  EXPECT_GT(cached.stats().migrated_views, 0u);
+
+  // Node growth migrates too: appended nodes are extracted fresh, the
+  // rest replay.
+  MutationBatch grow;
+  grow.add_node(777);
+  grow.add_edge(g.n(), 3);
+  tracker.apply(grow);
+  expect_equal(fresh.run(g, p, scheme.verifier()),
+               cached.run(g, p, scheme.verifier()), "direct-migrate",
+               "growth");
+  EXPECT_EQ(cached.stats().migrations, expected_migrations + 1);
+  EXPECT_GT(cached.stats().migration_reextractions, 0u);
+
+  // A proof-only batch is a plain cache hit (the graph fingerprint is
+  // unchanged), and the lineage keeps rolling forward for later batches.
+  MutationBatch proof_only;
+  proof_only.set_proof_label(2, p.labels[9]);
+  tracker.apply(proof_only);
+  expect_equal(fresh.run(g, p, scheme.verifier()),
+               cached.run(g, p, scheme.verifier()), "direct-migrate",
+               "proof-only");
+  EXPECT_EQ(cached.stats().migrations, expected_migrations + 1);
+  MutationBatch after;
+  after.remove_edge(g.edge_u(0), g.edge_v(0));
+  tracker.apply(after);
+  expect_equal(fresh.run(g, p, scheme.verifier()),
+               cached.run(g, p, scheme.verifier()), "direct-migrate",
+               "after-proof-only");
+  EXPECT_EQ(cached.stats().migrations, expected_migrations + 2);
+
+  cached.attach_tracker(nullptr);
+}
+
+TEST(DirectEngineCache, MigrationRefusesOutOfBandMutation) {
+  // A mutation bypassing the tracker must fall back to a full rebuild —
+  // and still be correct — because the dirty log no longer accounts for
+  // the divergence.
+  const schemes::BipartiteScheme scheme;
+  Graph g = gen::grid(4, 5);
+  Proof p = *scheme.prove(g);
+  DeltaTracker tracker(g, p, scheme.verifier().radius());
+  DirectEngine cached;
+  DirectEngine fresh({/*cache_views=*/false});
+  ASSERT_TRUE(cached.attach_tracker(&tracker));
+  (void)cached.run(g, p, scheme.verifier());
+
+  g.set_label(0, 42);  // out of band: tracker fingerprint now stale
+  expect_equal(fresh.run(g, p, scheme.verifier()),
+               cached.run(g, p, scheme.verifier()), "direct-migrate",
+               "out-of-band");
+  EXPECT_EQ(cached.stats().migrations, 0u);
+  cached.attach_tracker(nullptr);
+}
+
 TEST(EngineFactory, KnowsEveryBackend) {
   const schemes::BipartiteScheme scheme;
   const Graph g = gen::cycle(8);
   const Proof p = *scheme.prove(g);
   for (const char* name :
-       {"direct", "message-passing", "parallel", "incremental"}) {
+       {"direct", "message-passing", "parallel", "incremental", "sharded"}) {
     const std::unique_ptr<ExecutionEngine> engine = make_engine(name);
     ASSERT_NE(engine, nullptr);
     EXPECT_EQ(engine->name(), name);
@@ -227,7 +319,8 @@ TEST(Engines, ExhaustiveSearchMatchesAcrossEngines) {
     return true;
   });
   for (const char* name :
-       {"direct", "message-passing", "parallel", "incremental"}) {
+       {"direct", "message-passing", "parallel", "incremental",
+        "sharded:2"}) {
     const std::unique_ptr<ExecutionEngine> engine = make_engine(name);
     EXPECT_TRUE(exists_accepted_proof(gen::cycle(4), two_col, 1, *engine))
         << name;

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <stdexcept>
 
 #include "graph/directed.hpp"
@@ -133,6 +134,77 @@ TEST(Generators, RandomTreeHasTreeShape) {
     EXPECT_EQ(g.m(), g.n() - 1);
     const auto dist = bfs_distances(g, 0);
     for (int d : dist) EXPECT_GE(d, 0);  // connected
+  }
+}
+
+TEST(Generators, RandomTreeMatchesScanDecoder) {
+  // The heap-based Prufer decoder must emit the exact edge sequence of the
+  // original ascending-scan decoder (both always pick the smallest
+  // eligible leaf), so seeds keep producing the same graphs forever.
+  auto scan_decode = [](int n, std::uint32_t seed) {
+    Graph g;
+    for (int i = 1; i <= n; ++i) g.add_node(static_cast<NodeId>(i));
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<int> node(0, n - 1);
+    std::vector<int> prufer(static_cast<std::size_t>(n - 2));
+    for (int& x : prufer) x = node(rng);
+    std::vector<int> degree(static_cast<std::size_t>(n), 1);
+    for (int x : prufer) ++degree[static_cast<std::size_t>(x)];
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    for (int x : prufer) {
+      int leaf = -1;
+      for (int v = 0; v < n; ++v) {
+        if (degree[static_cast<std::size_t>(v)] == 1 &&
+            !used[static_cast<std::size_t>(v)]) {
+          leaf = v;
+          break;
+        }
+      }
+      g.add_edge(leaf, x);
+      used[static_cast<std::size_t>(leaf)] = true;
+      --degree[static_cast<std::size_t>(x)];
+    }
+    int a = -1;
+    int b = -1;
+    for (int v = 0; v < n; ++v) {
+      if (degree[static_cast<std::size_t>(v)] == 1 &&
+          !used[static_cast<std::size_t>(v)]) {
+        (a < 0 ? a : b) = v;
+      }
+    }
+    g.add_edge(a, b);
+    return g;
+  };
+  for (int n : {3, 4, 9, 40}) {
+    for (std::uint32_t seed = 0; seed < 10; ++seed) {
+      const Graph want = scan_decode(n, seed);
+      const Graph got = gen::random_tree(n, seed);
+      ASSERT_EQ(got.m(), want.m());
+      for (int e = 0; e < want.m(); ++e) {
+        EXPECT_EQ(got.edge_u(e), want.edge_u(e)) << n << "/" << seed;
+        EXPECT_EQ(got.edge_v(e), want.edge_v(e)) << n << "/" << seed;
+      }
+    }
+  }
+}
+
+TEST(Generators, RandomSparseConnectedHasExactEdgeCount) {
+  for (std::uint32_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::random_sparse_connected(200, 120, seed);
+    EXPECT_EQ(g.n(), 200);
+    EXPECT_EQ(g.m(), 200 - 1 + 120);
+    const auto dist = bfs_distances(g, 0);
+    for (int d : dist) EXPECT_GE(d, 0);  // connected
+  }
+  EXPECT_THROW(gen::random_sparse_connected(4, 100, 1),
+               std::invalid_argument);
+  // Determinism: same seed, same graph.
+  const Graph a = gen::random_sparse_connected(60, 30, 9);
+  const Graph b = gen::random_sparse_connected(60, 30, 9);
+  ASSERT_EQ(a.m(), b.m());
+  for (int e = 0; e < a.m(); ++e) {
+    EXPECT_EQ(a.edge_u(e), b.edge_u(e));
+    EXPECT_EQ(a.edge_v(e), b.edge_v(e));
   }
 }
 
