@@ -3,6 +3,7 @@
 #ifndef LCP_BENCH_BENCH_UTIL_HPP_
 #define LCP_BENCH_BENCH_UTIL_HPP_
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <string>
@@ -52,17 +53,73 @@ inline RunResult seed_run_verifier(const Graph& g, const Proof& p,
   return result;
 }
 
+/// The compiler that produced this binary, for the bench JSON headers.
+inline const char* compiler_id() {
+#if defined(__clang_version__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__) && defined(__VERSION__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// Whether a sanitizer is baked into the build: perf numbers from such a
+/// binary are not comparable and the JSON says so.
+inline bool sanitized_build() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 /// Opens a BENCH_*.json object with the provenance fields every bench
-/// must record: the generating tool, the machine's real hardware thread
-/// count, and the widest shard/worker fan-out the run used (0 when the
-/// bench is single-threaded).  Callers append their own "workloads" array
-/// and close the object.
+/// must record: the generating tool, the exact source revision (git
+/// describe + commit, baked in at configure time), build type and
+/// compiler, the machine's real hardware thread count, and the widest
+/// shard/worker fan-out the run used (0 when the bench is
+/// single-threaded).  Callers append their own "workloads" array and
+/// close the object.
 inline void json_header(std::FILE* out, const char* generated_by,
                         int shards = 0) {
+#if !defined(LCP_GIT_DESCRIBE)
+#define LCP_GIT_DESCRIBE ""
+#endif
+#if !defined(LCP_GIT_COMMIT)
+#define LCP_GIT_COMMIT ""
+#endif
+#if !defined(LCP_BUILD_TYPE)
+#define LCP_BUILD_TYPE ""
+#endif
   std::fprintf(out, "{\n  \"generated_by\": \"%s\",\n", generated_by);
+  std::fprintf(out, "  \"git_describe\": \"%s\",\n", LCP_GIT_DESCRIBE);
+  std::fprintf(out, "  \"git_commit\": \"%s\",\n", LCP_GIT_COMMIT);
+  std::fprintf(out, "  \"build_type\": \"%s\",\n", LCP_BUILD_TYPE);
+  std::fprintf(out, "  \"compiler\": \"%s\",\n", compiler_id());
+  std::fprintf(out, "  \"sanitized\": %s,\n",
+               sanitized_build() ? "true" : "false");
   std::fprintf(out, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(out, "  \"shards\": %d,\n", shards);
+}
+
+/// Nearest-rank percentile of a latency sample (µs or any unit); sorts a
+/// copy, so fine for bench-sized vectors.  q in [0,1].
+inline double percentile_of(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + frac * (samples[hi] - samples[lo]);
 }
 
 inline void rule(char c = '-', int width = 98) {

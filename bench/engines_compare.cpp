@@ -24,16 +24,30 @@
 namespace lcp {
 namespace {
 
-double best_of_ms(int reps, const std::function<bool()>& body) {
-  double best = -1;
+/// Per-backend repetition timings: the best (the historical headline
+/// number) plus nearest-rank percentiles over the reps, so the JSON
+/// records run-to-run spread and not just the lucky rep.
+struct RepTiming {
+  double best_ms = -1;
+  double p50_ms = -1;
+  double p99_ms = -1;
+};
+
+RepTiming time_reps(int reps, const std::function<bool()>& body) {
+  RepTiming t;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const auto start = std::chrono::steady_clock::now();
-    if (!body()) return -1;  // verdict mismatch guard
+    if (!body()) return RepTiming{};  // verdict mismatch guard
     const std::chrono::duration<double, std::milli> elapsed =
         std::chrono::steady_clock::now() - start;
-    best = best < 0 ? elapsed.count() : std::min(best, elapsed.count());
+    samples.push_back(elapsed.count());
   }
-  return best;
+  t.best_ms = *std::min_element(samples.begin(), samples.end());
+  t.p50_ms = bench::percentile_of(samples, 0.50);
+  t.p99_ms = bench::percentile_of(samples, 0.99);
+  return t;
 }
 
 struct WorkloadTiming {
@@ -41,12 +55,12 @@ struct WorkloadTiming {
   int n = 0;
   int m = 0;
   int radius = 0;
-  double seed_ms = 0;
-  double direct_ms = 0;
-  double direct_cached_ms = 0;
-  double parallel_ms = 0;        // persistent worker pool
-  double parallel_spawn_ms = 0;  // spawn-per-run (the pre-pool behaviour)
-  double message_passing_ms = -1;  // only timed on small instances
+  RepTiming seed;
+  RepTiming direct;
+  RepTiming direct_cached;
+  RepTiming parallel;        // persistent worker pool
+  RepTiming parallel_spawn;  // spawn-per-run (the pre-pool behaviour)
+  RepTiming message_passing;  // only timed on small instances
 };
 
 WorkloadTiming time_workload(const std::string& name, const Graph& g,
@@ -64,31 +78,31 @@ WorkloadTiming time_workload(const std::string& name, const Graph& g,
            r.rejecting == expected.rejecting;
   };
 
-  t.seed_ms =
-      best_of_ms(reps, [&] { return agrees(bench::seed_run_verifier(g, proof, a)); });
+  t.seed =
+      time_reps(reps, [&] { return agrees(bench::seed_run_verifier(g, proof, a)); });
 
   DirectEngine uncached({/*cache_views=*/false});
-  t.direct_ms =
-      best_of_ms(reps, [&] { return agrees(uncached.run(g, proof, a)); });
+  t.direct =
+      time_reps(reps, [&] { return agrees(uncached.run(g, proof, a)); });
 
   DirectEngine cached;
   (void)cached.run(g, proof, a);  // warm: steady-state is the cache-hit path
-  t.direct_cached_ms =
-      best_of_ms(reps, [&] { return agrees(cached.run(g, proof, a)); });
+  t.direct_cached =
+      time_reps(reps, [&] { return agrees(cached.run(g, proof, a)); });
 
   ParallelEngine parallel;
   (void)parallel.run(g, proof, a);  // create the pool outside the timing
-  t.parallel_ms =
-      best_of_ms(reps, [&] { return agrees(parallel.run(g, proof, a)); });
+  t.parallel =
+      time_reps(reps, [&] { return agrees(parallel.run(g, proof, a)); });
 
   ParallelEngine spawning(0, /*persistent_pool=*/false);
-  t.parallel_spawn_ms =
-      best_of_ms(reps, [&] { return agrees(spawning.run(g, proof, a)); });
+  t.parallel_spawn =
+      time_reps(reps, [&] { return agrees(spawning.run(g, proof, a)); });
 
   if (g.n() <= 512) {
     MessagePassingEngine flooding;
-    t.message_passing_ms =
-        best_of_ms(reps, [&] { return agrees(flooding.run(g, proof, a)); });
+    t.message_passing =
+        time_reps(reps, [&] { return agrees(flooding.run(g, proof, a)); });
   }
   return t;
 }
@@ -107,15 +121,29 @@ void print_json(std::FILE* out, const std::vector<WorkloadTiming>& rows) {
                  "\"direct\": %.3f, \"direct_cached\": %.3f, \"parallel\": "
                  "%.3f, \"parallel_spawn\": %.3f, \"message_passing\": "
                  "%.3f},\n",
-                 t.name.c_str(), t.n, t.m, t.radius, t.seed_ms, t.direct_ms,
-                 t.direct_cached_ms, t.parallel_ms, t.parallel_spawn_ms,
-                 t.message_passing_ms);
+                 t.name.c_str(), t.n, t.m, t.radius, t.seed.best_ms,
+                 t.direct.best_ms, t.direct_cached.best_ms,
+                 t.parallel.best_ms, t.parallel_spawn.best_ms,
+                 t.message_passing.best_ms);
+    std::fprintf(out,
+                 "     \"p50_ms\": {\"seed_sequential\": %.3f, \"direct\": "
+                 "%.3f, \"direct_cached\": %.3f, \"parallel\": %.3f, "
+                 "\"parallel_spawn\": %.3f},\n"
+                 "     \"p99_ms\": {\"seed_sequential\": %.3f, \"direct\": "
+                 "%.3f, \"direct_cached\": %.3f, \"parallel\": %.3f, "
+                 "\"parallel_spawn\": %.3f},\n",
+                 t.seed.p50_ms, t.direct.p50_ms, t.direct_cached.p50_ms,
+                 t.parallel.p50_ms, t.parallel_spawn.p50_ms, t.seed.p99_ms,
+                 t.direct.p99_ms, t.direct_cached.p99_ms, t.parallel.p99_ms,
+                 t.parallel_spawn.p99_ms);
     std::fprintf(out,
                  "     \"speedup_vs_seed\": {\"direct\": %.2f, "
                  "\"direct_cached\": %.2f, \"parallel\": %.2f, "
                  "\"parallel_spawn\": %.2f}}%s\n",
-                 t.seed_ms / t.direct_ms, t.seed_ms / t.direct_cached_ms,
-                 t.seed_ms / t.parallel_ms, t.seed_ms / t.parallel_spawn_ms,
+                 t.seed.best_ms / t.direct.best_ms,
+                 t.seed.best_ms / t.direct_cached.best_ms,
+                 t.seed.best_ms / t.parallel.best_ms,
+                 t.seed.best_ms / t.parallel_spawn.best_ms,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "  ]\n}\n");
@@ -163,12 +191,17 @@ int main(int argc, char** argv) {
               "spawn ms");
   for (const WorkloadTiming& t : rows) {
     std::printf("%-24s %8d %8d | %12.3f %12.3f %12.3f %12.3f %12.3f\n",
-                t.name.c_str(), t.n, t.m, t.seed_ms, t.direct_ms,
-                t.direct_cached_ms, t.parallel_ms, t.parallel_spawn_ms);
+                t.name.c_str(), t.n, t.m, t.seed.best_ms, t.direct.best_ms,
+                t.direct_cached.best_ms, t.parallel.best_ms,
+                t.parallel_spawn.best_ms);
     std::printf("%-24s speedups vs seed: direct %.2fx, cached %.2fx, "
-                "parallel %.2fx (spawn-per-run %.2fx)\n",
-                "", t.seed_ms / t.direct_ms, t.seed_ms / t.direct_cached_ms,
-                t.seed_ms / t.parallel_ms, t.seed_ms / t.parallel_spawn_ms);
+                "parallel %.2fx (spawn-per-run %.2fx); parallel p50/p99 "
+                "%.3f/%.3fms\n",
+                "", t.seed.best_ms / t.direct.best_ms,
+                t.seed.best_ms / t.direct_cached.best_ms,
+                t.seed.best_ms / t.parallel.best_ms,
+                t.seed.best_ms / t.parallel_spawn.best_ms, t.parallel.p50_ms,
+                t.parallel.p99_ms);
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -182,8 +215,9 @@ int main(int argc, char** argv) {
 
   // Any timing of -1 means a backend disagreed with the seed semantics.
   for (const WorkloadTiming& t : rows) {
-    if (t.seed_ms < 0 || t.direct_ms < 0 || t.direct_cached_ms < 0 ||
-        t.parallel_ms < 0 || t.parallel_spawn_ms < 0) {
+    if (t.seed.best_ms < 0 || t.direct.best_ms < 0 ||
+        t.direct_cached.best_ms < 0 || t.parallel.best_ms < 0 ||
+        t.parallel_spawn.best_ms < 0) {
       std::fprintf(stderr, "verdict mismatch in workload %s\n",
                    t.name.c_str());
       return 1;

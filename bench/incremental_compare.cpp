@@ -52,16 +52,24 @@ struct LoopTiming {
   double incremental_ms = -1;
   double incremental_nopatch_ms = -1;  // PR 3 config: re-extract dirty balls
   double incremental_noverify_ms = -1;
+  // Nearest-rank percentiles of the incremental engine's per-iteration
+  // wall time (mutate + dirty re-verify), in microseconds: the serving-
+  // latency view the aggregate totals above hide.
+  double incremental_iter_p50_us = 0;
+  double incremental_iter_p90_us = 0;
+  double incremental_iter_p99_us = 0;
   long long checksum_direct = -1;  // total rejecting nodes over the loop
 };
 
 /// Replays the same mutation loop against one engine.  Mutations go
 /// through a DeltaTracker on fresh copies of (graph, proof); the checksum
 /// (total rejecting nodes across iterations) must agree across engines.
+/// When iter_us is non-null it receives each iteration's wall time.
 template <typename MutateFn>
 long long run_loop(ExecutionEngine& engine, const Graph& graph,
                    const Proof& proof, const LocalVerifier& verifier,
-                   int iterations, int horizon, MutateFn&& mutate) {
+                   int iterations, int horizon, MutateFn&& mutate,
+                   std::vector<double>* iter_us = nullptr) {
   Graph g = graph;
   Proof p = proof;
   DeltaTracker tracker(g, p, horizon);
@@ -69,11 +77,17 @@ long long run_loop(ExecutionEngine& engine, const Graph& graph,
   long long checksum = 0;
   (void)engine.run(g, p, verifier);  // identical warm-up for every engine
   for (int it = 0; it < iterations; ++it) {
+    const auto iter_start = std::chrono::steady_clock::now();
     MutationBatch batch;
     mutate(it, g, p, batch);
     tracker.apply(batch);
     const RunResult r = engine.run(g, p, verifier);
     checksum += static_cast<long long>(r.rejecting.size());
+    if (iter_us != nullptr) {
+      const std::chrono::duration<double, std::micro> iter_elapsed =
+          std::chrono::steady_clock::now() - iter_start;
+      iter_us->push_back(iter_elapsed.count());
+    }
   }
   return checksum;
 }
@@ -90,10 +104,11 @@ LoopTiming time_loop(const std::string& name, const Graph& graph,
   t.iterations = iterations;
   t.mutated_fraction = mutated_fraction;
 
-  auto timed = [&](ExecutionEngine& engine, bool is_reference) {
+  auto timed = [&](ExecutionEngine& engine, bool is_reference,
+                   std::vector<double>* iter_us = nullptr) {
     const auto start = std::chrono::steady_clock::now();
-    const long long c =
-        run_loop(engine, graph, proof, verifier, iterations, horizon, mutate);
+    const long long c = run_loop(engine, graph, proof, verifier, iterations,
+                                 horizon, mutate, iter_us);
     const std::chrono::duration<double, std::milli> elapsed =
         std::chrono::steady_clock::now() - start;
     if (is_reference) {
@@ -110,7 +125,11 @@ LoopTiming time_loop(const std::string& name, const Graph& graph,
   ParallelEngine parallel;
   t.parallel_ms = timed(parallel, false);
   IncrementalEngine incremental;
-  t.incremental_ms = timed(incremental, false);
+  std::vector<double> iter_us;
+  t.incremental_ms = timed(incremental, false, &iter_us);
+  t.incremental_iter_p50_us = bench::percentile_of(iter_us, 0.50);
+  t.incremental_iter_p90_us = bench::percentile_of(iter_us, 0.90);
+  t.incremental_iter_p99_us = bench::percentile_of(iter_us, 0.99);
   IncrementalEngine nopatch({.patch_views = false});
   t.incremental_nopatch_ms = timed(nopatch, false);
   IncrementalEngine noverify({.verify_state = false});
@@ -324,11 +343,15 @@ void print_json(std::FILE* out, const std::vector<LoopTiming>& rows) {
         "\"parallel\": %.2f, \"incremental\": %.2f, "
         "\"incremental_nopatch\": %.2f, "
         "\"incremental_noverify\": %.2f},\n"
+        "     \"incremental_iter_us\": {\"p50\": %.1f, \"p90\": %.1f, "
+        "\"p99\": %.1f},\n"
         "     \"patching_speedup\": %.2f}%s\n",
         t.direct_ms / t.direct_cached_ms, t.direct_ms / t.parallel_ms,
         t.direct_ms / t.incremental_ms,
         t.direct_ms / t.incremental_nopatch_ms,
         t.direct_ms / t.incremental_noverify_ms,
+        t.incremental_iter_p50_us, t.incremental_iter_p90_us,
+        t.incremental_iter_p99_us,
         t.incremental_nopatch_ms / t.incremental_ms,
         i + 1 < rows.size() ? "," : "");
   }
@@ -362,12 +385,13 @@ int main(int argc, char** argv) {
         t.incremental_noverify_ms);
     std::printf("%-26s speedup vs direct: cached %.2fx, parallel %.2fx, "
                 "incremental %.2fx (nopatch %.2fx, noverify %.2fx); "
-                "patching %.2fx over nopatch\n",
+                "patching %.2fx over nopatch; iter p50/p99 %.0f/%.0fus\n",
                 "", t.direct_ms / t.direct_cached_ms,
                 t.direct_ms / t.parallel_ms, t.direct_ms / t.incremental_ms,
                 t.direct_ms / t.incremental_nopatch_ms,
                 t.direct_ms / t.incremental_noverify_ms,
-                t.incremental_nopatch_ms / t.incremental_ms);
+                t.incremental_nopatch_ms / t.incremental_ms,
+                t.incremental_iter_p50_us, t.incremental_iter_p99_us);
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");

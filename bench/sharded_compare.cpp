@@ -70,6 +70,11 @@ struct ChurnRow {
   int k = 0;
   int iterations = 0;
   double total_ms = 0;
+  // Nearest-rank percentiles of per-iteration wall time (mutate + halo +
+  // dirty lanes), in microseconds.
+  double iter_p50_us = 0;
+  double iter_p90_us = 0;
+  double iter_p99_us = 0;
   std::uint64_t checksum = 0;
   std::uint64_t halo_records = 0;
   std::uint64_t halo_bytes = 0;
@@ -150,14 +155,23 @@ ChurnRow churn_run(const std::string& name, const Graph& start,
 
   const auto t0 = std::chrono::steady_clock::now();
   MutationBatch batch;
+  std::vector<double> iter_us;
+  iter_us.reserve(static_cast<std::size_t>(iterations));
   for (int it = 0; it < iterations; ++it) {
+    const auto iter_start = std::chrono::steady_clock::now();
     batch.clear();
     next(it, g, &batch);
     if (batch.empty()) continue;
     tracker.apply(batch);
     row.checksum = fold(row.checksum, engine.run(g, p, scheme.verifier()));
+    iter_us.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - iter_start)
+                          .count());
   }
   row.total_ms = ms_since(t0);
+  row.iter_p50_us = bench::percentile_of(iter_us, 0.50);
+  row.iter_p90_us = bench::percentile_of(iter_us, 0.90);
+  row.iter_p99_us = bench::percentile_of(iter_us, 0.99);
 
   const TransportStats traffic = engine.transport().stats();
   row.halo_records = traffic.records - build_traffic.records;
@@ -167,8 +181,9 @@ ChurnRow churn_run(const std::string& name, const Graph& start,
   row.reextractions = engine.stats().reextractions - build_reextract;
   row.last_dirty = engine.stats().last_dirty_per_shard;
   engine.attach_tracker(nullptr);
-  std::printf("  %-16s k=%d  %8.1f ms  halo records %-8llu woken %llu\n",
-              name.c_str(), k, row.total_ms,
+  std::printf("  %-16s k=%d  %8.1f ms  iter p50/p99 %6.0f/%6.0f us  "
+              "halo records %-8llu woken %llu\n",
+              name.c_str(), k, row.total_ms, row.iter_p50_us, row.iter_p99_us,
               static_cast<unsigned long long>(row.halo_records),
               static_cast<unsigned long long>(row.shards_woken));
   return row;
@@ -198,10 +213,13 @@ void print_json(std::FILE* out, const std::vector<SweepRow>& sweep,
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"n\": %d, \"shards\": %d, "
                  "\"iterations\": %d, \"total_ms\": %.3f,\n"
+                 "     \"iter_us\": {\"p50\": %.1f, \"p90\": %.1f, "
+                 "\"p99\": %.1f},\n"
                  "     \"halo_records\": %llu, \"halo_bytes\": %llu, "
                  "\"ghost_proof_patches\": %llu, \"shards_woken\": %llu, "
                  "\"reextractions\": %llu,\n     \"last_dirty_per_shard\": [",
                  r.name.c_str(), r.n, r.k, r.iterations, r.total_ms,
+                 r.iter_p50_us, r.iter_p90_us, r.iter_p99_us,
                  static_cast<unsigned long long>(r.halo_records),
                  static_cast<unsigned long long>(r.halo_bytes),
                  static_cast<unsigned long long>(r.proof_patches),

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace lcp {
 
 void refresh_ball_proofs(BallPtr& slot, const Proof& p) {
@@ -154,6 +156,41 @@ std::size_t BallStore::entry_count() const {
 std::size_t BallStore::ball_nodes() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return ball_nodes_;
+}
+
+void register_ball_store_metrics(obs::MetricRegistry& registry,
+                                 std::shared_ptr<BallStore> store,
+                                 const std::string& prefix,
+                                 const void* owner) {
+  const auto count = [store](std::uint64_t BallStoreStats::*field) {
+    return [store, field] {
+      return static_cast<double>(store->stats().*field);
+    };
+  };
+  registry.derived(prefix + ".hits", count(&BallStoreStats::hits), owner);
+  registry.derived(prefix + ".misses", count(&BallStoreStats::misses), owner);
+  registry.derived(prefix + ".publishes", count(&BallStoreStats::publishes),
+                   owner);
+  registry.derived(prefix + ".evictions", count(&BallStoreStats::evictions),
+                   owner);
+  registry.derived(prefix + ".rejected", count(&BallStoreStats::rejected),
+                   owner);
+  registry.derived(
+      prefix + ".hit_rate",
+      [store] {
+        const BallStoreStats s = store->stats();
+        const std::uint64_t total = s.hits + s.misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(s.hits) /
+                                static_cast<double>(total);
+      },
+      owner);
+  registry.derived(
+      prefix + ".entries",
+      [store] { return static_cast<double>(store->entry_count()); }, owner);
+  registry.derived(
+      prefix + ".ball_nodes",
+      [store] { return static_cast<double>(store->ball_nodes()); }, owner);
 }
 
 }  // namespace lcp

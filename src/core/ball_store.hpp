@@ -45,6 +45,10 @@
 
 namespace lcp {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 /// One node's materialised view plus the host dense index of each ball
 /// node (host[i] belongs to ball node i); the view-caching engines use it
 /// to refresh proof labels without re-extraction.
@@ -170,6 +174,17 @@ class BallStore {
   };
   mutable Counters counters_;
 };
+
+/// Adapts the store's live counters into a MetricRegistry as derived
+/// gauges under "<prefix>.": hits, misses, publishes, evictions,
+/// rejected, the hit_rate quotient, and the residency gauges (entries,
+/// ball_nodes).  The callbacks capture the shared_ptr, so they stay valid
+/// even if the registry outlives every engine using the store; `owner`
+/// tags the entries for MetricRegistry::remove_owned.
+void register_ball_store_metrics(obs::MetricRegistry& registry,
+                                 std::shared_ptr<BallStore> store,
+                                 const std::string& prefix,
+                                 const void* owner);
 
 }  // namespace lcp
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/delta.hpp"
+#include "obs/telemetry.hpp"
 
 namespace lcp {
 
@@ -51,6 +52,41 @@ RunResult sweep_sequential(const Graph& g, const Proof& p,
     }
   }
   return result;
+}
+
+DirectEngine::~DirectEngine() {
+  if (telemetry_ != nullptr) telemetry_->metrics.remove_owned(this);
+}
+
+void DirectEngine::attach_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr && telemetry_ != telemetry) {
+    telemetry_->metrics.remove_owned(this);
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& registry = telemetry_->metrics;
+  registry.derived(
+      "engine.direct.migrations",
+      [this] { return static_cast<double>(stats_.migrations); }, this);
+  registry.derived(
+      "engine.direct.migrated_views",
+      [this] { return static_cast<double>(stats_.migrated_views); }, this);
+  registry.derived(
+      "engine.direct.migration_reextractions",
+      [this] {
+        return static_cast<double>(stats_.migration_reextractions);
+      },
+      this);
+  registry.derived(
+      "engine.direct.cached_graphs",
+      [this] { return static_cast<double>(cached_graph_count()); }, this);
+  registry.derived(
+      "engine.direct.cached_ball_nodes",
+      [this] { return static_cast<double>(cached_ball_nodes_); }, this);
+  if (options_.store != nullptr) {
+    register_ball_store_metrics(registry, options_.store, "store.ball",
+                                this);
+  }
 }
 
 DirectEngine::CacheEntry* DirectEngine::find_entry(std::uint64_t fingerprint,
@@ -326,7 +362,27 @@ ParallelEngine::ParallelEngine(int threads, bool persistent_pool,
       persistent_pool_(persistent_pool),
       store_(std::move(store)) {}
 
-ParallelEngine::~ParallelEngine() = default;
+ParallelEngine::~ParallelEngine() {
+  if (telemetry_ != nullptr) telemetry_->metrics.remove_owned(this);
+}
+
+void ParallelEngine::attach_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr && telemetry_ != telemetry) {
+    telemetry_->metrics.remove_owned(this);
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  // The pool is created lazily on the first parallel run; when it exists
+  // already, register its lanes now, otherwise run() registers at
+  // creation.
+  if (pool_ != nullptr) {
+    pool_->register_metrics(telemetry_->metrics, "pool.parallel", this);
+  }
+  if (store_ != nullptr) {
+    register_ball_store_metrics(telemetry_->metrics, store_, "store.ball",
+                                this);
+  }
+}
 
 int ParallelEngine::effective_threads(int n) const {
   int k = threads_ > 0
@@ -410,6 +466,12 @@ RunResult ParallelEngine::run(const Graph& g, const Proof& p,
         std::numeric_limits<int>::max() / 2);
     if (pool_ == nullptr || pool_->size() < workers) {
       pool_ = std::make_unique<WorkerPool>(std::max(workers, max_workers));
+      if (telemetry_ != nullptr) {
+        // Re-register on pool growth: derived() replaces same-name
+        // callbacks, and remove_owned(this) in the destructor withdraws
+        // the per-lane entries of the widest pool.
+        pool_->register_metrics(telemetry_->metrics, "pool.parallel", this);
+      }
     }
     const std::function<void(int)> job = shard;
     pool_->dispatch(workers, job);

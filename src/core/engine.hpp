@@ -46,6 +46,10 @@ namespace lcp {
 
 class DeltaTracker;
 
+namespace obs {
+struct Telemetry;
+}  // namespace obs
+
 /// The global outcome of one verifier execution.
 struct RunResult {
   bool all_accept = true;
@@ -80,6 +84,21 @@ class ExecutionEngine {
 
   /// The tracker currently attached, if the engine consumes trackers.
   virtual DeltaTracker* attached_tracker() const { return nullptr; }
+
+  /// Offers a telemetry sink (obs/telemetry.hpp); nullptr detaches.  An
+  /// engine that opts in adapts its live Stats counters into the sink's
+  /// MetricRegistry as derived gauges under "engine.<name>." (plus any
+  /// pool/store/transport gauges it owns) and emits trace spans around its
+  /// phases.  Implementations must withdraw their derived gauges — from
+  /// the previously attached registry on re-attach/detach, and in their
+  /// destructor — so a registry can safely outlive the engine.  The
+  /// default backend ignores telemetry.
+  virtual void attach_telemetry(obs::Telemetry* telemetry) {
+    (void)telemetry;
+  }
+
+  /// The telemetry sink currently attached, if the engine consumes one.
+  virtual obs::Telemetry* attached_telemetry() const { return nullptr; }
 };
 
 /// RAII attachment: offers a tracker to the engine for the current scope
@@ -163,10 +182,16 @@ class DirectEngine final : public ExecutionEngine {
  public:
   explicit DirectEngine(DirectEngineOptions options = {})
       : options_(std::move(options)) {}
+  ~DirectEngine() override;
 
   std::string name() const override { return "direct"; }
   RunResult run(const Graph& g, const Proof& p,
                 const LocalVerifier& a) override;
+
+  /// Registers "engine.direct.*" (migration counters, cached_graphs) and,
+  /// when a shared store is attached, "store.ball.*" derived gauges.
+  void attach_telemetry(obs::Telemetry* telemetry) override;
+  obs::Telemetry* attached_telemetry() const override { return telemetry_; }
 
   /// Enables cache migration across fingerprints for the tracker's bound
   /// graph.  Returns true (the dirty log is consumed) when view caching is
@@ -217,6 +242,7 @@ class DirectEngine final : public ExecutionEngine {
 
   DirectEngineOptions options_;
   DeltaTracker* tracker_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   DirectEngineStats stats_;
   ViewExtractor extractor_;
   std::list<CacheEntry> cache_;  // most recently used first
@@ -257,6 +283,12 @@ class ParallelEngine final : public ExecutionEngine {
   RunResult run(const Graph& g, const Proof& p,
                 const LocalVerifier& a) override;
 
+  /// Registers "pool.parallel.*" lane gauges (once the persistent pool
+  /// exists — registration is lazy, at pool creation) and "store.ball.*"
+  /// when a store is attached.
+  void attach_telemetry(obs::Telemetry* telemetry) override;
+  obs::Telemetry* attached_telemetry() const override { return telemetry_; }
+
   /// The worker count a run would use right now.
   int effective_threads(int n) const;
 
@@ -265,6 +297,7 @@ class ParallelEngine final : public ExecutionEngine {
   bool persistent_pool_;
   std::shared_ptr<BallStore> store_;
   std::unique_ptr<WorkerPool> pool_;
+  obs::Telemetry* telemetry_ = nullptr;
 };
 
 /// The process-wide engine for one-off sweeps: a DirectEngine with caching

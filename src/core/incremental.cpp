@@ -4,6 +4,8 @@
 #include <functional>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace lcp {
 
 namespace {
@@ -16,6 +18,52 @@ constexpr std::uint8_t kPatchedDirty = 2;
 constexpr std::uint8_t kReextractDirty = 4;
 
 }  // namespace
+
+IncrementalEngine::~IncrementalEngine() {
+  if (telemetry_ != nullptr) telemetry_->metrics.remove_owned(this);
+}
+
+void IncrementalEngine::attach_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr && telemetry_ != telemetry) {
+    telemetry_->metrics.remove_owned(this);
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& registry = telemetry_->metrics;
+  const auto stat = [this](std::uint64_t Stats::*field) {
+    return [this, field] { return static_cast<double>(stats_.*field); };
+  };
+  registry.derived("engine.incremental.full_sweeps",
+                   stat(&Stats::full_sweeps), this);
+  registry.derived("engine.incremental.incremental_runs",
+                   stat(&Stats::incremental_runs), this);
+  registry.derived("engine.incremental.unchanged_runs",
+                   stat(&Stats::unchanged_runs), this);
+  registry.derived("engine.incremental.nodes_reverified",
+                   stat(&Stats::nodes_reverified), this);
+  registry.derived("engine.incremental.fallbacks", stat(&Stats::fallbacks),
+                   this);
+  registry.derived("engine.incremental.views_patched",
+                   stat(&Stats::views_patched), this);
+  registry.derived("engine.incremental.patch_fallbacks",
+                   stat(&Stats::patch_fallbacks), this);
+  registry.derived("engine.incremental.reextractions",
+                   stat(&Stats::reextractions), this);
+  registry.derived("engine.incremental.store_adoptions",
+                   stat(&Stats::store_adoptions), this);
+  registry.derived("engine.incremental.sharded_rounds",
+                   stat(&Stats::sharded_rounds), this);
+  registry.derived(
+      "engine.incremental.cached_ball_nodes",
+      [this] { return static_cast<double>(cached_ball_nodes_); }, this);
+  if (options_.store != nullptr) {
+    register_ball_store_metrics(registry, options_.store, "store.ball",
+                                this);
+  }
+  if (pool_ != nullptr) {
+    pool_->register_metrics(registry, "pool.incremental", this);
+  }
+}
 
 bool IncrementalEngine::attach_tracker(DeltaTracker* tracker) {
   tracker_ = tracker;
@@ -72,6 +120,8 @@ void IncrementalEngine::rebuild_inverted_index() {
 RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
                                         const LocalVerifier& a,
                                         std::uint64_t graph_fp) {
+  const obs::TraceRecorder::Span span =
+      obs::maybe_span(telemetry_, "incremental.full_sweep");
   ++stats_.full_sweeps;
   const int n = g.n();
   const int radius = a.radius();
@@ -181,11 +231,19 @@ void IncrementalEngine::reverify(const Graph& g, const Proof& p,
   if (shard) {
     if (pool_ == nullptr || pool_->size() < workers) {
       pool_ = std::make_unique<WorkerPool>(workers);
+      if (telemetry_ != nullptr) {
+        // Lazy registration at pool creation; on growth, derived()
+        // replaces the same-name lane callbacks with the new pool's.
+        pool_->register_metrics(telemetry_->metrics, "pool.incremental",
+                                this);
+      }
     }
     ++stats_.sharded_rounds;
   }
 
   if (!reextract_centers.empty()) {
+    const obs::TraceRecorder::Span reextract_span =
+        obs::maybe_span(telemetry_, "incremental.reextract");
     // Unhook the centres from their old balls' inverted lists first; the
     // extractions themselves are independent (each writes only its own
     // slot), so they shard cleanly.  Replacing the slot's pointer outright
@@ -248,6 +306,8 @@ void IncrementalEngine::reverify(const Graph& g, const Proof& p,
     refresh_ball_proofs(cache_[static_cast<std::size_t>(c)], p);
   }
 
+  const obs::TraceRecorder::Span verify_span =
+      obs::maybe_span(telemetry_, "incremental.verify");
   batch_views_.clear();
   batch_views_.reserve(count);
   for (const std::vector<int>* list :
@@ -352,6 +412,8 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
   // Merge the records into per-centre dirtiness bits via the inverted
   // index; ascending centre order at the end keeps the round
   // deterministic.
+  obs::TraceRecorder::Span dirty_scan_span =
+      obs::maybe_span(telemetry_, "incremental.dirty_scan");
   dirty_mark_.assign(static_cast<std::size_t>(n), 0);
   dirty_scratch_.clear();
   auto mark = [&](int c, std::uint8_t bits) {
@@ -451,6 +513,7 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
     }
   }
 
+  dirty_scan_span.close();
   reverify(g, p, a, reextract, patched, proof_dirty);
   if (cached_ball_nodes_ > options_.max_cached_ball_nodes) {
     // Edge churn grew the balls past the cap: abandon the cache.

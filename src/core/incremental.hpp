@@ -89,8 +89,18 @@ class IncrementalEngine final : public ExecutionEngine {
  public:
   explicit IncrementalEngine(IncrementalEngineOptions options = {})
       : options_(std::move(options)) {}
+  ~IncrementalEngine() override;
 
   std::string name() const override { return "incremental"; }
+
+  /// Registers "engine.incremental.*" (the Stats counters plus cache
+  /// residency), "store.ball.*" when a shared store is attached, and
+  /// "pool.incremental.*" lane gauges once the sharding pool exists.
+  /// Phase spans ("incremental.dirty_scan", "incremental.reextract",
+  /// "incremental.verify", "incremental.full_sweep") are emitted into the
+  /// sink's TraceRecorder while attached.
+  void attach_telemetry(obs::Telemetry* telemetry) override;
+  obs::Telemetry* attached_telemetry() const override { return telemetry_; }
 
   /// Subsequent runs whose (graph, proof) match the tracker's bound pair
   /// consume its dirty log.  Passing nullptr detaches.  Attaching always
@@ -144,6 +154,7 @@ class IncrementalEngine final : public ExecutionEngine {
 
   IncrementalEngineOptions options_;
   DeltaTracker* tracker_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   ViewExtractor extractor_;
   std::unique_ptr<WorkerPool> pool_;
 

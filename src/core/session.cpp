@@ -1,11 +1,46 @@
 #include "core/session.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "dynamic/maintainer.hpp"
 
 namespace lcp {
+
+namespace {
+
+/// One instrumented phase: a trace span plus a latency histogram sample,
+/// both skipped (no clock read, no lock) when telemetry is off.
+class PhaseScope {
+ public:
+  PhaseScope(obs::Telemetry* telemetry, const char* span_name,
+             obs::LatencyHistogram* hist)
+      : span_(obs::maybe_span(telemetry, span_name)), hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseScope() { close(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  void close() {
+    if (hist_ != nullptr) {
+      hist_->record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count()));
+      hist_ = nullptr;
+    }
+    span_.close();
+  }
+
+ private:
+  obs::TraceRecorder::Span span_;
+  obs::LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
 
 VerificationSession::Builder::Builder(Graph graph)
     : graph_(std::move(graph)) {}
@@ -95,6 +130,18 @@ VerificationSession::Builder& VerificationSession::Builder::registry(
   return *this;
 }
 
+VerificationSession::Builder& VerificationSession::Builder::telemetry(
+    std::shared_ptr<obs::Telemetry> sink) {
+  telemetry_ = std::move(sink);
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::telemetry(
+    bool on) {
+  telemetry_ = on ? std::make_shared<obs::Telemetry>() : nullptr;
+  return *this;
+}
+
 VerificationSession VerificationSession::Builder::build() {
   return VerificationSession(std::move(*this));
 }
@@ -104,7 +151,9 @@ VerificationSession::Builder VerificationSession::on(Graph graph) {
 }
 
 VerificationSession::VerificationSession(Builder&& b)
-    : graph_(std::move(b.graph_)), owned_scheme_(std::move(b.owned_scheme_)) {
+    : telemetry_(std::move(b.telemetry_)),
+      graph_(std::move(b.graph_)),
+      owned_scheme_(std::move(b.owned_scheme_)) {
   if (!b.scheme_expr_.empty()) {
     // Expressions resolve here, against the final registry() choice, so
     // the fluent setters are order-insensitive.
@@ -173,11 +222,47 @@ VerificationSession::VerificationSession(Builder&& b)
     maintainer_ = make_maintainer_for(*scheme_, reg);
   }
   bound_ = maintainer_ != nullptr && maintainer_->bind(graph_, proof_);
+
+  if (telemetry_ != nullptr) {
+    obs::MetricRegistry& registry = telemetry_->metrics;
+    hist_apply_ = &registry.histogram("session.apply.latency");
+    hist_mutate_ = &registry.histogram("session.phase.mutate");
+    hist_repair_ = &registry.histogram("session.phase.repair");
+    hist_reprove_ = &registry.histogram("session.phase.reprove");
+    hist_verify_ = &registry.histogram("session.phase.verify");
+    const auto stat = [this](std::uint64_t SessionStats::*field) {
+      return [this, field] { return static_cast<double>(stats_.*field); };
+    };
+    registry.derived("session.batches", stat(&SessionStats::batches), this);
+    registry.derived("session.repaired", stat(&SessionStats::repaired),
+                     this);
+    registry.derived("session.declined", stat(&SessionStats::declined),
+                     this);
+    registry.derived("session.reproves", stat(&SessionStats::reproves),
+                     this);
+    registry.derived("session.failed_proves",
+                     stat(&SessionStats::failed_proves), this);
+    registry.derived("session.repair_ops", stat(&SessionStats::repair_ops),
+                     this);
+    registry.derived("session.verifies", stat(&SessionStats::verifies),
+                     this);
+    registry.derived(
+        "session.maintainer_bound",
+        [this] { return bound_ ? 1.0 : 0.0; }, this);
+    engine_->attach_telemetry(telemetry_.get());
+    if (maintainer_ != nullptr) {
+      maintainer_->register_metrics(registry, this);
+    }
+  }
 }
 
 VerificationSession::~VerificationSession() {
   // The tracker dies with the session; don't leave the engine dangling.
   if (engine_ != nullptr) engine_->attach_tracker(nullptr);
+  // Withdraw the session's (and maintainer's) derived gauges; the engine
+  // withdraws its own when it is destroyed, before telemetry_ (declared
+  // first, destroyed last) releases the registry.
+  if (telemetry_ != nullptr) telemetry_->metrics.remove_owned(this);
 }
 
 void VerificationSession::reprove() {
@@ -196,10 +281,19 @@ void VerificationSession::reprove() {
 }
 
 RunResult VerificationSession::apply(const MutationBatch& batch) {
+  // Phase instrumentation: each scope is a trace span plus a latency
+  // histogram sample, and a no-op (one branch) when telemetry is off.
+  // Engine-side spans (incremental.dirty_scan, sharded.halo_exchange...)
+  // nest under the verify scope on the same thread.
+  PhaseScope apply_scope(telemetry_.get(), "session.apply", hist_apply_);
   ++stats_.batches;
-  tracker_->apply(batch);
+  {
+    PhaseScope scope(telemetry_.get(), "session.mutate", hist_mutate_);
+    tracker_->apply(batch);
+  }
   bool repaired = false;
   if (bound_) {
+    PhaseScope scope(telemetry_.get(), "session.repair", hist_repair_);
     MutationBatch repair;
     if (maintainer_->repair(graph_, proof_, batch, &repair)) {
       repaired = true;
@@ -211,14 +305,47 @@ RunResult VerificationSession::apply(const MutationBatch& batch) {
       bound_ = false;
     }
   }
-  if (!repaired) reprove();
+  if (!repaired) {
+    PhaseScope scope(telemetry_.get(), "session.reprove", hist_reprove_);
+    reprove();
+  }
   ++stats_.verifies;
+  PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
   return engine_->run(graph_, proof_, scheme_->verifier());
 }
 
 RunResult VerificationSession::verify() {
   ++stats_.verifies;
+  PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
   return engine_->run(graph_, proof_, scheme_->verifier());
+}
+
+SessionTelemetry VerificationSession::telemetry() const {
+  SessionTelemetry out;
+  if (telemetry_ == nullptr) return out;
+  out.enabled = true;
+  out.applies = hist_apply_->count();
+  out.apply_p50_us =
+      static_cast<double>(hist_apply_->percentile(50)) / 1000.0;
+  out.apply_p90_us =
+      static_cast<double>(hist_apply_->percentile(90)) / 1000.0;
+  out.apply_p99_us =
+      static_cast<double>(hist_apply_->percentile(99)) / 1000.0;
+  const std::pair<const char*, const obs::LatencyHistogram*> phases[] = {
+      {"mutate", hist_mutate_},
+      {"repair", hist_repair_},
+      {"reprove", hist_reprove_},
+      {"verify", hist_verify_},
+  };
+  for (const auto& [name, hist] : phases) {
+    SessionTelemetry::Phase phase;
+    phase.name = name;
+    phase.count = hist->count();
+    phase.total_us = static_cast<double>(hist->sum_ns()) / 1000.0;
+    phase.p99_us = static_cast<double>(hist->percentile(99)) / 1000.0;
+    out.phases.push_back(std::move(phase));
+  }
+  return out;
 }
 
 }  // namespace lcp

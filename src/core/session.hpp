@@ -40,6 +40,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/ball_store.hpp"
 #include "core/delta.hpp"
@@ -48,6 +49,7 @@
 #include "core/registry.hpp"
 #include "core/scheme.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/telemetry.hpp"
 
 namespace lcp {
 
@@ -72,6 +74,25 @@ struct SessionStats {
   std::uint64_t failed_proves = 0; ///< reproves on no-instances (stale kept)
   std::uint64_t repair_ops = 0;    ///< total ops across all repair batches
   std::uint64_t verifies = 0;      ///< engine runs (apply + verify)
+};
+
+/// A digest of the session's latency telemetry (empty when telemetry is
+/// off): nearest-rank percentiles of apply() wall time plus a per-phase
+/// breakdown, all in microseconds.  The full registry (engine counters,
+/// store rates, pool lanes) is reachable through telemetry_sink().
+struct SessionTelemetry {
+  struct Phase {
+    std::string name;       ///< "mutate", "repair", "reprove", "verify"
+    std::uint64_t count = 0;
+    double total_us = 0;
+    double p99_us = 0;
+  };
+  bool enabled = false;
+  std::uint64_t applies = 0;
+  double apply_p50_us = 0;
+  double apply_p90_us = 0;
+  double apply_p99_us = 0;
+  std::vector<Phase> phases;
 };
 
 class VerificationSession {
@@ -122,6 +143,17 @@ class VerificationSession {
     /// builtin_registry().
     Builder& registry(const SchemeRegistry& registry);
 
+    /// Attaches a telemetry bundle (obs/telemetry.hpp): apply() phases
+    /// record latency histograms and trace spans, the engine adapts its
+    /// counters into the bundle's MetricRegistry, and the maintainer (if
+    /// any) registers its repair counters.  Sharing one bundle across
+    /// sessions aggregates them.
+    Builder& telemetry(std::shared_ptr<obs::Telemetry> sink);
+    /// Convenience: telemetry(true) creates a fresh private bundle;
+    /// telemetry(false) (the default) disables instrumentation — verdicts
+    /// and fingerprints are bit-identical either way.
+    Builder& telemetry(bool on);
+
     /// Finalises the session.  Throws std::invalid_argument when no
     /// scheme was set (or an expression failed to resolve).
     VerificationSession build();
@@ -139,6 +171,7 @@ class VerificationSession {
     IncrementalEngineOptions incremental_options_{.verify_state = false};
     ShardedEngineOptions sharded_options_;
     const SchemeRegistry* registry_ = nullptr;
+    std::shared_ptr<obs::Telemetry> telemetry_;
   };
 
   /// Starts a builder over the graph the session will own.
@@ -170,10 +203,29 @@ class VerificationSession {
   bool maintainer_bound() const { return bound_; }
   const SessionStats& stats() const { return stats_; }
 
+  /// The attached telemetry bundle, nullptr when disabled.  The registry
+  /// snapshot (telemetry_sink()->snapshot_json()) carries every layer:
+  /// session phases, engine counters, store rates, pool lanes.
+  obs::Telemetry* telemetry_sink() { return telemetry_.get(); }
+  /// Percentile apply latency and per-phase breakdown; `enabled` is false
+  /// (and everything zero) when no telemetry is attached.
+  SessionTelemetry telemetry() const;
+
  private:
   explicit VerificationSession(Builder&& b);
 
   void reprove();
+
+  // Declared first so it is destroyed last: the engine's destructor (and
+  // the session's own) withdraw their derived gauges from this registry.
+  std::shared_ptr<obs::Telemetry> telemetry_;
+  // Phase histograms, owned by the registry (stable addresses); null when
+  // telemetry is off.
+  obs::LatencyHistogram* hist_apply_ = nullptr;
+  obs::LatencyHistogram* hist_mutate_ = nullptr;
+  obs::LatencyHistogram* hist_repair_ = nullptr;
+  obs::LatencyHistogram* hist_reprove_ = nullptr;
+  obs::LatencyHistogram* hist_verify_ = nullptr;
 
   Graph graph_;
   Proof proof_;

@@ -37,6 +37,10 @@
 
 namespace lcp {
 
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
+
 /// One adjacency entry of a shipped node.  `record_is_u` says whether the
 /// record's node is the `u` endpoint of the host edge record — the receiver
 /// must reproduce the host's (edge_u, edge_v) insertion order exactly,
@@ -109,6 +113,12 @@ class ShardTransport {
   virtual bool receive(int shard, HaloMessage* out) = 0;
 
   virtual TransportStats stats() const = 0;
+
+  /// Messages currently queued across every mailbox (0 for transports
+  /// without local queues).  Telemetry-only; racy by nature.
+  virtual std::size_t queue_depth() const { return 0; }
+  /// High-water mark of queue_depth() since construction.
+  virtual std::size_t max_queue_depth() const { return 0; }
 };
 
 /// In-process mailboxes: one mutex, one deque per shard.  Thread lanes of a
@@ -131,6 +141,9 @@ class InProcessTransport final : public ShardTransport {
     stats_.bytes += approximate_bytes(message);
     mailboxes_[static_cast<std::size_t>(message.to)].push_back(
         std::move(message));
+    std::size_t depth = 0;
+    for (const auto& box : mailboxes_) depth += box.size();
+    if (depth > max_depth_) max_depth_ = depth;
   }
 
   bool receive(int shard, HaloMessage* out) override {
@@ -145,6 +158,18 @@ class InProcessTransport final : public ShardTransport {
   TransportStats stats() const override {
     const std::lock_guard<std::mutex> lock(mutex_);
     return stats_;
+  }
+
+  std::size_t queue_depth() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t depth = 0;
+    for (const auto& box : mailboxes_) depth += box.size();
+    return depth;
+  }
+
+  std::size_t max_queue_depth() const override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return max_depth_;
   }
 
  private:
@@ -163,7 +188,18 @@ class InProcessTransport final : public ShardTransport {
   mutable std::mutex mutex_;
   std::vector<std::deque<HaloMessage>> mailboxes_;
   TransportStats stats_;
+  std::size_t max_depth_ = 0;
 };
+
+/// Adapts a transport's live stats into derived gauges under "<prefix>.":
+/// messages, requested_nodes, records, proof_patches, bytes, queue_depth,
+/// max_queue_depth.  Callbacks capture the shared_ptr (lifetime-safe even
+/// if the registry outlives the owning engine); `owner` tags the entries
+/// for MetricRegistry::remove_owned.  Defined in core/sharded_engine.cpp.
+void register_transport_metrics(obs::MetricRegistry& registry,
+                                std::shared_ptr<ShardTransport> transport,
+                                const std::string& prefix,
+                                const void* owner);
 
 /// Host node -> owning shard.  bind() is called once per full partition
 /// (before any owner() query); owner() must stay valid for nodes appended

@@ -8,7 +8,39 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/telemetry.hpp"
+
 namespace lcp {
+
+void register_transport_metrics(obs::MetricRegistry& registry,
+                                std::shared_ptr<ShardTransport> transport,
+                                const std::string& prefix,
+                                const void* owner) {
+  const auto stat = [transport](std::uint64_t TransportStats::*field) {
+    return [transport, field] {
+      return static_cast<double>(transport->stats().*field);
+    };
+  };
+  registry.derived(prefix + ".messages", stat(&TransportStats::messages),
+                   owner);
+  registry.derived(prefix + ".requested_nodes",
+                   stat(&TransportStats::requested_nodes), owner);
+  registry.derived(prefix + ".records", stat(&TransportStats::records),
+                   owner);
+  registry.derived(prefix + ".proof_patches",
+                   stat(&TransportStats::proof_patches), owner);
+  registry.derived(prefix + ".bytes", stat(&TransportStats::bytes), owner);
+  registry.derived(
+      prefix + ".queue_depth",
+      [transport] { return static_cast<double>(transport->queue_depth()); },
+      owner);
+  registry.derived(
+      prefix + ".max_queue_depth",
+      [transport] {
+        return static_cast<double>(transport->max_queue_depth());
+      },
+      owner);
+}
 
 namespace {
 
@@ -144,7 +176,91 @@ struct ShardedEngine::Shard {
 ShardedEngine::ShardedEngine(ShardedEngineOptions options)
     : options_(std::move(options)) {}
 
-ShardedEngine::~ShardedEngine() = default;
+ShardedEngine::~ShardedEngine() {
+  if (telemetry_ != nullptr) telemetry_->metrics.remove_owned(this);
+}
+
+void ShardedEngine::attach_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry_ != nullptr && telemetry_ != telemetry) {
+    telemetry_->metrics.remove_owned(this);
+  }
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& registry = telemetry_->metrics;
+  const auto stat = [this](std::uint64_t Stats::*field) {
+    return [this, field] { return static_cast<double>(stats_.*field); };
+  };
+  registry.derived("engine.sharded.full_sweeps", stat(&Stats::full_sweeps),
+                   this);
+  registry.derived("engine.sharded.incremental_runs",
+                   stat(&Stats::incremental_runs), this);
+  registry.derived("engine.sharded.unchanged_runs",
+                   stat(&Stats::unchanged_runs), this);
+  registry.derived("engine.sharded.fallbacks", stat(&Stats::fallbacks),
+                   this);
+  registry.derived("engine.sharded.nodes_reverified",
+                   stat(&Stats::nodes_reverified), this);
+  registry.derived("engine.sharded.views_patched",
+                   stat(&Stats::views_patched), this);
+  registry.derived("engine.sharded.patch_fallbacks",
+                   stat(&Stats::patch_fallbacks), this);
+  registry.derived("engine.sharded.reextractions",
+                   stat(&Stats::reextractions), this);
+  registry.derived("engine.sharded.halo_rebuilds",
+                   stat(&Stats::halo_rebuilds), this);
+  registry.derived("engine.sharded.shards_woken",
+                   stat(&Stats::shards_woken), this);
+  registry.derived("engine.sharded.store_adoptions",
+                   stat(&Stats::store_adoptions), this);
+  // Aggregates over the per-shard stores (each shard owns a private
+  // BallStore; summing at snapshot time keeps lanes free of shared
+  // counters).
+  const auto shard_store_sum =
+      [this](std::uint64_t BallStoreStats::*field) {
+        return [this, field] {
+          std::uint64_t total = 0;
+          for (const auto& shard : shards_) {
+            if (shard->store != nullptr) total += shard->store->stats().*field;
+          }
+          return static_cast<double>(total);
+        };
+      };
+  registry.derived("store.shard.hits",
+                   shard_store_sum(&BallStoreStats::hits), this);
+  registry.derived("store.shard.misses",
+                   shard_store_sum(&BallStoreStats::misses), this);
+  registry.derived("store.shard.publishes",
+                   shard_store_sum(&BallStoreStats::publishes), this);
+  registry.derived("store.shard.evictions",
+                   shard_store_sum(&BallStoreStats::evictions), this);
+  if (k_ > 0) register_runtime_metrics();
+}
+
+void ShardedEngine::register_runtime_metrics() {
+  if (telemetry_ == nullptr) return;
+  obs::MetricRegistry& registry = telemetry_->metrics;
+  if (transport_ != nullptr) {
+    register_transport_metrics(registry, transport_, "transport.halo", this);
+  }
+  if (pool_ != nullptr) {
+    pool_->register_metrics(registry, "pool.sharded", this);
+  }
+  registry.derived(
+      "engine.sharded.shards",
+      [this] { return static_cast<double>(k_); }, this);
+  for (int s = 0; s < k_; ++s) {
+    registry.derived(
+        "engine.sharded.shard" + std::to_string(s) + ".last_dirty",
+        [this, s] {
+          return s < static_cast<int>(stats_.last_dirty_per_shard.size())
+                     ? static_cast<double>(
+                           stats_.last_dirty_per_shard[static_cast<
+                               std::size_t>(s)])
+                     : 0.0;
+        },
+        this);
+  }
+}
 
 int ShardedEngine::shard_count() const {
   if (k_ > 0) return k_;
@@ -179,6 +295,7 @@ void ShardedEngine::ensure_configured() {
     shard->store = std::make_unique<BallStore>(store_options);
     shards_.push_back(std::move(shard));
   }
+  register_runtime_metrics();
 }
 
 bool ShardedEngine::attach_tracker(DeltaTracker* tracker) {
@@ -308,6 +425,8 @@ void ShardedEngine::reset_shard_skeleton(const Graph& g, const Proof& p,
 
 void ShardedEngine::exchange_halos(const Graph& g, const Proof& p, int radius,
                                    const std::vector<int>& rebuild) {
+  const obs::TraceRecorder::Span span =
+      obs::maybe_span(telemetry_, "sharded.halo_exchange");
   std::vector<char> rebuilding(static_cast<std::size_t>(k_), 0);
   for (int s : rebuild) rebuilding[static_cast<std::size_t>(s)] = 1;
 
@@ -495,6 +614,8 @@ void ShardedEngine::lane_extract_all(const Graph& g, const Proof& p,
 
 RunResult ShardedEngine::full_rebuild(const Graph& g, const Proof& p,
                                       const LocalVerifier& a) {
+  const obs::TraceRecorder::Span span =
+      obs::maybe_span(telemetry_, "sharded.full_rebuild");
   ++stats_.full_sweeps;
   const int n = g.n();
   const int radius = a.radius();
@@ -1066,6 +1187,8 @@ RunResult ShardedEngine::run_tracker_path(const Graph& g, const Proof& p,
 
   // Phase A: route every graph delta, in order, to the shards with a local
   // endpoint; collect the proof epicentres (deduplicated across records).
+  obs::TraceRecorder::Span route_span =
+      obs::maybe_span(telemetry_, "sharded.route");
   bool graph_changed = false;
   ++proof_epoch_;
   proof_hosts_.clear();
@@ -1082,6 +1205,7 @@ RunResult ShardedEngine::run_tracker_path(const Graph& g, const Proof& p,
     }
   }
   if (graph_changed) cached_graph_fp_valid_ = false;
+  route_span.close();
 
   // Phase B: re-exchange halos for shards whose fringe may have moved.
   // Must complete before any kProofs message is sent — discovery rounds
@@ -1111,6 +1235,8 @@ RunResult ShardedEngine::run_tracker_path(const Graph& g, const Proof& p,
     if (shard->touched) ++touched;
   }
   stats_.shards_woken += static_cast<std::uint64_t>(touched);
+  const obs::TraceRecorder::Span verify_span =
+      obs::maybe_span(telemetry_, "sharded.verify");
   if (touched == 1) {
     // One shard woke: run its lane inline on the coordinator thread and
     // skip the pool round-trip entirely — the common case for

@@ -93,6 +93,15 @@ class ShardedEngine final : public ExecutionEngine {
   bool attach_tracker(DeltaTracker* tracker) override;
   DeltaTracker* attached_tracker() const override { return tracker_; }
 
+  /// Registers "engine.sharded.*" (the Stats counters), aggregate
+  /// "store.shard.*" gauges summed over the per-shard stores,
+  /// "transport.halo.*" traffic gauges, per-lane "pool.sharded.*" busy
+  /// time, and one "engine.sharded.shard<k>.last_dirty" gauge per shard.
+  /// Gauges that need the resolved configuration (lanes, shard count)
+  /// appear lazily on the first run.
+  void attach_telemetry(obs::Telemetry* telemetry) override;
+  obs::Telemetry* attached_telemetry() const override { return telemetry_; }
+
   /// The resolved shard count (options.shards, or hardware concurrency).
   int shard_count() const;
   const Partitioner& partitioner() const { return *partitioner_; }
@@ -149,11 +158,17 @@ class ShardedEngine final : public ExecutionEngine {
                         const LocalVerifier& a, int radius, Shard& shard);
   void dispatch_lanes(const std::function<void(int)>& job);
 
+  /// Registers the gauges that need the resolved configuration (pool,
+  /// transport, per-shard); called from attach_telemetry when already
+  /// configured and from ensure_configured otherwise.
+  void register_runtime_metrics();
+
   ShardedEngineOptions options_;
   std::shared_ptr<Partitioner> partitioner_;
   std::shared_ptr<ShardTransport> transport_;
   std::unique_ptr<WorkerPool> pool_;
   DeltaTracker* tracker_ = nullptr;
+  obs::Telemetry* telemetry_ = nullptr;
   int k_ = 0;  // resolved shard count (0 until first run)
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -1,11 +1,20 @@
 #include "core/worker_pool.hpp"
 
+#include <chrono>
 #include <utility>
+
+#include "obs/metrics.hpp"
 
 namespace lcp {
 
 WorkerPool::WorkerPool(int workers)
-    : job_errors_(static_cast<std::size_t>(workers)) {
+    : job_errors_(static_cast<std::size_t>(workers)),
+      lane_busy_ns_(new std::atomic<std::uint64_t>[static_cast<std::size_t>(
+          workers)]) {
+  for (int w = 0; w < workers; ++w) {
+    lane_busy_ns_[static_cast<std::size_t>(w)].store(
+        0, std::memory_order_relaxed);
+  }
   threads_.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads_.emplace_back([this, w] { worker_loop(w); });
@@ -21,7 +30,25 @@ WorkerPool::~WorkerPool() {
   for (std::thread& t : threads_) t.join();
 }
 
+void WorkerPool::register_metrics(obs::MetricRegistry& registry,
+                                  const std::string& prefix,
+                                  const void* owner) const {
+  registry.derived(
+      prefix + ".dispatches",
+      [this] { return static_cast<double>(dispatches()); }, owner);
+  registry.derived(
+      prefix + ".lanes", [this] { return static_cast<double>(size()); },
+      owner);
+  for (int w = 0; w < size(); ++w) {
+    registry.derived(
+        prefix + ".lane" + std::to_string(w) + ".busy_us",
+        [this, w] { return static_cast<double>(lane_busy_ns(w)) / 1000.0; },
+        owner);
+  }
+}
+
 void WorkerPool::dispatch(int active, const std::function<void(int)>& job) {
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mutex_);
   for (std::exception_ptr& error : job_errors_) error = nullptr;
   job_ = &job;
@@ -53,12 +80,19 @@ void WorkerPool::worker_loop(int w) {
       if (w < active_workers_) my_job = job_;
     }
     if (my_job == nullptr) continue;  // not part of this generation
+    const auto busy_start = std::chrono::steady_clock::now();
     try {
       (*my_job)(w);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex_);
       job_errors_[static_cast<std::size_t>(w)] = std::current_exception();
     }
+    lane_busy_ns_[static_cast<std::size_t>(w)].fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - busy_start)
+                .count()),
+        std::memory_order_relaxed);
     bool last = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);

@@ -7,18 +7,30 @@
 // rethrowing the first worker exception in the caller's thread.  Workers
 // are created once and parked on a condition variable between dispatches,
 // so repeated small dispatches don't pay thread spawn cost.
+//
+// Each lane keeps a relaxed-atomic busy-time tally (nanoseconds spent
+// inside jobs) and the pool counts dispatches, so telemetry can expose
+// per-lane utilisation (register_metrics) without touching the dispatch
+// synchronisation.
 #ifndef LCP_CORE_WORKER_POOL_HPP_
 #define LCP_CORE_WORKER_POOL_HPP_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace lcp {
+
+namespace obs {
+class MetricRegistry;
+}  // namespace obs
 
 class WorkerPool {
  public:
@@ -34,6 +46,24 @@ class WorkerPool {
 
   int size() const { return static_cast<int>(threads_.size()); }
 
+  /// Cumulative dispatch() calls (relaxed; readable from any thread).
+  std::uint64_t dispatches() const {
+    return dispatches_.load(std::memory_order_relaxed);
+  }
+  /// Nanoseconds lane `w` has spent running jobs since construction.
+  std::uint64_t lane_busy_ns(int w) const {
+    return lane_busy_ns_[static_cast<std::size_t>(w)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Registers "<prefix>.dispatches", "<prefix>.lanes", and one
+  /// "<prefix>.lane<k>.busy_us" per lane as derived gauges reading the
+  /// live counters.  Entries are tagged with `owner` (normally the engine
+  /// that owns this pool); call registry.remove_owned(owner) before the
+  /// pool dies if the registry outlives it.
+  void register_metrics(obs::MetricRegistry& registry,
+                        const std::string& prefix, const void* owner) const;
+
  private:
   void worker_loop(int w);
 
@@ -47,6 +77,9 @@ class WorkerPool {
   int remaining_ = 0;
   std::uint64_t generation_ = 0;
   bool stop_ = false;
+  // Telemetry tallies; array-allocated because atomics don't move.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> lane_busy_ns_;
+  std::atomic<std::uint64_t> dispatches_{0};
 };
 
 }  // namespace lcp

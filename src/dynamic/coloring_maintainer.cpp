@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/bitstring.hpp"
+#include "obs/metrics.hpp"
 
 namespace lcp::dynamic {
 
@@ -124,6 +125,19 @@ bool GreedyColoringMaintainer::repair(const Graph& g, const Proof& p,
   }
   ++stats_.repaired_batches;
   return true;
+}
+
+void GreedyColoringMaintainer::register_metrics(obs::MetricRegistry& registry,
+                                               const void* owner) {
+  const auto stat = [this](std::uint64_t ColoringMaintainerStats::*field) {
+    return [this, field] { return static_cast<double>(stats_.*field); };
+  };
+  registry.derived("maintainer.greedy_coloring.repaired_batches",
+                   stat(&ColoringMaintainerStats::repaired_batches), owner);
+  registry.derived("maintainer.greedy_coloring.recolored",
+                   stat(&ColoringMaintainerStats::recolored), owner);
+  registry.derived("maintainer.greedy_coloring.declines",
+                   stat(&ColoringMaintainerStats::declines), owner);
 }
 
 }  // namespace lcp::dynamic

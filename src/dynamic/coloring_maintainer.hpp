@@ -36,6 +36,10 @@ class GreedyColoringMaintainer final : public ProofMaintainer {
 
   const ColoringMaintainerStats& stats() const { return stats_; }
 
+  /// Registers "maintainer.greedy_coloring.*" derived gauges.
+  void register_metrics(obs::MetricRegistry& registry,
+                        const void* owner) override;
+
  private:
   /// Smallest colour < k unused among v's neighbours, or -1.
   int free_color(const Graph& g, int v) const;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/registry.hpp"
+#include "obs/metrics.hpp"
 
 namespace lcp::dynamic {
 
@@ -173,6 +174,22 @@ bool ComposedMaintainer::repair(const Graph& g, const Proof& p,
   }
   ++stats_.repaired_batches;
   return true;
+}
+
+void ComposedMaintainer::register_metrics(obs::MetricRegistry& registry,
+                                          const void* owner) {
+  const auto stat = [this](std::uint64_t ComposedMaintainerStats::*field) {
+    return [this, field] { return static_cast<double>(stats_.*field); };
+  };
+  registry.derived("maintainer.composed.repaired_batches",
+                   stat(&ComposedMaintainerStats::repaired_batches), owner);
+  registry.derived("maintainer.composed.relay_rounds",
+                   stat(&ComposedMaintainerStats::relay_rounds), owner);
+  registry.derived("maintainer.composed.relayed_ops",
+                   stat(&ComposedMaintainerStats::relayed_ops), owner);
+  registry.derived("maintainer.composed.labels_emitted",
+                   stat(&ComposedMaintainerStats::labels_emitted), owner);
+  for (const auto& part : parts_) part->register_metrics(registry, owner);
 }
 
 std::unique_ptr<ProofMaintainer> make_maintainer_for_impl(

@@ -66,6 +66,11 @@ class ComposedMaintainer final : public ProofMaintainer {
   const ComposedMaintainerStats& stats() const { return stats_; }
   ProofMaintainer& part(int i) { return *parts_[static_cast<std::size_t>(i)]; }
 
+  /// Registers "maintainer.composed.*" derived gauges, then recurses into
+  /// every part (each registers its own prefix under the same owner).
+  void register_metrics(obs::MetricRegistry& registry,
+                        const void* owner) override;
+
  private:
   const ConjunctionScheme* scheme_;
   std::vector<std::unique_ptr<ProofMaintainer>> parts_;

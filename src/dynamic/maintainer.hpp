@@ -32,6 +32,10 @@
 #include "core/proof.hpp"
 #include "graph/graph.hpp"
 
+namespace lcp::obs {
+class MetricRegistry;
+}  // namespace lcp::obs
+
 namespace lcp::dynamic {
 
 /// Observes graph mutations and repairs one scheme's certificate
@@ -57,6 +61,17 @@ class ProofMaintainer {
   /// and the caller must reprove and bind() again before the next repair.
   virtual bool repair(const Graph& g, const Proof& p,
                       const MutationBatch& applied, MutationBatch* out) = 0;
+
+  /// Adapts the maintainer's live counters into the registry as derived
+  /// gauges under "maintainer.<name>." (obs/metrics.hpp).  Entries must be
+  /// tagged with `owner` so the caller can withdraw them via
+  /// MetricRegistry::remove_owned when the maintainer dies before the
+  /// registry.  Default: no metrics.
+  virtual void register_metrics(obs::MetricRegistry& registry,
+                                const void* owner) {
+    (void)registry;
+    (void)owner;
+  }
 };
 
 }  // namespace lcp::dynamic

@@ -1,5 +1,7 @@
 #include "dynamic/matching_maintainer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace lcp::dynamic {
 
 MatchingMaintainer::MatchingMaintainer(std::uint64_t matched_bit)
@@ -129,6 +131,21 @@ bool MatchingMaintainer::repair(const Graph& g, const Proof& p,
   }
   ++stats_.repaired_batches;
   return true;
+}
+
+void MatchingMaintainer::register_metrics(obs::MetricRegistry& registry,
+                                          const void* owner) {
+  const auto stat = [this](std::uint64_t MatchingMaintainerStats::*field) {
+    return [this, field] { return static_cast<double>(stats_.*field); };
+  };
+  registry.derived("maintainer.maximal_matching.repaired_batches",
+                   stat(&MatchingMaintainerStats::repaired_batches), owner);
+  registry.derived("maintainer.maximal_matching.rematches",
+                   stat(&MatchingMaintainerStats::rematches), owner);
+  registry.derived("maintainer.maximal_matching.direct_matches",
+                   stat(&MatchingMaintainerStats::direct_matches), owner);
+  registry.derived("maintainer.maximal_matching.healed_labels",
+                   stat(&MatchingMaintainerStats::healed_labels), owner);
 }
 
 }  // namespace lcp::dynamic

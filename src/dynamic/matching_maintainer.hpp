@@ -41,6 +41,10 @@ class MatchingMaintainer final : public ProofMaintainer {
 
   const MatchingMaintainerStats& stats() const { return stats_; }
 
+  /// Registers "maintainer.maximal_matching.*" derived gauges.
+  void register_metrics(obs::MetricRegistry& registry,
+                        const void* owner) override;
+
  private:
   bool free_node(int v) const {
     return match_[static_cast<std::size_t>(v)] < 0;

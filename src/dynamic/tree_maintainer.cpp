@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace lcp::dynamic {
 
 namespace {
@@ -542,6 +544,27 @@ bool TreeCertMaintainer::bind(const Graph& g, const Proof& p) {
   leader_ =
       leader_label_ != 0 ? g.find_label(leader_label_).value_or(-1) : -1;
   return true;
+}
+
+void TreeCertMaintainer::register_metrics(obs::MetricRegistry& registry,
+                                          const void* owner) {
+  const auto stat = [this](std::uint64_t TreeMaintainerStats::*field) {
+    return [this, field] { return static_cast<double>(stats_.*field); };
+  };
+  registry.derived("maintainer.tree_cert.repaired_batches",
+                   stat(&TreeMaintainerStats::repaired_batches), owner);
+  registry.derived("maintainer.tree_cert.labels_emitted",
+                   stat(&TreeMaintainerStats::labels_emitted), owner);
+  registry.derived("maintainer.tree_cert.merges",
+                   stat(&TreeMaintainerStats::merges), owner);
+  registry.derived("maintainer.tree_cert.splices",
+                   stat(&TreeMaintainerStats::splices), owner);
+  registry.derived("maintainer.tree_cert.splits",
+                   stat(&TreeMaintainerStats::splits), owner);
+  registry.derived("maintainer.tree_cert.reroots",
+                   stat(&TreeMaintainerStats::reroots), owner);
+  registry.derived("maintainer.tree_cert.record_compactions",
+                   stat(&TreeMaintainerStats::record_compactions), owner);
 }
 
 }  // namespace lcp::dynamic

@@ -72,6 +72,11 @@ class TreeCertMaintainer final : public ProofMaintainer {
 
   const TreeMaintainerStats& stats() const { return stats_; }
 
+  /// Registers "maintainer.tree_cert.*" derived gauges over the live
+  /// stats.
+  void register_metrics(obs::MetricRegistry& registry,
+                        const void* owner) override;
+
  private:
   /// The root of v's component, through the union-find (amortised
   /// near-O(1)); callers must keep the record table consistent whenever a

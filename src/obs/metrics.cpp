@@ -1,0 +1,241 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace lcp::obs {
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 100) q = 100;
+  // Nearest-rank: the k-th smallest sample with k = ceil(q/100 * n),
+  // clamped to [1, n] so q = 0 selects the minimum.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += bucket_count(b);
+    if (cumulative >= rank) {
+      // Any representative inside the bucket is correct at bucket
+      // resolution; clamping the upper bound to the recorded extremes
+      // keeps the result inside the observed range (max sits in this
+      // bucket or a later one, min in this bucket or an earlier one).
+      const std::uint64_t hi = std::min(bucket_upper(b), max_ns());
+      return std::max(hi, bucket_lower(b));
+    }
+  }
+  return max_ns();  // unreachable unless counters tore mid-snapshot
+}
+
+bool MetricSnapshot::has(std::string_view name) const {
+  for (const CounterEntry& e : counters) {
+    if (e.name == name) return true;
+  }
+  for (const GaugeEntry& e : gauges) {
+    if (e.name == name) return true;
+  }
+  for (const HistogramEntry& e : histograms) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void append_escaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+void append_double(std::string* out, double v) {
+  if (!std::isfinite(v)) v = 0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(&out, counters[i].name);
+    out += ": " + std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(&out, gauges[i].name);
+    out += ": ";
+    append_double(&out, gauges[i].value);
+  }
+  out += gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramEntry& h = histograms[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count) +
+           ", \"sum_ns\": " + std::to_string(h.sum_ns) +
+           ", \"min_ns\": " + std::to_string(h.min_ns) +
+           ", \"max_ns\": " + std::to_string(h.max_ns) +
+           ", \"p50_ns\": " + std::to_string(h.p50_ns) +
+           ", \"p90_ns\": " + std::to_string(h.p90_ns) +
+           ", \"p99_ns\": " + std::to_string(h.p99_ns) + "}";
+  }
+  out += histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+const MetricRegistry::Kind* MetricRegistry::kind_of_locked(
+    std::string_view name) const {
+  for (const auto& [known, kind] : names_) {
+    if (known == name) return &kind;
+  }
+  return nullptr;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const Kind* kind = kind_of_locked(name)) {
+    if (*kind != Kind::kCounter) {
+      throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    for (NamedCounter& c : counters_) {
+      if (c.name == name) return c.metric;
+    }
+  }
+  counters_.emplace_back();
+  counters_.back().name = std::string(name);
+  names_.emplace_back(counters_.back().name, Kind::kCounter);
+  return counters_.back().metric;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const Kind* kind = kind_of_locked(name)) {
+    if (*kind != Kind::kGauge) {
+      throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    for (NamedGauge& g : gauges_) {
+      if (g.name == name) return g.metric;
+    }
+  }
+  gauges_.emplace_back();
+  gauges_.back().name = std::string(name);
+  names_.emplace_back(gauges_.back().name, Kind::kGauge);
+  return gauges_.back().metric;
+}
+
+LatencyHistogram& MetricRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const Kind* kind = kind_of_locked(name)) {
+    if (*kind != Kind::kHistogram) {
+      throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    for (NamedHistogram& h : histograms_) {
+      if (h.name == name) return h.metric;
+    }
+  }
+  histograms_.emplace_back();
+  histograms_.back().name = std::string(name);
+  names_.emplace_back(histograms_.back().name, Kind::kHistogram);
+  return histograms_.back().metric;
+}
+
+void MetricRegistry::derived(std::string_view name, std::function<double()> fn,
+                             const void* owner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const Kind* kind = kind_of_locked(name)) {
+    if (*kind != Kind::kDerived) {
+      throw std::invalid_argument("MetricRegistry: '" + std::string(name) +
+                                  "' already registered with another kind");
+    }
+    // Re-registration replaces the callback (engines re-attach telemetry
+    // idempotently).
+    for (DerivedGauge& d : derived_) {
+      if (d.name == name) {
+        d.fn = std::move(fn);
+        d.owner = owner;
+        return;
+      }
+    }
+  }
+  derived_.push_back({std::string(name), std::move(fn), owner});
+  names_.emplace_back(derived_.back().name, Kind::kDerived);
+}
+
+void MetricRegistry::remove_owned(const void* owner) {
+  if (owner == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = derived_.begin(); it != derived_.end();) {
+    if (it->owner == owner) {
+      const std::string& name = it->name;
+      names_.erase(std::remove_if(names_.begin(), names_.end(),
+                                  [&](const auto& entry) {
+                                    return entry.first == name;
+                                  }),
+                   names_.end());
+      it = derived_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+MetricSnapshot MetricRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const NamedCounter& c : counters_) {
+    snap.counters.push_back({c.name, c.metric.value()});
+  }
+  snap.gauges.reserve(gauges_.size() + derived_.size());
+  for (const NamedGauge& g : gauges_) {
+    snap.gauges.push_back({g.name, g.metric.value()});
+  }
+  for (const DerivedGauge& d : derived_) {
+    snap.gauges.push_back({d.name, d.fn ? d.fn() : 0});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const NamedHistogram& h : histograms_) {
+    snap.histograms.push_back({h.name, h.metric.count(), h.metric.sum_ns(),
+                               h.metric.min_ns(), h.metric.max_ns(),
+                               h.metric.percentile(50),
+                               h.metric.percentile(90),
+                               h.metric.percentile(99)});
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+bool MetricRegistry::has(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return kind_of_locked(name) != nullptr;
+}
+
+std::size_t MetricRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return names_.size();
+}
+
+}  // namespace lcp::obs

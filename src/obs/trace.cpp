@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lcp::obs {
+
+namespace {
+
+// Per-thread nesting stack (top = innermost open span) and a process-wide
+// compact thread index for the trace "tid" field.  Both are plain
+// thread-locals: a span can only be parented by a span opened on the same
+// thread, which is exactly the trace semantics we want for worker lanes.
+thread_local TraceRecorder::Span* tls_open_span = nullptr;
+
+int thread_index() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+}  // namespace
+
+TraceRecorder::Span::Span(TraceRecorder* recorder, const char* name)
+    : recorder_(recorder), name_(name) {
+  id_ = recorder_->next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Parent only within the same recorder: interleaved recorders on one
+  // thread must not adopt each other's spans.
+  if (tls_open_span != nullptr && tls_open_span->recorder_ == recorder_) {
+    parent_ = tls_open_span->id_;
+  }
+  enclosing_ = tls_open_span;
+  tls_open_span = this;
+  start_ns_ = recorder_->now_ns();
+}
+
+TraceRecorder::Span::Span(Span&& other) noexcept
+    : recorder_(other.recorder_),
+      name_(other.name_),
+      id_(other.id_),
+      parent_(other.parent_),
+      enclosing_(other.enclosing_),
+      start_ns_(other.start_ns_) {
+  if (tls_open_span == &other) tls_open_span = this;
+  other.recorder_ = nullptr;
+}
+
+TraceRecorder::Span& TraceRecorder::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    close();
+    recorder_ = other.recorder_;
+    name_ = other.name_;
+    id_ = other.id_;
+    parent_ = other.parent_;
+    enclosing_ = other.enclosing_;
+    start_ns_ = other.start_ns_;
+    if (tls_open_span == &other) tls_open_span = this;
+    other.recorder_ = nullptr;
+  }
+  return *this;
+}
+
+void TraceRecorder::Span::close() {
+  if (recorder_ == nullptr) return;
+  const std::uint64_t end_ns = recorder_->now_ns();
+  if (tls_open_span == this) tls_open_span = enclosing_;
+  Event event;
+  event.name = name_;
+  event.id = id_;
+  event.parent = parent_;
+  event.tid = thread_index();
+  event.start_ns = start_ns_;
+  event.dur_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  {
+    const std::lock_guard<std::mutex> lock(recorder_->mutex_);
+    recorder_->events_.push_back(std::move(event));
+  }
+  recorder_ = nullptr;
+}
+
+std::vector<TraceRecorder::Event> TraceRecorder::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t TraceRecorder::event_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+std::string TraceRecorder::to_chrome_json() const {
+  std::vector<Event> sorted = events();
+  std::sort(sorted.begin(), sorted.end(), [](const Event& a, const Event& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.id < b.id;
+  });
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Event& e = sorted[i];
+    out += i == 0 ? "\n" : ",\n";
+    // Complete events; ts/dur are microseconds (fractional for ns
+    // precision).  id/parent in args let tools rebuild the span tree.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\": \"%s\", \"cat\": \"lcp\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %d, "
+                  "\"args\": {\"id\": %llu, \"parent\": %llu}}",
+                  e.name.c_str(), static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0, e.tid,
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<unsigned long long>(e.parent));
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace lcp::obs

@@ -1,0 +1,279 @@
+// MetricRegistry / LatencyHistogram correctness: percentile extraction is
+// pinned against a brute-force sorted reference (same-bucket guarantee),
+// bucket boundaries are exact powers of two, and the relaxed-atomic
+// update path survives a multithreaded hammer (run under TSan in CI).
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace lcp::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket geometry.
+// ---------------------------------------------------------------------------
+
+TEST(LatencyHistogramBuckets, ZeroHasItsOwnBucket) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0);
+  EXPECT_EQ(LatencyHistogram::bucket_lower(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(0), 0u);
+}
+
+TEST(LatencyHistogramBuckets, PowersOfTwoStartNewBuckets) {
+  // Bucket i >= 1 covers [2^(i-1), 2^i).
+  for (int i = 1; i < LatencyHistogram::kBuckets - 1; ++i) {
+    const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+    const std::uint64_t hi = (std::uint64_t{1} << i) - 1;
+    EXPECT_EQ(LatencyHistogram::bucket_index(lo), i) << "lo of bucket " << i;
+    EXPECT_EQ(LatencyHistogram::bucket_index(hi), i) << "hi of bucket " << i;
+    EXPECT_EQ(LatencyHistogram::bucket_lower(i), lo);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(i), hi);
+  }
+}
+
+TEST(LatencyHistogramBuckets, HugeValuesSaturateTheLastBucket) {
+  EXPECT_EQ(LatencyHistogram::bucket_index(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+  EXPECT_EQ(LatencyHistogram::bucket_upper(LatencyHistogram::kBuckets - 1),
+            ~std::uint64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// Percentiles vs a brute-force sorted reference.
+// ---------------------------------------------------------------------------
+
+std::uint64_t brute_force_percentile(std::vector<std::uint64_t> samples,
+                                     double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: the ceil(q/100 * N)-th sample (1-based), clamped.
+  const double rank_real = q / 100.0 * static_cast<double>(samples.size());
+  std::size_t rank = static_cast<std::size_t>(rank_real);
+  if (static_cast<double>(rank) < rank_real) ++rank;
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+/// The histogram quantises to buckets, so the guarantee under test is:
+/// percentile(q) lands in the same power-of-two bucket as the true
+/// nearest-rank sample, and never exceeds the recorded maximum.
+void check_against_reference(const std::vector<std::uint64_t>& samples) {
+  LatencyHistogram hist;
+  for (std::uint64_t s : samples) hist.record_ns(s);
+  ASSERT_EQ(hist.count(), samples.size());
+  for (double q : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+    const std::uint64_t expect = brute_force_percentile(samples, q);
+    const std::uint64_t got = hist.percentile(q);
+    EXPECT_EQ(LatencyHistogram::bucket_index(got),
+              LatencyHistogram::bucket_index(expect))
+        << "q=" << q << " got=" << got << " expect=" << expect;
+    EXPECT_LE(got, hist.max_ns());
+  }
+}
+
+TEST(LatencyHistogramPercentiles, UniformSamples) {
+  std::mt19937_64 rng(7);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    samples.push_back(std::uniform_int_distribution<std::uint64_t>(
+        0, 1'000'000)(rng));
+  }
+  check_against_reference(samples);
+}
+
+TEST(LatencyHistogramPercentiles, HeavyTailedSamples) {
+  // Latencies in the wild: a tight mode with a long tail.  Exponentiate a
+  // uniform draw so the samples span many buckets.
+  std::mt19937_64 rng(11);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const double e = std::uniform_real_distribution<double>(0, 30)(rng);
+    samples.push_back(static_cast<std::uint64_t>(1) << static_cast<int>(e));
+  }
+  check_against_reference(samples);
+}
+
+TEST(LatencyHistogramPercentiles, ConstantAndTinySamples) {
+  check_against_reference({42});
+  check_against_reference({0, 0, 0});
+  check_against_reference({1000, 1000, 1000, 1000});
+  check_against_reference({1, 2, 3});
+  check_against_reference({7, 7, 7, 1'000'000'000});
+}
+
+TEST(LatencyHistogramPercentiles, EmptyHistogramIsAllZero) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.sum_ns(), 0u);
+  EXPECT_EQ(hist.min_ns(), 0u);
+  EXPECT_EQ(hist.max_ns(), 0u);
+  EXPECT_EQ(hist.percentile(50), 0u);
+  EXPECT_EQ(hist.percentile(99), 0u);
+}
+
+TEST(LatencyHistogramPercentiles, MinMaxSumAreExact) {
+  LatencyHistogram hist;
+  hist.record_ns(5);
+  hist.record_ns(900);
+  hist.record_ns(17);
+  EXPECT_EQ(hist.min_ns(), 5u);
+  EXPECT_EQ(hist.max_ns(), 900u);
+  EXPECT_EQ(hist.sum_ns(), 922u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistry, RegistrationIsIdempotentPerKind) {
+  MetricRegistry registry;
+  Counter& c1 = registry.counter("engine.test.runs");
+  Counter& c2 = registry.counter("engine.test.runs");
+  EXPECT_EQ(&c1, &c2);
+  c1.add(3);
+  EXPECT_EQ(c2.value(), 3u);
+
+  LatencyHistogram& h1 = registry.histogram("session.test.latency");
+  LatencyHistogram& h2 = registry.histogram("session.test.latency");
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricRegistry, CrossKindCollisionThrows) {
+  MetricRegistry registry;
+  registry.counter("engine.test.runs");
+  EXPECT_THROW(registry.gauge("engine.test.runs"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("engine.test.runs"),
+               std::invalid_argument);
+  registry.gauge("store.test.depth");
+  EXPECT_THROW(registry.counter("store.test.depth"), std::invalid_argument);
+}
+
+TEST(MetricRegistry, DerivedGaugesEvaluateAtSnapshotTime) {
+  MetricRegistry registry;
+  double live = 1.0;
+  registry.derived("store.test.rate", [&live] { return live; });
+  MetricSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 1.0);
+  live = 2.5;
+  snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 2.5);
+}
+
+TEST(MetricRegistry, DerivedReplacesSameNameAndRemoveOwnedWithdraws) {
+  MetricRegistry registry;
+  const int owner_a = 0, owner_b = 0;
+  registry.derived("pool.test.lanes", [] { return 1.0; }, &owner_a);
+  // Re-attaching (an engine whose pool grew) replaces, not duplicates.
+  registry.derived("pool.test.lanes", [] { return 4.0; }, &owner_b);
+  registry.derived("pool.test.busy", [] { return 9.0; }, &owner_b);
+  MetricSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauges[1].value, 4.0);  // sorted: busy, lanes
+
+  registry.remove_owned(&owner_b);
+  snap = registry.snapshot();
+  EXPECT_TRUE(snap.gauges.empty());
+}
+
+TEST(MetricRegistry, SnapshotCarriesHistogramPercentiles) {
+  MetricRegistry registry;
+  LatencyHistogram& hist = registry.histogram("session.test.latency");
+  for (int i = 1; i <= 100; ++i) {
+    hist.record_ns(static_cast<std::uint64_t>(i) * 1000);
+  }
+  const MetricSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0];
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_LE(h.p50_ns, h.p90_ns);
+  EXPECT_LE(h.p90_ns, h.p99_ns);
+  EXPECT_LE(h.p99_ns, h.max_ns);
+  EXPECT_TRUE(snap.has("session.test.latency"));
+  EXPECT_FALSE(snap.has("session.test.nope"));
+}
+
+TEST(MetricRegistry, JsonExportMentionsEveryMetric) {
+  MetricRegistry registry;
+  registry.counter("engine.test.runs").add(2);
+  registry.gauge("store.test.depth").set(3.5);
+  registry.histogram("session.test.latency").record_ns(1234);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"engine.test.runs\""), std::string::npos);
+  EXPECT_NE(json.find("\"store.test.depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"session.test.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Multithreaded hammer: the relaxed-atomic contract under TSan.
+// ---------------------------------------------------------------------------
+
+TEST(MetricRegistryThreads, ConcurrentUpdatesLoseNothing) {
+  MetricRegistry registry;
+  Counter& counter = registry.counter("engine.test.hits");
+  LatencyHistogram& hist = registry.histogram("engine.test.latency");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter, &hist, t] {
+      std::mt19937_64 rng(static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.add();
+        hist.record_ns(std::uniform_int_distribution<std::uint64_t>(
+            0, 1 << 20)(rng));
+      }
+    });
+  }
+  // Snapshots race against the updates by design; they must stay safe.
+  for (int i = 0; i < 50; ++i) (void)registry.snapshot();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+  EXPECT_EQ(hist.count(), kThreads * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (int b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    bucket_total += hist.bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+TEST(MetricRegistryThreads, ConcurrentRegistrationIsSafe) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 200; ++i) {
+        registry.counter("engine.shared.c" + std::to_string(i % 10)).add();
+        registry.histogram("engine.shared.h" + std::to_string(i % 10))
+            .record_ns(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters.size(), 10u);
+  EXPECT_EQ(snap.histograms.size(), 10u);
+  for (const auto& c : snap.counters) {
+    EXPECT_EQ(c.value, kThreads * 20u) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace lcp::obs

@@ -1,0 +1,239 @@
+// TraceRecorder span semantics (nesting, threads, Chrome export) and the
+// end-to-end guarantees the session facade makes: one apply() yields the
+// documented phase tree, and disabling telemetry changes no verdict and
+// no proof bit.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+#include "graph/generators.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "schemes/tree_certified.hpp"
+
+namespace lcp {
+namespace {
+
+using obs::TraceRecorder;
+
+const TraceRecorder::Event* find_event(
+    const std::vector<TraceRecorder::Event>& events, const std::string& name) {
+  for (const TraceRecorder::Event& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Span mechanics.
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, NestedSpansLinkToTheirParent) {
+  TraceRecorder recorder;
+  {
+    auto outer = recorder.span("outer");
+    {
+      auto mid = recorder.span("mid");
+      auto inner = recorder.span("inner");
+    }
+    auto sibling = recorder.span("sibling");
+  }
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  const auto* outer = find_event(events, "outer");
+  const auto* mid = find_event(events, "mid");
+  const auto* inner = find_event(events, "inner");
+  const auto* sibling = find_event(events, "sibling");
+  ASSERT_TRUE(outer && mid && inner && sibling);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(mid->parent, outer->id);
+  EXPECT_EQ(inner->parent, mid->id);
+  EXPECT_EQ(sibling->parent, outer->id);  // not a child of the closed mid
+}
+
+TEST(TraceRecorder, EarlyCloseDetachesTheSpan) {
+  TraceRecorder recorder;
+  auto phase_a = recorder.span("phase_a");
+  phase_a.close();
+  auto phase_b = recorder.span("phase_b");  // sibling, not child
+  phase_b.close();
+  phase_a.close();  // idempotent
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(find_event(events, "phase_b")->parent, 0u);
+}
+
+TEST(TraceRecorder, MovedSpanStillClosesOnce) {
+  TraceRecorder recorder;
+  {
+    auto a = recorder.span("moved");
+    auto b = std::move(a);
+    EXPECT_FALSE(a.active());
+    EXPECT_TRUE(b.active());
+  }
+  EXPECT_EQ(recorder.event_count(), 1u);
+}
+
+TEST(TraceRecorder, DefaultSpanIsInert) {
+  TraceRecorder::Span inert;
+  EXPECT_FALSE(inert.active());
+  inert.close();  // no-op, no crash
+}
+
+TEST(TraceRecorder, ThreadsGetDistinctTidsAndIndependentNesting) {
+  TraceRecorder recorder;
+  auto worker = [&recorder] {
+    auto lane = recorder.span("lane");
+    auto item = recorder.span("item");
+  };
+  std::thread t1(worker), t2(worker);
+  t1.join();
+  t2.join();
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  std::map<int, std::vector<const TraceRecorder::Event*>> by_tid;
+  for (const auto& e : events) by_tid[e.tid].push_back(&e);
+  ASSERT_EQ(by_tid.size(), 2u);
+  for (const auto& [tid, lane_events] : by_tid) {
+    ASSERT_EQ(lane_events.size(), 2u);
+    const auto* lane = lane_events[0]->name == "lane" ? lane_events[0]
+                                                      : lane_events[1];
+    const auto* item = lane_events[0]->name == "item" ? lane_events[0]
+                                                      : lane_events[1];
+    EXPECT_EQ(lane->parent, 0u);
+    EXPECT_EQ(item->parent, lane->id);  // never a cross-thread parent
+  }
+}
+
+TEST(TraceRecorder, ChromeJsonIsWellFormed) {
+  TraceRecorder recorder;
+  {
+    auto outer = recorder.span("outer");
+    auto inner = recorder.span("inner");
+  }
+  const std::string json = recorder.to_chrome_json();
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\": {\"id\": "), std::string::npos);
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+// ---------------------------------------------------------------------------
+// The session's phase tree: apply() under a maintainer produces
+// session.apply -> {mutate, repair, verify} with engine phases below.
+// ---------------------------------------------------------------------------
+
+MutationBatch leader_move(int from, int to) {
+  MutationBatch batch;
+  batch.set_node_label(from, 0);
+  batch.set_node_label(to, schemes::kLeaderFlag);
+  return batch;
+}
+
+TEST(SessionTrace, ApplyEmitsTheDocumentedPhaseTree) {
+  Graph g = gen::random_connected(200, 2.0 / 200, 99);
+  g.set_label(0, schemes::kLeaderFlag);
+  auto session = VerificationSession::on(std::move(g))
+                     .scheme("leader-election")
+                     .engine(EngineKind::kIncremental)
+                     .maintain(true)
+                     .telemetry(true)
+                     .build();
+  ASSERT_NE(session.telemetry_sink(), nullptr);
+  session.telemetry_sink()->trace.clear();  // drop build/bind noise
+
+  EXPECT_TRUE(session.apply(leader_move(0, 17)).all_accept);
+
+  const auto events = session.telemetry_sink()->trace.events();
+  const auto* apply = find_event(events, "session.apply");
+  const auto* mutate = find_event(events, "session.mutate");
+  const auto* verify = find_event(events, "session.verify");
+  ASSERT_NE(apply, nullptr);
+  ASSERT_NE(mutate, nullptr);
+  ASSERT_NE(verify, nullptr);
+  EXPECT_EQ(apply->parent, 0u);
+  EXPECT_EQ(mutate->parent, apply->id);
+  EXPECT_EQ(verify->parent, apply->id);
+  // The certificate is either repaired or reproved; both phases hang off
+  // the same apply span.
+  const auto* repair = find_event(events, "session.repair");
+  const auto* reprove = find_event(events, "session.reprove");
+  ASSERT_TRUE(repair != nullptr || reprove != nullptr);
+  if (repair != nullptr) {
+    EXPECT_EQ(repair->parent, apply->id);
+  }
+  if (reprove != nullptr) {
+    EXPECT_EQ(reprove->parent, apply->id);
+  }
+  // The incremental engine's phases nest under the verify span.
+  bool engine_child_of_verify = false;
+  for (const auto& e : events) {
+    if (e.name.rfind("incremental.", 0) == 0 && e.parent == verify->id) {
+      engine_child_of_verify = true;
+    }
+  }
+  EXPECT_TRUE(engine_child_of_verify);
+
+  // The histogram digest agrees with the trace about what ran.
+  const SessionTelemetry digest = session.telemetry();
+  EXPECT_TRUE(digest.enabled);
+  EXPECT_EQ(digest.applies, 1u);
+  EXPECT_GE(digest.apply_p99_us, digest.apply_p50_us);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry must be pure observation: identical verdicts, identical
+// proof bits, with and without the instrumentation.
+// ---------------------------------------------------------------------------
+
+TEST(SessionTrace, DisabledTelemetryIsBitIdentical) {
+  const auto build = [](bool telemetry) {
+    Graph g = gen::random_connected(300, 2.0 / 300, 1234);
+    g.set_label(0, schemes::kLeaderFlag);
+    return VerificationSession::on(std::move(g))
+        .scheme("leader-election")
+        .engine(EngineKind::kIncremental)
+        .maintain(true)
+        .telemetry(telemetry)
+        .build();
+  };
+  auto with = build(true);
+  auto without = build(false);
+  EXPECT_EQ(without.telemetry_sink(), nullptr);
+  EXPECT_FALSE(without.telemetry().enabled);
+
+  int leader = 0;
+  for (int it = 0; it < 12; ++it) {
+    const int next = (leader + 37 + it * 13) % 300;
+    const MutationBatch batch = leader_move(leader, next);
+    leader = next;
+    const RunResult a = with.apply(batch);
+    const RunResult b = without.apply(batch);
+    EXPECT_EQ(a.all_accept, b.all_accept) << "iteration " << it;
+    EXPECT_EQ(a.rejecting, b.rejecting) << "iteration " << it;
+  }
+  ASSERT_EQ(with.proof().labels.size(), without.proof().labels.size());
+  for (std::size_t v = 0; v < with.proof().labels.size(); ++v) {
+    EXPECT_TRUE(with.proof().labels[v] == without.proof().labels[v])
+        << "proof label diverged at node " << v;
+  }
+  EXPECT_EQ(with.stats().batches, without.stats().batches);
+  EXPECT_EQ(with.stats().repaired, without.stats().repaired);
+  EXPECT_EQ(with.stats().reproves, without.stats().reproves);
+}
+
+}  // namespace
+}  // namespace lcp

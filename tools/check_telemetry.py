@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Validate the telemetry exports the example/benches produce.
+
+Usage:
+    tools/check_telemetry.py METRICS_JSON TRACE_JSON
+
+Checks, against the naming convention in src/obs/metrics.hpp
+(`layer.component.metric`, lower-case):
+
+  * the metric snapshot parses as JSON and has the three kind sections;
+  * every metric name is well-formed (lower-case, >= 2 dot-separated
+    segments);
+  * every layer a full session wires up is present: session.*, engine.*,
+    store.*, pool.*, maintainer.*;
+  * a handful of load-bearing metrics exist by exact name;
+  * histogram entries carry ordered percentiles (p50 <= p90 <= p99 <= max);
+  * the Chrome trace parses, events are complete ("ph" == "X") with
+    id/parent args, every non-root parent id exists, and the span tree
+    contains a session.apply span with nested phase children.
+
+Exits non-zero (with a message per failure) when anything is missing, so
+CI can gate on it.
+"""
+
+import json
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+REQUIRED_LAYERS = ["session", "engine", "store", "pool", "maintainer"]
+
+REQUIRED_METRICS = [
+    "session.apply.latency",
+    "session.phase.mutate",
+    "session.phase.verify",
+    "session.batches",
+    "session.repaired",
+    "engine.incremental.full_sweeps",
+    "engine.incremental.nodes_reverified",
+    "store.ball.hit_rate",
+    "store.ball.entries",
+    "pool.incremental.lanes",
+    "pool.incremental.dispatches",
+]
+
+REQUIRED_SPANS = ["session.apply", "session.mutate", "session.verify"]
+
+
+def fail(errors: list, message: str) -> None:
+    errors.append(message)
+
+
+def check_metrics(path: str, errors: list) -> None:
+    with open(path, encoding="utf-8") as f:
+        snap = json.load(f)
+
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap:
+            fail(errors, f"metrics: missing '{section}' section")
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    histograms = snap.get("histograms", {})
+    names = list(counters) + list(gauges) + list(histograms)
+    if not names:
+        fail(errors, "metrics: snapshot is empty")
+
+    for name in names:
+        if not NAME_RE.match(name):
+            fail(errors, f"metrics: name '{name}' violates the "
+                         "layer.component.metric convention")
+
+    for layer in REQUIRED_LAYERS:
+        if not any(n.startswith(layer + ".") for n in names):
+            fail(errors, f"metrics: no '{layer}.*' metrics — a session "
+                         "layer went dark")
+
+    for required in REQUIRED_METRICS:
+        if required not in names:
+            fail(errors, f"metrics: required metric '{required}' missing")
+
+    for name, hist in histograms.items():
+        for key in ("count", "p50_ns", "p90_ns", "p99_ns", "max_ns"):
+            if key not in hist:
+                fail(errors, f"metrics: histogram '{name}' lacks '{key}'")
+        if not (hist.get("p50_ns", 0) <= hist.get("p90_ns", 0)
+                <= hist.get("p99_ns", 0) <= hist.get("max_ns", 0)):
+            fail(errors, f"metrics: histogram '{name}' percentiles are "
+                         "not ordered")
+
+    print(f"metrics ok: {len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(histograms)} histograms across "
+          f"{len({n.split('.')[0] for n in names})} layers")
+
+
+def check_trace(path: str, errors: list) -> None:
+    with open(path, encoding="utf-8") as f:
+        trace = json.load(f)
+
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(errors, "trace: no traceEvents")
+        return
+
+    ids = set()
+    for e in events:
+        if e.get("ph") != "X":
+            fail(errors, f"trace: event '{e.get('name')}' is not a "
+                         "complete event")
+        args = e.get("args", {})
+        if "id" not in args or "parent" not in args:
+            fail(errors, f"trace: event '{e.get('name')}' lacks id/parent "
+                         "args")
+        else:
+            ids.add(args["id"])
+        if e.get("dur", -1) < 0 or e.get("ts", -1) < 0:
+            fail(errors, f"trace: event '{e.get('name')}' has negative "
+                         "ts/dur")
+
+    for e in events:
+        parent = e.get("args", {}).get("parent", 0)
+        if parent != 0 and parent not in ids:
+            fail(errors, f"trace: event '{e.get('name')}' references "
+                         f"unknown parent {parent}")
+
+    by_name = {}
+    for e in events:
+        by_name.setdefault(e["name"], []).append(e)
+    for required in REQUIRED_SPANS:
+        if required not in by_name:
+            fail(errors, f"trace: required span '{required}' missing")
+
+    # At least one apply span must have phase children: the nesting is the
+    # whole point of the recorder.
+    apply_ids = {e["args"]["id"] for e in by_name.get("session.apply", [])}
+    nested = [e for e in events
+              if e["args"].get("parent") in apply_ids
+              and e["name"] != "session.apply"]
+    if apply_ids and not nested:
+        fail(errors, "trace: session.apply spans have no phase children")
+
+    print(f"trace ok: {len(events)} spans, {len(by_name)} distinct names, "
+          f"{len(nested)} phase spans nested under session.apply")
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list = []
+    try:
+        check_metrics(sys.argv[1], errors)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"metrics: cannot read {sys.argv[1]}: {exc}")
+    try:
+        check_trace(sys.argv[2], errors)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"trace: cannot read {sys.argv[2]}: {exc}")
+    for message in errors:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
