@@ -67,6 +67,10 @@ struct StreamTiming {
   // histograms give the percentile/phase columns below.
   double maintain_telemetry_ms = -1;
   SessionTelemetry telemetry;
+  // A third replay with the flight-recorder journal live (telemetry off):
+  // bounds the per-event ring-write cost on the same stream.
+  double maintain_journal_ms = -1;
+  std::uint64_t journal_events = 0;
   // Order-sensitive hash over the per-iteration verdicts, so offsetting
   // disagreements between the two paths cannot cancel out.
   long long checksum_maintain = -1;
@@ -77,6 +81,10 @@ struct StreamTiming {
   double overhead_pct() const {
     if (maintain_ms <= 0 || maintain_telemetry_ms < 0) return 0;
     return 100.0 * (maintain_telemetry_ms - maintain_ms) / maintain_ms;
+  }
+  double journal_overhead_pct() const {
+    if (maintain_ms <= 0 || maintain_journal_ms < 0) return 0;
+    return 100.0 * (maintain_journal_ms - maintain_ms) / maintain_ms;
   }
 };
 
@@ -140,13 +148,15 @@ StreamTiming time_stream(const std::string& name, const Graph& start,
 
   // One maintain replay; each rep rebuilds the session and the stream
   // restarts, so reps see identical batches and must agree on verdicts.
-  const auto run_maintain = [&](bool telemetry, long long* verdicts_out,
+  const auto run_maintain = [&](bool telemetry, bool journal,
+                                long long* verdicts_out,
                                 SessionTelemetry* digest) {
     auto session = VerificationSession::on(start)
                        .scheme(scheme)
                        .engine(EngineKind::kIncremental)
                        .maintainer(make_maintainer())
                        .telemetry(telemetry)
+                       .journal(journal)
                        .build();
     (void)session.verify();  // warm the incremental cache outside the timer
     long long verdicts = 0;
@@ -160,6 +170,7 @@ StreamTiming time_stream(const std::string& name, const Graph& start,
         std::chrono::steady_clock::now() - begin;
     *verdicts_out = verdicts;
     if (digest != nullptr) *digest = session.telemetry();
+    if (journal) t.journal_events = session.journal()->total_emitted();
     t.repair_ops = session.stats().repair_ops;
     t.declines = session.stats().declined;
     return elapsed.count();
@@ -168,10 +179,13 @@ StreamTiming time_stream(const std::string& name, const Graph& start,
   // Best-of-3 for both the bare and the instrumented replay: the
   // maintained path is milliseconds-fast, so a single run's jitter would
   // swamp the sub-percent instrumentation overhead the delta advertises.
-  constexpr int kMaintainReps = 3;
+  // Best-of-N with the variants interleaved round-robin (bare, telemetry,
+  // journal per rep) so machine-load drift lands on all three equally and
+  // the overhead deltas stay honest.
+  constexpr int kMaintainReps = 5;
   for (int rep = 0; rep < kMaintainReps; ++rep) {
     long long verdicts = 0;
-    const double ms = run_maintain(false, &verdicts, nullptr);
+    const double ms = run_maintain(false, false, &verdicts, nullptr);
     if (rep == 0) {
       t.checksum_maintain = verdicts;
     } else if (verdicts != t.checksum_maintain) {
@@ -180,22 +194,33 @@ StreamTiming time_stream(const std::string& name, const Graph& start,
       std::exit(1);
     }
     if (t.maintain_ms < 0 || ms < t.maintain_ms) t.maintain_ms = ms;
-  }
-  for (int rep = 0; rep < kMaintainReps; ++rep) {
+
     // The same replay with the telemetry layer live: phase histograms,
     // trace spans, derived gauges.  Verdicts must be bit-identical.
-    long long verdicts = 0;
     SessionTelemetry digest;
-    const double ms = run_maintain(true, &verdicts, &digest);
+    const double telemetry_ms = run_maintain(true, false, &verdicts, &digest);
     if (verdicts != t.checksum_maintain) {
       std::fprintf(stderr,
                    "telemetry changed verdicts in stream %s (%lld vs %lld)\n",
                    name.c_str(), verdicts, t.checksum_maintain);
       std::exit(1);
     }
-    if (t.maintain_telemetry_ms < 0 || ms < t.maintain_telemetry_ms) {
-      t.maintain_telemetry_ms = ms;
+    if (t.maintain_telemetry_ms < 0 || telemetry_ms < t.maintain_telemetry_ms) {
+      t.maintain_telemetry_ms = telemetry_ms;
       t.telemetry = digest;
+    }
+
+    // And with the flight recorder live (telemetry off), so the journal's
+    // ring-write cost is measured in isolation.
+    const double journal_ms = run_maintain(false, true, &verdicts, nullptr);
+    if (verdicts != t.checksum_maintain) {
+      std::fprintf(stderr,
+                   "journal changed verdicts in stream %s (%lld vs %lld)\n",
+                   name.c_str(), verdicts, t.checksum_maintain);
+      std::exit(1);
+    }
+    if (t.maintain_journal_ms < 0 || journal_ms < t.maintain_journal_ms) {
+      t.maintain_journal_ms = journal_ms;
     }
   }
 
@@ -386,19 +411,24 @@ void print_json(std::FILE* out, const std::vector<StreamTiming>& rows) {
         out,
         "    {\"name\": \"%s\", \"n\": %d, \"m\": %d, \"iterations\": %d,\n"
         "     \"timings_ms\": {\"maintain_incremental\": %.3f, "
-        "\"reprove_full\": %.3f, \"maintain_telemetry\": %.3f},\n"
+        "\"reprove_full\": %.3f, \"maintain_telemetry\": %.3f, "
+        "\"maintain_journal\": %.3f},\n"
         "     \"speedup\": %.2f, \"repair_ops\": %llu, \"declines\": %llu, "
         "\"checksums_agree\": %s,\n"
-        "     \"telemetry_overhead_pct\": %.2f,\n"
+        "     \"telemetry_overhead_pct\": %.2f, "
+        "\"journal_overhead_pct\": %.2f, \"journal_events\": %llu,\n"
         "     \"apply_latency_us\": {\"p50\": %.1f, \"p90\": %.1f, "
         "\"p99\": %.1f},\n"
         "     \"phases\": [",
         t.name.c_str(), t.n, t.m, t.iterations, t.maintain_ms, t.reprove_ms,
-        t.maintain_telemetry_ms, t.reprove_ms / t.maintain_ms,
+        t.maintain_telemetry_ms, t.maintain_journal_ms,
+        t.reprove_ms / t.maintain_ms,
         static_cast<unsigned long long>(t.repair_ops),
         static_cast<unsigned long long>(t.declines),
         t.checksum_maintain == t.checksum_reprove ? "true" : "false",
-        t.overhead_pct(), t.telemetry.apply_p50_us, t.telemetry.apply_p90_us,
+        t.overhead_pct(), t.journal_overhead_pct(),
+        static_cast<unsigned long long>(t.journal_events),
+        t.telemetry.apply_p50_us, t.telemetry.apply_p90_us,
         t.telemetry.apply_p99_us);
     for (std::size_t j = 0; j < t.telemetry.phases.size(); ++j) {
       const SessionTelemetry::Phase& ph = t.telemetry.phases[j];
@@ -430,16 +460,16 @@ int main(int argc, char** argv) {
   rows.push_back(churn_stream_workload(n, iterations));
   rows.push_back(conjunction_churn_workload(n, iterations));
 
-  std::printf("%-18s %8s %8s %6s | %12s %12s %9s | %9s %9s %7s\n", "stream",
-              "n", "m", "iters", "maintain", "reprove", "speedup",
-              "apply-p50", "apply-p99", "obs-ovh");
+  std::printf("%-18s %8s %8s %6s | %12s %12s %9s | %9s %9s %7s %7s\n",
+              "stream", "n", "m", "iters", "maintain", "reprove", "speedup",
+              "apply-p50", "apply-p99", "obs-ovh", "jnl-ovh");
   for (const StreamTiming& t : rows) {
     std::printf(
         "%-18s %8d %8d %6d | %10.1fms %10.1fms %8.2fx | %7.1fus %7.1fus "
-        "%6.1f%%\n",
+        "%6.1f%% %6.1f%%\n",
         t.name.c_str(), t.n, t.m, t.iterations, t.maintain_ms, t.reprove_ms,
         t.reprove_ms / t.maintain_ms, t.telemetry.apply_p50_us,
-        t.telemetry.apply_p99_us, t.overhead_pct());
+        t.telemetry.apply_p99_us, t.overhead_pct(), t.journal_overhead_pct());
   }
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");

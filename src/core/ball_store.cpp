@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace lcp {
@@ -55,6 +56,12 @@ bool BallStore::lookup(std::uint64_t fingerprint, int radius,
   counters_.hits.fetch_add(1, std::memory_order_relaxed);
   *out = entry->balls;  // shared ownership, not a deep copy
   if (ball_nodes != nullptr) *ball_nodes = entry->ball_nodes;
+  obs::maybe_emit(journal_.load(std::memory_order_relaxed),
+                  obs::JournalEventKind::kStoreAdopt, "store.ball",
+                  {{"radius", radius},
+                   {"balls", static_cast<std::int64_t>(entry->balls.size())},
+                   {"ball_nodes",
+                    static_cast<std::int64_t>(entry->ball_nodes)}});
   return true;
 }
 
@@ -96,6 +103,10 @@ bool BallStore::publish(std::uint64_t fingerprint, int radius,
     entries_.push_front(std::move(entry));
   }
   counters_.publishes.fetch_add(1, std::memory_order_relaxed);
+  obs::maybe_emit(journal_.load(std::memory_order_relaxed),
+                  obs::JournalEventKind::kStorePublish, "store.ball",
+                  {{"radius", radius},
+                   {"ball_nodes", static_cast<std::int64_t>(ball_nodes)}});
   // The new entry may itself push the total over the ball budget; never
   // evict the entry just published (it is at the front).
   while (entries_.size() > 1 && ball_nodes_ > options_.max_ball_nodes) {

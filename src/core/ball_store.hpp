@@ -46,6 +46,7 @@
 namespace lcp {
 
 namespace obs {
+class Journal;
 class MetricRegistry;
 }  // namespace obs
 
@@ -142,6 +143,17 @@ class BallStore {
   std::size_t entry_count() const;
   std::size_t ball_nodes() const;
 
+  /// Offers a flight-recorder journal (nullptr detaches): full-entry
+  /// adoptions and publishes emit store_adopt / store_publish events.
+  /// Relaxed atomic, same contract as the counters — attach between runs,
+  /// emits from any thread.
+  void attach_journal(obs::Journal* journal) {
+    journal_.store(journal, std::memory_order_relaxed);
+  }
+  obs::Journal* attached_journal() const {
+    return journal_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     std::uint64_t fingerprint = 0;
@@ -173,6 +185,7 @@ class BallStore {
     std::atomic<std::uint64_t> rejected{0};
   };
   mutable Counters counters_;
+  std::atomic<obs::Journal*> journal_{nullptr};
 };
 
 /// Adapts the store's live counters into a MetricRegistry as derived

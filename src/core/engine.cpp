@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <exception>
 #include <functional>
+#include <iterator>
 #include <limits>
 #include <thread>
 #include <utility>
 
 #include "core/delta.hpp"
+#include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
 
 namespace lcp {
@@ -39,9 +41,31 @@ std::uint64_t graph_fingerprint(const Graph& g) {
   return h;
 }
 
+void VerdictAttribution::finish(const Graph& g, const LocalVerifier& a,
+                                RunResult* result) {
+  if (valid_ && graph_ == &g && verifier_ == &a) {
+    // Both lists are ascending (engines emit rejects in node order), so
+    // the flips are two linear set-differences.
+    result->flips_known = true;
+    result->newly_rejecting.clear();
+    result->newly_accepting.clear();
+    std::set_difference(result->rejecting.begin(), result->rejecting.end(),
+                        last_rejecting_.begin(), last_rejecting_.end(),
+                        std::back_inserter(result->newly_rejecting));
+    std::set_difference(last_rejecting_.begin(), last_rejecting_.end(),
+                        result->rejecting.begin(), result->rejecting.end(),
+                        std::back_inserter(result->newly_accepting));
+  }
+  graph_ = &g;
+  verifier_ = &a;
+  last_rejecting_ = result->rejecting;
+  valid_ = true;
+}
+
 RunResult sweep_sequential(const Graph& g, const Proof& p,
                            const LocalVerifier& a) {
   RunResult result;
+  result.evaluated = static_cast<std::uint64_t>(g.n());
   ViewExtractor extractor(g);
   const int radius = a.radius();
   for (int v = 0; v < g.n(); ++v) {
@@ -115,6 +139,8 @@ void DirectEngine::remember_overflow(std::uint64_t fingerprint, int radius) {
   if (options_.store != nullptr) {
     options_.store->mark_uncacheable(fingerprint, radius);
   }
+  obs::maybe_emit(journal_, obs::JournalEventKind::kCacheOverflow,
+                  "engine.direct", {{"radius", radius}});
 }
 
 DirectEngine::CacheEntry* DirectEngine::migrate_entry(
@@ -217,6 +243,7 @@ RunResult DirectEngine::run_from_entry(CacheEntry& entry, const Proof& p,
   // untouched when the stored proofs already match.
   const int n = static_cast<int>(entry.views.size());
   RunResult result;
+  result.evaluated = static_cast<std::uint64_t>(n);
   batch_views_.resize(static_cast<std::size_t>(n));
   batch_out_.resize(static_cast<std::size_t>(n));
   for (int v = 0; v < n; ++v) {
@@ -237,9 +264,27 @@ RunResult DirectEngine::run_from_entry(CacheEntry& entry, const Proof& p,
 
 RunResult DirectEngine::run(const Graph& g, const Proof& p,
                             const LocalVerifier& a) {
+  const DirectEngineStats before = stats_;
+  RunResult result = run_impl(g, p, a);
+  if (journal_ != nullptr && stats_.migrations != before.migrations) {
+    journal_->emit(
+        obs::JournalEventKind::kPatchFallback, "engine.direct",
+        {{"patched", static_cast<std::int64_t>(stats_.migrated_views -
+                                               before.migrated_views)},
+         {"reextracted",
+          static_cast<std::int64_t>(stats_.migration_reextractions -
+                                    before.migration_reextractions)}});
+  }
+  attribution_.finish(g, a, &result);
+  return result;
+}
+
+RunResult DirectEngine::run_impl(const Graph& g, const Proof& p,
+                                 const LocalVerifier& a) {
   const int n = g.n();
   const int radius = a.radius();
   RunResult result;
+  result.evaluated = static_cast<std::uint64_t>(n);
 
   if (options_.cache_views) {
     const std::uint64_t fingerprint = graph_fingerprint(g);
@@ -394,6 +439,14 @@ int ParallelEngine::effective_threads(int n) const {
 
 RunResult ParallelEngine::run(const Graph& g, const Proof& p,
                               const LocalVerifier& a) {
+  RunResult result = run_impl(g, p, a);
+  result.evaluated = static_cast<std::uint64_t>(g.n());
+  attribution_.finish(g, a, &result);
+  return result;
+}
+
+RunResult ParallelEngine::run_impl(const Graph& g, const Proof& p,
+                                   const LocalVerifier& a) {
   const int n = g.n();
   const int radius = a.radius();
   const int workers = effective_threads(n);
@@ -461,6 +514,9 @@ RunResult ParallelEngine::run(const Graph& g, const Proof& p,
     }
   };
 
+  obs::maybe_emit(journal_, obs::JournalEventKind::kLaneDispatch,
+                  "engine.parallel",
+                  {{"lanes", workers}, {"nodes", n}});
   if (persistent_pool_) {
     const int max_workers = effective_threads(
         std::numeric_limits<int>::max() / 2);

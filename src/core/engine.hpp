@@ -48,12 +48,54 @@ class DeltaTracker;
 
 namespace obs {
 struct Telemetry;
+class Journal;
 }  // namespace obs
 
 /// The global outcome of one verifier execution.
+///
+/// `all_accept`/`rejecting` are the paper's semantics and must be
+/// bit-identical across engines (tests/test_engines.cpp).  The remaining
+/// fields are *attribution* for the diagnosis tier (obs/forensics.hpp):
+/// how much work the run did and which centres flipped since the engine's
+/// previous run over the same (graph, verifier) binding.  Attribution is
+/// deterministic but engine-specific (a cold engine knows no flips), so
+/// equivalence tests compare only the first two fields.
 struct RunResult {
   bool all_accept = true;
   std::vector<int> rejecting;  // dense indices of nodes that output 0
+
+  /// Verifier evaluations attributable to this run (n for full sweeps,
+  /// the dirty-set size for incremental runs, 0 for unchanged runs).
+  std::uint64_t evaluated = 0;
+  /// True when the engine could diff this run's verdicts against its
+  /// previous run (same graph object, same verifier); the flip lists
+  /// below are only meaningful then.
+  bool flips_known = false;
+  /// Centres that flipped accept -> reject this run (ascending; a subset
+  /// of `rejecting`).
+  std::vector<int> newly_rejecting;
+  /// Centres that flipped reject -> accept this run (ascending).
+  std::vector<int> newly_accepting;
+};
+
+/// Diffs successive RunResults over one (graph, verifier) binding into
+/// the flip lists above.  Engines hold one instance and call finish() at
+/// the end of every run: O(|rejecting| + |previous rejecting|), no
+/// per-node state, so it survives cache overflows and fallback sweeps —
+/// exactly the paths that used to lose per-centre attribution.
+class VerdictAttribution {
+ public:
+  /// Populates `result`'s flip fields against the previous run when the
+  /// binding matches, then adopts `result` as the new baseline.
+  void finish(const Graph& g, const LocalVerifier& a, RunResult* result);
+  /// Forgets the baseline (next run reports flips_known == false).
+  void reset() { valid_ = false; }
+
+ private:
+  const Graph* graph_ = nullptr;
+  const LocalVerifier* verifier_ = nullptr;
+  std::vector<int> last_rejecting_;
+  bool valid_ = false;
 };
 
 /// Strategy interface: evaluate verifier `a` at every node of g under
@@ -99,6 +141,15 @@ class ExecutionEngine {
 
   /// The telemetry sink currently attached, if the engine consumes one.
   virtual obs::Telemetry* attached_telemetry() const { return nullptr; }
+
+  /// Offers a flight-recorder journal (obs/journal.hpp); nullptr
+  /// detaches.  An engine that opts in emits structured events (patch
+  /// fallbacks, halo exchanges, lane dispatches, cache overflows) while
+  /// attached.  The default backend ignores journals.
+  virtual void attach_journal(obs::Journal* journal) { (void)journal; }
+
+  /// The journal currently attached, if the engine consumes one.
+  virtual obs::Journal* attached_journal() const { return nullptr; }
 };
 
 /// RAII attachment: offers a tracker to the engine for the current scope
@@ -193,6 +244,11 @@ class DirectEngine final : public ExecutionEngine {
   void attach_telemetry(obs::Telemetry* telemetry) override;
   obs::Telemetry* attached_telemetry() const override { return telemetry_; }
 
+  /// Emits patch-vs-reextract fallback and cache-overflow events while
+  /// attached.
+  void attach_journal(obs::Journal* journal) override { journal_ = journal; }
+  obs::Journal* attached_journal() const override { return journal_; }
+
   /// Enables cache migration across fingerprints for the tracker's bound
   /// graph.  Returns true (the dirty log is consumed) when view caching is
   /// on; a non-caching engine has nothing to migrate and returns false.
@@ -240,9 +296,13 @@ class DirectEngine final : public ExecutionEngine {
                             std::uint64_t fingerprint);
   void remember_overflow(std::uint64_t fingerprint, int radius);
 
+  RunResult run_impl(const Graph& g, const Proof& p, const LocalVerifier& a);
+
   DirectEngineOptions options_;
   DeltaTracker* tracker_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  obs::Journal* journal_ = nullptr;
+  VerdictAttribution attribution_;
   DirectEngineStats stats_;
   ViewExtractor extractor_;
   std::list<CacheEntry> cache_;  // most recently used first
@@ -289,15 +349,23 @@ class ParallelEngine final : public ExecutionEngine {
   void attach_telemetry(obs::Telemetry* telemetry) override;
   obs::Telemetry* attached_telemetry() const override { return telemetry_; }
 
+  /// Emits one lane-dispatch event per parallel run while attached.
+  void attach_journal(obs::Journal* journal) override { journal_ = journal; }
+  obs::Journal* attached_journal() const override { return journal_; }
+
   /// The worker count a run would use right now.
   int effective_threads(int n) const;
 
  private:
+  RunResult run_impl(const Graph& g, const Proof& p, const LocalVerifier& a);
+
   int threads_;
   bool persistent_pool_;
   std::shared_ptr<BallStore> store_;
   std::unique_ptr<WorkerPool> pool_;
   obs::Telemetry* telemetry_ = nullptr;
+  obs::Journal* journal_ = nullptr;
+  VerdictAttribution attribution_;
 };
 
 /// The process-wide engine for one-off sweeps: a DirectEngine with caching

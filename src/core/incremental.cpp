@@ -4,6 +4,7 @@
 #include <functional>
 #include <utility>
 
+#include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
 
 namespace lcp {
@@ -100,6 +101,16 @@ RunResult IncrementalEngine::result_from_verdicts() const {
 
 RunResult IncrementalEngine::run(const Graph& g, const Proof& p,
                                  const LocalVerifier& a) {
+  RunResult result = run_impl(g, p, a);
+  // Attribution lives outside the cached-verdict machinery on purpose: it
+  // diffs whole rejecting lists, so overflow fallbacks and uncached
+  // sweeps keep per-centre flips (the path that previously lost them).
+  attribution_.finish(g, a, &result);
+  return result;
+}
+
+RunResult IncrementalEngine::run_impl(const Graph& g, const Proof& p,
+                                      const LocalVerifier& a) {
   if (tracker_ != nullptr && &tracker_->graph() == &g &&
       &tracker_->proof() == &p && tracker_->horizon() >= a.radius()) {
     return run_tracker_path(g, p, a);
@@ -139,6 +150,7 @@ RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
   cached_graph_fp_valid_ = true;
 
   RunResult result;
+  result.evaluated = static_cast<std::uint64_t>(n);
 
   // Adoption: a warm sweep another engine published for this exact
   // (fingerprint, radius) replaces extraction outright.  The balls stay
@@ -201,6 +213,8 @@ RunResult IncrementalEngine::full_sweep(const Graph& g, const Proof& p,
         cache_.clear();
         cache_.shrink_to_fit();
         inverted_.clear();
+        obs::maybe_emit(journal_, obs::JournalEventKind::kCacheOverflow,
+                        "engine.incremental", {{"radius", radius}});
       } else {
         cache_.push_back(std::move(ball));
       }
@@ -239,6 +253,10 @@ void IncrementalEngine::reverify(const Graph& g, const Proof& p,
       }
     }
     ++stats_.sharded_rounds;
+    obs::maybe_emit(journal_, obs::JournalEventKind::kLaneDispatch,
+                    "engine.incremental",
+                    {{"lanes", workers},
+                     {"centers", static_cast<std::int64_t>(count)}});
   }
 
   if (!reextract_centers.empty()) {
@@ -514,6 +532,13 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
   }
 
   dirty_scan_span.close();
+  if (!reextract.empty()) {
+    obs::maybe_emit(
+        journal_, obs::JournalEventKind::kPatchFallback, "engine.incremental",
+        {{"reextracted", static_cast<std::int64_t>(reextract.size())},
+         {"patched", static_cast<std::int64_t>(patched.size())},
+         {"proof_dirty", static_cast<std::int64_t>(proof_dirty.size())}});
+  }
   reverify(g, p, a, reextract, patched, proof_dirty);
   if (cached_ball_nodes_ > options_.max_cached_ball_nodes) {
     // Edge churn grew the balls past the cap: abandon the cache.
@@ -524,6 +549,8 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
     inverted_.clear();
     ++stats_.full_sweeps;
     consumed_generation_ = tracker_->generation();
+    obs::maybe_emit(journal_, obs::JournalEventKind::kCacheOverflow,
+                    "engine.incremental", {{"radius", radius}});
     return sweep_sequential(g, p, a);
   }
 
@@ -536,7 +563,10 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
   if (graph_changed) cached_graph_fp_valid_ = false;
   consumed_generation_ = tracker_->generation();
   ++stats_.incremental_runs;
-  return result_from_verdicts();
+  RunResult result = result_from_verdicts();
+  result.evaluated = static_cast<std::uint64_t>(
+      reextract.size() + patched.size() + proof_dirty.size());
+  return result;
 }
 
 RunResult IncrementalEngine::run_content_path(const Graph& g, const Proof& p,
@@ -593,7 +623,9 @@ RunResult IncrementalEngine::run_content_path(const Graph& g, const Proof& p,
   // so the tracker path must resweep rather than trust them.
   cache_from_tracker_ = false;
   ++stats_.incremental_runs;
-  return result_from_verdicts();
+  RunResult result = result_from_verdicts();
+  result.evaluated = static_cast<std::uint64_t>(dirty_scratch_.size());
+  return result;
 }
 
 }  // namespace lcp

@@ -109,6 +109,11 @@ class IncrementalEngine final : public ExecutionEngine {
   bool attach_tracker(DeltaTracker* tracker) override;
   DeltaTracker* attached_tracker() const override { return tracker_; }
 
+  /// Emits patch-fallback, cache-overflow, and lane-dispatch events while
+  /// attached.
+  void attach_journal(obs::Journal* journal) override { journal_ = journal; }
+  obs::Journal* attached_journal() const override { return journal_; }
+
   RunResult run(const Graph& g, const Proof& p,
                 const LocalVerifier& a) override;
 
@@ -132,6 +137,7 @@ class IncrementalEngine final : public ExecutionEngine {
   const Stats& stats() const { return stats_; }
 
  private:
+  RunResult run_impl(const Graph& g, const Proof& p, const LocalVerifier& a);
   RunResult full_sweep(const Graph& g, const Proof& p,
                        const LocalVerifier& a, std::uint64_t graph_fp);
   RunResult run_tracker_path(const Graph& g, const Proof& p,
@@ -155,6 +161,8 @@ class IncrementalEngine final : public ExecutionEngine {
   IncrementalEngineOptions options_;
   DeltaTracker* tracker_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  obs::Journal* journal_ = nullptr;
+  VerdictAttribution attribution_;
   ViewExtractor extractor_;
   std::unique_ptr<WorkerPool> pool_;
 

@@ -1,5 +1,6 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -142,6 +143,31 @@ VerificationSession::Builder& VerificationSession::Builder::telemetry(
   return *this;
 }
 
+VerificationSession::Builder& VerificationSession::Builder::journal(
+    std::shared_ptr<obs::Journal> journal) {
+  journal_ = std::move(journal);
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::journal(
+    bool on) {
+  journal_ = on ? std::make_shared<obs::Journal>() : nullptr;
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::forensics(
+    bool on) {
+  forensics_ = on;
+  return *this;
+}
+
+VerificationSession::Builder& VerificationSession::Builder::forensics(
+    obs::ForensicsOptions options) {
+  forensics_ = true;
+  forensics_options_ = options;
+  return *this;
+}
+
 VerificationSession VerificationSession::Builder::build() {
   return VerificationSession(std::move(*this));
 }
@@ -166,6 +192,13 @@ VerificationSession::VerificationSession(Builder&& b)
   if (scheme_ == nullptr) {
     throw std::invalid_argument(
         "VerificationSession: no scheme configured");
+  }
+
+  // Remember which store the journal should attach to before the switch
+  // moves b.store_ into the engine's options.
+  std::shared_ptr<BallStore> store_ref = b.store_;
+  if (store_ref == nullptr && b.kind_ == EngineKind::kIncremental) {
+    store_ref = b.incremental_options_.store;
   }
 
   switch (b.kind_) {
@@ -208,6 +241,14 @@ VerificationSession::VerificationSession(Builder&& b)
     }
   }
 
+  switch (b.kind_) {
+    case EngineKind::kDirect: engine_name_ = "direct"; break;
+    case EngineKind::kMessagePassing: engine_name_ = "message-passing"; break;
+    case EngineKind::kParallel: engine_name_ = "parallel"; break;
+    case EngineKind::kIncremental: engine_name_ = "incremental"; break;
+    case EngineKind::kSharded: engine_name_ = "sharded"; break;
+  }
+
   auto initial = scheme_->prove(graph_);
   proof_ = initial.has_value() ? std::move(*initial)
                                : Proof::empty(graph_.n());
@@ -222,6 +263,21 @@ VerificationSession::VerificationSession(Builder&& b)
     maintainer_ = make_maintainer_for(*scheme_, reg);
   }
   bound_ = maintainer_ != nullptr && maintainer_->bind(graph_, proof_);
+
+  journal_ = std::move(b.journal_);
+  forensics_ = b.forensics_;
+  forensics_options_ = b.forensics_options_;
+  if (journal_ != nullptr) {
+    engine_->attach_journal(journal_.get());
+    if (maintainer_ != nullptr) maintainer_->attach_journal(journal_.get());
+    // The sharded backend ignores shared stores; everyone else gets the
+    // store's adopt/publish events.  Remember the attachment so the
+    // destructor can sever it — shared stores outlive the session.
+    if (store_ref != nullptr && b.kind_ != EngineKind::kSharded) {
+      journal_store_ = std::move(store_ref);
+      journal_store_->attach_journal(journal_.get());
+    }
+  }
 
   if (telemetry_ != nullptr) {
     obs::MetricRegistry& registry = telemetry_->metrics;
@@ -263,21 +319,89 @@ VerificationSession::~VerificationSession() {
   // withdraws its own when it is destroyed, before telemetry_ (declared
   // first, destroyed last) releases the registry.
   if (telemetry_ != nullptr) telemetry_->metrics.remove_owned(this);
+  // A shared store outlives the session (and possibly its journal).
+  if (journal_store_ != nullptr) journal_store_->attach_journal(nullptr);
 }
 
-void VerificationSession::reprove() {
+void VerificationSession::reprove(MutationBatch* applied_diff) {
   ++stats_.reproves;
   auto fresh = scheme_->prove(graph_);
   if (fresh.has_value()) {
     MutationBatch diff;
     diff_proofs_into_batch(proof_, *fresh, &diff);
     if (!diff.empty()) tracker_->apply(diff);
+    obs::maybe_emit(
+        journal_.get(), obs::JournalEventKind::kReprove, "session",
+        {{"ops", static_cast<std::int64_t>(diff.size())}, {"failed", 0}});
+    if (applied_diff != nullptr) *applied_diff = std::move(diff);
   } else {
     // No-instance: no valid proof exists, so the stale assignment is as
     // good as any — soundness guarantees a rejection either way.
     ++stats_.failed_proves;
+    obs::maybe_emit(journal_.get(), obs::JournalEventKind::kReprove,
+                    "session", {{"ops", 0}, {"failed", 1}});
   }
   if (maintainer_ != nullptr) bound_ = maintainer_->bind(graph_, proof_);
+}
+
+void VerificationSession::note_repair(std::uint64_t batch_index,
+                                      std::string source,
+                                      const MutationBatch& repair) {
+  RepairNote note;
+  note.entry.batch_index = batch_index;
+  note.entry.maintainer = std::move(source);
+  note.entry.ops = repair.size();
+  for (const MutationBatch::Op& op : repair.ops()) {
+    if (op.u >= 0) note.touched.push_back(op.u);
+    if (op.v >= 0) note.touched.push_back(op.v);
+  }
+  std::sort(note.touched.begin(), note.touched.end());
+  note.touched.erase(std::unique(note.touched.begin(), note.touched.end()),
+                     note.touched.end());
+  repair_notes_.push_back(std::move(note));
+  while (repair_notes_.size() > forensics_options_.max_repair_history) {
+    repair_notes_.pop_front();
+  }
+}
+
+void VerificationSession::finish_verdict(const MutationBatch& batch,
+                                         const MutationBatch& repair,
+                                         const Graph* pre_graph,
+                                         const Proof* pre_proof,
+                                         const RunResult& result) {
+  const bool flipped = result.all_accept != last_all_accept_;
+  last_all_accept_ = result.all_accept;
+  if (!flipped) return;
+  obs::maybe_emit(
+      journal_.get(), obs::JournalEventKind::kVerdictFlip, "session",
+      {{"accepting", result.all_accept ? 1 : 0},
+       {"rejecting", static_cast<std::int64_t>(result.rejecting.size())},
+       {"generation", static_cast<std::int64_t>(tracker_->generation())}});
+  if (result.all_accept || pre_graph == nullptr || pre_proof == nullptr) {
+    return;
+  }
+  obs::RejectionReport report = obs::capture_rejection(
+      *pre_graph, *pre_proof, graph_, proof_, scheme_->verifier(), result,
+      batch, repair, forensics_options_);
+  report.batch_index = stats_.batches;
+  report.generation = tracker_->generation();
+  report.scheme = scheme_->name();
+  report.engine = engine_name_;
+  for (const RepairNote& note : repair_notes_) {
+    obs::RepairHistoryEntry entry = note.entry;
+    for (int v : note.touched) {
+      if (std::binary_search(result.rejecting.begin(),
+                             result.rejecting.end(), v)) {
+        ++entry.ops_on_rejecting;
+      }
+    }
+    report.repair_history.push_back(std::move(entry));
+  }
+  if (journal_ != nullptr) {
+    report.journal_window =
+        journal_->tail(forensics_options_.max_journal_window);
+  }
+  last_rejection_ = std::move(report);
 }
 
 RunResult VerificationSession::apply(const MutationBatch& batch) {
@@ -287,37 +411,80 @@ RunResult VerificationSession::apply(const MutationBatch& batch) {
   // nest under the verify scope on the same thread.
   PhaseScope apply_scope(telemetry_.get(), "session.apply", hist_apply_);
   ++stats_.batches;
+  // Forensic pre-state: copies of the pair from before the batch touched
+  // it, the shrink predicate's baseline.  Only taken when forensics is on
+  // (apply() stays allocation-identical to PR 7 otherwise).
+  std::optional<Graph> pre_graph;
+  std::optional<Proof> pre_proof;
+  if (forensics_) {
+    pre_graph = graph_;
+    pre_proof = proof_;
+  }
   {
     PhaseScope scope(telemetry_.get(), "session.mutate", hist_mutate_);
     tracker_->apply(batch);
   }
+  obs::maybe_emit(
+      journal_.get(), obs::JournalEventKind::kBatchApplied, "session",
+      {{"ops", static_cast<std::int64_t>(batch.size())},
+       {"generation", static_cast<std::int64_t>(tracker_->generation())}});
+  // `repair` ends up holding whatever healed the proof — the maintainer's
+  // repair batch or the reprove diff — for the forensic report.
+  MutationBatch repair;
   bool repaired = false;
   if (bound_) {
     PhaseScope scope(telemetry_.get(), "session.repair", hist_repair_);
-    MutationBatch repair;
     if (maintainer_->repair(graph_, proof_, batch, &repair)) {
       repaired = true;
       ++stats_.repaired;
       stats_.repair_ops += repair.size();
       if (!repair.empty()) tracker_->apply(repair);
+      if (forensics_ && !repair.empty()) {
+        note_repair(stats_.batches, maintainer_->name(), repair);
+      }
     } else {
       ++stats_.declined;
       bound_ = false;
+      obs::maybe_emit(journal_.get(),
+                      obs::JournalEventKind::kRepairDeclined, "session",
+                      {{"ops", static_cast<std::int64_t>(batch.size())}});
     }
   }
   if (!repaired) {
     PhaseScope scope(telemetry_.get(), "session.reprove", hist_reprove_);
-    reprove();
+    repair.clear();
+    reprove(&repair);
+    if (forensics_ && !repair.empty()) {
+      note_repair(stats_.batches, "reprove", repair);
+    }
   }
   ++stats_.verifies;
-  PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
-  return engine_->run(graph_, proof_, scheme_->verifier());
+  RunResult result;
+  {
+    PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
+    result = engine_->run(graph_, proof_, scheme_->verifier());
+  }
+  finish_verdict(batch, repair, pre_graph ? &*pre_graph : nullptr,
+                 pre_proof ? &*pre_proof : nullptr, result);
+  return result;
 }
 
 RunResult VerificationSession::verify() {
   ++stats_.verifies;
   PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
-  return engine_->run(graph_, proof_, scheme_->verifier());
+  RunResult result = engine_->run(graph_, proof_, scheme_->verifier());
+  // Keep the flip baseline honest for out-of-band verify() calls; no
+  // capture here — there is no offending batch to report.
+  if (result.all_accept != last_all_accept_) {
+    last_all_accept_ = result.all_accept;
+    obs::maybe_emit(
+        journal_.get(), obs::JournalEventKind::kVerdictFlip, "session",
+        {{"accepting", result.all_accept ? 1 : 0},
+         {"rejecting", static_cast<std::int64_t>(result.rejecting.size())},
+         {"generation",
+          static_cast<std::int64_t>(tracker_->generation())}});
+  }
+  return result;
 }
 
 SessionTelemetry VerificationSession::telemetry() const {

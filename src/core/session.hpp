@@ -36,6 +36,7 @@
 #define LCP_CORE_SESSION_HPP_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -49,6 +50,8 @@
 #include "core/registry.hpp"
 #include "core/scheme.hpp"
 #include "core/sharded_engine.hpp"
+#include "obs/forensics.hpp"
+#include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
 
 namespace lcp {
@@ -154,6 +157,27 @@ class VerificationSession {
     /// and fingerprints are bit-identical either way.
     Builder& telemetry(bool on);
 
+    /// Attaches a flight-recorder journal (obs/journal.hpp) to the whole
+    /// stack: the session's apply() pipeline, the engine (and its
+    /// transport, for the sharded backend), the ball store, and the
+    /// maintainer all emit structured events into it.  Sharing one
+    /// journal across sessions interleaves them (events carry labels).
+    Builder& journal(std::shared_ptr<obs::Journal> journal);
+    /// Convenience: journal(true) creates a fresh private journal;
+    /// journal(false) (the default) emits nothing — verdicts and
+    /// fingerprints are bit-identical either way.
+    Builder& journal(bool on);
+
+    /// Enables rejection forensics: apply() snapshots the pre-batch
+    /// state, and on an accept -> reject flip captures a RejectionReport
+    /// (witness balls, minimal rejecting sub-batch, repair history, the
+    /// journal tail) surfaced via last_rejection().  Forensics is
+    /// read-only over the session — verdicts, proof labels, and
+    /// fingerprints are bit-identical with it on or off.
+    Builder& forensics(bool on = true);
+    /// Same, with explicit capture budgets.
+    Builder& forensics(obs::ForensicsOptions options);
+
     /// Finalises the session.  Throws std::invalid_argument when no
     /// scheme was set (or an expression failed to resolve).
     VerificationSession build();
@@ -172,6 +196,9 @@ class VerificationSession {
     ShardedEngineOptions sharded_options_;
     const SchemeRegistry* registry_ = nullptr;
     std::shared_ptr<obs::Telemetry> telemetry_;
+    std::shared_ptr<obs::Journal> journal_;
+    bool forensics_ = false;
+    obs::ForensicsOptions forensics_options_;
   };
 
   /// Starts a builder over the graph the session will own.
@@ -211,10 +238,28 @@ class VerificationSession {
   /// (and everything zero) when no telemetry is attached.
   SessionTelemetry telemetry() const;
 
+  /// The attached flight recorder, nullptr when disabled.
+  obs::Journal* journal() { return journal_.get(); }
+  bool forensics_enabled() const { return forensics_; }
+  /// The forensic record of the most recent accept -> reject flip seen by
+  /// apply(); nullopt until one happens (or forensics is off).  Stays set
+  /// until the next flip or clear_last_rejection().
+  const std::optional<obs::RejectionReport>& last_rejection() const {
+    return last_rejection_;
+  }
+  void clear_last_rejection() { last_rejection_.reset(); }
+
  private:
   explicit VerificationSession(Builder&& b);
 
-  void reprove();
+  /// Full-prover fallback; when `applied_diff` is non-null it receives
+  /// the proof diff that was applied (empty on a failed prove).
+  void reprove(MutationBatch* applied_diff);
+  void note_repair(std::uint64_t batch_index, std::string source,
+                   const MutationBatch& repair);
+  void finish_verdict(const MutationBatch& batch,
+                      const MutationBatch& repair, const Graph* pre_graph,
+                      const Proof* pre_proof, const RunResult& result);
 
   // Declared first so it is destroyed last: the engine's destructor (and
   // the session's own) withdraw their derived gauges from this registry.
@@ -237,6 +282,24 @@ class VerificationSession {
   std::unique_ptr<dynamic::ProofMaintainer> maintainer_;
   bool bound_ = false;
   SessionStats stats_;
+
+  // Flight recorder + forensics (both default-off).
+  std::shared_ptr<obs::Journal> journal_;
+  bool forensics_ = false;
+  obs::ForensicsOptions forensics_options_;
+  std::string engine_name_;  // make_engine spelling, for reports
+  // The store the journal was attached to; detached in the destructor
+  // because shared stores outlive the session (and its journal).
+  std::shared_ptr<BallStore> journal_store_;
+  bool last_all_accept_ = true;
+  std::optional<obs::RejectionReport> last_rejection_;
+  // Recent repairs with the nodes they touched, so a report can count
+  // each repair's ops on the now-rejecting centres.
+  struct RepairNote {
+    obs::RepairHistoryEntry entry;
+    std::vector<int> touched;  // sorted, deduplicated
+  };
+  std::deque<RepairNote> repair_notes_;
 };
 
 }  // namespace lcp

@@ -23,6 +23,7 @@
 #ifndef LCP_CORE_SHARD_TRANSPORT_HPP_
 #define LCP_CORE_SHARD_TRANSPORT_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -34,6 +35,7 @@
 
 #include "core/bitstring.hpp"
 #include "graph/graph.hpp"
+#include "obs/journal.hpp"
 
 namespace lcp {
 
@@ -119,6 +121,12 @@ class ShardTransport {
   virtual std::size_t queue_depth() const { return 0; }
   /// High-water mark of queue_depth() since construction.
   virtual std::size_t max_queue_depth() const { return 0; }
+
+  /// Offers a flight-recorder journal (nullptr detaches).  Transports
+  /// that opt in emit one transport_send event per message; the default
+  /// ignores journals.  Implementations must tolerate attach from one
+  /// thread while lanes send on others (engines attach between runs).
+  virtual void attach_journal(obs::Journal* journal) { (void)journal; }
 };
 
 /// In-process mailboxes: one mutex, one deque per shard.  Thread lanes of a
@@ -133,12 +141,20 @@ class InProcessTransport final : public ShardTransport {
   }
 
   void send(HaloMessage message) override {
+    const std::uint64_t bytes = approximate_bytes(message);
+    obs::maybe_emit(journal_.load(std::memory_order_relaxed),
+                    obs::JournalEventKind::kTransportSend,
+                    "transport.in-process",
+                    {{"from", message.from},
+                     {"to", message.to},
+                     {"kind", static_cast<std::int64_t>(message.kind)},
+                     {"bytes", static_cast<std::int64_t>(bytes)}});
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.messages;
     stats_.requested_nodes += message.requests.size();
     stats_.records += message.records.size();
     stats_.proof_patches += message.proofs.size();
-    stats_.bytes += approximate_bytes(message);
+    stats_.bytes += bytes;
     mailboxes_[static_cast<std::size_t>(message.to)].push_back(
         std::move(message));
     std::size_t depth = 0;
@@ -172,6 +188,10 @@ class InProcessTransport final : public ShardTransport {
     return max_depth_;
   }
 
+  void attach_journal(obs::Journal* journal) override {
+    journal_.store(journal, std::memory_order_relaxed);
+  }
+
  private:
   static std::uint64_t approximate_bytes(const HaloMessage& m) {
     std::uint64_t bytes = 16 + 4 * m.requests.size();
@@ -189,6 +209,9 @@ class InProcessTransport final : public ShardTransport {
   std::vector<std::deque<HaloMessage>> mailboxes_;
   TransportStats stats_;
   std::size_t max_depth_ = 0;
+  // Relaxed atomic: attach happens between runs, lane sends read it
+  // concurrently; the journal itself is internally synchronised.
+  std::atomic<obs::Journal*> journal_{nullptr};
 };
 
 /// Adapts a transport's live stats into derived gauges under "<prefix>.":

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
 
 namespace lcp {
@@ -282,6 +283,7 @@ void ShardedEngine::ensure_configured() {
                      ? options_.transport
                      : std::make_shared<InProcessTransport>();
   }
+  if (journal_ != nullptr) transport_->attach_journal(journal_);
   transport_->reset(k_);
   if (k_ > 1) pool_ = std::make_unique<WorkerPool>(k_);
   shards_.clear();
@@ -351,18 +353,31 @@ RunResult ShardedEngine::result_from_rejects(const Graph& g) const {
 RunResult ShardedEngine::run(const Graph& g, const Proof& p,
                              const LocalVerifier& a) {
   ensure_configured();
+  RunResult result;
   try {
-    if (tracker_ != nullptr && &tracker_->graph() == &g &&
-        &tracker_->proof() == &p && tracker_->horizon() >= a.radius()) {
-      return run_tracker_path(g, p, a);
-    }
-    return run_content_path(g, p, a);
+    result = run_impl(g, p, a);
   } catch (...) {
     // A throwing verifier (or transport) can leave shard state half
     // updated; drop the caches so the next run rebuilds from scratch.
     invalidate();
     throw;
   }
+  attribution_.finish(g, a, &result);
+  return result;
+}
+
+RunResult ShardedEngine::run_impl(const Graph& g, const Proof& p,
+                                  const LocalVerifier& a) {
+  if (tracker_ != nullptr && &tracker_->graph() == &g &&
+      &tracker_->proof() == &p && tracker_->horizon() >= a.radius()) {
+    return run_tracker_path(g, p, a);
+  }
+  return run_content_path(g, p, a);
+}
+
+void ShardedEngine::attach_journal(obs::Journal* journal) {
+  journal_ = journal;
+  if (transport_ != nullptr) transport_->attach_journal(journal);
 }
 
 void ShardedEngine::dispatch_lanes(const std::function<void(int)>& job) {
@@ -370,6 +385,8 @@ void ShardedEngine::dispatch_lanes(const std::function<void(int)>& job) {
     for (int s = 0; s < k_; ++s) job(s);
     return;
   }
+  obs::maybe_emit(journal_, obs::JournalEventKind::kLaneDispatch,
+                  "engine.sharded", {{"lanes", k_}});
   pool_->dispatch(k_, job);
 }
 
@@ -427,6 +444,10 @@ void ShardedEngine::exchange_halos(const Graph& g, const Proof& p, int radius,
                                    const std::vector<int>& rebuild) {
   const obs::TraceRecorder::Span span =
       obs::maybe_span(telemetry_, "sharded.halo_exchange");
+  obs::maybe_emit(journal_, obs::JournalEventKind::kHaloExchange,
+                  "engine.sharded",
+                  {{"rebuilds", static_cast<std::int64_t>(rebuild.size())},
+                   {"radius", radius}});
   std::vector<char> rebuilding(static_cast<std::size_t>(k_), 0);
   for (int s : rebuild) rebuilding[static_cast<std::size_t>(s)] = 1;
 
@@ -658,6 +679,7 @@ RunResult ShardedEngine::full_rebuild(const Graph& g, const Proof& p,
   overflowed_ = false;
 
   RunResult result = result_from_rejects(g);
+  result.evaluated = static_cast<std::uint64_t>(n);
 
   if (total_ball_nodes > options_.max_cached_ball_nodes) {
     // Too dense to keep resident across the whole partition: remember the
@@ -1253,6 +1275,10 @@ RunResult ShardedEngine::run_tracker_path(const Graph& g, const Proof& p,
 
   stats_.last_dirty_per_shard.assign(static_cast<std::size_t>(k_), 0);
   std::size_t total_ball_nodes = 0;
+  std::uint64_t run_reverified = 0;
+  std::uint64_t run_fallbacks = 0;
+  std::uint64_t run_reextract = 0;
+  std::uint64_t run_patched = 0;
   for (auto& shard : shards_) {
     stats_.last_dirty_per_shard[static_cast<std::size_t>(shard->index)] =
         shard->last_dirty;
@@ -1260,7 +1286,18 @@ RunResult ShardedEngine::run_tracker_path(const Graph& g, const Proof& p,
     stats_.patch_fallbacks += shard->ctr_fallbacks;
     stats_.reextractions += shard->ctr_reextract;
     stats_.nodes_reverified += shard->ctr_reverified;
+    run_patched += shard->ctr_patched;
+    run_fallbacks += shard->ctr_fallbacks;
+    run_reextract += shard->ctr_reextract;
+    run_reverified += shard->ctr_reverified;
     total_ball_nodes += shard->ball_nodes;
+  }
+  if (run_reextract > 0 || run_fallbacks > 0) {
+    obs::maybe_emit(journal_, obs::JournalEventKind::kPatchFallback,
+                    "engine.sharded",
+                    {{"reextracted", static_cast<std::int64_t>(run_reextract)},
+                     {"patched", static_cast<std::int64_t>(run_patched)},
+                     {"fallbacks", static_cast<std::int64_t>(run_fallbacks)}});
   }
   if (total_ball_nodes > options_.max_cached_ball_nodes) {
     overflowed_ = true;
@@ -1280,7 +1317,9 @@ RunResult ShardedEngine::run_tracker_path(const Graph& g, const Proof& p,
 
   consumed_generation_ = tracker_->generation();
   ++stats_.incremental_runs;
-  return result_from_rejects(g);
+  RunResult result = result_from_rejects(g);
+  result.evaluated = run_reverified;
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -1352,6 +1391,7 @@ RunResult ShardedEngine::run_content_path(const Graph& g, const Proof& p,
     });
   }
   stats_.last_dirty_per_shard.assign(static_cast<std::size_t>(k_), 0);
+  std::uint64_t run_reverified = 0;
   for (auto& shard : shards_) {
     stats_.last_dirty_per_shard[static_cast<std::size_t>(shard->index)] =
         shard->last_dirty;
@@ -1359,12 +1399,15 @@ RunResult ShardedEngine::run_content_path(const Graph& g, const Proof& p,
     stats_.patch_fallbacks += shard->ctr_fallbacks;
     stats_.reextractions += shard->ctr_reextract;
     stats_.nodes_reverified += shard->ctr_reverified;
+    run_reverified += shard->ctr_reverified;
   }
   // These verdicts now reflect a possibly foreign proof; the tracker path
   // must rebuild rather than trust them (same rule as IncrementalEngine).
   cache_from_tracker_ = false;
   ++stats_.incremental_runs;
-  return result_from_rejects(g);
+  RunResult result = result_from_rejects(g);
+  result.evaluated = run_reverified;
+  return result;
 }
 
 }  // namespace lcp

@@ -102,6 +102,11 @@ class ShardedEngine final : public ExecutionEngine {
   void attach_telemetry(obs::Telemetry* telemetry) override;
   obs::Telemetry* attached_telemetry() const override { return telemetry_; }
 
+  /// Emits halo-exchange, lane-dispatch, patch-fallback, and (via the
+  /// transport) per-message send events while attached.
+  void attach_journal(obs::Journal* journal) override;
+  obs::Journal* attached_journal() const override { return journal_; }
+
   /// The resolved shard count (options.shards, or hardware concurrency).
   int shard_count() const;
   const Partitioner& partitioner() const { return *partitioner_; }
@@ -129,6 +134,7 @@ class ShardedEngine final : public ExecutionEngine {
 
   void ensure_configured();
   void invalidate();
+  RunResult run_impl(const Graph& g, const Proof& p, const LocalVerifier& a);
   RunResult result_from_rejects(const Graph& g) const;
   RunResult full_rebuild(const Graph& g, const Proof& p,
                          const LocalVerifier& a);
@@ -169,6 +175,8 @@ class ShardedEngine final : public ExecutionEngine {
   std::unique_ptr<WorkerPool> pool_;
   DeltaTracker* tracker_ = nullptr;
   obs::Telemetry* telemetry_ = nullptr;
+  obs::Journal* journal_ = nullptr;
+  VerdictAttribution attribution_;
   int k_ = 0;  // resolved shard count (0 until first run)
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/bitstring.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace lcp::dynamic {
@@ -124,6 +125,10 @@ bool GreedyColoringMaintainer::repair(const Graph& g, const Proof& p,
     }
   }
   ++stats_.repaired_batches;
+  obs::maybe_emit(
+      journal_, obs::JournalEventKind::kRepairEmitted, "greedy-coloring",
+      {{"ops", static_cast<std::int64_t>(out->ops().size())},
+       {"touched", static_cast<std::int64_t>(touched_.size())}});
   return true;
 }
 

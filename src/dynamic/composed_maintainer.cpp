@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/registry.hpp"
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace lcp::dynamic {
@@ -173,7 +174,16 @@ bool ComposedMaintainer::repair(const Graph& g, const Proof& p,
     ++stats_.labels_emitted;
   }
   ++stats_.repaired_batches;
+  obs::maybe_emit(
+      journal_, obs::JournalEventKind::kRepairEmitted, "composed",
+      {{"ops", static_cast<std::int64_t>(out->ops().size())},
+       {"dirty", static_cast<std::int64_t>(dirty_.size())}});
   return true;
+}
+
+void ComposedMaintainer::attach_journal(obs::Journal* journal) {
+  journal_ = journal;
+  for (const auto& part : parts_) part->attach_journal(journal);
 }
 
 void ComposedMaintainer::register_metrics(obs::MetricRegistry& registry,

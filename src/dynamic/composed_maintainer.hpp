@@ -71,6 +71,10 @@ class ComposedMaintainer final : public ProofMaintainer {
   void register_metrics(obs::MetricRegistry& registry,
                         const void* owner) override;
 
+  /// Attaches the journal to itself and every part, so component repairs
+  /// show up under their own labels alongside the composite's.
+  void attach_journal(obs::Journal* journal) override;
+
  private:
   const ConjunctionScheme* scheme_;
   std::vector<std::unique_ptr<ProofMaintainer>> parts_;

@@ -33,6 +33,7 @@
 #include "graph/graph.hpp"
 
 namespace lcp::obs {
+class Journal;
 class MetricRegistry;
 }  // namespace lcp::obs
 
@@ -72,6 +73,16 @@ class ProofMaintainer {
     (void)registry;
     (void)owner;
   }
+
+  /// Offers a flight-recorder journal (obs/journal.hpp); nullptr
+  /// detaches.  Maintainers emit one repair_emitted event per healed
+  /// batch (and repair-specific counts) while attached.  Composites
+  /// forward to their parts.
+  virtual void attach_journal(obs::Journal* journal) { journal_ = journal; }
+  obs::Journal* attached_journal() const { return journal_; }
+
+ protected:
+  obs::Journal* journal_ = nullptr;
 };
 
 }  // namespace lcp::dynamic

@@ -1,5 +1,6 @@
 #include "dynamic/matching_maintainer.hpp"
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace lcp::dynamic {
@@ -130,6 +131,9 @@ bool MatchingMaintainer::repair(const Graph& g, const Proof& p,
     }
   }
   ++stats_.repaired_batches;
+  obs::maybe_emit(
+      journal_, obs::JournalEventKind::kRepairEmitted, "maximal-matching",
+      {{"ops", static_cast<std::int64_t>(out->ops().size())}});
   return true;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/journal.hpp"
 #include "obs/metrics.hpp"
 
 namespace lcp::dynamic {
@@ -419,6 +420,10 @@ bool TreeCertMaintainer::repair(const Graph& g, const Proof& p,
     }
   }
   ++stats_.repaired_batches;
+  obs::maybe_emit(
+      journal_, obs::JournalEventKind::kRepairEmitted, "tree-cert",
+      {{"ops", static_cast<std::int64_t>(out->ops().size())},
+       {"touched", static_cast<std::int64_t>(touched_.size())}});
   return true;
 }
 

@@ -91,6 +91,7 @@ View assemble_view_by_flooding(const Graph& g, const Proof& p, int v,
 RunResult run_verifier_message_passing(const Graph& g, const Proof& p,
                                        const LocalVerifier& a) {
   RunResult result;
+  result.evaluated = static_cast<std::uint64_t>(g.n());
   for (int v = 0; v < g.n(); ++v) {
     const View view = assemble_view_by_flooding(g, p, v, a.radius());
     if (!a.accept(view)) {

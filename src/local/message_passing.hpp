@@ -25,16 +25,23 @@ namespace lcp {
 RunResult run_verifier_message_passing(const Graph& g, const Proof& p,
                                        const LocalVerifier& a);
 
-/// ExecutionEngine adapter over the flooding backend.  Stateless; exists so
-/// the LOCAL-model semantics plug into everything written against the
-/// engine interface (equivalence corpus, benches, attack drivers).
+/// ExecutionEngine adapter over the flooding backend.  Verdict-stateless
+/// (no caches); it carries only the flip-attribution baseline every engine
+/// keeps.  Exists so the LOCAL-model semantics plug into everything
+/// written against the engine interface (equivalence corpus, benches,
+/// attack drivers).
 class MessagePassingEngine final : public ExecutionEngine {
  public:
   std::string name() const override { return "message-passing"; }
   RunResult run(const Graph& g, const Proof& p,
                 const LocalVerifier& a) override {
-    return run_verifier_message_passing(g, p, a);
+    RunResult result = run_verifier_message_passing(g, p, a);
+    attribution_.finish(g, a, &result);
+    return result;
   }
+
+ private:
+  VerdictAttribution attribution_;
 };
 
 /// The view node v assembles after `radius` flooding rounds.  Exposed for

@@ -1,0 +1,205 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+#include <utility>
+
+namespace lcp::obs {
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:]; the registry's dotted
+/// "layer.component.metric" spellings map dots (and any other byte) to
+/// underscores.
+std::string sanitize(const std::string& prefix, const std::string& name) {
+  std::string out = prefix.empty() ? std::string() : prefix + "_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+double ns_to_seconds(std::uint64_t ns) {
+  return static_cast<double>(ns) / 1e9;
+}
+
+}  // namespace
+
+std::string to_prometheus_text(const MetricSnapshot& snapshot,
+                               const std::string& prefix) {
+  std::string out;
+  for (const MetricSnapshot::CounterEntry& c : snapshot.counters) {
+    const std::string name = sanitize(prefix, c.name);
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+  for (const MetricSnapshot::GaugeEntry& g : snapshot.gauges) {
+    const std::string name = sanitize(prefix, g.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(g.value) + "\n";
+  }
+  for (const MetricSnapshot::HistogramEntry& h : snapshot.histograms) {
+    const std::string name = sanitize(prefix, h.name) + "_seconds";
+    out += "# TYPE " + name + " summary\n";
+    const std::pair<const char*, std::uint64_t> quantiles[] = {
+        {"0.5", h.p50_ns}, {"0.9", h.p90_ns}, {"0.99", h.p99_ns}};
+    for (const auto& [q, ns] : quantiles) {
+      out += name + "{quantile=\"" + q + "\"} " +
+             format_double(ns_to_seconds(ns)) + "\n";
+    }
+    out += name + "_sum " + format_double(ns_to_seconds(h.sum_ns)) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+RateSampler::RateSampler(const MetricRegistry& registry,
+                         RateSamplerOptions options)
+    : registry_(&registry), options_(options) {
+  if (options_.start_thread) start();
+}
+
+RateSampler::~RateSampler() { stop(); }
+
+void RateSampler::sample_now() {
+  Sample sample;
+  sample.at = std::chrono::steady_clock::now();
+  sample.snapshot = registry_->snapshot();
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.push_back(std::move(sample));
+  const std::size_t cap = options_.window < 2 ? 2 : options_.window;
+  while (samples_.size() > cap) samples_.pop_front();
+}
+
+void RateSampler::start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_.joinable()) return;
+  stopping_ = false;
+  thread_ = std::thread([this] { thread_main(); });
+}
+
+void RateSampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!thread_.joinable()) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  thread_ = std::thread();
+}
+
+bool RateSampler::running() const {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  return thread_.joinable();
+}
+
+void RateSampler::thread_main() {
+  sample_now();
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stopping_) {
+    cv_.wait_for(lock, options_.interval, [this] { return stopping_; });
+    if (stopping_) break;
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+RateSampler::Rates RateSampler::rates() const {
+  Rates out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (samples_.size() < 2) return out;
+  const Sample& oldest = samples_.front();
+  const Sample& newest = samples_.back();
+  const double dt =
+      std::chrono::duration<double>(newest.at - oldest.at).count();
+  if (dt <= 0) return out;
+  out.window_seconds = dt;
+
+  std::unordered_map<std::string, std::uint64_t> old_counters;
+  for (const auto& c : oldest.snapshot.counters) {
+    old_counters.emplace(c.name, c.value);
+  }
+  for (const auto& c : newest.snapshot.counters) {
+    const auto it = old_counters.find(c.name);
+    const std::uint64_t before = it != old_counters.end() ? it->second : 0;
+    if (c.value < before) continue;  // registry swapped out underneath us
+    out.counters.push_back(
+        {c.name, static_cast<double>(c.value - before) / dt});
+  }
+
+  std::unordered_map<std::string, double> old_gauges;
+  for (const auto& g : oldest.snapshot.gauges) {
+    old_gauges.emplace(g.name, g.value);
+  }
+  for (const auto& g : newest.snapshot.gauges) {
+    const auto it = old_gauges.find(g.name);
+    if (it == old_gauges.end()) continue;
+    const double delta = g.value - it->second;
+    if (delta < 0) continue;  // a true gauge, not a monotone adapter
+    out.gauges.push_back({g.name, delta / dt});
+  }
+
+  std::unordered_map<std::string, std::uint64_t> old_p99;
+  for (const auto& h : oldest.snapshot.histograms) {
+    old_p99.emplace(h.name, h.p99_ns);
+  }
+  for (const auto& h : newest.snapshot.histograms) {
+    const auto it = old_p99.find(h.name);
+    const std::uint64_t before = it != old_p99.end() ? it->second : 0;
+    out.histograms.push_back(
+        {h.name, h.p99_ns, before,
+         static_cast<double>(h.p99_ns) - static_cast<double>(before)});
+  }
+  return out;
+}
+
+double RateSampler::rate_of(const std::string& name) const {
+  const Rates all = rates();
+  for (const Rate& r : all.counters) {
+    if (r.name == name) return r.per_sec;
+  }
+  for (const Rate& r : all.gauges) {
+    if (r.name == name) return r.per_sec;
+  }
+  return 0;
+}
+
+std::string RateSampler::to_prometheus_text(
+    const std::string& prefix) const {
+  const Rates all = rates();
+  std::string out;
+  const auto emit_rate = [&](const Rate& r) {
+    const std::string name =
+        sanitize(prefix + "_rate", r.name) + "_per_sec";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(r.per_sec) + "\n";
+  };
+  for (const Rate& r : all.counters) emit_rate(r);
+  for (const Rate& r : all.gauges) emit_rate(r);
+  for (const Drift& d : all.histograms) {
+    const std::string name =
+        sanitize(prefix + "_p99_drift", d.name) + "_seconds";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(d.drift_ns / 1e9) + "\n";
+  }
+  return out;
+}
+
+std::size_t RateSampler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.size();
+}
+
+}  // namespace lcp::obs

@@ -1,0 +1,174 @@
+// Live metric export: Prometheus text rendering of snapshots and the
+// sliding-window RateSampler (counter/gauge deltas per second, histogram
+// p99 drift).  The background-thread start/stop path runs under TSan in
+// CI; the sampler must never register anything back into the registry it
+// samples (the snapshot-under-lock contract).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace lcp::obs {
+namespace {
+
+TEST(PrometheusText, RendersCountersGaugesAndSummaries) {
+  MetricRegistry registry;
+  registry.counter("engine.direct.sweeps").add(5);
+  registry.gauge("store.ball.hit_rate").set(0.75);
+  registry.histogram("session.apply.latency").record_ns(1'000'000);
+  registry.histogram("session.apply.latency").record_ns(2'000'000);
+
+  const std::string text = to_prometheus_text(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE lcp_engine_direct_sweeps counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcp_engine_direct_sweeps 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lcp_store_ball_hit_rate gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcp_store_ball_hit_rate 0.75"), std::string::npos);
+  EXPECT_NE(
+      text.find("# TYPE lcp_session_apply_latency_seconds summary"),
+      std::string::npos);
+  EXPECT_NE(text.find("lcp_session_apply_latency_seconds{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcp_session_apply_latency_seconds_count 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcp_session_apply_latency_seconds_sum"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, SanitizesNamesAndHonoursPrefix) {
+  MetricRegistry registry;
+  registry.counter("layer.comp-x.metric").add(1);
+  const std::string text = to_prometheus_text(registry.snapshot(), "app");
+  EXPECT_NE(text.find("app_layer_comp_x_metric 1"), std::string::npos);
+  EXPECT_EQ(text.find("lcp_"), std::string::npos);
+}
+
+TEST(RateSampler, DerivesCounterRatesAcrossTheWindow) {
+  MetricRegistry registry;
+  Counter& applies = registry.counter("session.batches");
+  RateSampler sampler(registry, {.window = 4});
+
+  sampler.sample_now();
+  applies.add(30);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.sample_now();
+
+  const RateSampler::Rates rates = sampler.rates();
+  ASSERT_GT(rates.window_seconds, 0.0);
+  ASSERT_EQ(rates.counters.size(), 1u);
+  EXPECT_EQ(rates.counters[0].name, "session.batches");
+  // 30 events over the measured window.
+  EXPECT_NEAR(rates.counters[0].per_sec * rates.window_seconds, 30.0, 1e-6);
+  EXPECT_GT(sampler.rate_of("session.batches"), 0.0);
+  EXPECT_EQ(sampler.rate_of("no.such.metric"), 0.0);
+}
+
+TEST(RateSampler, MonotoneGaugesRateRegressingGaugesSkipped) {
+  MetricRegistry registry;
+  Gauge& tally = registry.gauge("session.repaired");  // monotone adapter
+  Gauge& depth = registry.gauge("pool.queue_depth");  // true gauge
+  RateSampler sampler(registry, {.window = 4});
+
+  tally.set(10);
+  depth.set(8);
+  sampler.sample_now();
+  tally.set(25);
+  depth.set(3);  // moved backwards: not a rate
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sampler.sample_now();
+
+  const RateSampler::Rates rates = sampler.rates();
+  ASSERT_EQ(rates.gauges.size(), 1u);
+  EXPECT_EQ(rates.gauges[0].name, "session.repaired");
+  EXPECT_NEAR(rates.gauges[0].per_sec * rates.window_seconds, 15.0, 1e-6);
+}
+
+TEST(RateSampler, TracksHistogramP99Drift) {
+  MetricRegistry registry;
+  LatencyHistogram& hist = registry.histogram("session.phase.verify");
+  RateSampler sampler(registry, {.window = 4});
+
+  hist.record_ns(1000);
+  sampler.sample_now();
+  for (int i = 0; i < 100; ++i) hist.record_ns(1'000'000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.sample_now();
+
+  const RateSampler::Rates rates = sampler.rates();
+  ASSERT_EQ(rates.histograms.size(), 1u);
+  EXPECT_EQ(rates.histograms[0].name, "session.phase.verify");
+  EXPECT_GT(rates.histograms[0].drift_ns, 0.0);
+  EXPECT_GT(rates.histograms[0].p99_ns, rates.histograms[0].prev_p99_ns);
+}
+
+TEST(RateSampler, WindowIsBoundedAndRatesSpanOldestToNewest) {
+  MetricRegistry registry;
+  Counter& c = registry.counter("x.y.z");
+  RateSampler sampler(registry, {.window = 3});
+  for (int i = 0; i < 10; ++i) {
+    c.add(1);
+    sampler.sample_now();
+  }
+  EXPECT_EQ(sampler.sample_count(), 3u);
+  const RateSampler::Rates rates = sampler.rates();
+  ASSERT_EQ(rates.counters.size(), 1u);
+  // Oldest retained sample saw 8 events, newest saw 10: delta is 2.
+  EXPECT_NEAR(rates.counters[0].per_sec * rates.window_seconds, 2.0, 1e-6);
+}
+
+TEST(RateSampler, EmptyUntilTwoSamples) {
+  MetricRegistry registry;
+  registry.counter("a.b.c").add(1);
+  RateSampler sampler(registry);
+  EXPECT_EQ(sampler.rates().window_seconds, 0.0);
+  sampler.sample_now();
+  EXPECT_EQ(sampler.rates().window_seconds, 0.0);
+  EXPECT_EQ(sampler.to_prometheus_text(), "");
+}
+
+TEST(RateSampler, RendersRatesAsPrometheusGauges) {
+  MetricRegistry registry;
+  Counter& c = registry.counter("transport.in-process.bytes");
+  registry.histogram("session.phase.verify").record_ns(500);
+  RateSampler sampler(registry, {.window = 4});
+  sampler.sample_now();
+  c.add(1024);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.sample_now();
+
+  const std::string text = sampler.to_prometheus_text();
+  EXPECT_NE(
+      text.find(
+          "# TYPE lcp_rate_transport_in_process_bytes_per_sec gauge"),
+      std::string::npos);
+  EXPECT_NE(text.find("lcp_p99_drift_session_phase_verify_seconds"),
+            std::string::npos);
+}
+
+TEST(RateSampler, BackgroundThreadStartsStopsAndSamples) {
+  MetricRegistry registry;
+  Counter& c = registry.counter("bg.ticks");
+  RateSampler sampler(
+      registry,
+      {.interval = std::chrono::milliseconds(5), .window = 8,
+       .start_thread = true});
+  EXPECT_TRUE(sampler.running());
+  for (int i = 0; i < 20; ++i) {
+    c.add(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+  EXPECT_GE(sampler.sample_count(), 2u);
+  // Re-startable after stop; the destructor stops it again.
+  sampler.start();
+  EXPECT_TRUE(sampler.running());
+}
+
+}  // namespace
+}  // namespace lcp::obs

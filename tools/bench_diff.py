@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Usage: bench_diff.py BASELINE.json FRESH.json [--threshold-pct PCT]
+
+Both files are bench outputs (bench/*.cpp via bench::json_header).  The
+tool prints a provenance comparison from the headers, then a per-row
+delta table of every timing metric (keys ending in ``_ms`` plus the
+``timings_ms`` sub-objects), matching rows across files by their
+identity fields (name/scheme, n, shards).
+
+Exit status is non-zero when any timing metric regressed (fresh slower
+than baseline) by more than ``--threshold-pct`` percent — unless either
+side is a sanitized build, which is reported as non-comparable and never
+gated.
+
+Baselines written before the provenance header landed lack
+git_describe/git_commit/build_type/compiler/sanitized; absent fields are
+shown as ``-`` and never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+PROVENANCE_FIELDS = [
+    "generated_by",
+    "git_describe",
+    "git_commit",
+    "build_type",
+    "compiler",
+    "sanitized",
+    "hardware_threads",
+    "shards",
+]
+
+IDENTITY_FIELDS = ["name", "scheme", "n", "shards"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit(f"bench_diff: cannot read {path}: {err}")
+
+
+def row_sections(doc):
+    """Top-level keys holding lists of row objects (workloads, sweep, churn)."""
+    return {
+        key: value
+        for key, value in doc.items()
+        if isinstance(value, list)
+        and value
+        and all(isinstance(row, dict) for row in value)
+    }
+
+
+def row_identity(row):
+    return tuple(
+        (field, row[field]) for field in IDENTITY_FIELDS if field in row
+    )
+
+
+def timing_metrics(row):
+    """Flat {metric: value} of the row's timing fields (lower is better)."""
+    out = {}
+    for key, value in row.items():
+        if isinstance(value, dict) and key == "timings_ms":
+            for sub, ms in value.items():
+                if isinstance(ms, (int, float)):
+                    out[f"timings_ms.{sub}"] = float(ms)
+        elif key.endswith("_ms") and isinstance(value, (int, float)):
+            out[key] = float(value)
+    return out
+
+
+def identity_label(identity):
+    return " ".join(
+        str(v) if k in ("name", "scheme") else f"{k}={v}" for k, v in identity
+    )
+
+
+def print_provenance(base, fresh):
+    print(f"{'provenance':<22} {'baseline':>24} {'fresh':>24}")
+    for field in PROVENANCE_FIELDS:
+        b = base.get(field, "-")
+        f = fresh.get(field, "-")
+        marker = "" if b == f or "-" in (b, f) else "  *"
+        print(f"{field:<22} {str(b)[:24]:>24} {str(f)[:24]:>24}{marker}")
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff two bench JSON files and gate on regressions"
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--threshold-pct",
+        type=float,
+        default=10.0,
+        help="fail when a timing metric is slower by more than this percent "
+        "(default: %(default)s)",
+    )
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    print_provenance(base, fresh)
+
+    sanitized = bool(base.get("sanitized")) or bool(fresh.get("sanitized"))
+    if sanitized:
+        print(
+            "note: at least one side is a sanitized build — timings are "
+            "not comparable; deltas shown for information only.\n"
+        )
+
+    regressions = []
+    missing = []
+    header = f"{'row':<34} {'metric':<34} {'baseline':>10} {'fresh':>10} {'delta':>8}"
+    for section, base_rows in row_sections(base).items():
+        fresh_rows = {
+            row_identity(r): r for r in row_sections(fresh).get(section, [])
+        }
+        print(f"[{section}]")
+        print(header)
+        for base_row in base_rows:
+            identity = row_identity(base_row)
+            label = identity_label(identity)
+            fresh_row = fresh_rows.get(identity)
+            if fresh_row is None:
+                missing.append(f"{section}: {label}")
+                print(f"{label:<34} {'(row missing in fresh)':<34}")
+                continue
+            base_metrics = timing_metrics(base_row)
+            fresh_metrics = timing_metrics(fresh_row)
+            for metric, base_ms in sorted(base_metrics.items()):
+                fresh_ms = fresh_metrics.get(metric)
+                if fresh_ms is None:
+                    missing.append(f"{section}: {label} {metric}")
+                    print(f"{label:<34} {metric:<34} {base_ms:>10.1f} {'-':>10}")
+                    continue
+                if base_ms <= 0:
+                    delta_str = "-"
+                    delta = 0.0
+                else:
+                    delta = 100.0 * (fresh_ms - base_ms) / base_ms
+                    delta_str = f"{delta:+.1f}%"
+                flag = ""
+                if not sanitized and delta > args.threshold_pct:
+                    flag = "  REGRESSED"
+                    regressions.append(
+                        f"{section}: {label} {metric} "
+                        f"{base_ms:.1f}ms -> {fresh_ms:.1f}ms ({delta:+.1f}%)"
+                    )
+                print(
+                    f"{label:<34} {metric:<34} {base_ms:>10.1f} "
+                    f"{fresh_ms:>10.1f} {delta_str:>8}{flag}"
+                )
+        print()
+
+    if missing:
+        print(f"{len(missing)} baseline row(s)/metric(s) absent in fresh run:")
+        for item in missing:
+            print(f"  - {item}")
+        print()
+
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed past "
+            f"{args.threshold_pct:.1f}%:"
+        )
+        for item in regressions:
+            print(f"  - {item}")
+        return 1
+
+    if sanitized:
+        print("OK (non-comparable: sanitized build; no gating applied)")
+    else:
+        print(f"OK: no timing metric regressed past {args.threshold_pct:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,7 @@
 """Validate the telemetry exports the example/benches produce.
 
 Usage:
-    tools/check_telemetry.py METRICS_JSON TRACE_JSON
+    tools/check_telemetry.py METRICS_JSON TRACE_JSON [JOURNAL_JSONL [REJECTION_JSON]]
 
 Checks, against the naming convention in src/obs/metrics.hpp
 (`layer.component.metric`, lower-case):
@@ -17,6 +17,18 @@ Checks, against the naming convention in src/obs/metrics.hpp
   * the Chrome trace parses, events are complete ("ph" == "X") with
     id/parent args, every non-root parent id exists, and the span tree
     contains a session.apply span with nested phase children.
+
+With the optional third/fourth arguments it also validates the
+diagnosis-tier exports from src/obs/journal.hpp and src/obs/forensics.hpp:
+
+  * the flight-recorder JSONL: one object per line, each carrying
+    seq/ts_ns/tid/kind/args with kind drawn from the fixed snake_case
+    vocabulary, seq strictly increasing down the file, integer args;
+  * the rejection report: every schema field present, witnesses non-empty
+    whenever centers reject (with each witness centered on a rejecting
+    node and carrying a serialized ball view), the shrunken batch no
+    larger than the batches it was shrunk from, and a seq-ordered
+    journal window.
 
 Exits non-zero (with a message per failure) when anything is missing, so
 CI can gate on it.
@@ -45,6 +57,43 @@ REQUIRED_METRICS = [
 ]
 
 REQUIRED_SPANS = ["session.apply", "session.mutate", "session.verify"]
+
+# The fixed event vocabulary in src/obs/journal.hpp — kept in lockstep
+# with journal_kind_name() and tests/test_obs_journal.cpp.
+JOURNAL_KINDS = {
+    "batch_applied",
+    "repair_emitted",
+    "repair_declined",
+    "reprove",
+    "patch_fallback",
+    "halo_exchange",
+    "lane_dispatch",
+    "transport_send",
+    "store_adopt",
+    "store_publish",
+    "cache_overflow",
+    "verdict_flip",
+}
+
+JOURNAL_EVENT_FIELDS = ["seq", "ts_ns", "tid", "kind", "args"]
+
+REJECTION_FIELDS = [
+    "batch_index",
+    "generation",
+    "scheme",
+    "engine",
+    "radius",
+    "rejecting",
+    "newly_rejecting",
+    "witnesses",
+    "mutation_batch",
+    "repair_batch",
+    "minimal_batch",
+    "raw_batch_rejects",
+    "shrink_evals",
+    "repair_history",
+    "journal_window",
+]
 
 
 def fail(errors: list, message: str) -> None:
@@ -143,8 +192,116 @@ def check_trace(path: str, errors: list) -> None:
           f"{len(nested)} phase spans nested under session.apply")
 
 
+def check_journal_event(event: dict, where: str, errors: list) -> None:
+    for field in JOURNAL_EVENT_FIELDS:
+        if field not in event:
+            fail(errors, f"{where} lacks '{field}'")
+    kind = event.get("kind")
+    if kind is not None and kind not in JOURNAL_KINDS:
+        fail(errors, f"{where} has unknown kind '{kind}'")
+    for field in ("seq", "ts_ns", "tid"):
+        value = event.get(field)
+        if value is not None and (not isinstance(value, int) or value < 0):
+            fail(errors, f"{where} has non-integer {field}: {value!r}")
+    args = event.get("args")
+    if args is not None:
+        if not isinstance(args, dict):
+            fail(errors, f"{where} args is not an object")
+        else:
+            for key, value in args.items():
+                if not isinstance(value, int):
+                    fail(errors, f"{where} arg '{key}' is not an integer")
+
+
+def check_seq_order(events: list, where: str, errors: list) -> None:
+    seqs = [e["seq"] for e in events
+            if isinstance(e, dict) and isinstance(e.get("seq"), int)]
+    if any(b <= a for a, b in zip(seqs, seqs[1:])):
+        fail(errors, f"{where}: seq numbers are not strictly increasing")
+
+
+def check_journal(path: str, errors: list) -> None:
+    with open(path, encoding="utf-8") as f:
+        lines = [line for line in f.read().splitlines() if line.strip()]
+    if not lines:
+        fail(errors, "journal: file has no events")
+        return
+    events = []
+    for i, line in enumerate(lines, 1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(errors, f"journal: line {i} is not JSON: {exc}")
+            continue
+        if not isinstance(event, dict):
+            fail(errors, f"journal: line {i} is not an object")
+            continue
+        check_journal_event(event, f"journal: line {i}", errors)
+        events.append(event)
+    check_seq_order(events, "journal", errors)
+    kinds = {e.get("kind") for e in events}
+    print(f"journal ok: {len(events)} events across "
+          f"{len({e.get('tid') for e in events})} threads, "
+          f"{len(kinds & JOURNAL_KINDS)} distinct kinds")
+
+
+def check_rejection(path: str, errors: list) -> None:
+    with open(path, encoding="utf-8") as f:
+        report = json.load(f)
+
+    for field in REJECTION_FIELDS:
+        if field not in report:
+            fail(errors, f"rejection: report lacks '{field}'")
+
+    rejecting = report.get("rejecting", [])
+    witnesses = report.get("witnesses", [])
+    if rejecting and not witnesses:
+        fail(errors, "rejection: centers reject but no witness balls were "
+                     "captured")
+    rejecting_set = set(rejecting)
+    for i, witness in enumerate(witnesses):
+        where = f"rejection: witness {i}"
+        for field in ("center", "newly_rejecting", "view"):
+            if field not in witness:
+                fail(errors, f"{where} lacks '{field}'")
+        if witness.get("center") not in rejecting_set:
+            fail(errors, f"{where} centers on {witness.get('center')}, "
+                         "which is not a rejecting node")
+        view = witness.get("view", {})
+        for field in ("center", "center_id", "radius", "nodes", "edges"):
+            if field not in view:
+                fail(errors, f"{where} view lacks '{field}'")
+        if not view.get("nodes"):
+            fail(errors, f"{where} view has no nodes")
+
+    def ops_of(key):
+        batch = report.get(key, [])
+        return batch if isinstance(batch, list) else []
+
+    minimal = len(ops_of("minimal_batch"))
+    window = len(ops_of("mutation_batch")) + len(ops_of("repair_batch"))
+    if report.get("raw_batch_rejects"):
+        window = len(ops_of("mutation_batch"))
+    if minimal > window:
+        fail(errors, f"rejection: minimal batch ({minimal} ops) is larger "
+                     f"than the batch it was shrunk from ({window} ops)")
+
+    radius = report.get("radius", -1)
+    if not isinstance(radius, int) or radius < 0:
+        fail(errors, f"rejection: bad radius {radius!r}")
+
+    for i, event in enumerate(report.get("journal_window", [])):
+        check_journal_event(event, f"rejection: journal_window[{i}]", errors)
+    check_seq_order(report.get("journal_window", []),
+                    "rejection: journal_window", errors)
+
+    print(f"rejection ok: {len(rejecting)} rejecting, "
+          f"{len(witnesses)} witness balls, minimal batch {minimal} op(s) "
+          f"shrunk from {window}")
+
+
 def main() -> int:
-    if len(sys.argv) != 3:
+    if len(sys.argv) < 3 or len(sys.argv) > 5:
         print(__doc__, file=sys.stderr)
         return 2
     errors: list = []
@@ -156,6 +313,16 @@ def main() -> int:
         check_trace(sys.argv[2], errors)
     except (OSError, json.JSONDecodeError) as exc:
         fail(errors, f"trace: cannot read {sys.argv[2]}: {exc}")
+    if len(sys.argv) > 3:
+        try:
+            check_journal(sys.argv[3], errors)
+        except OSError as exc:
+            fail(errors, f"journal: cannot read {sys.argv[3]}: {exc}")
+    if len(sys.argv) > 4:
+        try:
+            check_rejection(sys.argv[4], errors)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(errors, f"rejection: cannot read {sys.argv[4]}: {exc}")
     for message in errors:
         print(f"FAIL: {message}", file=sys.stderr)
     return 1 if errors else 0
