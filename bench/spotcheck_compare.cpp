@@ -1,0 +1,412 @@
+// Spot-check vs exact incremental verification under heavy churn: the
+// detection-latency-vs-cost curve for the randomized tier.
+//
+//   usage: spotcheck_compare [n] [iterations] [out.json]
+//
+// Part 1 — cost.  A grid bipartiteness session absorbs per-batch node-
+// label churn (innocent: labels never threaten the verdict, but every
+// relabel dirties its radius-1 ball).  Four lanes replay the identical
+// schedule: an exact IncrementalEngine, and spot-check wrappers at
+// budgets 0.25 / 0.05 / 0.01.  The exact lane re-verifies every dirty
+// ball every batch; a spot lane verifies k = ceil(budget * |pool|) of its
+// outstanding pool, so per-batch verify cost is sublinear in |dirty| and
+// the wall-clock speedup grows as the budget shrinks.  Two streams:
+//
+//   hot-region: churn concentrated on ~2% of the nodes (hot keys), so the
+//               pool saturates and the asymptotic k << |dirty| regime
+//               shows up within the run.  The headline row.
+//   uniform:    churn spread over the whole graph — the pool (verification
+//               debt) grows with every skipped ball, the regime where
+//               miss_bound visibly accumulates.
+//
+// Every lane's verdict is cross-validated (all batches accept; a final
+// audit run must match the exact engine), so the speedups compare equal
+// work, not skipped correctness.
+//
+// Part 2 — latency.  Plant a single tamper (one proof bit flipped) in the
+// hot region, then keep churning: the number of batches until the spot
+// tier escalates measures detection latency, geometric with rate >=
+// budget.  Reported per budget over many seeded trials next to the
+// per-batch cost, which is the curve an operator picks a budget from.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/delta.hpp"
+#include "core/incremental.hpp"
+#include "core/spot_check.hpp"
+#include "graph/generators.hpp"
+#include "schemes/lcp_const.hpp"
+
+namespace lcp {
+namespace {
+
+struct LaneResult {
+  std::string name;
+  double budget = -1;  // <0 means exact
+  double verify_ms = 0;
+  double iter_p50_us = 0;
+  double iter_p90_us = 0;
+  double iter_p99_us = 0;
+  std::uint64_t balls_verified = 0;  // accept() targets across the run
+  std::uint64_t balls_skipped = 0;
+  std::uint64_t final_pool = 0;
+  double final_miss_bound = 0;
+  bool verdicts_ok = true;
+};
+
+struct Workload {
+  std::string name;
+  int n = 0;
+  int m = 0;
+  int iterations = 0;
+  int churn_nodes = 0;
+  int hot_region = 0;  // 0 = uniform
+  double avg_dirty_per_batch = 0;
+  std::vector<LaneResult> lanes;
+};
+
+/// Deterministic churn schedule: iteration it relabels `churn` nodes
+/// drawn from [0, region) (or the whole graph when region == 0).
+MutationBatch churn_batch(int it, int n, int churn, int region) {
+  std::mt19937 rng(static_cast<std::uint32_t>(7919 * it + 101));
+  const int span = region > 0 ? region : n;
+  std::uniform_int_distribution<int> node(0, span - 1);
+  MutationBatch batch;
+  for (int i = 0; i < churn; ++i) {
+    batch.set_node_label(node(rng), rng() % 8);
+  }
+  return batch;
+}
+
+/// Replays the schedule against one engine over fresh state replicas,
+/// timing only the engine.run calls.  Returns false on any verdict
+/// mismatch (every batch must accept, and so must the final audit).
+bool replay(ExecutionEngine& engine, SpotCheckEngine* spot, const Graph& g0,
+            const Proof& p0, const LocalVerifier& verifier, int iterations,
+            int churn, int region, std::vector<double>* iter_us) {
+  Graph g = g0;
+  Proof p = p0;
+  DeltaTracker tracker(g, p, verifier.radius());
+  const TrackerAttachment attachment(engine, tracker);
+  if (!engine.run(g, p, verifier).all_accept) return false;  // warm-up
+  for (int it = 0; it < iterations; ++it) {
+    tracker.apply(churn_batch(it, g.n(), churn, region));
+    const auto start = std::chrono::steady_clock::now();
+    const RunResult r = engine.run(g, p, verifier);
+    const std::chrono::duration<double, std::micro> elapsed =
+        std::chrono::steady_clock::now() - start;
+    iter_us->push_back(elapsed.count());
+    if (!r.all_accept) return false;
+  }
+  if (spot != nullptr) {
+    // The audit settles all outstanding debt through the exact inner
+    // engine: the lane ends bit-aligned with the exact lanes.
+    spot->request_audit();
+    if (!engine.run(g, p, verifier).all_accept) return false;
+  }
+  return true;
+}
+
+Workload run_workload(const std::string& name, int n, int iterations,
+                      int region_fraction_pct) {
+  const schemes::BipartiteScheme scheme;
+  const int side = std::max(4, static_cast<int>(std::lround(std::sqrt(n))));
+  const Graph g = gen::grid(side, side);
+  const Proof honest = *scheme.prove(g);
+  const int churn = std::max(1, g.n() / 200);
+  const int region =
+      region_fraction_pct > 0
+          ? std::max(2 * churn, g.n() * region_fraction_pct / 100)
+          : 0;
+
+  Workload w;
+  w.name = name;
+  w.n = g.n();
+  w.m = g.m();
+  w.iterations = iterations;
+  w.churn_nodes = churn;
+  w.hot_region = region;
+
+  // Exact baseline lane.
+  {
+    LaneResult lane;
+    lane.name = "incremental-exact";
+    IncrementalEngine engine;
+    std::vector<double> iter_us;
+    lane.verdicts_ok = replay(engine, nullptr, g, honest,
+                              scheme.verifier(), iterations, churn, region,
+                              &iter_us);
+    double total = 0;
+    for (double us : iter_us) total += us;
+    lane.verify_ms = total / 1000.0;
+    lane.iter_p50_us = bench::percentile_of(iter_us, 0.50);
+    lane.iter_p90_us = bench::percentile_of(iter_us, 0.90);
+    lane.iter_p99_us = bench::percentile_of(iter_us, 0.99);
+    lane.balls_verified = engine.stats().nodes_reverified;
+    w.avg_dirty_per_batch =
+        static_cast<double>(engine.stats().nodes_reverified) /
+        std::max(1, iterations);
+    w.lanes.push_back(std::move(lane));
+  }
+
+  for (const double budget : {0.25, 0.05, 0.01}) {
+    LaneResult lane;
+    char label[48];
+    std::snprintf(label, sizeof label, "spotcheck:%.2f", budget);
+    lane.name = label;
+    lane.budget = budget;
+    SpotCheckEngine engine(std::make_unique<IncrementalEngine>(),
+                           {.budget = budget, .seed = 0x5eedULL});
+    std::vector<double> iter_us;
+    lane.verdicts_ok =
+        replay(engine, &engine, g, honest, scheme.verifier(), iterations,
+               churn, region, &iter_us);
+    double total = 0;
+    for (double us : iter_us) total += us;
+    lane.verify_ms = total / 1000.0;
+    lane.iter_p50_us = bench::percentile_of(iter_us, 0.50);
+    lane.iter_p90_us = bench::percentile_of(iter_us, 0.90);
+    lane.iter_p99_us = bench::percentile_of(iter_us, 0.99);
+    lane.balls_verified = engine.stats().balls_sampled;
+    lane.balls_skipped = engine.stats().balls_skipped;
+    lane.final_pool = engine.stats().pool_size;
+    lane.final_miss_bound = engine.stats().miss_bound;
+    w.lanes.push_back(std::move(lane));
+  }
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Detection latency.
+// ---------------------------------------------------------------------------
+
+struct DetectionRow {
+  double budget = 0;
+  int trials = 0;
+  double mean_batches = 0;
+  int max_batches = 0;
+  double mean_balls_per_batch = 0;
+  bool all_detected = true;
+  bool all_exact = true;  // every reported REJECT named the tamper
+};
+
+DetectionRow detection_trials(double budget, int trials, int batch_cap) {
+  const schemes::BipartiteScheme scheme;
+  const Graph g = gen::grid(50, 50);
+  const Proof honest = *scheme.prove(g);
+  const int churn = std::max(1, g.n() / 200);
+  const int region = std::max(2 * churn, g.n() * 2 / 100);
+
+  DetectionRow row;
+  row.budget = budget;
+  row.trials = trials;
+  long long total_batches = 0;
+  long long total_sampled = 0;
+  long long total_runs = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    Graph gt = g;
+    Proof pt = honest;
+    DeltaTracker tracker(gt, pt, scheme.verifier().radius());
+    SpotCheckEngine engine(
+        std::make_unique<IncrementalEngine>(),
+        {.budget = budget, .seed = 0x100 + static_cast<std::uint64_t>(trial)});
+    engine.attach_tracker(&tracker);
+    (void)engine.run(gt, pt, scheme.verifier());
+
+    // Build up innocent verification debt first: planting into an empty
+    // pool would make any sample a guaranteed hit and flatten the curve.
+    for (int pre = 0; pre < 20; ++pre) {
+      tracker.apply(churn_batch(-1 - pre, gt.n(), churn, region));
+      if (!engine.run(gt, pt, scheme.verifier()).all_accept) {
+        row.all_exact = false;  // innocent churn must never reject
+      }
+    }
+    const std::uint64_t sampled_before = engine.stats().balls_sampled;
+
+    // The tamper: flip one hot-region node's colour.  Its ball and the
+    // conflicting neighbours' balls reject until an exact run surfaces it.
+    std::mt19937 rng(static_cast<std::uint32_t>(trial) * 31 + 7);
+    const int tamper =
+        std::uniform_int_distribution<int>(0, region - 1)(rng);
+    MutationBatch plant;
+    plant.set_proof_label(
+        tamper, BitString::from_string(
+                    honest.labels[static_cast<std::size_t>(tamper)].bit(0)
+                        ? "0"
+                        : "1"));
+    tracker.apply(plant);
+
+    bool detected = false;
+    int batches = 0;
+    while (batches < batch_cap && !detected) {
+      ++batches;
+      const RunResult r = engine.run(gt, pt, scheme.verifier());
+      ++total_runs;
+      detected = !r.all_accept;
+      if (detected) {
+        // The escalated verdict must contain the tampered centre.
+        if (std::find(r.rejecting.begin(), r.rejecting.end(), tamper) ==
+            r.rejecting.end()) {
+          row.all_exact = false;
+        }
+      } else {
+        tracker.apply(churn_batch(batches, gt.n(), churn, region));
+      }
+    }
+    if (!detected) row.all_detected = false;
+    total_batches += batches;
+    total_sampled += static_cast<long long>(engine.stats().balls_sampled -
+                                            sampled_before);
+    row.max_batches = std::max(row.max_batches, batches);
+    engine.attach_tracker(nullptr);
+  }
+  row.mean_batches =
+      static_cast<double>(total_batches) / std::max(1, trials);
+  row.mean_balls_per_batch =
+      static_cast<double>(total_sampled) /
+      static_cast<double>(std::max<long long>(1, total_runs));
+  return row;
+}
+
+void print_json(std::FILE* out, const std::vector<Workload>& workloads,
+                const std::vector<DetectionRow>& detection) {
+  bench::json_header(out, "bench/spotcheck_compare",
+                     static_cast<int>(std::thread::hardware_concurrency()));
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+    const Workload& w = workloads[wi];
+    const double exact_ms = w.lanes[0].verify_ms;
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", \"n\": %d, \"m\": %d, \"iterations\": %d,\n"
+        "     \"churn_nodes_per_batch\": %d, \"hot_region_nodes\": %d,\n"
+        "     \"avg_dirty_balls_per_batch\": %.1f,\n"
+        "     \"lanes\": [\n",
+        w.name.c_str(), w.n, w.m, w.iterations, w.churn_nodes,
+        w.hot_region, w.avg_dirty_per_batch);
+    for (std::size_t li = 0; li < w.lanes.size(); ++li) {
+      const LaneResult& lane = w.lanes[li];
+      std::fprintf(
+          out,
+          "      {\"name\": \"%s\", \"budget\": %.2f, "
+          "\"verify_ms\": %.3f, \"speedup_vs_exact\": %.2f,\n"
+          "       \"iter_us\": {\"p50\": %.1f, \"p90\": %.1f, "
+          "\"p99\": %.1f},\n"
+          "       \"balls_verified\": %llu, \"balls_skipped\": %llu, "
+          "\"final_pool\": %llu, \"final_miss_bound\": %.4f, "
+          "\"verdicts_ok\": %s}%s\n",
+          lane.name.c_str(), lane.budget, lane.verify_ms,
+          lane.verify_ms > 0 ? exact_ms / lane.verify_ms : -1.0,
+          lane.iter_p50_us, lane.iter_p90_us, lane.iter_p99_us,
+          static_cast<unsigned long long>(lane.balls_verified),
+          static_cast<unsigned long long>(lane.balls_skipped),
+          static_cast<unsigned long long>(lane.final_pool),
+          lane.final_miss_bound, lane.verdicts_ok ? "true" : "false",
+          li + 1 < w.lanes.size() ? "," : "");
+    }
+    std::fprintf(out, "     ]}%s\n",
+                 wi + 1 < workloads.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n  \"detection_latency\": [\n");
+  for (std::size_t i = 0; i < detection.size(); ++i) {
+    const DetectionRow& d = detection[i];
+    std::fprintf(
+        out,
+        "    {\"budget\": %.2f, \"trials\": %d, "
+        "\"mean_batches_to_detect\": %.2f, \"max_batches\": %d,\n"
+        "     \"mean_balls_verified_per_batch\": %.1f, "
+        "\"all_detected\": %s, \"rejects_exact\": %s}%s\n",
+        d.budget, d.trials, d.mean_batches, d.max_batches,
+        d.mean_balls_per_batch, d.all_detected ? "true" : "false",
+        d.all_exact ? "true" : "false",
+        i + 1 < detection.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+}  // namespace
+}  // namespace lcp
+
+int main(int argc, char** argv) {
+  using namespace lcp;
+  const int n = argc > 1 ? std::atoi(argv[1]) : 100000;
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 40;
+  const std::string out_path = argc > 3 ? argv[3] : "BENCH_spotcheck.json";
+
+  std::vector<Workload> workloads;
+  workloads.push_back(
+      run_workload("hot-region-relabel", n, iterations, /*region_pct=*/2));
+  workloads.push_back(
+      run_workload("uniform-relabel", n, iterations, /*region_pct=*/0));
+
+  // Latency trials on a fixed mid-size instance so the curve is about the
+  // budget, not the graph.
+  const int trials = iterations >= 40 ? 15 : 5;
+  std::vector<DetectionRow> detection;
+  for (const double budget : {0.25, 0.05, 0.01}) {
+    detection.push_back(detection_trials(budget, trials,
+                                         /*batch_cap=*/600));
+  }
+
+  for (const Workload& w : workloads) {
+    std::printf("%s: n=%d iters=%d churn=%d dirty/batch=%.0f\n",
+                w.name.c_str(), w.n, w.iterations, w.churn_nodes,
+                w.avg_dirty_per_batch);
+    const double exact_ms = w.lanes[0].verify_ms;
+    for (const LaneResult& lane : w.lanes) {
+      std::printf(
+          "  %-18s verify %8.1fms  speedup %6.2fx  p50/p99 %7.0f/%7.0fus"
+          "  verified %8llu skipped %8llu pool %7llu miss %.3f %s\n",
+          lane.name.c_str(), lane.verify_ms,
+          lane.verify_ms > 0 ? exact_ms / lane.verify_ms : -1.0,
+          lane.iter_p50_us, lane.iter_p99_us,
+          static_cast<unsigned long long>(lane.balls_verified),
+          static_cast<unsigned long long>(lane.balls_skipped),
+          static_cast<unsigned long long>(lane.final_pool),
+          lane.final_miss_bound, lane.verdicts_ok ? "" : "  MISMATCH");
+    }
+  }
+  for (const DetectionRow& d : detection) {
+    std::printf(
+        "detection budget %.2f: mean %.1f batches (max %d), "
+        "%.1f balls/batch%s%s\n",
+        d.budget, d.mean_batches, d.max_batches, d.mean_balls_per_batch,
+        d.all_detected ? "" : "  UNDETECTED",
+        d.all_exact ? "" : "  INEXACT-REJECT");
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  print_json(out, workloads, detection);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  for (const Workload& w : workloads) {
+    for (const LaneResult& lane : w.lanes) {
+      if (!lane.verdicts_ok) {
+        std::fprintf(stderr, "verdict mismatch in %s/%s\n", w.name.c_str(),
+                     lane.name.c_str());
+        return 1;
+      }
+    }
+  }
+  for (const DetectionRow& d : detection) {
+    if (!d.all_detected || !d.all_exact) {
+      std::fprintf(stderr, "detection failure at budget %.2f\n", d.budget);
+      return 1;
+    }
+  }
+  return 0;
+}

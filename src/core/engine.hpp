@@ -376,10 +376,12 @@ class ParallelEngine final : public ExecutionEngine {
 ExecutionEngine& default_engine();
 
 /// Factory by backend name: "direct", "message-passing", "parallel",
-/// "incremental", or "sharded[:K[:PART]]" (K = shard count, PART = "range"
-/// or "hash").  Throws std::invalid_argument on an unknown name.
-/// Defined in local/engine_factory.cpp so core/ stays independent of
-/// local/.
+/// "incremental", "sharded[:K[:PART]]" (K = shard count, PART = "range"
+/// or "hash"), or "spotcheck[:BUDGET[:inner]]" (BUDGET in [0, 1]; inner
+/// is any exact backend spec, default "incremental" — see
+/// core/spot_check.hpp).  Throws std::invalid_argument on an unknown
+/// name.  Defined in local/engine_factory.cpp so core/ stays independent
+/// of local/.
 std::unique_ptr<ExecutionEngine> make_engine(std::string_view name);
 
 }  // namespace lcp

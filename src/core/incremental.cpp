@@ -111,6 +111,9 @@ RunResult IncrementalEngine::run(const Graph& g, const Proof& p,
 
 RunResult IncrementalEngine::run_impl(const Graph& g, const Proof& p,
                                       const LocalVerifier& a) {
+  // Only the delta paths repopulate this; any other outcome (full sweep,
+  // unchanged run, fallback) leaves the stable dirty-set surface empty.
+  last_dirty_centers_.clear();
   if (tracker_ != nullptr && &tracker_->graph() == &g &&
       &tracker_->proof() == &p && tracker_->horizon() >= a.radius()) {
     return run_tracker_path(g, p, a);
@@ -562,6 +565,7 @@ RunResult IncrementalEngine::run_tracker_path(const Graph& g, const Proof& p,
   }
   if (graph_changed) cached_graph_fp_valid_ = false;
   consumed_generation_ = tracker_->generation();
+  last_dirty_centers_ = dirty_scratch_;  // sorted above: stable ordering
   ++stats_.incremental_runs;
   RunResult result = result_from_verdicts();
   result.evaluated = static_cast<std::uint64_t>(
@@ -622,6 +626,7 @@ RunResult IncrementalEngine::run_content_path(const Graph& g, const Proof& p,
   // tracker's bound pair — identical-content graphs share a fingerprint,
   // so the tracker path must resweep rather than trust them.
   cache_from_tracker_ = false;
+  last_dirty_centers_ = dirty_scratch_;  // sorted above: stable ordering
   ++stats_.incremental_runs;
   RunResult result = result_from_verdicts();
   result.evaluated = static_cast<std::uint64_t>(dirty_scratch_.size());

@@ -136,6 +136,16 @@ class IncrementalEngine final : public ExecutionEngine {
   };
   const Stats& stats() const { return stats_; }
 
+  /// The dirty centres re-verified by the most recent run, in guaranteed
+  /// ascending dense-index order — a *stable* iteration surface for
+  /// consumers that sample or replay the dirty set (core/spot_check.hpp),
+  /// independent of any hash-map iteration order and identical across the
+  /// patching x sharding matrix.  Empty after full sweeps, unchanged runs,
+  /// and fallbacks (where "the dirty set" is the whole graph or nothing).
+  const std::vector<int>& last_dirty_centers() const {
+    return last_dirty_centers_;
+  }
+
  private:
   RunResult run_impl(const Graph& g, const Proof& p, const LocalVerifier& a);
   RunResult full_sweep(const Graph& g, const Proof& p,
@@ -192,6 +202,9 @@ class IncrementalEngine final : public ExecutionEngine {
   std::vector<std::uint8_t> verdicts_;
   std::vector<BitString> last_proofs_;  // exact copy for the content diff
   std::size_t cached_ball_nodes_ = 0;
+
+  // The most recent delta run's sorted dirty set (see last_dirty_centers).
+  std::vector<int> last_dirty_centers_;
 
   // Scratch.
   std::vector<int> dirty_scratch_;

@@ -91,6 +91,14 @@ VerificationSession::Builder& VerificationSession::Builder::engine(
     sharded_options_ = parse_sharded_spec(backend);
     return engine(EngineKind::kSharded);
   }
+  if (backend == "spotcheck" || backend.rfind("spotcheck:", 0) == 0) {
+    // Validate eagerly so a typo throws here, not at build(); the spec
+    // string is kept verbatim because the inner engine's construction
+    // depends on builder state (engine_options, store) not yet final.
+    parse_spotcheck_spec(backend);
+    spotcheck_spec_ = std::string(backend);
+    return engine(EngineKind::kSpotCheck);
+  }
   throw std::invalid_argument("VerificationSession: unknown backend '" +
                               std::string(backend) + "'");
 }
@@ -122,6 +130,12 @@ VerificationSession::Builder& VerificationSession::Builder::engine_options(
 VerificationSession::Builder& VerificationSession::Builder::sharded_options(
     ShardedEngineOptions options) {
   sharded_options_ = std::move(options);
+  return *this;
+}
+
+VerificationSession::Builder&
+VerificationSession::Builder::spotcheck_options(SpotCheckOptions options) {
+  spotcheck_options_ = options;
   return *this;
 }
 
@@ -197,7 +211,8 @@ VerificationSession::VerificationSession(Builder&& b)
   // Remember which store the journal should attach to before the switch
   // moves b.store_ into the engine's options.
   std::shared_ptr<BallStore> store_ref = b.store_;
-  if (store_ref == nullptr && b.kind_ == EngineKind::kIncremental) {
+  if (store_ref == nullptr && (b.kind_ == EngineKind::kIncremental ||
+                               b.kind_ == EngineKind::kSpotCheck)) {
     store_ref = b.incremental_options_.store;
   }
 
@@ -239,6 +254,35 @@ VerificationSession::VerificationSession(Builder&& b)
       engine_ = std::make_unique<ShardedEngine>(std::move(options));
       break;
     }
+    case EngineKind::kSpotCheck: {
+      SpotCheckSpec spec = parse_spotcheck_spec(b.spotcheck_spec_);
+      if (b.spotcheck_options_.has_value()) {
+        spec.options = *b.spotcheck_options_;
+      }
+      // The inner engine gets the same treatment the bare kinds do, so
+      // wrapping doesn't silently drop engine_options() or store().
+      std::unique_ptr<ExecutionEngine> inner;
+      if (spec.inner == "incremental") {
+        IncrementalEngineOptions options = std::move(b.incremental_options_);
+        if (b.store_ != nullptr) options.store = std::move(b.store_);
+        auto incremental =
+            std::make_unique<IncrementalEngine>(std::move(options));
+        incremental_ = incremental.get();
+        inner = std::move(incremental);
+      } else if (spec.inner == "sharded" ||
+                 spec.inner.rfind("sharded:", 0) == 0) {
+        ShardedEngineOptions options = parse_sharded_spec(spec.inner);
+        options.verify_state = false;
+        inner = std::make_unique<ShardedEngine>(std::move(options));
+      } else {
+        inner = make_engine(spec.inner);
+      }
+      auto spot =
+          std::make_unique<SpotCheckEngine>(std::move(inner), spec.options);
+      spot_ = spot.get();
+      engine_ = std::move(spot);
+      break;
+    }
   }
 
   switch (b.kind_) {
@@ -247,6 +291,7 @@ VerificationSession::VerificationSession(Builder&& b)
     case EngineKind::kParallel: engine_name_ = "parallel"; break;
     case EngineKind::kIncremental: engine_name_ = "incremental"; break;
     case EngineKind::kSharded: engine_name_ = "sharded"; break;
+    case EngineKind::kSpotCheck: engine_name_ = "spotcheck"; break;
   }
 
   auto initial = scheme_->prove(graph_);
@@ -364,6 +409,27 @@ void VerificationSession::note_repair(std::uint64_t batch_index,
   }
 }
 
+void VerificationSession::spot_note_repair(const MutationBatch& repair) {
+  if (spot_ == nullptr || repair.empty()) return;
+  std::vector<int> touched;
+  for (const MutationBatch::Op& op : repair.ops()) {
+    if (op.u >= 0) touched.push_back(op.u);
+    if (op.v >= 0) touched.push_back(op.v);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  spot_->note_repair(touched);
+}
+
+void VerificationSession::sync_spot_stats() {
+  if (spot_ == nullptr) return;
+  const SpotCheckEngine::Stats& s = spot_->stats();
+  stats_.spot_sampled = s.balls_sampled;
+  stats_.spot_skipped = s.balls_skipped;
+  stats_.spot_escalations = s.escalations;
+  stats_.spot_miss_bound = s.miss_bound;
+}
+
 void VerificationSession::finish_verdict(const MutationBatch& batch,
                                          const MutationBatch& repair,
                                          const Graph* pre_graph,
@@ -439,6 +505,7 @@ RunResult VerificationSession::apply(const MutationBatch& batch) {
       ++stats_.repaired;
       stats_.repair_ops += repair.size();
       if (!repair.empty()) tracker_->apply(repair);
+      spot_note_repair(repair);
       if (forensics_ && !repair.empty()) {
         note_repair(stats_.batches, maintainer_->name(), repair);
       }
@@ -454,6 +521,7 @@ RunResult VerificationSession::apply(const MutationBatch& batch) {
     PhaseScope scope(telemetry_.get(), "session.reprove", hist_reprove_);
     repair.clear();
     reprove(&repair);
+    spot_note_repair(repair);
     if (forensics_ && !repair.empty()) {
       note_repair(stats_.batches, "reprove", repair);
     }
@@ -464,6 +532,7 @@ RunResult VerificationSession::apply(const MutationBatch& batch) {
     PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
     result = engine_->run(graph_, proof_, scheme_->verifier());
   }
+  sync_spot_stats();
   finish_verdict(batch, repair, pre_graph ? &*pre_graph : nullptr,
                  pre_proof ? &*pre_proof : nullptr, result);
   return result;
@@ -473,6 +542,7 @@ RunResult VerificationSession::verify() {
   ++stats_.verifies;
   PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
   RunResult result = engine_->run(graph_, proof_, scheme_->verifier());
+  sync_spot_stats();
   // Keep the flip baseline honest for out-of-band verify() calls; no
   // capture here — there is no offending batch to report.
   if (result.all_accept != last_all_accept_) {

@@ -50,6 +50,7 @@
 #include "core/registry.hpp"
 #include "core/scheme.hpp"
 #include "core/sharded_engine.hpp"
+#include "core/spot_check.hpp"
 #include "obs/forensics.hpp"
 #include "obs/journal.hpp"
 #include "obs/telemetry.hpp"
@@ -67,6 +68,7 @@ enum class EngineKind {
   kParallel,
   kIncremental,
   kSharded,
+  kSpotCheck,
 };
 
 struct SessionStats {
@@ -77,6 +79,16 @@ struct SessionStats {
   std::uint64_t failed_proves = 0; ///< reproves on no-instances (stale kept)
   std::uint64_t repair_ops = 0;    ///< total ops across all repair batches
   std::uint64_t verifies = 0;      ///< engine runs (apply + verify)
+
+  // Spot-check error accounting, mirrored from the engine after every run
+  // (all zero on exact backends): how many dirty balls were verified vs
+  // deliberately skipped, how often a sampled rejection (or audit)
+  // escalated to an exact sweep, and the worst-case probability that an
+  // outstanding skipped ball hides a wrong verdict right now.
+  std::uint64_t spot_sampled = 0;     ///< balls spot-verified
+  std::uint64_t spot_skipped = 0;     ///< dirty balls left unverified
+  std::uint64_t spot_escalations = 0; ///< escalations to the inner engine
+  double spot_miss_bound = 0.0;       ///< outstanding miss-probability bound
 };
 
 /// A digest of the session's latency telemetry (empty when telemetry is
@@ -118,7 +130,8 @@ class VerificationSession {
 
     Builder& engine(EngineKind kind);
     /// Backend by make_engine name ("direct", "message-passing",
-    /// "parallel", "incremental", "sharded[:K[:PART]]").
+    /// "parallel", "incremental", "sharded[:K[:PART]]",
+    /// "spotcheck[:BUDGET[:inner]]").
     Builder& engine(std::string_view backend);
 
     /// Shared ball store for cross-engine view reuse (ignored by the
@@ -141,6 +154,12 @@ class VerificationSession {
     /// its per-shard stores are keyed on owned-position layouts no other
     /// engine produces.
     Builder& sharded_options(ShardedEngineOptions options);
+
+    /// Options for the spot-check backend (seed, weights, budget).
+    /// Overrides the budget parsed from an engine("spotcheck:...") spec;
+    /// the inner backend still comes from the spec (default incremental,
+    /// which honours engine_options() and store()).
+    Builder& spotcheck_options(SpotCheckOptions options);
 
     /// Registry used by scheme(expr) and maintain(); defaults to
     /// builtin_registry().
@@ -194,6 +213,8 @@ class VerificationSession {
     std::unique_ptr<dynamic::ProofMaintainer> maintainer_;
     IncrementalEngineOptions incremental_options_{.verify_state = false};
     ShardedEngineOptions sharded_options_;
+    std::string spotcheck_spec_ = "spotcheck";
+    std::optional<SpotCheckOptions> spotcheck_options_;
     const SchemeRegistry* registry_ = nullptr;
     std::shared_ptr<obs::Telemetry> telemetry_;
     std::shared_ptr<obs::Journal> journal_;
@@ -224,8 +245,12 @@ class VerificationSession {
   const Scheme& scheme() const { return *scheme_; }
   DeltaTracker& tracker() { return *tracker_; }
   ExecutionEngine& engine() { return *engine_; }
-  /// The concrete incremental engine, or nullptr on other backends.
+  /// The concrete incremental engine — also set when the spot-check
+  /// backend wraps an incremental inner — or nullptr otherwise.
   IncrementalEngine* incremental_engine() { return incremental_; }
+  /// The spot-check engine, or nullptr on exact backends.  Exposes
+  /// request_audit() and the per-session error accounting.
+  SpotCheckEngine* spot_check_engine() { return spot_; }
   dynamic::ProofMaintainer* maintainer() { return maintainer_.get(); }
   bool maintainer_bound() const { return bound_; }
   const SessionStats& stats() const { return stats_; }
@@ -257,6 +282,12 @@ class VerificationSession {
   void reprove(MutationBatch* applied_diff);
   void note_repair(std::uint64_t batch_index, std::string source,
                    const MutationBatch& repair);
+  /// Feeds the repair's touched nodes to the spot-check engine (repair
+  /// epicentres get an importance boost) and no-ops on exact backends.
+  void spot_note_repair(const MutationBatch& repair);
+  /// Mirrors the spot-check engine's error accounting into stats_ after a
+  /// run; no-op on exact backends.
+  void sync_spot_stats();
   void finish_verdict(const MutationBatch& batch,
                       const MutationBatch& repair, const Graph* pre_graph,
                       const Proof* pre_proof, const RunResult& result);
@@ -278,6 +309,7 @@ class VerificationSession {
   const Scheme* scheme_ = nullptr;
   std::unique_ptr<ExecutionEngine> engine_;
   IncrementalEngine* incremental_ = nullptr;  // engine_, when incremental
+  SpotCheckEngine* spot_ = nullptr;  // engine_, when spot-check
   std::unique_ptr<DeltaTracker> tracker_;
   std::unique_ptr<dynamic::ProofMaintainer> maintainer_;
   bool bound_ = false;

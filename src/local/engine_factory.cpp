@@ -7,6 +7,7 @@
 #include "core/engine.hpp"
 #include "core/incremental.hpp"
 #include "core/sharded_engine.hpp"
+#include "core/spot_check.hpp"
 #include "local/message_passing.hpp"
 
 namespace lcp {
@@ -20,6 +21,13 @@ std::unique_ptr<ExecutionEngine> make_engine(std::string_view name) {
   if (name == "incremental") return std::make_unique<IncrementalEngine>();
   if (name == "sharded" || name.rfind("sharded:", 0) == 0) {
     return std::make_unique<ShardedEngine>(parse_sharded_spec(name));
+  }
+  if (name == "spotcheck" || name.rfind("spotcheck:", 0) == 0) {
+    // The inner spec recurses through the factory; parse_spotcheck_spec
+    // rejects nested spot-checks, so the recursion is one level deep.
+    SpotCheckSpec spec = parse_spotcheck_spec(name);
+    return std::make_unique<SpotCheckEngine>(make_engine(spec.inner),
+                                             spec.options);
   }
   throw std::invalid_argument("make_engine: unknown backend '" +
                               std::string(name) + "'");

@@ -31,6 +31,10 @@ const char* journal_kind_name(JournalEventKind kind) {
       return "cache_overflow";
     case JournalEventKind::kVerdictFlip:
       return "verdict_flip";
+    case JournalEventKind::kSpotSample:
+      return "spot_sample";
+    case JournalEventKind::kSpotEscalate:
+      return "spot_escalate";
   }
   return "unknown";
 }

@@ -52,6 +52,8 @@ enum class JournalEventKind : std::uint8_t {
   kStorePublish,    ///< a sweep published its balls to the store
   kCacheOverflow,   ///< a view cache was abandoned (budget blown)
   kVerdictFlip,     ///< the global verdict changed accept<->reject
+  kSpotSample,      ///< a spot-check run sampled k of the dirty pool
+  kSpotEscalate,    ///< a sampled rejection/audit forced an exact sweep
 };
 
 /// Stable lower_snake_case name of a kind ("batch_applied", ...).

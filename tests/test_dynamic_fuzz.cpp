@@ -19,6 +19,7 @@
 #include "core/engine.hpp"
 #include "core/shard_transport.hpp"
 #include "core/sharded_engine.hpp"
+#include "core/spot_check.hpp"
 #include "dynamic/coloring_maintainer.hpp"
 #include "dynamic/matching_maintainer.hpp"
 #include "dynamic/pipeline.hpp"
@@ -372,6 +373,33 @@ TEST(DynamicFuzz, FourWayMatrixUnderChurnStream) {
   ASSERT_TRUE(sharded_hash.attach_tracker(&lanes[0].pipe->tracker()));
   ASSERT_TRUE(sharded_range.attach_tracker(&lanes[0].pipe->tracker()));
 
+  // Spot-check riders: two budgets x two exact inners also ride lane 0's
+  // tracker through the same stream.  A sampled ACCEPT may be a false
+  // negative by design, but every rider REJECT must be exact-confirmed
+  // (bit-identical to the ground-truth verdict), the error accounting
+  // must be monotone with miss_bound in [0, 1], and a periodic audit must
+  // realign each rider with the exact verdict.
+  struct SpotRider {
+    std::string name;
+    std::unique_ptr<SpotCheckEngine> engine;
+    std::uint64_t sampled = 0;
+    std::uint64_t skipped = 0;
+    std::uint64_t escalations = 0;
+  };
+  std::vector<SpotRider> riders;
+  for (const double budget : {0.3, 0.08}) {
+    for (const char* inner : {"incremental", "direct"}) {
+      SpotRider rider;
+      rider.name =
+          "spot:" + std::to_string(budget) + ":" + std::string(inner);
+      rider.engine = std::make_unique<SpotCheckEngine>(
+          make_engine(inner),
+          SpotCheckOptions{.budget = budget, .seed = 0xabc0ULL});
+      ASSERT_TRUE(rider.engine->attach_tracker(&lanes[0].pipe->tracker()));
+      riders.push_back(std::move(rider));
+    }
+  }
+
   bench::ChurnStream stream({.grow_probability = 0.3,
                              .attach_edges = 2,
                              .churn_edges = 2,
@@ -422,6 +450,34 @@ TEST(DynamicFuzz, FourWayMatrixUnderChurnStream) {
       ASSERT_EQ(want.rejecting, got.rejecting)
           << "sharded:" << sharded->shard_count() << " step " << step;
     }
+    for (SpotRider& rider : riders) {
+      const bool audited = step % 17 == 0;
+      if (audited) rider.engine->request_audit();
+      const RunResult got =
+          rider.engine->run(lanes[0].pipe->graph(), lanes[0].pipe->proof(),
+                            scheme.verifier());
+      if (audited || !got.all_accept) {
+        // Audited runs and rejections are exact by contract: the result
+        // must be bit-identical to the ground-truth verdict, never the
+        // raw sample.
+        ASSERT_EQ(want.all_accept, got.all_accept)
+            << rider.name << " step " << step;
+        ASSERT_EQ(want.rejecting, got.rejecting)
+            << rider.name << " step " << step;
+      }
+      const SpotCheckEngine::Stats& s = rider.engine->stats();
+      ASSERT_GE(s.balls_sampled, rider.sampled)
+          << rider.name << " step " << step;
+      ASSERT_GE(s.balls_skipped, rider.skipped)
+          << rider.name << " step " << step;
+      ASSERT_GE(s.escalations, rider.escalations)
+          << rider.name << " step " << step;
+      ASSERT_GE(s.miss_bound, 0.0) << rider.name << " step " << step;
+      ASSERT_LE(s.miss_bound, 1.0) << rider.name << " step " << step;
+      rider.sampled = s.balls_sampled;
+      rider.skipped = s.balls_skipped;
+      rider.escalations = s.escalations;
+    }
   }
 
   // The stream must have driven the interesting machinery in every lane.
@@ -435,6 +491,13 @@ TEST(DynamicFuzz, FourWayMatrixUnderChurnStream) {
   EXPECT_GT(sharded_hash.transport().stats().records, 0u);
   EXPECT_GT(sharded_range.stats().incremental_runs, 0u);
   EXPECT_GT(sharded_range.stats().shards_woken, 0u);
+  for (SpotRider& rider : riders) {
+    const SpotCheckEngine::Stats& s = rider.engine->stats();
+    EXPECT_GT(s.sampled_runs, 0u) << rider.name;
+    EXPECT_GT(s.balls_skipped, 0u) << rider.name;
+    EXPECT_GE(s.audits, 5u) << rider.name;
+    rider.engine->attach_tracker(nullptr);
+  }
   sharded_hash.attach_tracker(nullptr);
   sharded_range.attach_tracker(nullptr);
 }

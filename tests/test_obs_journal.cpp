@@ -61,6 +61,10 @@ TEST(Journal, KindNamesAreStableSnakeCase) {
                "cache_overflow");
   EXPECT_STREQ(journal_kind_name(JournalEventKind::kVerdictFlip),
                "verdict_flip");
+  EXPECT_STREQ(journal_kind_name(JournalEventKind::kSpotSample),
+               "spot_sample");
+  EXPECT_STREQ(journal_kind_name(JournalEventKind::kSpotEscalate),
+               "spot_escalate");
 }
 
 TEST(Journal, RingOverwritesOldestButCountsEverything) {

@@ -73,6 +73,8 @@ JOURNAL_KINDS = {
     "store_publish",
     "cache_overflow",
     "verdict_flip",
+    "spot_sample",
+    "spot_escalate",
 }
 
 JOURNAL_EVENT_FIELDS = ["seq", "ts_ns", "tid", "kind", "args"]
