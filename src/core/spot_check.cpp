@@ -232,22 +232,30 @@ void SpotCheckEngine::absorb_records(
       if (u >= 0 && static_cast<std::size_t>(u) < n) expand(u, 1.0);
     }
   }
+  // History boosts.  The repair boost covers centres already sitting in
+  // the pool as well as centres entering it now — note_repair's contract
+  // — and is one-shot: the set described the repairs since the last run,
+  // so consuming it here retires it even when no fresh dirt arrived.
+  if (repair_epoch_ != 0) {
+    const auto repair_boost = [&](PoolEntry& e) {
+      const std::size_t c = static_cast<std::size_t>(e.center);
+      if (c < repair_mark_.size() && repair_mark_[c] == repair_epoch_) {
+        e.weight *= options_.repair_weight;
+      }
+    };
+    for (PoolEntry& e : pool_) repair_boost(e);
+    for (PoolEntry& e : fresh) repair_boost(e);
+    ++repair_epoch_;
+  }
   if (fresh.empty()) return;
 
-  // History boosts.
   for (PoolEntry& e : fresh) {
     const std::size_t c = static_cast<std::size_t>(e.center);
-    if (repair_epoch_ != 0 && c < repair_mark_.size() &&
-        repair_mark_[c] == repair_epoch_) {
-      e.weight *= options_.repair_weight;
-    }
     if (flip_epoch_ != 0 && c < flip_mark_.size() &&
         flip_mark_[c] == flip_epoch_) {
       e.weight *= options_.flip_weight;
     }
   }
-  // The boost set is one-shot: it described the repairs since the last run.
-  if (repair_epoch_ != 0) ++repair_epoch_;
 
   std::sort(fresh.begin(), fresh.end(),
             [](const PoolEntry& x, const PoolEntry& y) {
@@ -292,8 +300,25 @@ RunResult SpotCheckEngine::run(const Graph& g, const Proof& p,
   }
   const bool audit = audit_requested_;
   audit_requested_ = false;
+  // An operator audit is honoured by whichever exact path this run takes
+  // — the dedicated branch below or a cold-start / tracker-mismatch /
+  // stale-baseline fallback — and the accounting (Stats::audits,
+  // escalations, the journal event) must not depend on which one.
+  const auto honour_audit = [&] {
+    if (!audit) return;
+    ++stats_.audits;
+    ++stats_.escalations;
+    obs::maybe_emit(
+        journal_, obs::JournalEventKind::kSpotEscalate, "engine.spotcheck",
+        {{"audit", 1},
+         {"pool", static_cast<std::int64_t>(pool_.size())},
+         {"generation",
+          static_cast<std::int64_t>(
+              tracker_ != nullptr ? tracker_->generation() : 0)}});
+  };
   if (tracker_ == nullptr || &tracker_->graph() != &g ||
       &tracker_->proof() != &p || a.radius() > tracker_->horizon()) {
+    honour_audit();
     RunResult result = exact_run(g, p, a);
     attribution_.finish(g, a, &result);
     return result;
@@ -301,6 +326,7 @@ RunResult SpotCheckEngine::run(const Graph& g, const Proof& p,
   const auto records = tracker_->records_since(consumed_generation_);
   if (!records.has_value() || !baseline_valid_ || baseline_graph_ != &g ||
       baseline_verifier_ != &a) {
+    honour_audit();
     RunResult result = exact_run(g, p, a);
     attribution_.finish(g, a, &result);
     return result;
@@ -308,16 +334,7 @@ RunResult SpotCheckEngine::run(const Graph& g, const Proof& p,
   if (audit || !baseline_all_accept_) {
     // Operator audit, or the state is already rejecting: statistical
     // acceptance has nothing to offer until the verdict heals.
-    if (audit) {
-      ++stats_.audits;
-      ++stats_.escalations;
-      obs::maybe_emit(
-          journal_, obs::JournalEventKind::kSpotEscalate, "engine.spotcheck",
-          {{"audit", 1},
-           {"pool", static_cast<std::int64_t>(pool_.size())},
-           {"generation",
-            static_cast<std::int64_t>(tracker_->generation())}});
-    }
+    honour_audit();
     RunResult result = exact_run(g, p, a);
     attribution_.finish(g, a, &result);
     return result;
@@ -403,9 +420,29 @@ RunResult SpotCheckEngine::run(const Graph& g, const Proof& p,
     return result;
   }
 
-  // All sampled balls accept: remove them from the pool and decay the
-  // survivors' miss bounds by this run's uniform inclusion probability.
-  const double factor =
+  // All sampled balls accept: remove them from the pool and decay each
+  // survivor's miss bound by a provable lower bound on its inclusion
+  // probability this run.  On a uniformly weighted pool inclusion is
+  // exactly k/|pool|.  On a boosted pool an unboosted entry's inclusion
+  // probability can fall BELOW k/|pool| (the boosted entries absorb the
+  // budget), so the uniform factor would understate the miss; instead
+  // use (1 - w_i/W)^k, sound because taking the k largest Efraimidis–
+  // Spirakis keys is distributed as k successive weighted draws without
+  // replacement and each draw picks a still-unsampled entry with
+  // conditional probability w_i/W_remaining >= w_i/W.  Inclusion
+  // probabilities are monotone in weight and sum to k, so a maximum-
+  // weight entry's is >= k/|pool|: its factor is additionally capped by
+  // the uniform one.
+  double total_weight = 0.0;
+  double min_weight = pool_.front().weight;
+  double max_weight = pool_.front().weight;
+  for (const PoolEntry& e : pool_) {
+    total_weight += e.weight;
+    min_weight = std::min(min_weight, e.weight);
+    max_weight = std::max(max_weight, e.weight);
+  }
+  const bool uniform_pool = min_weight == max_weight;
+  const double uniform_factor =
       1.0 - static_cast<double>(k) / static_cast<double>(pool_size);
   std::size_t out = 0;
   std::size_t cursor = 0;
@@ -417,6 +454,14 @@ RunResult SpotCheckEngine::run(const Graph& g, const Proof& p,
     if (cursor < last_sample_.size() &&
         last_sample_[cursor] == pool_[i].center) {
       continue;  // verified: leaves the pool
+    }
+    double factor = uniform_factor;
+    if (!uniform_pool) {
+      factor = std::pow(1.0 - pool_[i].weight / total_weight,
+                        static_cast<double>(k));
+      if (pool_[i].weight == max_weight) {
+        factor = std::min(factor, uniform_factor);
+      }
     }
     pool_[out] = pool_[i];
     pool_[out].miss *= factor;

@@ -11,9 +11,12 @@
 //
 // chosen by importance-weighted sampling without replacement.  Sampled
 // balls leave the pool; skipped balls stay in it, so a tamper that slips
-// past one batch remains a candidate every batch after — detection latency
-// is geometric with per-batch detection probability >= budget for any
-// single adversarial ball in the pool.
+// past one batch remains a candidate every batch after.  On a uniformly
+// weighted pool the per-batch detection probability of any single
+// adversarial ball is exactly k/|pool| >= budget, so detection latency is
+// geometric; importance boosts re-aim the budget at risky balls, which
+// can push an unboosted ball's per-batch probability below that floor —
+// the per-entry accounting below covers exactly that.
 //
 // The asymmetric soundness contract (the whole point):
 //
@@ -25,12 +28,15 @@
 //   * A reported ACCEPT may be a false negative.  The engine accounts for
 //     it explicitly: per pool entry it maintains an upper bound on the
 //     probability that the entry was never re-verified since it was
-//     dirtied (the product of (1 - k/|pool|) over the sampled runs it
-//     survived, exact under uniform weights and conservative under
-//     importance boosts, which only raise a boosted entry's inclusion
-//     probability at uniform entries' expense); Stats::miss_bound surfaces
-//     the worst outstanding bound and drops to 0 whenever an exact run
-//     settles the pool.
+//     dirtied, multiplying per survived run by a provable bound on that
+//     run's exclusion probability — exactly 1 - k/|pool| when the pool is
+//     uniformly weighted, else (1 - w_i/W)^k (the k largest Efraimidis–
+//     Spirakis keys are distributed as k successive weighted draws
+//     without replacement, each picking a still-unsampled entry with
+//     conditional probability at least w_i/W), with maximum-weight
+//     entries further capped at 1 - k/|pool|.  Stats::miss_bound
+//     surfaces the worst outstanding bound and drops to 0 whenever an
+//     exact run settles the pool.
 //
 // Importance weighting biases the sample toward balls that history says
 // are risky: centres dirtied structurally (re-extracted rather than
@@ -63,10 +69,13 @@ namespace lcp {
 struct DirtyRecord;
 
 struct SpotCheckOptions {
-  /// Fraction of the outstanding dirty pool verified per batch, i.e. the
-  /// per-batch detection probability floor for a single adversarial ball
-  /// in the pool.  0 disables sampling (exact delegation); 1 verifies the
-  /// whole pool every batch.  Must lie in [0, 1].
+  /// Fraction of the outstanding dirty pool verified per batch:
+  /// k = max(1, ceil(budget * |pool|)).  On a uniformly weighted pool
+  /// this is the per-batch detection probability floor for a single
+  /// adversarial ball; importance boosts shift that probability toward
+  /// boosted balls (the per-entry miss accounting stays sound either
+  /// way).  0 disables sampling (exact delegation); 1 verifies the whole
+  /// pool every batch.  Must lie in [0, 1].
   double budget = 0.05;
   /// splitmix64 seed for the sampling stream.
   std::uint64_t seed = 0x9e3779b97f4a7c15ULL;
@@ -145,9 +154,11 @@ class SpotCheckEngine final : public ExecutionEngine {
   /// sampling — the operator-triggered audit path.  One-shot.
   void request_audit() { audit_requested_ = true; }
 
-  /// Importance hint: centres in `touched` (dense indices) entering or
-  /// sitting in the pool at the next run carry the repair weight boost.
-  /// The session calls this with every repair batch's touched nodes.
+  /// Importance hint: centres in `touched` (dense indices) sitting in
+  /// the pool — or newly dirtied into it — at the next sampled run carry
+  /// the repair weight boost.  One-shot: consumed by that run's record
+  /// absorption.  The session calls this with every repair batch's
+  /// touched nodes.
   void note_repair(const std::vector<int>& touched);
 
   /// The centres verified by the most recent sampled run, ascending

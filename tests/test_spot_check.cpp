@@ -16,11 +16,17 @@
 //     the pool drains and a tamper is found within ~|pool|/k runs.
 //   * budget == 0 degenerates to the inner engine bit-identically: every
 //     RunResult field equal on every step of a shared mutation schedule.
-//   * Error accounting.  miss_bound decays by exactly (1 - k/|pool|) per
-//     survived run and drops to 0 whenever an exact run settles the pool.
+//   * Error accounting.  miss_bound decays per survived run by the
+//     provable per-entry exclusion bound — exactly (1 - k/|pool|) on a
+//     uniform pool, (1 - w/W)^k on a boosted one — remains an upper
+//     bound on the measured never-sampled frequency when importance
+//     boosts skew the pool, and drops to 0 whenever an exact run
+//     settles the pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <memory>
 #include <random>
 #include <stdexcept>
@@ -180,6 +186,70 @@ TEST(SpotCheckStatistics, TamperDetectedWithinPoolDrain) {
     EXPECT_GE(engine.stats().escalations, 1u) << "seed " << seed;
     engine.attach_tracker(nullptr);
   }
+}
+
+TEST(SpotCheckStatistics, MissBoundIsSoundUnderImportanceBoosts) {
+  // Regression for the weighted-pool accounting.  With boosts active, a
+  // weight-1 entry's inclusion probability falls BELOW k/|pool| (the
+  // boosted entries absorb the budget), so the naive uniform decay
+  // 1 - k/|pool| is NOT an upper bound on its never-sampled
+  // probability.  Measure that probability for a watched weight-1
+  // centre over seeded trials and pin it (a) under the engine's
+  // recorded per-entry bound (1 - 1/W)^k and (b) ABOVE the uniform
+  // factor by more than the statistical tolerance — i.e. the uniform
+  // factor really would have under-reported the miss here.
+  constexpr int kPool = 32;
+  constexpr int kBoosted = 16;  // centres 0..15, boosted via note_repair
+  constexpr double kRepairWeight = 16.0;
+  constexpr double kBudget = 0.25;
+  constexpr int kTrials = 600;
+  constexpr int kWatch = kBoosted;  // first unboosted (weight-1) centre
+  const int k = static_cast<int>(std::ceil(kBudget * kPool));
+  const double total_weight =
+      kBoosted * kRepairWeight + (kPool - kBoosted);
+  const double weight1_bound =
+      std::pow(1.0 - 1.0 / total_weight, static_cast<double>(k));
+  const double uniform_factor = 1.0 - static_cast<double>(k) / kPool;
+
+  int missed = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    Graph g = isolated_nodes(kPool);
+    Proof p = all_ones(kPool);
+    auto verifier = first_bit_verifier();
+    DeltaTracker tracker(g, p, 1);
+    SpotCheckEngine engine(
+        std::make_unique<DirectEngine>(),
+        {.budget = kBudget,
+         .seed = 0xabcd0000ULL + static_cast<std::uint64_t>(t),
+         .repair_weight = kRepairWeight});
+    engine.attach_tracker(&tracker);
+    ASSERT_TRUE(engine.run(g, p, *verifier).all_accept);
+
+    std::vector<int> boosted;
+    for (int v = 0; v < kBoosted; ++v) boosted.push_back(v);
+    engine.note_repair(boosted);
+    MutationBatch batch;
+    for (int v = 0; v < kPool; ++v) {
+      batch.set_proof_label(v, BitString::from_string("11"));
+    }
+    tracker.apply(batch);
+    ASSERT_TRUE(engine.run(g, p, *verifier).all_accept);
+
+    const std::vector<int>& sample = engine.last_sample();
+    if (!std::binary_search(sample.begin(), sample.end(), kWatch)) {
+      ++missed;
+      // The watched weight-1 entry survived, so the worst outstanding
+      // bound is the weight-1 exclusion factor — recorded exactly.
+      EXPECT_DOUBLE_EQ(engine.stats().miss_bound, weight1_bound);
+    }
+    engine.attach_tracker(nullptr);
+  }
+
+  const double freq = static_cast<double>(missed) / kTrials;
+  constexpr double kDelta = 1e-4;
+  const double eps = std::sqrt(std::log(2.0 / kDelta) / (2.0 * kTrials));
+  EXPECT_LE(freq, weight1_bound + eps);
+  EXPECT_GT(freq, uniform_factor + eps);
 }
 
 // ---------------------------------------------------------------------------
@@ -352,6 +422,98 @@ TEST(SpotCheck, AuditEscalatesToExactAndSettlesThePool) {
   }
   EXPECT_TRUE(saw_sample);
   EXPECT_TRUE(saw_escalate);
+  engine.attach_tracker(nullptr);
+}
+
+TEST(SpotCheck, AuditOnColdStartFallbackIsStillAccounted) {
+  // request_audit() before any baseline exists lands on the cold-start
+  // exact fallback, not the dedicated audit branch; the audit must still
+  // be counted and journalled, not silently swallowed with the flag.
+  const int n = 8;
+  Graph g = isolated_nodes(n);
+  Proof p = all_ones(n);
+  auto verifier = first_bit_verifier();
+  DeltaTracker tracker(g, p, 1);
+  auto journal = std::make_shared<obs::Journal>();
+  SpotCheckEngine engine(std::make_unique<DirectEngine>(),
+                         {.budget = 0.5, .seed = 21});
+  engine.attach_tracker(&tracker);
+  engine.attach_journal(journal.get());
+
+  engine.request_audit();
+  EXPECT_TRUE(engine.run(g, p, *verifier).all_accept);
+  EXPECT_EQ(engine.stats().audits, 1u);
+  EXPECT_EQ(engine.stats().escalations, 1u);
+  bool saw_escalate = false;
+  for (const obs::JournalEvent& e : journal->events()) {
+    if (e.kind == obs::JournalEventKind::kSpotEscalate) saw_escalate = true;
+  }
+  EXPECT_TRUE(saw_escalate);
+
+  // One-shot: the flag is consumed, the next run is an ordinary one.
+  EXPECT_TRUE(engine.run(g, p, *verifier).all_accept);
+  EXPECT_EQ(engine.stats().audits, 1u);
+  EXPECT_EQ(engine.stats().escalations, 1u);
+  engine.attach_tracker(nullptr);
+}
+
+TEST(SpotCheck, RepairBoostReachesEntriesAlreadyInThePool) {
+  // note_repair's contract covers centres *sitting in* the pool, not
+  // only centres dirtied afterwards: boost the survivors of one sampled
+  // run, add one fresh unboosted centre, and check the next run's miss
+  // bounds follow the weighted per-entry factors, not the uniform one.
+  const int n = 4;
+  Graph g = isolated_nodes(n);
+  Proof p = all_ones(n);
+  auto verifier = first_bit_verifier();
+  DeltaTracker tracker(g, p, 1);
+  SpotCheckEngine engine(std::make_unique<DirectEngine>(),
+                         {.budget = 1.0 / 3.0, .seed = 5});
+  engine.attach_tracker(&tracker);
+  EXPECT_TRUE(engine.run(g, p, *verifier).all_accept);
+
+  // Run 1: pool {0,1,2}, k = 1 — two uniform survivors with miss 2/3.
+  MutationBatch batch;
+  for (int v = 0; v < 3; ++v) {
+    batch.set_proof_label(v, BitString::from_string("11"));
+  }
+  tracker.apply(batch);
+  EXPECT_TRUE(engine.run(g, p, *verifier).all_accept);
+  ASSERT_EQ(engine.stats().pool_size, 2u);
+  const double first_factor = 1.0 - 1.0 / 3.0;
+  EXPECT_DOUBLE_EQ(engine.stats().miss_bound, first_factor);
+  std::vector<int> survivors;
+  for (int v = 0; v < 3; ++v) {
+    if (!std::binary_search(engine.last_sample().begin(),
+                            engine.last_sample().end(), v)) {
+      survivors.push_back(v);
+    }
+  }
+  ASSERT_EQ(survivors.size(), 2u);
+
+  // Run 2: boost the sitting survivors (default repair weight 1.5),
+  // dirty fresh centre 3 (weight 1).  Pool {s1:1.5, s2:1.5, 3:1.0},
+  // W = 4, k = 1.
+  engine.note_repair(survivors);
+  MutationBatch more;
+  more.set_proof_label(3, BitString::from_string("11"));
+  tracker.apply(more);
+  EXPECT_TRUE(engine.run(g, p, *verifier).all_accept);
+  ASSERT_EQ(engine.stats().pool_size, 2u);
+
+  const double uniform_factor = 1.0 - 1.0 / 3.0;
+  const double boosted_factor =
+      std::min(std::pow(1.0 - 1.5 / 4.0, 1.0), uniform_factor);
+  const double fresh_factor = std::pow(1.0 - 1.0 / 4.0, 1.0);
+  const bool fresh_sampled = std::binary_search(
+      engine.last_sample().begin(), engine.last_sample().end(), 3);
+  const double expected =
+      fresh_sampled ? first_factor * boosted_factor : fresh_factor;
+  EXPECT_DOUBLE_EQ(engine.stats().miss_bound, expected);
+  // Either way the bound differs from what an unboosted (uniform) pool
+  // would have produced — the sitting survivors did get the boost.
+  EXPECT_NE(engine.stats().miss_bound,
+            fresh_sampled ? first_factor * uniform_factor : uniform_factor);
   engine.attach_tracker(nullptr);
 }
 
