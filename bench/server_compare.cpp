@@ -1,0 +1,361 @@
+// Session-server throughput: admission batching vs the one-apply-per-
+// client-batch baseline.
+//
+// Three parts, all against the in-process service surface (the wire
+// protocol's cost is a test concern, not what this bench measures):
+//
+//   1. A correctness soak with telemetry + journal attached: `sessions`
+//      full lifecycles of `batches` label-flip batches each, every final
+//      verdict checked, plus a forced OVERLOADED/recovery round.  The
+//      metric snapshot and journal land in server_metrics.json /
+//      server_journal.jsonl for tools/check_telemetry.py.
+//   2. A client-thread sweep {1, 8, 64} x {coalescing on, max_coalesce=1
+//      baseline}: each thread runs its share of sessions end-to-end
+//      (open, fire all batches, await the last verdict, close).
+//      sessions/sec, batches/sec, the apply count, and apply p50/p99
+//      come out per lane.
+//   3. The JSON report (BENCH_server.json).
+//
+// Exits non-zero on any verdict mismatch or if the overload round never
+// observes backpressure — the numbers are only worth publishing if the
+// semantics held.
+//
+// Usage: server_compare [sessions] [batches_per_session] [out.json]
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/delta.hpp"
+#include "graph/generators.hpp"
+#include "obs/journal.hpp"
+#include "obs/telemetry.hpp"
+#include "server/session_server.hpp"
+
+namespace {
+
+using namespace lcp;
+using namespace lcp::server;
+
+constexpr std::uint64_t kGraphId = 1;
+
+MutationBatch label_flips(std::mt19937& rng, int nodes) {
+  MutationBatch batch;
+  const int count = 1 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < count; ++i) {
+    batch.set_node_label(static_cast<int>(rng() % nodes), rng() % 1024);
+  }
+  return batch;
+}
+
+struct LaneResult {
+  int threads = 0;
+  std::size_t max_coalesce = 0;
+  double elapsed_s = 0;
+  double sessions_per_sec = 0;
+  double batches_per_sec = 0;
+  std::uint64_t applies = 0;
+  double coalesce_ratio = 0;  ///< admitted batches per apply
+  double apply_p50_us = 0;
+  double apply_p99_us = 0;
+  std::uint64_t overload_retries = 0;
+};
+
+double counter_value(const obs::MetricSnapshot& snap, const char* name) {
+  for (const auto& c : snap.counters) {
+    if (c.name == name) return static_cast<double>(c.value);
+  }
+  return 0;
+}
+
+/// One sweep cell: `threads` clients split `sessions` lifecycles.
+/// Returns false on any verdict mismatch.
+bool run_lane(int threads, std::size_t max_coalesce, int sessions,
+              int batches, const Graph& base, LaneResult* out) {
+  SessionServerOptions options;
+  options.lanes = 4;
+  options.max_pending_per_session = 64;
+  options.max_coalesce = max_coalesce;
+  options.telemetry = std::make_shared<obs::Telemetry>();
+  SessionServer server(options);
+  server.submit_graph(kGraphId, base);
+
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> retries{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<std::uint32_t>(1000 + t));
+      const int nodes = base.n();
+      for (int s = t; s < sessions; s += threads) {
+        const OpenResult opened =
+            server.open_session(kGraphId, "bipartite", "incremental", false);
+        if (!opened.ok) {
+          ok.store(false);
+          return;
+        }
+        std::uint64_t last_ticket = 0;
+        for (int b = 0; b < batches; ++b) {
+          MutationBatch batch = label_flips(rng, nodes);
+          for (;;) {
+            const AdmitStatus status = server.apply_deltas(
+                opened.session_id, batch, &last_ticket, nullptr);
+            if (status == AdmitStatus::kAccepted) break;
+            if (status != AdmitStatus::kOverloaded) {
+              ok.store(false);
+              return;
+            }
+            retries.fetch_add(1, std::memory_order_relaxed);
+            std::this_thread::yield();
+          }
+        }
+        // The session is done when its last batch has a verdict; node
+        // label flips never break bipartiteness, so it must accept.
+        VerdictRecord record;
+        for (;;) {
+          const PollStatus status =
+              server.poll(opened.session_id, last_ticket, &record);
+          if (status == PollStatus::kDone) break;
+          if (status != PollStatus::kPending) {
+            ok.store(false);
+            return;
+          }
+          std::this_thread::yield();
+        }
+        if (record.failed || !record.all_accept) ok.store(false);
+        if (!server.close_session(opened.session_id)) ok.store(false);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const obs::MetricSnapshot snap = options.telemetry->metrics.snapshot();
+  const double admitted = counter_value(snap, "server.admitted");
+  const double applies = counter_value(snap, "server.applies");
+  out->threads = threads;
+  out->max_coalesce = max_coalesce;
+  out->elapsed_s = elapsed;
+  out->sessions_per_sec = sessions / elapsed;
+  out->batches_per_sec = admitted / elapsed;
+  out->applies = static_cast<std::uint64_t>(applies);
+  out->coalesce_ratio = applies > 0 ? admitted / applies : 0;
+  out->overload_retries = retries.load();
+  for (const auto& hist : snap.histograms) {
+    if (hist.name == "server.apply.latency") {
+      out->apply_p50_us = static_cast<double>(hist.p50_ns) / 1000.0;
+      out->apply_p99_us = static_cast<double>(hist.p99_ns) / 1000.0;
+    }
+  }
+  return ok.load();
+}
+
+/// The telemetry soak: exercises every journal kind (admit, coalesce,
+/// overload) and dumps the observability artefacts for the CI checker.
+/// Returns false if verdicts broke or backpressure never appeared.
+bool soak_and_dump(int sessions, int batches, const Graph& base,
+                   bool* overload_seen) {
+  SessionServerOptions options;
+  options.lanes = 2;
+  options.max_pending_per_session = 8;
+  options.telemetry = std::make_shared<obs::Telemetry>();
+  options.journal = std::make_shared<obs::Journal>();
+  SessionServer server(options);
+  server.submit_graph(kGraphId, base);
+  server.submit_graph(kGraphId + 1, gen::grid(40, 40));
+
+  bool ok = true;
+  std::mt19937 rng(7);
+  const int nodes = base.n();
+  for (int s = 0; s < sessions; ++s) {
+    const OpenResult opened =
+        server.open_session(kGraphId, "bipartite", "incremental", false);
+    if (!opened.ok) return false;
+    std::uint64_t last_ticket = 0;
+    for (int b = 0; b < batches; ++b) {
+      for (;;) {
+        const AdmitStatus status = server.apply_deltas(
+            opened.session_id, label_flips(rng, nodes), &last_ticket,
+            nullptr);
+        if (status == AdmitStatus::kAccepted) break;
+        if (status != AdmitStatus::kOverloaded) return false;
+        std::this_thread::yield();
+      }
+    }
+    VerdictRecord record;
+    for (;;) {
+      const PollStatus status =
+          server.poll(opened.session_id, last_ticket, &record);
+      if (status == PollStatus::kDone) break;
+      if (status != PollStatus::kPending) return false;
+      std::this_thread::yield();
+    }
+    if (record.failed || !record.all_accept) ok = false;
+    if (!server.close_session(opened.session_id)) ok = false;
+  }
+
+  // Overload round: hold a lane with a structural apply on the big grid
+  // while flooding a bounded queue, then prove the session recovers.
+  {
+    SessionServerOptions tight;
+    tight.lanes = 1;
+    tight.max_pending_per_session = 2;
+    tight.telemetry = options.telemetry;
+    tight.journal = options.journal;
+    SessionServer small(tight);
+    small.submit_graph(kGraphId, gen::grid(40, 40));
+    const OpenResult blocker =
+        small.open_session(kGraphId, "bipartite", "incremental", false);
+    const OpenResult victim =
+        small.open_session(kGraphId, "bipartite", "incremental", false);
+    if (!blocker.ok || !victim.ok) return false;
+    for (int attempt = 0; attempt < 50 && !*overload_seen; ++attempt) {
+      MutationBatch churn;
+      if (attempt % 2 == 0) {
+        churn.add_edge(0, 81, 0, 1);  // (0,0)-(2,1): parity-safe chord
+      } else {
+        churn.remove_edge(0, 81);
+      }
+      if (small.apply_deltas(blocker.session_id, churn, nullptr, nullptr) !=
+          AdmitStatus::kAccepted) {
+        return false;
+      }
+      for (int i = 0; i < 8; ++i) {
+        MutationBatch flip;
+        flip.set_node_label(i, 1);
+        const AdmitStatus status = small.apply_deltas(
+            victim.session_id, flip, nullptr, nullptr);
+        if (status == AdmitStatus::kOverloaded) {
+          *overload_seen = true;
+          break;
+        }
+        if (status != AdmitStatus::kAccepted) return false;
+      }
+      small.drain();
+    }
+    // Recovery: the drained session admits and resolves again.
+    std::uint64_t ticket = 0;
+    MutationBatch flip;
+    flip.set_node_label(0, 2);
+    if (small.apply_deltas(victim.session_id, flip, &ticket, nullptr) !=
+        AdmitStatus::kAccepted) {
+      return false;
+    }
+    small.drain();
+    VerdictRecord record;
+    if (small.poll(victim.session_id, ticket, &record) != PollStatus::kDone ||
+        record.failed) {
+      ok = false;
+    }
+
+    // Dump while this server is alive so the derived gauges
+    // (server.sessions, server.queue_depth, pool.server.*) are present.
+    std::FILE* metrics = std::fopen("server_metrics.json", "w");
+    if (metrics != nullptr) {
+      const std::string json = options.telemetry->snapshot_json();
+      std::fwrite(json.data(), 1, json.size(), metrics);
+      std::fclose(metrics);
+    }
+    std::FILE* journal = std::fopen("server_journal.jsonl", "w");
+    if (journal != nullptr) {
+      const std::string jsonl = options.journal->to_jsonl();
+      std::fwrite(jsonl.data(), 1, jsonl.size(), journal);
+      std::fclose(journal);
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int sessions = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int batches = argc > 2 ? std::atoi(argv[2]) : 50;
+  const char* out_path = argc > 3 ? argv[3] : "BENCH_server.json";
+
+  const Graph base = gen::grid(20, 20);
+  bench::heading("session server: admission batching vs per-batch applies");
+  std::printf("sessions=%d batches/session=%d graph=grid(20,20)\n\n",
+              sessions, batches);
+
+  bool overload_seen = false;
+  const bool soak_ok =
+      soak_and_dump(sessions, batches, base, &overload_seen);
+  std::printf("soak: %s; overload observed: %s\n\n",
+              soak_ok ? "verdicts OK" : "VERDICT MISMATCH",
+              overload_seen ? "yes (recovered)" : "NO");
+
+  const int kThreadLevels[] = {1, 8, 64};
+  std::vector<LaneResult> results;
+  bool lanes_ok = true;
+  std::printf("%8s %12s %10s %12s %12s %9s %10s %10s\n", "threads",
+              "coalesce", "applies", "sess/s", "batch/s", "merge", "p50 us",
+              "p99 us");
+  bench::rule();
+  for (const int threads : kThreadLevels) {
+    for (const std::size_t max_coalesce : {std::size_t{0}, std::size_t{1}}) {
+      LaneResult r;
+      if (!run_lane(threads, max_coalesce, sessions, batches, base, &r)) {
+        lanes_ok = false;
+      }
+      std::printf("%8d %12s %10" PRIu64 " %12.1f %12.1f %8.2fx %10.1f %10.1f\n",
+                  r.threads, max_coalesce == 0 ? "unlimited" : "off",
+                  r.applies, r.sessions_per_sec, r.batches_per_sec,
+                  r.coalesce_ratio, r.apply_p50_us, r.apply_p99_us);
+      results.push_back(r);
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  bench::json_header(out, "bench/server_compare", 4);
+  std::fprintf(out, "  \"sessions\": %d,\n", sessions);
+  std::fprintf(out, "  \"batches_per_session\": %d,\n", batches);
+  std::fprintf(out, "  \"soak_verdicts_ok\": %s,\n",
+               soak_ok ? "true" : "false");
+  std::fprintf(out, "  \"overload_observed\": %s,\n",
+               overload_seen ? "true" : "false");
+  std::fprintf(out, "  \"workloads\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const LaneResult& r = results[i];
+    std::fprintf(
+        out,
+        "    {\"threads\": %d, \"max_coalesce\": %zu, \"elapsed_s\": %.4f,"
+        " \"sessions_per_sec\": %.2f, \"batches_per_sec\": %.2f,"
+        " \"applies\": %" PRIu64 ", \"coalesce_ratio\": %.3f,"
+        " \"apply_p50_us\": %.2f, \"apply_p99_us\": %.2f,"
+        " \"overload_retries\": %" PRIu64 "}%s\n",
+        r.threads, r.max_coalesce, r.elapsed_s, r.sessions_per_sec,
+        r.batches_per_sec, r.applies, r.coalesce_ratio, r.apply_p50_us,
+        r.apply_p99_us, r.overload_retries,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s, server_metrics.json, server_journal.jsonl\n",
+              out_path);
+
+  if (!soak_ok || !lanes_ok) {
+    std::fprintf(stderr, "FAIL: verdict mismatch under load\n");
+    return 1;
+  }
+  if (!overload_seen) {
+    std::fprintf(stderr, "FAIL: backpressure never engaged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -118,6 +118,14 @@ class MutationBatch {
     op.id = id;
   }
 
+  /// Concatenates another batch's ops after this one's, preserving both
+  /// recording orders.  Applying the result equals applying the two
+  /// batches back-to-back — the admission coalescer in src/server/ relies
+  /// on exactly this to merge queued client batches into one apply().
+  void append(const MutationBatch& other) {
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
+  }
+
   bool empty() const { return ops_.empty(); }
   std::size_t size() const { return ops_.size(); }
   void clear() { ops_.clear(); }

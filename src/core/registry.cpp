@@ -1,5 +1,6 @@
 #include "core/registry.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
@@ -7,6 +8,42 @@
 #include "dynamic/maintainer.hpp"
 
 namespace lcp {
+
+// Debug enforcement of the class-comment contract: lookups and
+// registration flag themselves, and each asserts the other is quiescent.
+// In release builds the asserts vanish and these scopes cost two relaxed
+// atomic ops per call (nothing contends: correct programs never overlap).
+class SchemeRegistry::ReadScope {
+ public:
+  explicit ReadScope(const SchemeRegistry& r) : r_(r) {
+    r_.debug_readers_.fetch_add(1, std::memory_order_acq_rel);
+    assert(!r_.debug_writing_.load(std::memory_order_acquire) &&
+           "SchemeRegistry: const lookup concurrent with add() — "
+           "registration must complete before the registry is shared");
+  }
+  ~ReadScope() { r_.debug_readers_.fetch_sub(1, std::memory_order_acq_rel); }
+  ReadScope(const ReadScope&) = delete;
+  ReadScope& operator=(const ReadScope&) = delete;
+
+ private:
+  const SchemeRegistry& r_;
+};
+
+class SchemeRegistry::WriteScope {
+ public:
+  explicit WriteScope(SchemeRegistry& r) : r_(r) {
+    r_.debug_writing_.store(true, std::memory_order_release);
+    assert(r_.debug_readers_.load(std::memory_order_acquire) == 0 &&
+           "SchemeRegistry: add() concurrent with const lookups — "
+           "registration must complete before the registry is shared");
+  }
+  ~WriteScope() { r_.debug_writing_.store(false, std::memory_order_release); }
+  WriteScope(const WriteScope&) = delete;
+  WriteScope& operator=(const WriteScope&) = delete;
+
+ private:
+  SchemeRegistry& r_;
+};
 
 namespace {
 
@@ -24,6 +61,7 @@ std::string_view trim(std::string_view s) {
 
 void SchemeRegistry::add(std::string name, SchemeFactory make_scheme,
                          MaintainerFactory make_maintainer) {
+  const WriteScope write_scope(*this);
   if (name.empty()) {
     throw std::invalid_argument("SchemeRegistry: empty scheme name");
   }
@@ -46,15 +84,18 @@ void SchemeRegistry::add(std::string name, SchemeFactory make_scheme,
 }
 
 bool SchemeRegistry::contains(std::string_view name) const {
+  const ReadScope read_scope(*this);
   return entries_.find(name) != entries_.end();
 }
 
 bool SchemeRegistry::has_maintainer(std::string_view name) const {
+  const ReadScope read_scope(*this);
   const auto it = entries_.find(name);
   return it != entries_.end() && it->second.make_maintainer != nullptr;
 }
 
 std::vector<std::string> SchemeRegistry::names() const {
+  const ReadScope read_scope(*this);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);
@@ -62,6 +103,7 @@ std::vector<std::string> SchemeRegistry::names() const {
 }
 
 std::unique_ptr<Scheme> SchemeRegistry::make(std::string_view name) const {
+  const ReadScope read_scope(*this);
   const auto it = entries_.find(name);
   if (it == entries_.end()) {
     throw std::invalid_argument("SchemeRegistry: unknown scheme '" +
@@ -98,6 +140,7 @@ std::unique_ptr<Scheme> SchemeRegistry::build(std::string_view expr) const {
 
 std::unique_ptr<dynamic::ProofMaintainer> SchemeRegistry::make_maintainer(
     std::string_view name) const {
+  const ReadScope read_scope(*this);
   const auto it = entries_.find(name);
   if (it == entries_.end() || it->second.make_maintainer == nullptr) {
     return nullptr;

@@ -13,6 +13,7 @@
 #ifndef LCP_CORE_REGISTRY_HPP_
 #define LCP_CORE_REGISTRY_HPP_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -28,11 +29,40 @@ namespace dynamic {
 class ProofMaintainer;
 }  // namespace dynamic
 
+/// Concurrency contract (relied on by the session server, src/server/):
+///
+///   - Registration (add()) mutates the table and is NOT synchronised:
+///     it must complete before any concurrent use, and must never run
+///     concurrently with the const lookups.  The normal shape is
+///     populate-once-then-share: builtin_registry() builds under a
+///     magic-static (thread-safe by the language), custom registries are
+///     filled by their owning thread before being handed out.
+///   - Every const member (contains / has_maintainer / names / make /
+///     build / make_maintainer) only reads the immutable table and
+///     invokes the stored factories, so after registration quiesces, any
+///     number of threads may look up and instantiate schemes
+///     concurrently.  Factories themselves must be thread-safe to call
+///     (all in-repo factories just construct fresh objects).
+///
+/// Debug builds enforce the contract: const lookups count themselves in
+/// and add() asserts that no lookup is in flight (and vice versa), so a
+/// racy registration trips an assert instead of corrupting the map.
 class SchemeRegistry {
  public:
   using SchemeFactory = std::function<std::unique_ptr<Scheme>()>;
   using MaintainerFactory =
       std::function<std::unique_ptr<dynamic::ProofMaintainer>()>;
+
+  SchemeRegistry() = default;
+  // Movable (build-and-return idiom); moving is a registration-side
+  // operation, so the same quiescence rule applies.  The debug flags
+  // restart clean in the destination.
+  SchemeRegistry(SchemeRegistry&& other) noexcept
+      : entries_(std::move(other.entries_)) {}
+  SchemeRegistry& operator=(SchemeRegistry&& other) noexcept {
+    entries_ = std::move(other.entries_);
+    return *this;
+  }
 
   /// Registers a scheme factory under `name`, optionally with the factory
   /// for the ProofMaintainer that repairs this scheme's certificates under
@@ -69,6 +99,15 @@ class SchemeRegistry {
     SchemeFactory make_scheme;
     MaintainerFactory make_maintainer;
   };
+
+  // Debug-only contract enforcement (see the class comment).  The
+  // members exist in all builds so object layout doesn't depend on
+  // NDEBUG; only the assertions compile away.
+  class ReadScope;
+  class WriteScope;
+  mutable std::atomic<int> debug_readers_{0};
+  std::atomic<bool> debug_writing_{false};
+
   // Transparent comparator: lookups by string_view without allocating.
   std::map<std::string, Entry, std::less<>> entries_;
 };

@@ -1,6 +1,7 @@
 #include "core/session.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <stdexcept>
 #include <utility>
@@ -8,6 +9,24 @@
 #include "dynamic/maintainer.hpp"
 
 namespace lcp {
+
+// Debug enforcement of the one-apply-at-a-time contract (see apply()'s
+// declaration): overlapping apply()/verify() calls trip the assert
+// instead of racing on the tracker and engine caches.
+class VerificationSession::ApplyScope {
+ public:
+  explicit ApplyScope(VerificationSession& s) : s_(s) {
+    assert(!s_.in_apply_.exchange(true, std::memory_order_acq_rel) &&
+           "VerificationSession: concurrent apply()/verify() — sessions "
+           "are single-caller; serialise externally");
+  }
+  ~ApplyScope() { s_.in_apply_.store(false, std::memory_order_release); }
+  ApplyScope(const ApplyScope&) = delete;
+  ApplyScope& operator=(const ApplyScope&) = delete;
+
+ private:
+  VerificationSession& s_;
+};
 
 namespace {
 
@@ -471,6 +490,7 @@ void VerificationSession::finish_verdict(const MutationBatch& batch,
 }
 
 RunResult VerificationSession::apply(const MutationBatch& batch) {
+  const ApplyScope apply_guard(*this);
   // Phase instrumentation: each scope is a trace span plus a latency
   // histogram sample, and a no-op (one branch) when telemetry is off.
   // Engine-side spans (incremental.dirty_scan, sharded.halo_exchange...)
@@ -539,6 +559,7 @@ RunResult VerificationSession::apply(const MutationBatch& batch) {
 }
 
 RunResult VerificationSession::verify() {
+  const ApplyScope apply_guard(*this);
   ++stats_.verifies;
   PhaseScope scope(telemetry_.get(), "session.verify", hist_verify_);
   RunResult result = engine_->run(graph_, proof_, scheme_->verifier());

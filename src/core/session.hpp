@@ -35,6 +35,7 @@
 #ifndef LCP_CORE_SESSION_HPP_
 #define LCP_CORE_SESSION_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -234,10 +235,19 @@ class VerificationSession {
 
   /// Applies the batch through the tracker, repairs (or reproves) the
   /// certificate assignment, and returns the verification verdict.
+  ///
+  /// Concurrency contract (relied on by the session server): a session
+  /// is a single-caller object — at most one thread may be inside
+  /// apply() / verify() at a time, and the read accessors below are only
+  /// stable while no apply is in flight.  Callers that share a session
+  /// across threads must serialise externally (the server holds one
+  /// apply mutex per session).  Debug builds assert on overlapping
+  /// calls.
   RunResult apply(const MutationBatch& batch);
 
   /// Verifies the current state without mutating (cheap on the
-  /// incremental backend: the unchanged-state fast path).
+  /// incremental backend: the unchanged-state fast path).  Same
+  /// concurrency contract as apply().
   RunResult verify();
 
   const Graph& graph() const { return graph_; }
@@ -254,6 +264,9 @@ class VerificationSession {
   dynamic::ProofMaintainer* maintainer() { return maintainer_.get(); }
   bool maintainer_bound() const { return bound_; }
   const SessionStats& stats() const { return stats_; }
+  /// The make_engine spelling the session was built with ("incremental",
+  /// "sharded:4", ...), for reports and server stats.
+  const std::string& engine_name() const { return engine_name_; }
 
   /// The attached telemetry bundle, nullptr when disabled.  The registry
   /// snapshot (telemetry_sink()->snapshot_json()) carries every layer:
@@ -276,6 +289,11 @@ class VerificationSession {
 
  private:
   explicit VerificationSession(Builder&& b);
+
+  // Debug-only enforcement of the one-apply-at-a-time contract (member
+  // present in all builds so layout doesn't depend on NDEBUG).
+  class ApplyScope;
+  std::atomic<bool> in_apply_{false};
 
   /// Full-prover fallback; when `applied_diff` is non-null it receives
   /// the proof diff that was applied (empty on a failed prove).

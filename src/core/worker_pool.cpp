@@ -1,5 +1,6 @@
 #include "core/worker_pool.hpp"
 
+#include <cassert>
 #include <chrono>
 #include <utility>
 
@@ -48,6 +49,13 @@ void WorkerPool::register_metrics(obs::MetricRegistry& registry,
 }
 
 void WorkerPool::dispatch(int active, const std::function<void(int)>& job) {
+  assert(!in_dispatch_.exchange(true, std::memory_order_acq_rel) &&
+         "WorkerPool::dispatch is not re-entrant: serialise externally");
+  // Clears the flag on every exit path, including the rethrow below.
+  struct DispatchScope {
+    std::atomic<bool>& flag;
+    ~DispatchScope() { flag.store(false, std::memory_order_release); }
+  } dispatch_scope{in_dispatch_};
   dispatches_.fetch_add(1, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mutex_);
   for (std::exception_ptr& error : job_errors_) error = nullptr;

@@ -41,7 +41,10 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   /// Runs job(w) on workers [0, active) and blocks until all complete.
-  /// Not re-entrant: one dispatch at a time per pool.
+  /// Not re-entrant: one dispatch at a time per pool — neither recursive
+  /// (a job calling back into its own pool) nor concurrent (two threads
+  /// sharing one pool must serialise externally, as the session server's
+  /// single coordinator does).  Debug builds assert on violations.
   void dispatch(int active, const std::function<void(int)>& job);
 
   int size() const { return static_cast<int>(threads_.size()); }
@@ -80,6 +83,9 @@ class WorkerPool {
   // Telemetry tallies; array-allocated because atomics don't move.
   std::unique_ptr<std::atomic<std::uint64_t>[]> lane_busy_ns_;
   std::atomic<std::uint64_t> dispatches_{0};
+  // Debug-only re-entrancy detection (present in all builds so layout
+  // doesn't depend on NDEBUG; the assert compiles away).
+  std::atomic<bool> in_dispatch_{false};
 };
 
 }  // namespace lcp

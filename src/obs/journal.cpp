@@ -35,6 +35,12 @@ const char* journal_kind_name(JournalEventKind kind) {
       return "spot_sample";
     case JournalEventKind::kSpotEscalate:
       return "spot_escalate";
+    case JournalEventKind::kServerAdmit:
+      return "server_admit";
+    case JournalEventKind::kServerCoalesce:
+      return "server_coalesce";
+    case JournalEventKind::kServerOverload:
+      return "server_overload";
   }
   return "unknown";
 }

@@ -54,6 +54,9 @@ enum class JournalEventKind : std::uint8_t {
   kVerdictFlip,     ///< the global verdict changed accept<->reject
   kSpotSample,      ///< a spot-check run sampled k of the dirty pool
   kSpotEscalate,    ///< a sampled rejection/audit forced an exact sweep
+  kServerAdmit,     ///< the session server accepted a delta batch
+  kServerCoalesce,  ///< queued batches merged into one apply()
+  kServerOverload,  ///< a submission bounced off a full admission queue
 };
 
 /// Stable lower_snake_case name of a kind ("batch_applied", ...).

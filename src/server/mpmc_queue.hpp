@@ -1,0 +1,145 @@
+// A bounded multi-producer / multi-consumer ring for the session server's
+// submission path.
+//
+// The server's unit of traffic is (session, delta-batch): many client
+// threads admit batches, a few lane workers drain them.  The hand-off
+// queue must therefore take concurrent pushes and pops without a global
+// lock — this is the backlog-queue idiom the ROADMAP names from the LCI
+// runtime, realised as the classic bounded MPMC ring with per-cell
+// sequence numbers (Vyukov): head and tail are advanced by CAS, each cell
+// carries a sequence counter that tells producers and consumers whether
+// the slot is theirs, and a push/pop is one CAS plus one release store in
+// the uncontended case.
+//
+// Properties the server relies on:
+//   - bounded: try_push fails instead of allocating, so admission control
+//     (the OVERLOADED reply) is enforced by construction, not by policy;
+//   - FIFO per producer, linearizable hand-off: a popped value was fully
+//     constructed by its pusher (release/acquire on the cell sequence);
+//   - approximate depth: size_approx()/max_depth() read the positions
+//     racily — good for gauges, never used for control flow.
+//
+// The queue deliberately does not block: parking/wakeup is the caller's
+// business (the server pairs it with a per-lane condition variable so
+// idle lanes sleep instead of spinning).
+#ifndef LCP_SERVER_MPMC_QUEUE_HPP_
+#define LCP_SERVER_MPMC_QUEUE_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace lcp::server {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpmcQueue(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  /// Enqueues by move; returns false when the ring is full (the value is
+  /// left untouched so the caller can apply backpressure).
+  bool try_push(T& value) {
+    Cell* cell;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full: the cell still holds an unpopped value
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(value);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    note_depth(pos + 1 - dequeue_pos_.load(std::memory_order_relaxed));
+    return true;
+  }
+
+  bool try_push(T&& value) { return try_push(value); }
+
+  /// Dequeues into *out; returns false when the ring is empty.
+  bool try_pop(T* out) {
+    Cell* cell;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = std::move(cell->value);
+    cell->value = T();  // drop references held by the vacated slot
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Racy instantaneous depth — telemetry only.
+  std::size_t size_approx() const {
+    const std::size_t tail = dequeue_pos_.load(std::memory_order_relaxed);
+    const std::size_t head = enqueue_pos_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+  /// High-water mark of size_approx() observed at push time.
+  std::size_t max_depth() const {
+    return max_depth_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  void note_depth(std::size_t depth) {
+    std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_depth_.compare_exchange_weak(seen, depth,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  // Separate cache lines so producers and consumers don't false-share.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+  alignas(64) std::atomic<std::size_t> max_depth_{0};
+};
+
+}  // namespace lcp::server
+
+#endif  // LCP_SERVER_MPMC_QUEUE_HPP_

@@ -1,0 +1,612 @@
+#include "server/session_server.hpp"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace lcp::server {
+
+// One worker lane: a bounded MPMC ring of sessions with queued work,
+// plus the parking lot its worker sleeps in when the ring runs dry.
+struct SessionServer::Lane {
+  explicit Lane(std::size_t capacity) : ready(capacity) {}
+  MpmcQueue<std::shared_ptr<SessionState>> ready;
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+// Two locks per session, deliberately split so admission never blocks
+// behind a long apply:
+//   - queue_mutex guards the pending deque, tickets, verdict history,
+//     and the scheduled flag.  Admission and polling only ever take
+//     this one, so they stay O(queue) regardless of apply cost.
+//   - apply_mutex guards the VerificationSession itself (and the
+//     applied-batch recording).  Only the owning lane and the
+//     stats/close paths take it.
+// Lock order where both are held: apply_mutex, then queue_mutex.
+struct SessionServer::SessionState {
+  SessionState(std::uint64_t id_in, int lane_in,
+               VerificationSession::Builder&& builder)
+      : id(id_in), lane(lane_in), session(builder.build()) {}
+
+  const std::uint64_t id;
+  const int lane;
+
+  std::mutex queue_mutex;
+  std::deque<std::pair<std::uint64_t, MutationBatch>> pending;
+  bool scheduled = false;  // sits in (or is being processed off) the ring
+  bool closed = false;
+  std::uint64_t next_ticket = 1;
+  std::uint64_t completed_through = 0;  // applies happen in ticket order
+  std::map<std::uint64_t, VerdictRecord> results;
+  std::deque<std::uint64_t> result_order;  // eviction order
+  std::condition_variable drained_cv;      // pending emptied + unscheduled
+
+  std::mutex apply_mutex;
+  VerificationSession session;
+  std::vector<MutationBatch> applied;  // when record_applied_batches
+};
+
+SessionServer::SessionServer(SessionServerOptions options)
+    : options_(std::move(options)),
+      pool_(options_.lanes < 1 ? 1 : options_.lanes) {
+  if (options_.lanes < 1) options_.lanes = 1;
+  if (options_.max_pending_per_session == 0) {
+    options_.max_pending_per_session = 1;
+  }
+  lanes_.reserve(static_cast<std::size_t>(options_.lanes));
+  for (int i = 0; i < options_.lanes; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(options_.ready_capacity));
+  }
+
+  if (options_.telemetry) {
+    obs::MetricRegistry& reg = options_.telemetry->metrics;
+    admitted_ = &reg.counter("server.admitted");
+    overloads_ = &reg.counter("server.overloads");
+    coalesced_ = &reg.counter("server.coalesced_batches");
+    applies_ = &reg.counter("server.applies");
+    apply_hist_ = &reg.histogram("server.apply.latency");
+    reg.derived(
+        "server.sessions",
+        [this] { return static_cast<double>(session_count()); }, this);
+    reg.derived(
+        "server.queue_depth",
+        [this] { return static_cast<double>(total_queue_depth()); }, this);
+    reg.derived(
+        "server.max_queue_depth",
+        [this] { return static_cast<double>(max_queue_depth()); }, this);
+    pool_.register_metrics(reg, "pool.server", this);
+  }
+
+  // The coordinator hosts the lane loops on the shared pool: dispatch()
+  // blocks until every lane exits at stop, so one thread owns the pool's
+  // not-re-entrant contract for the server's whole lifetime.
+  coordinator_ = std::thread([this] {
+    try {
+      pool_.dispatch(options_.lanes, [this](int lane) { lane_loop(lane); });
+    } catch (...) {
+      // A lane loop only throws on programming errors (applies are
+      // caught per-batch); swallowing here keeps shutdown orderly.
+    }
+  });
+}
+
+SessionServer::~SessionServer() {
+  stop_.store(true, std::memory_order_release);
+  for (const auto& lane : lanes_) {
+    {
+      const std::lock_guard<std::mutex> lock(lane->mutex);
+    }
+    lane->cv.notify_all();
+  }
+  coordinator_.join();
+  if (options_.telemetry) {
+    options_.telemetry->metrics.remove_owned(this);
+  }
+}
+
+void SessionServer::submit_graph(std::uint64_t graph_id, Graph graph) {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  graphs_.insert_or_assign(graph_id, std::move(graph));
+}
+
+OpenResult SessionServer::open_session(std::uint64_t graph_id,
+                                       const std::string& scheme,
+                                       const std::string& engine,
+                                       bool maintain) {
+  OpenResult result;
+  Graph graph;
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    const auto it = graphs_.find(graph_id);
+    if (it == graphs_.end()) {
+      result.unknown_graph = true;
+      result.error = "unknown graph id";
+      return result;
+    }
+    graph = it->second;  // private copy per session
+  }
+  try {
+    VerificationSession::Builder builder =
+        VerificationSession::on(std::move(graph));
+    builder.scheme(scheme);
+    builder.engine(
+        std::string_view(engine.empty() ? "incremental" : engine.c_str()));
+    if (maintain) builder.maintain(true);
+    if (options_.journal) builder.journal(options_.journal);
+    std::uint64_t id = 0;
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mutex_);
+      id = next_session_id_++;
+    }
+    const int lane =
+        static_cast<int>(id % static_cast<std::uint64_t>(options_.lanes));
+    // Building runs the scheme's prover over the graph — potentially
+    // heavy, so it happens outside the sessions lock.
+    auto state = std::make_shared<SessionState>(id, lane, std::move(builder));
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mutex_);
+      sessions_.emplace(id, std::move(state));
+    }
+    result.ok = true;
+    result.session_id = id;
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  return result;
+}
+
+std::shared_ptr<SessionServer::SessionState> SessionServer::find_session(
+    std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void SessionServer::push_ready(const std::shared_ptr<SessionState>& s) {
+  Lane& lane = *lanes_[static_cast<std::size_t>(s->lane)];
+  std::shared_ptr<SessionState> slot = s;
+  // The ring bounds *sessions*, each present at most once (the scheduled
+  // flag), so capacity ready_capacity only fills when that many distinct
+  // sessions have work at once; the yield loop is the rare overflow path.
+  while (!lane.ready.try_push(slot)) {
+    std::this_thread::yield();
+  }
+  {
+    // Touch the mutex so a worker between its failed pop and its wait
+    // cannot miss the notify (the classic lost-wakeup fence).
+    const std::lock_guard<std::mutex> lock(lane.mutex);
+  }
+  lane.cv.notify_one();
+}
+
+AdmitStatus SessionServer::apply_deltas(std::uint64_t session_id,
+                                        MutationBatch batch,
+                                        std::uint64_t* ticket,
+                                        std::uint32_t* queue_depth) {
+  const std::shared_ptr<SessionState> s = find_session(session_id);
+  if (!s) return AdmitStatus::kUnknownSession;
+
+  bool need_push = false;
+  std::uint64_t issued = 0;
+  std::size_t depth = 0;
+  {
+    const std::lock_guard<std::mutex> lock(s->queue_mutex);
+    if (s->closed) return AdmitStatus::kClosed;
+    if (s->pending.size() >= options_.max_pending_per_session) {
+      if (queue_depth != nullptr) {
+        *queue_depth = static_cast<std::uint32_t>(s->pending.size());
+      }
+      if (overloads_ != nullptr) overloads_->add();
+      obs::maybe_emit(
+          options_.journal.get(), obs::JournalEventKind::kServerOverload,
+          "server",
+          {{"session", static_cast<std::int64_t>(session_id)},
+           {"depth", static_cast<std::int64_t>(s->pending.size())}});
+      return AdmitStatus::kOverloaded;
+    }
+    issued = s->next_ticket++;
+    s->pending.emplace_back(issued, std::move(batch));
+    depth = s->pending.size();
+    if (!s->scheduled) {
+      s->scheduled = true;
+      need_push = true;
+    }
+  }
+  pending_total_.fetch_add(1, std::memory_order_relaxed);
+  std::size_t seen = max_depth_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !max_depth_.compare_exchange_weak(seen, depth,
+                                           std::memory_order_relaxed)) {
+  }
+  if (admitted_ != nullptr) admitted_->add();
+  obs::maybe_emit(options_.journal.get(),
+                  obs::JournalEventKind::kServerAdmit, "server",
+                  {{"session", static_cast<std::int64_t>(session_id)},
+                   {"ticket", static_cast<std::int64_t>(issued)},
+                   {"depth", static_cast<std::int64_t>(depth)}});
+  if (need_push) push_ready(s);
+  if (ticket != nullptr) *ticket = issued;
+  if (queue_depth != nullptr) {
+    *queue_depth = static_cast<std::uint32_t>(depth);
+  }
+  return AdmitStatus::kAccepted;
+}
+
+PollStatus SessionServer::poll(std::uint64_t session_id,
+                               std::uint64_t ticket, VerdictRecord* out) {
+  const std::shared_ptr<SessionState> s = find_session(session_id);
+  if (!s) return PollStatus::kUnknownSession;
+  const std::lock_guard<std::mutex> lock(s->queue_mutex);
+  if (ticket == 0 || ticket >= s->next_ticket) {
+    return PollStatus::kUnknownTicket;
+  }
+  if (ticket > s->completed_through) return PollStatus::kPending;
+  const auto it = s->results.find(ticket);
+  if (it == s->results.end()) {
+    return PollStatus::kUnknownTicket;  // evicted from the history
+  }
+  if (out != nullptr) *out = it->second;
+  return PollStatus::kDone;
+}
+
+bool SessionServer::get_stats(std::uint64_t session_id,
+                              SessionSnapshot* out) {
+  const std::shared_ptr<SessionState> s = find_session(session_id);
+  if (!s) return false;
+  const std::lock_guard<std::mutex> apply_lock(s->apply_mutex);
+  out->generation = s->session.tracker().generation();
+  out->fingerprint = s->session.tracker().state_fingerprint();
+  out->stats = s->session.stats();
+  out->engine = s->session.engine_name();
+  {
+    const std::lock_guard<std::mutex> queue_lock(s->queue_mutex);
+    out->queue_depth = s->pending.size();
+  }
+  return true;
+}
+
+bool SessionServer::close_session(std::uint64_t session_id,
+                                  std::uint64_t* generation,
+                                  std::uint64_t* fingerprint) {
+  const std::shared_ptr<SessionState> s = find_session(session_id);
+  if (!s) return false;
+  {
+    std::unique_lock<std::mutex> lock(s->queue_mutex);
+    if (s->closed) return false;  // concurrent close already won
+    s->closed = true;  // no new admissions; queued batches still apply
+    s->drained_cv.wait(
+        lock, [&] { return s->pending.empty() && !s->scheduled; });
+  }
+  {
+    const std::lock_guard<std::mutex> apply_lock(s->apply_mutex);
+    if (generation != nullptr) {
+      *generation = s->session.tracker().generation();
+    }
+    if (fingerprint != nullptr) {
+      *fingerprint = s->session.tracker().state_fingerprint();
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(sessions_mutex_);
+    sessions_.erase(session_id);
+  }
+  return true;
+}
+
+void SessionServer::drain() {
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock, [this] {
+    return pending_total_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::size_t SessionServer::session_count() const {
+  const std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::vector<MutationBatch> SessionServer::applied_batches(
+    std::uint64_t session_id) const {
+  const std::shared_ptr<SessionState> s = find_session(session_id);
+  if (!s) return {};
+  const std::lock_guard<std::mutex> lock(s->apply_mutex);
+  return s->applied;
+}
+
+void SessionServer::note_applied(std::size_t batches) {
+  if (pending_total_.fetch_sub(batches, std::memory_order_acq_rel) ==
+      batches) {
+    {
+      const std::lock_guard<std::mutex> lock(drain_mutex_);
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+void SessionServer::lane_loop(int lane) {
+  Lane& my_lane = *lanes_[static_cast<std::size_t>(lane)];
+  std::shared_ptr<SessionState> s;
+  while (true) {
+    if (my_lane.ready.try_pop(&s)) {
+      process(s);
+      s.reset();
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(my_lane.mutex);
+    my_lane.cv.wait_for(lock, std::chrono::milliseconds(50), [&] {
+      return stop_.load(std::memory_order_relaxed) ||
+             my_lane.ready.size_approx() > 0;
+    });
+  }
+}
+
+void SessionServer::process(const std::shared_ptr<SessionState>& s) {
+  const std::lock_guard<std::mutex> apply_lock(s->apply_mutex);
+
+  MutationBatch merged;
+  std::vector<std::uint64_t> tickets;
+  {
+    const std::lock_guard<std::mutex> lock(s->queue_mutex);
+    std::size_t take = s->pending.size();
+    if (options_.max_coalesce > 0 && take > options_.max_coalesce) {
+      take = options_.max_coalesce;
+    }
+    tickets.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+      tickets.push_back(s->pending.front().first);
+      merged.append(s->pending.front().second);
+      s->pending.pop_front();
+    }
+  }
+
+  if (!tickets.empty()) {
+    if (tickets.size() > 1) {
+      // Count the applies this coalescing avoided.
+      if (coalesced_ != nullptr) {
+        coalesced_->add(tickets.size() - 1);
+      }
+      obs::maybe_emit(
+          options_.journal.get(), obs::JournalEventKind::kServerCoalesce,
+          "server",
+          {{"session", static_cast<std::int64_t>(s->id)},
+           {"batches", static_cast<std::int64_t>(tickets.size())},
+           {"ops", static_cast<std::int64_t>(merged.size())}});
+    }
+
+    VerdictRecord record;
+    record.coalesced = static_cast<std::uint32_t>(tickets.size());
+    const auto apply_start = std::chrono::steady_clock::now();
+    try {
+      const RunResult run = s->session.apply(merged);
+      record.all_accept = run.all_accept;
+      record.rejecting = static_cast<std::uint32_t>(run.rejecting.size());
+    } catch (const std::exception&) {
+      // The tracker's contract: state stays consistent up to the
+      // offending op, so the session survives; the tickets report
+      // failure.
+      record.failed = true;
+    }
+    if (apply_hist_ != nullptr) {
+      apply_hist_->record_ns(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - apply_start)
+              .count()));
+    }
+    if (applies_ != nullptr) applies_->add();
+    record.generation = s->session.tracker().generation();
+    record.fingerprint = s->session.tracker().state_fingerprint();
+    if (options_.record_applied_batches) {
+      s->applied.push_back(merged);
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(s->queue_mutex);
+      for (const std::uint64_t ticket : tickets) {
+        record.ticket = ticket;
+        s->results.emplace(ticket, record);
+        s->result_order.push_back(ticket);
+      }
+      while (s->result_order.size() > options_.verdict_history) {
+        s->results.erase(s->result_order.front());
+        s->result_order.pop_front();
+      }
+      if (tickets.back() > s->completed_through) {
+        s->completed_through = tickets.back();
+      }
+    }
+    note_applied(tickets.size());
+  }
+
+  // Reschedule or park: under queue_mutex, so an admission that saw
+  // scheduled == true cannot slip between the check and the flag clear.
+  bool repush = false;
+  {
+    const std::lock_guard<std::mutex> lock(s->queue_mutex);
+    if (s->pending.empty()) {
+      s->scheduled = false;
+      s->drained_cv.notify_all();
+    } else {
+      repush = true;  // more arrived while applying; stay scheduled
+    }
+  }
+  if (repush) push_ready(s);
+}
+
+// ---------------------------------------------------------------------------
+// Wire surface.
+
+namespace {
+
+std::vector<std::uint8_t> error_frame(ErrorCode code, std::string message) {
+  ErrorReply reply;
+  reply.code = code;
+  reply.message = std::move(message);
+  return encode(reply);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> SessionServer::handle_frame(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kSubmitGraph: {
+      SubmitGraphRequest req;
+      if (!decode(frame, &req)) {
+        return error_frame(ErrorCode::kMalformedFrame,
+                           "bad SUBMIT_GRAPH payload");
+      }
+      GraphAckReply reply;
+      reply.graph_id = req.graph_id;
+      reply.nodes = static_cast<std::uint32_t>(req.graph.n());
+      reply.edges = static_cast<std::uint32_t>(req.graph.m());
+      submit_graph(req.graph_id, std::move(req.graph));
+      return encode(reply);
+    }
+    case MsgType::kOpenSession: {
+      OpenSessionRequest req;
+      if (!decode(frame, &req)) {
+        return error_frame(ErrorCode::kMalformedFrame,
+                           "bad OPEN_SESSION payload");
+      }
+      const OpenResult opened =
+          open_session(req.graph_id, req.scheme, req.engine, req.maintain);
+      if (!opened.ok) {
+        return error_frame(opened.unknown_graph ? ErrorCode::kUnknownGraph
+                                                : ErrorCode::kBadRequest,
+                           opened.error);
+      }
+      SessionOpenedReply reply;
+      reply.session_id = opened.session_id;
+      return encode(reply);
+    }
+    case MsgType::kApplyDeltas: {
+      ApplyDeltasRequest req;
+      if (!decode(frame, &req)) {
+        return error_frame(ErrorCode::kMalformedFrame,
+                           "bad APPLY_DELTAS payload");
+      }
+      DeltasAcceptedReply reply;
+      reply.session_id = req.session_id;
+      switch (apply_deltas(req.session_id, std::move(req.batch),
+                           &reply.ticket, &reply.queue_depth)) {
+        case AdmitStatus::kAccepted:
+          return encode(reply);
+        case AdmitStatus::kOverloaded: {
+          OverloadedReply overloaded;
+          overloaded.session_id = req.session_id;
+          overloaded.queue_depth = reply.queue_depth;
+          return encode(overloaded);
+        }
+        case AdmitStatus::kUnknownSession:
+          return error_frame(ErrorCode::kUnknownSession, "unknown session");
+        case AdmitStatus::kClosed:
+          return error_frame(ErrorCode::kSessionClosed, "session closed");
+      }
+      return error_frame(ErrorCode::kBadRequest, "unreachable");
+    }
+    case MsgType::kPollVerdict: {
+      PollVerdictRequest req;
+      if (!decode(frame, &req)) {
+        return error_frame(ErrorCode::kMalformedFrame,
+                           "bad POLL_VERDICT payload");
+      }
+      VerdictRecord record;
+      VerdictReply reply;
+      reply.session_id = req.session_id;
+      reply.ticket = req.ticket;
+      switch (poll(req.session_id, req.ticket, &record)) {
+        case PollStatus::kDone:
+          reply.status = record.failed ? 3 : 1;
+          reply.all_accept = record.all_accept;
+          reply.rejecting = record.rejecting;
+          reply.generation = record.generation;
+          reply.fingerprint = record.fingerprint;
+          reply.coalesced = record.coalesced;
+          return encode(reply);
+        case PollStatus::kPending:
+          reply.status = 0;
+          return encode(reply);
+        case PollStatus::kUnknownTicket:
+          reply.status = 2;
+          return encode(reply);
+        case PollStatus::kUnknownSession:
+          return error_frame(ErrorCode::kUnknownSession, "unknown session");
+      }
+      return error_frame(ErrorCode::kBadRequest, "unreachable");
+    }
+    case MsgType::kGetStats: {
+      GetStatsRequest req;
+      if (!decode(frame, &req)) {
+        return error_frame(ErrorCode::kMalformedFrame,
+                           "bad GET_STATS payload");
+      }
+      SessionSnapshot snapshot;
+      if (!get_stats(req.session_id, &snapshot)) {
+        return error_frame(ErrorCode::kUnknownSession, "unknown session");
+      }
+      StatsReply reply;
+      reply.session_id = req.session_id;
+      reply.generation = snapshot.generation;
+      reply.fingerprint = snapshot.fingerprint;
+      reply.batches = snapshot.stats.batches;
+      reply.repaired = snapshot.stats.repaired;
+      reply.declined = snapshot.stats.declined;
+      reply.reproves = snapshot.stats.reproves;
+      reply.verifies = snapshot.stats.verifies;
+      reply.spot_sampled = snapshot.stats.spot_sampled;
+      reply.spot_skipped = snapshot.stats.spot_skipped;
+      reply.spot_escalations = snapshot.stats.spot_escalations;
+      reply.spot_miss_bound = snapshot.stats.spot_miss_bound;
+      reply.queue_depth = static_cast<std::uint32_t>(snapshot.queue_depth);
+      return encode(reply);
+    }
+    case MsgType::kClose: {
+      CloseRequest req;
+      if (!decode(frame, &req)) {
+        return error_frame(ErrorCode::kMalformedFrame, "bad CLOSE payload");
+      }
+      ClosedReply reply;
+      reply.session_id = req.session_id;
+      if (!close_session(req.session_id, &reply.generation,
+                         &reply.fingerprint)) {
+        return error_frame(ErrorCode::kUnknownSession, "unknown session");
+      }
+      return encode(reply);
+    }
+    default:
+      return error_frame(
+          ErrorCode::kUnknownType,
+          std::string("unexpected frame type ") + msg_type_name(frame.type));
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> LoopbackConnection::feed(
+    const std::uint8_t* data, std::size_t size) {
+  parser_.feed(data, size);
+  std::vector<std::vector<std::uint8_t>> replies;
+  Frame frame;
+  for (;;) {
+    switch (parser_.next(&frame)) {
+      case DecodeStatus::kOk:
+        replies.push_back(server_->handle_frame(frame));
+        break;
+      case DecodeStatus::kNeedMore:
+        return replies;
+      case DecodeStatus::kBadVersion:
+        replies.push_back(
+            error_frame(ErrorCode::kBadVersion, "unsupported version"));
+        break;
+      case DecodeStatus::kOversized:
+        replies.push_back(
+            error_frame(ErrorCode::kOversizedFrame, "frame too large"));
+        break;
+      case DecodeStatus::kMalformed:
+        replies.push_back(
+            error_frame(ErrorCode::kMalformedFrame, "malformed frame"));
+        break;
+    }
+  }
+}
+
+}  // namespace lcp::server

@@ -1,0 +1,123 @@
+#include "server/socket_server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "server/session_server.hpp"
+
+namespace lcp::server {
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t serve_fd(SessionServer& server, int fd) {
+  LoopbackConnection connection(server);
+  std::size_t served = 0;
+  std::uint8_t buffer[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // orderly shutdown by the peer
+    const auto replies =
+        connection.feed(buffer, static_cast<std::size_t>(n));
+    bool alive = true;
+    for (const auto& reply : replies) {
+      ++served;
+      if (!write_all(fd, reply.data(), reply.size())) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) break;
+  }
+  return served;
+}
+
+SocketServer::SocketServer(SessionServer& server, std::uint16_t port)
+    : server_(server) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("SocketServer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    throw std::runtime_error("SocketServer: bind/listen failed");
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  listen_fd_.store(fd);
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::stop() {
+  if (stopping_.exchange(true)) return;
+  // Closing the listener unblocks accept() with an error.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> connections;
+  {
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    connections.swap(connections_);
+  }
+  for (std::thread& t : connections) t.join();
+}
+
+void SocketServer::accept_loop() {
+  for (;;) {
+    const int listener = listen_fd_.load();
+    if (listener < 0) return;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (stop()) or fatal error
+    }
+    const std::lock_guard<std::mutex> lock(threads_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    connections_.emplace_back([this, fd] {
+      serve_fd(server_, fd);
+      ::close(fd);
+    });
+  }
+}
+
+}  // namespace lcp::server

@@ -1,0 +1,63 @@
+// A minimal blocking-socket front end for the session server.
+//
+// One acceptor thread plus one thread per connection, each running the
+// same damage-tolerant decode loop as LoopbackConnection: read bytes,
+// feed the FrameParser, answer every frame (ack / OVERLOADED / ERROR),
+// survive bad frames.  This is deliberately the simplest transport that
+// exercises the wire protocol end-to-end over a real fd — the
+// async/progress-engine transport is the ROADMAP's separate
+// "shards as processes/hosts" item.
+//
+// serve_fd() is the per-connection loop, exposed so tests can drive a
+// socketpair deterministically without binding a port.
+#ifndef LCP_SERVER_SOCKET_SERVER_HPP_
+#define LCP_SERVER_SOCKET_SERVER_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lcp::server {
+
+class SessionServer;
+
+/// Runs the request/reply loop on an open stream fd until the peer
+/// closes (or an unrecoverable socket error).  Owns no threads; blocks
+/// the caller.  Returns the number of frames served.
+std::size_t serve_fd(SessionServer& server, int fd);
+
+/// Listens on 127.0.0.1:<port> (port 0 picks an ephemeral port, readable
+/// via port()) and serves each accepted connection on its own thread.
+class SocketServer {
+ public:
+  /// Binds and starts accepting immediately.  Throws std::runtime_error
+  /// when the socket cannot be bound.
+  SocketServer(SessionServer& server, std::uint16_t port);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the listener, and joins every connection
+  /// thread.  Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  void accept_loop();
+
+  SessionServer& server_;
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex threads_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace lcp::server
+
+#endif  // LCP_SERVER_SOCKET_SERVER_HPP_

@@ -1,0 +1,183 @@
+// Multi-client interleaving fuzz for the session server (run under TSan
+// in CI).  N client threads hammer M shared sessions with label-flip
+// batches; the server admits, coalesces, and applies them on its lanes.
+// The anchor: batch concatenation preserves recording order, so whatever
+// coalescing the race produced, replaying the *recorded* coalesced batch
+// sequence single-threaded through a fresh VerificationSession must
+// reproduce every per-apply verdict, generation, and fingerprint
+// bit-identically — and the per-ticket records the clients polled must
+// match that replay.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/delta.hpp"
+#include "core/session.hpp"
+#include "graph/generators.hpp"
+#include "server/session_server.hpp"
+
+namespace lcp::server {
+namespace {
+
+constexpr std::uint64_t kGraphId = 7;
+constexpr int kThreads = 4;
+constexpr int kSessions = 8;
+constexpr int kBatchesPerThread = 120;
+
+/// A label-flip batch: node labels and 1-bit proof labels at seeded
+/// positions.  Always applies cleanly (valid indices, no structure), so
+/// any coalescing order is exercised without tripping the tracker.
+MutationBatch random_batch(std::mt19937& rng, int nodes) {
+  MutationBatch batch;
+  std::uniform_int_distribution<int> node(0, nodes - 1);
+  std::uniform_int_distribution<int> ops(1, 4);
+  std::uniform_int_distribution<std::uint64_t> label(0, 1023);
+  const int count = ops(rng);
+  for (int i = 0; i < count; ++i) {
+    if (rng() % 2 == 0) {
+      batch.set_node_label(node(rng), label(rng));
+    } else {
+      BitString bits;
+      bits.append_bit((rng() & 1) != 0);
+      batch.set_proof_label(node(rng), bits);
+    }
+  }
+  return batch;
+}
+
+TEST(ServerFuzz, ConcurrentClientsMatchSingleThreadedReplay) {
+  SessionServerOptions options;
+  options.lanes = 4;
+  options.max_pending_per_session = 32;
+  options.verdict_history = 1 << 20;  // keep every ticket pollable
+  options.record_applied_batches = true;
+  SessionServer server(options);
+  const Graph base = gen::grid(20, 20);
+  server.submit_graph(kGraphId, base);
+
+  std::vector<std::uint64_t> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    const OpenResult opened =
+        server.open_session(kGraphId, "bipartite", "incremental", false);
+    ASSERT_TRUE(opened.ok) << opened.error;
+    sessions.push_back(opened.session_id);
+  }
+
+  // Tickets issued per session, recorded under a mutex as threads race.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> tickets;
+  std::mutex tickets_mutex;
+  std::atomic<std::size_t> overloaded{0};
+
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      std::mt19937 rng(static_cast<std::uint32_t>(0xfu + t));
+      const int nodes = base.n();
+      for (int i = 0; i < kBatchesPerThread; ++i) {
+        const std::uint64_t session =
+            sessions[rng() % sessions.size()];
+        std::uint64_t ticket = 0;
+        const AdmitStatus status = server.apply_deltas(
+            session, random_batch(rng, nodes), &ticket, nullptr);
+        if (status == AdmitStatus::kOverloaded) {
+          // Dropped under backpressure: simply not part of the run.
+          overloaded.fetch_add(1);
+          continue;
+        }
+        ASSERT_EQ(status, AdmitStatus::kAccepted);
+        const std::lock_guard<std::mutex> lock(tickets_mutex);
+        tickets[session].push_back(ticket);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.drain();
+
+  std::size_t total_applies = 0;
+  std::size_t total_admitted = 0;
+  for (const std::uint64_t session : sessions) {
+    // The coalesced batches this session actually applied, in order.
+    const std::vector<MutationBatch> applied =
+        server.applied_batches(session);
+    total_applies += applied.size();
+
+    // Replay them single-threaded through a fresh facade session.
+    VerificationSession::Builder builder(base);
+    builder.scheme("bipartite");
+    builder.engine("incremental");
+    VerificationSession replay = builder.build();
+    struct ApplyMark {
+      bool all_accept;
+      std::size_t rejecting;
+      std::uint64_t fingerprint;
+    };
+    // Keyed by post-apply tracker generation: an apply whose reprove
+    // patched proof labels advances the generation by more than one, and
+    // the server's VerdictRecord carries the same post-apply value.
+    std::map<std::uint64_t, ApplyMark> marks;
+    for (const MutationBatch& batch : applied) {
+      const RunResult run = replay.apply(batch);
+      marks.emplace(replay.tracker().generation(),
+                    ApplyMark{run.all_accept, run.rejecting.size(),
+                              replay.tracker().state_fingerprint()});
+    }
+
+    // Every admitted ticket resolved, and its verdict names one of the
+    // replayed applies — with the identical verdict markers.
+    for (const std::uint64_t ticket : tickets[session]) {
+      VerdictRecord record;
+      ASSERT_EQ(server.poll(session, ticket, &record), PollStatus::kDone)
+          << "session " << session << " ticket " << ticket;
+      EXPECT_FALSE(record.failed);
+      const auto mark = marks.find(record.generation);
+      ASSERT_NE(mark, marks.end())
+          << "verdict generation " << record.generation
+          << " matches no replayed apply";
+      EXPECT_EQ(record.all_accept, mark->second.all_accept);
+      EXPECT_EQ(record.rejecting, mark->second.rejecting);
+      EXPECT_EQ(record.fingerprint, mark->second.fingerprint);
+    }
+    total_admitted += tickets[session].size();
+
+    // The coalesced group sizes partition the admitted tickets exactly:
+    // summing each apply's `coalesced` once must give the ticket count.
+    std::map<std::uint64_t, std::uint32_t> group_size;
+    for (const std::uint64_t ticket : tickets[session]) {
+      VerdictRecord record;
+      ASSERT_EQ(server.poll(session, ticket, &record), PollStatus::kDone);
+      group_size[record.generation] = record.coalesced;
+    }
+    std::size_t partitioned = 0;
+    for (const auto& [generation, size] : group_size) {
+      partitioned += size;
+    }
+    EXPECT_EQ(partitioned, tickets[session].size());
+    EXPECT_EQ(group_size.size(), applied.size());
+
+    // The final state the server reports matches the replay's end state.
+    SessionSnapshot snapshot;
+    ASSERT_TRUE(server.get_stats(session, &snapshot));
+    EXPECT_EQ(snapshot.generation, replay.tracker().generation());
+    EXPECT_EQ(snapshot.fingerprint, replay.tracker().state_fingerprint());
+  }
+
+  // Conservation: every admitted batch was applied exactly once (possibly
+  // merged), nothing was lost or double-applied.
+  EXPECT_LE(total_applies, total_admitted);
+  EXPECT_EQ(total_admitted + overloaded.load(),
+            static_cast<std::size_t>(kThreads) * kBatchesPerThread);
+
+  for (const std::uint64_t session : sessions) {
+    EXPECT_TRUE(server.close_session(session));
+  }
+  EXPECT_EQ(server.session_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lcp::server

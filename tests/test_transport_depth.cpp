@@ -1,0 +1,108 @@
+// Pins the InProcessTransport queue-depth accounting and its derived
+// gauges: queue_depth() is the live mailbox total, max_queue_depth() the
+// high-water mark since construction (surviving drains and reset()), and
+// register_transport_metrics adapts both — plus the traffic counters —
+// into a MetricRegistry under a caller-chosen prefix.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/shard_transport.hpp"
+#include "obs/metrics.hpp"
+
+namespace lcp {
+namespace {
+
+HaloMessage request(int from, int to, std::vector<int> hosts) {
+  HaloMessage m;
+  m.kind = HaloMessage::Kind::kRequest;
+  m.from = from;
+  m.to = to;
+  m.requests = std::move(hosts);
+  return m;
+}
+
+TEST(TransportDepth, DepthTracksMailboxesAndHighWaterSurvivesDrain) {
+  InProcessTransport transport;
+  transport.reset(3);
+  EXPECT_EQ(transport.queue_depth(), 0u);
+  EXPECT_EQ(transport.max_queue_depth(), 0u);
+
+  // Five messages across two mailboxes: depth sums all of them.
+  transport.send(request(0, 1, {1, 2}));
+  transport.send(request(0, 2, {3}));
+  transport.send(request(1, 2, {4}));
+  transport.send(request(2, 1, {5}));
+  transport.send(request(1, 0, {}));
+  EXPECT_EQ(transport.queue_depth(), 5u);
+  EXPECT_EQ(transport.max_queue_depth(), 5u);
+
+  // Draining one mailbox lowers the live depth; the mark stays.
+  HaloMessage out;
+  ASSERT_TRUE(transport.receive(1, &out));
+  EXPECT_EQ(out.from, 0);
+  ASSERT_TRUE(transport.receive(1, &out));
+  EXPECT_EQ(out.from, 2);
+  EXPECT_FALSE(transport.receive(1, &out));
+  EXPECT_EQ(transport.queue_depth(), 3u);
+  EXPECT_EQ(transport.max_queue_depth(), 5u);
+
+  // The mark only moves when a send pushes past it.
+  transport.send(request(0, 1, {6}));
+  EXPECT_EQ(transport.queue_depth(), 4u);
+  EXPECT_EQ(transport.max_queue_depth(), 5u);
+  transport.send(request(0, 1, {7}));
+  transport.send(request(0, 1, {8}));
+  EXPECT_EQ(transport.queue_depth(), 6u);
+  EXPECT_EQ(transport.max_queue_depth(), 6u);
+
+  // reset() drops pending messages but keeps cumulative stats and the
+  // high-water mark (it is "since construction", not "since reset").
+  transport.reset(3);
+  EXPECT_EQ(transport.queue_depth(), 0u);
+  EXPECT_EQ(transport.max_queue_depth(), 6u);
+  EXPECT_EQ(transport.stats().messages, 8u);
+}
+
+TEST(TransportDepth, DerivedGaugesReadLiveDepth) {
+  auto transport = std::make_shared<InProcessTransport>();
+  transport->reset(2);
+  obs::MetricRegistry registry;
+  const int owner = 0;
+  register_transport_metrics(registry, transport, "transport.test", &owner);
+
+  transport->send(request(0, 1, {1, 2, 3}));
+  transport->send(request(1, 0, {4}));
+  HaloMessage out;
+  ASSERT_TRUE(transport->receive(0, &out));
+
+  const obs::MetricSnapshot snap = registry.snapshot();
+  ASSERT_TRUE(snap.has("transport.test.queue_depth"));
+  ASSERT_TRUE(snap.has("transport.test.max_queue_depth"));
+  ASSERT_TRUE(snap.has("transport.test.messages"));
+  ASSERT_TRUE(snap.has("transport.test.requested_nodes"));
+  ASSERT_TRUE(snap.has("transport.test.bytes"));
+  double depth = -1, max_depth = -1, messages = -1, requested = -1;
+  for (const auto& gauge : snap.gauges) {
+    if (gauge.name == "transport.test.queue_depth") depth = gauge.value;
+    if (gauge.name == "transport.test.max_queue_depth") {
+      max_depth = gauge.value;
+    }
+    if (gauge.name == "transport.test.messages") messages = gauge.value;
+    if (gauge.name == "transport.test.requested_nodes") {
+      requested = gauge.value;
+    }
+  }
+  EXPECT_EQ(depth, 1.0);      // one of the two messages was received
+  EXPECT_EQ(max_depth, 2.0);  // both were queued at once
+  EXPECT_EQ(messages, 2.0);
+  EXPECT_EQ(requested, 4.0);
+
+  // remove_owned withdraws the gauges; the shared_ptr capture kept the
+  // transport alive for the registry in the meantime.
+  registry.remove_owned(&owner);
+  EXPECT_FALSE(registry.snapshot().has("transport.test.queue_depth"));
+}
+
+}  // namespace
+}  // namespace lcp

@@ -3,6 +3,13 @@
 
 Usage:
     tools/check_telemetry.py METRICS_JSON TRACE_JSON [JOURNAL_JSONL [REJECTION_JSON]]
+    tools/check_telemetry.py --server METRICS_JSON JOURNAL_JSONL
+
+The second form validates the session-server exports that
+bench/server_compare.cpp dumps (server_metrics.json /
+server_journal.jsonl): the server's telemetry carries server.* and
+pool.server.* metrics instead of the full per-session layer set, and no
+trace, so the layer and span requirements differ.
 
 Checks, against the naming convention in src/obs/metrics.hpp
 (`layer.component.metric`, lower-case):
@@ -58,6 +65,24 @@ REQUIRED_METRICS = [
 
 REQUIRED_SPANS = ["session.apply", "session.mutate", "session.verify"]
 
+# What the session server's telemetry must carry (src/server/): the
+# admission/coalescing counters, the apply latency histogram, the live
+# derived gauges, and its WorkerPool's lane metrics.
+SERVER_REQUIRED_LAYERS = ["server", "pool"]
+
+SERVER_REQUIRED_METRICS = [
+    "server.admitted",
+    "server.applies",
+    "server.coalesced_batches",
+    "server.overloads",
+    "server.apply.latency",
+    "server.sessions",
+    "server.queue_depth",
+    "server.max_queue_depth",
+    "pool.server.lanes",
+    "pool.server.dispatches",
+]
+
 # The fixed event vocabulary in src/obs/journal.hpp — kept in lockstep
 # with journal_kind_name() and tests/test_obs_journal.cpp.
 JOURNAL_KINDS = {
@@ -75,6 +100,9 @@ JOURNAL_KINDS = {
     "verdict_flip",
     "spot_sample",
     "spot_escalate",
+    "server_admit",
+    "server_coalesce",
+    "server_overload",
 }
 
 JOURNAL_EVENT_FIELDS = ["seq", "ts_ns", "tid", "kind", "args"]
@@ -102,7 +130,12 @@ def fail(errors: list, message: str) -> None:
     errors.append(message)
 
 
-def check_metrics(path: str, errors: list) -> None:
+def check_metrics(path: str, errors: list,
+                  required_layers=None, required_metrics=None) -> None:
+    if required_layers is None:
+        required_layers = REQUIRED_LAYERS
+    if required_metrics is None:
+        required_metrics = REQUIRED_METRICS
     with open(path, encoding="utf-8") as f:
         snap = json.load(f)
 
@@ -121,12 +154,12 @@ def check_metrics(path: str, errors: list) -> None:
             fail(errors, f"metrics: name '{name}' violates the "
                          "layer.component.metric convention")
 
-    for layer in REQUIRED_LAYERS:
+    for layer in required_layers:
         if not any(n.startswith(layer + ".") for n in names):
             fail(errors, f"metrics: no '{layer}.*' metrics — a session "
                          "layer went dark")
 
-    for required in REQUIRED_METRICS:
+    for required in required_metrics:
         if required not in names:
             fail(errors, f"metrics: required metric '{required}' missing")
 
@@ -302,7 +335,55 @@ def check_rejection(path: str, errors: list) -> None:
           f"shrunk from {window}")
 
 
+def check_server_journal(path: str, errors: list) -> None:
+    """Like check_journal, but also insists the server kinds showed up —
+    a soak that never admits or coalesces validated nothing."""
+    with open(path, encoding="utf-8") as f:
+        lines = [line for line in f.read().splitlines() if line.strip()]
+    events = []
+    for i, line in enumerate(lines, 1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(errors, f"journal: line {i} is not JSON: {exc}")
+            continue
+        if not isinstance(event, dict):
+            fail(errors, f"journal: line {i} is not an object")
+            continue
+        check_journal_event(event, f"journal: line {i}", errors)
+        events.append(event)
+    check_seq_order(events, "journal", errors)
+    kinds = {e.get("kind") for e in events}
+    for required in ("server_admit", "server_coalesce", "server_overload"):
+        if required not in kinds:
+            fail(errors, f"journal: no '{required}' events — the soak did "
+                         "not exercise that path")
+    print(f"server journal ok: {len(events)} events, "
+          f"{len(kinds & JOURNAL_KINDS)} distinct kinds")
+
+
+def server_main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors: list = []
+    try:
+        check_metrics(argv[0], errors, SERVER_REQUIRED_LAYERS,
+                      SERVER_REQUIRED_METRICS)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(errors, f"metrics: cannot read {argv[0]}: {exc}")
+    try:
+        check_server_journal(argv[1], errors)
+    except OSError as exc:
+        fail(errors, f"journal: cannot read {argv[1]}: {exc}")
+    for message in errors:
+        print(f"FAIL: {message}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def main() -> int:
+    if len(sys.argv) > 1 and sys.argv[1] == "--server":
+        return server_main(sys.argv[2:])
     if len(sys.argv) < 3 or len(sys.argv) > 5:
         print(__doc__, file=sys.stderr)
         return 2
