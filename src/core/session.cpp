@@ -16,9 +16,14 @@ namespace lcp {
 class VerificationSession::ApplyScope {
  public:
   explicit ApplyScope(VerificationSession& s) : s_(s) {
-    assert(!s_.in_apply_.exchange(true, std::memory_order_acq_rel) &&
+    // The exchange runs in all builds (side effects never live inside
+    // assert); only the check compiles away under NDEBUG.
+    const bool was_applying =
+        s_.in_apply_.exchange(true, std::memory_order_acq_rel);
+    assert(!was_applying &&
            "VerificationSession: concurrent apply()/verify() — sessions "
            "are single-caller; serialise externally");
+    (void)was_applying;
   }
   ~ApplyScope() { s_.in_apply_.store(false, std::memory_order_release); }
   ApplyScope(const ApplyScope&) = delete;

@@ -290,8 +290,9 @@ class VerificationSession {
  private:
   explicit VerificationSession(Builder&& b);
 
-  // Debug-only enforcement of the one-apply-at-a-time contract (member
-  // present in all builds so layout doesn't depend on NDEBUG).
+  // Enforcement of the one-apply-at-a-time contract: the flag is
+  // maintained in all builds (layout and behaviour don't depend on
+  // NDEBUG); only the assert on it compiles away in release.
   class ApplyScope;
   std::atomic<bool> in_apply_{false};
 

@@ -49,8 +49,12 @@ void WorkerPool::register_metrics(obs::MetricRegistry& registry,
 }
 
 void WorkerPool::dispatch(int active, const std::function<void(int)>& job) {
-  assert(!in_dispatch_.exchange(true, std::memory_order_acq_rel) &&
+  // The exchange runs in all builds (side effects never live inside
+  // assert); only the check compiles away under NDEBUG.
+  const bool reentered = in_dispatch_.exchange(true, std::memory_order_acq_rel);
+  assert(!reentered &&
          "WorkerPool::dispatch is not re-entrant: serialise externally");
+  (void)reentered;
   // Clears the flag on every exit path, including the rethrow below.
   struct DispatchScope {
     std::atomic<bool>& flag;

@@ -83,8 +83,9 @@ class WorkerPool {
   // Telemetry tallies; array-allocated because atomics don't move.
   std::unique_ptr<std::atomic<std::uint64_t>[]> lane_busy_ns_;
   std::atomic<std::uint64_t> dispatches_{0};
-  // Debug-only re-entrancy detection (present in all builds so layout
-  // doesn't depend on NDEBUG; the assert compiles away).
+  // Re-entrancy detection: the flag is maintained in all builds (layout
+  // and behaviour don't depend on NDEBUG); only the assert on it
+  // compiles away in release.
   std::atomic<bool> in_dispatch_{false};
 };
 

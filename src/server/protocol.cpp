@@ -299,11 +299,19 @@ DecodeStatus FrameParser::next(Frame* frame) {
   }
   if (length < 2) {
     // Too short to hold even the version + type header: skip the prefix
-    // and whatever body it announced.
-    buffer_.erase(buffer_.begin(),
-                  buffer_.begin() + static_cast<std::ptrdiff_t>(
-                                        std::min<std::size_t>(
-                                            buffer_.size(), 4 + length)));
+    // and whatever body it announced.  Announced bytes that have not
+    // arrived yet must still be dropped when they do (discard_remaining_,
+    // as in the oversized path), or a late body byte would be parsed as
+    // the start of the next length prefix and desynchronise the stream.
+    const std::size_t total = 4 + static_cast<std::size_t>(length);
+    const std::size_t have = buffer_.size();
+    if (have >= total) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(total));
+    } else {
+      buffer_.clear();
+      discard_remaining_ = total - have;
+    }
     return DecodeStatus::kMalformed;
   }
   if (length > max_frame_bytes_) {

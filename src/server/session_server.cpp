@@ -12,7 +12,8 @@ struct SessionServer::Lane {
   explicit Lane(std::size_t capacity) : ready(capacity) {}
   MpmcQueue<std::shared_ptr<SessionState>> ready;
   std::mutex mutex;
-  std::condition_variable cv;
+  std::condition_variable cv;        // worker parks here when the ring is dry
+  std::condition_variable space_cv;  // pushers park here when it is full
 };
 
 // Two locks per session, deliberately split so admission never blocks
@@ -168,9 +169,14 @@ void SessionServer::push_ready(const std::shared_ptr<SessionState>& s) {
   std::shared_ptr<SessionState> slot = s;
   // The ring bounds *sessions*, each present at most once (the scheduled
   // flag), so capacity ready_capacity only fills when that many distinct
-  // sessions have work at once; the yield loop is the rare overflow path.
-  while (!lane.ready.try_push(slot)) {
-    std::this_thread::yield();
+  // sessions have work at once.  On that rare overflow, park on space_cv
+  // instead of spinning; the worker signals it after every pop, and the
+  // timed wait covers a signal racing between a failed push and the wait.
+  if (!lane.ready.try_push(slot)) {
+    std::unique_lock<std::mutex> lock(lane.mutex);
+    while (!lane.ready.try_push(slot)) {
+      lane.space_cv.wait_for(lock, std::chrono::milliseconds(1));
+    }
   }
   {
     // Touch the mutex so a worker between its failed pop and its wait
@@ -207,13 +213,17 @@ AdmitStatus SessionServer::apply_deltas(std::uint64_t session_id,
     }
     issued = s->next_ticket++;
     s->pending.emplace_back(issued, std::move(batch));
+    // Must happen before queue_mutex is released: the moment the batch
+    // is visible in pending, an already-scheduled lane may drain it and
+    // fetch_sub in note_applied(); an add reordered after that sub would
+    // underflow the counter and lose drain()'s zero-crossing notify.
+    pending_total_.fetch_add(1, std::memory_order_release);
     depth = s->pending.size();
     if (!s->scheduled) {
       s->scheduled = true;
       need_push = true;
     }
   }
-  pending_total_.fetch_add(1, std::memory_order_relaxed);
   std::size_t seen = max_depth_.load(std::memory_order_relaxed);
   while (depth > seen &&
          !max_depth_.compare_exchange_weak(seen, depth,
@@ -329,6 +339,7 @@ void SessionServer::lane_loop(int lane) {
   std::shared_ptr<SessionState> s;
   while (true) {
     if (my_lane.ready.try_pop(&s)) {
+      my_lane.space_cv.notify_one();  // a pusher may be parked on a full ring
       process(s);
       s.reset();
       continue;

@@ -91,12 +91,34 @@ void SocketServer::stop() {
     ::close(fd);
   }
   if (acceptor_.joinable()) acceptor_.join();
-  std::vector<std::thread> connections;
+  std::list<std::unique_ptr<Connection>> connections;
   {
     const std::lock_guard<std::mutex> lock(threads_mutex_);
     connections.swap(connections_);
   }
-  for (std::thread& t : connections) t.join();
+  // shutdown() makes a blocked recv() return 0 so the serve loop exits;
+  // the fd itself is closed only after the join, so its number cannot be
+  // reused while the serving thread still reads from it.
+  for (const auto& c : connections) ::shutdown(c->fd, SHUT_RDWR);
+  for (const auto& c : connections) {
+    c->thread.join();
+    ::close(c->fd);
+  }
+}
+
+// Joins and closes connections whose serve loop has already returned, so
+// long-lived servers don't accumulate one zombie thread per past client.
+// Caller holds threads_mutex_.
+void SocketServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      (*it)->thread.join();
+      ::close((*it)->fd);
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void SocketServer::accept_loop() {
@@ -113,9 +135,14 @@ void SocketServer::accept_loop() {
       ::close(fd);
       return;
     }
-    connections_.emplace_back([this, fd] {
-      serve_fd(server_, fd);
-      ::close(fd);
+    reap_finished_locked();
+    auto connection = std::make_unique<Connection>();
+    Connection* c = connection.get();
+    c->fd = fd;
+    connections_.push_back(std::move(connection));
+    c->thread = std::thread([this, c] {
+      serve_fd(server_, c->fd);
+      c->done.store(true, std::memory_order_release);
     });
   }
 }

@@ -15,9 +15,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <thread>
-#include <vector>
 
 namespace lcp::server {
 
@@ -47,7 +48,17 @@ class SocketServer {
   void stop();
 
  private:
+  // One live connection: the fd outlives the serving thread (closed only
+  // after the join) so stop() can shutdown() it to unblock recv() without
+  // racing a close that would let the kernel reuse the fd number.
+  struct Connection {
+    int fd = -1;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
   void accept_loop();
+  void reap_finished_locked();
 
   SessionServer& server_;
   std::atomic<int> listen_fd_{-1};
@@ -55,7 +66,7 @@ class SocketServer {
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
   std::mutex threads_mutex_;
-  std::vector<std::thread> connections_;
+  std::list<std::unique_ptr<Connection>> connections_;
 };
 
 }  // namespace lcp::server

@@ -366,6 +366,30 @@ TEST(FrameParser, FullyBufferedOversizedFrameAlsoSkips) {
   EXPECT_EQ(out.session_id, 4u);
 }
 
+TEST(FrameParser, UnderLengthFrameWithLateBodyStaysInSync) {
+  // The prefix announcing a 1-byte body arrives alone; the body byte
+  // lands in a later feed.  That byte must be discarded, not parsed as
+  // the start of the next length prefix.
+  std::vector<std::uint8_t> prefix;
+  WireWriter w(&prefix);
+  w.u32(1);
+  FrameParser parser;
+  parser.feed(prefix.data(), prefix.size());
+  Frame frame;
+  EXPECT_EQ(parser.next(&frame), DecodeStatus::kMalformed);
+
+  const std::uint8_t late_body = 0x55;
+  parser.feed(&late_body, 1);
+  EXPECT_EQ(parser.buffered(), 0u);
+
+  const std::vector<std::uint8_t> good = encode(GetStatsRequest{11});
+  parser.feed(good.data(), good.size());
+  ASSERT_EQ(parser.next(&frame), DecodeStatus::kOk);
+  GetStatsRequest out;
+  ASSERT_TRUE(decode(frame, &out));
+  EXPECT_EQ(out.session_id, 11u);
+}
+
 TEST(FrameParser, UnderLengthFrameIsMalformed) {
   // length == 1 cannot hold version + type.
   std::vector<std::uint8_t> bad;

@@ -625,5 +625,38 @@ TEST(SocketServer, ListensAndServesConcurrentConnections) {
   EXPECT_EQ(server.session_count(), 0u);
 }
 
+TEST(SocketServer, StopUnblocksIdleConnections) {
+  // A client that connects and then goes silent must not wedge stop():
+  // the server shuts the connection down, the blocked recv() returns,
+  // and the client observes EOF.
+  SessionServer server(small_options());
+  server.submit_graph(kGraphId, gen::grid(5, 5));
+  SocketServer listener(server, /*port=*/0);
+  ASSERT_GT(listener.port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(listener.port());
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr),
+      0);
+  FdClient client(fd);
+  OpenSessionRequest open;
+  open.graph_id = kGraphId;
+  open.scheme = "bipartite";
+  const SessionOpenedReply opened =
+      client.ask<SessionOpenedReply>(encode(open));
+  ASSERT_GE(opened.session_id, 1u);
+
+  listener.stop();  // connection still open — must return anyway
+
+  std::uint8_t byte = 0;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);  // server closed its end
+  ::close(fd);
+}
+
 }  // namespace
 }  // namespace lcp::server
